@@ -1,0 +1,100 @@
+// Ablation: pyramids vs an exact distance index (PLL), quantifying the
+// Related Work argument (Section II): "the index time and index size of
+// PLL are bottlenecks on static massive graphs, let alone the update" —
+// under the time-decay scheme every activation epoch changes all effective
+// weights, so PLL must rebuild while the pyramids repair incrementally.
+
+#include <vector>
+
+#include "baselines/pll.h"
+#include "bench/bench_common.h"
+#include "datasets/synthetic.h"
+#include "pyramid/pyramid_index.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace anc::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation: Pyramids vs Exact Distance Index (PLL)");
+  PrintRow({"n", "m", "metric", "pyramids(k=4)", "PLL"}, 15);
+
+  for (uint32_t n : {2000u, 8000u, 32000u}) {
+    Rng rng(3);
+    Graph g = BarabasiAlbert(n, 4, rng);
+    std::vector<double> w(g.NumEdges());
+    for (double& x : w) x = 0.5 + rng.NextDouble();
+
+    PyramidParams params;
+    params.num_pyramids = 4;
+    params.seed = 5;
+
+    Timer pt;
+    PyramidIndex pyramids(g, w, params);
+    const double pyramid_build = pt.ElapsedSeconds();
+
+    Timer lt;
+    PrunedLandmarkLabeling pll(g, w);
+    const double pll_build = lt.ElapsedSeconds();
+
+    // Query time over a fixed sample (pyramids: approximate; PLL: exact).
+    constexpr int kQueries = 2000;
+    Rng qrng(7);
+    std::vector<std::pair<NodeId, NodeId>> queries;
+    for (int i = 0; i < kQueries; ++i) {
+      queries.emplace_back(static_cast<NodeId>(qrng.Uniform(n)),
+                           static_cast<NodeId>(qrng.Uniform(n)));
+    }
+    Timer pq;
+    double sink = 0.0;
+    for (const auto& [u, v] : queries) sink += pyramids.ApproxDistance(u, v);
+    const double pyramid_query = pq.ElapsedSeconds() / kQueries;
+    Timer lq;
+    double pll_sink = 0.0;
+    for (const auto& [u, v] : queries) pll_sink += pll.Query(u, v);
+    const double pll_query = lq.ElapsedSeconds() / kQueries;
+    // Average stretch of the pyramid estimate (PLL is exact ground truth).
+    const double stretch = sink / pll_sink;
+
+    // Update: one activation-sized weight change. Pyramids repair
+    // incrementally; PLL rebuilds.
+    Timer pu;
+    pyramids.UpdateEdgeWeight(0, w[0] * 0.5);
+    const double pyramid_update = pu.ElapsedSeconds();
+    w[0] *= 0.5;
+    Timer lu;
+    PrunedLandmarkLabeling rebuilt(g, w);
+    const double pll_update = lu.ElapsedSeconds();
+
+    const std::string nm = std::to_string(n);
+    const std::string mm = std::to_string(g.NumEdges());
+    PrintRow({nm, mm, "build (s)", FormatDouble(pyramid_build, 3),
+              FormatDouble(pll_build, 3)},
+             15);
+    PrintRow({"", "", "memory (MB)",
+              FormatDouble(pyramids.MemoryBytes() / 1048576.0, 1),
+              FormatDouble(pll.MemoryBytes() / 1048576.0, 1)},
+             15);
+    PrintRow({"", "", "query (us)", FormatDouble(pyramid_query * 1e6, 2),
+              FormatDouble(pll_query * 1e6, 2)},
+             15);
+    PrintRow({"", "", "update (s)", FormatSci(pyramid_update),
+              FormatSci(pll_update)},
+             15);
+    PrintRow({"", "", "avg stretch", FormatDouble(stretch, 3), "1.000"}, 15);
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape: PLL wins exactness, pyramids win update cost by "
+      "orders of magnitude (PLL must rebuild under decaying weights) with "
+      "modest stretch — Section II's trade-off.\n");
+}
+
+}  // namespace
+}  // namespace anc::bench
+
+int main() {
+  anc::bench::Run();
+  return 0;
+}

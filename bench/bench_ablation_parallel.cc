@@ -1,0 +1,87 @@
+// Ablation: parallel index maintenance (Lemma 13) — the k * ceil(log2 n)
+// Voronoi partitions are mutually independent in storage and update, so a
+// batch of activations can be absorbed with level-parallel workers. This
+// bench measures the wall-clock speedup of the same update stream with
+// 1, 2, 4 and 8 threads and verifies the results are identical.
+
+#include <thread>
+#include <vector>
+
+#include "activation/stream_generators.h"
+#include "bench/bench_common.h"
+#include "datasets/synthetic.h"
+#include "pyramid/pyramid_index.h"
+#include "similarity/similarity_engine.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace anc::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation: Parallel Index Updates (Lemma 13)");
+  Rng rng(19);
+  Graph g = BarabasiAlbert(20000, 4, rng);
+
+  SimilarityParams sim_params;
+  SimilarityEngine engine(g, sim_params);
+  engine.InitializeStatic(2);
+  std::vector<double> weights(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) weights[e] = engine.Weight(e);
+
+  // A fixed update stream shared by every thread-count run.
+  std::vector<std::pair<EdgeId, double>> updates;
+  double t = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    t += 0.01;
+    const EdgeId e = static_cast<EdgeId>(rng.Uniform(g.NumEdges()));
+    double w = 0.0;
+    ANC_CHECK(engine.ApplyActivation(e, t, &w).ok(), "activation");
+    updates.emplace_back(e, w);
+  }
+
+  std::printf("graph: n=%u m=%u; %zu weight updates; k=8 pyramids\n",
+              g.NumNodes(), g.NumEdges(), updates.size());
+  PrintRow({"threads", "seconds", "speedup", "checksum"});
+  double baseline = 0.0;
+  uint64_t reference_checksum = 0;
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    PyramidParams params;
+    params.num_pyramids = 8;
+    params.seed = 3;
+    params.num_threads = threads;
+    PyramidIndex idx(g, weights, params);
+    Timer timer;
+    idx.UpdateEdgeWeights(updates);
+    const double elapsed = timer.ElapsedSeconds();
+    if (threads == 1) baseline = elapsed;
+    // Vote checksum proves thread counts do not change results.
+    uint64_t checksum = 0;
+    for (uint32_t l = 1; l <= idx.num_levels(); ++l) {
+      for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+        checksum = checksum * 1099511628211ull + idx.VotesOf(e, l);
+      }
+    }
+    if (threads == 1) reference_checksum = checksum;
+    ANC_CHECK(checksum == reference_checksum,
+              "parallel update changed the result");
+    PrintRow({std::to_string(threads), FormatDouble(elapsed, 3),
+              FormatDouble(baseline / elapsed, 2) + "x",
+              std::to_string(checksum % 100000)});
+  }
+  std::printf(
+      "\nhardware concurrency on this machine: %u\n"
+      "expected shape: speedup grows with threads up to the hardware "
+      "concurrency, bounded by the number of levels and per-update repair "
+      "skew (Lemma 13). On a single-core machine all rows are ~1x; the "
+      "identical checksums still demonstrate thread-count independence.\n",
+      std::thread::hardware_concurrency());
+}
+
+}  // namespace
+}  // namespace anc::bench
+
+int main() {
+  anc::bench::Run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+#ifndef ANC_BENCH_BENCH_COMMON_H_
+#define ANC_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/anc.h"
+#include "graph/clustering_types.h"
+#include "graph/graph.h"
+#include "metrics/quality.h"
+#include "metrics/structural.h"
+
+namespace anc::bench {
+
+/// All five quality scores of Section VI-A for one clustering.
+struct QualityRow {
+  double modularity = 0.0;
+  double conductance = 0.0;
+  double nmi = 0.0;
+  double purity = 0.0;
+  double f1 = 0.0;
+};
+
+/// Scores `predicted` against `truth` on graph `g` (weights optional for
+/// the structural metrics). Clusters smaller than `min_cluster_size` are
+/// dropped as noise first (the paper drops clusters with < 3 nodes).
+QualityRow Evaluate(const Graph& g, Clustering predicted,
+                    const Clustering& truth,
+                    const std::vector<double>& weights = {},
+                    uint32_t min_cluster_size = 3);
+
+/// The paper's granularity-selection rule, made robust: clusters with < 3
+/// nodes are dropped as noise first (Section VI-A protocol); among the
+/// levels whose post-filter cluster count lies within a factor of 3 of
+/// `target`, the level with the highest (weighted) modularity wins —
+/// a structural criterion, no ground-truth peeking. Falls back to the
+/// count-closest level when no level lands in range.
+Clustering BestLevelClustering(const AncIndex& anc, uint32_t target,
+                               uint32_t* level_out = nullptr,
+                               const std::vector<double>& weights = {});
+
+/// Per-edge anchored activeness snapshot (weights for baselines that
+/// cluster the weighted snapshot graph).
+std::vector<double> ActivenessSnapshot(const AncIndex& anc);
+
+/// Fixed-width table printing helpers shared by the bench mains.
+void PrintHeader(const std::string& title);
+void PrintRow(const std::vector<std::string>& cells, int width = 12);
+std::string FormatDouble(double value, int precision = 4);
+std::string FormatSci(double value);
+
+}  // namespace anc::bench
+
+#endif  // ANC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,51 @@
+// Reproduces Fig. 5: index (pyramids) construction time with k in
+// {2, 4, 8, 16} pyramids over graphs of increasing size.
+//
+// Paper shape: time grows linearly in k and near-linearly (up to log
+// factors) in graph size (Lemma 7). Datasets here are a BA scaling suite
+// standing in for the paper's CA ... TW sweep.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "datasets/synthetic.h"
+#include "pyramid/pyramid_index.h"
+#include "util/timer.h"
+
+namespace anc::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Fig. 5: Index Time (seconds)");
+  std::vector<SyntheticDataset> suite =
+      ScalingSuite(/*num_sizes=*/6, /*base_nodes=*/1000, /*edges_per_node=*/4,
+                   /*seed=*/3);
+
+  PrintRow({"dataset", "n", "m", "k=2", "k=4", "k=8", "k=16"});
+  for (const SyntheticDataset& data : suite) {
+    std::vector<std::string> cells = {
+        data.name, std::to_string(data.graph.NumNodes()),
+        std::to_string(data.graph.NumEdges())};
+    std::vector<double> weights(data.graph.NumEdges(), 1.0);
+    for (uint32_t k : {2u, 4u, 8u, 16u}) {
+      PyramidParams params;
+      params.num_pyramids = k;
+      params.seed = 5;
+      Timer t;
+      PyramidIndex idx(data.graph, weights, params);
+      cells.push_back(FormatDouble(t.ElapsedSeconds(), 3));
+    }
+    PrintRow(cells);
+  }
+  std::printf(
+      "\nexpected shape: each column ~2x the previous (linear in k); rows "
+      "grow near-linearly in n (Lemma 7)\n");
+}
+
+}  // namespace
+}  // namespace anc::bench
+
+int main() {
+  anc::bench::Run();
+  return 0;
+}

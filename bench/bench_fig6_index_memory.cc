@@ -1,0 +1,58 @@
+// Reproduces Fig. 6: index memory cost with k in {2,...,16} pyramids (the
+// paper plots k = 4..16; k = 2 is included for the linearity check).
+//
+// Paper shape: memory linear in k, near-linear in n (O(n log^2 n), Lemma
+// 7); the graph itself is excluded from the accounting as in the paper.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "datasets/synthetic.h"
+#include "pyramid/pyramid_index.h"
+
+namespace anc::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Fig. 6: Index Memory Cost (MB)");
+  std::vector<SyntheticDataset> suite =
+      ScalingSuite(/*num_sizes=*/6, /*base_nodes=*/1000, /*edges_per_node=*/4,
+                   /*seed=*/3);
+
+  PrintRow({"dataset", "n", "m", "k=2", "k=4", "k=8", "k=16"});
+  for (const SyntheticDataset& data : suite) {
+    std::vector<std::string> cells = {
+        data.name, std::to_string(data.graph.NumNodes()),
+        std::to_string(data.graph.NumEdges())};
+    std::vector<double> weights(data.graph.NumEdges(), 1.0);
+    for (uint32_t k : {2u, 4u, 8u, 16u}) {
+      PyramidParams params;
+      params.num_pyramids = k;
+      params.seed = 5;
+      PyramidIndex idx(data.graph, weights, params);
+      cells.push_back(
+          FormatDouble(idx.MemoryBytes() / (1024.0 * 1024.0), 2));
+    }
+    PrintRow(cells);
+    // Dataset-size / index-size ratio (the paper reports average 0.53 for
+    // graphs above 1M edges; exact value depends on representation).
+    const double dataset_mb =
+        (data.graph.NumEdges() * 8.0 + data.graph.NumNodes() * 4.0) /
+        (1024.0 * 1024.0);
+    PyramidParams params;
+    params.num_pyramids = 4;
+    params.seed = 5;
+    PyramidIndex idx4(data.graph, weights, params);
+    std::printf("    dataset/index ratio at k=4: %.2f\n",
+                dataset_mb / (idx4.MemoryBytes() / (1024.0 * 1024.0)));
+  }
+  std::printf("\nexpected shape: memory doubles with k; near-linear in n\n");
+}
+
+}  // namespace
+}  // namespace anc::bench
+
+int main() {
+  anc::bench::Run();
+  return 0;
+}

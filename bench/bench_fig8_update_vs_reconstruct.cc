@@ -1,0 +1,95 @@
+// Reproduces Fig. 8: UPDATE (incremental, Algorithms 1-3) vs RECONSTRUCT
+// (rebuild all partitions) with activation batch sizes 2^0 .. 2^10.
+//
+// Paper shape: UPDATE grows linearly with batch size and is up to six
+// orders of magnitude faster than RECONSTRUCT for single activations
+// (locality, Lemmas 11-12). The gap here is bounded by the synthetic graph
+// sizes (the paper's largest ratio, 197296x, is on 34M-edge LJ).
+
+#include <utility>
+#include <vector>
+
+#include "activation/stream_generators.h"
+#include "bench/bench_common.h"
+#include "core/anc.h"
+#include "datasets/synthetic.h"
+#include "similarity/similarity_engine.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace anc::bench {
+namespace {
+
+void RunDataset(const SyntheticDataset& data) {
+  const Graph& g = data.graph;
+  Rng rng(17);
+
+  // Shared similarity state drives realistic weight updates.
+  SimilarityParams sim_params;
+  sim_params.lambda = 0.1;
+  SimilarityEngine engine(g, sim_params);
+  engine.InitializeStatic(2);
+  std::vector<double> weights(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) weights[e] = engine.Weight(e);
+
+  PyramidParams params;
+  params.num_pyramids = 4;
+  params.seed = 3;
+  PyramidIndex update_index(g, weights, params);
+  PyramidIndex reconstruct_index(g, weights, params);
+
+  std::printf("--- %s (n=%u, m=%u) ---\n", data.name.c_str(), g.NumNodes(),
+              g.NumEdges());
+  PrintRow({"batch", "UPDATE(s)", "RECONST(s)", "speedup"});
+
+  double t = 0.0;
+  for (uint32_t log_batch = 0; log_batch <= 10; ++log_batch) {
+    const uint32_t batch = 1u << log_batch;
+    // Generate the batch of weight updates from activations.
+    std::vector<std::pair<EdgeId, double>> updates;
+    updates.reserve(batch);
+    for (uint32_t i = 0; i < batch; ++i) {
+      t += 0.01;
+      const EdgeId e = static_cast<EdgeId>(rng.Uniform(g.NumEdges()));
+      double w = 0.0;
+      ANC_CHECK(engine.ApplyActivation(e, t, &w).ok(), "activation");
+      updates.emplace_back(e, w);
+    }
+
+    Timer ut;
+    update_index.UpdateEdgeWeights(updates);
+    const double update_time = ut.ElapsedSeconds();
+
+    std::vector<double> final_weights(g.NumEdges());
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      final_weights[e] = engine.Weight(e);
+    }
+    Timer rt;
+    reconstruct_index.Reconstruct(final_weights);
+    const double reconstruct_time = rt.ElapsedSeconds();
+
+    PrintRow({std::to_string(batch), FormatSci(update_time),
+              FormatSci(reconstruct_time),
+              FormatDouble(reconstruct_time / update_time, 1)});
+  }
+  std::printf("\n");
+}
+
+void Run() {
+  PrintHeader("Fig. 8: Update Time, UPDATE vs RECONSTRUCT");
+  std::vector<SyntheticDataset> suite =
+      ScalingSuite(/*num_sizes=*/3, /*base_nodes=*/4000, /*edges_per_node=*/4,
+                   /*seed=*/29);
+  for (const SyntheticDataset& data : suite) RunDataset(data);
+  std::printf(
+      "expected shape: UPDATE linear in batch size; speedup largest at "
+      "batch=1 and growing with graph size\n");
+}
+
+}  // namespace
+}  // namespace anc::bench
+
+int main() {
+  anc::bench::Run();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Google-benchmark microbenchmarks of the core ANC operations: the O(1)
+// activeness bump, the O(deg u + deg v) similarity maintenance (Lemma 5),
+// the bounded index repair (Lemma 12), local-cluster queries (Lemma 9) and
+// full cluster extraction (Lemma 8).
+
+#include <benchmark/benchmark.h>
+
+#include "activation/activeness.h"
+#include "core/anc.h"
+#include "datasets/synthetic.h"
+#include "pyramid/clustering.h"
+#include "similarity/similarity_engine.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+Graph& SharedGraph(uint32_t n) {
+  static auto* cache = new std::map<uint32_t, Graph>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    Rng rng(7);
+    it = cache->emplace(n, BarabasiAlbert(n, 4, rng)).first;
+  }
+  return it->second;
+}
+
+void BM_ActivenessBump(benchmark::State& state) {
+  const Graph& g = SharedGraph(static_cast<uint32_t>(state.range(0)));
+  ActivenessStore store(g.NumEdges(), 0.1, 1.0);
+  Rng rng(1);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1e-4;
+    benchmark::DoNotOptimize(
+        store.Activate(static_cast<EdgeId>(rng.Uniform(g.NumEdges())), t));
+  }
+}
+BENCHMARK(BM_ActivenessBump)->Arg(10000)->Arg(40000);
+
+void BM_SimilarityMaintenance(benchmark::State& state) {
+  const Graph& g = SharedGraph(static_cast<uint32_t>(state.range(0)));
+  SimilarityParams params;
+  SimilarityEngine engine(g, params);
+  engine.InitializeStatic(1);
+  Rng rng(2);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1e-4;
+    benchmark::DoNotOptimize(engine.ApplyActivation(
+        static_cast<EdgeId>(rng.Uniform(g.NumEdges())), t));
+  }
+}
+BENCHMARK(BM_SimilarityMaintenance)->Arg(10000)->Arg(40000);
+
+AncIndex& SharedIndex(uint32_t n) {
+  static auto* cache = new std::map<uint32_t, AncIndex*>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    AncConfig config;
+    config.rep = 1;
+    config.pyramid.num_pyramids = 4;
+    it = cache->emplace(n, new AncIndex(SharedGraph(n), config)).first;
+  }
+  return *it->second;
+}
+
+void BM_FullActivationUpdate(benchmark::State& state) {
+  AncIndex& anc = SharedIndex(static_cast<uint32_t>(state.range(0)));
+  const Graph& g = anc.graph();
+  Rng rng(3);
+  double t = anc.engine().activeness().last_time();
+  for (auto _ : state) {
+    t += 1e-4;
+    benchmark::DoNotOptimize(
+        anc.Apply({static_cast<EdgeId>(rng.Uniform(g.NumEdges())), t}));
+  }
+}
+BENCHMARK(BM_FullActivationUpdate)->Arg(10000)->Arg(40000);
+
+void BM_LocalClusterQuery(benchmark::State& state) {
+  AncIndex& anc = SharedIndex(static_cast<uint32_t>(state.range(0)));
+  const Graph& g = anc.graph();
+  Rng rng(4);
+  const uint32_t level = anc.DefaultLevel();
+  for (auto _ : state) {
+    const NodeId q = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    benchmark::DoNotOptimize(anc.LocalCluster(q, level));
+  }
+}
+BENCHMARK(BM_LocalClusterQuery)->Arg(10000)->Arg(40000);
+
+void BM_PowerClusteringExtraction(benchmark::State& state) {
+  AncIndex& anc = SharedIndex(static_cast<uint32_t>(state.range(0)));
+  const uint32_t level = anc.DefaultLevel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anc.Clusters(level));
+  }
+}
+BENCHMARK(BM_PowerClusteringExtraction)->Arg(10000)->Arg(40000);
+
+void BM_ZoomPairQueries(benchmark::State& state) {
+  AncIndex& anc = SharedIndex(static_cast<uint32_t>(state.range(0)));
+  Rng rng(5);
+  for (auto _ : state) {
+    ZoomCursor cursor = anc.Zoom();
+    const NodeId q =
+        static_cast<NodeId>(rng.Uniform(anc.graph().NumNodes()));
+    benchmark::DoNotOptimize(cursor.Local(q));
+    cursor.ZoomIn();
+    benchmark::DoNotOptimize(cursor.Local(q));
+  }
+}
+BENCHMARK(BM_ZoomPairQueries)->Arg(10000);
+
+}  // namespace
+}  // namespace anc
+
+BENCHMARK_MAIN();

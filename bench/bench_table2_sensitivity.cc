@@ -1,0 +1,92 @@
+// Reproduces the Table II sensitivity study (the paper reports the epsilon
+// and mu settings per dataset in its technical report; Table II lists the
+// grids: epsilon in {0.2..0.7}, mu in {2..9}, rep in {0..9}, k in
+// {2,4,8,16}). k and rep are covered by bench_ablation_voting and Table
+// III; this bench sweeps epsilon and mu on two planted datasets, plus the
+// rep grid end-to-end, printing the NMI surface so the graph-dependence
+// the paper reports is visible.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/anc.h"
+#include "datasets/synthetic.h"
+#include "util/rng.h"
+
+namespace anc::bench {
+namespace {
+
+AncConfig BaseConfig() {
+  AncConfig config;
+  config.rep = 5;
+  config.pyramid.num_pyramids = 4;
+  config.pyramid.seed = 23;
+  return config;
+}
+
+void SweepDataset(const SyntheticDataset& data) {
+  const uint32_t target = data.truth.num_clusters;
+  std::printf("--- %s (n=%u, m=%u, %u communities; suggested epsilon %.3f) "
+              "---\n",
+              data.name.c_str(), data.graph.NumNodes(), data.graph.NumEdges(),
+              target, SuggestEpsilon(data.graph));
+
+  // epsilon x mu NMI surface.
+  const std::vector<double> epsilons = {0.2, 0.3, 0.4, 0.5, 0.6, 0.7};
+  const std::vector<uint32_t> mus = {2, 3, 5, 7, 9};
+  std::vector<std::string> header = {"eps\\mu"};
+  for (uint32_t mu : mus) header.push_back(std::to_string(mu));
+  PrintRow(header, 9);
+  for (double epsilon : epsilons) {
+    std::vector<std::string> cells = {FormatDouble(epsilon, 1)};
+    for (uint32_t mu : mus) {
+      AncConfig config = BaseConfig();
+      config.similarity.epsilon = epsilon;
+      config.similarity.mu = mu;
+      AncIndex anc(data.graph, config);
+      Clustering c = BestLevelClustering(anc, target);
+      cells.push_back(
+          FormatDouble(Evaluate(data.graph, std::move(c), data.truth).nmi, 3));
+    }
+    PrintRow(cells, 9);
+  }
+
+  // rep grid (Table II: 0..9).
+  std::printf("[rep sweep, epsilon = suggested, mu = 3]\n");
+  std::vector<std::string> rep_header;
+  std::vector<std::string> rep_cells = {"NMI"};
+  rep_header.push_back("rep");
+  const double eps = SuggestEpsilon(data.graph);
+  for (uint32_t rep : {0u, 1u, 3u, 5u, 7u, 9u}) {
+    rep_header.push_back(std::to_string(rep));
+    AncConfig config = BaseConfig();
+    config.similarity.epsilon = eps;
+    config.rep = rep;
+    AncIndex anc(data.graph, config);
+    Clustering c = BestLevelClustering(anc, target);
+    rep_cells.push_back(
+        FormatDouble(Evaluate(data.graph, std::move(c), data.truth).nmi, 3));
+  }
+  PrintRow(rep_header, 9);
+  PrintRow(rep_cells, 9);
+  std::printf("\n");
+}
+
+void Run() {
+  PrintHeader("Table II: Parameter Sensitivity (epsilon x mu NMI surface)");
+  std::vector<SyntheticDataset> suite = QualitySuite(/*scale=*/1, /*seed=*/31);
+  SweepDataset(suite[1]);  // FB-like: moderate mixing
+  SweepDataset(suite[3]);  // MI-like: dense, high mixing
+  std::printf(
+      "expected shape: the best epsilon differs per dataset "
+      "(graph-dependent, as Table II notes); quality degrades at extreme "
+      "mu; rep improves quality monotonically (Exp 1).\n");
+}
+
+}  // namespace
+}  // namespace anc::bench
+
+int main() {
+  anc::bench::Run();
+  return 0;
+}

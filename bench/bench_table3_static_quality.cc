@@ -1,0 +1,107 @@
+// Reproduces Table III: performance on static networks.
+//
+// Paper setup: four static graphs with ground truth (LA, DB, AM, YT);
+// methods SCAN, ATTR, LOUV, LWEP and ANCF with rep in {1, 5, 9}; metrics
+// Modularity, Conductance, NMI, Purity, F1. Here the graphs are planted-
+// partition stand-ins (DESIGN.md substitution #1); the expected *shape* is
+// the paper's: ANCF dominates the ground-truth metrics (NMI/Purity), LOUV
+// leads Modularity, and increasing rep improves ANCF across the board.
+
+#include <string>
+#include <vector>
+
+#include "baselines/attractor.h"
+#include "baselines/louvain.h"
+#include "baselines/lwep.h"
+#include "baselines/scan.h"
+#include "bench/bench_common.h"
+#include "core/anc.h"
+#include "datasets/synthetic.h"
+#include "util/rng.h"
+
+namespace anc::bench {
+namespace {
+
+struct MethodScore {
+  std::string name;
+  QualityRow row;
+};
+
+void Run() {
+  PrintHeader("Table III: Performance on Static Networks");
+  std::printf(
+      "datasets: planted-partition stand-ins for LA/DB/AM/YT "
+      "(see DESIGN.md substitution #1)\n\n");
+
+  std::vector<SyntheticDataset> suite = QualitySuite(/*scale=*/2, /*seed=*/7);
+  suite.resize(4);  // four datasets as in the table
+  {
+    // Plus one LFR benchmark (heavy-tailed degrees and community sizes) —
+    // the standard hard case, closest in spirit to the paper's real
+    // graphs.
+    Rng rng(77);
+    LfrParams lfr;
+    lfr.num_nodes = 800;
+    lfr.mu = 0.25;
+    GroundTruthGraph data = LfrGraph(lfr, rng);
+    suite.push_back(
+        {"YT-like(LFR)", std::move(data.graph), std::move(data.truth)});
+  }
+
+  for (const SyntheticDataset& data : suite) {
+    const uint32_t target = data.truth.num_clusters;
+    std::vector<MethodScore> scores;
+
+    {
+      ScanParams params{.epsilon = 0.5, .mu = 3};
+      scores.push_back(
+          {"SCAN", Evaluate(data.graph, Scan(data.graph, params), data.truth)});
+    }
+    {
+      scores.push_back(
+          {"ATTR", Evaluate(data.graph, Attractor(data.graph), data.truth)});
+    }
+    {
+      scores.push_back(
+          {"LOUV", Evaluate(data.graph, Louvain(data.graph, {}), data.truth)});
+    }
+    {
+      LwepClusterer lwep(data.graph);
+      scores.push_back({"LWEP", Evaluate(data.graph, lwep.Step({}), data.truth)});
+    }
+    // Epsilon is graph-dependent (Table II); tuned per dataset as the
+    // paper's technical report does.
+    const double epsilon = SuggestEpsilon(data.graph);
+    for (uint32_t rep : {1u, 5u, 9u}) {
+      AncConfig config;
+      config.rep = rep;
+      config.similarity.epsilon = epsilon;
+      config.similarity.mu = 3;
+      config.pyramid.num_pyramids = 4;
+      config.pyramid.seed = 99;
+      AncIndex anc(data.graph, config);
+      Clustering c = BestLevelClustering(anc, target);
+      scores.push_back({"ANCF" + std::to_string(rep),
+                        Evaluate(data.graph, std::move(c), data.truth)});
+    }
+
+    std::printf("--- %s (n=%u, m=%u, %u ground-truth clusters) ---\n",
+                data.name.c_str(), data.graph.NumNodes(),
+                data.graph.NumEdges(), target);
+    PrintRow({"method", "Modularity", "Conduct.", "NMI", "Purity", "F1"});
+    for (const MethodScore& s : scores) {
+      PrintRow({s.name, FormatDouble(s.row.modularity),
+                FormatDouble(s.row.conductance), FormatDouble(s.row.nmi),
+                FormatDouble(s.row.purity), FormatDouble(s.row.f1)});
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace anc::bench
+
+int main() {
+  anc::bench::Run();
+  return 0;
+}

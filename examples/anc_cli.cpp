@@ -1,0 +1,271 @@
+// anc_cli: an interactive driver for the ANC index — load or generate a
+// relation network, stream activations, query clusters, watch nodes, and
+// persist the index, all from a small command language on stdin.
+//
+//   $ ./build/examples/anc_cli
+//   > gen-ba 1000 3
+//   > init 5
+//   > activate 17 42 1.5
+//   > clusters
+//   > local 17
+//   > watch 17
+//   > save /tmp/my.idx
+//
+// Commands (lines starting with '#' are comments):
+//   load-graph <path>       load a SNAP edge list
+//   gen-ba <n> <deg>        generate a Barabasi-Albert graph
+//   init [rep]              build the index (default rep 5)
+//   activate <u> <v> <t>    one activation on edge (u, v) at time t
+//   activate-file <path>    stream "u v t" lines
+//   clusters [level]        all clusters (power clustering)
+//   local <v> [level]       local cluster of node v
+//   zoom-in | zoom-out      move the cluster granularity cursor
+//   watch <v> | unwatch <v> manage the watch list
+//   changes                 drain vote changes on watched nodes
+//   dist <u> <v>            approximate distance / attraction strength
+//   stats                   index statistics
+//   save <path>             persist the index
+//   load <path>             restore a persisted index (graph included)
+//   quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/anc.h"
+#include "core/serialization.h"
+#include "datasets/synthetic.h"
+#include "graph/io.h"
+#include "util/rng.h"
+
+using namespace anc;
+
+namespace {
+
+struct Session {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<AncIndex> index;
+  uint32_t level = 1;
+
+  bool RequireGraph() const {
+    if (graph == nullptr) std::printf("error: no graph loaded\n");
+    return graph != nullptr;
+  }
+  bool RequireIndex() const {
+    if (index == nullptr) std::printf("error: index not built (run init)\n");
+    return index != nullptr;
+  }
+};
+
+void PrintClusters(const Clustering& c, const Graph& g) {
+  std::printf("%u clusters over %u nodes\n", c.num_clusters, g.NumNodes());
+  // Print up to 10 clusters, up to 12 members each.
+  uint32_t shown = 0;
+  for (uint32_t cluster = 0; cluster < c.num_clusters && shown < 10;
+       ++cluster, ++shown) {
+    std::printf("  [%u]", cluster);
+    uint32_t members = 0;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (c.labels[v] != cluster) continue;
+      if (members < 12) {
+        std::printf(" %u", v);
+      } else if (members == 12) {
+        std::printf(" ...");
+      }
+      ++members;
+    }
+    std::printf("  (%u members)\n", members);
+  }
+  if (c.num_clusters > 10) {
+    std::printf("  ... and %u more clusters\n", c.num_clusters - 10);
+  }
+}
+
+bool HandleLine(Session& session, const std::string& line) {
+  std::istringstream args(line);
+  std::string command;
+  if (!(args >> command) || command[0] == '#') return true;
+
+  if (command == "quit" || command == "exit") return false;
+
+  if (command == "load-graph") {
+    std::string path;
+    args >> path;
+    Result<Graph> loaded = LoadEdgeList(path);
+    if (!loaded.ok()) {
+      std::printf("error: %s\n", loaded.status().ToString().c_str());
+      return true;
+    }
+    session.graph = std::make_unique<Graph>(std::move(loaded.value()));
+    session.index.reset();
+    std::printf("graph: %u nodes, %u edges\n", session.graph->NumNodes(),
+                session.graph->NumEdges());
+  } else if (command == "gen-ba") {
+    uint32_t n = 0;
+    uint32_t deg = 0;
+    args >> n >> deg;
+    if (n < 3 || deg < 1 || deg >= n) {
+      std::printf("usage: gen-ba <n>=3..> <deg 1..n-1>\n");
+      return true;
+    }
+    Rng rng(7);
+    session.graph = std::make_unique<Graph>(BarabasiAlbert(n, deg, rng));
+    session.index.reset();
+    std::printf("graph: %u nodes, %u edges\n", session.graph->NumNodes(),
+                session.graph->NumEdges());
+  } else if (command == "init") {
+    if (!session.RequireGraph()) return true;
+    uint32_t rep = 5;
+    args >> rep;
+    AncConfig config;
+    config.rep = rep;
+    config.similarity.epsilon = SuggestEpsilon(*session.graph);
+    session.index = std::make_unique<AncIndex>(*session.graph, config);
+    session.level = session.index->DefaultLevel();
+    std::printf("index ready: %u pyramids x %u levels, epsilon=%.3f, rep=%u\n",
+                config.pyramid.num_pyramids, session.index->num_levels(),
+                config.similarity.epsilon, rep);
+  } else if (command == "activate") {
+    if (!session.RequireIndex()) return true;
+    NodeId u = 0;
+    NodeId v = 0;
+    double t = 0.0;
+    args >> u >> v >> t;
+    auto e = session.graph->FindEdge(u, v);
+    if (!e.has_value()) {
+      std::printf("error: (%u, %u) is not an edge\n", u, v);
+      return true;
+    }
+    Status s = session.index->Apply({*e, t});
+    std::printf(s.ok() ? "ok\n" : "error: %s\n", s.ToString().c_str());
+  } else if (command == "activate-file") {
+    if (!session.RequireIndex()) return true;
+    std::string path;
+    args >> path;
+    std::ifstream in(path);
+    if (!in) {
+      std::printf("error: cannot open %s\n", path.c_str());
+      return true;
+    }
+    size_t applied = 0;
+    NodeId u = 0;
+    NodeId v = 0;
+    double t = 0.0;
+    while (in >> u >> v >> t) {
+      auto e = session.graph->FindEdge(u, v);
+      if (!e.has_value()) continue;
+      if (!session.index->Apply({*e, t}).ok()) break;
+      ++applied;
+    }
+    std::printf("applied %zu activations\n", applied);
+  } else if (command == "clusters") {
+    if (!session.RequireIndex()) return true;
+    uint32_t level = session.level;
+    args >> level;
+    PrintClusters(session.index->Clusters(level), *session.graph);
+  } else if (command == "local") {
+    if (!session.RequireIndex()) return true;
+    NodeId v = 0;
+    uint32_t level = session.level;
+    args >> v >> level;
+    if (v >= session.graph->NumNodes()) {
+      std::printf("error: node out of range\n");
+      return true;
+    }
+    std::vector<NodeId> members = session.index->LocalCluster(v, level);
+    std::printf("cluster of %u at level %u (%zu members):", v, level,
+                members.size());
+    for (size_t i = 0; i < std::min<size_t>(20, members.size()); ++i) {
+      std::printf(" %u", members[i]);
+    }
+    if (members.size() > 20) std::printf(" ...");
+    std::printf("\n");
+  } else if (command == "zoom-in") {
+    if (!session.RequireIndex()) return true;
+    if (session.level < session.index->num_levels()) ++session.level;
+    std::printf("level %u\n", session.level);
+  } else if (command == "zoom-out") {
+    if (!session.RequireIndex()) return true;
+    if (session.level > 1) --session.level;
+    std::printf("level %u\n", session.level);
+  } else if (command == "watch" || command == "unwatch") {
+    if (!session.RequireIndex()) return true;
+    NodeId v = 0;
+    args >> v;
+    if (v >= session.graph->NumNodes()) {
+      std::printf("error: node out of range\n");
+      return true;
+    }
+    if (command == "watch") {
+      session.index->Watch(v);
+    } else {
+      session.index->Unwatch(v);
+    }
+    std::printf("ok\n");
+  } else if (command == "changes") {
+    if (!session.RequireIndex()) return true;
+    auto changes = session.index->DrainVoteChanges();
+    std::printf("%zu vote changes\n", changes.size());
+    for (const auto& change : changes) {
+      const auto& [u, v] = session.graph->Endpoints(change.edge);
+      std::printf("  level %u: edge (%u, %u) now %s\n", change.level, u, v,
+                  change.now_passing ? "in-cluster" : "out-of-cluster");
+    }
+  } else if (command == "dist") {
+    if (!session.RequireIndex()) return true;
+    NodeId u = 0;
+    NodeId v = 0;
+    args >> u >> v;
+    std::printf("approx distance %.4g, attraction strength %.4g\n",
+                session.index->index().ApproxDistance(u, v),
+                session.index->index().AttractionStrength(u, v));
+  } else if (command == "stats") {
+    if (!session.RequireIndex()) return true;
+    std::printf(
+        "nodes=%u edges=%u levels=%u pyramids=%u level-cursor=%u "
+        "memory=%.1fMB touched-nodes=%zu\n",
+        session.graph->NumNodes(), session.graph->NumEdges(),
+        session.index->num_levels(),
+        session.index->config().pyramid.num_pyramids, session.level,
+        session.index->MemoryBytes() / (1024.0 * 1024.0),
+        session.index->total_touched_nodes());
+  } else if (command == "save") {
+    if (!session.RequireIndex()) return true;
+    std::string path;
+    args >> path;
+    Status s = SaveIndex(*session.index, path);
+    std::printf(s.ok() ? "saved %s\n" : "error: %s\n",
+                s.ok() ? path.c_str() : s.ToString().c_str());
+  } else if (command == "load") {
+    std::string path;
+    args >> path;
+    Result<LoadedIndex> loaded = LoadIndex(path);
+    if (!loaded.ok()) {
+      std::printf("error: %s\n", loaded.status().ToString().c_str());
+      return true;
+    }
+    session.graph = std::move(loaded.value().graph);
+    session.index = std::move(loaded.value().index);
+    session.level = session.index->DefaultLevel();
+    std::printf("restored: %u nodes, %u edges\n", session.graph->NumNodes(),
+                session.graph->NumEdges());
+  } else {
+    std::printf("unknown command: %s\n", command.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("anc_cli — type commands, 'quit' to exit\n");
+  Session session;
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    if (!HandleLine(session, line)) break;
+  }
+  return 0;
+}

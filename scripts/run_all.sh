@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and regenerates every paper
+# table/figure, teeing results into test_output.txt / bench_output.txt at
+# the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build -j"$(nproc)" 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "########## $(basename "$b") ##########" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+  fi
+done
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,59 @@
+#include "activation/activeness.h"
+
+namespace anc {
+
+Status ActivenessStore::Activate(EdgeId e, double t, double* delta) {
+  if (e >= anchored_.size()) {
+    return Status::OutOfRange("edge id " + std::to_string(e) +
+                              " out of range");
+  }
+  if (t < last_time_) {
+    return Status::InvalidArgument(
+        "activation timestamps must be non-decreasing (got " +
+        std::to_string(t) + " after " + std::to_string(last_time_) + ")");
+  }
+  last_time_ = t;
+  if (lambda_ * (t - anchor_time_) > kMaxExponent ||
+      ++since_rescale_ >= rescale_interval_) {
+    Rescale(t);
+  }
+  // Increase of a_t(e) by 1 (Eq. 1) == increase of a*(e) by 1/g(t, t*).
+  const double increment = std::exp(lambda_ * (t - anchor_time_));
+  anchored_[e] += increment;
+  if (delta != nullptr) *delta = increment;
+  return Status::OK();
+}
+
+Status ActivenessStore::ActivateAll(const ActivationStream& stream) {
+  for (const Activation& a : stream) {
+    ANC_RETURN_NOT_OK(Activate(a.edge, a.time));
+  }
+  return Status::OK();
+}
+
+Status ActivenessStore::RestoreAnchored(std::vector<double> anchored,
+                                        double anchor_time,
+                                        double last_time) {
+  if (anchored.size() != anchored_.size()) {
+    return Status::InvalidArgument("anchored size mismatch");
+  }
+  if (anchor_time > last_time) {
+    return Status::InvalidArgument("anchor_time must be <= last_time");
+  }
+  anchored_ = std::move(anchored);
+  anchor_time_ = anchor_time;
+  last_time_ = last_time;
+  since_rescale_ = 0;
+  return Status::OK();
+}
+
+void ActivenessStore::Rescale(double t) {
+  const double g = GlobalFactor(t);
+  for (double& a : anchored_) a *= g;
+  anchor_time_ = t;
+  since_rescale_ = 0;
+  ++rescale_count_;
+  if (rescale_hook_) rescale_hook_(g);
+}
+
+}  // namespace anc

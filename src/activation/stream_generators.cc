@@ -1,0 +1,105 @@
+#include "activation/stream_generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anc {
+
+ActivationStream UniformStream(const Graph& g, uint32_t num_steps,
+                               double fraction, Rng& rng) {
+  const uint32_t m = g.NumEdges();
+  const uint32_t per_step =
+      std::max<uint32_t>(1, static_cast<uint32_t>(fraction * m));
+  ActivationStream stream;
+  stream.reserve(static_cast<size_t>(per_step) * num_steps);
+  for (uint32_t step = 1; step <= num_steps; ++step) {
+    std::vector<uint32_t> picked = rng.SampleWithoutReplacement(m, per_step);
+    for (uint32_t e : picked) {
+      stream.push_back({e, static_cast<double>(step)});
+    }
+  }
+  return stream;
+}
+
+ActivationStream CommunityBiasedStream(const Graph& g,
+                                       const std::vector<uint32_t>& membership,
+                                       uint32_t num_steps, double fraction,
+                                       double intra_boost, Rng& rng) {
+  const uint32_t m = g.NumEdges();
+  const uint32_t per_step =
+      std::max<uint32_t>(1, static_cast<uint32_t>(fraction * m));
+  // Weighted sampling via the alias-free CDF walk: weights are small-domain
+  // (two values), so we split edges into intra/inter pools and draw the pool
+  // first.
+  std::vector<EdgeId> intra;
+  std::vector<EdgeId> inter;
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto& [u, v] = g.Endpoints(e);
+    (membership[u] == membership[v] ? intra : inter).push_back(e);
+  }
+  const double intra_mass = intra_boost * static_cast<double>(intra.size());
+  const double total_mass = intra_mass + static_cast<double>(inter.size());
+
+  ActivationStream stream;
+  stream.reserve(static_cast<size_t>(per_step) * num_steps);
+  for (uint32_t step = 1; step <= num_steps; ++step) {
+    for (uint32_t i = 0; i < per_step; ++i) {
+      bool pick_intra =
+          !intra.empty() &&
+          (inter.empty() || rng.NextDouble() * total_mass < intra_mass);
+      const auto& pool = pick_intra ? intra : inter;
+      stream.push_back(
+          {pool[rng.Uniform(pool.size())], static_cast<double>(step)});
+    }
+  }
+  return stream;
+}
+
+ActivationStream DiurnalStream(const Graph& g, uint32_t minutes,
+                               double mean_per_minute, double burst_prob,
+                               double burst_scale, Rng& rng) {
+  const uint32_t m = g.NumEdges();
+  ActivationStream stream;
+  constexpr double kPi = 3.14159265358979323846;
+  for (uint32_t minute = 0; minute < minutes; ++minute) {
+    // Sinusoid peaking mid-"day" with an off-peak floor of 20%.
+    const double phase =
+        std::sin(kPi * static_cast<double>(minute) / minutes);
+    double rate = mean_per_minute * (0.2 + 0.8 * phase * phase);
+    if (rng.Bernoulli(burst_prob)) {
+      // Pareto(alpha=1.5) burst multiplier, capped to keep replay bounded.
+      const double u = std::max(rng.NextDouble(), 1e-9);
+      rate *= std::min(burst_scale * std::pow(u, -1.0 / 1.5), 50.0);
+    }
+    const uint32_t count = static_cast<uint32_t>(rate);
+    for (uint32_t i = 0; i < count; ++i) {
+      stream.push_back({static_cast<EdgeId>(rng.Uniform(m)),
+                        static_cast<double>(minute)});
+    }
+  }
+  return stream;
+}
+
+std::vector<ActivationStream> SplitIntoBatches(const ActivationStream& stream,
+                                               uint32_t batch_size) {
+  ANC_CHECK(batch_size > 0, "batch_size must be positive");
+  std::vector<ActivationStream> batches;
+  for (size_t begin = 0; begin < stream.size(); begin += batch_size) {
+    size_t end = std::min(stream.size(), begin + batch_size);
+    batches.emplace_back(stream.begin() + begin, stream.begin() + end);
+  }
+  return batches;
+}
+
+std::vector<ActivationStream> SplitByTimestamp(const ActivationStream& stream,
+                                               uint32_t num_batches) {
+  std::vector<ActivationStream> batches(num_batches);
+  for (const Activation& a : stream) {
+    uint32_t slot = static_cast<uint32_t>(a.time);
+    if (slot >= num_batches) slot = num_batches - 1;
+    batches[slot].push_back(a);
+  }
+  return batches;
+}
+
+}  // namespace anc

@@ -1,0 +1,49 @@
+#ifndef ANC_ACTIVATION_STREAM_GENERATORS_H_
+#define ANC_ACTIVATION_STREAM_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "activation/activeness.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace anc {
+
+/// Generates the paper's Exp-2 style stream: `num_steps` timestamps (1, 2,
+/// ...), each activating `fraction` of the edges chosen uniformly at random
+/// (Section VI-A: "each timestamp randomly activated 5% of the edges").
+ActivationStream UniformStream(const Graph& g, uint32_t num_steps,
+                               double fraction, Rng& rng);
+
+/// Community-biased stream: at each timestamp a `fraction` of edges
+/// activates, but an intra-community edge (both endpoints sharing a label in
+/// `membership`) is `intra_boost` times more likely to be picked than an
+/// inter-community edge. This makes communities temporally coherent, the
+/// regime the activation-network model targets.
+ActivationStream CommunityBiasedStream(const Graph& g,
+                                       const std::vector<uint32_t>& membership,
+                                       uint32_t num_steps, double fraction,
+                                       double intra_boost, Rng& rng);
+
+/// Day-long diurnal stream for Fig. 9: `minutes` one-minute batches whose
+/// expected activation count follows a sinusoid (quiet at "night", busy at
+/// "midday") plus Pareto-tailed bursts. Timestamps are the minute index.
+ActivationStream DiurnalStream(const Graph& g, uint32_t minutes,
+                               double mean_per_minute, double burst_prob,
+                               double burst_scale, Rng& rng);
+
+/// Splits a stream into consecutive batches of `batch_size` activations
+/// (last batch may be short). Used by the Fig. 8 update-vs-reconstruct
+/// sweep.
+std::vector<ActivationStream> SplitIntoBatches(const ActivationStream& stream,
+                                               uint32_t batch_size);
+
+/// Splits a stream into per-integer-timestamp batches: batch i holds all
+/// activations with time in [i, i+1). Used by minute-batched replay.
+std::vector<ActivationStream> SplitByTimestamp(const ActivationStream& stream,
+                                               uint32_t num_batches);
+
+}  // namespace anc
+
+#endif  // ANC_ACTIVATION_STREAM_GENERATORS_H_

@@ -1,0 +1,64 @@
+#include "activation/stream_io.h"
+
+#include <limits>
+#include <fstream>
+#include <sstream>
+
+namespace anc {
+
+Status SaveActivationStream(const Graph& g, const ActivationStream& stream,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# anc activation stream: " << stream.size() << " activations\n";
+  out.precision(17);
+  for (const Activation& a : stream) {
+    if (a.edge >= g.NumEdges()) {
+      return Status::InvalidArgument("activation references edge " +
+                                     std::to_string(a.edge) +
+                                     " outside the graph");
+    }
+    const auto& [u, v] = g.Endpoints(a.edge);
+    out << u << ' ' << v << ' ' << a.time << '\n';
+  }
+  if (!out) return Status::IoError("write error on " + path);
+  return Status::OK();
+}
+
+Result<ActivationStream> LoadActivationStream(const Graph& g,
+                                              const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  ActivationStream stream;
+  std::string line;
+  size_t line_number = 0;
+  double last_time = -std::numeric_limits<double>::infinity();
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    NodeId u = 0;
+    NodeId v = 0;
+    double t = 0.0;
+    if (!(fields >> u >> v >> t)) {
+      return Status::IoError(path + ":" + std::to_string(line_number) +
+                             ": malformed activation line");
+    }
+    auto e = g.FindEdge(u, v);
+    if (!e.has_value()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) + ": (" +
+          std::to_string(u) + ", " + std::to_string(v) + ") is not an edge");
+    }
+    if (t < last_time) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) +
+          ": timestamps must be non-decreasing");
+    }
+    last_time = t;
+    stream.push_back({*e, t});
+  }
+  return stream;
+}
+
+}  // namespace anc

@@ -1,0 +1,27 @@
+#ifndef ANC_ACTIVATION_STREAM_IO_H_
+#define ANC_ACTIVATION_STREAM_IO_H_
+
+#include <string>
+
+#include "activation/activeness.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace anc {
+
+/// Writes an activation stream as "u v t" lines (endpoint-based, so the
+/// file is meaningful across any program that loads the same edge list;
+/// '#' comments allowed). Timestamps print with full round-trip precision.
+Status SaveActivationStream(const Graph& g, const ActivationStream& stream,
+                            const std::string& path);
+
+/// Reads a stream saved by SaveActivationStream (or hand-written "u v t"
+/// lines). Fails with InvalidArgument when a line references a non-edge,
+/// and IoError on malformed lines. Timestamps must be non-decreasing to be
+/// replayable; this is validated here rather than at replay time.
+Result<ActivationStream> LoadActivationStream(const Graph& g,
+                                              const std::string& path);
+
+}  // namespace anc
+
+#endif  // ANC_ACTIVATION_STREAM_IO_H_

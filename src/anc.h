@@ -1,0 +1,42 @@
+#ifndef ANC_ANC_H_
+#define ANC_ANC_H_
+
+/// Umbrella header: the complete public API of the ANC library.
+///
+///   #include "anc.h"
+///
+/// pulls in the relation-graph types, the activation substrate, the
+/// similarity engine, the pyramid index with its clustering/query
+/// algorithms, the AncIndex facade with persistence, the evaluation
+/// metrics, the baselines and the synthetic dataset generators.
+
+#include "activation/activeness.h"           // IWYU pragma: export
+#include "activation/stream_generators.h"    // IWYU pragma: export
+#include "activation/stream_io.h"            // IWYU pragma: export
+#include "baselines/attractor.h"             // IWYU pragma: export
+#include "baselines/dynamo.h"                // IWYU pragma: export
+#include "baselines/louvain.h"               // IWYU pragma: export
+#include "baselines/lwep.h"                  // IWYU pragma: export
+#include "baselines/pll.h"                   // IWYU pragma: export
+#include "baselines/scan.h"                  // IWYU pragma: export
+#include "core/anc.h"                        // IWYU pragma: export
+#include "core/serialization.h"              // IWYU pragma: export
+#include "datasets/synthetic.h"              // IWYU pragma: export
+#include "graph/algorithms.h"                // IWYU pragma: export
+#include "graph/clustering_types.h"          // IWYU pragma: export
+#include "graph/graph.h"                     // IWYU pragma: export
+#include "graph/io.h"                        // IWYU pragma: export
+#include "metrics/kmeans.h"                  // IWYU pragma: export
+#include "metrics/quality.h"                 // IWYU pragma: export
+#include "metrics/spectral.h"                // IWYU pragma: export
+#include "metrics/structural.h"              // IWYU pragma: export
+#include "pyramid/clustering.h"              // IWYU pragma: export
+#include "pyramid/hierarchy.h"               // IWYU pragma: export
+#include "pyramid/pyramid_index.h"           // IWYU pragma: export
+#include "pyramid/voronoi.h"                 // IWYU pragma: export
+#include "similarity/similarity_engine.h"    // IWYU pragma: export
+#include "util/rng.h"                        // IWYU pragma: export
+#include "util/status.h"                     // IWYU pragma: export
+#include "util/timer.h"                      // IWYU pragma: export
+
+#endif  // ANC_ANC_H_

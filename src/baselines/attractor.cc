@@ -1,0 +1,172 @@
+#include "baselines/attractor.h"
+
+#include <cmath>
+
+#include "graph/algorithms.h"
+
+namespace anc {
+
+namespace {
+
+/// Jaccard similarity over closed neighborhoods (both endpoints included).
+/// With weights: generalized Jaccard sum(min)/sum(max) over the incident
+/// weight vectors, self-weight 1.
+double Jaccard(const Graph& g, NodeId u, NodeId v,
+               const std::vector<double>& w) {
+  auto nu = g.Neighbors(u);
+  auto nv = g.Neighbors(v);
+  if (w.empty()) {
+    uint32_t common = 2;  // u in G(v), v in G(u)
+    size_t i = 0;
+    size_t j = 0;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i].node < nv[j].node) {
+        ++i;
+      } else if (nu[i].node > nv[j].node) {
+        ++j;
+      } else {
+        ++common;
+        ++i;
+        ++j;
+      }
+    }
+    const uint32_t unions =
+        static_cast<uint32_t>(nu.size() + nv.size()) + 2 - common;
+    return static_cast<double>(common) / unions;
+  }
+  // Weighted: merge-walk over both adjacency lists accumulating min/max;
+  // the self entries contribute min(w(u,v), 1)-style terms handled below.
+  double sum_min = 0.0;
+  double sum_max = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < nu.size() || j < nv.size()) {
+    const NodeId a = i < nu.size() ? nu[i].node : kInvalidNode;
+    const NodeId b = j < nv.size() ? nv[j].node : kInvalidNode;
+    if (a < b) {
+      const double x = nu[i].node == v ? 0.0 : w[nu[i].edge];
+      sum_max += x;  // exclusive to u
+      ++i;
+    } else if (b < a) {
+      const double x = nv[j].node == u ? 0.0 : w[nv[j].edge];
+      sum_max += x;
+      ++j;
+    } else {
+      sum_min += std::min(w[nu[i].edge], w[nv[j].edge]);
+      sum_max += std::max(w[nu[i].edge], w[nv[j].edge]);
+      ++i;
+      ++j;
+    }
+  }
+  // Closed-neighborhood self terms: both vectors hold weight 1 at u and v
+  // (the w(u,v) entries were zeroed above to avoid double counting).
+  auto e = g.FindEdge(u, v);
+  const double tie = e.has_value() ? w[*e] : 0.0;
+  sum_min += 2.0 * std::min(1.0, tie);
+  sum_max += 2.0 * std::max(1.0, tie);
+  return sum_max > 0.0 ? sum_min / sum_max : 0.0;
+}
+
+/// "Virtual" similarity of two non-adjacent nodes (used by the exclusive-
+/// neighbor interaction): plain closed-neighborhood Jaccard as well.
+double VirtualSimilarity(const Graph& g, NodeId a, NodeId b,
+                         const std::vector<double>& w) {
+  return Jaccard(g, a, b, w);
+}
+
+}  // namespace
+
+Clustering Attractor(const Graph& g, const AttractorParams& params,
+                     const std::vector<double>& edge_weights) {
+  const uint32_t m = g.NumEdges();
+  // Normalize snapshot weights to [0, 1] so the strongest tie carries full
+  // similarity mass (the generalized Jaccard otherwise penalizes a heavy
+  // tie through its own max term).
+  std::vector<double> normalized = edge_weights;
+  if (!normalized.empty()) {
+    double max_w = 0.0;
+    for (double w : normalized) max_w = std::max(max_w, w);
+    if (max_w > 0.0) {
+      for (double& w : normalized) w /= max_w;
+    }
+  }
+  std::vector<double> dist(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto& [u, v] = g.Endpoints(e);
+    dist[e] = 1.0 - Jaccard(g, u, v, normalized);
+  }
+
+  std::vector<double> next(m);
+  for (uint32_t iter = 0; iter < params.max_iterations; ++iter) {
+    bool all_polarized = true;
+    for (EdgeId e = 0; e < m; ++e) {
+      const auto& [u, v] = g.Endpoints(e);
+      const double d = dist[e];
+      if (d <= 0.0 || d >= 1.0) {
+        next[e] = d;
+        continue;
+      }
+      all_polarized = false;
+      const double inv_du = 1.0 / g.Degree(u);
+      const double inv_dv = 1.0 / g.Degree(v);
+
+      // Direct influence: interaction along e pulls the endpoints closer.
+      double delta = -(std::sin(1.0 - d) * inv_du + std::sin(1.0 - d) * inv_dv);
+
+      // Merge walk over the two adjacency lists: common neighbors exert the
+      // common-neighbor influence, exclusive neighbors the exclusive one.
+      auto nu = g.Neighbors(u);
+      auto nv = g.Neighbors(v);
+      size_t i = 0;
+      size_t j = 0;
+      while (i < nu.size() || j < nv.size()) {
+        const NodeId a = i < nu.size() ? nu[i].node : kInvalidNode;
+        const NodeId b = j < nv.size() ? nv[j].node : kInvalidNode;
+        if (a < b) {  // exclusive neighbor x of u
+          const NodeId x = a;
+          if (x != v) {
+            const double dxu = dist[nu[i].edge];
+            const double sim_xv = VirtualSimilarity(g, x, v, normalized);
+            const double rho =
+                sim_xv >= params.lambda ? sim_xv : sim_xv - params.lambda;
+            delta += -std::sin(1.0 - dxu) * rho * inv_du;
+          }
+          ++i;
+        } else if (b < a) {  // exclusive neighbor x of v
+          const NodeId x = b;
+          if (x != u) {
+            const double dxv = dist[nv[j].edge];
+            const double sim_xu = VirtualSimilarity(g, x, u, normalized);
+            const double rho =
+                sim_xu >= params.lambda ? sim_xu : sim_xu - params.lambda;
+            delta += -std::sin(1.0 - dxv) * rho * inv_dv;
+          }
+          ++j;
+        } else {  // common neighbor
+          const double dxu = dist[nu[i].edge];
+          const double dxv = dist[nv[j].edge];
+          delta += -(std::sin(1.0 - dxu) * (1.0 - dxv) * inv_du +
+                     std::sin(1.0 - dxv) * (1.0 - dxu) * inv_dv);
+          ++i;
+          ++j;
+        }
+      }
+      double nd = d + delta;
+      if (nd < params.convergence_eps) nd = 0.0;
+      if (nd > 1.0 - params.convergence_eps) nd = 1.0;
+      next[e] = nd;
+    }
+    dist.swap(next);
+    if (all_polarized) break;
+  }
+
+  uint32_t num_components = 0;
+  std::vector<uint32_t> labels = FilteredComponents(
+      g, [&dist](EdgeId e) { return dist[e] < 0.5; }, &num_components);
+  Clustering out;
+  out.labels = std::move(labels);
+  out.num_clusters = num_components;
+  return out;
+}
+
+}  // namespace anc

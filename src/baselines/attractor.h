@@ -1,0 +1,34 @@
+#ifndef ANC_BASELINES_ATTRACTOR_H_
+#define ANC_BASELINES_ATTRACTOR_H_
+
+#include <vector>
+
+#include "graph/clustering_types.h"
+#include "graph/graph.h"
+
+namespace anc {
+
+/// Parameters of Attractor (Shao et al., KDD 2015).
+struct AttractorParams {
+  double lambda = 0.5;           ///< exclusive-neighbor cohesion threshold
+  uint32_t max_iterations = 50;  ///< the paper's empirical 3-50 repetitions
+  double convergence_eps = 1e-4; ///< distances within eps of {0,1} are done
+};
+
+/// Attractor: community detection by distance dynamics. Edge distances are
+/// initialized as 1 - Jaccard and iteratively updated by three interaction
+/// patterns (direct, common-neighbor, exclusive-neighbor influence) until
+/// all distances polarize to 0 or 1; clusters are the components over
+/// 0-distance edges. This is the algorithm whose propagation behaviour
+/// motivated ANC's shortest-distance metric (Section IV); it is the ATTR
+/// offline baseline. O(iterations * sum_e (deg(u)+deg(v))).
+///
+/// When `edge_weights` is non-empty, distances initialize from the weighted
+/// closed-neighborhood Jaccard (sum of min over sum of max of incident
+/// weights, self-weight 1), the activation-network snapshot form.
+Clustering Attractor(const Graph& g, const AttractorParams& params = {},
+                     const std::vector<double>& edge_weights = {});
+
+}  // namespace anc
+
+#endif  // ANC_BASELINES_ATTRACTOR_H_

@@ -1,0 +1,136 @@
+#include "baselines/dynamo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "baselines/louvain.h"
+#include "metrics/structural.h"
+
+namespace anc {
+
+DynamoClusterer::DynamoClusterer(const Graph& g, std::vector<double> weights,
+                                 uint64_t seed)
+    : graph_(&g), weights_(std::move(weights)), seed_(seed) {
+  ANC_CHECK(weights_.size() == g.NumEdges(), "weight size mismatch");
+  LouvainParams params;
+  params.seed = seed_;
+  labels_ = Louvain(g, weights_, params).labels;
+  // Louvain assigns every node; treat any stray noise as singletons.
+  uint32_t next = 0;
+  for (uint32_t l : labels_) next = std::max(next, l == kNoise ? 0 : l + 1);
+  for (uint32_t& l : labels_) {
+    if (l == kNoise) l = next++;
+  }
+}
+
+double DynamoClusterer::Strength(NodeId v) const {
+  double s = 0.0;
+  for (const Neighbor& nb : graph_->Neighbors(v)) s += weights_[nb.edge];
+  return s;
+}
+
+void DynamoClusterer::MarkAround(NodeId v) {
+  dirty_.insert(v);
+  for (const Neighbor& nb : graph_->Neighbors(v)) dirty_.insert(nb.node);
+}
+
+void DynamoClusterer::UpdateWeight(EdgeId e, double new_weight) {
+  weights_[e] = new_weight;
+  const auto& [u, v] = graph_->Endpoints(e);
+  MarkAround(u);
+  MarkAround(v);
+}
+
+void DynamoClusterer::SetAllWeights(std::vector<double> weights) {
+  ANC_CHECK(weights.size() == graph_->NumEdges(), "weight size mismatch");
+  // A uniform rescale leaves modularity invariant, but the decayed weights
+  // of an activation network are *not* uniform relative to the activations;
+  // DynaMo has no way to know which regions moved without scanning, so all
+  // nodes with any weight change are marked. This full scan is the cost the
+  // Table IV / Fig. 10 comparison measures.
+  for (EdgeId e = 0; e < weights.size(); ++e) {
+    if (weights[e] != weights_[e]) {
+      const auto& [u, v] = graph_->Endpoints(e);
+      dirty_.insert(u);
+      dirty_.insert(v);
+    }
+  }
+  weights_ = std::move(weights);
+}
+
+uint32_t DynamoClusterer::Refine() {
+  // Community aggregates.
+  const uint32_t n = graph_->NumNodes();
+  double total = 0.0;
+  std::vector<double> strength(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    strength[v] = Strength(v);
+    total += strength[v];
+  }
+  if (total <= 0.0) {
+    dirty_.clear();
+    return 0;
+  }
+  uint32_t num_comms = 0;
+  for (uint32_t l : labels_) num_comms = std::max(num_comms, l + 1);
+  std::vector<double> community_strength(num_comms, 0.0);
+  for (NodeId v = 0; v < n; ++v) community_strength[labels_[v]] += strength[v];
+
+  std::deque<NodeId> frontier(dirty_.begin(), dirty_.end());
+  dirty_.clear();
+  std::vector<uint8_t> queued(n, 0);
+  for (NodeId v : frontier) queued[v] = 1;
+
+  uint32_t moves = 0;
+  std::unordered_map<uint32_t, double> links_to;
+  uint64_t budget = 20ull * n + 10 * frontier.size();  // termination guard
+  while (!frontier.empty() && budget-- > 0) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    queued[v] = 0;
+
+    const uint32_t old_comm = labels_[v];
+    links_to.clear();
+    links_to[old_comm] += 0.0;
+    for (const Neighbor& nb : graph_->Neighbors(v)) {
+      links_to[labels_[nb.node]] += weights_[nb.edge];
+    }
+    community_strength[old_comm] -= strength[v];
+    double best_gain =
+        links_to[old_comm] - strength[v] * community_strength[old_comm] / total;
+    uint32_t best_comm = old_comm;
+    for (const auto& [c, w] : links_to) {
+      if (c == old_comm) continue;
+      const double gain = w - strength[v] * community_strength[c] / total;
+      if (gain > best_gain + 1e-9) {
+        best_gain = gain;
+        best_comm = c;
+      }
+    }
+    community_strength[best_comm] += strength[v];
+    if (best_comm != old_comm) {
+      labels_[v] = best_comm;
+      ++moves;
+      for (const Neighbor& nb : graph_->Neighbors(v)) {
+        if (!queued[nb.node]) {
+          queued[nb.node] = 1;
+          frontier.push_back(nb.node);
+        }
+      }
+    }
+  }
+  return moves;
+}
+
+Clustering DynamoClusterer::CurrentClustering() const {
+  std::vector<uint32_t> labels = labels_;
+  return Clustering::FromLabels(std::move(labels));
+}
+
+double DynamoClusterer::CurrentModularity() const {
+  return Modularity(*graph_, CurrentClustering(), weights_);
+}
+
+}  // namespace anc

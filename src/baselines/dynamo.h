@@ -1,0 +1,57 @@
+#ifndef ANC_BASELINES_DYNAMO_H_
+#define ANC_BASELINES_DYNAMO_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/clustering_types.h"
+#include "graph/graph.h"
+
+namespace anc {
+
+/// DYNA: DynaMo-style incremental modularity maintenance (Zhuang et al.,
+/// TKDE 2021; see DESIGN.md substitution #3). The clusterer keeps a
+/// community assignment with modularity bookkeeping over the weighted
+/// graph; edge-weight updates mark their endpoints, and Refine() runs
+/// greedy modularity local moves seeded at the marked vertices and their
+/// neighbors until no gain remains.
+///
+/// The key property the comparison exercises: under the time-decay scheme
+/// *every* edge weight changes at every timestamp, so DYNA must refresh all
+/// m weights per step (SetAllWeights) — the O(|dE| m / n)-per-update cost
+/// the paper contrasts with ANC's activation-local updates.
+class DynamoClusterer {
+ public:
+  /// Initializes communities with a full Louvain run over `weights`.
+  DynamoClusterer(const Graph& g, std::vector<double> weights,
+                  uint64_t seed = 1);
+
+  /// Point update of one edge weight; endpoints are marked for refinement.
+  void UpdateWeight(EdgeId e, double new_weight);
+
+  /// Full refresh (the per-timestamp decay): replaces all weights and marks
+  /// every node whose incident weight mass changed materially.
+  void SetAllWeights(std::vector<double> weights);
+
+  /// Greedy local moving from the marked nodes; returns moves performed.
+  uint32_t Refine();
+
+  /// Current communities (dense labels).
+  Clustering CurrentClustering() const;
+
+  double CurrentModularity() const;
+
+ private:
+  double Strength(NodeId v) const;
+  void MarkAround(NodeId v);
+
+  const Graph* graph_;
+  std::vector<double> weights_;
+  std::vector<uint32_t> labels_;
+  std::unordered_set<NodeId> dirty_;
+  uint64_t seed_;
+};
+
+}  // namespace anc
+
+#endif  // ANC_BASELINES_DYNAMO_H_

@@ -1,0 +1,153 @@
+#include "baselines/louvain.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace anc {
+
+namespace {
+
+/// Mutable weighted graph for the aggregation phases. Adjacency as
+/// hash maps (aggregated graphs are small and irregular).
+struct WeightedGraph {
+  // adjacency[v][u] = total weight between v and u (u != v);
+  // self_loops[v] = total internal weight (counted once).
+  std::vector<std::unordered_map<uint32_t, double>> adjacency;
+  std::vector<double> self_loops;
+
+  uint32_t NumNodes() const {
+    return static_cast<uint32_t>(adjacency.size());
+  }
+};
+
+WeightedGraph FromGraph(const Graph& g, const std::vector<double>& weights) {
+  WeightedGraph wg;
+  wg.adjacency.resize(g.NumNodes());
+  wg.self_loops.assign(g.NumNodes(), 0.0);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto& [u, v] = g.Endpoints(e);
+    const double w = weights.empty() ? 1.0 : weights[e];
+    wg.adjacency[u][v] += w;
+    wg.adjacency[v][u] += w;
+  }
+  return wg;
+}
+
+/// One complete Louvain level: local moving on `wg`, returns the node ->
+/// community labels and whether anything improved.
+bool LocalMoving(const WeightedGraph& wg, const LouvainParams& params,
+                 Rng& rng, std::vector<uint32_t>* labels) {
+  const uint32_t n = wg.NumNodes();
+  labels->resize(n);
+  std::iota(labels->begin(), labels->end(), 0);
+
+  // Node strengths and community aggregates.
+  std::vector<double> strength(n, 0.0);
+  double total = 0.0;  // sum of all edge weights (2W counts both directions)
+  for (uint32_t v = 0; v < n; ++v) {
+    double s = 2.0 * wg.self_loops[v];
+    for (const auto& [u, w] : wg.adjacency[v]) s += w;
+    strength[v] = s;
+    total += s;
+  }
+  if (total <= 0.0) return false;
+  std::vector<double> community_strength = strength;
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  bool improved_any = false;
+  std::unordered_map<uint32_t, double> links_to;  // community -> weight
+  for (uint32_t sweep = 0; sweep < params.max_sweeps; ++sweep) {
+    uint32_t moves = 0;
+    for (uint32_t v : order) {
+      const uint32_t old_comm = (*labels)[v];
+      links_to.clear();
+      links_to[old_comm] += 0.0;
+      for (const auto& [u, w] : wg.adjacency[v]) {
+        links_to[(*labels)[u]] += w;
+      }
+      community_strength[old_comm] -= strength[v];
+      // Gain of joining community c: links_to[c] - strength(v)*Sigma_c/total.
+      double best_gain = links_to[old_comm] -
+                         strength[v] * community_strength[old_comm] / total;
+      uint32_t best_comm = old_comm;
+      for (const auto& [c, w] : links_to) {
+        if (c == old_comm) continue;
+        const double gain =
+            w - strength[v] * community_strength[c] / total;
+        if (gain > best_gain + params.min_gain) {
+          best_gain = gain;
+          best_comm = c;
+        }
+      }
+      community_strength[best_comm] += strength[v];
+      if (best_comm != old_comm) {
+        (*labels)[v] = best_comm;
+        ++moves;
+        improved_any = true;
+      }
+    }
+    if (moves == 0) break;
+  }
+  return improved_any;
+}
+
+/// Aggregates `wg` by `labels` (labels need not be dense; densified here).
+WeightedGraph Aggregate(const WeightedGraph& wg,
+                        std::vector<uint32_t>* labels) {
+  std::unordered_map<uint32_t, uint32_t> remap;
+  for (uint32_t& l : *labels) {
+    auto [it, inserted] =
+        remap.emplace(l, static_cast<uint32_t>(remap.size()));
+    (void)inserted;
+    l = it->second;
+  }
+  WeightedGraph out;
+  out.adjacency.resize(remap.size());
+  out.self_loops.assign(remap.size(), 0.0);
+  for (uint32_t v = 0; v < wg.NumNodes(); ++v) {
+    const uint32_t cv = (*labels)[v];
+    out.self_loops[cv] += wg.self_loops[v];
+    for (const auto& [u, w] : wg.adjacency[v]) {
+      if (u < v) continue;  // count each undirected pair once
+      const uint32_t cu = (*labels)[u];
+      if (cu == cv) {
+        out.self_loops[cv] += w;
+      } else {
+        out.adjacency[cv][cu] += w;
+        out.adjacency[cu][cv] += w;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Clustering Louvain(const Graph& g, const std::vector<double>& edge_weights,
+                   const LouvainParams& params) {
+  Rng rng(params.seed);
+  WeightedGraph wg = FromGraph(g, edge_weights);
+
+  // node -> current top-level community, refined across passes.
+  std::vector<uint32_t> final_labels(g.NumNodes());
+  std::iota(final_labels.begin(), final_labels.end(), 0);
+
+  for (uint32_t pass = 0; pass < params.max_passes; ++pass) {
+    std::vector<uint32_t> level_labels;
+    const bool improved = LocalMoving(wg, params, rng, &level_labels);
+    if (!improved) break;
+    WeightedGraph aggregated = Aggregate(wg, &level_labels);
+    for (uint32_t& l : final_labels) l = level_labels[l];
+    if (aggregated.NumNodes() == wg.NumNodes()) break;
+    wg = std::move(aggregated);
+  }
+  return Clustering::FromLabels(std::move(final_labels));
+}
+
+}  // namespace anc

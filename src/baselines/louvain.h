@@ -1,0 +1,28 @@
+#ifndef ANC_BASELINES_LOUVAIN_H_
+#define ANC_BASELINES_LOUVAIN_H_
+
+#include <vector>
+
+#include "graph/clustering_types.h"
+#include "graph/graph.h"
+
+namespace anc {
+
+/// Parameters of the Louvain method (Blondel et al. 2008).
+struct LouvainParams {
+  uint32_t max_passes = 20;   ///< outer (aggregate) passes
+  uint32_t max_sweeps = 50;   ///< node-moving sweeps per pass
+  double min_gain = 1e-7;     ///< stop when a sweep gains less modularity
+  uint64_t seed = 1;          ///< node-visit shuffling
+};
+
+/// Louvain modularity maximization on a (optionally weighted) graph: greedy
+/// local moving followed by community aggregation, repeated until
+/// modularity stops improving. The paper's LOUV offline baseline; also the
+/// initializer of the DYNA incremental baseline. O(m) per sweep.
+Clustering Louvain(const Graph& g, const std::vector<double>& edge_weights,
+                   const LouvainParams& params = {});
+
+}  // namespace anc
+
+#endif  // ANC_BASELINES_LOUVAIN_H_

@@ -1,0 +1,72 @@
+#include "baselines/lwep.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace anc {
+
+LwepClusterer::LwepClusterer(const Graph& g, uint32_t top_k,
+                             uint32_t propagation_rounds, uint64_t seed)
+    : graph_(&g),
+      top_k_(top_k),
+      propagation_rounds_(propagation_rounds),
+      seed_(seed) {}
+
+Clustering LwepClusterer::Step(const std::vector<double>& weights) {
+  const Graph& g = *graph_;
+  const uint32_t n = g.NumNodes();
+
+  // Build the top-k summary: for every node the k heaviest incident edges.
+  std::vector<std::vector<std::pair<NodeId, double>>> summary(n);
+  std::vector<std::pair<double, NodeId>> incident;
+  for (NodeId v = 0; v < n; ++v) {
+    incident.clear();
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      incident.emplace_back(weights.empty() ? 1.0 : weights[nb.edge],
+                            nb.node);
+    }
+    const size_t keep = std::min<size_t>(top_k_, incident.size());
+    std::partial_sort(incident.begin(), incident.begin() + keep,
+                      incident.end(), std::greater<>());
+    summary[v].reserve(keep);
+    for (size_t i = 0; i < keep; ++i) {
+      summary[v].emplace_back(incident[i].second, incident[i].first);
+    }
+  }
+
+  // Weighted label propagation over the summary graph.
+  std::vector<uint32_t> labels(n);
+  std::iota(labels.begin(), labels.end(), 0);
+  Rng rng(seed_);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::unordered_map<uint32_t, double> tally;
+  for (uint32_t round = 0; round < propagation_rounds_; ++round) {
+    rng.Shuffle(order);
+    uint32_t changes = 0;
+    for (NodeId v : order) {
+      if (summary[v].empty()) continue;
+      tally.clear();
+      for (const auto& [u, w] : summary[v]) tally[labels[u]] += w;
+      uint32_t best = labels[v];
+      double best_mass = -1.0;
+      for (const auto& [l, mass] : tally) {
+        if (mass > best_mass || (mass == best_mass && l < best)) {
+          best_mass = mass;
+          best = l;
+        }
+      }
+      if (best != labels[v]) {
+        labels[v] = best;
+        ++changes;
+      }
+    }
+    if (changes == 0) break;
+  }
+  return Clustering::FromLabels(std::move(labels));
+}
+
+}  // namespace anc

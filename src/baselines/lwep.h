@@ -1,0 +1,36 @@
+#ifndef ANC_BASELINES_LWEP_H_
+#define ANC_BASELINES_LWEP_H_
+
+#include <vector>
+
+#include "graph/clustering_types.h"
+#include "graph/graph.h"
+
+namespace anc {
+
+/// LWEP: the dynamic weighted-graph-stream community method of Lai, Wang &
+/// Yu (SDM 2013) at comparison fidelity (DESIGN.md substitution #3). Each
+/// node keeps only its top-k closest (largest-weight) neighbors; clusters
+/// are recomputed per timestamp by label propagation over the summary
+/// graph. Under time decay every weight changes every step, so the summary
+/// must be rebuilt from all m edges per step — the full-refresh cost the
+/// paper's Table IV / Fig. 10 measure against ANC.
+class LwepClusterer {
+ public:
+  explicit LwepClusterer(const Graph& g, uint32_t top_k = 5,
+                         uint32_t propagation_rounds = 10, uint64_t seed = 3);
+
+  /// Per-timestamp step: rebuilds the top-k summary from the full weight
+  /// array and re-clusters it. O(m + n k log k + rounds * n k).
+  Clustering Step(const std::vector<double>& weights);
+
+ private:
+  const Graph* graph_;
+  uint32_t top_k_;
+  uint32_t propagation_rounds_;
+  uint64_t seed_;
+};
+
+}  // namespace anc
+
+#endif  // ANC_BASELINES_LWEP_H_

@@ -1,0 +1,110 @@
+#include "baselines/pll.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/indexed_heap.h"
+
+namespace anc {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+PrunedLandmarkLabeling::PrunedLandmarkLabeling(
+    const Graph& g, const std::vector<double>& weights) {
+  const uint32_t n = g.NumNodes();
+  labels_.resize(n);
+
+  // Landmark order: decreasing degree (ties by id) — the classic heuristic
+  // that makes hub labels small on small-world graphs.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&g](NodeId a, NodeId b) {
+    const uint32_t da = g.Degree(a);
+    const uint32_t db = g.Degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  std::vector<double> dist(n, kInf);
+  IndexedMinHeap queue(n);
+  std::vector<NodeId> touched;
+
+  // Scratch for O(1) landmark-label lookup during pruning: distances from
+  // the current landmark's label entries, indexed by landmark rank.
+  std::vector<double> landmark_label(n, kInf);
+
+  for (uint32_t rank = 0; rank < n; ++rank) {
+    const NodeId landmark = order[rank];
+    // Load the landmark's existing labels for the pruning test.
+    for (const auto& [r, d] : labels_[landmark]) landmark_label[r] = d;
+
+    touched.clear();
+    dist[landmark] = 0.0;
+    queue.PushOrUpdate(landmark, 0.0);
+    touched.push_back(landmark);
+    while (!queue.empty()) {
+      auto [u, du] = queue.PopMin();
+      // Pruning: if some earlier landmark already certifies a path of
+      // length <= du between `landmark` and `u`, u's subtree is covered.
+      double via_labels = kInf;
+      for (const auto& [r, d] : labels_[u]) {
+        if (landmark_label[r] != kInf) {
+          via_labels = std::min(via_labels, landmark_label[r] + d);
+        }
+      }
+      if (via_labels <= du) continue;
+      labels_[u].emplace_back(rank, du);
+      for (const Neighbor& nb : g.Neighbors(u)) {
+        const double cand = du + weights[nb.edge];
+        if (cand < dist[nb.node]) {
+          if (dist[nb.node] == kInf) touched.push_back(nb.node);
+          dist[nb.node] = cand;
+          queue.PushOrUpdate(nb.node, cand);
+        }
+      }
+    }
+    for (NodeId v : touched) dist[v] = kInf;
+    for (const auto& [r, d] : labels_[landmark]) landmark_label[r] = kInf;
+    queue.Clear();
+  }
+}
+
+double PrunedLandmarkLabeling::Query(NodeId u, NodeId v) const {
+  if (u == v) return 0.0;
+  const auto& lu = labels_[u];
+  const auto& lv = labels_[v];
+  double best = kInf;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < lu.size() && j < lv.size()) {
+    if (lu[i].first < lv[j].first) {
+      ++i;
+    } else if (lu[i].first > lv[j].first) {
+      ++j;
+    } else {
+      best = std::min(best, lu[i].second + lv[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+size_t PrunedLandmarkLabeling::TotalLabelEntries() const {
+  size_t total = 0;
+  for (const auto& label : labels_) total += label.size();
+  return total;
+}
+
+size_t PrunedLandmarkLabeling::MemoryBytes() const {
+  size_t bytes = labels_.capacity() * sizeof(labels_[0]);
+  for (const auto& label : labels_) {
+    bytes += label.capacity() * sizeof(std::pair<uint32_t, double>);
+  }
+  return bytes;
+}
+
+}  // namespace anc

@@ -1,0 +1,106 @@
+#include "baselines/scan.h"
+
+#include <cmath>
+#include <deque>
+
+namespace anc {
+
+namespace {
+
+/// Structural similarity of the endpoints of an edge. Unweighted:
+/// |G(u) cap G(v)| / sqrt(|G(u)||G(v)|). Weighted: cosine over the closed
+/// neighborhood weight vectors with self-weight 1.
+double StructuralSimilarity(const Graph& g, NodeId u, NodeId v,
+                            const std::vector<double>& w) {
+  auto nu = g.Neighbors(u);
+  auto nv = g.Neighbors(v);
+  if (w.empty()) {
+    // Closed neighborhoods share u and v themselves (u in G(v), v in G(u)),
+    // contributing 2 on top of the open common neighbors.
+    uint32_t common = 2;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i].node < nv[j].node) {
+        ++i;
+      } else if (nu[i].node > nv[j].node) {
+        ++j;
+      } else {
+        ++common;
+        ++i;
+        ++j;
+      }
+    }
+    return common /
+           std::sqrt(static_cast<double>(nu.size() + 1) * (nv.size() + 1));
+  }
+  // Weighted cosine. dot = w(u,v)*1 (v's self) + 1*w(v,u) (u's self) +
+  // sum over common x of w(u,x) w(v,x).
+  double dot = 0.0;
+  double norm_u = 1.0;  // self-weight
+  double norm_v = 1.0;
+  for (const Neighbor& nb : nu) norm_u += w[nb.edge] * w[nb.edge];
+  for (const Neighbor& nb : nv) norm_v += w[nb.edge] * w[nb.edge];
+  size_t i = 0;
+  size_t j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i].node < nv[j].node) {
+      ++i;
+    } else if (nu[i].node > nv[j].node) {
+      ++j;
+    } else {
+      dot += w[nu[i].edge] * w[nv[j].edge];
+      ++i;
+      ++j;
+    }
+  }
+  auto edge = g.FindEdge(u, v);
+  if (edge.has_value()) dot += 2.0 * w[*edge];  // both self terms
+  return dot / std::sqrt(norm_u * norm_v);
+}
+
+}  // namespace
+
+Clustering Scan(const Graph& g, const ScanParams& params,
+                const std::vector<double>& edge_weights) {
+  const uint32_t n = g.NumNodes();
+
+  // Similarity per edge, then eps-neighborhood sizes (self counts once).
+  std::vector<double> sim(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto& [u, v] = g.Endpoints(e);
+    sim[e] = StructuralSimilarity(g, u, v, edge_weights);
+  }
+  std::vector<uint32_t> eps_size(n, 1);  // self is always eps-similar
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (sim[e] >= params.epsilon) {
+      const auto& [u, v] = g.Endpoints(e);
+      ++eps_size[u];
+      ++eps_size[v];
+    }
+  }
+
+  Clustering out;
+  out.labels.assign(n, kNoise);
+  std::deque<NodeId> queue;
+  for (NodeId seed = 0; seed < n; ++seed) {
+    if (eps_size[seed] < params.mu || out.labels[seed] != kNoise) continue;
+    const uint32_t cluster = out.num_clusters++;
+    out.labels[seed] = cluster;
+    queue.push_back(seed);
+    while (!queue.empty()) {
+      NodeId x = queue.front();
+      queue.pop_front();
+      if (eps_size[x] < params.mu) continue;  // border: absorbed, no growth
+      for (const Neighbor& nb : g.Neighbors(x)) {
+        if (sim[nb.edge] < params.epsilon) continue;
+        if (out.labels[nb.node] != kNoise) continue;
+        out.labels[nb.node] = cluster;
+        queue.push_back(nb.node);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace anc

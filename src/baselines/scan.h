@@ -1,0 +1,31 @@
+#ifndef ANC_BASELINES_SCAN_H_
+#define ANC_BASELINES_SCAN_H_
+
+#include <vector>
+
+#include "graph/clustering_types.h"
+#include "graph/graph.h"
+
+namespace anc {
+
+/// Parameters of SCAN (Xu et al., KDD 2007).
+struct ScanParams {
+  double epsilon = 0.5;  ///< structural-similarity threshold
+  uint32_t mu = 3;       ///< minimum eps-neighborhood size for a core
+};
+
+/// SCAN: Structural Clustering Algorithm for Networks. Cores are nodes with
+/// at least mu neighbors (self included) of structural similarity
+///   sigma(u, v) = |G(u) cap G(v)| / sqrt(|G(u)| |G(v)|)   (G(x) = N(x)+x)
+/// >= epsilon; clusters grow from cores through eps-reachability; hubs and
+/// outliers are reported as noise (kNoise). O(m) expected.
+///
+/// When `edge_weights` is non-empty the weighted (cosine) structural
+/// similarity is used, with implicit self-weight 1 — this is the form the
+/// paper's activation-network comparison needs (snapshot edge weights).
+Clustering Scan(const Graph& g, const ScanParams& params,
+                const std::vector<double>& edge_weights = {});
+
+}  // namespace anc
+
+#endif  // ANC_BASELINES_SCAN_H_

@@ -1,0 +1,181 @@
+#include "core/anc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anc {
+
+namespace {
+
+std::vector<double> AllWeights(const SimilarityEngine& engine) {
+  std::vector<double> weights(engine.graph().NumEdges());
+  for (EdgeId e = 0; e < weights.size(); ++e) weights[e] = engine.Weight(e);
+  return weights;
+}
+
+}  // namespace
+
+Status AncConfig::Validate() const {
+  if (similarity.lambda < 0.0 || !std::isfinite(similarity.lambda)) {
+    return Status::InvalidArgument("lambda must be finite and >= 0");
+  }
+  if (similarity.epsilon < 0.0 || similarity.epsilon > 1.0) {
+    return Status::InvalidArgument("epsilon must be in [0, 1]");
+  }
+  if (similarity.mu < 1) {
+    return Status::InvalidArgument("mu must be >= 1");
+  }
+  if (similarity.min_similarity <= 0.0 ||
+      similarity.min_similarity >= similarity.max_similarity) {
+    return Status::InvalidArgument(
+        "similarity clamp must satisfy 0 < min < max");
+  }
+  if (similarity.initial_activeness < 0.0) {
+    return Status::InvalidArgument("initial activeness must be >= 0");
+  }
+  if (pyramid.num_pyramids < 1) {
+    return Status::InvalidArgument("need at least one pyramid");
+  }
+  if (pyramid.theta <= 0.0 || pyramid.theta > 1.0) {
+    return Status::InvalidArgument("theta must be in (0, 1]");
+  }
+  if (mode == AncMode::kOnlineReinforce && reinforce_interval == 0) {
+    return Status::InvalidArgument("reinforce_interval must be positive");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<AncIndex>> AncIndex::Create(const Graph& graph,
+                                                   AncConfig config) {
+  ANC_RETURN_NOT_OK(config.Validate());
+  if (graph.NumNodes() == 0) {
+    return Status::InvalidArgument("graph has no nodes");
+  }
+  return std::make_unique<AncIndex>(graph, config);
+}
+
+AncIndex::AncIndex(const Graph& graph, AncConfig config)
+    : graph_(&graph), config_(config), engine_(graph, config.similarity) {
+  ANC_CHECK(config_.Validate().ok(), "invalid AncConfig (use Create)");
+  engine_.InitializeStatic(config_.rep);
+  index_ = std::make_unique<PyramidIndex>(graph, AllWeights(engine_),
+                                          config_.pyramid);
+  HookRescale();
+}
+
+AncIndex::AncIndex(const Graph& graph, AncConfig config, RestoreTag)
+    : graph_(&graph), config_(config), engine_(graph, config.similarity) {}
+
+void AncIndex::HookRescale() {
+  // A batched rescale multiplies every similarity by g; the NegM distance
+  // weights all scale by 1/g, which preserves shortest-path structure
+  // (Lemma 10) — the index just rescales its stored weights and distances.
+  // Edges pinned by the similarity clamp broke the uniform scale and get
+  // exact individual repairs.
+  engine_.SetRescaleCallback(
+      [this](double factor, const std::vector<EdgeId>& clamped) {
+        if (index_ == nullptr) return;  // construction order guard
+        index_->ScaleAll(1.0 / factor);
+        for (EdgeId e : clamped) {
+          total_touched_ += index_->UpdateEdgeWeight(e, engine_.Weight(e));
+        }
+      });
+}
+
+std::unique_ptr<AncIndex> AncIndex::FromSnapshot(
+    const Graph& graph, AncConfig config,
+    const SimilarityEngine::Snapshot& snapshot,
+    std::vector<VoronoiPartition::TreeState> trees) {
+  std::unique_ptr<AncIndex> out(new AncIndex(graph, config, RestoreTag{}));
+  if (!out->engine_.Restore(snapshot).ok()) return nullptr;
+  out->index_ = PyramidIndex::FromTreeStates(
+      graph, AllWeights(out->engine_), config.pyramid, std::move(trees));
+  if (out->index_ == nullptr) return nullptr;
+  out->HookRescale();
+  return out;
+}
+
+Status AncIndex::Apply(const Activation& activation) {
+  if (config_.mode == AncMode::kOffline) {
+    // ANCF keeps only the activeness fresh; S and P are snapshot-derived.
+    double delta = 0.0;
+    // The engine's activeness and sigma caches stay consistent so the next
+    // RecomputeSnapshot() reinforces against the true activeness.
+    return engine_.ApplyActivationNoReinforce(activation.edge, activation.time,
+                                              &delta);
+  }
+  MaybeRunPeriodicReinforce(activation.time);
+  double new_weight = 0.0;
+  ANC_RETURN_NOT_OK(
+      engine_.ApplyActivation(activation.edge, activation.time, &new_weight));
+  total_touched_ += index_->UpdateEdgeWeight(activation.edge, new_weight);
+  if (config_.mode == AncMode::kOnlineReinforce) {
+    interval_edges_.insert(activation.edge);
+  }
+  return Status::OK();
+}
+
+Status AncIndex::ApplyStream(const ActivationStream& stream) {
+  for (const Activation& a : stream) {
+    ANC_RETURN_NOT_OK(Apply(a));
+  }
+  return Status::OK();
+}
+
+void AncIndex::MaybeRunPeriodicReinforce(double now) {
+  if (config_.mode != AncMode::kOnlineReinforce) return;
+  if (now - last_reinforce_time_ < config_.reinforce_interval) return;
+  last_reinforce_time_ = now;
+  // One extra consolidation pass over the interval's activated edges, with
+  // incremental index repairs (the quality/time trade-off of ANCOR).
+  // Sorted order keeps the pass deterministic (and serialization-stable).
+  std::vector<EdgeId> edges(interval_edges_.begin(), interval_edges_.end());
+  std::sort(edges.begin(), edges.end());
+  for (EdgeId e : edges) {
+    engine_.ReinforceEdge(e);
+    total_touched_ += index_->UpdateEdgeWeight(e, engine_.Weight(e));
+  }
+  interval_edges_.clear();
+}
+
+std::vector<EdgeId> AncIndex::PendingReinforceEdges() const {
+  std::vector<EdgeId> edges(interval_edges_.begin(), interval_edges_.end());
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+void AncIndex::RestoreReinforceState(double last_time,
+                                     std::vector<EdgeId> edges) {
+  last_reinforce_time_ = last_time;
+  interval_edges_.clear();
+  interval_edges_.insert(edges.begin(), edges.end());
+}
+
+void AncIndex::RecomputeSnapshot() {
+  engine_.RecomputeFromActiveness(config_.rep);
+  index_->Reconstruct(AllWeights(engine_));
+}
+
+Clustering AncIndex::Clusters(uint32_t level, bool power) const {
+  return power ? PowerClustering(*index_, level)
+               : EvenClustering(*index_, level);
+}
+
+std::vector<NodeId> AncIndex::SmallestCluster(NodeId query, uint32_t min_size,
+                                              uint32_t* level_out) const {
+  std::vector<NodeId> members;
+  const uint32_t level =
+      SmallestClusterLevel(*index_, query, min_size, &members);
+  if (level_out != nullptr) *level_out = level;
+  return members;
+}
+
+size_t AncIndex::MemoryBytes() const {
+  // Similarity layer: activeness + node sums + numerators + similarities.
+  const size_t m = graph_->NumEdges();
+  const size_t n = graph_->NumNodes();
+  const size_t engine_bytes = m * sizeof(double) * 3 + n * sizeof(double);
+  return index_->MemoryBytes() + engine_bytes;
+}
+
+}  // namespace anc

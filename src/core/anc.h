@@ -1,0 +1,163 @@
+#ifndef ANC_CORE_ANC_H_
+#define ANC_CORE_ANC_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "activation/activeness.h"
+#include "graph/clustering_types.h"
+#include "graph/graph.h"
+#include "pyramid/clustering.h"
+#include "pyramid/pyramid_index.h"
+#include "similarity/similarity_engine.h"
+
+namespace anc {
+
+/// The three method variants evaluated in Section VI.
+enum class AncMode {
+  /// ANCF: offline. Activations only update the activeness; each snapshot
+  /// query recomputes S from the current activeness with `rep`
+  /// reinforcement sweeps and reconstructs the index.
+  kOffline,
+  /// ANCO: online. Each activation updates activeness + sigma caches,
+  /// applies local reinforcement with the trigger edge, and repairs the
+  /// index incrementally (Algorithms 1-3). No further reinforcement.
+  kOnline,
+  /// ANCOR: ANCO plus, every `reinforce_interval` timestamps, one extra
+  /// local-reinforcement pass over the edges activated in the interval
+  /// (with incremental index repairs). Trades update time for quality
+  /// (Section VI-A's quality/frequency trade-off).
+  kOnlineReinforce,
+};
+
+/// Full configuration of an ANC index (Table II parameters and Section V
+/// knobs).
+struct AncConfig {
+  SimilarityParams similarity;
+  PyramidParams pyramid;
+  AncMode mode = AncMode::kOnline;
+  uint32_t rep = 7;                 ///< reinforcement sweeps for S0 / ANCF
+  uint32_t reinforce_interval = 5;  ///< ANCOR timestamp interval
+
+  /// Checks every knob's domain (lambda >= 0, epsilon in [0, 1], mu >= 1,
+  /// theta in (0, 1], k >= 1, a positive similarity clamp window, positive
+  /// ANCOR interval). Returns the first violation found.
+  Status Validate() const;
+};
+
+/// The public facade: an activation-network clustering index over a fixed
+/// relation graph.
+///
+/// Lifecycle: construct (builds S_0 with `rep` reinforcement sweeps and the
+/// pyramid index P), feed activations with Apply/ApplyStream, query with
+/// Clusters / LocalCluster / Zoom at any granularity level in
+/// [1, num_levels()]. In ANCF mode call RecomputeSnapshot() before querying
+/// a new snapshot.
+class AncIndex {
+ public:
+  /// Validating factory: rejects malformed configurations and degenerate
+  /// graphs (no nodes) with a Status instead of aborting. The `graph` must
+  /// outlive the index.
+  static Result<std::unique_ptr<AncIndex>> Create(const Graph& graph,
+                                                  AncConfig config);
+
+  /// Direct constructor for known-good configurations; aborts via
+  /// ANC_CHECK on invalid ones (prefer Create for untrusted input).
+  AncIndex(const Graph& graph, AncConfig config);
+
+  AncIndex(const AncIndex&) = delete;
+  AncIndex& operator=(const AncIndex&) = delete;
+
+  /// Serialization support: rebuilds an index from a saved similarity
+  /// snapshot and exported partition trees, skipping S0 initialization
+  /// (used by LoadIndex; see core/serialization.h). Exact — including
+  /// equal-distance tie-breaks. Returns null on mismatched state.
+  static std::unique_ptr<AncIndex> FromSnapshot(
+      const Graph& graph, AncConfig config,
+      const SimilarityEngine::Snapshot& snapshot,
+      std::vector<VoronoiPartition::TreeState> trees);
+
+  const Graph& graph() const { return *graph_; }
+  const AncConfig& config() const { return config_; }
+  const SimilarityEngine& engine() const { return engine_; }
+  const PyramidIndex& index() const { return *index_; }
+  uint32_t num_levels() const { return index_->num_levels(); }
+  uint32_t DefaultLevel() const { return index_->DefaultLevel(); }
+
+  /// Feeds one activation. Cost per mode:
+  ///  - kOffline: O(deg u + deg v) similarity bookkeeping only.
+  ///  - kOnline / kOnlineReinforce: + one bounded index repair per level
+  ///    per pyramid (Lemma 12), plus the periodic ANCOR pass.
+  Status Apply(const Activation& activation);
+
+  /// Feeds a whole stream in order.
+  Status ApplyStream(const ActivationStream& stream);
+
+  /// ANCF snapshot recompute: re-derives S from the current activeness with
+  /// `rep` sweeps and rebuilds P. Valid in any mode (benchmarks use it as
+  /// the RECONSTRUCT comparator); required before querying in kOffline.
+  void RecomputeSnapshot();
+
+  /// All clusters at `level` (power clustering by default; Section V-B).
+  Clustering Clusters(uint32_t level, bool power = true) const;
+
+  /// All clusters at the Theta(sqrt n) default granularity (Problem 1.1).
+  Clustering Clusters() const { return Clusters(DefaultLevel()); }
+
+  /// Local cluster of `query` at `level` (Problem 1.2); cost proportional
+  /// to the answer's neighborhood (Lemma 9).
+  std::vector<NodeId> LocalCluster(NodeId query, uint32_t level) const {
+    return anc::LocalCluster(*index_, query, level);
+  }
+
+  /// The smallest (finest-level) cluster of `query` with >= min_size
+  /// members; *level_out receives the level when non-null.
+  std::vector<NodeId> SmallestCluster(NodeId query, uint32_t min_size = 2,
+                                      uint32_t* level_out = nullptr) const;
+
+  /// Interactive zoom-in/zoom-out cursor starting at the default level.
+  ZoomCursor Zoom() const { return ZoomCursor(*index_); }
+
+  /// Watched-node change reporting (Section V-C Remarks), forwarded to the
+  /// pyramid index: register nodes, then drain the cluster-membership vote
+  /// flips their incident edges experienced.
+  void Watch(NodeId v) { index_->Watch(v); }
+  void Unwatch(NodeId v) { index_->Unwatch(v); }
+  std::vector<PyramidIndex::VoteChange> DrainVoteChanges() {
+    return index_->DrainVoteChanges();
+  }
+
+  /// Total nodes touched by index repairs so far (Lemma 12 accounting).
+  size_t total_touched_nodes() const { return total_touched_; }
+
+  /// ANCOR interval bookkeeping, exposed for serialization: the timestamp
+  /// of the last periodic pass and the edges activated since (sorted).
+  double last_reinforce_time() const { return last_reinforce_time_; }
+  std::vector<EdgeId> PendingReinforceEdges() const;
+  void RestoreReinforceState(double last_time, std::vector<EdgeId> edges);
+
+  /// Heap bytes of index + similarity state (graph excluded, as in Fig. 6).
+  size_t MemoryBytes() const;
+
+ private:
+  struct RestoreTag {};
+  AncIndex(const Graph& graph, AncConfig config, RestoreTag);
+
+  void HookRescale();
+  void MaybeRunPeriodicReinforce(double now);
+
+  const Graph* graph_;
+  AncConfig config_;
+  SimilarityEngine engine_;
+  std::unique_ptr<PyramidIndex> index_;
+  size_t total_touched_ = 0;
+  // ANCOR interval bookkeeping.
+  double last_reinforce_time_ = 0.0;
+  std::unordered_set<EdgeId> interval_edges_;
+};
+
+}  // namespace anc
+
+#endif  // ANC_CORE_ANC_H_

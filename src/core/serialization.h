@@ -1,0 +1,33 @@
+#ifndef ANC_CORE_SERIALIZATION_H_
+#define ANC_CORE_SERIALIZATION_H_
+
+#include <memory>
+#include <string>
+
+#include "core/anc.h"
+#include "util/status.h"
+
+namespace anc {
+
+/// Persists an AncIndex (graph topology, configuration, anchored
+/// similarity/activeness state, pyramid seed sets) to a binary file. The
+/// Voronoi partitions themselves are not stored — they are a deterministic
+/// function of (weights, seeds) and are rebuilt on load, keeping the format
+/// small and robust against layout changes.
+Status SaveIndex(const AncIndex& index, const std::string& path);
+
+/// A loaded index together with the graph it references. The graph is heap
+/// allocated and pointer-stable, so the AncIndex's internal reference stays
+/// valid for the lifetime of this struct.
+struct LoadedIndex {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<AncIndex> index;
+};
+
+/// Loads an index saved with SaveIndex. Fails with IoError on unreadable
+/// or truncated files and InvalidArgument on format/version mismatches.
+Result<LoadedIndex> LoadIndex(const std::string& path);
+
+}  // namespace anc
+
+#endif  // ANC_CORE_SERIALIZATION_H_

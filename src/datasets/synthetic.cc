@@ -1,0 +1,351 @@
+#include "datasets/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace anc {
+
+GroundTruthGraph PlantedPartition(const PlantedPartitionParams& params,
+                                  Rng& rng) {
+  ANC_CHECK(params.min_size >= 2 && params.max_size >= params.min_size,
+            "invalid community size range");
+  // Draw community sizes and assign node id ranges.
+  std::vector<uint32_t> community_of;
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;  // [begin, end) per comm
+  for (uint32_t c = 0; c < params.num_communities; ++c) {
+    const uint32_t size =
+        params.min_size +
+        static_cast<uint32_t>(rng.Uniform(params.max_size - params.min_size + 1));
+    const uint32_t begin = static_cast<uint32_t>(community_of.size());
+    for (uint32_t i = 0; i < size; ++i) community_of.push_back(c);
+    ranges.emplace_back(begin, begin + size);
+  }
+  const uint32_t n = static_cast<uint32_t>(community_of.size());
+
+  GraphBuilder builder;
+  builder.SetNumNodes(n);
+  // Intra-community edges: explicit Bernoulli over each pair.
+  for (const auto& [begin, end] : ranges) {
+    for (uint32_t u = begin; u < end; ++u) {
+      for (uint32_t v = u + 1; v < end; ++v) {
+        if (rng.Bernoulli(params.p_in)) {
+          ANC_CHECK(builder.AddEdge(u, v).ok(), "AddEdge");
+        }
+      }
+    }
+  }
+  // Inter-community edges: sample enough uniform cross pairs that they are
+  // a `mixing` fraction of all edges (duplicates collapse in the builder);
+  // avoids the O(n^2) cross scan and keeps the mixing scale-invariant.
+  ANC_CHECK(params.mixing >= 0.0 && params.mixing < 1.0, "mixing in [0,1)");
+  const uint64_t intra_edges = builder.num_pending_edges();
+  const uint64_t want = static_cast<uint64_t>(
+      params.mixing / (1.0 - params.mixing) * static_cast<double>(intra_edges));
+  uint64_t added = 0;
+  uint64_t attempts = 0;
+  while (added < want && attempts < want * 20 + 100) {
+    ++attempts;
+    const uint32_t u = static_cast<uint32_t>(rng.Uniform(n));
+    const uint32_t v = static_cast<uint32_t>(rng.Uniform(n));
+    if (u == v || community_of[u] == community_of[v]) continue;
+    ANC_CHECK(builder.AddEdge(u, v).ok(), "AddEdge");
+    ++added;
+  }
+
+  GroundTruthGraph out;
+  out.graph = builder.Build();
+  out.truth.labels = std::move(community_of);
+  out.truth.num_clusters = params.num_communities;
+  return out;
+}
+
+Graph BarabasiAlbert(uint32_t num_nodes, uint32_t edges_per_node, Rng& rng) {
+  ANC_CHECK(num_nodes > edges_per_node && edges_per_node >= 1,
+            "need num_nodes > edges_per_node >= 1");
+  GraphBuilder builder;
+  builder.SetNumNodes(num_nodes);
+  // `targets` holds one entry per edge endpoint: sampling uniformly from it
+  // realizes preferential attachment.
+  std::vector<NodeId> endpoint_pool;
+  endpoint_pool.reserve(2ull * num_nodes * edges_per_node);
+  // Seed clique over the first edges_per_node + 1 nodes.
+  const uint32_t seed_nodes = edges_per_node + 1;
+  for (uint32_t u = 0; u < seed_nodes; ++u) {
+    for (uint32_t v = u + 1; v < seed_nodes; ++v) {
+      ANC_CHECK(builder.AddEdge(u, v).ok(), "AddEdge");
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  std::vector<NodeId> chosen;
+  for (uint32_t v = seed_nodes; v < num_nodes; ++v) {
+    chosen.clear();
+    uint32_t guard = 0;
+    while (chosen.size() < edges_per_node && guard < 100 * edges_per_node) {
+      ++guard;
+      const NodeId target =
+          endpoint_pool[rng.Uniform(endpoint_pool.size())];
+      if (std::find(chosen.begin(), chosen.end(), target) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(target);
+    }
+    for (NodeId target : chosen) {
+      ANC_CHECK(builder.AddEdge(v, target).ok(), "AddEdge");
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(target);
+    }
+  }
+  return builder.Build();
+}
+
+namespace {
+
+/// Samples an integer from a truncated power law P(x) ~ x^-tau on
+/// [lo, hi] via inverse-CDF on the continuous relaxation.
+uint32_t PowerLawSample(double tau, uint32_t lo, uint32_t hi, Rng& rng) {
+  ANC_CHECK(lo >= 1 && hi >= lo, "bad power-law range");
+  if (lo == hi) return lo;
+  const double one_minus = 1.0 - tau;
+  const double u = rng.NextDouble();
+  double x;
+  if (std::abs(one_minus) < 1e-9) {
+    x = lo * std::pow(static_cast<double>(hi) / lo, u);
+  } else {
+    const double a = std::pow(static_cast<double>(lo), one_minus);
+    const double b = std::pow(static_cast<double>(hi), one_minus);
+    x = std::pow(a + u * (b - a), 1.0 / one_minus);
+  }
+  return std::min(hi, std::max(lo, static_cast<uint32_t>(x + 0.5)));
+}
+
+/// Configuration-model wiring of `stubs` (node ids, one entry per stub):
+/// shuffle and pair, rejecting self-loops and (via the builder) duplicate
+/// edges. `forbid_same_community` rejects intra-community pairs (used for
+/// the inter-community pass).
+void WireStubs(std::vector<NodeId>& stubs, GraphBuilder& builder,
+               const std::vector<uint32_t>* community, Rng& rng) {
+  rng.Shuffle(stubs);
+  // Pair consecutive stubs with limited rematch attempts for rejects.
+  size_t write = 0;
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    NodeId u = stubs[i];
+    NodeId v = stubs[i + 1];
+    bool ok = u != v &&
+              (community == nullptr || (*community)[u] != (*community)[v]);
+    if (!ok) {
+      // Try swapping v with a random later stub a few times.
+      for (int attempt = 0; attempt < 8 && !ok; ++attempt) {
+        const size_t j =
+            i + 2 + rng.Uniform(std::max<size_t>(1, stubs.size() - i - 2));
+        if (j >= stubs.size()) break;
+        std::swap(stubs[i + 1], stubs[j]);
+        v = stubs[i + 1];
+        ok = u != v &&
+             (community == nullptr || (*community)[u] != (*community)[v]);
+      }
+    }
+    if (ok) {
+      ANC_CHECK(builder.AddEdge(u, v).ok(), "AddEdge");
+      ++write;
+    }
+  }
+  (void)write;
+}
+
+}  // namespace
+
+GroundTruthGraph LfrGraph(const LfrParams& params, Rng& rng) {
+  const uint32_t n = params.num_nodes;
+  ANC_CHECK(params.mu >= 0.0 && params.mu < 1.0, "mu in [0,1)");
+  ANC_CHECK(params.min_degree >= 1 && params.max_degree >= params.min_degree,
+            "bad degree range");
+  ANC_CHECK(params.min_community >= 3 &&
+                params.max_community >= params.min_community,
+            "bad community-size range");
+
+  // 1. Degree sequence (power law tau1).
+  std::vector<uint32_t> degree(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    degree[v] =
+        PowerLawSample(params.tau1, params.min_degree, params.max_degree, rng);
+  }
+
+  // 2. Community sizes (power law tau2) covering all nodes.
+  std::vector<uint32_t> community_size;
+  uint32_t covered = 0;
+  while (covered < n) {
+    uint32_t size = PowerLawSample(params.tau2, params.min_community,
+                                   params.max_community, rng);
+    size = std::min(size, n - covered);
+    // A trailing remainder smaller than min_community merges into the
+    // previous community.
+    if (size < params.min_community && !community_size.empty()) {
+      community_size.back() += size;
+    } else {
+      community_size.push_back(size);
+    }
+    covered += size;
+  }
+  const uint32_t num_communities =
+      static_cast<uint32_t>(community_size.size());
+
+  // 3. Assign nodes to communities with capacity; a node's intra-degree
+  // (1-mu)*deg must fit inside its community.
+  std::vector<uint32_t> community_of(n, kNoise);
+  std::vector<uint32_t> remaining = community_size;
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Hardest (highest-degree) nodes first so they land in big communities.
+  std::sort(order.begin(), order.end(), [&degree](NodeId a, NodeId b) {
+    return degree[a] > degree[b];
+  });
+  for (NodeId v : order) {
+    const double intra_need = (1.0 - params.mu) * degree[v];
+    // Pick among communities with room, preferring a random fitting one.
+    uint32_t chosen = kNoise;
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      const uint32_t c = static_cast<uint32_t>(rng.Uniform(num_communities));
+      if (remaining[c] == 0) continue;
+      if (intra_need <= community_size[c] - 1) {
+        chosen = c;
+        break;
+      }
+    }
+    if (chosen == kNoise) {
+      // Fallback: the largest community with room (clip the intra degree).
+      uint32_t best = kNoise;
+      for (uint32_t c = 0; c < num_communities; ++c) {
+        if (remaining[c] == 0) continue;
+        if (best == kNoise || community_size[c] > community_size[best]) {
+          best = c;
+        }
+      }
+      chosen = best;
+    }
+    ANC_CHECK(chosen != kNoise, "no community capacity left");
+    community_of[v] = chosen;
+    --remaining[chosen];
+  }
+
+  // 4. Split each node's stubs into intra and inter portions.
+  GraphBuilder builder;
+  builder.SetNumNodes(n);
+  std::vector<std::vector<NodeId>> intra_stubs(num_communities);
+  std::vector<NodeId> inter_stubs;
+  for (NodeId v = 0; v < n; ++v) {
+    const uint32_t c = community_of[v];
+    // Clip intra degree to what the community can host.
+    uint32_t intra = static_cast<uint32_t>(
+        std::min<double>((1.0 - params.mu) * degree[v] + 0.5,
+                         community_size[c] - 1));
+    const uint32_t inter = degree[v] - std::min(degree[v], intra);
+    for (uint32_t i = 0; i < intra; ++i) intra_stubs[c].push_back(v);
+    for (uint32_t i = 0; i < inter; ++i) inter_stubs.push_back(v);
+  }
+  for (uint32_t c = 0; c < num_communities; ++c) {
+    WireStubs(intra_stubs[c], builder, nullptr, rng);
+  }
+  WireStubs(inter_stubs, builder, &community_of, rng);
+
+  GroundTruthGraph out;
+  out.graph = builder.Build();
+  out.truth.labels = std::move(community_of);
+  out.truth.num_clusters = num_communities;
+  return out;
+}
+
+Graph ErdosRenyi(uint32_t num_nodes, uint32_t num_edges, Rng& rng) {
+  GraphBuilder builder;
+  builder.SetNumNodes(num_nodes);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  uint32_t added = 0;
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = 50ull * num_edges + 1000;
+  while (added < num_edges && attempts < max_attempts) {
+    ++attempts;
+    NodeId u = static_cast<NodeId>(rng.Uniform(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.Uniform(num_nodes));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert((static_cast<uint64_t>(u) << 32) | v).second) continue;
+    ANC_CHECK(builder.AddEdge(u, v).ok(), "AddEdge");
+    ++added;
+  }
+  return builder.Build();
+}
+
+Graph WattsStrogatz(uint32_t num_nodes, uint32_t k, double beta, Rng& rng) {
+  ANC_CHECK(k >= 2 && k % 2 == 0 && num_nodes > k,
+            "Watts-Strogatz needs even k with num_nodes > k");
+  GraphBuilder builder;
+  builder.SetNumNodes(num_nodes);
+  for (uint32_t v = 0; v < num_nodes; ++v) {
+    for (uint32_t j = 1; j <= k / 2; ++j) {
+      NodeId target = (v + j) % num_nodes;
+      if (rng.Bernoulli(beta)) {
+        // Rewire to a uniform random non-self target.
+        NodeId rewired = target;
+        for (int tries = 0; tries < 16; ++tries) {
+          rewired = static_cast<NodeId>(rng.Uniform(num_nodes));
+          if (rewired != v) break;
+        }
+        if (rewired != v) target = rewired;
+      }
+      if (target != v) {
+        ANC_CHECK(builder.AddEdge(v, target).ok(), "AddEdge");
+      }
+    }
+  }
+  return builder.Build();
+}
+
+std::vector<SyntheticDataset> QualitySuite(uint32_t scale, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SyntheticDataset> suite;
+  // Five shapes echoing CO / FB / CA / MI / LA: varying community counts,
+  // sizes and mixing.
+  struct Spec {
+    const char* name;
+    PlantedPartitionParams params;
+  };
+  // Mixing fractions span easy (0.08) to hard (0.30); MI-like is the dense
+  // high-mixing case, CA-like the crisp collaboration-network case, and
+  // LA-like has many small communities (the resolution-limit regime where
+  // the paper reports LOUV under-counting clusters).
+  const Spec specs[] = {
+      {"CO-like", {8 * scale, 12, 28, 0.35, 0.15}},
+      {"FB-like", {10 * scale, 20, 48, 0.30, 0.12}},
+      {"CA-like", {12 * scale, 10, 24, 0.40, 0.08}},
+      {"MI-like", {10 * scale, 24, 56, 0.25, 0.30}},
+      {"LA-like", {30 * scale, 6, 14, 0.55, 0.20}},
+  };
+  for (const Spec& spec : specs) {
+    GroundTruthGraph data = PlantedPartition(spec.params, rng);
+    suite.push_back(
+        {spec.name, std::move(data.graph), std::move(data.truth)});
+  }
+  return suite;
+}
+
+std::vector<SyntheticDataset> ScalingSuite(uint32_t num_sizes,
+                                           uint32_t base_nodes,
+                                           uint32_t edges_per_node,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SyntheticDataset> suite;
+  uint32_t n = base_nodes;
+  for (uint32_t i = 0; i < num_sizes; ++i) {
+    SyntheticDataset d;
+    d.name = "BA-n" + std::to_string(n);
+    d.graph = BarabasiAlbert(n, edges_per_node, rng);
+    suite.push_back(std::move(d));
+    n *= 2;
+  }
+  return suite;
+}
+
+}  // namespace anc

@@ -1,0 +1,91 @@
+#ifndef ANC_DATASETS_SYNTHETIC_H_
+#define ANC_DATASETS_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/clustering_types.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace anc {
+
+/// Planted-partition graph (LFR-lite): `num_communities` communities whose
+/// sizes are drawn uniformly from [min_size, max_size]; each intra-community
+/// pair is an edge with probability p_in. Inter-community edges are sampled
+/// uniformly so that they make up a `mixing` fraction of all edges (the LFR
+/// mu parameter) — scale-invariant, unlike a fixed cross-pair probability.
+/// Ground-truth labels are the planted communities.
+struct PlantedPartitionParams {
+  uint32_t num_communities = 16;
+  uint32_t min_size = 16;
+  uint32_t max_size = 48;
+  double p_in = 0.3;
+  double mixing = 0.15;
+};
+
+struct GroundTruthGraph {
+  Graph graph;
+  Clustering truth;
+};
+
+GroundTruthGraph PlantedPartition(const PlantedPartitionParams& params,
+                                  Rng& rng);
+
+/// Barabasi-Albert preferential attachment: each new node attaches to
+/// `edges_per_node` existing nodes chosen proportionally to degree.
+/// Produces the heavy-tailed social-network shape of the paper's large
+/// datasets.
+Graph BarabasiAlbert(uint32_t num_nodes, uint32_t edges_per_node, Rng& rng);
+
+/// LFR-style benchmark graph (Lancichinetti-Fortunato-Radicchi 2008):
+/// power-law degree sequence (exponent tau1), power-law community sizes
+/// (exponent tau2), and a target mixing fraction mu of inter-community
+/// edge endpoints. Wiring uses a community-wise + global configuration
+/// model with rejection of duplicates/self-loops, so realized mixing and
+/// degrees track the targets approximately. The standard hard benchmark
+/// for community detection; harder than PlantedPartition because hubs and
+/// tiny communities coexist.
+struct LfrParams {
+  uint32_t num_nodes = 500;
+  double tau1 = 2.5;       ///< degree exponent
+  double tau2 = 1.8;       ///< community-size exponent
+  uint32_t min_degree = 3;
+  uint32_t max_degree = 40;
+  uint32_t min_community = 12;
+  uint32_t max_community = 60;
+  double mu = 0.2;         ///< inter-community mixing fraction
+};
+
+GroundTruthGraph LfrGraph(const LfrParams& params, Rng& rng);
+
+/// G(n, m): exactly `num_edges` distinct uniform random edges.
+Graph ErdosRenyi(uint32_t num_nodes, uint32_t num_edges, Rng& rng);
+
+/// Watts-Strogatz ring lattice (k nearest neighbors each side = k/2) with
+/// rewiring probability beta. High clustering coefficient + short paths.
+Graph WattsStrogatz(uint32_t num_nodes, uint32_t k, double beta, Rng& rng);
+
+/// A named dataset used by the benchmark harnesses.
+struct SyntheticDataset {
+  std::string name;
+  Graph graph;
+  Clustering truth;  // empty labels when no ground truth exists
+};
+
+/// The quality-experiment suite: five community-structured graphs standing
+/// in for the paper's CO / FB / CA / MI / LA (Table I; see DESIGN.md
+/// substitution #1). `scale` multiplies the community count.
+std::vector<SyntheticDataset> QualitySuite(uint32_t scale, uint64_t seed);
+
+/// The scaling-experiment suite: BA graphs of geometrically increasing
+/// size, standing in for the paper's CA ... TW sweep in Figs. 5-8.
+std::vector<SyntheticDataset> ScalingSuite(uint32_t num_sizes,
+                                           uint32_t base_nodes,
+                                           uint32_t edges_per_node,
+                                           uint64_t seed);
+
+}  // namespace anc
+
+#endif  // ANC_DATASETS_SYNTHETIC_H_

@@ -1,0 +1,81 @@
+#include "graph/algorithms.h"
+
+#include <deque>
+#include <limits>
+
+#include "util/indexed_heap.h"
+
+namespace anc {
+
+std::vector<uint32_t> ConnectedComponents(const Graph& g,
+                                          uint32_t* num_components) {
+  return FilteredComponents(g, [](EdgeId) { return true; }, num_components);
+}
+
+std::vector<uint32_t> FilteredComponents(
+    const Graph& g, const std::function<bool(EdgeId)>& keep_edge,
+    uint32_t* num_components) {
+  const uint32_t n = g.NumNodes();
+  std::vector<uint32_t> label(n, kInvalidNode);
+  std::deque<NodeId> queue;
+  uint32_t next_label = 0;
+  for (NodeId start = 0; start < n; ++start) {
+    if (label[start] != kInvalidNode) continue;
+    const uint32_t component = next_label++;
+    label[start] = component;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      NodeId v = queue.front();
+      queue.pop_front();
+      for (const Neighbor& nb : g.Neighbors(v)) {
+        if (label[nb.node] != kInvalidNode) continue;
+        if (!keep_edge(nb.edge)) continue;
+        label[nb.node] = component;
+        queue.push_back(nb.node);
+      }
+    }
+  }
+  if (num_components != nullptr) *num_components = next_label;
+  return label;
+}
+
+double ShortestDistance(const Graph& g, const std::vector<double>& weights,
+                        NodeId source, NodeId target) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (source == target) return 0.0;
+  std::vector<double> dist(g.NumNodes(), kInf);
+  IndexedMinHeap queue(g.NumNodes());
+  dist[source] = 0.0;
+  queue.PushOrUpdate(source, 0.0);
+  while (!queue.empty()) {
+    auto [x, dx] = queue.PopMin();
+    if (x == target) return dx;
+    for (const Neighbor& nb : g.Neighbors(x)) {
+      const double cand = dx + weights[nb.edge];
+      if (cand < dist[nb.node]) {
+        dist[nb.node] = cand;
+        queue.PushOrUpdate(nb.node, cand);
+      }
+    }
+  }
+  return kInf;
+}
+
+std::vector<uint32_t> BfsHops(const Graph& g, NodeId source) {
+  std::vector<uint32_t> dist(g.NumNodes(), kUnreachedHops);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (dist[nb.node] != kUnreachedHops) continue;
+      dist[nb.node] = dist[v] + 1;
+      queue.push_back(nb.node);
+    }
+  }
+  return dist;
+}
+
+}  // namespace anc

@@ -1,0 +1,37 @@
+#ifndef ANC_GRAPH_ALGORITHMS_H_
+#define ANC_GRAPH_ALGORITHMS_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace anc {
+
+/// Labels each node with the id of its connected component (component ids
+/// are dense, assigned in discovery order). Returns the label vector;
+/// `num_components` (if non-null) receives the component count.
+std::vector<uint32_t> ConnectedComponents(const Graph& g,
+                                          uint32_t* num_components = nullptr);
+
+/// Connected components of the subgraph induced by the edges for which
+/// `keep_edge(e)` is true. Nodes with no kept incident edge become singleton
+/// components.
+std::vector<uint32_t> FilteredComponents(
+    const Graph& g, const std::function<bool(EdgeId)>& keep_edge,
+    uint32_t* num_components = nullptr);
+
+/// Hop-count BFS distances from `source` (kUnreachedHops for unreachable
+/// nodes).
+inline constexpr uint32_t kUnreachedHops = UINT32_MAX;
+std::vector<uint32_t> BfsHops(const Graph& g, NodeId source);
+
+/// Exact weighted shortest distance between two nodes (Dijkstra with early
+/// termination at `target`). Returns +infinity when unreachable. `weights`
+/// must be positive. O((n + m) log n) worst case, usually far less.
+double ShortestDistance(const Graph& g, const std::vector<double>& weights,
+                        NodeId source, NodeId target);
+
+}  // namespace anc
+
+#endif  // ANC_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,36 @@
+#include "graph/clustering_types.h"
+
+#include <unordered_map>
+
+namespace anc {
+
+void Clustering::DropSmallClusters(uint32_t min_size) {
+  std::vector<uint32_t> sizes = ClusterSizes();
+  std::vector<uint32_t> remap(num_clusters, kNoise);
+  uint32_t next = 0;
+  for (uint32_t c = 0; c < num_clusters; ++c) {
+    if (sizes[c] >= min_size) remap[c] = next++;
+  }
+  for (uint32_t& l : labels) {
+    if (l != kNoise) l = remap[l];
+  }
+  num_clusters = next;
+}
+
+Clustering Clustering::FromLabels(std::vector<uint32_t> raw_labels) {
+  Clustering out;
+  out.labels.assign(raw_labels.size(), kNoise);
+  std::unordered_map<uint32_t, uint32_t> remap;
+  remap.reserve(raw_labels.size() / 4 + 1);
+  for (size_t v = 0; v < raw_labels.size(); ++v) {
+    if (raw_labels[v] == kNoise) continue;
+    auto [it, inserted] = remap.emplace(
+        raw_labels[v], static_cast<uint32_t>(remap.size()));
+    (void)inserted;
+    out.labels[v] = it->second;
+  }
+  out.num_clusters = static_cast<uint32_t>(remap.size());
+  return out;
+}
+
+}  // namespace anc

@@ -1,0 +1,48 @@
+#ifndef ANC_GRAPH_CLUSTERING_TYPES_H_
+#define ANC_GRAPH_CLUSTERING_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace anc {
+
+/// Marker for nodes excluded from every cluster (noise / unassigned).
+inline constexpr uint32_t kNoise = UINT32_MAX;
+
+/// A flat clustering: labels[v] is the dense cluster id of node v, or
+/// kNoise. Produced by the pyramid clustering algorithms, every baseline
+/// and the ground-truth generators; consumed by the quality metrics.
+struct Clustering {
+  std::vector<uint32_t> labels;
+  uint32_t num_clusters = 0;
+
+  /// Number of non-noise nodes.
+  uint32_t NumAssigned() const {
+    uint32_t count = 0;
+    for (uint32_t l : labels) count += (l != kNoise) ? 1 : 0;
+    return count;
+  }
+
+  /// Per-cluster node counts (index = cluster id).
+  std::vector<uint32_t> ClusterSizes() const {
+    std::vector<uint32_t> sizes(num_clusters, 0);
+    for (uint32_t l : labels) {
+      if (l != kNoise) ++sizes[l];
+    }
+    return sizes;
+  }
+
+  /// Relabels clusters smaller than `min_size` as noise and re-densifies
+  /// cluster ids (the paper's "clusters with less than 3 nodes are noise").
+  void DropSmallClusters(uint32_t min_size);
+
+  /// Normalizes arbitrary labels (e.g. component representatives) into
+  /// dense ids [0, num_clusters) preserving kNoise.
+  static Clustering FromLabels(std::vector<uint32_t> raw_labels);
+};
+
+}  // namespace anc
+
+#endif  // ANC_GRAPH_CLUSTERING_TYPES_H_

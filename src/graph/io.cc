@@ -1,0 +1,56 @@
+#include "graph/io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace anc {
+
+Result<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  GraphBuilder builder;
+  std::unordered_map<uint64_t, NodeId> id_map;
+  auto dense = [&id_map](uint64_t raw) {
+    auto [it, inserted] =
+        id_map.emplace(raw, static_cast<NodeId>(id_map.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    uint64_t raw_u = 0;
+    uint64_t raw_v = 0;
+    if (!(fields >> raw_u >> raw_v)) {
+      return Status::IoError(path + ":" + std::to_string(line_number) +
+                             ": malformed edge line");
+    }
+    if (raw_u == raw_v) continue;  // drop self loops silently
+    // AddEdge only fails on self loops, which were filtered above.
+    ANC_CHECK(builder.AddEdge(dense(raw_u), dense(raw_v)).ok(),
+              "unexpected AddEdge failure");
+  }
+  return builder.Build();
+}
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# anc edge list: " << g.NumNodes() << " nodes, " << g.NumEdges()
+      << " edges\n";
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto& [u, v] = g.Endpoints(e);
+    out << u << ' ' << v << '\n';
+  }
+  if (!out) return Status::IoError("write error on " + path);
+  return Status::OK();
+}
+
+}  // namespace anc

@@ -1,0 +1,22 @@
+#ifndef ANC_GRAPH_IO_H_
+#define ANC_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace anc {
+
+/// Loads a whitespace-separated edge list (the SNAP dataset format used by
+/// the paper's Table I sources). Lines beginning with '#' or '%' are
+/// comments. Node ids are compacted to a dense [0, n) range in first-seen
+/// order; self-loops and duplicate edges are dropped.
+Result<Graph> LoadEdgeList(const std::string& path);
+
+/// Writes the graph as "u v" lines (dense ids), loadable by LoadEdgeList.
+Status SaveEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace anc
+
+#endif  // ANC_GRAPH_IO_H_

@@ -1,0 +1,107 @@
+#include "metrics/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/status.h"
+
+namespace anc {
+
+namespace {
+
+double SquaredDistance(const double* a, const double* b, uint32_t dim) {
+  double total = 0.0;
+  for (uint32_t d = 0; d < dim; ++d) {
+    const double diff = a[d] - b[d];
+    total += diff * diff;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<uint32_t> KMeans(const std::vector<double>& points,
+                             uint32_t num_points, uint32_t dim, uint32_t k,
+                             uint32_t max_iters, Rng& rng) {
+  ANC_CHECK(points.size() == static_cast<size_t>(num_points) * dim,
+            "points size mismatch");
+  ANC_CHECK(k >= 1, "k must be >= 1");
+  k = std::min(k, num_points);
+
+  // --- k-means++ seeding ---
+  std::vector<double> centers(static_cast<size_t>(k) * dim, 0.0);
+  std::vector<double> min_dist(num_points,
+                               std::numeric_limits<double>::infinity());
+  uint32_t first = static_cast<uint32_t>(rng.Uniform(num_points));
+  std::copy_n(points.data() + static_cast<size_t>(first) * dim, dim,
+              centers.data());
+  for (uint32_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    const double* prev = centers.data() + static_cast<size_t>(c - 1) * dim;
+    for (uint32_t p = 0; p < num_points; ++p) {
+      const double d =
+          SquaredDistance(points.data() + static_cast<size_t>(p) * dim, prev,
+                          dim);
+      min_dist[p] = std::min(min_dist[p], d);
+      total += min_dist[p];
+    }
+    uint32_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.NextDouble() * total;
+      for (uint32_t p = 0; p < num_points; ++p) {
+        target -= min_dist[p];
+        if (target <= 0.0) {
+          chosen = p;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<uint32_t>(rng.Uniform(num_points));
+    }
+    std::copy_n(points.data() + static_cast<size_t>(chosen) * dim, dim,
+                centers.data() + static_cast<size_t>(c) * dim);
+  }
+
+  // --- Lloyd iterations ---
+  std::vector<uint32_t> assignment(num_points, 0);
+  std::vector<uint32_t> counts(k, 0);
+  for (uint32_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (uint32_t p = 0; p < num_points; ++p) {
+      const double* row = points.data() + static_cast<size_t>(p) * dim;
+      double best = std::numeric_limits<double>::infinity();
+      uint32_t best_c = 0;
+      for (uint32_t c = 0; c < k; ++c) {
+        const double d = SquaredDistance(
+            row, centers.data() + static_cast<size_t>(c) * dim, dim);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (assignment[p] != best_c) {
+        assignment[p] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    std::fill(centers.begin(), centers.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (uint32_t p = 0; p < num_points; ++p) {
+      const uint32_t c = assignment[p];
+      ++counts[c];
+      const double* row = points.data() + static_cast<size_t>(p) * dim;
+      double* center = centers.data() + static_cast<size_t>(c) * dim;
+      for (uint32_t d = 0; d < dim; ++d) center[d] += row[d];
+    }
+    for (uint32_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps zero center
+      double* center = centers.data() + static_cast<size_t>(c) * dim;
+      for (uint32_t d = 0; d < dim; ++d) center[d] /= counts[c];
+    }
+  }
+  return assignment;
+}
+
+}  // namespace anc

@@ -1,0 +1,21 @@
+#ifndef ANC_METRICS_KMEANS_H_
+#define ANC_METRICS_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace anc {
+
+/// Lloyd's k-means with k-means++ seeding over row-major points
+/// (`num_points` rows of `dim` doubles). Returns the per-point cluster
+/// assignment in [0, k). Used by the spectral-clustering ground-truth
+/// generator.
+std::vector<uint32_t> KMeans(const std::vector<double>& points,
+                             uint32_t num_points, uint32_t dim, uint32_t k,
+                             uint32_t max_iters, Rng& rng);
+
+}  // namespace anc
+
+#endif  // ANC_METRICS_KMEANS_H_

@@ -1,0 +1,142 @@
+#include "metrics/quality.h"
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace anc {
+
+namespace {
+
+/// Sparse contingency table between two clusterings restricted to nodes
+/// assigned in both, plus marginals.
+struct Contingency {
+  // joint[(a << 32) | b] = |cluster a of X  intersect  cluster b of Y|
+  std::unordered_map<uint64_t, uint32_t> joint;
+  std::vector<uint32_t> x_sizes;
+  std::vector<uint32_t> y_sizes;
+  uint64_t total = 0;
+};
+
+Contingency BuildContingency(const Clustering& x, const Clustering& y) {
+  ANC_CHECK(x.labels.size() == y.labels.size(),
+            "clusterings must label the same node universe");
+  Contingency table;
+  table.x_sizes.assign(x.num_clusters, 0);
+  table.y_sizes.assign(y.num_clusters, 0);
+  for (size_t v = 0; v < x.labels.size(); ++v) {
+    const uint32_t a = x.labels[v];
+    const uint32_t b = y.labels[v];
+    if (a == kNoise || b == kNoise) continue;
+    ++table.joint[(static_cast<uint64_t>(a) << 32) | b];
+    ++table.x_sizes[a];
+    ++table.y_sizes[b];
+    ++table.total;
+  }
+  return table;
+}
+
+double Entropy(const std::vector<uint32_t>& sizes, double total) {
+  double h = 0.0;
+  for (uint32_t s : sizes) {
+    if (s == 0) continue;
+    const double p = s / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double Nmi(const Clustering& predicted, const Clustering& truth) {
+  Contingency table = BuildContingency(predicted, truth);
+  if (table.total == 0) return 0.0;
+  const double n = static_cast<double>(table.total);
+  double mutual = 0.0;
+  for (const auto& [key, count] : table.joint) {
+    const uint32_t a = static_cast<uint32_t>(key >> 32);
+    const uint32_t b = static_cast<uint32_t>(key & 0xFFFFFFFFu);
+    const double pab = count / n;
+    const double pa = table.x_sizes[a] / n;
+    const double pb = table.y_sizes[b] / n;
+    mutual += pab * std::log(pab / (pa * pb));
+  }
+  const double hx = Entropy(table.x_sizes, n);
+  const double hy = Entropy(table.y_sizes, n);
+  if (hx <= 0.0 || hy <= 0.0) {
+    // One side is a single cluster: NMI is 1 only if both are.
+    return (hx <= 0.0 && hy <= 0.0) ? 1.0 : 0.0;
+  }
+  return mutual / std::sqrt(hx * hy);
+}
+
+double Purity(const Clustering& predicted, const Clustering& truth) {
+  Contingency table = BuildContingency(predicted, truth);
+  if (table.total == 0) return 0.0;
+  // max over truth clusters per predicted cluster.
+  std::vector<uint32_t> best(predicted.num_clusters, 0);
+  for (const auto& [key, count] : table.joint) {
+    const uint32_t a = static_cast<uint32_t>(key >> 32);
+    if (count > best[a]) best[a] = count;
+  }
+  uint64_t matched = 0;
+  for (uint32_t b : best) matched += b;
+  return static_cast<double>(matched) / static_cast<double>(table.total);
+}
+
+double AdjustedRandIndex(const Clustering& predicted,
+                         const Clustering& truth) {
+  Contingency table = BuildContingency(predicted, truth);
+  if (table.total < 2) return 0.0;
+  auto choose2 = [](uint64_t x) -> double {
+    return 0.5 * static_cast<double>(x) * static_cast<double>(x - 1);
+  };
+  double sum_joint = 0.0;
+  for (const auto& [key, count] : table.joint) {
+    (void)key;
+    sum_joint += choose2(count);
+  }
+  double sum_x = 0.0;
+  for (uint32_t s : table.x_sizes) sum_x += choose2(s);
+  double sum_y = 0.0;
+  for (uint32_t s : table.y_sizes) sum_y += choose2(s);
+  const double total_pairs = choose2(table.total);
+  const double expected = sum_x * sum_y / total_pairs;
+  const double max_index = 0.5 * (sum_x + sum_y);
+  if (max_index == expected) return 1.0;  // both trivial partitions
+  return (sum_joint - expected) / (max_index - expected);
+}
+
+double F1Score(const Clustering& predicted, const Clustering& truth) {
+  Contingency table = BuildContingency(predicted, truth);
+  if (table.total == 0) return 0.0;
+
+  // best_f1_x[a]: best F1 of predicted cluster a against any truth cluster;
+  // symmetric for truth clusters.
+  std::vector<double> best_x(predicted.num_clusters, 0.0);
+  std::vector<double> best_y(truth.num_clusters, 0.0);
+  for (const auto& [key, count] : table.joint) {
+    const uint32_t a = static_cast<uint32_t>(key >> 32);
+    const uint32_t b = static_cast<uint32_t>(key & 0xFFFFFFFFu);
+    const double precision = static_cast<double>(count) / table.x_sizes[a];
+    const double recall = static_cast<double>(count) / table.y_sizes[b];
+    const double f1 = 2.0 * precision * recall / (precision + recall);
+    if (f1 > best_x[a]) best_x[a] = f1;
+    if (f1 > best_y[b]) best_y[b] = f1;
+  }
+  double x_avg = 0.0;
+  for (uint32_t a = 0; a < predicted.num_clusters; ++a) {
+    x_avg += best_x[a] * table.x_sizes[a];
+  }
+  double y_avg = 0.0;
+  for (uint32_t b = 0; b < truth.num_clusters; ++b) {
+    y_avg += best_y[b] * table.y_sizes[b];
+  }
+  const double n = static_cast<double>(table.total);
+  return 0.5 * (x_avg / n + y_avg / n);
+}
+
+}  // namespace anc

@@ -1,0 +1,31 @@
+#ifndef ANC_METRICS_QUALITY_H_
+#define ANC_METRICS_QUALITY_H_
+
+#include "graph/clustering_types.h"
+
+namespace anc {
+
+/// Ground-truth-based clustering quality metrics of Section VI-A. All three
+/// are computed over the nodes that are assigned (non-noise) in *both*
+/// clusterings; both arguments must label the same node universe.
+
+/// Normalized Mutual Information with sqrt normalization
+/// (Strehl & Ghosh 2002): I(X;Y) / sqrt(H(X) H(Y)). In [0, 1].
+double Nmi(const Clustering& predicted, const Clustering& truth);
+
+/// Purity: sum_c max_t |c intersect t| / N, where c ranges over predicted
+/// clusters and t over ground-truth clusters. In (0, 1].
+double Purity(const Clustering& predicted, const Clustering& truth);
+
+/// Average best-match F1: for each truth cluster the best-F1 predicted
+/// cluster and vice versa, size-weighted, averaged over both directions.
+double F1Score(const Clustering& predicted, const Clustering& truth);
+
+/// Adjusted Rand Index (Hubert & Arabie 1985): pair-counting agreement
+/// corrected for chance. 1 for identical partitions, ~0 for independent
+/// ones, can be negative for adversarial disagreement.
+double AdjustedRandIndex(const Clustering& predicted, const Clustering& truth);
+
+}  // namespace anc
+
+#endif  // ANC_METRICS_QUALITY_H_

@@ -1,0 +1,109 @@
+#include "metrics/spectral.h"
+
+#include <cmath>
+
+#include "metrics/kmeans.h"
+
+namespace anc {
+
+namespace {
+
+/// Multiplies Y = M X where M = D^{-1/2} (A + I) D^{-1/2}, X row-major
+/// n x c. The +I (self loop) keeps the operator positive-semidefinite-ish
+/// and damps oscillation between bipartite-like eigenvectors.
+void Multiply(const Graph& g, const std::vector<double>& weights,
+              const std::vector<double>& inv_sqrt_deg, uint32_t c,
+              const std::vector<double>& x, std::vector<double>* y) {
+  const uint32_t n = g.NumNodes();
+  std::fill(y->begin(), y->end(), 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    double* out = y->data() + static_cast<size_t>(v) * c;
+    const double* self = x.data() + static_cast<size_t>(v) * c;
+    const double dv = inv_sqrt_deg[v];
+    // Self loop contribution: dv^2 * x_v (weight 1 on the loop).
+    for (uint32_t d = 0; d < c; ++d) out[d] += dv * dv * self[d];
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      const double w = weights.empty() ? 1.0 : weights[nb.edge];
+      const double coeff = dv * inv_sqrt_deg[nb.node] * w;
+      const double* row = x.data() + static_cast<size_t>(nb.node) * c;
+      for (uint32_t d = 0; d < c; ++d) out[d] += coeff * row[d];
+    }
+  }
+}
+
+/// Modified Gram-Schmidt over the columns of the row-major n x c matrix.
+void Orthonormalize(uint32_t n, uint32_t c, std::vector<double>* x) {
+  for (uint32_t j = 0; j < c; ++j) {
+    // Subtract projections on previous columns.
+    for (uint32_t i = 0; i < j; ++i) {
+      double dot = 0.0;
+      for (uint32_t r = 0; r < n; ++r) {
+        dot += (*x)[static_cast<size_t>(r) * c + i] *
+               (*x)[static_cast<size_t>(r) * c + j];
+      }
+      for (uint32_t r = 0; r < n; ++r) {
+        (*x)[static_cast<size_t>(r) * c + j] -=
+            dot * (*x)[static_cast<size_t>(r) * c + i];
+      }
+    }
+    double norm = 0.0;
+    for (uint32_t r = 0; r < n; ++r) {
+      const double val = (*x)[static_cast<size_t>(r) * c + j];
+      norm += val * val;
+    }
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) continue;  // degenerate column stays (near) zero
+    const double inv = 1.0 / norm;
+    for (uint32_t r = 0; r < n; ++r) {
+      (*x)[static_cast<size_t>(r) * c + j] *= inv;
+    }
+  }
+}
+
+}  // namespace
+
+Clustering SpectralClustering(const Graph& g,
+                              const std::vector<double>& edge_weights,
+                              const SpectralParams& params) {
+  const uint32_t n = g.NumNodes();
+  const uint32_t c = std::min(params.num_clusters, n);
+  Rng rng(params.seed);
+
+  std::vector<double> inv_sqrt_deg(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    double deg = 1.0;  // self loop
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      deg += edge_weights.empty() ? 1.0 : edge_weights[nb.edge];
+    }
+    inv_sqrt_deg[v] = 1.0 / std::sqrt(deg);
+  }
+
+  std::vector<double> x(static_cast<size_t>(n) * c);
+  for (double& val : x) val = rng.NextDouble() - 0.5;
+  std::vector<double> y(x.size());
+  Orthonormalize(n, c, &x);
+  for (uint32_t iter = 0; iter < params.power_iterations; ++iter) {
+    Multiply(g, edge_weights, inv_sqrt_deg, c, x, &y);
+    x.swap(y);
+    Orthonormalize(n, c, &x);
+  }
+
+  // Row-normalize the embedding (NJW step) before k-means.
+  for (NodeId v = 0; v < n; ++v) {
+    double* row = x.data() + static_cast<size_t>(v) * c;
+    double norm = 0.0;
+    for (uint32_t d = 0; d < c; ++d) norm += row[d] * row[d];
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+      for (uint32_t d = 0; d < c; ++d) row[d] /= norm;
+    }
+  }
+
+  Clustering out;
+  out.labels = KMeans(x, n, c, c, params.kmeans_iterations, rng);
+  out.num_clusters = c;
+  // k-means may leave some of the c clusters empty; densify.
+  return Clustering::FromLabels(std::move(out.labels));
+}
+
+}  // namespace anc

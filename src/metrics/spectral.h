@@ -1,0 +1,37 @@
+#ifndef ANC_METRICS_SPECTRAL_H_
+#define ANC_METRICS_SPECTRAL_H_
+
+#include <vector>
+
+#include "graph/clustering_types.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace anc {
+
+/// Parameters of the spectral-clustering ground-truth generator.
+struct SpectralParams {
+  uint32_t num_clusters = 8;
+  uint32_t power_iterations = 30;  ///< subspace-iteration rounds
+  uint32_t kmeans_iterations = 50;
+  uint64_t seed = 7;
+};
+
+/// Normalized spectral clustering (Ng-Jordan-Weiss 2001), the ground-truth
+/// generator the paper uses for activation-network snapshots (Section
+/// VI-A). Computes the leading `num_clusters`-dimensional invariant
+/// subspace of the normalized (weighted) adjacency
+///     M = D^{-1/2} (A + I) D^{-1/2}
+/// by subspace iteration with modified Gram-Schmidt re-orthogonalization
+/// (an iterative substitute for a dense eigensolver — see DESIGN.md
+/// substitution #2), row-normalizes the embedding and runs k-means++.
+///
+/// `edge_weights` may be empty for the unweighted case; otherwise it gives
+/// the snapshot's edge weights (activeness or similarity).
+Clustering SpectralClustering(const Graph& g,
+                              const std::vector<double>& edge_weights,
+                              const SpectralParams& params);
+
+}  // namespace anc
+
+#endif  // ANC_METRICS_SPECTRAL_H_

@@ -1,0 +1,83 @@
+#include "metrics/structural.h"
+
+#include <algorithm>
+
+namespace anc {
+
+namespace {
+
+/// Densified labels where every noise node becomes its own singleton
+/// cluster, so structural sums cover the entire graph.
+std::vector<uint32_t> WithSingletons(const Clustering& clustering,
+                                     uint32_t* num_clusters) {
+  std::vector<uint32_t> labels = clustering.labels;
+  uint32_t next = clustering.num_clusters;
+  for (uint32_t& l : labels) {
+    if (l == kNoise) l = next++;
+  }
+  *num_clusters = next;
+  return labels;
+}
+
+double WeightOf(const std::vector<double>& weights, EdgeId e) {
+  return weights.empty() ? 1.0 : weights[e];
+}
+
+}  // namespace
+
+double Modularity(const Graph& g, const Clustering& clustering,
+                  const std::vector<double>& edge_weights) {
+  uint32_t num_clusters = 0;
+  std::vector<uint32_t> labels = WithSingletons(clustering, &num_clusters);
+
+  std::vector<double> internal(num_clusters, 0.0);  // in_c (edge weights)
+  std::vector<double> volume(num_clusters, 0.0);    // tot_c (degree mass)
+  double total = 0.0;                               // W = sum of weights
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto& [u, v] = g.Endpoints(e);
+    const double w = WeightOf(edge_weights, e);
+    total += w;
+    volume[labels[u]] += w;
+    volume[labels[v]] += w;
+    if (labels[u] == labels[v]) internal[labels[u]] += w;
+  }
+  if (total <= 0.0) return 0.0;
+  double q = 0.0;
+  const double two_w = 2.0 * total;
+  for (uint32_t c = 0; c < num_clusters; ++c) {
+    q += internal[c] / total - (volume[c] / two_w) * (volume[c] / two_w);
+  }
+  return q;
+}
+
+double MeanConductance(const Graph& g, const Clustering& clustering,
+                       const std::vector<double>& edge_weights) {
+  uint32_t num_clusters = 0;
+  std::vector<uint32_t> labels = WithSingletons(clustering, &num_clusters);
+
+  std::vector<double> cut(num_clusters, 0.0);
+  std::vector<double> volume(num_clusters, 0.0);
+  double total_volume = 0.0;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto& [u, v] = g.Endpoints(e);
+    const double w = WeightOf(edge_weights, e);
+    volume[labels[u]] += w;
+    volume[labels[v]] += w;
+    total_volume += 2.0 * w;
+    if (labels[u] != labels[v]) {
+      cut[labels[u]] += w;
+      cut[labels[v]] += w;
+    }
+  }
+  double sum = 0.0;
+  uint32_t counted = 0;
+  for (uint32_t c = 0; c < num_clusters; ++c) {
+    const double denom = std::min(volume[c], total_volume - volume[c]);
+    if (denom <= 0.0) continue;
+    sum += cut[c] / denom;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / counted;
+}
+
+}  // namespace anc

@@ -1,0 +1,27 @@
+#ifndef ANC_METRICS_STRUCTURAL_H_
+#define ANC_METRICS_STRUCTURAL_H_
+
+#include <vector>
+
+#include "graph/clustering_types.h"
+#include "graph/graph.h"
+
+namespace anc {
+
+/// Structural quality metrics of Section VI-A (no ground truth needed).
+/// Noise nodes are treated as singleton communities so every edge is
+/// accounted for. `edge_weights` may be empty for the unweighted case.
+
+/// Newman modularity Q = sum_c [ in_c / (2W) - (tot_c / (2W))^2 ].
+/// Higher is better; in [-0.5, 1).
+double Modularity(const Graph& g, const Clustering& clustering,
+                  const std::vector<double>& edge_weights = {});
+
+/// Mean conductance over clusters with positive volume:
+/// phi(c) = cut(c) / min(vol(c), vol(V \ c)). Lower is better.
+double MeanConductance(const Graph& g, const Clustering& clustering,
+                       const std::vector<double>& edge_weights = {});
+
+}  // namespace anc
+
+#endif  // ANC_METRICS_STRUCTURAL_H_

@@ -1,0 +1,78 @@
+#ifndef ANC_PYRAMID_CLUSTERING_H_
+#define ANC_PYRAMID_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/clustering_types.h"
+#include "pyramid/pyramid_index.h"
+
+namespace anc {
+
+/// Even clustering (Section V-B.1): drop every edge whose voting result is
+/// 0 at `level` and report the connected components of what remains.
+/// O(m log n) (Lemma 8). Sensitive to single mis-votes (a spurious passing
+/// edge merges two clusters), which Power clustering avoids.
+Clustering EvenClustering(const PyramidIndex& index, uint32_t level);
+
+/// Power clustering / DirectedCluster (Section V-B.2): direct every passing
+/// edge from the higher-degree endpoint to the lower-degree one (node id
+/// breaks ties), then scan nodes from high rank to low; each still-
+/// unclustered node collects all unclustered nodes reachable downhill into
+/// one cluster. O(m log n) (Lemma 8).
+Clustering PowerClustering(const PyramidIndex& index, uint32_t level);
+
+/// Local cluster query (Lemma 9): the cluster containing `query` at
+/// `level`, discovered by searching only passing edges from `query`. Cost
+/// is proportional to the neighborhoods of the reported nodes, independent
+/// of graph size. Returns the member list (always contains `query`).
+std::vector<NodeId> LocalCluster(const PyramidIndex& index, NodeId query,
+                                 uint32_t level);
+
+/// The finest granularity at which `query`'s cluster has at least
+/// `min_size` members, starting from the finest level and zooming out
+/// ("the smallest cluster that contains v", Problem 1.2). Returns the level
+/// and fills `members`.
+uint32_t SmallestClusterLevel(const PyramidIndex& index, NodeId query,
+                              uint32_t min_size, std::vector<NodeId>* members);
+
+/// Interactive granularity cursor over a PyramidIndex: the zoom-in /
+/// zoom-out operations of Problem 1 as a tiny stateful wrapper.
+class ZoomCursor {
+ public:
+  /// Starts at the Theta(sqrt(n))-clusters granularity (DefaultLevel).
+  explicit ZoomCursor(const PyramidIndex& index)
+      : index_(&index), level_(index.DefaultLevel()) {}
+
+  uint32_t level() const { return level_; }
+
+  /// Finer granularity (more, smaller clusters). Clamped at the top level.
+  bool ZoomIn() {
+    if (level_ >= index_->num_levels()) return false;
+    ++level_;
+    return true;
+  }
+
+  /// Coarser granularity (fewer, larger clusters). Clamped at level 1.
+  bool ZoomOut() {
+    if (level_ <= 1) return false;
+    --level_;
+    return true;
+  }
+
+  /// All clusters at the cursor's granularity (power clustering).
+  Clustering Clusters() const { return PowerClustering(*index_, level_); }
+
+  /// The local cluster of `query` at the cursor's granularity.
+  std::vector<NodeId> Local(NodeId query) const {
+    return LocalCluster(*index_, query, level_);
+  }
+
+ private:
+  const PyramidIndex* index_;
+  uint32_t level_;
+};
+
+}  // namespace anc
+
+#endif  // ANC_PYRAMID_CLUSTERING_H_

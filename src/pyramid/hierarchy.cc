@@ -1,0 +1,70 @@
+#include "pyramid/hierarchy.h"
+
+#include <unordered_map>
+
+#include "pyramid/clustering.h"
+
+namespace anc {
+
+std::vector<uint32_t> ClusterHierarchy::PathToRoot(uint32_t level,
+                                                   uint32_t cluster) const {
+  std::vector<uint32_t> path;
+  uint32_t current = cluster;
+  for (uint32_t l = level; l >= 1; --l) {
+    path.push_back(current);
+    if (l == 1) break;
+    current = parent[l - 1][current];
+    if (current == kNoise) break;
+  }
+  return path;
+}
+
+ClusterHierarchy BuildHierarchy(const PyramidIndex& index, bool power) {
+  const Graph& g = index.graph();
+  ClusterHierarchy hierarchy;
+  hierarchy.levels.reserve(index.num_levels());
+  for (uint32_t l = 1; l <= index.num_levels(); ++l) {
+    hierarchy.levels.push_back(power ? PowerClustering(index, l)
+                                     : EvenClustering(index, l));
+  }
+
+  hierarchy.parent.resize(hierarchy.levels.size());
+  hierarchy.containment.resize(hierarchy.levels.size());
+  // Level 1 has no parent.
+  hierarchy.parent[0].assign(hierarchy.levels[0].num_clusters, kNoise);
+  hierarchy.containment[0].assign(hierarchy.levels[0].num_clusters, 1.0);
+
+  for (size_t i = 1; i < hierarchy.levels.size(); ++i) {
+    const Clustering& fine = hierarchy.levels[i];
+    const Clustering& coarse = hierarchy.levels[i - 1];
+    // overlap[c][p] counting via a flat map keyed by (c, p).
+    std::unordered_map<uint64_t, uint32_t> overlap;
+    std::vector<uint32_t> size(fine.num_clusters, 0);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      const uint32_t c = fine.labels[v];
+      const uint32_t p = coarse.labels[v];
+      if (c == kNoise || p == kNoise) continue;
+      ++overlap[(static_cast<uint64_t>(c) << 32) | p];
+      ++size[c];
+    }
+    auto& parents = hierarchy.parent[i];
+    auto& contained = hierarchy.containment[i];
+    parents.assign(fine.num_clusters, kNoise);
+    contained.assign(fine.num_clusters, 0.0);
+    std::vector<uint32_t> best(fine.num_clusters, 0);
+    for (const auto& [key, count] : overlap) {
+      const uint32_t c = static_cast<uint32_t>(key >> 32);
+      const uint32_t p = static_cast<uint32_t>(key & 0xFFFFFFFFu);
+      if (count > best[c]) {
+        best[c] = count;
+        parents[c] = p;
+        contained[c] = size[c] > 0
+                           ? static_cast<double>(count) / size[c]
+                           : 0.0;
+      }
+    }
+  }
+  return hierarchy;
+}
+
+}  // namespace anc

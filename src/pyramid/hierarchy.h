@@ -1,0 +1,43 @@
+#ifndef ANC_PYRAMID_HIERARCHY_H_
+#define ANC_PYRAMID_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/clustering_types.h"
+#include "pyramid/pyramid_index.h"
+
+namespace anc {
+
+/// The multi-granularity clusterings of a pyramid index assembled into an
+/// explicit hierarchy: level l's clusters linked to the level-(l-1) cluster
+/// that contains the majority of their nodes. This materializes the
+/// zoom-in/zoom-out structure of Problem 1 as a dendrogram-like object a
+/// client can navigate without re-running searches.
+///
+/// Levels are not guaranteed to nest exactly (each granularity votes
+/// independently), so the parent link is majority-overlap; `containment`
+/// records the achieved overlap fraction for clients that care.
+struct ClusterHierarchy {
+  /// Clustering per level; index 0 is level 1 (coarsest).
+  std::vector<Clustering> levels;
+  /// parent[l][c]: the cluster id at level l (1-based level l+1's parent
+  /// lives at index l-1... concretely: parent[i][c] is the parent at
+  /// levels[i-1] of cluster c in levels[i]; parent[0] is all kNoise.
+  std::vector<std::vector<uint32_t>> parent;
+  /// containment[i][c]: fraction of cluster c's nodes inside its parent.
+  std::vector<std::vector<double>> containment;
+
+  uint32_t num_levels() const { return static_cast<uint32_t>(levels.size()); }
+
+  /// Chain of cluster ids from (level, cluster) up to level 1.
+  std::vector<uint32_t> PathToRoot(uint32_t level, uint32_t cluster) const;
+};
+
+/// Builds the hierarchy from every granularity level of the index
+/// (power clustering when `power`, even clustering otherwise).
+ClusterHierarchy BuildHierarchy(const PyramidIndex& index, bool power = true);
+
+}  // namespace anc
+
+#endif  // ANC_PYRAMID_HIERARCHY_H_

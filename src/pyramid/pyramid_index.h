@@ -1,0 +1,199 @@
+#ifndef ANC_PYRAMID_PYRAMID_INDEX_H_
+#define ANC_PYRAMID_PYRAMID_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pyramid/voronoi.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace anc {
+
+/// Configuration of the pyramid index P (Section V, Table II).
+struct PyramidParams {
+  uint32_t num_pyramids = 4;  ///< k, the voting-ensemble size
+  double theta = 0.7;         ///< support threshold of the voting function
+  uint64_t seed = 42;         ///< RNG seed for the Voronoi seed sets
+  uint32_t num_threads = 1;   ///< workers for parallel updates (Lemma 13)
+};
+
+/// The index P of Section V: k pyramids, each a suite of ceil(log2 n)
+/// Voronoi partitions with 2^(l-1) uniformly random seeds at granularity
+/// level l in [1, ceil(log2 n)]. Construction is O(n log^2 n + m log n) and
+/// space O(n log^2 n) (Lemma 7).
+///
+/// The index owns the (anchored) distance-weight array shared by all
+/// partitions. Because every weight carries the same global decay factor,
+/// pure time passage never changes shortest-path structure and the index is
+/// only updated on activations (Lemma 10): UpdateEdgeWeight repairs all
+/// k * levels partitions with the bounded searches of Algorithms 1-3 and
+/// incrementally maintains the per-level per-edge *vote counts* (how many
+/// pyramids place the edge's endpoints under the same seed — the Remarks of
+/// Section V-C), so the voting function H_l is an O(1) lookup at any time.
+class PyramidIndex {
+ public:
+  /// Builds the index over `g` with initial distance weights `weights`
+  /// (typically SimilarityEngine::Weight for every edge).
+  PyramidIndex(const Graph& g, std::vector<double> weights,
+               PyramidParams params);
+
+  /// Builds with explicit seed sets (pyramid-major, level-minor;
+  /// seed_sets[p * num_levels + (l-1)] is the level-l seed set of pyramid
+  /// p). Partition trees are recomputed from the weights; useful for
+  /// reproducible experiments with hand-picked seeds. Seed-set shape must
+  /// match `params` and the graph.
+  PyramidIndex(const Graph& g, std::vector<double> weights,
+               PyramidParams params,
+               std::vector<std::vector<NodeId>> seed_sets);
+
+  /// Restores an index from exported partition trees (exact, including
+  /// tie-breaks — the serialization path). Returns null on malformed
+  /// state.
+  static std::unique_ptr<PyramidIndex> FromTreeStates(
+      const Graph& g, std::vector<double> weights, PyramidParams params,
+      std::vector<VoronoiPartition::TreeState> trees);
+
+  PyramidIndex(const PyramidIndex&) = delete;
+  PyramidIndex& operator=(const PyramidIndex&) = delete;
+
+  const Graph& graph() const { return *graph_; }
+  const PyramidParams& params() const { return params_; }
+  uint32_t num_levels() const { return num_levels_; }
+  uint32_t num_pyramids() const { return params_.num_pyramids; }
+
+  /// Minimum number of same-seed pyramids for a positive vote:
+  /// ceil(theta * k).
+  uint32_t vote_threshold() const { return vote_threshold_; }
+
+  /// The granularity level whose seed count is closest to sqrt(n) — the
+  /// Theta(sqrt(n))-clusters entry point of Problem 1.
+  uint32_t DefaultLevel() const;
+
+  /// Levels are 1-based: level 1 is the coarsest (1 seed per pyramid),
+  /// num_levels() the finest. Partition access is exposed for tests,
+  /// benches and the clustering algorithms.
+  const VoronoiPartition& partition(uint32_t pyramid, uint32_t level) const {
+    return partitions_[PartitionSlot(pyramid, level)];
+  }
+
+  /// Current anchored weight of edge e.
+  double WeightOf(EdgeId e) const { return weights_[e]; }
+
+  /// Voting function H_l(u, v) for edge e (Section V-B): 1 iff at least
+  /// ceil(theta k) pyramids put the endpoints of e under the same seed at
+  /// level `level`. O(1) from the maintained vote counts.
+  bool EdgePassesVote(EdgeId e, uint32_t level) const {
+    return vote_counts_[level - 1][e] >= vote_threshold_;
+  }
+
+  /// Raw vote count of edge e at `level` (in [0, k]).
+  uint32_t VotesOf(EdgeId e, uint32_t level) const {
+    return vote_counts_[level - 1][e];
+  }
+
+  /// Applies one weight update to every partition of every pyramid and
+  /// repairs vote counts. Levels are processed in parallel when
+  /// num_threads > 1 (partitions are mutually independent, Lemma 13; vote
+  /// rows are per level so level-parallelism is contention-free). Returns
+  /// the total number of touched nodes across partitions (stats).
+  size_t UpdateEdgeWeight(EdgeId e, double new_weight);
+
+  /// Applies a batch of updates (same edge may repeat) in order.
+  size_t UpdateEdgeWeights(std::span<const std::pair<EdgeId, double>> updates);
+
+  /// Rebuilds every partition from scratch against `new_weights` keeping
+  /// the seed sets (the RECONSTRUCT baseline of Fig. 8).
+  void Reconstruct(std::vector<double> new_weights);
+
+  /// Multiplies every weight and every partition distance by `factor`
+  /// (> 0). Structure-preserving (Lemma 10): used when the similarity
+  /// layer performs a batched rescale of the global decay factor, whose
+  /// uniform g^{-1} also applies to the distance weights. O(m + k n log n).
+  void ScaleAll(double factor);
+
+  /// Approximate shortest distance between u and v under the current
+  /// weights, in the style of the Das Sarma et al. sketch the pyramids are
+  /// built on: the best common-seed witness
+  ///     min over partitions with S[u] == S[v] of dist(S[u],u)+dist(S[v],v)
+  /// Always an upper bound on the true distance; +infinity when no
+  /// partition co-seeds the two nodes (only possible across components).
+  /// O(k log n).
+  double ApproxDistance(NodeId u, NodeId v) const;
+
+  /// The paper's attraction strength (Section IV-C) under the approximate
+  /// distance: 1 / ApproxDistance (0 when unreachable, +inf when u == v is
+  /// avoided by returning infinity only for distance 0 of distinct nodes —
+  /// callers get 1/0-free semantics).
+  double AttractionStrength(NodeId u, NodeId v) const;
+
+  // --- Watched-node change reporting (Section V-C Remarks) ---------------
+
+  /// One cluster-membership change: the voting result of `edge` at `level`
+  /// flipped to `now_passing` while an endpoint was watched.
+  struct VoteChange {
+    EdgeId edge;
+    uint32_t level;
+    bool now_passing;
+  };
+
+  /// Registers/unregisters a node for change reporting. The per-update
+  /// overhead is one bit test per vote flip — "a cost equal to the
+  /// reporting".
+  void Watch(NodeId v);
+  void Unwatch(NodeId v);
+  bool IsWatched(NodeId v) const { return watched_[v] != 0; }
+
+  /// Returns and clears the vote changes on watched nodes accumulated
+  /// since the previous drain, ordered by level then occurrence.
+  std::vector<VoteChange> DrainVoteChanges();
+
+  /// Heap bytes of the index: partitions + vote tables + weight array
+  /// (Fig. 6 accounting; the graph itself is excluded as in the paper).
+  size_t MemoryBytes() const;
+
+  /// Seed sets in the layout the seed-injected constructor accepts.
+  std::vector<std::vector<NodeId>> SeedSets() const;
+
+  /// Exported partition trees, pyramid-major, level-minor (serialization).
+  std::vector<VoronoiPartition::TreeState> ExportTreeStates() const;
+
+ private:
+  size_t PartitionSlot(uint32_t pyramid, uint32_t level) const {
+    return static_cast<size_t>(pyramid) * num_levels_ + (level - 1);
+  }
+
+  /// Recomputes the same-seed bit of edge e in partition (pyramid, level)
+  /// and adjusts the level's vote count on change.
+  void RefreshEdgeBit(uint32_t pyramid, uint32_t level, EdgeId e);
+
+  /// Initializes same-seed bits and vote counts for one partition.
+  void InitVotes(uint32_t pyramid, uint32_t level);
+
+  const Graph* graph_;
+  PyramidParams params_;
+  uint32_t num_levels_;
+  uint32_t vote_threshold_;
+  std::vector<double> weights_;
+  std::vector<VoronoiPartition> partitions_;  // pyramid-major, level-minor
+  // same_seed_bits_[slot][e]: 1 iff partition `slot` currently has both
+  // endpoints of e under one seed. Differencing these bits keeps
+  // vote_counts_ exact under incremental updates.
+  std::vector<std::vector<uint8_t>> same_seed_bits_;
+  std::vector<std::vector<uint16_t>> vote_counts_;  // [level-1][edge]
+  std::unique_ptr<ThreadPool> pool_;
+  // Per-slot scratch for seed-change reporting (avoids reallocating in the
+  // update hot path).
+  std::vector<std::vector<NodeId>> seed_changed_scratch_;
+  // Watched-node change reporting: per-level event buffers (levels are the
+  // parallel unit, so level-local buffers are contention-free).
+  std::vector<uint8_t> watched_;
+  std::vector<std::vector<VoteChange>> pending_changes_;  // [level-1]
+};
+
+}  // namespace anc
+
+#endif  // ANC_PYRAMID_PYRAMID_INDEX_H_

@@ -1,0 +1,288 @@
+#include "similarity/similarity_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anc {
+
+SimilarityEngine::SimilarityEngine(const Graph& graph, SimilarityParams params)
+    : graph_(&graph),
+      params_(params),
+      activeness_(graph.NumEdges(), params.lambda, params.initial_activeness),
+      node_activity_(graph.NumNodes(), 0.0),
+      sigma_numerator_(graph.NumEdges(), 0.0),
+      similarity_(graph.NumEdges(), 1.0) {
+  activeness_.SetRescaleHook([this](double factor) { OnRescale(factor); });
+  // Build the sigma caches from the uniform initial activeness.
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    node_activity_[v] = RecomputeNodeActivity(v);
+  }
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    sigma_numerator_[e] = RecomputeSigmaNumerator(e);
+  }
+}
+
+void SimilarityEngine::InitializeStatic(uint32_t rep) {
+  activeness_ = ActivenessStore(graph_->NumEdges(), params_.lambda,
+                                params_.initial_activeness);
+  activeness_.SetRescaleHook([this](double factor) { OnRescale(factor); });
+  for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
+    node_activity_[v] = RecomputeNodeActivity(v);
+  }
+  for (EdgeId e = 0; e < graph_->NumEdges(); ++e) {
+    sigma_numerator_[e] = RecomputeSigmaNumerator(e);
+  }
+  std::fill(similarity_.begin(), similarity_.end(), 1.0);
+  for (uint32_t round = 0; round < rep; ++round) ReinforceAllEdges();
+}
+
+void SimilarityEngine::RecomputeFromActiveness(uint32_t rep) {
+  std::fill(similarity_.begin(), similarity_.end(), 1.0);
+  for (uint32_t round = 0; round < rep; ++round) ReinforceAllEdges();
+}
+
+Status SimilarityEngine::ApplyActivation(EdgeId e, double t,
+                                         double* new_weight) {
+  if (e >= graph_->NumEdges()) {
+    return Status::OutOfRange("edge id out of range");
+  }
+  double delta = 0.0;
+  ANC_RETURN_NOT_OK(activeness_.Activate(e, t, &delta));
+  BumpActiveness(e, delta);
+  Reinforce(e);
+  if (new_weight != nullptr) *new_weight = Weight(e);
+  return Status::OK();
+}
+
+Status SimilarityEngine::ApplyActivationNoReinforce(EdgeId e, double t,
+                                                    double* delta) {
+  if (e >= graph_->NumEdges()) {
+    return Status::OutOfRange("edge id out of range");
+  }
+  double increment = 0.0;
+  ANC_RETURN_NOT_OK(activeness_.Activate(e, t, &increment));
+  BumpActiveness(e, increment);
+  if (delta != nullptr) *delta = increment;
+  return Status::OK();
+}
+
+void SimilarityEngine::ReinforceAllEdges() {
+  for (EdgeId e = 0; e < graph_->NumEdges(); ++e) Reinforce(e);
+}
+
+uint32_t SimilarityEngine::ActiveNeighborCount(NodeId v) const {
+  uint32_t count = 0;
+  for (const Neighbor& nb : graph_->Neighbors(v)) {
+    if (Sigma(nb.edge) >= params_.epsilon) ++count;
+  }
+  return count;
+}
+
+NodeRole SimilarityEngine::Role(NodeId v) const {
+  if (graph_->Degree(v) < params_.mu) return NodeRole::kPeriphery;
+  if (ActiveNeighborCount(v) >= params_.mu) return NodeRole::kCore;
+  return NodeRole::kPCore;
+}
+
+double SimilarityEngine::RecomputeNodeActivity(NodeId v) const {
+  double total = 0.0;
+  for (const Neighbor& nb : graph_->Neighbors(v)) {
+    total += activeness_.Anchored(nb.edge);
+  }
+  return total;
+}
+
+double SimilarityEngine::RecomputeSigmaNumerator(EdgeId e) const {
+  const auto& [u, v] = graph_->Endpoints(e);
+  auto nu = graph_->Neighbors(u);
+  auto nv = graph_->Neighbors(v);
+  double total = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i].node < nv[j].node) {
+      ++i;
+    } else if (nu[i].node > nv[j].node) {
+      ++j;
+    } else {
+      total += activeness_.Anchored(nu[i].edge) +
+               activeness_.Anchored(nv[j].edge);
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+void SimilarityEngine::OnRescale(double factor) {
+  for (double& a : node_activity_) a *= factor;
+  for (double& s : sigma_numerator_) s *= factor;
+  // Re-apply the clamp while scaling: a long-idle network must not
+  // underflow similarities to zero (infinite distance weights). Clamped
+  // edges break the uniform scale, so they are reported to the callback
+  // for individual downstream repair.
+  std::vector<EdgeId> clamped;
+  for (EdgeId e = 0; e < similarity_.size(); ++e) {
+    const double scaled = similarity_[e] * factor;
+    similarity_[e] = scaled;
+    ClampSimilarity(e);
+    if (similarity_[e] != scaled) clamped.push_back(e);
+  }
+  if (rescale_callback_) rescale_callback_(factor, clamped);
+}
+
+void SimilarityEngine::BumpActiveness(EdgeId e, double delta) {
+  const auto& [u, v] = graph_->Endpoints(e);
+  node_activity_[u] += delta;
+  node_activity_[v] += delta;
+  // num(u,x) and num(v,x) gain `delta` for every common neighbor x of u and
+  // v: the term (a(u,v) + a(x,v)) of num(u,x) contains a(u,v), symmetrically
+  // for num(v,x). num(u,v) itself ranges over x != u,v and is unaffected.
+  auto nu = graph_->Neighbors(u);
+  auto nv = graph_->Neighbors(v);
+  size_t i = 0;
+  size_t j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i].node < nv[j].node) {
+      ++i;
+    } else if (nu[i].node > nv[j].node) {
+      ++j;
+    } else {
+      sigma_numerator_[nu[i].edge] += delta;
+      sigma_numerator_[nv[j].edge] += delta;
+      ++i;
+      ++j;
+    }
+  }
+}
+
+double SimilarityEngine::TriggerDelta(EdgeId e, NodeId u, NodeId v) const {
+  const NodeRole role = Role(u);
+  const double inv_deg = 1.0 / static_cast<double>(graph_->Degree(u));
+
+  double af = 0.0;
+  double tf = 0.0;
+  double wsf = 0.0;
+  const bool needs_consolidation = role != NodeRole::kPeriphery;
+  const bool needs_stretch = role != NodeRole::kCore;
+
+  if (needs_consolidation) {
+    // Direct consolidation: AF(e) = S(e) * sigma(u,v) / deg(u).
+    af = similarity_[e] * Sigma(e) * inv_deg;
+  }
+
+  // One sorted merge of N(u) and N(v) yields both the common neighbors
+  // (triadic consolidation) and the exclusive neighbors of u (wedge
+  // stretch).
+  auto nu = graph_->Neighbors(u);
+  auto nv = graph_->Neighbors(v);
+  size_t i = 0;
+  size_t j = 0;
+  while (i < nu.size()) {
+    const NodeId w = nu[i].node;
+    while (j < nv.size() && nv[j].node < w) ++j;
+    if (j < nv.size() && nv[j].node == w) {
+      if (needs_consolidation) {
+        // TF term: sqrt(S(u,w) S(v,w)) * sigma(w,u) / deg(u).
+        tf += std::sqrt(similarity_[nu[i].edge] * similarity_[nv[j].edge]) *
+              Sigma(nu[i].edge) * inv_deg;
+      }
+      ++j;
+    } else if (w != v && needs_stretch) {
+      // WSF term over exclusive neighbors: S(w,u) * sigma(w,u) / deg(u).
+      wsf += similarity_[nu[i].edge] * Sigma(nu[i].edge) * inv_deg;
+    }
+    ++i;
+  }
+
+  switch (role) {
+    case NodeRole::kCore:
+      return af + tf;  // Eq. (2)
+    case NodeRole::kPeriphery:
+      return -wsf;  // Eq. (3)
+    case NodeRole::kPCore:
+      return af + tf - wsf;  // Eq. (4)
+  }
+  return 0.0;
+}
+
+void SimilarityEngine::Reinforce(EdgeId e) {
+  const auto& [u, v] = graph_->Endpoints(e);
+  // Both trigger-node deltas are computed from the pre-update S so the
+  // result does not depend on endpoint order.
+  const double delta = TriggerDelta(e, u, v) + TriggerDelta(e, v, u);
+  similarity_[e] += delta;
+  ClampSimilarity(e);
+}
+
+void SimilarityEngine::ClampSimilarity(EdgeId e) {
+  similarity_[e] = std::clamp(similarity_[e], params_.min_similarity,
+                              params_.max_similarity);
+}
+
+SimilarityEngine::Snapshot SimilarityEngine::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.anchor_time = activeness_.anchor_time();
+  snapshot.last_time = activeness_.last_time();
+  snapshot.anchored_activeness.resize(graph_->NumEdges());
+  for (EdgeId e = 0; e < graph_->NumEdges(); ++e) {
+    snapshot.anchored_activeness[e] = activeness_.Anchored(e);
+  }
+  snapshot.similarity = similarity_;
+  return snapshot;
+}
+
+Status SimilarityEngine::Restore(const Snapshot& snapshot) {
+  if (snapshot.anchored_activeness.size() != graph_->NumEdges() ||
+      snapshot.similarity.size() != graph_->NumEdges()) {
+    return Status::InvalidArgument(
+        "snapshot does not match the engine's graph");
+  }
+  ANC_RETURN_NOT_OK(activeness_.RestoreAnchored(snapshot.anchored_activeness,
+                                                snapshot.anchor_time,
+                                                snapshot.last_time));
+  similarity_ = snapshot.similarity;
+  for (EdgeId e = 0; e < graph_->NumEdges(); ++e) ClampSimilarity(e);
+  for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
+    node_activity_[v] = RecomputeNodeActivity(v);
+  }
+  for (EdgeId e = 0; e < graph_->NumEdges(); ++e) {
+    sigma_numerator_[e] = RecomputeSigmaNumerator(e);
+  }
+  return Status::OK();
+}
+
+double SuggestEpsilon(const Graph& graph, double percentile) {
+  ANC_CHECK(percentile >= 0.0 && percentile <= 1.0,
+            "percentile must be in [0, 1]");
+  if (graph.NumEdges() == 0) return 0.0;
+  // Unit activeness: sigma(u,v) = 2 |N(u) cap N(v)| / (deg u + deg v).
+  std::vector<double> sigmas(graph.NumEdges());
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    const auto& [u, v] = graph.Endpoints(e);
+    auto nu = graph.Neighbors(u);
+    auto nv = graph.Neighbors(v);
+    uint32_t common = 0;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i].node < nv[j].node) {
+        ++i;
+      } else if (nu[i].node > nv[j].node) {
+        ++j;
+      } else {
+        ++common;
+        ++i;
+        ++j;
+      }
+    }
+    sigmas[e] = 2.0 * common /
+                static_cast<double>(graph.Degree(u) + graph.Degree(v));
+  }
+  std::sort(sigmas.begin(), sigmas.end());
+  const size_t idx = std::min(
+      sigmas.size() - 1, static_cast<size_t>(percentile * sigmas.size()));
+  return sigmas[idx];
+}
+
+}  // namespace anc

@@ -1,0 +1,197 @@
+#ifndef ANC_SIMILARITY_SIMILARITY_ENGINE_H_
+#define ANC_SIMILARITY_SIMILARITY_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "activation/activeness.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace anc {
+
+/// Node roles of Section IV-B. The three types disjointly partition V:
+///  - kCore:      |N_eps(v)| >= mu           (leads a community)
+///  - kPCore:     deg(v) >= mu but not core  (potential core)
+///  - kPeriphery: deg(v) < mu                (can never be a core)
+enum class NodeRole : uint8_t { kCore, kPCore, kPeriphery };
+
+/// Parameters of the similarity layer (Table II).
+struct SimilarityParams {
+  double lambda = 0.1;   ///< time-decay factor
+  double epsilon = 0.4;  ///< active-neighbor similarity threshold
+  uint32_t mu = 3;       ///< core threshold on |N_eps(v)|
+  /// Anchored similarity floor: wedge stretch may push a similarity to or
+  /// below zero; the similarity is clamped here so the distance weight 1/S
+  /// stays finite and positive (Attractor's truncation, adapted).
+  double min_similarity = 1e-9;
+  /// Numeric ceiling guarding against runaway consolidation on degenerate
+  /// graphs (cliques reinforced for many repetitions).
+  double max_similarity = 1e15;
+  /// Initial activeness of every edge ("The initial edge activeness is 1",
+  /// Section VI).
+  double initial_activeness = 1.0;
+};
+
+/// Maintains, on top of an ActivenessStore, everything Section IV derives
+/// from the activeness:
+///
+///  - per-node activity sums  A(v) = sum_{x in N(v)} a(v,x)
+///  - per-edge sigma numerators
+///        num(u,v) = sum_{x in N(u) cap N(v)} (a(u,x) + a(v,x))
+///    so the active similarity sigma(u,v) = num(u,v) / (A(u) + A(v)) is an
+///    O(1) lookup (sigma is NeuM: the global factor cancels, Lemma 3)
+///  - the similarity function S_t (PosM, Lemma 4), updated by the three
+///    local-reinforcement processes AF / TF / WSF (Eqs. 2-4)
+///  - the distance weight S_t^{-1} (NegM, Lemma 6) consumed by the pyramid
+///    index.
+///
+/// Everything is stored *anchored* at the shared anchor time of the
+/// ActivenessStore; because sigma is a ratio of PosM quantities and every
+/// reinforcement term is (a product of) PosM quantities, the reinforcement
+/// arithmetic runs directly on anchored values with the global factor never
+/// materializing. The only place the factor g(t, t*) appears is the +1
+/// activeness bump of an activation.
+///
+/// Per-activation maintenance cost is O(deg(u) + deg(v)) (Lemma 5):
+///  - activeness bump: O(1)
+///  - A(u), A(v): O(1)
+///  - numerators: one sorted merge of N(u) and N(v), +delta on the <=
+///    min(deg) triangle edges
+///  - reinforcement: one sorted merge per trigger node, O(1) sigma lookups.
+class SimilarityEngine {
+ public:
+  SimilarityEngine(const Graph& graph, SimilarityParams params);
+
+  SimilarityEngine(const SimilarityEngine&) = delete;
+  SimilarityEngine& operator=(const SimilarityEngine&) = delete;
+
+  const Graph& graph() const { return *graph_; }
+  const SimilarityParams& params() const { return params_; }
+  const ActivenessStore& activeness() const { return activeness_; }
+
+  /// Static initialization of S_0 (Section IV-C): every edge gets activeness
+  /// `initial_activeness` at t = 0 (the paper's "stream initialized with
+  /// activations over all edges"), S = 1 on every edge, then `rep` full
+  /// local-reinforcement sweeps over E. rep = 0 leaves S uniformly 1 (pure
+  /// hop distance). Resets any previously applied stream.
+  void InitializeStatic(uint32_t rep);
+
+  /// ANCF snapshot recompute: keeps the current activeness, resets S to 1
+  /// and re-propagates with `rep` reinforcement sweeps.
+  void RecomputeFromActiveness(uint32_t rep);
+
+  /// Full pipeline for one activation (e, t): activeness += 1, sigma caches
+  /// updated, local reinforcement applied with trigger edge e. Returns the
+  /// updated anchored distance weight of e via `new_weight` (for the index
+  /// update) if non-null.
+  Status ApplyActivation(EdgeId e, double t, double* new_weight = nullptr);
+
+  /// Like ApplyActivation but skips the reinforcement step: only the
+  /// activeness and sigma caches advance. Used by the offline ANCF variant,
+  /// whose S is snapshot-derived (RecomputeFromActiveness).
+  Status ApplyActivationNoReinforce(EdgeId e, double t,
+                                    double* delta = nullptr);
+
+  /// One local-reinforcement pass with trigger edge e, without touching the
+  /// activeness (ANCOR's periodic consolidation of recently active edges).
+  void ReinforceEdge(EdgeId e) { Reinforce(e); }
+
+  /// One full reinforcement sweep over all edges at time t without adding
+  /// activeness (the periodic re-propagation pass of ANCOR and the
+  /// rep-rounds of ANCF). Does not touch the activeness.
+  void ReinforceAllEdges();
+
+  /// Anchored active similarity sigma(u, v) of edge e. O(1).
+  double Sigma(EdgeId e) const {
+    const auto& [u, v] = graph_->Endpoints(e);
+    const double denom = node_activity_[u] + node_activity_[v];
+    return denom > 0.0 ? sigma_numerator_[e] / denom : 0.0;
+  }
+
+  /// Anchored similarity S*(e). The true S_t(e) is S*(e) * g(t, t*).
+  double Similarity(EdgeId e) const { return similarity_[e]; }
+
+  /// Anchored distance weight 1/S*(e) consumed by the pyramid index.
+  /// The true weight is (1/S*(e)) * g^{-1}(t, t*) (Lemma 10); since the
+  /// factor is shared by all edges it never changes shortest-path structure,
+  /// so the index only ever sees anchored weights.
+  double Weight(EdgeId e) const { return 1.0 / similarity_[e]; }
+
+  /// |N_eps(v)|: number of neighbors with sigma >= epsilon. O(deg v).
+  uint32_t ActiveNeighborCount(NodeId v) const;
+
+  /// Role of v under the current sigma (core / p-core / periphery).
+  NodeRole Role(NodeId v) const;
+
+  /// Direct-computation cross-checks used by tests: recompute A(v) and
+  /// num(e) from scratch and compare against the incremental caches.
+  double RecomputeNodeActivity(NodeId v) const;
+  double RecomputeSigmaNumerator(EdgeId e) const;
+
+  /// Complete anchored state of the engine (serialization support).
+  struct Snapshot {
+    double anchor_time = 0.0;
+    double last_time = 0.0;
+    std::vector<double> anchored_activeness;  // per edge
+    std::vector<double> similarity;           // per edge
+  };
+
+  /// Captures the current state. The sigma caches are derived and not
+  /// included; Restore() recomputes them.
+  Snapshot TakeSnapshot() const;
+
+  /// Restores a snapshot taken from an engine over the same graph,
+  /// rebuilding the sigma caches. O(n + sum_e min-deg).
+  Status Restore(const Snapshot& snapshot);
+
+  /// Registers a callback fired with the rescale factor g after a batched
+  /// rescale has been folded into the engine's anchored state. Consumers
+  /// holding derived NegM state (the pyramid index's distance weights,
+  /// which scale by 1/g) use it to stay on the same anchor (Lemma 10).
+  /// `clamped` lists the edges whose similarity hit the clamp during the
+  /// rescale — their weights did NOT scale uniformly and need individual
+  /// repair.
+  void SetRescaleCallback(
+      std::function<void(double factor, const std::vector<EdgeId>& clamped)>
+          callback) {
+    rescale_callback_ = std::move(callback);
+  }
+
+ private:
+  /// Scales all anchored state by `factor` (batched rescale hook).
+  void OnRescale(double factor);
+
+  /// Updates sigma caches for an activeness increase of `delta` on edge e.
+  void BumpActiveness(EdgeId e, double delta);
+
+  /// Local reinforcement of Section IV-B with trigger edge e. Reads the
+  /// pre-update S for both trigger nodes, then applies both deltas.
+  void Reinforce(EdgeId e);
+
+  /// Contribution of trigger node `u` (the other endpoint is `v`): returns
+  /// the signed delta to S(e) per the role formulas (Eqs. 2-4).
+  double TriggerDelta(EdgeId e, NodeId u, NodeId v) const;
+
+  void ClampSimilarity(EdgeId e);
+
+  const Graph* graph_;
+  SimilarityParams params_;
+  ActivenessStore activeness_;
+  std::vector<double> node_activity_;    // A(v), anchored
+  std::vector<double> sigma_numerator_;  // num(e), anchored
+  std::vector<double> similarity_;       // S*(e), anchored
+  std::function<void(double, const std::vector<EdgeId>&)> rescale_callback_;
+};
+
+/// Suggests a graph-dependent active-neighbor threshold epsilon: the given
+/// percentile (in [0, 1]) of the initial (unit-activeness) active-similarity
+/// distribution over all edges. The paper tunes epsilon per dataset (Table
+/// II: "graph-dependent, value setting reported in the technical report");
+/// this helper reproduces that tuning mechanically. Typical percentile: 0.6.
+double SuggestEpsilon(const Graph& graph, double percentile = 0.6);
+
+}  // namespace anc
+
+#endif  // ANC_SIMILARITY_SIMILARITY_ENGINE_H_

@@ -1,0 +1,39 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace anc {
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t population,
+                                                    uint32_t count) {
+  ANC_CHECK(count <= population,
+            "SampleWithoutReplacement: count exceeds population");
+  std::vector<uint32_t> out;
+  out.reserve(count);
+  if (count == 0) return out;
+  // For dense samples a shuffle of the full population is cheaper and avoids
+  // rejection churn in the hash set.
+  if (count * 4 >= population) {
+    std::vector<uint32_t> all(population);
+    std::iota(all.begin(), all.end(), 0);
+    Shuffle(all);
+    all.resize(count);
+    return all;
+  }
+  // Floyd's algorithm: uniform without replacement in O(count) expected time.
+  std::unordered_set<uint32_t> chosen;
+  chosen.reserve(count * 2);
+  for (uint32_t j = population - count; j < population; ++j) {
+    uint32_t t = static_cast<uint32_t>(Uniform(j + 1));
+    if (!chosen.insert(t).second) chosen.insert(j), t = j;
+    out.push_back(t);
+  }
+  // Floyd's produces a set; order is irrelevant to callers but we sort for
+  // determinism across hash-set iteration orders.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace anc

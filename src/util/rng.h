@@ -1,0 +1,90 @@
+#ifndef ANC_UTIL_RNG_H_
+#define ANC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace anc {
+
+/// Deterministic 64-bit random number generator (xoshiro256**), seeded via
+/// splitmix64. All randomness in the library flows through seeded instances
+/// of this class so every experiment is reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator; the same seed yields the same stream.
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the scalar seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    ANC_CHECK(bound > 0, "Rng::Uniform bound must be positive");
+    // Lemire's nearly-divisionless bounded generation.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (-bound) % bound;
+      while (lo < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Samples `count` distinct values from [0, population) uniformly without
+  /// replacement (Floyd's algorithm for small counts, shuffle otherwise).
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t population,
+                                                 uint32_t count);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace anc
+
+#endif  // ANC_UTIL_RNG_H_

@@ -1,0 +1,142 @@
+#ifndef ANC_UTIL_STATUS_H_
+#define ANC_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace anc {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of status-code + message error handling (no exceptions on the
+/// library's hot paths).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Lightweight status object returned by fallible operations.
+///
+/// The OK state carries no allocation; error states carry a code and a
+/// human-readable message. Typical use:
+///
+///     Status s = graph.AddEdge(u, v);
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> is either a value or an error Status (Arrow's arrow::Result
+/// idiom). Accessing the value of an error result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status so `return value;` and
+  /// `return Status::...;` both work in functions returning Result<T>.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(payload_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(payload_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(payload_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace anc
+
+/// Propagates a non-OK status to the caller.
+#define ANC_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::anc::Status _anc_status = (expr);      \
+    if (!_anc_status.ok()) return _anc_status; \
+  } while (0)
+
+/// Aborts with a message when an invariant is violated. Used for conditions
+/// that indicate library bugs, not user errors.
+#define ANC_CHECK(cond, msg)                                           \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "ANC_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, (msg));                                   \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+#endif  // ANC_UTIL_STATUS_H_

@@ -1,0 +1,63 @@
+#include "util/thread_pool.h"
+
+namespace anc {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  if (num_threads_ > 1) {
+    workers_.reserve(num_threads_);
+    for (unsigned i = 0; i < num_threads_; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    work_available_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--inflight_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_ += count;
+    for (size_t i = 0; i < count; ++i) {
+      tasks_.push([&fn, i] { fn(i); });
+    }
+  }
+  work_available_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+}  // namespace anc

@@ -1,0 +1,49 @@
+#ifndef ANC_UTIL_THREAD_POOL_H_
+#define ANC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace anc {
+
+/// Fixed-size worker pool used to update the k x ceil(log2 n) mutually
+/// independent Voronoi partitions of the pyramid index in parallel
+/// (Lemma 13: the update of P is embarrassingly parallel).
+///
+/// The pool exposes a blocking ParallelFor; tasks must not enqueue further
+/// tasks. With num_threads == 1 ParallelFor degrades to a serial loop so the
+/// single-threaded configuration has zero synchronization overhead.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) for every i in [0, count), distributing iterations across the
+  /// workers, and returns when all iterations completed.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  unsigned num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  std::queue<std::function<void()>> tasks_;
+  size_t inflight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace anc
+
+#endif  // ANC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,202 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "activation/activeness.h"
+#include "activation/stream_generators.h"
+#include "datasets/synthetic.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+TEST(ActivenessTest, PaperExample1) {
+  // Example 1 of the paper: lambda = 0.1, activations at t=0 and t=2.
+  ActivenessStore store(1, 0.1, 0.0);
+  ASSERT_TRUE(store.Activate(0, 0.0).ok());
+  EXPECT_NEAR(store.ActivenessAt(0, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(store.ActivenessAt(0, 1.0), std::exp(-0.1), 1e-12);
+  ASSERT_TRUE(store.Activate(0, 2.0).ok());
+  EXPECT_NEAR(store.ActivenessAt(0, 2.0), 1.0 + std::exp(-0.2), 1e-12);
+}
+
+TEST(ActivenessTest, PaperExample2AnchoredBookkeeping) {
+  // Example 2: anchored activeness under the global decay factor.
+  ActivenessStore store(1, 0.1, 0.0);
+  ASSERT_TRUE(store.Activate(0, 0.0).ok());
+  EXPECT_NEAR(store.Anchored(0), 1.0, 1e-12);
+  EXPECT_NEAR(store.GlobalFactor(1.0), 0.905, 1e-3);
+  ASSERT_TRUE(store.Activate(0, 2.0).ok());
+  // a*(e) = 1 + 1/g(2,0) = 1 + e^{0.2} = 2.221...
+  EXPECT_NEAR(store.Anchored(0), 1.0 + std::exp(0.2), 1e-12);
+  EXPECT_NEAR(store.ActivenessAt(0, 2.0), 1.0 + std::exp(-0.2), 1e-12);
+  // Re-anchor at t = 2: anchored value becomes the true activeness.
+  store.Rescale(2.0);
+  EXPECT_NEAR(store.Anchored(0), 1.0 + std::exp(-0.2), 1e-12);
+}
+
+TEST(ActivenessTest, MatchesNaiveOnRandomStream) {
+  // Property: anchored maintenance == direct Eq. (1) evaluation, for every
+  // edge, after an arbitrary stream.
+  const uint32_t num_edges = 20;
+  const double lambda = 0.25;
+  ActivenessStore store(num_edges, lambda, 0.0);
+  NaiveActiveness naive(num_edges, lambda);
+  Rng rng(99);
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    t += rng.NextDouble();
+    const EdgeId e = static_cast<EdgeId>(rng.Uniform(num_edges));
+    ASSERT_TRUE(store.Activate(e, t).ok());
+    naive.Activate(e, t);
+  }
+  const double query_time = t + 3.0;
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    EXPECT_NEAR(store.ActivenessAt(e, query_time),
+                naive.ActivenessAt(e, query_time), 1e-9)
+        << "edge " << e;
+  }
+}
+
+TEST(ActivenessTest, RescaleIsObservationallyInvisible) {
+  ActivenessStore a(5, 0.5, 1.0);
+  ActivenessStore b(5, 0.5, 1.0);
+  ASSERT_TRUE(a.Activate(2, 1.0).ok());
+  ASSERT_TRUE(b.Activate(2, 1.0).ok());
+  b.Rescale(4.0);  // only b re-anchors
+  ASSERT_TRUE(a.Activate(3, 5.0).ok());
+  ASSERT_TRUE(b.Activate(3, 5.0).ok());
+  for (EdgeId e = 0; e < 5; ++e) {
+    EXPECT_NEAR(a.ActivenessAt(e, 6.0), b.ActivenessAt(e, 6.0), 1e-12);
+  }
+}
+
+TEST(ActivenessTest, AutomaticRescaleGuardsExponent) {
+  ActivenessStore store(2, 1.0, 1.0);  // aggressive lambda
+  // t = 100 with anchor 0 would need e^{100}; the store must re-anchor.
+  ASSERT_TRUE(store.Activate(0, 100.0).ok());
+  EXPECT_GE(store.rescale_count(), 1u);
+  EXPECT_NEAR(store.ActivenessAt(0, 100.0),
+              1.0 * std::exp(-100.0) + 1.0, 1e-9);
+}
+
+TEST(ActivenessTest, IntervalRescale) {
+  ActivenessStore store(1, 0.1, 0.0);
+  store.set_rescale_interval(10);
+  for (int i = 1; i <= 35; ++i) {
+    ASSERT_TRUE(store.Activate(0, static_cast<double>(i)).ok());
+  }
+  EXPECT_EQ(store.rescale_count(), 3u);
+}
+
+TEST(ActivenessTest, RescaleHookFires) {
+  ActivenessStore store(1, 0.1, 0.0);
+  double seen_factor = -1.0;
+  store.SetRescaleHook([&seen_factor](double f) { seen_factor = f; });
+  ASSERT_TRUE(store.Activate(0, 1.0).ok());
+  store.Rescale(3.0);
+  // Anchor was 0, so the folded factor is g(3, 0) = e^{-0.1 * 3}.
+  EXPECT_NEAR(seen_factor, std::exp(-0.1 * 3.0), 1e-12);
+}
+
+TEST(ActivenessTest, RejectsOutOfRangeEdge) {
+  ActivenessStore store(3, 0.1);
+  EXPECT_EQ(store.Activate(3, 1.0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ActivenessTest, RejectsDecreasingTimestamps) {
+  ActivenessStore store(3, 0.1);
+  ASSERT_TRUE(store.Activate(0, 5.0).ok());
+  EXPECT_EQ(store.Activate(1, 4.0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ActivenessTest, ZeroLambdaNeverDecays) {
+  ActivenessStore store(1, 0.0, 0.0);
+  ASSERT_TRUE(store.Activate(0, 1.0).ok());
+  ASSERT_TRUE(store.Activate(0, 100.0).ok());
+  EXPECT_NEAR(store.ActivenessAt(0, 1000.0), 2.0, 1e-12);
+}
+
+// ------------------------------------------------------ stream generators --
+
+TEST(StreamGeneratorsTest, UniformStreamShape) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(50, 200, rng);
+  ActivationStream stream = UniformStream(g, 10, 0.05, rng);
+  const uint32_t per_step = static_cast<uint32_t>(0.05 * g.NumEdges());
+  EXPECT_EQ(stream.size(), static_cast<size_t>(per_step) * 10);
+  double last = 0.0;
+  for (const Activation& a : stream) {
+    EXPECT_LT(a.edge, g.NumEdges());
+    EXPECT_GE(a.time, last);
+    last = a.time;
+  }
+}
+
+TEST(StreamGeneratorsTest, CommunityBiasedPrefersIntraEdges) {
+  Rng rng(2);
+  PlantedPartitionParams params;
+  params.num_communities = 4;
+  params.min_size = 20;
+  params.max_size = 20;
+  params.p_in = 0.4;
+  params.mixing = 0.25;
+  GroundTruthGraph data = PlantedPartition(params, rng);
+  ActivationStream stream = CommunityBiasedStream(
+      data.graph, data.truth.labels, 20, 0.1, 8.0, rng);
+  uint32_t intra = 0;
+  for (const Activation& a : stream) {
+    const auto& [u, v] = data.graph.Endpoints(a.edge);
+    intra += (data.truth.labels[u] == data.truth.labels[v]) ? 1 : 0;
+  }
+  // Count intra edges in the graph to know the unbiased expectation.
+  uint32_t intra_edges = 0;
+  for (EdgeId e = 0; e < data.graph.NumEdges(); ++e) {
+    const auto& [u, v] = data.graph.Endpoints(e);
+    intra_edges += (data.truth.labels[u] == data.truth.labels[v]) ? 1 : 0;
+  }
+  const double unbiased =
+      static_cast<double>(intra_edges) / data.graph.NumEdges();
+  const double observed = static_cast<double>(intra) / stream.size();
+  EXPECT_GT(observed, unbiased + 0.05);
+}
+
+TEST(StreamGeneratorsTest, DiurnalStreamHasQuietAndBusyPhases) {
+  Rng rng(3);
+  Graph g = ErdosRenyi(100, 400, rng);
+  ActivationStream stream = DiurnalStream(g, 1440, 20.0, 0.01, 3.0, rng);
+  ASSERT_FALSE(stream.empty());
+  std::vector<uint32_t> per_minute(1440, 0);
+  for (const Activation& a : stream) {
+    ++per_minute[static_cast<uint32_t>(a.time)];
+  }
+  // Midday (minute ~720) must be busier than the edges of the window.
+  double early = 0;
+  double mid = 0;
+  for (int i = 0; i < 60; ++i) early += per_minute[i];
+  for (int i = 690; i < 750; ++i) mid += per_minute[i];
+  EXPECT_GT(mid, early * 1.5);
+}
+
+TEST(StreamGeneratorsTest, SplitIntoBatches) {
+  ActivationStream stream;
+  for (int i = 0; i < 10; ++i) {
+    stream.push_back({0, static_cast<double>(i)});
+  }
+  std::vector<ActivationStream> batches = SplitIntoBatches(stream, 4);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 4u);
+  EXPECT_EQ(batches[2].size(), 2u);
+}
+
+TEST(StreamGeneratorsTest, SplitByTimestamp) {
+  ActivationStream stream = {{0, 0.5}, {0, 1.2}, {0, 1.8}, {0, 7.0}};
+  std::vector<ActivationStream> batches = SplitByTimestamp(stream, 3);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 1u);
+  EXPECT_EQ(batches[1].size(), 2u);
+  EXPECT_EQ(batches[2].size(), 1u);  // overflow clamps to last batch
+}
+
+}  // namespace
+}  // namespace anc

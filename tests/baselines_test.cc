@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "baselines/attractor.h"
+#include "baselines/dynamo.h"
+#include "baselines/louvain.h"
+#include "baselines/lwep.h"
+#include "baselines/scan.h"
+#include "datasets/synthetic.h"
+#include "metrics/quality.h"
+#include "metrics/structural.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+/// Two 5-cliques with a single bridge.
+Graph TwoCliques(EdgeId* bridge = nullptr) {
+  GraphBuilder b;
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) EXPECT_TRUE(b.AddEdge(u, v).ok());
+  }
+  for (NodeId u = 5; u < 10; ++u) {
+    for (NodeId v = u + 1; v < 10; ++v) EXPECT_TRUE(b.AddEdge(u, v).ok());
+  }
+  EXPECT_TRUE(b.AddEdge(4, 5).ok());
+  Graph g = b.Build();
+  if (bridge != nullptr) *bridge = *g.FindEdge(4, 5);
+  return g;
+}
+
+Clustering PlantedTwoCliques() {
+  return Clustering::FromLabels({0, 0, 0, 0, 0, 1, 1, 1, 1, 1});
+}
+
+GroundTruthGraph MediumPlanted(uint64_t seed) {
+  Rng rng(seed);
+  PlantedPartitionParams params;
+  params.num_communities = 8;
+  params.min_size = 20;
+  params.max_size = 30;
+  params.p_in = 0.4;
+  params.mixing = 0.08;
+  return PlantedPartition(params, rng);
+}
+
+// ------------------------------------------------------------------- SCAN --
+
+TEST(ScanTest, SeparatesTwoCliques) {
+  Graph g = TwoCliques();
+  ScanParams params;
+  params.epsilon = 0.6;
+  params.mu = 3;
+  Clustering c = Scan(g, params);
+  EXPECT_NEAR(Nmi(c, PlantedTwoCliques()), 1.0, 1e-9);
+}
+
+TEST(ScanTest, HighEpsilonLeavesOnlyNoise) {
+  // On a cycle no pair of closed neighborhoods overlaps enough for sigma
+  // near 1 (adjacent nodes share exactly themselves: 2/3), so a high
+  // epsilon classifies everything as noise.
+  GraphBuilder b;
+  for (NodeId v = 0; v < 6; ++v) ASSERT_TRUE(b.AddEdge(v, (v + 1) % 6).ok());
+  Graph g = b.Build();
+  ScanParams params;
+  params.epsilon = 0.9;
+  params.mu = 2;
+  Clustering c = Scan(g, params);
+  EXPECT_EQ(c.num_clusters, 0u);
+  EXPECT_EQ(c.NumAssigned(), 0u);
+}
+
+TEST(ScanTest, RecoverablePlantedCommunities) {
+  GroundTruthGraph data = MediumPlanted(1);
+  ScanParams params;
+  params.epsilon = 0.3;
+  params.mu = 3;
+  Clustering c = Scan(data.graph, params);
+  EXPECT_GT(Nmi(c, data.truth), 0.5);
+}
+
+TEST(ScanTest, WeightedSimilarityChangesResult) {
+  EdgeId bridge;
+  Graph g = TwoCliques(&bridge);
+  ScanParams params;
+  params.epsilon = 0.5;
+  params.mu = 3;
+  // Heavy bridge pulls nodes 4 and 5 together under cosine similarity.
+  std::vector<double> w(g.NumEdges(), 1.0);
+  w[bridge] = 100.0;
+  Clustering weighted = Scan(g, params, w);
+  Clustering unweighted = Scan(g, params);
+  EXPECT_NE(weighted.labels, unweighted.labels);
+}
+
+// ---------------------------------------------------------------- Louvain --
+
+TEST(LouvainTest, SeparatesTwoCliques) {
+  Graph g = TwoCliques();
+  Clustering c = Louvain(g, {});
+  EXPECT_NEAR(Nmi(c, PlantedTwoCliques()), 1.0, 1e-9);
+}
+
+TEST(LouvainTest, PositiveModularityOnPlanted) {
+  GroundTruthGraph data = MediumPlanted(2);
+  Clustering c = Louvain(data.graph, {});
+  EXPECT_GT(Modularity(data.graph, c), 0.5);
+  EXPECT_GT(Nmi(c, data.truth), 0.7);
+}
+
+TEST(LouvainTest, WeightsMatter) {
+  EdgeId bridge;
+  Graph g = TwoCliques(&bridge);
+  std::vector<double> w(g.NumEdges(), 1.0);
+  w[bridge] = 100.0;  // overwhelming bridge binds its endpoints together
+  Clustering c = Louvain(g, w);
+  EXPECT_EQ(c.labels[4], c.labels[5]);
+  // Unweighted Louvain keeps the bridge endpoints in their own cliques.
+  Clustering unweighted = Louvain(g, {});
+  EXPECT_NE(unweighted.labels[4], unweighted.labels[5]);
+}
+
+TEST(LouvainTest, AssignsEveryNode) {
+  GroundTruthGraph data = MediumPlanted(3);
+  Clustering c = Louvain(data.graph, {});
+  EXPECT_EQ(c.NumAssigned(), data.graph.NumNodes());
+}
+
+// -------------------------------------------------------------- Attractor --
+
+TEST(AttractorTest, SeparatesTwoCliques) {
+  Graph g = TwoCliques();
+  Clustering c = Attractor(g);
+  EXPECT_NEAR(Nmi(c, PlantedTwoCliques()), 1.0, 1e-9);
+}
+
+TEST(AttractorTest, ConvergesOnPlanted) {
+  GroundTruthGraph data = MediumPlanted(4);
+  AttractorParams params;
+  Clustering c = Attractor(data.graph, params);
+  EXPECT_GT(Nmi(c, data.truth), 0.4);
+}
+
+TEST(AttractorTest, WeightedInitializationSteersTheCut) {
+  // Heavy bridge weight pulls the two cliques together under the weighted
+  // Jaccard initialization; the unweighted run keeps them apart.
+  EdgeId bridge;
+  Graph g = TwoCliques(&bridge);
+  Clustering unweighted = Attractor(g);
+  EXPECT_NE(unweighted.labels[4], unweighted.labels[5]);
+  std::vector<double> w(g.NumEdges(), 1.0);
+  w[bridge] = 50.0;
+  AttractorParams params;
+  Clustering weighted = Attractor(g, params, w);
+  EXPECT_EQ(weighted.labels[4], weighted.labels[5]);
+}
+
+TEST(AttractorTest, SingleCliqueStaysTogether) {
+  GraphBuilder b;
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+  }
+  Graph g = b.Build();
+  Clustering c = Attractor(g);
+  EXPECT_EQ(c.num_clusters, 1u);
+}
+
+// ------------------------------------------------------------------- DYNA --
+
+TEST(DynamoTest, InitialAssignmentMatchesLouvainQuality) {
+  GroundTruthGraph data = MediumPlanted(5);
+  DynamoClusterer dyna(data.graph, std::vector<double>(data.graph.NumEdges(), 1.0));
+  EXPECT_GT(Nmi(dyna.CurrentClustering(), data.truth), 0.7);
+}
+
+TEST(DynamoTest, RefineImprovesOrKeepsModularity) {
+  GroundTruthGraph data = MediumPlanted(6);
+  std::vector<double> w(data.graph.NumEdges(), 1.0);
+  DynamoClusterer dyna(data.graph, w);
+  const double before = dyna.CurrentModularity();
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const EdgeId e = static_cast<EdgeId>(rng.Uniform(data.graph.NumEdges()));
+    dyna.UpdateWeight(e, 1.0 + rng.NextDouble());
+  }
+  dyna.Refine();
+  // Refinement moves only when modularity strictly improves under the new
+  // weights; the outcome must stay a sane clustering.
+  const double after = dyna.CurrentModularity();
+  EXPECT_GT(after, 0.0);
+  EXPECT_GT(after, before - 0.2);
+}
+
+TEST(DynamoTest, SetAllWeightsMarksChangedRegions) {
+  EdgeId bridge;
+  Graph g = TwoCliques(&bridge);
+  std::vector<double> w(g.NumEdges(), 1.0);
+  DynamoClusterer dyna(g, w);
+  // Strengthen the bridge massively: after refresh+refine, 4 and 5 should
+  // end up together.
+  w[bridge] = 200.0;
+  dyna.SetAllWeights(w);
+  dyna.Refine();
+  Clustering c = dyna.CurrentClustering();
+  EXPECT_EQ(c.labels[4], c.labels[5]);
+}
+
+// ------------------------------------------------------------------- LWEP --
+
+TEST(LwepTest, StepSeparatesCliques) {
+  Graph g = TwoCliques();
+  LwepClusterer lwep(g, /*top_k=*/4);
+  Clustering c = lwep.Step(std::vector<double>(g.NumEdges(), 1.0));
+  EXPECT_GT(Nmi(c, PlantedTwoCliques()), 0.8);
+}
+
+TEST(LwepTest, TracksWeightShift) {
+  EdgeId bridge;
+  Graph g = TwoCliques(&bridge);
+  LwepClusterer lwep(g, /*top_k=*/2);
+  std::vector<double> w(g.NumEdges(), 1.0);
+  Clustering before = lwep.Step(w);
+  EXPECT_NE(before.labels[4], before.labels[5]);
+  // Make the bridge the only heavy edge at nodes 4 and 5.
+  w[bridge] = 50.0;
+  Clustering after = lwep.Step(w);
+  EXPECT_EQ(after.labels[4], after.labels[5]);
+}
+
+TEST(LwepTest, AssignsEveryNodeWithEdges) {
+  GroundTruthGraph data = MediumPlanted(7);
+  LwepClusterer lwep(data.graph);
+  Clustering c = lwep.Step({});
+  EXPECT_EQ(c.NumAssigned(), data.graph.NumNodes());
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,200 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datasets/synthetic.h"
+#include "pyramid/clustering.h"
+#include "pyramid/pyramid_index.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+/// Two 5-cliques joined by a single bridge, with strongly separated weights:
+/// intra edges cheap (high similarity), bridge expensive.
+struct CliquePair {
+  Graph graph;
+  EdgeId bridge;
+  std::vector<double> weights;
+};
+
+CliquePair MakeCliquePair() {
+  GraphBuilder b;
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) EXPECT_TRUE(b.AddEdge(u, v).ok());
+  }
+  for (NodeId u = 5; u < 10; ++u) {
+    for (NodeId v = u + 1; v < 10; ++v) EXPECT_TRUE(b.AddEdge(u, v).ok());
+  }
+  EXPECT_TRUE(b.AddEdge(4, 5).ok());
+  CliquePair out;
+  out.graph = b.Build();
+  out.bridge = *out.graph.FindEdge(4, 5);
+  out.weights.assign(out.graph.NumEdges(), 0.2);
+  out.weights[out.bridge] = 50.0;
+  return out;
+}
+
+PyramidParams Params(uint32_t k = 4) {
+  PyramidParams p;
+  p.num_pyramids = k;
+  p.seed = 7;
+  return p;
+}
+
+TEST(ClusteringTest, EvenClusteringSeparatesCliquesAtFineLevel) {
+  CliquePair data = MakeCliquePair();
+  PyramidIndex idx(data.graph, data.weights, Params());
+  const uint32_t level = idx.num_levels();  // finest: 8 seeds for 10 nodes
+  Clustering c = EvenClustering(idx, level);
+  // The two clique interiors must not merge across the expensive bridge.
+  EXPECT_NE(c.labels[0], c.labels[9]);
+}
+
+TEST(ClusteringTest, Level1IsOneClusterPerComponent) {
+  CliquePair data = MakeCliquePair();
+  PyramidIndex idx(data.graph, data.weights, Params());
+  Clustering c = EvenClustering(idx, 1);
+  EXPECT_EQ(c.num_clusters, 1u);  // connected graph
+  for (uint32_t l : c.labels) EXPECT_EQ(l, 0u);
+}
+
+TEST(ClusteringTest, PowerClusteringCoversAllNodes) {
+  CliquePair data = MakeCliquePair();
+  PyramidIndex idx(data.graph, data.weights, Params());
+  for (uint32_t level = 1; level <= idx.num_levels(); ++level) {
+    Clustering c = PowerClustering(idx, level);
+    EXPECT_EQ(c.NumAssigned(), data.graph.NumNodes());
+  }
+}
+
+TEST(ClusteringTest, PowerRefinesEven) {
+  // Every power cluster is contained in an even cluster (power only walks
+  // downhill over the same passing edges).
+  Rng rng(3);
+  Graph g = BarabasiAlbert(200, 3, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.2 + rng.NextDouble();
+  PyramidIndex idx(g, w, Params());
+  for (uint32_t level : {2u, idx.DefaultLevel(), idx.num_levels()}) {
+    Clustering even = EvenClustering(idx, level);
+    Clustering power = PowerClustering(idx, level);
+    // Map each power cluster to the even cluster of its first member.
+    std::vector<uint32_t> owner(power.num_clusters, kNoise);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      const uint32_t pc = power.labels[v];
+      if (owner[pc] == kNoise) {
+        owner[pc] = even.labels[v];
+      } else {
+        EXPECT_EQ(owner[pc], even.labels[v])
+            << "power cluster spans even clusters at level " << level;
+      }
+    }
+    EXPECT_GE(power.num_clusters, even.num_clusters);
+  }
+}
+
+TEST(ClusteringTest, ZoomMonotonicity) {
+  // Finer levels never produce fewer clusters on average; specifically the
+  // finest level has at least as many clusters as level 1.
+  Rng rng(5);
+  Graph g = BarabasiAlbert(300, 3, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.2 + rng.NextDouble();
+  PyramidIndex idx(g, w, Params());
+  Clustering coarse = EvenClustering(idx, 1);
+  Clustering fine = EvenClustering(idx, idx.num_levels());
+  EXPECT_GT(fine.num_clusters, coarse.num_clusters);
+}
+
+TEST(ClusteringTest, LocalClusterMatchesEvenComponent) {
+  Rng rng(7);
+  Graph g = BarabasiAlbert(150, 3, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.2 + rng.NextDouble();
+  PyramidIndex idx(g, w, Params());
+  const uint32_t level = idx.DefaultLevel();
+  Clustering even = EvenClustering(idx, level);
+  for (NodeId q : {NodeId{0}, NodeId{17}, NodeId{93}}) {
+    std::vector<NodeId> local = LocalCluster(idx, q, level);
+    std::set<NodeId> expected;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (even.labels[v] == even.labels[q]) expected.insert(v);
+    }
+    EXPECT_EQ(std::set<NodeId>(local.begin(), local.end()), expected)
+        << "query " << q;
+  }
+}
+
+TEST(ClusteringTest, LocalClusterAlwaysContainsQuery) {
+  CliquePair data = MakeCliquePair();
+  PyramidIndex idx(data.graph, data.weights, Params());
+  for (uint32_t level = 1; level <= idx.num_levels(); ++level) {
+    for (NodeId q = 0; q < data.graph.NumNodes(); ++q) {
+      std::vector<NodeId> members = LocalCluster(idx, q, level);
+      EXPECT_TRUE(std::binary_search(members.begin(), members.end(), q));
+    }
+  }
+}
+
+TEST(ClusteringTest, SmallestClusterLevelZoomsOutUntilSized) {
+  CliquePair data = MakeCliquePair();
+  PyramidIndex idx(data.graph, data.weights, Params());
+  std::vector<NodeId> members;
+  const uint32_t level = SmallestClusterLevel(idx, 0, 3, &members);
+  EXPECT_GE(members.size(), 3u);
+  EXPECT_LE(level, idx.num_levels());
+  EXPECT_TRUE(std::binary_search(members.begin(), members.end(), 0u));
+}
+
+TEST(ClusteringTest, ZoomCursorNavigation) {
+  CliquePair data = MakeCliquePair();
+  PyramidIndex idx(data.graph, data.weights, Params());
+  ZoomCursor cursor(idx);
+  EXPECT_EQ(cursor.level(), idx.DefaultLevel());
+  const uint32_t start = cursor.level();
+  EXPECT_TRUE(cursor.ZoomIn() || start == idx.num_levels());
+  while (cursor.ZoomOut()) {
+  }
+  EXPECT_EQ(cursor.level(), 1u);
+  EXPECT_FALSE(cursor.ZoomOut());
+  while (cursor.ZoomIn()) {
+  }
+  EXPECT_EQ(cursor.level(), idx.num_levels());
+  EXPECT_FALSE(cursor.ZoomIn());
+  Clustering c = cursor.Clusters();
+  EXPECT_EQ(c.NumAssigned(), data.graph.NumNodes());
+  std::vector<NodeId> local = cursor.Local(0);
+  EXPECT_FALSE(local.empty());
+}
+
+TEST(ClusteringTest, PowerClusteringAvoidsChainMerge) {
+  // The paper's motivation for power clustering: even clustering merges
+  // everything along a chain of passing edges, power clustering stops at
+  // the degree ridge. Build a barbell: two cliques plus a 2-node path
+  // bridge whose edges (atypically) pass the vote.
+  GraphBuilder b;
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+  }
+  for (NodeId u = 7; u < 12; ++u) {
+    for (NodeId v = u + 1; v < 12; ++v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+  }
+  ASSERT_TRUE(b.AddEdge(4, 5).ok());
+  ASSERT_TRUE(b.AddEdge(5, 6).ok());
+  ASSERT_TRUE(b.AddEdge(6, 7).ok());
+  Graph g = b.Build();
+  // Uniform weights: at level 1 all edges pass everywhere.
+  PyramidIndex idx(g, std::vector<double>(g.NumEdges(), 1.0), Params());
+  Clustering even = EvenClustering(idx, 1);
+  EXPECT_EQ(even.num_clusters, 1u);  // chain merge
+  Clustering power = PowerClustering(idx, 1);
+  // Power clustering can still produce one cluster here only if a single
+  // downhill sweep covers everything; with two degree peaks (the cliques)
+  // it must produce at least two clusters.
+  EXPECT_GE(power.num_clusters, 2u);
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "datasets/synthetic.h"
+#include "graph/algorithms.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+TEST(PlantedPartitionTest, ShapeAndTruthConsistency) {
+  Rng rng(1);
+  PlantedPartitionParams params;
+  params.num_communities = 6;
+  params.min_size = 10;
+  params.max_size = 20;
+  GroundTruthGraph data = PlantedPartition(params, rng);
+  EXPECT_GE(data.graph.NumNodes(), 60u);
+  EXPECT_LE(data.graph.NumNodes(), 120u);
+  EXPECT_EQ(data.truth.labels.size(), data.graph.NumNodes());
+  EXPECT_EQ(data.truth.num_clusters, 6u);
+  // Most edges must be intra-community for these parameters.
+  uint32_t intra = 0;
+  for (EdgeId e = 0; e < data.graph.NumEdges(); ++e) {
+    const auto& [u, v] = data.graph.Endpoints(e);
+    intra += data.truth.labels[u] == data.truth.labels[v] ? 1 : 0;
+  }
+  EXPECT_GT(intra * 2, data.graph.NumEdges());
+}
+
+TEST(PlantedPartitionTest, DeterministicGivenRngSeed) {
+  PlantedPartitionParams params;
+  Rng rng1(9);
+  Rng rng2(9);
+  GroundTruthGraph a = PlantedPartition(params, rng1);
+  GroundTruthGraph b = PlantedPartition(params, rng2);
+  EXPECT_EQ(a.graph.NumNodes(), b.graph.NumNodes());
+  EXPECT_EQ(a.graph.NumEdges(), b.graph.NumEdges());
+  EXPECT_EQ(a.truth.labels, b.truth.labels);
+}
+
+TEST(BarabasiAlbertTest, ShapeAndConnectivity) {
+  Rng rng(2);
+  Graph g = BarabasiAlbert(500, 3, rng);
+  EXPECT_EQ(g.NumNodes(), 500u);
+  // m edges per new node; seed clique adds a few more.
+  EXPECT_GE(g.NumEdges(), (500u - 4) * 3);
+  uint32_t components = 0;
+  ConnectedComponents(g, &components);
+  EXPECT_EQ(components, 1u);
+  // Heavy tail: the max degree should far exceed the mean.
+  const double mean = 2.0 * g.NumEdges() / g.NumNodes();
+  EXPECT_GT(g.MaxDegree(), 3 * mean);
+}
+
+TEST(ErdosRenyiTest, EdgeCountAndRange) {
+  Rng rng(3);
+  Graph g = ErdosRenyi(200, 800, rng);
+  EXPECT_EQ(g.NumNodes(), 200u);
+  EXPECT_EQ(g.NumEdges(), 800u);
+}
+
+TEST(WattsStrogatzTest, LatticePlusRewiring) {
+  Rng rng(4);
+  Graph g = WattsStrogatz(100, 4, 0.1, rng);
+  EXPECT_EQ(g.NumNodes(), 100u);
+  // Ring lattice yields ~n*k/2 edges (dedup may remove a few rewired ones).
+  EXPECT_GE(g.NumEdges(), 180u);
+  EXPECT_LE(g.NumEdges(), 200u);
+}
+
+TEST(SuiteTest, QualitySuiteHasFiveTruthfulDatasets) {
+  std::vector<SyntheticDataset> suite = QualitySuite(1, 11);
+  ASSERT_EQ(suite.size(), 5u);
+  for (const SyntheticDataset& d : suite) {
+    EXPECT_FALSE(d.name.empty());
+    EXPECT_GT(d.graph.NumNodes(), 50u);
+    EXPECT_EQ(d.truth.labels.size(), d.graph.NumNodes());
+    EXPECT_GT(d.truth.num_clusters, 4u);
+  }
+}
+
+TEST(SuiteTest, ScalingSuiteDoublesSizes) {
+  std::vector<SyntheticDataset> suite = ScalingSuite(3, 100, 2, 12);
+  ASSERT_EQ(suite.size(), 3u);
+  EXPECT_EQ(suite[0].graph.NumNodes(), 100u);
+  EXPECT_EQ(suite[1].graph.NumNodes(), 200u);
+  EXPECT_EQ(suite[2].graph.NumNodes(), 400u);
+}
+
+}  // namespace
+}  // namespace anc

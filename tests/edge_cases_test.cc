@@ -1,0 +1,144 @@
+// Edge-case coverage across modules: degenerate inputs, move-only
+// plumbing, metric boundary conditions.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "datasets/synthetic.h"
+#include "metrics/kmeans.h"
+#include "metrics/quality.h"
+#include "metrics/spectral.h"
+#include "metrics/structural.h"
+#include "pyramid/clustering.h"
+#include "pyramid/pyramid_index.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace anc {
+namespace {
+
+TEST(ResultEdgeCases, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(42));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 42);
+}
+
+TEST(GraphEdgeCases, EmptyGraph) {
+  GraphBuilder b;
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+}
+
+TEST(GraphEdgeCases, OppositeOnBothEnds) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(3, 7).ok());
+  Graph g = b.Build();
+  const EdgeId e = *g.FindEdge(3, 7);
+  EXPECT_EQ(g.Opposite(e, 3), 7u);
+  EXPECT_EQ(g.Opposite(e, 7), 3u);
+}
+
+TEST(MetricsEdgeCases, EmptyClusteringsScoreZero) {
+  Clustering empty;
+  EXPECT_EQ(Nmi(empty, empty), 0.0);
+  EXPECT_EQ(Purity(empty, empty), 0.0);
+  EXPECT_EQ(F1Score(empty, empty), 0.0);
+  EXPECT_EQ(AdjustedRandIndex(empty, empty), 0.0);
+}
+
+TEST(MetricsEdgeCases, AllNoiseVsLabels) {
+  Clustering noise;
+  noise.labels.assign(6, kNoise);
+  noise.num_clusters = 0;
+  Clustering labeled = Clustering::FromLabels({0, 0, 0, 1, 1, 1});
+  EXPECT_EQ(Nmi(noise, labeled), 0.0);
+  EXPECT_EQ(Purity(noise, labeled), 0.0);
+}
+
+TEST(MetricsEdgeCases, ModularityOfEdgelessGraph) {
+  GraphBuilder b;
+  b.SetNumNodes(4);
+  Graph g = b.Build();
+  Clustering c = Clustering::FromLabels({0, 0, 1, 1});
+  EXPECT_EQ(Modularity(g, c), 0.0);
+  EXPECT_EQ(MeanConductance(g, c), 0.0);
+}
+
+TEST(KMeansEdgeCases, SinglePoint) {
+  Rng rng(1);
+  std::vector<double> points = {1.0, 2.0};
+  std::vector<uint32_t> labels = KMeans(points, 1, 2, 3, 10, rng);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0], 0u);
+}
+
+TEST(KMeansEdgeCases, IdenticalPointsDoNotCrash) {
+  Rng rng(2);
+  std::vector<double> points(20, 5.0);  // 10 identical 2-d points
+  std::vector<uint32_t> labels = KMeans(points, 10, 2, 3, 10, rng);
+  for (uint32_t l : labels) EXPECT_LT(l, 3u);
+}
+
+TEST(SpectralEdgeCases, MoreClustersThanNodes) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  Graph g = b.Build();
+  SpectralParams sp;
+  sp.num_clusters = 50;  // > n: must clamp, not crash
+  Clustering c = SpectralClustering(g, {}, sp);
+  EXPECT_LE(c.num_clusters, 3u);
+  EXPECT_EQ(c.labels.size(), 3u);
+}
+
+TEST(ClusteringEdgeCases, LocalClusterOnIsolatedNode) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  b.SetNumNodes(3);  // node 2 isolated
+  Graph g = b.Build();
+  PyramidParams params;
+  PyramidIndex idx(g, std::vector<double>(g.NumEdges(), 1.0), params);
+  std::vector<NodeId> members = LocalCluster(idx, 2, 1);
+  EXPECT_EQ(members, std::vector<NodeId>{2});
+}
+
+TEST(ClusteringEdgeCases, PowerClusteringDegreeTieBreaksById) {
+  // A 4-cycle: all degrees equal; ranks fall back to node id, so node 0
+  // leads the first cluster deterministically.
+  GraphBuilder b;
+  for (NodeId v = 0; v < 4; ++v) ASSERT_TRUE(b.AddEdge(v, (v + 1) % 4).ok());
+  Graph g = b.Build();
+  PyramidParams params;
+  params.seed = 5;
+  PyramidIndex idx(g, std::vector<double>(g.NumEdges(), 1.0), params);
+  Clustering c = PowerClustering(idx, 1);
+  EXPECT_EQ(c.labels[0], 0u);
+  EXPECT_EQ(c.NumAssigned(), 4u);
+}
+
+TEST(DatasetEdgeCases, PlantedPartitionZeroMixing) {
+  Rng rng(3);
+  PlantedPartitionParams params;
+  params.num_communities = 3;
+  params.min_size = 8;
+  params.max_size = 8;
+  params.mixing = 0.0;
+  GroundTruthGraph data = PlantedPartition(params, rng);
+  for (EdgeId e = 0; e < data.graph.NumEdges(); ++e) {
+    const auto& [u, v] = data.graph.Endpoints(e);
+    EXPECT_EQ(data.truth.labels[u], data.truth.labels[v]);
+  }
+}
+
+TEST(StatusEdgeCases, ResultFromStatusPreservesMessage) {
+  Result<int> r(Status::OutOfRange("edge 99"));
+  EXPECT_EQ(r.status().message(), "edge 99");
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,201 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/clustering_types.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+
+namespace anc {
+namespace {
+
+Graph TriangleWithTail() {
+  // 0-1, 1-2, 0-2 triangle, plus 2-3 tail.
+  GraphBuilder b;
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(0, 2).ok());
+  EXPECT_TRUE(b.AddEdge(2, 3).ok());
+  return b.Build();
+}
+
+TEST(GraphBuilderTest, BasicCounts) {
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(2), 3u);
+  EXPECT_EQ(g.Degree(3), 1u);
+  EXPECT_EQ(g.MaxDegree(), 3u);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder b;
+  EXPECT_FALSE(b.AddEdge(3, 3).ok());
+}
+
+TEST(GraphBuilderTest, DeduplicatesParallelEdges) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 0).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+}
+
+TEST(GraphBuilderTest, SetNumNodesAllowsIsolatedVertices) {
+  GraphBuilder b;
+  b.SetNumNodes(10);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumNodes(), 10u);
+  EXPECT_EQ(g.Degree(9), 0u);
+}
+
+TEST(GraphTest, AdjacencySortedByNeighborId) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(5, 0).ok());
+  ASSERT_TRUE(b.AddEdge(5, 3).ok());
+  ASSERT_TRUE(b.AddEdge(5, 1).ok());
+  ASSERT_TRUE(b.AddEdge(5, 4).ok());
+  Graph g = b.Build();
+  auto adj = g.Neighbors(5);
+  for (size_t i = 1; i < adj.size(); ++i) {
+    EXPECT_LT(adj[i - 1].node, adj[i].node);
+  }
+}
+
+TEST(GraphTest, EdgeIdsSharedBetweenDirections) {
+  Graph g = TriangleWithTail();
+  auto e = g.FindEdge(0, 1);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(g.FindEdge(1, 0), e);
+  const auto& [u, v] = g.Endpoints(*e);
+  EXPECT_EQ(u, 0u);
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(g.Opposite(*e, 0), 1u);
+  EXPECT_EQ(g.Opposite(*e, 1), 0u);
+}
+
+TEST(GraphTest, FindEdgeMissing) {
+  Graph g = TriangleWithTail();
+  EXPECT_FALSE(g.FindEdge(0, 3).has_value());
+  EXPECT_FALSE(g.FindEdge(0, 99).has_value());
+}
+
+TEST(AlgorithmsTest, ConnectedComponentsTwoIslands) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  ASSERT_TRUE(b.AddEdge(3, 4).ok());
+  b.SetNumNodes(6);  // node 5 isolated
+  Graph g = b.Build();
+  uint32_t count = 0;
+  std::vector<uint32_t> label = ConnectedComponents(g, &count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[1], label[2]);
+  EXPECT_EQ(label[3], label[4]);
+  EXPECT_NE(label[0], label[3]);
+  EXPECT_NE(label[5], label[0]);
+  EXPECT_NE(label[5], label[3]);
+}
+
+TEST(AlgorithmsTest, FilteredComponentsRespectsPredicate) {
+  Graph g = TriangleWithTail();
+  const EdgeId tail = *g.FindEdge(2, 3);
+  uint32_t count = 0;
+  std::vector<uint32_t> label = FilteredComponents(
+      g, [tail](EdgeId e) { return e != tail; }, &count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(label[0], label[2]);
+  EXPECT_NE(label[3], label[2]);
+}
+
+TEST(AlgorithmsTest, BfsHops) {
+  // Path 0-1-2-3 plus disconnected 4.
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  b.SetNumNodes(5);
+  Graph g = b.Build();
+  std::vector<uint32_t> hops = BfsHops(g, 0);
+  EXPECT_EQ(hops[0], 0u);
+  EXPECT_EQ(hops[1], 1u);
+  EXPECT_EQ(hops[2], 2u);
+  EXPECT_EQ(hops[3], 3u);
+  EXPECT_EQ(hops[4], kUnreachedHops);
+}
+
+TEST(IoTest, EdgeListRoundTrip) {
+  Graph g = TriangleWithTail();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "anc_io_test.txt").string();
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  Result<Graph> loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumNodes(), g.NumNodes());
+  EXPECT_EQ(loaded.value().NumEdges(), g.NumEdges());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadSkipsCommentsAndSelfLoopsAndCompactsIds) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "anc_io_test2.txt").string();
+  {
+    std::ofstream out(path);
+    out << "# comment\n% comment\n100 200\n200 300\n300 300\n";
+  }
+  Result<Graph> loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumNodes(), 3u);  // ids compacted to 0..2
+  EXPECT_EQ(loaded.value().NumEdges(), 2u);  // self loop dropped
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsIoError) {
+  Result<Graph> r = LoadEdgeList("/nonexistent/path/graph.txt");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, MalformedLineIsIoError) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "anc_io_test3.txt").string();
+  {
+    std::ofstream out(path);
+    out << "1 2\nnot numbers\n";
+  }
+  EXPECT_FALSE(LoadEdgeList(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ClusteringTypesTest, FromLabelsDensifies) {
+  Clustering c = Clustering::FromLabels({7, 7, 9, kNoise, 9, 4});
+  EXPECT_EQ(c.num_clusters, 3u);
+  EXPECT_EQ(c.labels[0], c.labels[1]);
+  EXPECT_EQ(c.labels[2], c.labels[4]);
+  EXPECT_EQ(c.labels[3], kNoise);
+  EXPECT_NE(c.labels[0], c.labels[2]);
+  EXPECT_EQ(c.NumAssigned(), 5u);
+}
+
+TEST(ClusteringTypesTest, DropSmallClusters) {
+  Clustering c = Clustering::FromLabels({0, 0, 0, 1, 1, 2});
+  c.DropSmallClusters(3);
+  EXPECT_EQ(c.num_clusters, 1u);
+  EXPECT_EQ(c.labels[0], 0u);
+  EXPECT_EQ(c.labels[3], kNoise);
+  EXPECT_EQ(c.labels[5], kNoise);
+  std::vector<uint32_t> sizes = c.ClusterSizes();
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 3u);
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "datasets/synthetic.h"
+#include "pyramid/hierarchy.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+PyramidIndex MakeIndex(const Graph& g, Rng& rng) {
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.5 + rng.NextDouble();
+  PyramidParams params;
+  params.num_pyramids = 4;
+  params.seed = 7;
+  return PyramidIndex(g, std::move(w), params);
+}
+
+TEST(HierarchyTest, ShapeMatchesIndex) {
+  Rng rng(1);
+  Graph g = BarabasiAlbert(150, 3, rng);
+  PyramidIndex idx = MakeIndex(g, rng);
+  ClusterHierarchy h = BuildHierarchy(idx);
+  ASSERT_EQ(h.num_levels(), idx.num_levels());
+  ASSERT_EQ(h.parent.size(), h.levels.size());
+  ASSERT_EQ(h.containment.size(), h.levels.size());
+  for (size_t i = 0; i < h.levels.size(); ++i) {
+    EXPECT_EQ(h.parent[i].size(), h.levels[i].num_clusters);
+    EXPECT_EQ(h.containment[i].size(), h.levels[i].num_clusters);
+  }
+}
+
+TEST(HierarchyTest, ParentsAreValidCoarserClusters) {
+  Rng rng(2);
+  Graph g = BarabasiAlbert(200, 3, rng);
+  PyramidIndex idx = MakeIndex(g, rng);
+  ClusterHierarchy h = BuildHierarchy(idx);
+  for (uint32_t c = 0; c < h.levels[0].num_clusters; ++c) {
+    EXPECT_EQ(h.parent[0][c], kNoise);  // roots
+  }
+  for (size_t i = 1; i < h.levels.size(); ++i) {
+    for (uint32_t c = 0; c < h.levels[i].num_clusters; ++c) {
+      const uint32_t p = h.parent[i][c];
+      if (p == kNoise) continue;  // all-noise overlap is possible
+      EXPECT_LT(p, h.levels[i - 1].num_clusters);
+      EXPECT_GT(h.containment[i][c], 0.0);
+      EXPECT_LE(h.containment[i][c], 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(HierarchyTest, MajorityParentIsArgmaxOverlap) {
+  Rng rng(3);
+  Graph g = BarabasiAlbert(150, 3, rng);
+  PyramidIndex idx = MakeIndex(g, rng);
+  ClusterHierarchy h = BuildHierarchy(idx);
+  // Spot check one mid level: recompute overlaps by brute force.
+  const size_t i = h.levels.size() / 2;
+  const Clustering& fine = h.levels[i];
+  const Clustering& coarse = h.levels[i - 1];
+  for (uint32_t c = 0; c < fine.num_clusters; ++c) {
+    std::vector<uint32_t> counts(coarse.num_clusters, 0);
+    uint32_t total = 0;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (fine.labels[v] != c || coarse.labels[v] == kNoise) continue;
+      ++counts[coarse.labels[v]];
+      ++total;
+    }
+    if (total == 0) continue;
+    const uint32_t p = h.parent[i][c];
+    ASSERT_NE(p, kNoise);
+    for (uint32_t other = 0; other < coarse.num_clusters; ++other) {
+      EXPECT_LE(counts[other], counts[p]) << "cluster " << c;
+    }
+  }
+}
+
+TEST(HierarchyTest, PathToRootWalksEveryLevel) {
+  Rng rng(4);
+  Graph g = BarabasiAlbert(120, 3, rng);
+  PyramidIndex idx = MakeIndex(g, rng);
+  ClusterHierarchy h = BuildHierarchy(idx);
+  const uint32_t top = h.num_levels();
+  const uint32_t leaf = h.levels[top - 1].labels[0];
+  if (leaf == kNoise) GTEST_SKIP();
+  std::vector<uint32_t> path = h.PathToRoot(top, leaf);
+  EXPECT_GE(path.size(), 1u);
+  EXPECT_LE(path.size(), top);
+  EXPECT_EQ(path.front(), leaf);
+}
+
+TEST(HierarchyTest, EvenVariantAlsoBuilds) {
+  Rng rng(5);
+  Graph g = BarabasiAlbert(100, 3, rng);
+  PyramidIndex idx = MakeIndex(g, rng);
+  ClusterHierarchy h = BuildHierarchy(idx, /*power=*/false);
+  EXPECT_EQ(h.num_levels(), idx.num_levels());
+  // Even clustering assigns everyone, so level 1 of a connected graph is a
+  // single root cluster.
+  EXPECT_EQ(h.levels[0].num_clusters, 1u);
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,214 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "activation/stream_generators.h"
+#include "baselines/louvain.h"
+#include "baselines/scan.h"
+#include "core/anc.h"
+#include "datasets/synthetic.h"
+#include "metrics/quality.h"
+#include "metrics/spectral.h"
+#include "metrics/structural.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+/// End-to-end scenarios crossing every module, parameterized over RNG
+/// seeds like a property suite.
+
+class EndToEndTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EndToEndTest, LongStreamPreservesIndexIntegrity) {
+  Rng rng(GetParam());
+  PlantedPartitionParams pp;
+  pp.num_communities = 6;
+  pp.min_size = 12;
+  pp.max_size = 20;
+  pp.p_in = 0.4;
+  pp.mixing = 0.15;
+  GroundTruthGraph data = PlantedPartition(pp, rng);
+
+  AncConfig config;
+  config.similarity.lambda = 0.2;
+  config.pyramid.num_pyramids = 3;
+  config.pyramid.seed = GetParam() * 13 + 1;
+  config.rep = 3;
+  config.mode = AncMode::kOnline;
+  AncIndex anc(data.graph, config);
+
+  ActivationStream stream = CommunityBiasedStream(
+      data.graph, data.truth.labels, 25, 0.04, 6.0, rng);
+  ASSERT_TRUE(anc.ApplyStream(stream).ok());
+
+  // Invariant 1: incremental index == rebuild at final weights.
+  std::vector<double> weights(data.graph.NumEdges());
+  for (EdgeId e = 0; e < weights.size(); ++e) {
+    weights[e] = anc.engine().Weight(e);
+  }
+  for (uint32_t p = 0; p < config.pyramid.num_pyramids; ++p) {
+    for (uint32_t l = 1; l <= anc.num_levels(); ++l) {
+      ASSERT_TRUE(
+          anc.index().partition(p, l).ConsistentWith(data.graph, weights));
+    }
+  }
+
+  // Invariant 2: sigma caches still match direct recomputation.
+  for (EdgeId e = 0; e < data.graph.NumEdges(); ++e) {
+    const auto& [u, v] = data.graph.Endpoints(e);
+    const double denom = anc.engine().RecomputeNodeActivity(u) +
+                         anc.engine().RecomputeNodeActivity(v);
+    const double expected =
+        denom > 0 ? anc.engine().RecomputeSigmaNumerator(e) / denom : 0.0;
+    ASSERT_NEAR(anc.engine().Sigma(e), expected,
+                1e-6 * std::max(1.0, expected));
+  }
+
+  // Invariant 3: every level yields a full power clustering.
+  for (uint32_t l = 1; l <= anc.num_levels(); ++l) {
+    Clustering c = anc.Clusters(l);
+    ASSERT_EQ(c.NumAssigned(), data.graph.NumNodes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndTest, ::testing::Values(101, 202, 303));
+
+TEST(IntegrationTest, AncQualityCompetitiveWithBaselinesOnPlanted) {
+  Rng rng(42);
+  PlantedPartitionParams pp;
+  pp.num_communities = 10;
+  pp.min_size = 16;
+  pp.max_size = 28;
+  pp.p_in = 0.45;
+  pp.mixing = 0.08;
+  GroundTruthGraph data = PlantedPartition(pp, rng);
+
+  AncConfig config;
+  config.rep = 7;
+  config.pyramid.num_pyramids = 4;
+  AncIndex anc(data.graph, config);
+  double anc_nmi = 0.0;
+  for (uint32_t l = 1; l <= anc.num_levels(); ++l) {
+    anc_nmi = std::max(anc_nmi, Nmi(anc.Clusters(l), data.truth));
+  }
+
+  ScanParams scan_params;
+  scan_params.epsilon = 0.5;
+  scan_params.mu = 3;
+  const double scan_nmi = Nmi(Scan(data.graph, scan_params), data.truth);
+
+  // Exp 1's qualitative claim: ANCF's ground-truth scores are at least
+  // competitive with SCAN's (on an easy planted graph both can near 1.0).
+  EXPECT_GT(anc_nmi, scan_nmi - 0.05);
+  EXPECT_GT(anc_nmi, 0.8);
+}
+
+TEST(IntegrationTest, DecayShiftsClustersTowardRecentActivity) {
+  // Story test of the case study (Section VI-C): a node whose activations
+  // migrate from one neighbor to another must migrate clusters too.
+  // Build two 4-cliques sharing node 8 as a member of both.
+  GraphBuilder b;
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+  }
+  for (NodeId u = 4; u < 8; ++u) {
+    for (NodeId v = u + 1; v < 8; ++v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+  }
+  for (NodeId v = 0; v < 4; ++v) ASSERT_TRUE(b.AddEdge(8, v).ok());
+  for (NodeId v = 4; v < 8; ++v) ASSERT_TRUE(b.AddEdge(8, v).ok());
+  Graph g = b.Build();
+
+  AncConfig config;
+  config.similarity.lambda = 0.5;  // fast decay
+  config.similarity.mu = 2;
+  config.rep = 2;
+  config.pyramid.num_pyramids = 4;
+  config.pyramid.seed = 5;
+  AncIndex anc(g, config);
+
+  // Phase 1: node 8 interacts heavily with clique A (nodes 0-3).
+  double t = 1.0;
+  for (int round = 0; round < 30; ++round) {
+    for (NodeId v = 0; v < 4; ++v) {
+      ASSERT_TRUE(anc.Apply({*g.FindEdge(8, v), t}).ok());
+      t += 0.05;
+    }
+    // Keep clique A internally warm.
+    ASSERT_TRUE(anc.Apply({*g.FindEdge(0, 1), t}).ok());
+    t += 0.05;
+  }
+  const EdgeId to_a = *g.FindEdge(8, 0);
+  const EdgeId to_b = *g.FindEdge(8, 4);
+  EXPECT_GT(anc.engine().Similarity(to_a), anc.engine().Similarity(to_b));
+
+  // Phase 2: long quiet gap, then node 8 interacts only with clique B.
+  t += 30.0;
+  for (int round = 0; round < 30; ++round) {
+    for (NodeId v = 4; v < 8; ++v) {
+      ASSERT_TRUE(anc.Apply({*g.FindEdge(8, v), t}).ok());
+      t += 0.05;
+    }
+    ASSERT_TRUE(anc.Apply({*g.FindEdge(4, 5), t}).ok());
+    t += 0.05;
+  }
+  EXPECT_GT(anc.engine().Similarity(to_b), anc.engine().Similarity(to_a));
+}
+
+TEST(IntegrationTest, SpectralGroundTruthPipelineRuns) {
+  // The Fig. 4 evaluation loop in miniature: snapshot weights -> spectral
+  // ground truth -> score our clustering against it.
+  Rng rng(11);
+  PlantedPartitionParams pp;
+  pp.num_communities = 5;
+  pp.min_size = 12;
+  pp.max_size = 16;
+  pp.p_in = 0.5;
+  pp.mixing = 0.15;
+  GroundTruthGraph data = PlantedPartition(pp, rng);
+
+  AncConfig config;
+  config.rep = 3;
+  AncIndex anc(data.graph, config);
+  ActivationStream stream = CommunityBiasedStream(
+      data.graph, data.truth.labels, 10, 0.05, 8.0, rng);
+  ASSERT_TRUE(anc.ApplyStream(stream).ok());
+
+  std::vector<double> activeness(data.graph.NumEdges());
+  for (EdgeId e = 0; e < activeness.size(); ++e) {
+    activeness[e] = anc.engine().activeness().Anchored(e);
+  }
+  SpectralParams sp;
+  sp.num_clusters =
+      2 * static_cast<uint32_t>(std::sqrt(data.graph.NumNodes()));
+  Clustering truth = SpectralClustering(data.graph, activeness, sp);
+  ASSERT_GT(truth.num_clusters, 1u);
+
+  double best = 0.0;
+  for (uint32_t l = 1; l <= anc.num_levels(); ++l) {
+    best = std::max(best, Nmi(anc.Clusters(l), truth));
+  }
+  EXPECT_GT(best, 0.2);
+}
+
+TEST(IntegrationTest, UpdateLocalityBeatsGraphSize) {
+  // Lemma 12 in practice: the average nodes touched per activation must be
+  // a small fraction of k * levels * n (the worst case).
+  Rng rng(55);
+  Graph g = BarabasiAlbert(400, 3, rng);
+  AncConfig config;
+  config.rep = 2;
+  config.pyramid.num_pyramids = 2;
+  AncIndex anc(g, config);
+  ActivationStream stream = UniformStream(g, 20, 0.01, rng);
+  ASSERT_TRUE(anc.ApplyStream(stream).ok());
+  const double per_activation =
+      static_cast<double>(anc.total_touched_nodes()) / stream.size();
+  const double worst_case =
+      2.0 * anc.num_levels() * g.NumNodes();
+  EXPECT_LT(per_activation, 0.2 * worst_case);
+}
+
+}  // namespace
+}  // namespace anc

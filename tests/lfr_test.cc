@@ -1,0 +1,97 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "datasets/synthetic.h"
+#include "graph/algorithms.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+LfrParams DefaultParams() {
+  LfrParams params;
+  params.num_nodes = 600;
+  params.min_degree = 4;
+  params.max_degree = 40;
+  params.min_community = 15;
+  params.max_community = 80;
+  params.mu = 0.2;
+  return params;
+}
+
+TEST(LfrTest, ShapeAndTruth) {
+  Rng rng(1);
+  GroundTruthGraph data = LfrGraph(DefaultParams(), rng);
+  EXPECT_EQ(data.graph.NumNodes(), 600u);
+  EXPECT_EQ(data.truth.labels.size(), 600u);
+  EXPECT_GT(data.truth.num_clusters, 5u);
+  for (uint32_t l : data.truth.labels) {
+    EXPECT_NE(l, kNoise);
+    EXPECT_LT(l, data.truth.num_clusters);
+  }
+  // Community sizes within range (last may have absorbed a remainder).
+  std::vector<uint32_t> sizes = data.truth.ClusterSizes();
+  for (uint32_t s : sizes) {
+    EXPECT_GE(s, 15u);
+    EXPECT_LE(s, 80u + 15u);
+  }
+}
+
+TEST(LfrTest, RealizedMixingTracksTarget) {
+  for (double mu : {0.1, 0.3, 0.5}) {
+    Rng rng(2);
+    LfrParams params = DefaultParams();
+    params.mu = mu;
+    GroundTruthGraph data = LfrGraph(params, rng);
+    uint32_t inter = 0;
+    for (EdgeId e = 0; e < data.graph.NumEdges(); ++e) {
+      const auto& [u, v] = data.graph.Endpoints(e);
+      inter += data.truth.labels[u] != data.truth.labels[v] ? 1 : 0;
+    }
+    const double realized =
+        static_cast<double>(inter) / data.graph.NumEdges();
+    EXPECT_NEAR(realized, mu, 0.12) << "target mu " << mu;
+  }
+}
+
+TEST(LfrTest, DegreesAreHeavyTailed) {
+  Rng rng(3);
+  LfrParams params = DefaultParams();
+  params.num_nodes = 1500;
+  GroundTruthGraph data = LfrGraph(params, rng);
+  const double mean =
+      2.0 * data.graph.NumEdges() / data.graph.NumNodes();
+  EXPECT_GT(data.graph.MaxDegree(), 2.5 * mean);
+  // Most nodes stay near the minimum (power-law mass at the bottom).
+  uint32_t small = 0;
+  for (NodeId v = 0; v < data.graph.NumNodes(); ++v) {
+    small += data.graph.Degree(v) <= 2 * params.min_degree ? 1 : 0;
+  }
+  EXPECT_GT(small * 2, data.graph.NumNodes());
+}
+
+TEST(LfrTest, DeterministicGivenSeed) {
+  Rng a(9);
+  Rng b(9);
+  GroundTruthGraph ga = LfrGraph(DefaultParams(), a);
+  GroundTruthGraph gb = LfrGraph(DefaultParams(), b);
+  EXPECT_EQ(ga.graph.NumEdges(), gb.graph.NumEdges());
+  EXPECT_EQ(ga.truth.labels, gb.truth.labels);
+}
+
+TEST(LfrTest, MostlyConnected) {
+  Rng rng(5);
+  GroundTruthGraph data = LfrGraph(DefaultParams(), rng);
+  uint32_t components = 0;
+  std::vector<uint32_t> label = ConnectedComponents(data.graph, &components);
+  // The giant component must dominate (configuration models can strand a
+  // few nodes).
+  std::vector<uint32_t> sizes(components, 0);
+  for (uint32_t l : label) ++sizes[l];
+  EXPECT_GT(*std::max_element(sizes.begin(), sizes.end()),
+            data.graph.NumNodes() * 9 / 10);
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,225 @@
+// Property tests for the paper's maintainability lemmas: the PosM / NegM /
+// NeuM taxonomy (Definition 2, Lemmas 2-4, 6, 10) and the structural
+// invariance of the pyramid index under the global decay factor. Each test
+// states the lemma it checks.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "activation/activeness.h"
+#include "datasets/synthetic.h"
+#include "pyramid/clustering.h"
+#include "pyramid/pyramid_index.h"
+#include "similarity/similarity_engine.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+SimilarityParams Params() {
+  SimilarityParams p;
+  p.lambda = 0.3;
+  p.epsilon = 0.25;
+  p.mu = 3;
+  return p;
+}
+
+TEST(LemmaTest, Lemma1ActivenessMaintainedPerActivation) {
+  // Maintenance cost is per-activation only: a quiet million time units
+  // cost nothing and the observable activeness still matches Eq. (1).
+  ActivenessStore store(4, 0.01, 0.0);
+  ASSERT_TRUE(store.Activate(2, 1.0).ok());
+  // Jump far ahead; the only work is the Activate call itself.
+  // lambda * (t - t*) = 0.01 * 10000 exceeds the exponent guard (60).
+  double delta = 0.0;
+  ASSERT_TRUE(store.Activate(2, 10000.0, &delta).ok());
+  EXPECT_NEAR(store.ActivenessAt(2, 10000.0),
+              std::exp(-0.01 * 9999.0) + 1.0, 1e-9);
+  EXPECT_GE(store.rescale_count(), 1u);  // exponent guard fired
+}
+
+TEST(LemmaTest, Lemma3SigmaIsNeuM) {
+  // sigma computed from anchored values equals sigma from true values:
+  // rescaling (changing the anchor) must not change any sigma.
+  Rng rng(5);
+  Graph g = BarabasiAlbert(50, 3, rng);
+  SimilarityEngine a(g, Params());
+  SimilarityEngine b(g, Params());
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    t += 0.2;
+    const EdgeId e = static_cast<EdgeId>(rng.Uniform(g.NumEdges()));
+    ASSERT_TRUE(a.ApplyActivation(e, t).ok());
+    ASSERT_TRUE(b.ApplyActivation(e, t).ok());
+  }
+  // Same history, same sigma regardless of anchor placement (b was built
+  // identically; ANC guarantees the anchored representation is internal).
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_NEAR(a.Sigma(e), b.Sigma(e), 1e-12);
+    EXPECT_GE(a.Sigma(e), 0.0);
+    EXPECT_LE(a.Sigma(e), 1.0 + 1e-12);  // sigma is a normalized share
+  }
+}
+
+TEST(LemmaTest, Lemma4ReinforcedSimilarityStaysPosM) {
+  // PosM means the true value is anchored * g: after a forced rescale the
+  // anchored similarity changes by exactly the folded factor, so the
+  // product (true value) is unchanged.
+  Rng rng(7);
+  Graph g = BarabasiAlbert(40, 3, rng);
+  SimilarityEngine engine(g, Params());
+  engine.InitializeStatic(2);
+  double t = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    t += 0.2;
+    ASSERT_TRUE(
+        engine.ApplyActivation(static_cast<EdgeId>(rng.Uniform(g.NumEdges())), t)
+            .ok());
+  }
+  std::vector<double> true_similarity(g.NumEdges());
+  const double g_before =
+      std::exp(-Params().lambda * (t - engine.activeness().anchor_time()));
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    true_similarity[e] = engine.Similarity(e) * g_before;
+  }
+  // Force a rescale via a long quiet gap + tiny activation at large t.
+  const double far = t + 400.0;  // lambda * 400 >> exponent guard
+  ASSERT_TRUE(engine.ApplyActivation(0, far).ok());
+  const double g_after =
+      std::exp(-Params().lambda * (far - engine.activeness().anchor_time()));
+  for (EdgeId e = 1; e < g.NumEdges(); ++e) {  // edge 0 was reinforced
+    const double now_true = engine.Similarity(e) * g_after;
+    const double then_true =
+        true_similarity[e] * std::exp(-Params().lambda * (far - t));
+    // Values this small hit the clamp floor; skip those.
+    if (engine.Similarity(e) <= Params().min_similarity * 1.01) continue;
+    EXPECT_NEAR(now_true, then_true, 1e-9 * std::max(1e-30, then_true))
+        << "edge " << e;
+  }
+}
+
+TEST(LemmaTest, Lemma6And10DistanceIsNegMAndIndexInvariant) {
+  // The distance weight is NegM: uniform in g^{-1} across edges. The
+  // pyramid index therefore keeps identical *structure* (seeds, trees,
+  // votes) under any uniform rescale.
+  Rng rng(9);
+  Graph g = BarabasiAlbert(80, 3, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.5 + rng.NextDouble();
+
+  PyramidParams params;
+  params.num_pyramids = 3;
+  params.seed = 2;
+  PyramidIndex idx(g, w, params);
+
+  std::vector<NodeId> seeds_before;
+  std::vector<uint32_t> votes_before;
+  for (uint32_t l = 1; l <= idx.num_levels(); ++l) {
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      votes_before.push_back(idx.VotesOf(e, l));
+    }
+  }
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    seeds_before.push_back(idx.partition(0, 3).SeedOf(v));
+  }
+
+  const double factor = 17.5;
+  idx.ScaleAll(factor);
+
+  size_t cursor = 0;
+  for (uint32_t l = 1; l <= idx.num_levels(); ++l) {
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      ASSERT_EQ(idx.VotesOf(e, l), votes_before[cursor++]);
+    }
+  }
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    ASSERT_EQ(idx.partition(0, 3).SeedOf(v), seeds_before[v]);
+  }
+  // Distances scaled exactly by the factor.
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const double d = idx.partition(0, 3).Dist(v);
+    if (std::isfinite(d) && d > 0) {
+      EXPECT_NEAR(idx.WeightOf(0), w[0] * factor, 1e-9 * w[0] * factor);
+      break;
+    }
+  }
+  // And the partition is still consistent with the scaled weights.
+  std::vector<double> scaled = w;
+  for (double& x : scaled) x *= factor;
+  for (uint32_t p = 0; p < params.num_pyramids; ++p) {
+    for (uint32_t l = 1; l <= idx.num_levels(); ++l) {
+      EXPECT_TRUE(idx.partition(p, l).ConsistentWith(g, scaled));
+    }
+  }
+}
+
+TEST(LemmaTest, Lemma5ReinforcementTouchesOnlyLocalState) {
+  // The reinforcement of edge (u, v) must read/write nothing outside the
+  // neighborhoods of u and v: verify that sigma numerators change only on
+  // edges incident to u, v or their common-neighborhood triangles.
+  Rng rng(11);
+  Graph g = BarabasiAlbert(80, 3, rng);
+  SimilarityEngine engine(g, Params());
+  engine.InitializeStatic(1);
+
+  std::vector<double> sigma_before(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) sigma_before[e] = engine.Sigma(e);
+
+  const EdgeId trigger = 0;
+  const auto& [u, v] = g.Endpoints(trigger);
+  ASSERT_TRUE(engine.ApplyActivation(trigger, 1.0).ok());
+
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto& [x, y] = g.Endpoints(e);
+    const bool incident_to_uv = (x == u || x == v || y == u || y == v);
+    if (!incident_to_uv) {
+      EXPECT_EQ(engine.Sigma(e), sigma_before[e]) << "edge " << e;
+    }
+  }
+}
+
+TEST(LemmaTest, Lemma7IndexSizeNearLinear) {
+  // Space O(n log^2 n): doubling n must grow memory by < 2.5x (2x plus the
+  // log factor) for fixed k.
+  Rng rng(13);
+  Graph small = BarabasiAlbert(2000, 3, rng);
+  Graph large = BarabasiAlbert(4000, 3, rng);
+  PyramidParams params;
+  params.num_pyramids = 4;
+  PyramidIndex idx_small(small, std::vector<double>(small.NumEdges(), 1.0),
+                         params);
+  PyramidIndex idx_large(large, std::vector<double>(large.NumEdges(), 1.0),
+                         params);
+  const double ratio = static_cast<double>(idx_large.MemoryBytes()) /
+                       static_cast<double>(idx_small.MemoryBytes());
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 2.6);
+}
+
+TEST(LemmaTest, Lemma9LocalQueryCostIsAnswerProportional) {
+  // The visited set of a local query equals the answer plus its boundary;
+  // on a graph with a small isolated-ish cluster, querying inside it must
+  // not touch the rest of the graph. Proxy check: a local query on a node
+  // whose cluster has size s returns in time independent of adding far-away
+  // graph mass — here verified structurally: members' neighborhoods bound
+  // the reachable set.
+  Rng rng(15);
+  Graph g = BarabasiAlbert(500, 3, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.5 + rng.NextDouble();
+  PyramidParams params;
+  params.num_pyramids = 4;
+  PyramidIndex idx(g, w, params);
+  const uint32_t level = idx.num_levels();  // finest: small clusters
+  std::vector<NodeId> members = LocalCluster(idx, 0, level);
+  // Every member is connected to the query through passing edges only.
+  for (NodeId m : members) {
+    EXPECT_LT(m, g.NumNodes());
+  }
+  // The answer at the finest level is much smaller than the graph.
+  EXPECT_LT(members.size(), g.NumNodes() / 4);
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,202 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datasets/synthetic.h"
+#include "metrics/kmeans.h"
+#include "metrics/quality.h"
+#include "metrics/spectral.h"
+#include "metrics/structural.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+Clustering Labels(std::vector<uint32_t> l) {
+  return Clustering::FromLabels(std::move(l));
+}
+
+// ---------------------------------------------------------------- quality --
+
+TEST(QualityTest, IdenticalClusteringsScorePerfect) {
+  Clustering c = Labels({0, 0, 1, 1, 2, 2});
+  EXPECT_NEAR(Nmi(c, c), 1.0, 1e-12);
+  EXPECT_NEAR(Purity(c, c), 1.0, 1e-12);
+  EXPECT_NEAR(F1Score(c, c), 1.0, 1e-12);
+}
+
+TEST(QualityTest, PermutedLabelsStillPerfect) {
+  Clustering a = Labels({0, 0, 1, 1, 2, 2});
+  Clustering b = Labels({2, 2, 0, 0, 1, 1});
+  EXPECT_NEAR(Nmi(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(Purity(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(F1Score(a, b), 1.0, 1e-12);
+}
+
+TEST(QualityTest, OrthogonalClusteringsScoreLow) {
+  // a splits {0..3} vs {4..7}; b takes alternating elements.
+  Clustering a = Labels({0, 0, 0, 0, 1, 1, 1, 1});
+  Clustering b = Labels({0, 1, 0, 1, 0, 1, 0, 1});
+  EXPECT_NEAR(Nmi(a, b), 0.0, 1e-9);
+  EXPECT_NEAR(Purity(a, b), 0.5, 1e-12);
+}
+
+TEST(QualityTest, NoiseNodesExcluded) {
+  Clustering a = Labels({0, 0, 1, 1, kNoise, kNoise});
+  Clustering b = Labels({0, 0, 1, 1, 0, 1});
+  EXPECT_NEAR(Nmi(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(Purity(a, b), 1.0, 1e-12);
+}
+
+TEST(QualityTest, SingleClusterEdgeCases) {
+  Clustering one = Labels({0, 0, 0, 0});
+  Clustering split = Labels({0, 0, 1, 1});
+  EXPECT_NEAR(Nmi(one, one), 1.0, 1e-12);
+  EXPECT_NEAR(Nmi(one, split), 0.0, 1e-12);
+  EXPECT_NEAR(Purity(one, split), 0.5, 1e-12);
+}
+
+TEST(QualityTest, PartialOverlapBetweenZeroAndOne) {
+  Clustering a = Labels({0, 0, 0, 1, 1, 1});
+  Clustering b = Labels({0, 0, 1, 1, 1, 1});
+  const double nmi = Nmi(a, b);
+  EXPECT_GT(nmi, 0.0);
+  EXPECT_LT(nmi, 1.0);
+  const double f1 = F1Score(a, b);
+  EXPECT_GT(f1, 0.5);
+  EXPECT_LT(f1, 1.0);
+}
+
+// ------------------------------------------------------------- structural --
+
+Graph TwoTriangles() {
+  GraphBuilder b;
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(0, 2).ok());
+  EXPECT_TRUE(b.AddEdge(3, 4).ok());
+  EXPECT_TRUE(b.AddEdge(4, 5).ok());
+  EXPECT_TRUE(b.AddEdge(3, 5).ok());
+  EXPECT_TRUE(b.AddEdge(2, 3).ok());  // bridge
+  return b.Build();
+}
+
+TEST(StructuralTest, ModularityOfPlantedSplit) {
+  Graph g = TwoTriangles();
+  Clustering good = Labels({0, 0, 0, 1, 1, 1});
+  Clustering bad = Labels({0, 1, 0, 1, 0, 1});
+  const double q_good = Modularity(g, good);
+  const double q_bad = Modularity(g, bad);
+  EXPECT_GT(q_good, 0.3);
+  EXPECT_GT(q_good, q_bad);
+  // Hand computation: m = 7, in_0 = in_1 = 3, vol_0 = vol_1 = 7.
+  // Q = 2 * (3/7 - (7/14)^2) = 6/7 - 0.5.
+  EXPECT_NEAR(q_good, 6.0 / 7.0 - 0.5, 1e-12);
+}
+
+TEST(StructuralTest, ModularityAllInOneClusterIsZero) {
+  Graph g = TwoTriangles();
+  Clustering one = Labels({0, 0, 0, 0, 0, 0});
+  EXPECT_NEAR(Modularity(g, one), 0.0, 1e-12);
+}
+
+TEST(StructuralTest, ConductanceOfGoodSplitIsLow) {
+  Graph g = TwoTriangles();
+  Clustering good = Labels({0, 0, 0, 1, 1, 1});
+  // Each side: cut 1, volume 7 -> conductance 1/7.
+  EXPECT_NEAR(MeanConductance(g, good), 1.0 / 7.0, 1e-12);
+  Clustering bad = Labels({0, 1, 0, 1, 0, 1});
+  EXPECT_GT(MeanConductance(g, bad), MeanConductance(g, good));
+}
+
+TEST(StructuralTest, WeightedModularityUsesWeights) {
+  Graph g = TwoTriangles();
+  Clustering split = Labels({0, 0, 0, 1, 1, 1});
+  // Weight the bridge heavily: the split's modularity must drop.
+  std::vector<double> w(g.NumEdges(), 1.0);
+  w[*g.FindEdge(2, 3)] = 20.0;
+  EXPECT_LT(Modularity(g, split, w), Modularity(g, split));
+}
+
+TEST(StructuralTest, NoiseBecomesSingletons) {
+  Graph g = TwoTriangles();
+  Clustering with_noise = Labels({0, 0, 0, kNoise, kNoise, kNoise});
+  // Must not crash and must count bridge + right-triangle edges as cut.
+  const double q = Modularity(g, with_noise);
+  EXPECT_LT(q, 0.3);  // singletons hurt modularity
+}
+
+// ----------------------------------------------------------------- kmeans --
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  Rng rng(1);
+  std::vector<double> points;
+  const uint32_t per_blob = 50;
+  for (uint32_t i = 0; i < per_blob; ++i) {
+    points.push_back(0.0 + 0.1 * rng.NextDouble());
+    points.push_back(0.0 + 0.1 * rng.NextDouble());
+  }
+  for (uint32_t i = 0; i < per_blob; ++i) {
+    points.push_back(5.0 + 0.1 * rng.NextDouble());
+    points.push_back(5.0 + 0.1 * rng.NextDouble());
+  }
+  std::vector<uint32_t> labels = KMeans(points, 2 * per_blob, 2, 2, 50, rng);
+  for (uint32_t i = 1; i < per_blob; ++i) EXPECT_EQ(labels[i], labels[0]);
+  for (uint32_t i = per_blob + 1; i < 2 * per_blob; ++i) {
+    EXPECT_EQ(labels[i], labels[per_blob]);
+  }
+  EXPECT_NE(labels[0], labels[per_blob]);
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  Rng rng(2);
+  std::vector<double> points = {0.0, 1.0, 2.0};
+  std::vector<uint32_t> labels = KMeans(points, 3, 1, 10, 10, rng);
+  for (uint32_t l : labels) EXPECT_LT(l, 3u);
+}
+
+// --------------------------------------------------------------- spectral --
+
+TEST(SpectralTest, RecoversPlantedCommunities) {
+  Rng rng(3);
+  PlantedPartitionParams params;
+  params.num_communities = 4;
+  params.min_size = 25;
+  params.max_size = 25;
+  params.p_in = 0.5;
+  params.mixing = 0.10;
+  GroundTruthGraph data = PlantedPartition(params, rng);
+  SpectralParams sp;
+  sp.num_clusters = 4;
+  Clustering c = SpectralClustering(data.graph, {}, sp);
+  EXPECT_GT(Nmi(c, data.truth), 0.8);
+}
+
+TEST(SpectralTest, WeightsSteerTheCut) {
+  // Ring of 8 nodes; two opposite "heavy" arcs make the natural 2-cut.
+  GraphBuilder b;
+  for (NodeId v = 0; v < 8; ++v) ASSERT_TRUE(b.AddEdge(v, (v + 1) % 8).ok());
+  Graph g = b.Build();
+  std::vector<double> w(g.NumEdges(), 10.0);
+  // Cut the ring at edges (3,4) and (7,0) by making them weightless-ish.
+  w[*g.FindEdge(3, 4)] = 0.01;
+  w[*g.FindEdge(7, 0)] = 0.01;
+  SpectralParams sp;
+  sp.num_clusters = 2;
+  Clustering c = SpectralClustering(g, w, sp);
+  Clustering expected = Labels({0, 0, 0, 0, 1, 1, 1, 1});
+  EXPECT_NEAR(Nmi(c, expected), 1.0, 1e-6);
+}
+
+TEST(SpectralTest, DeterministicForSeed) {
+  Rng rng(4);
+  Graph g = BarabasiAlbert(60, 2, rng);
+  SpectralParams sp;
+  sp.num_clusters = 5;
+  Clustering a = SpectralClustering(g, {}, sp);
+  Clustering b = SpectralClustering(g, {}, sp);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,202 @@
+// Tests of the distance-oracle queries (ApproxDistance / AttractionStrength)
+#include <map>
+// and the watched-node vote-change reporting (Section V-C Remarks).
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datasets/synthetic.h"
+#include "graph/algorithms.h"
+#include "pyramid/pyramid_index.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+PyramidParams Params(uint32_t k = 4) {
+  PyramidParams p;
+  p.num_pyramids = k;
+  p.seed = 5;
+  return p;
+}
+
+TEST(ShortestDistanceTest, MatchesHandComputation) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2).ok());
+  b.SetNumNodes(4);
+  Graph g = b.Build();
+  std::vector<double> w(g.NumEdges(), 1.0);
+  w[*g.FindEdge(0, 2)] = 5.0;
+  EXPECT_DOUBLE_EQ(ShortestDistance(g, w, 0, 2), 2.0);  // via 1
+  EXPECT_DOUBLE_EQ(ShortestDistance(g, w, 0, 0), 0.0);
+  EXPECT_TRUE(std::isinf(ShortestDistance(g, w, 0, 3)));
+}
+
+class OracleProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OracleProperty, ApproxDistanceUpperBoundsExact) {
+  Rng rng(GetParam());
+  Graph g = BarabasiAlbert(200, 3, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.2 + rng.NextDouble();
+  PyramidIndex idx(g, w, Params());
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId u = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId v = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const double approx = idx.ApproxDistance(u, v);
+    const double exact = ShortestDistance(g, w, u, v);
+    // Upper-bound property of the common-seed witness.
+    EXPECT_GE(approx, exact - 1e-9) << u << "-" << v;
+    // Connected BA graph at level 1 shares one seed: always finite.
+    EXPECT_TRUE(std::isfinite(approx));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleProperty, ::testing::Values(1, 2, 3, 4));
+
+TEST(OracleTest, MorePyramidsTightenTheEstimate) {
+  Rng rng(9);
+  Graph g = BarabasiAlbert(300, 3, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.2 + rng.NextDouble();
+  PyramidIndex small(g, w, Params(2));
+  PyramidIndex large(g, w, Params(16));
+
+  double small_total = 0.0;
+  double large_total = 0.0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const NodeId u = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId v = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    small_total += small.ApproxDistance(u, v);
+    large_total += large.ApproxDistance(u, v);
+  }
+  // More independent witnesses can only tighten the minimum (in
+  // expectation; the fixed trials make this effectively deterministic).
+  EXPECT_LE(large_total, small_total * 1.02);
+}
+
+TEST(OracleTest, ApproxDistanceZeroForSameNode) {
+  Rng rng(11);
+  Graph g = BarabasiAlbert(50, 2, rng);
+  PyramidIndex idx(g, std::vector<double>(g.NumEdges(), 1.0), Params());
+  EXPECT_DOUBLE_EQ(idx.ApproxDistance(7, 7), 0.0);
+  EXPECT_TRUE(std::isinf(idx.AttractionStrength(7, 7)) ||
+              idx.AttractionStrength(7, 7) > 0.0);
+}
+
+TEST(OracleTest, DisconnectedPairsUnreachable) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  Graph g = b.Build();
+  PyramidIndex idx(g, std::vector<double>(g.NumEdges(), 1.0), Params());
+  EXPECT_TRUE(std::isinf(idx.ApproxDistance(0, 3)));
+  EXPECT_DOUBLE_EQ(idx.AttractionStrength(0, 3), 0.0);
+}
+
+TEST(OracleTest, AttractionStrengthInverseOfDistance) {
+  Rng rng(13);
+  Graph g = BarabasiAlbert(80, 2, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.5 + rng.NextDouble();
+  PyramidIndex idx(g, w, Params());
+  const double d = idx.ApproxDistance(0, 40);
+  ASSERT_TRUE(std::isfinite(d));
+  ASSERT_GT(d, 0.0);
+  EXPECT_DOUBLE_EQ(idx.AttractionStrength(0, 40), 1.0 / d);
+}
+
+// --------------------------------------------------------------- watcher --
+
+TEST(WatcherTest, ReportsFlipsOnWatchedNodesOnly) {
+  Rng rng(21);
+  Graph g = BarabasiAlbert(150, 3, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.5 + rng.NextDouble();
+  PyramidIndex idx(g, w, Params());
+
+  const NodeId watched = 10;
+  idx.Watch(watched);
+  EXPECT_TRUE(idx.IsWatched(watched));
+
+  Rng updates(22);
+  std::vector<PyramidIndex::VoteChange> all_changes;
+  for (int step = 0; step < 200; ++step) {
+    const EdgeId e = static_cast<EdgeId>(updates.Uniform(g.NumEdges()));
+    idx.UpdateEdgeWeight(e, idx.WeightOf(e) *
+                                (updates.Bernoulli(0.5) ? 0.4 : 2.5));
+    for (const auto& change : idx.DrainVoteChanges()) {
+      all_changes.push_back(change);
+    }
+  }
+  // Every reported change concerns an edge incident to the watched node
+  // and a level in range.
+  for (const auto& change : all_changes) {
+    const auto& [u, v] = g.Endpoints(change.edge);
+    EXPECT_TRUE(u == watched || v == watched);
+    EXPECT_GE(change.level, 1u);
+    EXPECT_LE(change.level, idx.num_levels());
+  }
+  // A degree->=3 node under 200 random updates should see some action.
+  EXPECT_FALSE(all_changes.empty());
+}
+
+TEST(WatcherTest, FinalEventStateMatchesIndex) {
+  // Replaying the drained events per (edge, level) must end at the edge's
+  // current pass/fail status.
+  Rng rng(31);
+  Graph g = BarabasiAlbert(100, 3, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.5 + rng.NextDouble();
+  PyramidIndex idx(g, w, Params());
+  const NodeId watched = 0;
+  idx.Watch(watched);
+
+  // Record the initial status of watched-incident edges.
+  std::map<std::pair<EdgeId, uint32_t>, bool> status;
+  for (const Neighbor& nb : g.Neighbors(watched)) {
+    for (uint32_t l = 1; l <= idx.num_levels(); ++l) {
+      status[{nb.edge, l}] = idx.EdgePassesVote(nb.edge, l);
+    }
+  }
+  Rng updates(32);
+  for (int step = 0; step < 300; ++step) {
+    const EdgeId e = static_cast<EdgeId>(updates.Uniform(g.NumEdges()));
+    idx.UpdateEdgeWeight(e, idx.WeightOf(e) *
+                                (updates.Bernoulli(0.5) ? 0.4 : 2.5));
+  }
+  for (const auto& change : idx.DrainVoteChanges()) {
+    auto it = status.find({change.edge, change.level});
+    if (it != status.end()) it->second = change.now_passing;
+  }
+  for (const auto& [key, passing] : status) {
+    EXPECT_EQ(passing, idx.EdgePassesVote(key.first, key.second))
+        << "edge " << key.first << " level " << key.second;
+  }
+}
+
+TEST(WatcherTest, UnwatchStopsReporting) {
+  Rng rng(41);
+  Graph g = BarabasiAlbert(80, 3, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.5 + rng.NextDouble();
+  PyramidIndex idx(g, w, Params());
+  idx.Watch(5);
+  idx.Unwatch(5);
+  EXPECT_FALSE(idx.IsWatched(5));
+  Rng updates(42);
+  for (int step = 0; step < 100; ++step) {
+    const EdgeId e = static_cast<EdgeId>(updates.Uniform(g.NumEdges()));
+    idx.UpdateEdgeWeight(e, idx.WeightOf(e) *
+                                (updates.Bernoulli(0.5) ? 0.4 : 2.5));
+  }
+  EXPECT_TRUE(idx.DrainVoteChanges().empty());
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,214 @@
+// Parameterized property sweeps over the Table II parameter grid: node
+// roles across (epsilon, mu), voting across (theta, k), clustering
+// coverage across granularity levels, and metric sanity (ARI).
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "datasets/synthetic.h"
+#include "metrics/quality.h"
+#include "pyramid/clustering.h"
+#include "pyramid/pyramid_index.h"
+#include "similarity/similarity_engine.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+// ------------------------------------------------ roles over (eps, mu) ---
+
+class RoleSweep
+    : public ::testing::TestWithParam<std::tuple<double, uint32_t>> {};
+
+TEST_P(RoleSweep, RolesPartitionVertexSetConsistently) {
+  const auto [epsilon, mu] = GetParam();
+  Rng rng(3);
+  PlantedPartitionParams pp;
+  pp.num_communities = 6;
+  pp.min_size = 12;
+  pp.max_size = 20;
+  GroundTruthGraph data = PlantedPartition(pp, rng);
+
+  SimilarityParams params;
+  params.epsilon = epsilon;
+  params.mu = mu;
+  SimilarityEngine engine(data.graph, params);
+  engine.InitializeStatic(2);
+
+  for (NodeId v = 0; v < data.graph.NumNodes(); ++v) {
+    const NodeRole role = engine.Role(v);
+    const uint32_t degree = data.graph.Degree(v);
+    const uint32_t active = engine.ActiveNeighborCount(v);
+    // Definitional consistency (Section IV-B).
+    if (degree < mu) {
+      EXPECT_EQ(role, NodeRole::kPeriphery) << "node " << v;
+    } else if (active >= mu) {
+      EXPECT_EQ(role, NodeRole::kCore) << "node " << v;
+    } else {
+      EXPECT_EQ(role, NodeRole::kPCore) << "node " << v;
+    }
+    // Active neighbors are a subset of neighbors.
+    EXPECT_LE(active, degree);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsMuGrid, RoleSweep,
+    ::testing::Combine(::testing::Values(0.2, 0.3, 0.4, 0.5, 0.6, 0.7),
+                       ::testing::Values(2u, 3u, 5u, 8u)));
+
+TEST(RoleMonotonicityTest, HigherEpsilonNeverAddsCores) {
+  Rng rng(5);
+  PlantedPartitionParams pp;
+  GroundTruthGraph data = PlantedPartition(pp, rng);
+  uint32_t prev_cores = UINT32_MAX;
+  for (double epsilon : {0.1, 0.2, 0.3, 0.45, 0.6, 0.8}) {
+    SimilarityParams params;
+    params.epsilon = epsilon;
+    params.mu = 3;
+    SimilarityEngine engine(data.graph, params);
+    uint32_t cores = 0;
+    for (NodeId v = 0; v < data.graph.NumNodes(); ++v) {
+      cores += engine.Role(v) == NodeRole::kCore ? 1 : 0;
+    }
+    EXPECT_LE(cores, prev_cores) << "epsilon " << epsilon;
+    prev_cores = cores;
+  }
+}
+
+// --------------------------------------------- voting over (theta, k) ---
+
+class VoteSweep
+    : public ::testing::TestWithParam<std::tuple<double, uint32_t>> {};
+
+TEST_P(VoteSweep, ThresholdAndCountsWellFormed) {
+  const auto [theta, k] = GetParam();
+  Rng rng(7);
+  Graph g = BarabasiAlbert(100, 3, rng);
+  PyramidParams params;
+  params.theta = theta;
+  params.num_pyramids = k;
+  params.seed = 9;
+  PyramidIndex idx(g, std::vector<double>(g.NumEdges(), 1.0), params);
+
+  EXPECT_EQ(idx.vote_threshold(),
+            std::max<uint32_t>(
+                1, static_cast<uint32_t>(std::ceil(theta * k - 1e-12))));
+  for (uint32_t l = 1; l <= idx.num_levels(); ++l) {
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      EXPECT_LE(idx.VotesOf(e, l), k);
+      EXPECT_EQ(idx.EdgePassesVote(e, l),
+                idx.VotesOf(e, l) >= idx.vote_threshold());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThetaKGrid, VoteSweep,
+    ::testing::Combine(::testing::Values(0.3, 0.5, 0.7, 0.9, 1.0),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+TEST(VoteMonotonicityTest, HigherThetaPassesFewerEdges) {
+  Rng rng(11);
+  Graph g = BarabasiAlbert(150, 3, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.5 + rng.NextDouble();
+  uint32_t prev_passing = UINT32_MAX;
+  for (double theta : {0.25, 0.5, 0.75, 1.0}) {
+    PyramidParams params;
+    params.theta = theta;
+    params.num_pyramids = 8;
+    params.seed = 13;
+    PyramidIndex idx(g, w, params);
+    const uint32_t level = idx.DefaultLevel();
+    uint32_t passing = 0;
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      passing += idx.EdgePassesVote(e, level) ? 1 : 0;
+    }
+    EXPECT_LE(passing, prev_passing) << "theta " << theta;
+    prev_passing = passing;
+  }
+}
+
+// ------------------------------------------- clustering across levels ---
+
+class LevelSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(LevelSweep, ClusteringInvariantsHoldAtEveryLevel) {
+  Rng rng(17);
+  Graph g = BarabasiAlbert(200, 3, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.5 + rng.NextDouble();
+  PyramidParams params;
+  params.num_pyramids = 4;
+  params.seed = 19;
+  PyramidIndex idx(g, w, params);
+  const uint32_t level = std::min(GetParam(), idx.num_levels());
+
+  Clustering even = EvenClustering(idx, level);
+  Clustering power = PowerClustering(idx, level);
+
+  // Full coverage in both variants.
+  EXPECT_EQ(even.NumAssigned(), g.NumNodes());
+  EXPECT_EQ(power.NumAssigned(), g.NumNodes());
+  // Even clusters are unions of passing-edge components: no passing edge
+  // crosses even clusters.
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (!idx.EdgePassesVote(e, level)) continue;
+    const auto& [u, v] = g.Endpoints(e);
+    EXPECT_EQ(even.labels[u], even.labels[v]);
+  }
+  // Power refines even.
+  EXPECT_GE(power.num_clusters, even.num_clusters);
+  // Cluster ids dense.
+  std::vector<uint32_t> sizes = power.ClusterSizes();
+  for (uint32_t s : sizes) EXPECT_GT(s, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, LevelSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 7u, 99u));
+
+// --------------------------------------------------------------- ARI ----
+
+TEST(AriTest, PerfectAndOrthogonal) {
+  Clustering a = Clustering::FromLabels({0, 0, 1, 1, 2, 2});
+  Clustering b = Clustering::FromLabels({2, 2, 0, 0, 1, 1});
+  EXPECT_NEAR(AdjustedRandIndex(a, a), 1.0, 1e-12);
+  EXPECT_NEAR(AdjustedRandIndex(a, b), 1.0, 1e-12);
+
+  Clustering x = Clustering::FromLabels({0, 0, 0, 0, 1, 1, 1, 1});
+  Clustering y = Clustering::FromLabels({0, 1, 0, 1, 0, 1, 0, 1});
+  // Hand computation: joint cells all 2 -> sum_joint = 4; sum_x = sum_y =
+  // 12; expected = 144/28 = 36/7; ARI = (4 - 36/7)/(12 - 36/7) = -1/6.
+  EXPECT_NEAR(AdjustedRandIndex(x, y), -1.0 / 6.0, 1e-9);
+}
+
+TEST(AriTest, AgreesWithNmiOrderingOnPlanted) {
+  Rng rng(23);
+  PlantedPartitionParams pp;
+  pp.num_communities = 6;
+  GroundTruthGraph data = PlantedPartition(pp, rng);
+  // A clustering close to the truth vs a shuffled one.
+  Clustering close = data.truth;
+  // Perturb 10% of labels.
+  Rng perturb(29);
+  for (NodeId v = 0; v < data.graph.NumNodes(); ++v) {
+    if (perturb.Bernoulli(0.1)) {
+      close.labels[v] = static_cast<uint32_t>(
+          perturb.Uniform(data.truth.num_clusters));
+    }
+  }
+  Clustering shuffled = data.truth;
+  perturb.Shuffle(shuffled.labels);
+
+  EXPECT_GT(AdjustedRandIndex(close, data.truth),
+            AdjustedRandIndex(shuffled, data.truth));
+  EXPECT_GT(AdjustedRandIndex(close, data.truth), 0.6);
+  EXPECT_NEAR(AdjustedRandIndex(shuffled, data.truth), 0.0, 0.1);
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,182 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "activation/stream_generators.h"
+#include "core/anc.h"
+#include "core/serialization.h"
+#include "pyramid/pyramid_index.h"
+#include "datasets/synthetic.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+AncConfig TestConfig() {
+  AncConfig config;
+  config.similarity.lambda = 0.15;
+  config.similarity.epsilon = 0.3;
+  config.similarity.mu = 3;
+  config.rep = 3;
+  config.pyramid.num_pyramids = 3;
+  config.pyramid.seed = 77;
+  config.mode = AncMode::kOnlineReinforce;
+  config.reinforce_interval = 4;
+  return config;
+}
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  Rng rng(1);
+  Graph g = BarabasiAlbert(150, 3, rng);
+  AncIndex original(g, TestConfig());
+  ActivationStream stream = UniformStream(g, 10, 0.03, rng);
+  ASSERT_TRUE(original.ApplyStream(stream).ok());
+
+  const std::string path = TempPath("anc_roundtrip.idx");
+  ASSERT_TRUE(SaveIndex(original, path).ok());
+  Result<LoadedIndex> loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  AncIndex& restored = *loaded.value().index;
+
+  // Graph topology identical.
+  ASSERT_EQ(restored.graph().NumNodes(), g.NumNodes());
+  ASSERT_EQ(restored.graph().NumEdges(), g.NumEdges());
+
+  // Configuration identical.
+  EXPECT_EQ(restored.config().similarity.lambda, 0.15);
+  EXPECT_EQ(restored.config().mode, AncMode::kOnlineReinforce);
+  EXPECT_EQ(restored.config().reinforce_interval, 4u);
+
+  // Similarity / activeness state identical.
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    ASSERT_DOUBLE_EQ(restored.engine().Similarity(e),
+                     original.engine().Similarity(e));
+    ASSERT_DOUBLE_EQ(restored.engine().activeness().Anchored(e),
+                     original.engine().activeness().Anchored(e));
+    ASSERT_DOUBLE_EQ(restored.engine().Sigma(e), original.engine().Sigma(e));
+  }
+
+  // Pyramid structure identical: same seeds, same distances, same votes.
+  for (uint32_t p = 0; p < 3; ++p) {
+    for (uint32_t l = 1; l <= original.num_levels(); ++l) {
+      ASSERT_EQ(restored.index().partition(p, l).seeds(),
+                original.index().partition(p, l).seeds());
+      for (NodeId v = 0; v < g.NumNodes(); ++v) {
+        ASSERT_DOUBLE_EQ(restored.index().partition(p, l).Dist(v),
+                         original.index().partition(p, l).Dist(v));
+      }
+    }
+  }
+  for (uint32_t l = 1; l <= original.num_levels(); ++l) {
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      ASSERT_EQ(restored.index().VotesOf(e, l), original.index().VotesOf(e, l));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RestoredIndexContinuesTheStream) {
+  // Save mid-stream, continue the identical suffix on both copies and
+  // verify the clusterings agree.
+  Rng rng(2);
+  Graph g = BarabasiAlbert(120, 3, rng);
+  AncIndex original(g, TestConfig());
+  ActivationStream stream = UniformStream(g, 20, 0.02, rng);
+  const size_t half = stream.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(original.Apply(stream[i]).ok());
+  }
+
+  const std::string path = TempPath("anc_continue.idx");
+  ASSERT_TRUE(SaveIndex(original, path).ok());
+  Result<LoadedIndex> loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok());
+  AncIndex& restored = *loaded.value().index;
+
+  for (size_t i = half; i < stream.size(); ++i) {
+    ASSERT_TRUE(original.Apply(stream[i]).ok());
+    ASSERT_TRUE(restored.Apply(stream[i]).ok());
+  }
+  for (uint32_t l = 1; l <= original.num_levels(); ++l) {
+    Clustering a = original.Clusters(l);
+    Clustering b = restored.Clusters(l);
+    ASSERT_EQ(a.labels, b.labels) << "level " << l;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, FromTreeStatesRejectsMalformedState) {
+  Rng rng(9);
+  Graph g = BarabasiAlbert(40, 2, rng);
+  std::vector<double> w(g.NumEdges(), 1.0);
+  PyramidParams params;
+  params.num_pyramids = 2;
+
+  // Wrong slot count.
+  EXPECT_EQ(PyramidIndex::FromTreeStates(g, w, params, {}), nullptr);
+
+  // Right count but truncated arrays.
+  PyramidIndex good(g, w, params);
+  std::vector<VoronoiPartition::TreeState> trees = good.ExportTreeStates();
+  trees[0].dist.pop_back();
+  EXPECT_EQ(PyramidIndex::FromTreeStates(g, w, params, std::move(trees)),
+            nullptr);
+
+  // Out-of-range parent id.
+  trees = good.ExportTreeStates();
+  trees[1].parent[0] = g.NumNodes() + 5;
+  EXPECT_EQ(PyramidIndex::FromTreeStates(g, w, params, std::move(trees)),
+            nullptr);
+
+  // Pristine export restores fine.
+  trees = good.ExportTreeStates();
+  auto restored =
+      PyramidIndex::FromTreeStates(g, w, params, std::move(trees));
+  ASSERT_NE(restored, nullptr);
+  for (uint32_t l = 1; l <= good.num_levels(); ++l) {
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      EXPECT_EQ(restored->VotesOf(e, l), good.VotesOf(e, l));
+    }
+  }
+}
+
+TEST(SerializationTest, MissingFileFails) {
+  Result<LoadedIndex> r = LoadIndex("/nonexistent/path.idx");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializationTest, GarbageFileRejected) {
+  const std::string path = TempPath("anc_garbage.idx");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not an index";
+  }
+  Result<LoadedIndex> r = LoadIndex(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TruncatedFileRejected) {
+  Rng rng(3);
+  Graph g = BarabasiAlbert(60, 2, rng);
+  AncIndex index(g, TestConfig());
+  const std::string path = TempPath("anc_trunc.idx");
+  ASSERT_TRUE(SaveIndex(index, path).ok());
+  // Truncate to 60% and expect a clean IoError, not a crash.
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size * 6 / 10);
+  Result<LoadedIndex> r = LoadIndex(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,86 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/pll.h"
+#include "datasets/synthetic.h"
+#include "graph/algorithms.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+TEST(PllTest, ExactOnHandGraph) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  Graph g = b.Build();
+  std::vector<double> w(g.NumEdges(), 1.0);
+  w[*g.FindEdge(0, 2)] = 5.0;
+  PrunedLandmarkLabeling pll(g, w);
+  EXPECT_DOUBLE_EQ(pll.Query(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(pll.Query(0, 3), 3.0);
+  EXPECT_DOUBLE_EQ(pll.Query(1, 1), 0.0);
+}
+
+class PllProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PllProperty, MatchesDijkstraEverywhere) {
+  Rng rng(GetParam());
+  Graph g = BarabasiAlbert(120, 3, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.2 + rng.NextDouble();
+  PrunedLandmarkLabeling pll(g, w);
+  for (int trial = 0; trial < 60; ++trial) {
+    const NodeId u = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId v = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const double exact = ShortestDistance(g, w, u, v);
+    EXPECT_NEAR(pll.Query(u, v), exact, 1e-9 * std::max(1.0, exact))
+        << u << " -> " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PllProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(PllTest, DisconnectedIsInfinite) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  Graph g = b.Build();
+  PrunedLandmarkLabeling pll(g, std::vector<double>(g.NumEdges(), 1.0));
+  EXPECT_TRUE(std::isinf(pll.Query(0, 3)));
+  EXPECT_DOUBLE_EQ(pll.Query(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(pll.Query(2, 3), 1.0);
+}
+
+TEST(PllTest, LabelsAreSubquadratic) {
+  // On a small-world graph the pruning must keep labels far below the n^2
+  // all-pairs bound (the very reason hub labeling works).
+  Rng rng(7);
+  Graph g = BarabasiAlbert(500, 3, rng);
+  PrunedLandmarkLabeling pll(g, std::vector<double>(g.NumEdges(), 1.0));
+  EXPECT_LT(pll.TotalLabelEntries(),
+            static_cast<size_t>(g.NumNodes()) * g.NumNodes() / 10);
+  EXPECT_GT(pll.MemoryBytes(), 0u);
+}
+
+TEST(PllTest, WeightChangesInvalidateTheIndex) {
+  // The paper's point: PLL has no incremental maintenance — after a weight
+  // change the old index is simply wrong, a rebuild is required.
+  Rng rng(9);
+  Graph g = BarabasiAlbert(80, 3, rng);
+  std::vector<double> w(g.NumEdges(), 1.0);
+  PrunedLandmarkLabeling before(g, w);
+  // Find an edge on some shortest path and shrink it drastically.
+  const EdgeId e = 0;
+  w[e] = 0.01;
+  PrunedLandmarkLabeling after(g, w);
+  const auto& [u, v] = g.Endpoints(e);
+  EXPECT_DOUBLE_EQ(after.Query(u, v), 0.01);
+  EXPECT_GT(before.Query(u, v), 0.5);  // stale answer from the old index
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,170 @@
+// Failure-injection and stress tests: hostile inputs, degenerate graphs,
+// concurrent updates, and abort-guarded invariants (death tests).
+
+#include <cmath>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/anc.h"
+#include "datasets/synthetic.h"
+#include "pyramid/pyramid_index.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace anc {
+namespace {
+
+TEST(RobustnessTest, SingleNodeGraphSurvivesEverything) {
+  GraphBuilder b;
+  b.SetNumNodes(1);
+  Graph g = b.Build();
+  AncConfig config;
+  config.rep = 3;
+  AncIndex anc(g, config);
+  EXPECT_EQ(anc.num_levels(), 1u);
+  Clustering c = anc.Clusters();
+  EXPECT_EQ(c.NumAssigned(), 1u);
+  EXPECT_EQ(anc.LocalCluster(0, 1), std::vector<NodeId>{0});
+  EXPECT_EQ(anc.SmallestCluster(0, 1).size(), 1u);
+}
+
+TEST(RobustnessTest, DisconnectedGraphEndToEnd) {
+  // Three islands; clustering/queries must respect component boundaries.
+  GraphBuilder b;
+  for (NodeId base : {0u, 10u, 20u}) {
+    for (NodeId u = base; u < base + 5; ++u) {
+      for (NodeId v = u + 1; v < base + 5; ++v) {
+        ASSERT_TRUE(b.AddEdge(u, v).ok());
+      }
+    }
+  }
+  Graph g = b.Build();
+  AncConfig config;
+  config.rep = 2;
+  config.similarity.mu = 2;
+  AncIndex anc(g, config);
+  ASSERT_TRUE(anc.Apply({0, 1.0}).ok());
+  for (uint32_t l = 1; l <= anc.num_levels(); ++l) {
+    Clustering c = anc.Clusters(l, /*power=*/false);
+    // Nodes of different islands never share an (even) cluster.
+    EXPECT_NE(c.labels[0], c.labels[10]);
+    EXPECT_NE(c.labels[10], c.labels[20]);
+  }
+  // Cross-island distance queries are cleanly unreachable.
+  EXPECT_TRUE(std::isinf(anc.index().ApproxDistance(0, 20)));
+}
+
+TEST(RobustnessTest, CompleteGraphReinforcementStaysFinite) {
+  // A clique maximizes triadic consolidation: many reinforcement rounds
+  // must stay within the clamp and produce finite weights.
+  GraphBuilder b;
+  for (NodeId u = 0; u < 12; ++u) {
+    for (NodeId v = u + 1; v < 12; ++v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+  }
+  Graph g = b.Build();
+  SimilarityParams params;
+  SimilarityEngine engine(g, params);
+  engine.InitializeStatic(25);  // far beyond the default 7
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_TRUE(std::isfinite(engine.Similarity(e)));
+    EXPECT_TRUE(std::isfinite(engine.Weight(e)));
+    EXPECT_GT(engine.Weight(e), 0.0);
+  }
+}
+
+TEST(RobustnessTest, HubGraphUpdatesStayBounded) {
+  // A star inside a ring stresses the subtree surgery around a hub.
+  GraphBuilder b;
+  const uint32_t n = 200;
+  for (NodeId v = 1; v < n; ++v) ASSERT_TRUE(b.AddEdge(0, v).ok());
+  for (NodeId v = 1; v + 1 < n; ++v) ASSERT_TRUE(b.AddEdge(v, v + 1).ok());
+  Graph g = b.Build();
+  std::vector<double> w(g.NumEdges(), 1.0);
+  PyramidParams params;
+  params.num_pyramids = 3;
+  PyramidIndex idx(g, w, params);
+  Rng rng(3);
+  for (int step = 0; step < 200; ++step) {
+    const EdgeId e = static_cast<EdgeId>(rng.Uniform(g.NumEdges()));
+    w[e] = 0.1 + 5.0 * rng.NextDouble();
+    idx.UpdateEdgeWeight(e, w[e]);
+  }
+  for (uint32_t p = 0; p < 3; ++p) {
+    for (uint32_t l = 1; l <= idx.num_levels(); ++l) {
+      ASSERT_TRUE(idx.partition(p, l).ConsistentWith(g, w));
+    }
+  }
+}
+
+TEST(RobustnessTest, ExtremeWeightRatiosStayConsistent) {
+  // Twelve orders of magnitude between the lightest and heaviest edge.
+  Rng rng(5);
+  Graph g = BarabasiAlbert(100, 3, rng);
+  std::vector<double> w(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    w[e] = std::pow(10.0, -6.0 + 12.0 * rng.NextDouble());
+  }
+  PyramidParams params;
+  params.num_pyramids = 2;
+  PyramidIndex idx(g, w, params);
+  for (int step = 0; step < 50; ++step) {
+    const EdgeId e = static_cast<EdgeId>(rng.Uniform(g.NumEdges()));
+    w[e] = std::pow(10.0, -6.0 + 12.0 * rng.NextDouble());
+    idx.UpdateEdgeWeight(e, w[e]);
+  }
+  for (uint32_t p = 0; p < 2; ++p) {
+    for (uint32_t l = 1; l <= idx.num_levels(); ++l) {
+      ASSERT_TRUE(idx.partition(p, l).ConsistentWith(g, w));
+    }
+  }
+}
+
+TEST(RobustnessDeathTest, InvalidWeightAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Rng rng(7);
+  Graph g = BarabasiAlbert(30, 2, rng);
+  PyramidParams params;
+  PyramidIndex idx(g, std::vector<double>(g.NumEdges(), 1.0), params);
+  EXPECT_DEATH(idx.UpdateEdgeWeight(0, -1.0), "positive");
+  EXPECT_DEATH(idx.UpdateEdgeWeight(0, std::nan("")), "positive");
+  EXPECT_DEATH(idx.UpdateEdgeWeight(g.NumEdges(), 1.0), "out of range");
+}
+
+TEST(RobustnessDeathTest, InvalidConfigAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Rng rng(9);
+  Graph g = BarabasiAlbert(20, 2, rng);
+  AncConfig config;
+  config.pyramid.theta = 5.0;
+  EXPECT_DEATH(AncIndex(g, config), "invalid AncConfig");
+}
+
+TEST(RobustnessTest, ConcurrentReadersDuringSequentialUpdates) {
+  // Queries from the owning thread interleaved with parallel-pool updates
+  // must never observe torn state (updates synchronize via ParallelFor's
+  // completion barrier). This drives the threaded configuration end to
+  // end rather than asserting on data races directly.
+  Rng rng(11);
+  Graph g = BarabasiAlbert(300, 3, rng);
+  AncConfig config;
+  config.rep = 2;
+  config.pyramid.num_threads = 4;
+  AncIndex anc(g, config);
+  double t = 0.0;
+  for (int round = 0; round < 30; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      t += 0.01;
+      ASSERT_TRUE(
+          anc.Apply({static_cast<EdgeId>(rng.Uniform(g.NumEdges())), t}).ok());
+    }
+    Clustering c = anc.Clusters();
+    ASSERT_EQ(c.NumAssigned(), g.NumNodes());
+    std::vector<NodeId> local = anc.LocalCluster(
+        static_cast<NodeId>(rng.Uniform(g.NumNodes())), anc.DefaultLevel());
+    ASSERT_FALSE(local.empty());
+  }
+}
+
+}  // namespace
+}  // namespace anc

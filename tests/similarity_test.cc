@@ -1,0 +1,245 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datasets/synthetic.h"
+#include "similarity/similarity_engine.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+/// Two 4-cliques joined by one bridge edge (3-4).
+Graph TwoCliques() {
+  GraphBuilder b;
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) EXPECT_TRUE(b.AddEdge(u, v).ok());
+  }
+  for (NodeId u = 4; u < 8; ++u) {
+    for (NodeId v = u + 1; v < 8; ++v) EXPECT_TRUE(b.AddEdge(u, v).ok());
+  }
+  EXPECT_TRUE(b.AddEdge(3, 4).ok());
+  return b.Build();
+}
+
+SimilarityParams DefaultParams() {
+  SimilarityParams p;
+  p.lambda = 0.1;
+  p.epsilon = 0.4;
+  p.mu = 3;
+  return p;
+}
+
+TEST(SimilarityEngineTest, InitialSigmaIsDiceLikeJaccard) {
+  Graph g = TwoCliques();
+  SimilarityEngine engine(g, DefaultParams());
+  // Inside a 4-clique: 2 common neighbors, both endpoints degree 3 (corner
+  // nodes) -> sigma = 2*2 / (3+3) = 2/3.
+  const EdgeId e01 = *g.FindEdge(0, 1);
+  EXPECT_NEAR(engine.Sigma(e01), 2.0 * 2.0 / (3.0 + 3.0), 1e-12);
+  // Bridge edge 3-4: no common neighbors -> sigma = 0.
+  const EdgeId bridge = *g.FindEdge(3, 4);
+  EXPECT_NEAR(engine.Sigma(bridge), 0.0, 1e-12);
+}
+
+TEST(SimilarityEngineTest, SigmaCachesMatchRecomputation) {
+  Rng rng(7);
+  Graph g = BarabasiAlbert(80, 3, rng);
+  SimilarityEngine engine(g, DefaultParams());
+  double t = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    t += rng.NextDouble() * 0.2;
+    const EdgeId e = static_cast<EdgeId>(rng.Uniform(g.NumEdges()));
+    ASSERT_TRUE(engine.ApplyActivation(e, t).ok());
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const double expected = engine.RecomputeSigmaNumerator(e);
+    const auto& [u, v] = g.Endpoints(e);
+    const double denom =
+        engine.RecomputeNodeActivity(u) + engine.RecomputeNodeActivity(v);
+    const double expected_sigma = denom > 0 ? expected / denom : 0.0;
+    EXPECT_NEAR(engine.Sigma(e), expected_sigma,
+                1e-9 * std::max(1.0, expected_sigma))
+        << "edge " << e;
+  }
+}
+
+TEST(SimilarityEngineTest, SigmaIsNeuMUnderRescale) {
+  // Lemma 3: the active similarity (and hence N_eps, roles) is invariant
+  // under the global decay factor.
+  Graph g = TwoCliques();
+  SimilarityParams params = DefaultParams();
+  SimilarityEngine a(g, params);
+  SimilarityEngine b(g, params);
+  ASSERT_TRUE(a.ApplyActivation(0, 1.0).ok());
+  ASSERT_TRUE(b.ApplyActivation(0, 1.0).ok());
+  // Force b to rescale by a long quiet gap followed by an activation; apply
+  // the same activation to a (which auto-rescales too only if needed).
+  ASSERT_TRUE(a.ApplyActivation(1, 2.0).ok());
+  ASSERT_TRUE(b.ApplyActivation(1, 2.0).ok());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_NEAR(a.Sigma(e), b.Sigma(e), 1e-12);
+  }
+}
+
+TEST(SimilarityEngineTest, RolesPartitionNodes) {
+  Graph g = TwoCliques();
+  SimilarityParams params = DefaultParams();
+  params.mu = 3;
+  SimilarityEngine engine(g, params);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const NodeRole role = engine.Role(v);
+    if (g.Degree(v) < params.mu) {
+      EXPECT_EQ(role, NodeRole::kPeriphery);
+    } else {
+      EXPECT_NE(role, NodeRole::kPeriphery);
+    }
+  }
+  // Clique corner nodes (degree 3, all neighbors similar) must be cores.
+  EXPECT_EQ(engine.Role(0), NodeRole::kCore);
+}
+
+TEST(SimilarityEngineTest, PeripheryRoleForLowDegree) {
+  // A star: center degree 5, leaves degree 1 < mu.
+  GraphBuilder b;
+  for (NodeId leaf = 1; leaf <= 5; ++leaf) {
+    ASSERT_TRUE(b.AddEdge(0, leaf).ok());
+  }
+  Graph g = b.Build();
+  SimilarityParams params = DefaultParams();
+  params.mu = 2;
+  SimilarityEngine engine(g, params);
+  for (NodeId leaf = 1; leaf <= 5; ++leaf) {
+    EXPECT_EQ(engine.Role(leaf), NodeRole::kPeriphery);
+  }
+  // Center has 5 neighbors but sigma = 0 with all of them (no triangles),
+  // so with eps > 0 it cannot be a core: it is a p-core.
+  EXPECT_EQ(engine.Role(0), NodeRole::kPCore);
+}
+
+TEST(SimilarityEngineTest, ReinforcementStrengthensIntraCliqueEdges) {
+  Graph g = TwoCliques();
+  SimilarityEngine engine(g, DefaultParams());
+  engine.InitializeStatic(3);
+  const EdgeId intra = *g.FindEdge(0, 1);
+  const EdgeId bridge = *g.FindEdge(3, 4);
+  // Intra-clique similarity must exceed the bridge similarity after
+  // reinforcement (the propagation of structural cohesiveness).
+  EXPECT_GT(engine.Similarity(intra), engine.Similarity(bridge));
+  // And intra similarity must have grown above its initial value 1.
+  EXPECT_GT(engine.Similarity(intra), 1.0);
+}
+
+TEST(SimilarityEngineTest, WeightIsInverseSimilarity) {
+  Graph g = TwoCliques();
+  SimilarityEngine engine(g, DefaultParams());
+  engine.InitializeStatic(2);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_NEAR(engine.Weight(e), 1.0 / engine.Similarity(e), 1e-12);
+    EXPECT_GT(engine.Weight(e), 0.0);
+  }
+}
+
+TEST(SimilarityEngineTest, ActivationOnlyChangesTriggerEdgeSimilarity) {
+  // Lemma 5 locality: one activation's reinforcement touches only S of the
+  // trigger edge (sigma caches change, but S elsewhere must not).
+  Graph g = TwoCliques();
+  SimilarityEngine engine(g, DefaultParams());
+  engine.InitializeStatic(2);
+  std::vector<double> before(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) before[e] = engine.Similarity(e);
+  const EdgeId trigger = *g.FindEdge(0, 1);
+  ASSERT_TRUE(engine.ApplyActivation(trigger, 1.0).ok());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (e == trigger) continue;
+    EXPECT_EQ(engine.Similarity(e), before[e]) << "edge " << e;
+  }
+  EXPECT_NE(engine.Similarity(trigger), before[trigger]);
+}
+
+TEST(SimilarityEngineTest, SimilarityStaysWithinClamp) {
+  Rng rng(11);
+  Graph g = BarabasiAlbert(60, 3, rng);
+  SimilarityParams params = DefaultParams();
+  SimilarityEngine engine(g, params);
+  engine.InitializeStatic(5);
+  double t = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    t += 0.05;
+    ASSERT_TRUE(
+        engine.ApplyActivation(static_cast<EdgeId>(rng.Uniform(g.NumEdges())), t)
+            .ok());
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_GE(engine.Similarity(e), params.min_similarity);
+    EXPECT_LE(engine.Similarity(e), params.max_similarity);
+  }
+}
+
+TEST(SimilarityEngineTest, RepZeroLeavesUnitSimilarity) {
+  Graph g = TwoCliques();
+  SimilarityEngine engine(g, DefaultParams());
+  engine.InitializeStatic(0);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_EQ(engine.Similarity(e), 1.0);
+  }
+}
+
+TEST(SimilarityEngineTest, MoreRepsMorePolarization) {
+  // The gap between intra-clique and bridge similarity should widen with
+  // more reinforcement repetitions (Exp 1's "increasing rep improves").
+  Graph g = TwoCliques();
+  const EdgeId intra = *g.FindEdge(0, 1);
+  const EdgeId bridge = *g.FindEdge(3, 4);
+  double prev_ratio = 0.0;
+  for (uint32_t rep : {1u, 3u, 7u}) {
+    SimilarityEngine engine(g, DefaultParams());
+    engine.InitializeStatic(rep);
+    const double ratio =
+        engine.Similarity(intra) / engine.Similarity(bridge);
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+}
+
+TEST(SimilarityEngineTest, RecomputeFromActivenessResetsThenPropagates) {
+  Graph g = TwoCliques();
+  SimilarityEngine engine(g, DefaultParams());
+  engine.InitializeStatic(5);
+  const EdgeId intra = *g.FindEdge(0, 1);
+  const double before = engine.Similarity(intra);
+  engine.RecomputeFromActiveness(5);
+  EXPECT_NEAR(engine.Similarity(intra), before, 1e-9 * before);
+  engine.RecomputeFromActiveness(0);
+  EXPECT_EQ(engine.Similarity(intra), 1.0);
+}
+
+TEST(SimilarityEngineTest, ApplyActivationRejectsBadEdge) {
+  Graph g = TwoCliques();
+  SimilarityEngine engine(g, DefaultParams());
+  EXPECT_FALSE(engine.ApplyActivation(g.NumEdges(), 1.0).ok());
+}
+
+TEST(SuggestEpsilonTest, PercentileEndpointsAndMonotonicity) {
+  Graph g = TwoCliques();
+  const double lo = SuggestEpsilon(g, 0.0);
+  const double mid = SuggestEpsilon(g, 0.5);
+  const double hi = SuggestEpsilon(g, 1.0);
+  EXPECT_LE(lo, mid);
+  EXPECT_LE(mid, hi);
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LE(hi, 1.0);
+  // Clique interiors give the top sigma: 2*2/(3+3).
+  EXPECT_NEAR(hi, 2.0 * 2.0 / 6.0, 1e-12);
+}
+
+TEST(SuggestEpsilonTest, TriangleFreeGraphSuggestsZero) {
+  // A tree has no common neighbors anywhere: every sigma is 0.
+  GraphBuilder b;
+  for (NodeId v = 1; v < 8; ++v) ASSERT_TRUE(b.AddEdge(v / 2, v).ok());
+  Graph g = b.Build();
+  EXPECT_EQ(SuggestEpsilon(g, 0.6), 0.0);
+}
+
+}  // namespace
+}  // namespace anc

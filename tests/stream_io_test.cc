@@ -1,0 +1,108 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "activation/stream_generators.h"
+#include "activation/stream_io.h"
+#include "datasets/synthetic.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(StreamIoTest, RoundTrip) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(40, 120, rng);
+  ActivationStream stream = UniformStream(g, 5, 0.1, rng);
+  const std::string path = TempPath("anc_stream_rt.txt");
+  ASSERT_TRUE(SaveActivationStream(g, stream, path).ok());
+  Result<ActivationStream> loaded = LoadActivationStream(g, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i].edge, stream[i].edge);
+    EXPECT_DOUBLE_EQ(loaded.value()[i].time, stream[i].time);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, RejectsNonEdge) {
+  // Path 0-1-2: the pair (0, 2) exists as nodes but not as an edge.
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  Graph g = b.Build();
+  const std::string path = TempPath("anc_stream_bad.txt");
+  {
+    std::ofstream out(path);
+    out << "0 2 1.0\n";
+  }
+  Result<ActivationStream> r = LoadActivationStream(g, path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, RejectsDecreasingTimestamps) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = b.Build();
+  const std::string path = TempPath("anc_stream_dec.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1 5.0\n0 1 4.0\n";
+  }
+  Result<ActivationStream> r = LoadActivationStream(g, path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, RejectsMalformedLine) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = b.Build();
+  const std::string path = TempPath("anc_stream_mal.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1 not-a-number\n";
+  }
+  Result<ActivationStream> r = LoadActivationStream(g, path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, CommentsAndBlanksSkipped) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = b.Build();
+  const std::string path = TempPath("anc_stream_cmt.txt");
+  {
+    std::ofstream out(path);
+    out << "# header\n\n0 1 1.0\n# trailing\n0 1 2.0\n";
+  }
+  Result<ActivationStream> r = LoadActivationStream(g, path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, MissingFileIsIoError) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = b.Build();
+  Result<ActivationStream> r =
+      LoadActivationStream(g, "/nonexistent/stream.txt");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,266 @@
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/indexed_heap.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace anc {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad lambda");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad lambda");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad lambda");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status Propagates() {
+  ANC_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kInternal);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(5);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.Uniform(bound), bound);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(trials), 0.3, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(17);
+  for (uint32_t population : {10u, 100u, 1000u}) {
+    for (uint32_t count : {0u, 1u, 5u, population / 2, population}) {
+      std::vector<uint32_t> sample =
+          rng.SampleWithoutReplacement(population, count);
+      ASSERT_EQ(sample.size(), count);
+      std::set<uint32_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), count);
+      for (uint32_t x : sample) EXPECT_LT(x, population);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementCoversPopulation) {
+  // Every element should appear in some sample; a crude uniformity check.
+  Rng rng(19);
+  std::vector<int> seen(20, 0);
+  for (int trial = 0; trial < 400; ++trial) {
+    for (uint32_t x : rng.SampleWithoutReplacement(20, 5)) ++seen[x];
+  }
+  for (int count : seen) EXPECT_GT(count, 40);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(23);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ----------------------------------------------------------- IndexedHeap --
+
+TEST(IndexedHeapTest, PopsInPriorityOrder) {
+  IndexedMinHeap heap(100);
+  Rng rng(31);
+  std::vector<double> priorities(100);
+  for (uint32_t i = 0; i < 100; ++i) {
+    priorities[i] = rng.NextDouble();
+    heap.PushOrUpdate(i, priorities[i]);
+  }
+  double last = -1.0;
+  while (!heap.empty()) {
+    auto [item, priority] = heap.PopMin();
+    EXPECT_GE(priority, last);
+    EXPECT_EQ(priority, priorities[item]);
+    last = priority;
+  }
+}
+
+TEST(IndexedHeapTest, DecreaseKeyMovesItemUp) {
+  IndexedMinHeap heap(10);
+  for (uint32_t i = 0; i < 10; ++i) heap.PushOrUpdate(i, 10.0 + i);
+  heap.PushOrUpdate(7, 0.5);
+  auto [item, priority] = heap.PopMin();
+  EXPECT_EQ(item, 7u);
+  EXPECT_EQ(priority, 0.5);
+}
+
+TEST(IndexedHeapTest, IncreaseKeyMovesItemDown) {
+  IndexedMinHeap heap(3);
+  heap.PushOrUpdate(0, 1.0);
+  heap.PushOrUpdate(1, 2.0);
+  heap.PushOrUpdate(2, 3.0);
+  heap.PushOrUpdate(0, 99.0);
+  EXPECT_EQ(heap.PopMin().first, 1u);
+  EXPECT_EQ(heap.PopMin().first, 2u);
+  EXPECT_EQ(heap.PopMin().first, 0u);
+}
+
+TEST(IndexedHeapTest, ContainsAndErase) {
+  IndexedMinHeap heap(5);
+  heap.PushOrUpdate(2, 1.0);
+  heap.PushOrUpdate(4, 2.0);
+  EXPECT_TRUE(heap.Contains(2));
+  EXPECT_FALSE(heap.Contains(3));
+  heap.Erase(2);
+  EXPECT_FALSE(heap.Contains(2));
+  EXPECT_EQ(heap.size(), 1u);
+  heap.Erase(3);  // no-op
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(IndexedHeapTest, ClearResetsPositions) {
+  IndexedMinHeap heap(4);
+  for (uint32_t i = 0; i < 4; ++i) heap.PushOrUpdate(i, i);
+  heap.Clear();
+  EXPECT_TRUE(heap.empty());
+  heap.PushOrUpdate(1, 5.0);
+  EXPECT_TRUE(heap.Contains(1));
+  EXPECT_EQ(heap.PopMin().first, 1u);
+}
+
+TEST(IndexedHeapTest, RandomizedAgainstMultiset) {
+  IndexedMinHeap heap(200);
+  Rng rng(37);
+  std::vector<double> current(200, -1.0);
+  for (int op = 0; op < 5000; ++op) {
+    const uint32_t item = static_cast<uint32_t>(rng.Uniform(200));
+    const double p = rng.NextDouble();
+    heap.PushOrUpdate(item, p);
+    current[item] = p;
+    if (op % 7 == 0 && !heap.empty()) {
+      auto [min_item, min_p] = heap.PopMin();
+      // Must be the global minimum of all enqueued entries.
+      for (uint32_t i = 0; i < 200; ++i) {
+        if (heap.Contains(i)) {
+          EXPECT_LE(min_p, heap.PriorityOf(i));
+        }
+      }
+      EXPECT_EQ(min_p, current[min_item]);
+      current[min_item] = -1.0;
+    }
+  }
+}
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPoolTest, SerialFallbackRunsEverything) {
+  ThreadPool pool(1);
+  std::vector<int> hits(64, 0);
+  pool.ParallelFor(64, [&](size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ThreadPoolTest, ParallelRunsEverythingExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(50, [&](size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "must not run"; });
+}
+
+}  // namespace
+}  // namespace anc

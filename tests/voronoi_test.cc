@@ -1,0 +1,239 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "datasets/synthetic.h"
+#include "pyramid/voronoi.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+/// The weighted graph of Fig. 2(a)/Fig. 3 is not reproduced verbatim (node
+/// ids differ); these tests build their own shapes.
+
+Graph Path5() {
+  GraphBuilder b;
+  for (NodeId v = 0; v + 1 < 5; ++v) EXPECT_TRUE(b.AddEdge(v, v + 1).ok());
+  return b.Build();
+}
+
+TEST(VoronoiTest, SingleSeedIsDijkstraTree) {
+  Graph g = Path5();
+  std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  VoronoiPartition part;
+  part.Build(g, w, {0});
+  EXPECT_EQ(part.SeedOf(4), 0u);
+  EXPECT_DOUBLE_EQ(part.Dist(0), 0.0);
+  EXPECT_DOUBLE_EQ(part.Dist(1), 1.0);
+  EXPECT_DOUBLE_EQ(part.Dist(2), 3.0);
+  EXPECT_DOUBLE_EQ(part.Dist(3), 6.0);
+  EXPECT_DOUBLE_EQ(part.Dist(4), 10.0);
+  EXPECT_EQ(part.Parent(4), 3u);
+  EXPECT_EQ(part.Parent(0), kInvalidNode);
+}
+
+TEST(VoronoiTest, TwoSeedsSplitThePath) {
+  Graph g = Path5();
+  std::vector<double> w(4, 1.0);
+  VoronoiPartition part;
+  part.Build(g, w, {0, 4});
+  EXPECT_EQ(part.SeedOf(0), 0u);
+  EXPECT_EQ(part.SeedOf(1), 0u);
+  EXPECT_EQ(part.SeedOf(3), 4u);
+  EXPECT_EQ(part.SeedOf(4), 4u);
+  EXPECT_TRUE(part.SameSeed(0, 1));
+  EXPECT_FALSE(part.SameSeed(1, 3));
+}
+
+TEST(VoronoiTest, DisconnectedNodesUnreachable) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  b.SetNumNodes(3);
+  Graph g = b.Build();
+  std::vector<double> w = {1.0};
+  VoronoiPartition part;
+  part.Build(g, w, {0});
+  EXPECT_EQ(part.SeedOf(2), kInvalidNode);
+  EXPECT_EQ(part.Dist(2), kInfDist);
+  EXPECT_FALSE(part.SameSeed(0, 2));
+}
+
+TEST(VoronoiTest, DecreaseReroutesThroughCheaperEdge) {
+  // Square 0-1-2-3-0; seed 0. Edge (2,3) expensive at first.
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());  // e0
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());  // e1
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());  // e2
+  ASSERT_TRUE(b.AddEdge(0, 3).ok());  // e3
+  Graph g = b.Build();
+  std::vector<double> w = {1.0, 1.0, 10.0, 1.0};
+  VoronoiPartition part;
+  part.Build(g, w, {0});
+  EXPECT_DOUBLE_EQ(part.Dist(2), 2.0);  // via 0-1-2
+  // Make (2,3) cheap: 2 should now be reached via 0-3-2 at 1 + 0.5.
+  const EdgeId e2 = *g.FindEdge(2, 3);
+  w[e2] = 0.5;
+  std::vector<NodeId> changed;
+  part.UpdateEdgeWeight(g, w, e2, 10.0, 0.5, &changed);
+  EXPECT_DOUBLE_EQ(part.Dist(2), 1.5);
+  EXPECT_EQ(part.Parent(2), 3u);
+  EXPECT_TRUE(part.ConsistentWith(g, w));
+}
+
+TEST(VoronoiTest, IncreaseOnNonTreeEdgeIsFree) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2).ok());
+  Graph g = b.Build();
+  // Edge ids follow sorted endpoint order; set weights by lookup so the
+  // direct edge (0,2) is the expensive non-tree one.
+  std::vector<double> w(g.NumEdges(), 1.0);
+  const EdgeId non_tree = *g.FindEdge(0, 2);
+  w[non_tree] = 5.0;
+  VoronoiPartition part;
+  part.Build(g, w, {0});
+  ASSERT_NE(part.ParentEdge(2), non_tree);
+  w[non_tree] = 50.0;
+  std::vector<NodeId> changed;
+  const size_t touched =
+      part.UpdateEdgeWeight(g, w, non_tree, 5.0, 50.0, &changed);
+  EXPECT_EQ(touched, 0u);
+  EXPECT_TRUE(changed.empty());
+  EXPECT_TRUE(part.ConsistentWith(g, w));
+}
+
+TEST(VoronoiTest, IncreaseOnTreeEdgeReattachesSubtree) {
+  Graph g = Path5();
+  std::vector<double> w(4, 1.0);
+  VoronoiPartition part;
+  part.Build(g, w, {0, 4});
+  // 1 hangs off 0; raising (0,1) pushes 1 to seed 4's side? Path: 0-1-2-3-4,
+  // seeds 0 and 4; node 1 at dist 1 from 0 and 3 from 4.
+  const EdgeId e01 = *g.FindEdge(0, 1);
+  w[e01] = 10.0;
+  std::vector<NodeId> changed;
+  part.UpdateEdgeWeight(g, w, e01, 1.0, 10.0, &changed);
+  EXPECT_TRUE(part.ConsistentWith(g, w));
+  EXPECT_EQ(part.SeedOf(1), 4u);  // now cheaper via 4-3-2-1 = 3
+  EXPECT_DOUBLE_EQ(part.Dist(1), 3.0);
+  // Node 1's seed changed; it must be reported.
+  EXPECT_NE(std::find(changed.begin(), changed.end(), 1u), changed.end());
+}
+
+TEST(VoronoiTest, IncreaseCanDisconnectSubtree) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = b.Build();
+  std::vector<double> w = {1.0};
+  VoronoiPartition part;
+  part.Build(g, w, {0});
+  // Raising the only edge still leaves node 1 reachable (just farther).
+  w[0] = 5.0;
+  std::vector<NodeId> changed;
+  part.UpdateEdgeWeight(g, w, 0, 1.0, 5.0, &changed);
+  EXPECT_DOUBLE_EQ(part.Dist(1), 5.0);
+  EXPECT_EQ(part.SeedOf(1), 0u);
+  EXPECT_TRUE(part.ConsistentWith(g, w));
+}
+
+TEST(VoronoiTest, SeedInsideOrphanedSubtreeSurvives) {
+  // Path 0-1-2 with seeds {0, 2}: no orphan case; craft one where a seed is
+  // inside a subtree: seeds {0}, path 0-1-2; raise (0,1): both 1 and 2
+  // reattach through the same (now heavier) edge.
+  Graph g = Path5();
+  std::vector<double> w(4, 1.0);
+  VoronoiPartition part;
+  part.Build(g, w, {2});
+  const EdgeId e12 = *g.FindEdge(1, 2);
+  w[e12] = 4.0;
+  std::vector<NodeId> changed;
+  part.UpdateEdgeWeight(g, w, e12, 1.0, 4.0, &changed);
+  EXPECT_TRUE(part.ConsistentWith(g, w));
+  EXPECT_DOUBLE_EQ(part.Dist(1), 4.0);
+  EXPECT_DOUBLE_EQ(part.Dist(0), 5.0);
+}
+
+class VoronoiPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VoronoiPropertyTest, RandomUpdatesStayConsistentWithRebuild) {
+  // The core index invariant (Lemmas 11-12): after any sequence of weight
+  // increases and decreases, the incrementally maintained partition has the
+  // same distances as a from-scratch Dijkstra.
+  Rng rng(GetParam());
+  Graph g = BarabasiAlbert(120, 3, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.5 + rng.NextDouble();
+
+  const uint32_t num_seeds = 1 + static_cast<uint32_t>(rng.Uniform(12));
+  VoronoiPartition part;
+  part.Build(g, w, rng.SampleWithoutReplacement(g.NumNodes(), num_seeds));
+
+  for (int step = 0; step < 120; ++step) {
+    const EdgeId e = static_cast<EdgeId>(rng.Uniform(g.NumEdges()));
+    const double old_w = w[e];
+    // Mix of sharpenings (decrease, like an activation) and fades
+    // (increase, like decay relative to the rest).
+    const double new_w = rng.Bernoulli(0.5) ? old_w * (0.2 + 0.6 * rng.NextDouble())
+                                            : old_w * (1.2 + 2.0 * rng.NextDouble());
+    w[e] = new_w;
+    part.UpdateEdgeWeight(g, w, e, old_w, new_w, nullptr);
+    if (step % 10 == 9) {
+      ASSERT_TRUE(part.ConsistentWith(g, w)) << "seed " << GetParam()
+                                             << " step " << step;
+    }
+  }
+  EXPECT_TRUE(part.ConsistentWith(g, w));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VoronoiPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(VoronoiTest, SeedChangeReportingMatchesDiff) {
+  // Whatever the update reports as seed-changed must equal the diff of
+  // seed assignments before and after.
+  Rng rng(77);
+  Graph g = BarabasiAlbert(100, 2, rng);
+  std::vector<double> w(g.NumEdges());
+  for (double& x : w) x = 0.5 + rng.NextDouble();
+  VoronoiPartition part;
+  part.Build(g, w, rng.SampleWithoutReplacement(g.NumNodes(), 8));
+
+  for (int step = 0; step < 60; ++step) {
+    std::vector<NodeId> before(g.NumNodes());
+    for (NodeId v = 0; v < g.NumNodes(); ++v) before[v] = part.SeedOf(v);
+    const EdgeId e = static_cast<EdgeId>(rng.Uniform(g.NumEdges()));
+    const double old_w = w[e];
+    const double new_w =
+        rng.Bernoulli(0.5) ? old_w * 0.3 : old_w * 3.0;
+    w[e] = new_w;
+    std::vector<NodeId> reported;
+    part.UpdateEdgeWeight(g, w, e, old_w, new_w, &reported);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      const bool changed = before[v] != part.SeedOf(v);
+      const bool in_report =
+          std::find(reported.begin(), reported.end(), v) != reported.end();
+      EXPECT_EQ(changed, in_report) << "node " << v << " step " << step;
+    }
+  }
+}
+
+TEST(VoronoiTest, MemoryBytesPositiveAndScales) {
+  Rng rng(5);
+  Graph small = BarabasiAlbert(50, 2, rng);
+  Graph large = BarabasiAlbert(500, 2, rng);
+  std::vector<double> ws(small.NumEdges(), 1.0);
+  std::vector<double> wl(large.NumEdges(), 1.0);
+  VoronoiPartition ps;
+  VoronoiPartition pl;
+  ps.Build(small, ws, {0});
+  pl.Build(large, wl, {0});
+  EXPECT_GT(ps.MemoryBytes(), 0u);
+  EXPECT_GT(pl.MemoryBytes(), ps.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace anc
