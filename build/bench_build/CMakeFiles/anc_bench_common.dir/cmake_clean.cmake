@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/anc_bench_common.dir/bench_common.cc.o.d"
+  "libanc_bench_common.a"
+  "libanc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

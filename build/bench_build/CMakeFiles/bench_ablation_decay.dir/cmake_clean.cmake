@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_decay"
+  "../bench/bench_ablation_decay.pdb"
+  "CMakeFiles/bench_ablation_decay.dir/bench_ablation_decay.cc.o"
+  "CMakeFiles/bench_ablation_decay.dir/bench_ablation_decay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_exact_index"
+  "../bench/bench_ablation_exact_index.pdb"
+  "CMakeFiles/bench_ablation_exact_index.dir/bench_ablation_exact_index.cc.o"
+  "CMakeFiles/bench_ablation_exact_index.dir/bench_ablation_exact_index.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_exact_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

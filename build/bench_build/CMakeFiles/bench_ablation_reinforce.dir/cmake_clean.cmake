@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_reinforce"
+  "../bench/bench_ablation_reinforce.pdb"
+  "CMakeFiles/bench_ablation_reinforce.dir/bench_ablation_reinforce.cc.o"
+  "CMakeFiles/bench_ablation_reinforce.dir/bench_ablation_reinforce.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reinforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_voting"
+  "../bench/bench_ablation_voting.pdb"
+  "CMakeFiles/bench_ablation_voting.dir/bench_ablation_voting.cc.o"
+  "CMakeFiles/bench_ablation_voting.dir/bench_ablation_voting.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

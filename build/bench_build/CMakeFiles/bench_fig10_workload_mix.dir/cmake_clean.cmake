@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_workload_mix"
+  "../bench/bench_fig10_workload_mix.pdb"
+  "CMakeFiles/bench_fig10_workload_mix.dir/bench_fig10_workload_mix.cc.o"
+  "CMakeFiles/bench_fig10_workload_mix.dir/bench_fig10_workload_mix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_workload_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

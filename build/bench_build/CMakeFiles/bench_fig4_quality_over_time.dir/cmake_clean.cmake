@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_quality_over_time"
+  "../bench/bench_fig4_quality_over_time.pdb"
+  "CMakeFiles/bench_fig4_quality_over_time.dir/bench_fig4_quality_over_time.cc.o"
+  "CMakeFiles/bench_fig4_quality_over_time.dir/bench_fig4_quality_over_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_quality_over_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

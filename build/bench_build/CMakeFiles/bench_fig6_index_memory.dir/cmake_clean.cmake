@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_index_memory"
+  "../bench/bench_fig6_index_memory.pdb"
+  "CMakeFiles/bench_fig6_index_memory.dir/bench_fig6_index_memory.cc.o"
+  "CMakeFiles/bench_fig6_index_memory.dir/bench_fig6_index_memory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_index_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

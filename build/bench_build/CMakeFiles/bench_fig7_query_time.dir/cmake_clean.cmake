@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_query_time"
+  "../bench/bench_fig7_query_time.pdb"
+  "CMakeFiles/bench_fig7_query_time.dir/bench_fig7_query_time.cc.o"
+  "CMakeFiles/bench_fig7_query_time.dir/bench_fig7_query_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_query_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_update_vs_reconstruct.cc" "bench_build/CMakeFiles/bench_fig8_update_vs_reconstruct.dir/bench_fig8_update_vs_reconstruct.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig8_update_vs_reconstruct.dir/bench_fig8_update_vs_reconstruct.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/anc_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/anc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/anc_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/anc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/pyramid/CMakeFiles/anc_pyramid.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/anc_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/activation/CMakeFiles/anc_activation.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

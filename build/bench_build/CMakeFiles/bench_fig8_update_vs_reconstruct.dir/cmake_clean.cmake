@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_update_vs_reconstruct"
+  "../bench/bench_fig8_update_vs_reconstruct.pdb"
+  "CMakeFiles/bench_fig8_update_vs_reconstruct.dir/bench_fig8_update_vs_reconstruct.cc.o"
+  "CMakeFiles/bench_fig8_update_vs_reconstruct.dir/bench_fig8_update_vs_reconstruct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_update_vs_reconstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_update_vs_reconstruct.
+# This may be replaced when dependencies are built.

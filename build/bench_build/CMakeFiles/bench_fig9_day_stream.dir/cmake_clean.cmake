@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_day_stream"
+  "../bench/bench_fig9_day_stream.pdb"
+  "CMakeFiles/bench_fig9_day_stream.dir/bench_fig9_day_stream.cc.o"
+  "CMakeFiles/bench_fig9_day_stream.dir/bench_fig9_day_stream.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_day_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

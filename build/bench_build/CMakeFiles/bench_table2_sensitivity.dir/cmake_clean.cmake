@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_sensitivity"
+  "../bench/bench_table2_sensitivity.pdb"
+  "CMakeFiles/bench_table2_sensitivity.dir/bench_table2_sensitivity.cc.o"
+  "CMakeFiles/bench_table2_sensitivity.dir/bench_table2_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

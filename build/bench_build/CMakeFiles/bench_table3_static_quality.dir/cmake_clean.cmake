@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_static_quality"
+  "../bench/bench_table3_static_quality.pdb"
+  "CMakeFiles/bench_table3_static_quality.dir/bench_table3_static_quality.cc.o"
+  "CMakeFiles/bench_table3_static_quality.dir/bench_table3_static_quality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_static_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

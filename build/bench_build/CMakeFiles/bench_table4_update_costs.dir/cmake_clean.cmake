@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_update_costs"
+  "../bench/bench_table4_update_costs.pdb"
+  "CMakeFiles/bench_table4_update_costs.dir/bench_table4_update_costs.cc.o"
+  "CMakeFiles/bench_table4_update_costs.dir/bench_table4_update_costs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_update_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_cli.dir/anc_cli.cpp.o"
+  "CMakeFiles/anc_cli.dir/anc_cli.cpp.o.d"
+  "anc_cli"
+  "anc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

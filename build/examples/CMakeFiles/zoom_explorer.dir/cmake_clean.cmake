@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoom_explorer.dir/zoom_explorer.cpp.o"
+  "CMakeFiles/zoom_explorer.dir/zoom_explorer.cpp.o.d"
+  "zoom_explorer"
+  "zoom_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoom_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

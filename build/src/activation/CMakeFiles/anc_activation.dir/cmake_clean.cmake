@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_activation.dir/activeness.cc.o"
+  "CMakeFiles/anc_activation.dir/activeness.cc.o.d"
+  "CMakeFiles/anc_activation.dir/stream_generators.cc.o"
+  "CMakeFiles/anc_activation.dir/stream_generators.cc.o.d"
+  "CMakeFiles/anc_activation.dir/stream_io.cc.o"
+  "CMakeFiles/anc_activation.dir/stream_io.cc.o.d"
+  "libanc_activation.a"
+  "libanc_activation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for anc_activation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/attractor.cc" "src/baselines/CMakeFiles/anc_baselines.dir/attractor.cc.o" "gcc" "src/baselines/CMakeFiles/anc_baselines.dir/attractor.cc.o.d"
+  "/root/repo/src/baselines/dynamo.cc" "src/baselines/CMakeFiles/anc_baselines.dir/dynamo.cc.o" "gcc" "src/baselines/CMakeFiles/anc_baselines.dir/dynamo.cc.o.d"
+  "/root/repo/src/baselines/louvain.cc" "src/baselines/CMakeFiles/anc_baselines.dir/louvain.cc.o" "gcc" "src/baselines/CMakeFiles/anc_baselines.dir/louvain.cc.o.d"
+  "/root/repo/src/baselines/lwep.cc" "src/baselines/CMakeFiles/anc_baselines.dir/lwep.cc.o" "gcc" "src/baselines/CMakeFiles/anc_baselines.dir/lwep.cc.o.d"
+  "/root/repo/src/baselines/pll.cc" "src/baselines/CMakeFiles/anc_baselines.dir/pll.cc.o" "gcc" "src/baselines/CMakeFiles/anc_baselines.dir/pll.cc.o.d"
+  "/root/repo/src/baselines/scan.cc" "src/baselines/CMakeFiles/anc_baselines.dir/scan.cc.o" "gcc" "src/baselines/CMakeFiles/anc_baselines.dir/scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/activation/CMakeFiles/anc_activation.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/anc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_baselines.dir/attractor.cc.o"
+  "CMakeFiles/anc_baselines.dir/attractor.cc.o.d"
+  "CMakeFiles/anc_baselines.dir/dynamo.cc.o"
+  "CMakeFiles/anc_baselines.dir/dynamo.cc.o.d"
+  "CMakeFiles/anc_baselines.dir/louvain.cc.o"
+  "CMakeFiles/anc_baselines.dir/louvain.cc.o.d"
+  "CMakeFiles/anc_baselines.dir/lwep.cc.o"
+  "CMakeFiles/anc_baselines.dir/lwep.cc.o.d"
+  "CMakeFiles/anc_baselines.dir/pll.cc.o"
+  "CMakeFiles/anc_baselines.dir/pll.cc.o.d"
+  "CMakeFiles/anc_baselines.dir/scan.cc.o"
+  "CMakeFiles/anc_baselines.dir/scan.cc.o.d"
+  "libanc_baselines.a"
+  "libanc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_datasets.dir/synthetic.cc.o"
+  "CMakeFiles/anc_datasets.dir/synthetic.cc.o.d"
+  "libanc_datasets.a"
+  "libanc_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

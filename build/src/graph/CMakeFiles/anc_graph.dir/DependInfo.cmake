@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cc" "src/graph/CMakeFiles/anc_graph.dir/algorithms.cc.o" "gcc" "src/graph/CMakeFiles/anc_graph.dir/algorithms.cc.o.d"
+  "/root/repo/src/graph/clustering_types.cc" "src/graph/CMakeFiles/anc_graph.dir/clustering_types.cc.o" "gcc" "src/graph/CMakeFiles/anc_graph.dir/clustering_types.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/anc_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/anc_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/anc_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/anc_graph.dir/io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_graph.dir/algorithms.cc.o"
+  "CMakeFiles/anc_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/anc_graph.dir/clustering_types.cc.o"
+  "CMakeFiles/anc_graph.dir/clustering_types.cc.o.d"
+  "CMakeFiles/anc_graph.dir/graph.cc.o"
+  "CMakeFiles/anc_graph.dir/graph.cc.o.d"
+  "CMakeFiles/anc_graph.dir/io.cc.o"
+  "CMakeFiles/anc_graph.dir/io.cc.o.d"
+  "libanc_graph.a"
+  "libanc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_metrics.dir/kmeans.cc.o"
+  "CMakeFiles/anc_metrics.dir/kmeans.cc.o.d"
+  "CMakeFiles/anc_metrics.dir/quality.cc.o"
+  "CMakeFiles/anc_metrics.dir/quality.cc.o.d"
+  "CMakeFiles/anc_metrics.dir/spectral.cc.o"
+  "CMakeFiles/anc_metrics.dir/spectral.cc.o.d"
+  "CMakeFiles/anc_metrics.dir/structural.cc.o"
+  "CMakeFiles/anc_metrics.dir/structural.cc.o.d"
+  "libanc_metrics.a"
+  "libanc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pyramid/clustering.cc" "src/pyramid/CMakeFiles/anc_pyramid.dir/clustering.cc.o" "gcc" "src/pyramid/CMakeFiles/anc_pyramid.dir/clustering.cc.o.d"
+  "/root/repo/src/pyramid/hierarchy.cc" "src/pyramid/CMakeFiles/anc_pyramid.dir/hierarchy.cc.o" "gcc" "src/pyramid/CMakeFiles/anc_pyramid.dir/hierarchy.cc.o.d"
+  "/root/repo/src/pyramid/pyramid_index.cc" "src/pyramid/CMakeFiles/anc_pyramid.dir/pyramid_index.cc.o" "gcc" "src/pyramid/CMakeFiles/anc_pyramid.dir/pyramid_index.cc.o.d"
+  "/root/repo/src/pyramid/voronoi.cc" "src/pyramid/CMakeFiles/anc_pyramid.dir/voronoi.cc.o" "gcc" "src/pyramid/CMakeFiles/anc_pyramid.dir/voronoi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/anc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_pyramid.dir/clustering.cc.o"
+  "CMakeFiles/anc_pyramid.dir/clustering.cc.o.d"
+  "CMakeFiles/anc_pyramid.dir/hierarchy.cc.o"
+  "CMakeFiles/anc_pyramid.dir/hierarchy.cc.o.d"
+  "CMakeFiles/anc_pyramid.dir/pyramid_index.cc.o"
+  "CMakeFiles/anc_pyramid.dir/pyramid_index.cc.o.d"
+  "CMakeFiles/anc_pyramid.dir/voronoi.cc.o"
+  "CMakeFiles/anc_pyramid.dir/voronoi.cc.o.d"
+  "libanc_pyramid.a"
+  "libanc_pyramid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_pyramid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/similarity/similarity_engine.cc" "src/similarity/CMakeFiles/anc_similarity.dir/similarity_engine.cc.o" "gcc" "src/similarity/CMakeFiles/anc_similarity.dir/similarity_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/activation/CMakeFiles/anc_activation.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_similarity.dir/similarity_engine.cc.o"
+  "CMakeFiles/anc_similarity.dir/similarity_engine.cc.o.d"
+  "libanc_similarity.a"
+  "libanc_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

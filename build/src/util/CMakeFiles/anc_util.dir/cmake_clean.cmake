@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_util.dir/rng.cc.o"
+  "CMakeFiles/anc_util.dir/rng.cc.o.d"
+  "CMakeFiles/anc_util.dir/status.cc.o"
+  "CMakeFiles/anc_util.dir/status.cc.o.d"
+  "CMakeFiles/anc_util.dir/thread_pool.cc.o"
+  "CMakeFiles/anc_util.dir/thread_pool.cc.o.d"
+  "libanc_util.a"
+  "libanc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

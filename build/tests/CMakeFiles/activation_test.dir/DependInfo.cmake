@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/activation_test.cc" "tests/CMakeFiles/activation_test.dir/activation_test.cc.o" "gcc" "tests/CMakeFiles/activation_test.dir/activation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/anc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/anc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/anc_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/anc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/pyramid/CMakeFiles/anc_pyramid.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/anc_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/activation/CMakeFiles/anc_activation.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

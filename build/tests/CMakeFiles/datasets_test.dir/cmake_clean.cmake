@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datasets_test.dir/datasets_test.cc.o"
+  "CMakeFiles/datasets_test.dir/datasets_test.cc.o.d"
+  "datasets_test"
+  "datasets_test.pdb"
+  "datasets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfr_test.dir/lfr_test.cc.o"
+  "CMakeFiles/lfr_test.dir/lfr_test.cc.o.d"
+  "lfr_test"
+  "lfr_test.pdb"
+  "lfr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintainability_test.dir/maintainability_test.cc.o"
+  "CMakeFiles/maintainability_test.dir/maintainability_test.cc.o.d"
+  "maintainability_test"
+  "maintainability_test.pdb"
+  "maintainability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintainability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

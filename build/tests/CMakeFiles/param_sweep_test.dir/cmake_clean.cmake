@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_sweep_test.dir/param_sweep_test.cc.o"
+  "CMakeFiles/param_sweep_test.dir/param_sweep_test.cc.o.d"
+  "param_sweep_test"
+  "param_sweep_test.pdb"
+  "param_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

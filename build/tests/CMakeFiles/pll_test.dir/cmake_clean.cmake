@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pll_test.dir/pll_test.cc.o"
+  "CMakeFiles/pll_test.dir/pll_test.cc.o.d"
+  "pll_test"
+  "pll_test.pdb"
+  "pll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyramid_test.dir/pyramid_test.cc.o"
+  "CMakeFiles/pyramid_test.dir/pyramid_test.cc.o.d"
+  "pyramid_test"
+  "pyramid_test.pdb"
+  "pyramid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyramid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

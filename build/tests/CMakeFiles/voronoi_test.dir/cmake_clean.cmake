@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voronoi_test.dir/voronoi_test.cc.o"
+  "CMakeFiles/voronoi_test.dir/voronoi_test.cc.o.d"
+  "voronoi_test"
+  "voronoi_test.pdb"
+  "voronoi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voronoi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
