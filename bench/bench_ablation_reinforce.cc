@@ -51,13 +51,13 @@ void Run() {
     AncIndex anc(data.graph, config);
     Timer t;
     ANC_CHECK(anc.ApplyStream(stream).ok(), "stream");
-    const double elapsed = t.ElapsedSeconds();
+    const double elapsed_us = t.ElapsedMicros();
     Clustering c = BestLevelClustering(anc, data.truth.num_clusters);
     QualityRow row = Evaluate(data.graph, std::move(c), data.truth);
     PrintRow({interval == 0 ? "ANCO" : std::to_string(interval),
               FormatDouble(row.nmi), FormatDouble(row.purity),
-              FormatDouble(row.f1), FormatDouble(elapsed, 3),
-              FormatDouble(elapsed / stream.size() * 1e6, 1)});
+              FormatDouble(row.f1), FormatDouble(elapsed_us / 1e6, 3),
+              FormatDouble(elapsed_us / stream.size(), 1)});
   }
   std::printf(
       "\nexpected shape: smaller intervals cost more per activation and "

@@ -2,6 +2,10 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "obs/json.h"
 
 namespace anc::bench {
 
@@ -105,6 +109,49 @@ std::string FormatSci(double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.3e", value);
   return buf;
+}
+
+StatsJsonExporter::StatsJsonExporter(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+StatsJsonExporter::~StatsJsonExporter() { Flush(); }
+
+void StatsJsonExporter::Add(std::string label, obs::StatsSnapshot stats,
+                            double elapsed_seconds) {
+  runs_.push_back({std::move(label), std::move(stats), elapsed_seconds});
+}
+
+std::string StatsJsonExporter::Flush() {
+  if (flushed_) return path_;
+  flushed_ = true;
+
+  obs::Json doc = obs::Json::Object();
+  doc.Set("bench", obs::Json::Str(bench_name_));
+  obs::Json runs = obs::Json::Array();
+  for (const Run& run : runs_) {
+    obs::Json entry = obs::Json::Object();
+    entry.Set("label", obs::Json::Str(run.label));
+    entry.Set("elapsed_seconds", obs::Json::Number(run.elapsed_seconds));
+    entry.Set("stats", run.stats.ToJsonValue());
+    runs.Append(std::move(entry));
+  }
+  doc.Set("runs", std::move(runs));
+
+  const char* dir = std::getenv("ANC_STATS_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0')
+                         ? std::string(dir) + "/" + bench_name_ + "_stats.json"
+                         : bench_name_ + "_stats.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[stats] cannot open %s for writing\n", path.c_str());
+    return path_;
+  }
+  out << doc.Dump(2) << '\n';
+  if (out.good()) {
+    path_ = path;
+    std::printf("[stats] wrote %s (%zu runs)\n", path.c_str(), runs_.size());
+  }
+  return path_;
 }
 
 }  // namespace anc::bench

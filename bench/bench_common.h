@@ -11,6 +11,8 @@
 #include "graph/graph.h"
 #include "metrics/quality.h"
 #include "metrics/structural.h"
+#include "obs/stats.h"
+#include "util/timer.h"
 
 namespace anc::bench {
 
@@ -50,6 +52,45 @@ void PrintHeader(const std::string& title);
 void PrintRow(const std::vector<std::string>& cells, int width = 12);
 std::string FormatDouble(double value, int precision = 4);
 std::string FormatSci(double value);
+
+/// Collects labeled StatsSnapshots over a bench run and writes them as one
+/// JSON document `<bench_name>_stats.json` in $ANC_STATS_DIR (falling back
+/// to the working directory) on Flush/destruction:
+///
+///   { "bench": "...", "runs": [
+///       {"label": "...", "elapsed_seconds": ..., "stats": {counters,
+///        gauges, histograms}}, ... ] }
+///
+/// Typical use: `exporter.Add(label, anc.Stats(), timer.ElapsedSeconds())`
+/// after each configuration, so every row of a bench table has the full
+/// per-stage metric breakdown next to it (docs/observability.md).
+class StatsJsonExporter {
+ public:
+  explicit StatsJsonExporter(std::string bench_name);
+  ~StatsJsonExporter();  // flushes if not already flushed
+
+  StatsJsonExporter(const StatsJsonExporter&) = delete;
+  StatsJsonExporter& operator=(const StatsJsonExporter&) = delete;
+
+  void Add(std::string label, obs::StatsSnapshot stats,
+           double elapsed_seconds = 0.0);
+
+  /// Writes the document; returns the output path ("" on I/O failure).
+  /// Idempotent: the second and later calls do nothing and return the
+  /// first call's path.
+  std::string Flush();
+
+ private:
+  struct Run {
+    std::string label;
+    obs::StatsSnapshot stats;
+    double elapsed_seconds = 0.0;
+  };
+  std::string bench_name_;
+  std::vector<Run> runs_;
+  bool flushed_ = false;
+  std::string path_;
+};
 
 }  // namespace anc::bench
 

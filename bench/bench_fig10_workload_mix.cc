@@ -38,6 +38,7 @@ void Run() {
   std::printf("graph: n=%u m=%u; %zu activations over %u minutes\n",
               g.NumNodes(), g.NumEdges(), stream.size(), kMinutes);
 
+  StatsJsonExporter stats("bench_fig10_workload_mix");
   PrintRow({"query%", "ANCO", "DYNA", "LWEP", "DYNA/ANCO"});
   for (double query_share : {0.01, 0.02, 0.04, 0.08, 0.16, 0.32}) {
     // --- ANCO: replace a share of activations by local-cluster queries.
@@ -65,6 +66,8 @@ void Run() {
         }
       }
       anco_time = t.ElapsedSeconds();
+      stats.Add("query_share_" + FormatDouble(query_share * 100, 0) + "pct",
+                anc.Stats(), anco_time);
     }
 
     // --- Baselines: per-minute full refresh + recluster; the query share

@@ -36,15 +36,19 @@ void Run() {
                     /*burst_scale=*/4.0, rng);
   std::vector<ActivationStream> minutes = SplitByTimestamp(stream, 1440);
 
+  StatsJsonExporter stats("bench_fig9_day_stream");
+  anc.metrics().Reset();  // exclude construction; per-day update deltas only
   std::vector<double> batch_times;
   batch_times.reserve(1440);
   size_t total_activations = 0;
+  Timer day_timer;
   for (const ActivationStream& batch : minutes) {
     Timer t;
     ANC_CHECK(anc.ApplyStream(batch).ok(), "batch");
     batch_times.push_back(t.ElapsedSeconds());
     total_activations += batch.size();
   }
+  stats.Add("day_stream", anc.Stats(), day_timer.ElapsedSeconds());
 
   std::vector<double> sorted = batch_times;
   std::sort(sorted.begin(), sorted.end());

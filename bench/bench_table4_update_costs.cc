@@ -52,7 +52,8 @@ AncConfig BaseConfig(AncMode mode) {
   return config;
 }
 
-CostRow Measure(const SyntheticDataset& data, uint64_t seed) {
+CostRow Measure(const SyntheticDataset& data, uint64_t seed,
+                StatsJsonExporter& stats) {
   Rng rng(seed);
   const Graph& g = data.graph;
   ActivationStream stream = UniformStream(g, kTimestamps, kFraction, rng);
@@ -94,6 +95,7 @@ CostRow Measure(const SyntheticDataset& data, uint64_t seed) {
     Timer t;
     for (uint32_t i = 0; i < kOfflineSample; ++i) tracker.RecomputeSnapshot();
     row.ancf = t.ElapsedSeconds() / kOfflineSample;
+    stats.Add(data.name + "/ancf", tracker.Stats(), t.ElapsedSeconds());
   }
 
   // --- online methods: total stream cost / number of activations. The
@@ -109,6 +111,7 @@ CostRow Measure(const SyntheticDataset& data, uint64_t seed) {
     Timer t;
     ANC_CHECK(anco.ApplyStream(stream).ok(), "anco stream");
     row.anco = t.ElapsedSeconds() / stream.size() / partitions;
+    stats.Add(data.name + "/anco", anco.Stats(), t.ElapsedSeconds());
   }
   {
     AncConfig config = BaseConfig(AncMode::kOnlineReinforce);
@@ -119,6 +122,7 @@ CostRow Measure(const SyntheticDataset& data, uint64_t seed) {
     Timer t;
     ANC_CHECK(ancor.ApplyStream(stream).ok(), "ancor stream");
     row.ancor = t.ElapsedSeconds() / stream.size() / partitions;
+    stats.Add(data.name + "/ancor", ancor.Stats(), t.ElapsedSeconds());
   }
   // DYNA and LWEP predate the global decay factor: they maintain the
   // time-decay weights by direct Eq. (1) evaluation over every edge at
@@ -166,9 +170,10 @@ void Run() {
       "seconds per activation\n");
 
   std::vector<SyntheticDataset> suite = QualitySuite(/*scale=*/1, /*seed=*/13);
+  StatsJsonExporter stats("bench_table4_update_costs");
   std::vector<CostRow> rows;
   for (const SyntheticDataset& data : suite) {
-    rows.push_back(Measure(data, 77));
+    rows.push_back(Measure(data, 77, stats));
   }
 
   std::printf("\n");

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus hardened configurations:
+#   1. default build  + full ctest            (the tier-1 gate)
+#   2. ANC_METRICS=OFF build + full ctest     (no-op escape hatch compiles)
+#   3. ASan/UBSan build + full ctest          (exercises the lock-free
+#      metric shard merging under sanitizers)
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast runs only the default configuration.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+FAST=${1:-}
+
+run_config() {
+  local dir=$1
+  shift
+  echo "=== [$dir] cmake $* ==="
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_config build
+
+if [[ "$FAST" != "--fast" ]]; then
+  run_config build-nometrics -DANC_METRICS=OFF
+  run_config build-asan -DANC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+echo "=== all configurations passed ==="

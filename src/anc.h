@@ -30,6 +30,10 @@
 #include "metrics/quality.h"                 // IWYU pragma: export
 #include "metrics/spectral.h"                // IWYU pragma: export
 #include "metrics/structural.h"              // IWYU pragma: export
+#include "obs/json.h"                        // IWYU pragma: export
+#include "obs/metrics.h"                     // IWYU pragma: export
+#include "obs/stats.h"                       // IWYU pragma: export
+#include "obs/trace.h"                       // IWYU pragma: export
 #include "pyramid/clustering.h"              // IWYU pragma: export
 #include "pyramid/hierarchy.h"               // IWYU pragma: export
 #include "pyramid/pyramid_index.h"           // IWYU pragma: export

@@ -55,16 +55,46 @@ Result<std::unique_ptr<AncIndex>> AncIndex::Create(const Graph& graph,
 }
 
 AncIndex::AncIndex(const Graph& graph, AncConfig config)
-    : graph_(&graph), config_(config), engine_(graph, config.similarity) {
+    : graph_(&graph),
+      config_(config),
+      engine_(graph, config.similarity, &metrics_) {
   ANC_CHECK(config_.Validate().ok(), "invalid AncConfig (use Create)");
+  InitMetrics();
   engine_.InitializeStatic(config_.rep);
   index_ = std::make_unique<PyramidIndex>(graph, AllWeights(engine_),
-                                          config_.pyramid);
+                                          config_.pyramid, &metrics_);
   HookRescale();
 }
 
 AncIndex::AncIndex(const Graph& graph, AncConfig config, RestoreTag)
-    : graph_(&graph), config_(config), engine_(graph, config.similarity) {}
+    : graph_(&graph),
+      config_(config),
+      engine_(graph, config.similarity, &metrics_) {
+  InitMetrics();
+}
+
+void AncIndex::InitMetrics() {
+  // Facade-level metric names; subsystem metrics (anc.sim.*, anc.index.*,
+  // anc.pool.*) are registered by the engine / pyramid index themselves.
+  m_.apply_count = metrics_.Counter("anc.apply.count");
+  m_.apply_offline = metrics_.Counter("anc.apply.offline");
+  m_.apply_online = metrics_.Counter("anc.apply.online");
+  m_.apply_ancor = metrics_.Counter("anc.apply.ancor");
+  m_.ancor_passes = metrics_.Counter("anc.ancor.periodic_passes");
+  m_.ancor_pass_edges = metrics_.Counter("anc.ancor.pass_edges");
+  m_.query_clusters = metrics_.Counter("anc.query.clusters");
+  m_.query_local = metrics_.Counter("anc.query.local");
+  m_.query_local_answer_nodes = metrics_.Counter("anc.query.local_answer_nodes");
+  m_.snapshot_recomputes = metrics_.Counter("anc.snapshot.recomputes");
+  m_.ancor_pending_edges = metrics_.Gauge("anc.ancor.pending_edges");
+  m_.apply_latency_us = metrics_.Histogram("anc.apply.latency_us");
+  m_.apply_sim_us = metrics_.Histogram("anc.apply.sim_us");
+  m_.apply_repair_us = metrics_.Histogram("anc.apply.repair_us");
+  m_.ancor_pass_us = metrics_.Histogram("anc.ancor.pass_us");
+  m_.query_clusters_us = metrics_.Histogram("anc.query.clusters_us");
+  m_.query_local_us = metrics_.Histogram("anc.query.local_us");
+  m_.snapshot_recompute_us = metrics_.Histogram("anc.snapshot.recompute_us");
+}
 
 void AncIndex::HookRescale() {
   // A batched rescale multiplies every similarity by g; the NegM distance
@@ -88,29 +118,45 @@ std::unique_ptr<AncIndex> AncIndex::FromSnapshot(
     std::vector<VoronoiPartition::TreeState> trees) {
   std::unique_ptr<AncIndex> out(new AncIndex(graph, config, RestoreTag{}));
   if (!out->engine_.Restore(snapshot).ok()) return nullptr;
-  out->index_ = PyramidIndex::FromTreeStates(
-      graph, AllWeights(out->engine_), config.pyramid, std::move(trees));
+  out->index_ = PyramidIndex::FromTreeStates(graph, AllWeights(out->engine_),
+                                             config.pyramid, std::move(trees),
+                                             &out->metrics_);
   if (out->index_ == nullptr) return nullptr;
   out->HookRescale();
   return out;
 }
 
 Status AncIndex::Apply(const Activation& activation) {
+  obs::ScopedTimer apply_timer(&metrics_, m_.apply_latency_us, "apply");
+  metrics_.Add(m_.apply_count);
   if (config_.mode == AncMode::kOffline) {
+    metrics_.Add(m_.apply_offline);
     // ANCF keeps only the activeness fresh; S and P are snapshot-derived.
     double delta = 0.0;
+    obs::ScopedTimer sim_timer(&metrics_, m_.apply_sim_us, "similarity");
     // The engine's activeness and sigma caches stay consistent so the next
     // RecomputeSnapshot() reinforces against the true activeness.
     return engine_.ApplyActivationNoReinforce(activation.edge, activation.time,
                                               &delta);
   }
+  metrics_.Add(config_.mode == AncMode::kOnlineReinforce ? m_.apply_ancor
+                                                         : m_.apply_online);
   MaybeRunPeriodicReinforce(activation.time);
   double new_weight = 0.0;
-  ANC_RETURN_NOT_OK(
-      engine_.ApplyActivation(activation.edge, activation.time, &new_weight));
-  total_touched_ += index_->UpdateEdgeWeight(activation.edge, new_weight);
+  {
+    obs::ScopedTimer sim_timer(&metrics_, m_.apply_sim_us, "similarity");
+    ANC_RETURN_NOT_OK(
+        engine_.ApplyActivation(activation.edge, activation.time, &new_weight));
+  }
+  {
+    obs::ScopedTimer repair_timer(&metrics_, m_.apply_repair_us,
+                                  "index_repair");
+    total_touched_ += index_->UpdateEdgeWeight(activation.edge, new_weight);
+  }
   if (config_.mode == AncMode::kOnlineReinforce) {
     interval_edges_.insert(activation.edge);
+    metrics_.Set(m_.ancor_pending_edges,
+                 static_cast<int64_t>(interval_edges_.size()));
   }
   return Status::OK();
 }
@@ -126,6 +172,7 @@ void AncIndex::MaybeRunPeriodicReinforce(double now) {
   if (config_.mode != AncMode::kOnlineReinforce) return;
   if (now - last_reinforce_time_ < config_.reinforce_interval) return;
   last_reinforce_time_ = now;
+  obs::ScopedTimer pass_timer(&metrics_, m_.ancor_pass_us, "ancor_pass");
   // One extra consolidation pass over the interval's activated edges, with
   // incremental index repairs (the quality/time trade-off of ANCOR).
   // Sorted order keeps the pass deterministic (and serialization-stable).
@@ -136,6 +183,9 @@ void AncIndex::MaybeRunPeriodicReinforce(double now) {
     total_touched_ += index_->UpdateEdgeWeight(e, engine_.Weight(e));
   }
   interval_edges_.clear();
+  metrics_.Add(m_.ancor_passes);
+  metrics_.Add(m_.ancor_pass_edges, edges.size());
+  metrics_.Set(m_.ancor_pending_edges, 0);
 }
 
 std::vector<EdgeId> AncIndex::PendingReinforceEdges() const {
@@ -152,13 +202,26 @@ void AncIndex::RestoreReinforceState(double last_time,
 }
 
 void AncIndex::RecomputeSnapshot() {
+  obs::ScopedTimer timer(&metrics_, m_.snapshot_recompute_us,
+                         "snapshot_recompute");
   engine_.RecomputeFromActiveness(config_.rep);
   index_->Reconstruct(AllWeights(engine_));
+  metrics_.Add(m_.snapshot_recomputes);
 }
 
 Clustering AncIndex::Clusters(uint32_t level, bool power) const {
+  obs::ScopedTimer timer(&metrics_, m_.query_clusters_us, "query_clusters");
+  metrics_.Add(m_.query_clusters);
   return power ? PowerClustering(*index_, level)
                : EvenClustering(*index_, level);
+}
+
+std::vector<NodeId> AncIndex::LocalCluster(NodeId query, uint32_t level) const {
+  obs::ScopedTimer timer(&metrics_, m_.query_local_us, "query_local");
+  std::vector<NodeId> members = anc::LocalCluster(*index_, query, level);
+  metrics_.Add(m_.query_local);
+  metrics_.Add(m_.query_local_answer_nodes, members.size());
+  return members;
 }
 
 std::vector<NodeId> AncIndex::SmallestCluster(NodeId query, uint32_t min_size,

@@ -9,6 +9,9 @@
 #include "activation/activeness.h"
 #include "graph/clustering_types.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "pyramid/clustering.h"
 #include "pyramid/pyramid_index.h"
 #include "similarity/similarity_engine.h"
@@ -108,9 +111,7 @@ class AncIndex {
 
   /// Local cluster of `query` at `level` (Problem 1.2); cost proportional
   /// to the answer's neighborhood (Lemma 9).
-  std::vector<NodeId> LocalCluster(NodeId query, uint32_t level) const {
-    return anc::LocalCluster(*index_, query, level);
-  }
+  std::vector<NodeId> LocalCluster(NodeId query, uint32_t level) const;
 
   /// The smallest (finest-level) cluster of `query` with >= min_size
   /// members; *level_out receives the level when non-null.
@@ -141,15 +142,55 @@ class AncIndex {
   /// Heap bytes of index + similarity state (graph excluded, as in Fig. 6).
   size_t MemoryBytes() const;
 
+  // --- Observability (docs/observability.md) -----------------------------
+
+  /// Merged snapshot of every anc.* metric this index and its subsystems
+  /// (similarity engine, pyramid index, thread pool) recorded. Safe to call
+  /// concurrently with updates. JSON-serializable via StatsSnapshot::ToJson.
+  obs::StatsSnapshot Stats() const { return metrics_.Snapshot(); }
+
+  /// The index's private metric registry (per-index stats isolation). Lives
+  /// as long as the index; benches use Reset() for per-phase deltas.
+  obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Attaches (nullptr detaches) a structured trace sink: the update and
+  /// query paths then emit nested JSONL spans (apply / similarity /
+  /// index_repair / ancor_pass / query_*).
+  void SetTraceSink(obs::TraceSink* sink) { metrics_.SetTraceSink(sink); }
+
  private:
   struct RestoreTag {};
   AncIndex(const Graph& graph, AncConfig config, RestoreTag);
 
   void HookRescale();
+  void InitMetrics();
   void MaybeRunPeriodicReinforce(double now);
 
   const Graph* graph_;
   AncConfig config_;
+  // Declared before engine_/index_: both record into it (and the registry
+  // must outlive them). Mutable so const query paths can time themselves.
+  mutable obs::MetricsRegistry metrics_;
+  struct ApplyMetricIds {
+    obs::CounterId apply_count;
+    obs::CounterId apply_offline;
+    obs::CounterId apply_online;
+    obs::CounterId apply_ancor;
+    obs::CounterId ancor_passes;
+    obs::CounterId ancor_pass_edges;
+    obs::CounterId query_clusters;
+    obs::CounterId query_local;
+    obs::CounterId query_local_answer_nodes;
+    obs::CounterId snapshot_recomputes;
+    obs::GaugeId ancor_pending_edges;
+    obs::HistogramId apply_latency_us;
+    obs::HistogramId apply_sim_us;
+    obs::HistogramId apply_repair_us;
+    obs::HistogramId ancor_pass_us;
+    obs::HistogramId query_clusters_us;
+    obs::HistogramId query_local_us;
+    obs::HistogramId snapshot_recompute_us;
+  } m_;
   SimilarityEngine engine_;
   std::unique_ptr<PyramidIndex> index_;
   size_t total_touched_ = 0;

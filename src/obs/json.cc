@@ -1,0 +1,390 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace anc::obs {
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberInto(double v, std::string* out) {
+  char buf[32];
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN; the layer never produces them, but a defensive
+    // null keeps the output parseable.
+    out->append("null");
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out->append(buf);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Run(Json* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Match(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(Json* out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case 'n':
+        *out = Json();
+        return Match("null");
+      case 't':
+        *out = Json::Bool(true);
+        return Match("true");
+      case 'f':
+        *out = Json::Bool(false);
+        return Match("false");
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = Json::Str(std::move(s));
+        return true;
+      }
+      case '[':
+        return ParseArray(out);
+      case '{':
+        return ParseObject(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          char hex[5] = {text_[pos_], text_[pos_ + 1], text_[pos_ + 2],
+                         text_[pos_ + 3], '\0'};
+          pos_ += 4;
+          const long code = std::strtol(hex, nullptr, 16);
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else {
+            // Non-ASCII escapes are outside the layer's subset; preserve
+            // the escape literally rather than decoding UTF-16.
+            out->append("\\u").append(hex);
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;
+  }
+
+  bool ParseNumber(Json* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return false;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+    *out = Json::Number(v);
+    return true;
+  }
+
+  bool ParseArray(Json* out) {
+    ++pos_;  // '['
+    *out = Json::Array();
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Json element;
+      SkipWs();
+      if (!ParseValue(&element)) return false;
+      out->Append(std::move(element));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      const char c = text_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') return false;
+    }
+  }
+
+  bool ParseObject(Json* out) {
+    ++pos_;  // '{'
+    *out = Json::Object();
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || !ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_++] != ':') return false;
+      SkipWs();
+      Json value;
+      if (!ParseValue(&value)) return false;
+      out->Set(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      const char c = text_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') return false;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::Bool(bool value) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::Number(double value) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = value;
+  return j;
+}
+
+Json Json::Str(std::string value) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(value);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::Append(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::Set(std::string key, Json value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  const std::string pad(pretty ? static_cast<size_t>(indent) * (depth + 1) : 0,
+                        ' ');
+  const std::string close_pad(
+      pretty ? static_cast<size_t>(indent) * depth : 0, ' ');
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      return;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      return;
+    case Type::kNumber:
+      NumberInto(number_, out);
+      return;
+    case Type::kString:
+      EscapeInto(string_, out);
+      return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out->append("[]");
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        if (pretty) {
+          out->push_back('\n');
+          out->append(pad);
+        }
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out->push_back('\n');
+        out->append(close_pad);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out->append("{}");
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        if (pretty) {
+          out->push_back('\n');
+          out->append(pad);
+        }
+        EscapeInto(object_[i].first, out);
+        out->push_back(':');
+        if (pretty) out->push_back(' ');
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out->push_back('\n');
+        out->append(close_pad);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+bool Json::Parse(std::string_view text, Json* out) {
+  return Parser(text).Run(out);
+}
+
+}  // namespace anc::obs

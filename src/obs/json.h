@@ -1,0 +1,83 @@
+#ifndef ANC_OBS_JSON_H_
+#define ANC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace anc::obs {
+
+/// Minimal JSON document model used by the observability layer (stats
+/// snapshots, trace events, bench stats emission). Covers exactly the JSON
+/// subset the layer produces and reads back: null, bool, finite numbers,
+/// strings, arrays and insertion-ordered objects. Strings are escaped for
+/// the ASCII control set; non-ASCII bytes pass through verbatim (all metric
+/// names are ASCII).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+
+  static Json Bool(bool value);
+  static Json Number(double value);
+  static Json Str(std::string value);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool boolean() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& str() const { return string_; }
+
+  /// Array element count / object member count (0 for scalars).
+  size_t size() const;
+
+  /// Array element access (valid for i < size() of an array).
+  const Json& at(size_t i) const { return array_[i]; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return object_;
+  }
+
+  /// Appends to an array (converts a null value into an array first).
+  Json& Append(Json value);
+
+  /// Sets an object member, overwriting an existing key (converts a null
+  /// value into an object first).
+  Json& Set(std::string key, Json value);
+
+  /// Serializes the document. indent == 0 emits the compact single-line
+  /// form (the JSONL trace format); indent > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses `text` into `*out`. Returns false on malformed input (trailing
+  /// garbage included). `out` is left unspecified on failure.
+  static bool Parse(std::string_view text, Json* out);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace anc::obs
+
+#endif  // ANC_OBS_JSON_H_

@@ -1,0 +1,183 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+#include "obs/trace.h"
+
+namespace anc::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_registry_uid{1};
+
+/// Thread-local cache of (registry uid -> shard). Entries for destroyed
+/// registries are never matched again (uids are never reused) and never
+/// dereferenced; the vector stays tiny (one entry per registry the thread
+/// has ever recorded into).
+struct TlsShardRef {
+  uint64_t uid;
+  void* shard;
+};
+thread_local std::vector<TlsShardRef> t_shards;
+
+/// One-entry MRU front of t_shards. Trivially initialized, so access
+/// compiles to a plain TLS load — no dynamic-init guard — which keeps the
+/// per-record cost of the common one-registry-per-thread case to a single
+/// compare. uid 0 is never issued, so the empty state never matches.
+thread_local uint64_t t_last_uid = 0;
+thread_local void* t_last_shard = nullptr;
+
+uint32_t BucketFor(double value) {
+  if (!(value >= 1.0)) return 0;  // [0, 1) plus NaN / negatives
+  const uint64_t v =
+      value >= 9.2e18 ? UINT64_MAX : static_cast<uint64_t>(value);
+  const uint32_t width = static_cast<uint32_t>(std::bit_width(v));
+  return width < kHistogramBucketCount ? width : kHistogramBucketCount - 1;
+}
+
+uint32_t FindOrAppend(std::vector<std::string>& names, std::string_view name,
+                      uint32_t capacity) {
+  for (uint32_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  if (names.size() >= capacity) return UINT32_MAX;
+  names.emplace_back(name);
+  return static_cast<uint32_t>(names.size() - 1);
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : uid_(g_next_registry_uid.fetch_add(1)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+CounterId MetricsRegistry::Counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return CounterId{FindOrAppend(counter_names_, name, kMaxCounters)};
+}
+
+GaugeId MetricsRegistry::Gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GaugeId{FindOrAppend(gauge_names_, name, kMaxGauges)};
+}
+
+HistogramId MetricsRegistry::Histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return HistogramId{FindOrAppend(histogram_names_, name, kMaxHistograms)};
+}
+
+MetricsRegistry::Shard& MetricsRegistry::LocalShard() {
+  if (t_last_uid == uid_) return *static_cast<Shard*>(t_last_shard);
+  for (const TlsShardRef& ref : t_shards) {
+    if (ref.uid == uid_) {
+      t_last_uid = uid_;
+      t_last_shard = ref.shard;
+      return *static_cast<Shard*>(ref.shard);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  t_shards.push_back({uid_, shard});
+  t_last_uid = uid_;
+  t_last_shard = shard;
+  return *shard;
+}
+
+void MetricsRegistry::AddImpl(uint32_t slot, uint64_t n) {
+  LocalShard().counters[slot].fetch_add(n, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::SetImpl(uint32_t slot, int64_t value) {
+  gauges_[slot].store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordImpl(uint32_t slot, double value) {
+  HistogramShard& hist = LocalShard().histograms[slot];
+  hist.buckets[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  hist.count.fetch_add(1, std::memory_order_relaxed);
+  // Single writer per shard: a load+store pair is race-free and avoids the
+  // CAS loop of a cross-thread atomic double accumulation.
+  hist.sum.store(hist.sum.load(std::memory_order_relaxed) + value,
+                 std::memory_order_relaxed);
+}
+
+StatsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StatsSnapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (uint32_t i = 0; i < counter_names_.size(); ++i) {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters.push_back({counter_names_[i], total});
+  }
+  snap.gauges.reserve(gauge_names_.size());
+  for (uint32_t i = 0; i < gauge_names_.size(); ++i) {
+    snap.gauges.push_back(
+        {gauge_names_[i], gauges_[i].load(std::memory_order_relaxed)});
+  }
+  snap.histograms.reserve(histogram_names_.size());
+  for (uint32_t i = 0; i < histogram_names_.size(); ++i) {
+    StatsSnapshot::HistogramEntry entry;
+    entry.name = histogram_names_[i];
+    entry.buckets.assign(kHistogramBucketCount, 0);
+    for (const auto& shard : shards_) {
+      const HistogramShard& hist = shard->histograms[i];
+      entry.count += hist.count.load(std::memory_order_relaxed);
+      entry.sum += hist.sum.load(std::memory_order_relaxed);
+      for (uint32_t b = 0; b < kHistogramBucketCount; ++b) {
+        entry.buckets[b] += hist.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    snap.histograms.push_back(std::move(entry));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& hist : shard->histograms) {
+      for (auto& b : hist.buckets) b.store(0, std::memory_order_relaxed);
+      hist.count.store(0, std::memory_order_relaxed);
+      hist.sum.store(0.0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+}
+
+#ifndef ANC_METRICS_DISABLED
+
+ScopedTimer::ScopedTimer(MetricsRegistry* registry, HistogramId hist,
+                         const char* span_name)
+    : registry_(registry), hist_(hist), span_name_(nullptr) {
+  if (registry_ == nullptr) return;
+  if (span_name != nullptr && registry_->trace_sink() != nullptr) {
+    span_name_ = span_name;
+    TraceSink::EnterSpan();
+  }
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (registry_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  const double us =
+      std::chrono::duration<double, std::micro>(end - start_).count();
+  registry_->Record(hist_, us);
+  if (span_name_ != nullptr) {
+    const int depth = TraceSink::ExitSpan();
+    // Re-read the sink: it may have been detached mid-span, in which case
+    // the event is dropped but the depth bookkeeping above stays balanced.
+    if (TraceSink* sink = registry_->trace_sink()) {
+      sink->EmitSpan(span_name_, sink->TsMicros(start_), us, depth);
+    }
+  }
+}
+
+#endif  // ANC_METRICS_DISABLED
+
+}  // namespace anc::obs

@@ -1,0 +1,194 @@
+#ifndef ANC_OBS_METRICS_H_
+#define ANC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/stats.h"
+
+namespace anc::obs {
+
+class TraceSink;
+
+/// Compile-time escape hatch: configuring with -DANC_METRICS=OFF defines
+/// ANC_METRICS_DISABLED globally and every recording call (Add / Set /
+/// Record / ScopedTimer) compiles to a no-op. Registration and Snapshot()
+/// keep working (snapshots read all-zero), so call sites and JSON export
+/// shapes are identical in both builds.
+#ifdef ANC_METRICS_DISABLED
+inline constexpr bool kMetricsEnabled = false;
+#else
+inline constexpr bool kMetricsEnabled = true;
+#endif
+
+/// Typed metric handles. Default-constructed (or capacity-overflow) handles
+/// are invalid; recording through them is a silent no-op, so components can
+/// keep unconditional recording code with an optional registry.
+struct CounterId {
+  uint32_t slot = UINT32_MAX;
+  bool valid() const { return slot != UINT32_MAX; }
+};
+struct GaugeId {
+  uint32_t slot = UINT32_MAX;
+  bool valid() const { return slot != UINT32_MAX; }
+};
+struct HistogramId {
+  uint32_t slot = UINT32_MAX;
+  bool valid() const { return slot != UINT32_MAX; }
+};
+
+/// Registry of named monotonic counters, gauges and fixed-bucket
+/// histograms with lock-free recording.
+///
+/// Writers record through per-(thread, registry) shards of relaxed atomics;
+/// Snapshot() merges all shards. The registry mutex is taken only when a
+/// thread first records into this registry (shard creation), at metric
+/// registration, and in Snapshot()/Reset() — never on the record fast path.
+/// That keeps the thread pool's parallel partition updates (Lemma 13)
+/// recording without contention: each pool worker owns its shard's cache
+/// lines.
+///
+/// Shards are owned by the registry and are never freed while it lives, so
+/// values survive thread exit; each AncIndex owns one registry, giving
+/// per-index stats isolation.
+class MetricsRegistry {
+ public:
+  /// Fixed per-registry capacities (shards are fixed-size slabs). Far above
+  /// what the instrumented subsystems register — 2 counters per pyramid
+  /// level plus ~40 fixed metrics; registration beyond capacity returns an
+  /// invalid handle whose records are dropped.
+  static constexpr uint32_t kMaxCounters = 256;
+  static constexpr uint32_t kMaxGauges = 64;
+  static constexpr uint32_t kMaxHistograms = 64;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers a metric, or returns the existing handle when the name is
+  /// already registered. Handles stay valid for the registry's lifetime.
+  CounterId Counter(std::string_view name);
+  GaugeId Gauge(std::string_view name);
+  HistogramId Histogram(std::string_view name);
+
+  /// Monotonic counter increment. Lock-free, relaxed ordering.
+  void Add(CounterId id, uint64_t n = 1) {
+#ifndef ANC_METRICS_DISABLED
+    if (id.valid()) AddImpl(id.slot, n);
+#else
+    (void)id;
+    (void)n;
+#endif
+  }
+
+  /// Gauge last-write-wins store.
+  void Set(GaugeId id, int64_t value) {
+#ifndef ANC_METRICS_DISABLED
+    if (id.valid()) SetImpl(id.slot, value);
+#else
+    (void)id;
+    (void)value;
+#endif
+  }
+
+  /// Histogram sample (unit: microseconds for latency histograms; see
+  /// kHistogramBucketCount for the shared bucket layout).
+  void Record(HistogramId id, double value) {
+#ifndef ANC_METRICS_DISABLED
+    if (id.valid()) RecordImpl(id.slot, value);
+#else
+    (void)id;
+    (void)value;
+#endif
+  }
+
+  /// Merges all shards into a plain, JSON-serializable snapshot. Safe to
+  /// call concurrently with writers (their in-flight records may or may not
+  /// be included).
+  StatsSnapshot Snapshot() const;
+
+  /// Zeroes every counter, gauge and histogram (names and handles are
+  /// kept). For benches that report per-phase deltas.
+  void Reset();
+
+  /// Attaches (nullptr detaches) a structured trace sink; ScopedTimers
+  /// constructed with a span name emit nested span events while a sink is
+  /// attached.
+  void SetTraceSink(TraceSink* sink) {
+    trace_sink_.store(sink, std::memory_order_release);
+  }
+  TraceSink* trace_sink() const {
+    return trace_sink_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct HistogramShard {
+    std::array<std::atomic<uint64_t>, kHistogramBucketCount> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  struct Shard {
+    std::array<std::atomic<uint64_t>, kMaxCounters> counters{};
+    std::array<HistogramShard, kMaxHistograms> histograms{};
+  };
+
+  void AddImpl(uint32_t slot, uint64_t n);
+  void SetImpl(uint32_t slot, int64_t value);
+  void RecordImpl(uint32_t slot, double value);
+
+  /// The calling thread's shard for this registry, created on first use
+  /// (the only mutex acquisition on a writer thread's lifetime).
+  Shard& LocalShard();
+
+  const uint64_t uid_;  // never reused; guards thread-local shard caches
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  // Gauges are written rarely (sizes, watermarks): a single central slab,
+  // no sharding.
+  std::array<std::atomic<int64_t>, kMaxGauges> gauges_{};
+  std::atomic<TraceSink*> trace_sink_{nullptr};
+};
+
+/// RAII stage timer: records elapsed microseconds into `hist` on
+/// destruction and, when constructed with a span name while the registry
+/// has a trace sink attached, emits a nested span event (JSONL) to the
+/// sink. A null registry disables the timer entirely (no clock reads).
+class ScopedTimer {
+ public:
+#ifndef ANC_METRICS_DISABLED
+  ScopedTimer(MetricsRegistry* registry, HistogramId hist,
+              const char* span_name = nullptr);
+  ~ScopedTimer();
+#else
+  ScopedTimer(MetricsRegistry* /*registry*/, HistogramId /*hist*/,
+              const char* /*span_name*/ = nullptr) {}
+  ~ScopedTimer() = default;
+#endif
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+#ifndef ANC_METRICS_DISABLED
+  MetricsRegistry* registry_;
+  HistogramId hist_;
+  const char* span_name_;
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+}  // namespace anc::obs
+
+#endif  // ANC_OBS_METRICS_H_

@@ -1,0 +1,132 @@
+#include "obs/stats.h"
+
+#include <cmath>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace anc::obs {
+
+double HistogramBucketUpperBound(uint32_t bucket) {
+  if (bucket + 1 >= kHistogramBucketCount) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(1.0, static_cast<int>(bucket));  // 2^bucket
+}
+
+double StatsSnapshot::HistogramEntry::Mean() const {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double StatsSnapshot::HistogramEntry::ApproxQuantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (uint32_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen > rank) return HistogramBucketUpperBound(b);
+  }
+  return HistogramBucketUpperBound(kHistogramBucketCount - 1);
+}
+
+uint64_t StatsSnapshot::counter(std::string_view name) const {
+  for (const CounterEntry& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+int64_t StatsSnapshot::gauge(std::string_view name) const {
+  for (const GaugeEntry& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
+const StatsSnapshot::HistogramEntry* StatsSnapshot::histogram(
+    std::string_view name) const {
+  for (const HistogramEntry& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Json StatsSnapshot::ToJsonValue() const {
+  Json counters_obj = Json::Object();
+  for (const CounterEntry& c : counters) {
+    counters_obj.Set(c.name, Json::Number(static_cast<double>(c.value)));
+  }
+  Json gauges_obj = Json::Object();
+  for (const GaugeEntry& g : gauges) {
+    gauges_obj.Set(g.name, Json::Number(static_cast<double>(g.value)));
+  }
+  Json histograms_obj = Json::Object();
+  for (const HistogramEntry& h : histograms) {
+    Json buckets = Json::Array();
+    for (uint64_t b : h.buckets) {
+      buckets.Append(Json::Number(static_cast<double>(b)));
+    }
+    Json entry = Json::Object();
+    entry.Set("count", Json::Number(static_cast<double>(h.count)));
+    entry.Set("sum", Json::Number(h.sum));
+    entry.Set("buckets", std::move(buckets));
+    histograms_obj.Set(h.name, std::move(entry));
+  }
+  Json root = Json::Object();
+  root.Set("counters", std::move(counters_obj));
+  root.Set("gauges", std::move(gauges_obj));
+  root.Set("histograms", std::move(histograms_obj));
+  return root;
+}
+
+std::string StatsSnapshot::ToJson(int indent) const {
+  return ToJsonValue().Dump(indent);
+}
+
+bool StatsSnapshot::FromJson(std::string_view text, StatsSnapshot* out) {
+  Json root;
+  if (!Json::Parse(text, &root) || !root.is_object()) return false;
+  const Json* counters = root.Find("counters");
+  const Json* gauges = root.Find("gauges");
+  const Json* histograms = root.Find("histograms");
+  if (counters == nullptr || !counters->is_object() || gauges == nullptr ||
+      !gauges->is_object() || histograms == nullptr ||
+      !histograms->is_object()) {
+    return false;
+  }
+  *out = StatsSnapshot();
+  for (const auto& [name, value] : counters->members()) {
+    if (!value.is_number()) return false;
+    out->counters.push_back({name, static_cast<uint64_t>(value.number())});
+  }
+  for (const auto& [name, value] : gauges->members()) {
+    if (!value.is_number()) return false;
+    out->gauges.push_back({name, static_cast<int64_t>(value.number())});
+  }
+  for (const auto& [name, value] : histograms->members()) {
+    const Json* count = value.Find("count");
+    const Json* sum = value.Find("sum");
+    const Json* buckets = value.Find("buckets");
+    if (count == nullptr || !count->is_number() || sum == nullptr ||
+        !sum->is_number() || buckets == nullptr || !buckets->is_array() ||
+        buckets->size() != kHistogramBucketCount) {
+      return false;
+    }
+    HistogramEntry entry;
+    entry.name = name;
+    entry.count = static_cast<uint64_t>(count->number());
+    entry.sum = sum->number();
+    entry.buckets.reserve(kHistogramBucketCount);
+    for (size_t i = 0; i < buckets->size(); ++i) {
+      if (!buckets->at(i).is_number()) return false;
+      entry.buckets.push_back(static_cast<uint64_t>(buckets->at(i).number()));
+    }
+    out->histograms.push_back(std::move(entry));
+  }
+  return true;
+}
+
+}  // namespace anc::obs

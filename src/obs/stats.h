@@ -1,0 +1,73 @@
+#ifndef ANC_OBS_STATS_H_
+#define ANC_OBS_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anc::obs {
+
+class Json;
+
+/// Every histogram shares one fixed power-of-two bucket layout: bucket 0
+/// holds values in [0, 1), bucket i >= 1 holds [2^(i-1), 2^i), and the last
+/// bucket absorbs everything above. For latency histograms the unit is
+/// microseconds, so the layout spans sub-microsecond to ~67 s; for size
+/// histograms (touched nodes per repair) it is simply a log2 scale.
+inline constexpr uint32_t kHistogramBucketCount = 28;
+
+/// Upper bound of bucket `bucket` (+infinity for the last bucket).
+double HistogramBucketUpperBound(uint32_t bucket);
+
+/// Point-in-time value of every metric in a MetricsRegistry, decoupled from
+/// the registry's sharded storage: plain vectors, safe to copy, compare and
+/// serialize. Produced by MetricsRegistry::Snapshot(); consumed by
+/// AncIndex::Stats(), the bench stats export and the tests.
+struct StatsSnapshot {
+  struct CounterEntry {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<uint64_t> buckets;  // kHistogramBucketCount entries
+
+    double Mean() const;
+
+    /// Bucket-resolution quantile estimate: the upper bound of the bucket
+    /// containing rank q * count (q in [0, 1]). 0 when empty.
+    double ApproxQuantile(double q) const;
+  };
+
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<HistogramEntry> histograms;
+
+  /// Name lookups; missing names read as zero / nullptr so test assertions
+  /// stay simple.
+  uint64_t counter(std::string_view name) const;
+  int64_t gauge(std::string_view name) const;
+  const HistogramEntry* histogram(std::string_view name) const;
+
+  /// JSON document form:
+  ///   {"counters": {name: value, ...},
+  ///    "gauges": {name: value, ...},
+  ///    "histograms": {name: {"count": c, "sum": s, "buckets": [...]}}}
+  Json ToJsonValue() const;
+  std::string ToJson(int indent = 2) const;
+
+  /// Inverse of ToJson. Returns false on malformed or shape-mismatched
+  /// input; `*out` is unspecified on failure.
+  static bool FromJson(std::string_view text, StatsSnapshot* out);
+};
+
+}  // namespace anc::obs
+
+#endif  // ANC_OBS_STATS_H_

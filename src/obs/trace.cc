@@ -1,0 +1,47 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+#include "obs/json.h"
+
+namespace anc::obs {
+
+namespace {
+
+thread_local int t_span_depth = 0;
+
+int ThreadOrdinal() {
+  static std::atomic<int> next{0};
+  thread_local const int ordinal = next.fetch_add(1);
+  return ordinal;
+}
+
+}  // namespace
+
+TraceSink::TraceSink(const std::string& path)
+    : file_(path),
+      out_(file_.is_open() ? &file_ : nullptr),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceSink::TraceSink(std::ostream* out)
+    : out_(out), epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceSink::EmitSpan(const char* name, double ts_us, double dur_us,
+                         int depth) {
+  if (out_ == nullptr) return;
+  Json event = Json::Object();
+  event.Set("name", Json::Str(name));
+  event.Set("ts_us", Json::Number(ts_us));
+  event.Set("dur_us", Json::Number(dur_us));
+  event.Set("depth", Json::Number(depth));
+  event.Set("tid", Json::Number(ThreadOrdinal()));
+  const std::string line = event.Dump(0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  (*out_) << line << '\n';
+}
+
+void TraceSink::EnterSpan() { ++t_span_depth; }
+
+int TraceSink::ExitSpan() { return --t_span_depth; }
+
+}  // namespace anc::obs

@@ -1,0 +1,62 @@
+#ifndef ANC_OBS_TRACE_H_
+#define ANC_OBS_TRACE_H_
+
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace anc::obs {
+
+/// Structured trace sink: a JSONL stream of completed span events, one
+/// object per line:
+///
+///   {"name":"apply","ts_us":123.4,"dur_us":56.7,"depth":0,"tid":1}
+///
+/// `ts_us` is the span's start relative to the sink's construction (steady
+/// clock), `dur_us` its duration, `depth` the nesting level on the emitting
+/// thread (0 = top-level) and `tid` a small per-process thread ordinal.
+/// Spans are written on completion, so a parent span appears *after* its
+/// children; readers reconstruct nesting from (tid, ts_us, depth).
+///
+/// Emission is mutex-serialized — tracing is a debugging/bench facility,
+/// not a hot-path default; the metrics fast path stays lock-free and pays
+/// only an atomic sink-pointer load when no sink is attached.
+class TraceSink {
+ public:
+  /// File-backed sink; ok() reports whether the file opened.
+  explicit TraceSink(const std::string& path);
+
+  /// Stream-backed sink (caller keeps the stream alive; tests use
+  /// std::ostringstream).
+  explicit TraceSink(std::ostream* out);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  bool ok() const { return out_ != nullptr && out_->good(); }
+
+  /// Writes one completed span event. Thread-safe.
+  void EmitSpan(const char* name, double ts_us, double dur_us, int depth);
+
+  /// Per-thread span nesting bookkeeping used by ScopedTimer: EnterSpan
+  /// pushes a level, ExitSpan pops and returns the popped span's depth.
+  static void EnterSpan();
+  static int ExitSpan();
+
+  /// Microseconds between the sink's epoch and `tp`.
+  double TsMicros(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration<double, std::micro>(tp - epoch_).count();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::ofstream file_;
+  std::ostream* out_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace anc::obs
+
+#endif  // ANC_OBS_TRACE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace anc {
 
@@ -17,16 +18,19 @@ uint32_t LevelsFor(uint32_t n) {
 }  // namespace
 
 PyramidIndex::PyramidIndex(const Graph& g, std::vector<double> weights,
-                           PyramidParams params)
-    : PyramidIndex(g, std::move(weights), params, {}) {}
+                           PyramidParams params,
+                           obs::MetricsRegistry* metrics)
+    : PyramidIndex(g, std::move(weights), params, {}, metrics) {}
 
 PyramidIndex::PyramidIndex(const Graph& g, std::vector<double> weights,
                            PyramidParams params,
-                           std::vector<std::vector<NodeId>> seed_sets)
+                           std::vector<std::vector<NodeId>> seed_sets,
+                           obs::MetricsRegistry* metrics)
     : graph_(&g),
       params_(params),
       num_levels_(LevelsFor(g.NumNodes())),
-      weights_(std::move(weights)) {
+      weights_(std::move(weights)),
+      metrics_(metrics) {
   ANC_CHECK(params_.num_pyramids >= 1, "need at least one pyramid");
   ANC_CHECK(weights_.size() == g.NumEdges(),
             "weight array size must equal edge count");
@@ -44,6 +48,23 @@ PyramidIndex::PyramidIndex(const Graph& g, std::vector<double> weights,
   watched_.assign(g.NumNodes(), 0);
   pending_changes_.resize(num_levels_);
   pool_ = std::make_unique<ThreadPool>(params_.num_threads);
+  if (metrics_ != nullptr) {
+    m_.repairs = metrics_->Counter("anc.index.repairs");
+    m_.touched_nodes = metrics_->Counter("anc.index.touched_nodes");
+    m_.vote_flips = metrics_->Counter("anc.index.vote_flips");
+    m_.rescales = metrics_->Counter("anc.index.rescales");
+    m_.touched_per_repair =
+        metrics_->Histogram("anc.index.touched_per_repair");
+    m_.level_repairs.reserve(num_levels_);
+    m_.level_touched_nodes.reserve(num_levels_);
+    for (uint32_t l = 1; l <= num_levels_; ++l) {
+      const std::string prefix = "anc.index.level" + std::to_string(l);
+      m_.level_repairs.push_back(metrics_->Counter(prefix + ".repairs"));
+      m_.level_touched_nodes.push_back(
+          metrics_->Counter(prefix + ".touched_nodes"));
+    }
+    pool_->SetMetrics(metrics_);
+  }
 
   if (seed_sets.empty()) {
     // Draw all seed sets up front (deterministic given params.seed).
@@ -113,8 +134,13 @@ void PyramidIndex::RefreshEdgeBit(uint32_t pyramid, uint32_t level, EdgeId e) {
     --votes;
   }
   const bool now_passing = votes >= vote_threshold_;
-  if (was_passing != now_passing && (watched_[u] || watched_[v])) {
-    pending_changes_[level - 1].push_back({e, level, now_passing});
+  if (was_passing != now_passing) {
+    if (obs::kMetricsEnabled && metrics_ != nullptr) {
+      metrics_->Add(m_.vote_flips);
+    }
+    if (watched_[u] || watched_[v]) {
+      pending_changes_[level - 1].push_back({e, level, now_passing});
+    }
   }
 }
 
@@ -150,9 +176,20 @@ size_t PyramidIndex::UpdateEdgeWeight(EdgeId e, double new_weight) {
       RefreshEdgeBit(p, level, e);
     }
     touched_per_level[level_idx] = touched;
+    // touched == 0 levels are identity updates; skipping them keeps the
+    // per-activation recording cost proportional to actual repair work.
+    if (obs::kMetricsEnabled && metrics_ != nullptr && touched > 0) {
+      metrics_->Add(m_.level_repairs[level_idx]);
+      metrics_->Add(m_.level_touched_nodes[level_idx], touched);
+    }
   });
   size_t total = 0;
   for (size_t t : touched_per_level) total += t;
+  if (obs::kMetricsEnabled && metrics_ != nullptr) {
+    metrics_->Add(m_.repairs);
+    metrics_->Add(m_.touched_nodes, total);
+    metrics_->Record(m_.touched_per_repair, static_cast<double>(total));
+  }
   return total;
 }
 
@@ -200,10 +237,21 @@ size_t PyramidIndex::UpdateEdgeWeights(
       }
     }
     touched_per_level[level_idx] = touched;
+    // touched == 0 levels are identity updates; skipping them keeps the
+    // per-activation recording cost proportional to actual repair work.
+    if (obs::kMetricsEnabled && metrics_ != nullptr && touched > 0) {
+      metrics_->Add(m_.level_repairs[level_idx]);
+      metrics_->Add(m_.level_touched_nodes[level_idx], touched);
+    }
   });
   for (const auto& [e, w] : updates) weights_[e] = w;
   size_t total = 0;
   for (size_t t : touched_per_level) total += t;
+  if (obs::kMetricsEnabled && metrics_ != nullptr) {
+    metrics_->Add(m_.repairs);
+    metrics_->Add(m_.touched_nodes, total);
+    metrics_->Record(m_.touched_per_repair, static_cast<double>(total));
+  }
   return total;
 }
 
@@ -227,6 +275,9 @@ void PyramidIndex::ScaleAll(double factor) {
   pool_->ParallelFor(partitions_.size(), [&](size_t slot) {
     partitions_[slot].ScaleDistances(factor);
   });
+  if (obs::kMetricsEnabled && metrics_ != nullptr) {
+    metrics_->Add(m_.rescales);
+  }
 }
 
 double PyramidIndex::ApproxDistance(NodeId u, NodeId v) const {
@@ -262,7 +313,8 @@ std::vector<PyramidIndex::VoteChange> PyramidIndex::DrainVoteChanges() {
 
 std::unique_ptr<PyramidIndex> PyramidIndex::FromTreeStates(
     const Graph& g, std::vector<double> weights, PyramidParams params,
-    std::vector<VoronoiPartition::TreeState> trees) {
+    std::vector<VoronoiPartition::TreeState> trees,
+    obs::MetricsRegistry* metrics) {
   // Build with trivially cheap placeholder seeds, then overwrite every
   // partition with the exact exported tree and recount the votes.
   if (weights.size() != g.NumEdges()) return nullptr;
@@ -273,7 +325,7 @@ std::unique_ptr<PyramidIndex> PyramidIndex::FromTreeStates(
   }
   placeholder_seeds.assign(trees.size(), {});  // empty: O(n) builds
   auto index = std::unique_ptr<PyramidIndex>(new PyramidIndex(
-      g, std::move(weights), params, std::move(placeholder_seeds)));
+      g, std::move(weights), params, std::move(placeholder_seeds), metrics));
   for (size_t slot = 0; slot < trees.size(); ++slot) {
     if (!index->partitions_[slot].RestoreTree(g, std::move(trees[slot]))
              .ok()) {

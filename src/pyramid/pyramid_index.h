@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "pyramid/voronoi.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -37,9 +38,12 @@ struct PyramidParams {
 class PyramidIndex {
  public:
   /// Builds the index over `g` with initial distance weights `weights`
-  /// (typically SimilarityEngine::Weight for every edge).
+  /// (typically SimilarityEngine::Weight for every edge). `metrics`, when
+  /// non-null, receives the index's anc.index.* counters (per-level repairs
+  /// and touched nodes, vote flips) and the thread pool's anc.pool.*
+  /// metrics; it must outlive the index.
   PyramidIndex(const Graph& g, std::vector<double> weights,
-               PyramidParams params);
+               PyramidParams params, obs::MetricsRegistry* metrics = nullptr);
 
   /// Builds with explicit seed sets (pyramid-major, level-minor;
   /// seed_sets[p * num_levels + (l-1)] is the level-l seed set of pyramid
@@ -48,14 +52,16 @@ class PyramidIndex {
   /// match `params` and the graph.
   PyramidIndex(const Graph& g, std::vector<double> weights,
                PyramidParams params,
-               std::vector<std::vector<NodeId>> seed_sets);
+               std::vector<std::vector<NodeId>> seed_sets,
+               obs::MetricsRegistry* metrics = nullptr);
 
   /// Restores an index from exported partition trees (exact, including
   /// tie-breaks — the serialization path). Returns null on malformed
   /// state.
   static std::unique_ptr<PyramidIndex> FromTreeStates(
       const Graph& g, std::vector<double> weights, PyramidParams params,
-      std::vector<VoronoiPartition::TreeState> trees);
+      std::vector<VoronoiPartition::TreeState> trees,
+      obs::MetricsRegistry* metrics = nullptr);
 
   PyramidIndex(const PyramidIndex&) = delete;
   PyramidIndex& operator=(const PyramidIndex&) = delete;
@@ -192,6 +198,20 @@ class PyramidIndex {
   // parallel unit, so level-local buffers are contention-free).
   std::vector<uint8_t> watched_;
   std::vector<std::vector<VoteChange>> pending_changes_;  // [level-1]
+
+  // Observability (optional; see docs/observability.md). Per-level
+  // counters are recorded from the level's own pool task — the registry's
+  // thread-local shards keep this contention-free (Lemma 13 parallelism).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  struct {
+    obs::CounterId repairs;
+    obs::CounterId touched_nodes;
+    obs::CounterId vote_flips;
+    obs::CounterId rescales;
+    obs::HistogramId touched_per_repair;
+    std::vector<obs::CounterId> level_repairs;        // [level-1]
+    std::vector<obs::CounterId> level_touched_nodes;  // [level-1]
+  } m_;
 };
 
 }  // namespace anc

@@ -5,13 +5,33 @@
 
 namespace anc {
 
-SimilarityEngine::SimilarityEngine(const Graph& graph, SimilarityParams params)
+SimilarityEngine::SimilarityEngine(const Graph& graph, SimilarityParams params,
+                                   obs::MetricsRegistry* metrics)
     : graph_(&graph),
       params_(params),
       activeness_(graph.NumEdges(), params.lambda, params.initial_activeness),
       node_activity_(graph.NumNodes(), 0.0),
       sigma_numerator_(graph.NumEdges(), 0.0),
-      similarity_(graph.NumEdges(), 1.0) {
+      similarity_(graph.NumEdges(), 1.0),
+      metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    m_.activeness_updates = metrics_->Counter("anc.sim.activeness_updates");
+    m_.sigma_cache_updates = metrics_->Counter("anc.sim.sigma_cache_updates");
+    m_.reinforcements = metrics_->Counter("anc.sim.reinforcements");
+    m_.af_terms = metrics_->Counter("anc.sim.af_terms");
+    m_.tf_terms = metrics_->Counter("anc.sim.tf_terms");
+    m_.wsf_terms = metrics_->Counter("anc.sim.wsf_terms");
+    m_.clamp_hits = metrics_->Counter("anc.sim.clamp_hits");
+    m_.rescale_events = metrics_->Counter("anc.sim.rescale_events");
+    m_.rescale_clamped_edges =
+        metrics_->Counter("anc.sim.rescale_clamped_edges");
+    // PosM store sizes: the per-edge similarity/numerator arrays and the
+    // per-node activity sums.
+    metrics_->Set(metrics_->Gauge("anc.sim.posm_edges"),
+                  static_cast<int64_t>(graph.NumEdges()));
+    metrics_->Set(metrics_->Gauge("anc.sim.posm_nodes"),
+                  static_cast<int64_t>(graph.NumNodes()));
+  }
   activeness_.SetRescaleHook([this](double factor) { OnRescale(factor); });
   // Build the sigma caches from the uniform initial activeness.
   for (NodeId v = 0; v < graph.NumNodes(); ++v) {
@@ -128,6 +148,10 @@ void SimilarityEngine::OnRescale(double factor) {
     ClampSimilarity(e);
     if (similarity_[e] != scaled) clamped.push_back(e);
   }
+  if (obs::kMetricsEnabled && metrics_ != nullptr) {
+    metrics_->Add(m_.rescale_events);
+    metrics_->Add(m_.rescale_clamped_edges, clamped.size());
+  }
   if (rescale_callback_) rescale_callback_(factor, clamped);
 }
 
@@ -142,6 +166,7 @@ void SimilarityEngine::BumpActiveness(EdgeId e, double delta) {
   auto nv = graph_->Neighbors(v);
   size_t i = 0;
   size_t j = 0;
+  uint64_t numerator_updates = 0;
   while (i < nu.size() && j < nv.size()) {
     if (nu[i].node < nv[j].node) {
       ++i;
@@ -150,19 +175,27 @@ void SimilarityEngine::BumpActiveness(EdgeId e, double delta) {
     } else {
       sigma_numerator_[nu[i].edge] += delta;
       sigma_numerator_[nv[j].edge] += delta;
+      numerator_updates += 2;
       ++i;
       ++j;
     }
   }
+  if (obs::kMetricsEnabled && metrics_ != nullptr) {
+    metrics_->Add(m_.activeness_updates);
+    metrics_->Add(m_.sigma_cache_updates, numerator_updates);
+  }
 }
 
-double SimilarityEngine::TriggerDelta(EdgeId e, NodeId u, NodeId v) const {
+double SimilarityEngine::TriggerDelta(EdgeId e, NodeId u, NodeId v,
+                                      ReinforceTermCounts* counts) const {
   const NodeRole role = Role(u);
   const double inv_deg = 1.0 / static_cast<double>(graph_->Degree(u));
 
   double af = 0.0;
   double tf = 0.0;
   double wsf = 0.0;
+  uint64_t tf_terms = 0;
+  uint64_t wsf_terms = 0;
   const bool needs_consolidation = role != NodeRole::kPeriphery;
   const bool needs_stretch = role != NodeRole::kCore;
 
@@ -186,13 +219,21 @@ double SimilarityEngine::TriggerDelta(EdgeId e, NodeId u, NodeId v) const {
         // TF term: sqrt(S(u,w) S(v,w)) * sigma(w,u) / deg(u).
         tf += std::sqrt(similarity_[nu[i].edge] * similarity_[nv[j].edge]) *
               Sigma(nu[i].edge) * inv_deg;
+        ++tf_terms;
       }
       ++j;
     } else if (w != v && needs_stretch) {
       // WSF term over exclusive neighbors: S(w,u) * sigma(w,u) / deg(u).
       wsf += similarity_[nu[i].edge] * Sigma(nu[i].edge) * inv_deg;
+      ++wsf_terms;
     }
     ++i;
+  }
+
+  if (counts != nullptr) {
+    counts->af += needs_consolidation ? 1 : 0;
+    counts->tf += tf_terms;
+    counts->wsf += needs_stretch ? wsf_terms : 0;
   }
 
   switch (role) {
@@ -208,16 +249,30 @@ double SimilarityEngine::TriggerDelta(EdgeId e, NodeId u, NodeId v) const {
 
 void SimilarityEngine::Reinforce(EdgeId e) {
   const auto& [u, v] = graph_->Endpoints(e);
+  const bool record = obs::kMetricsEnabled && metrics_ != nullptr;
+  ReinforceTermCounts counts;
+  ReinforceTermCounts* counts_ptr = record ? &counts : nullptr;
   // Both trigger-node deltas are computed from the pre-update S so the
   // result does not depend on endpoint order.
-  const double delta = TriggerDelta(e, u, v) + TriggerDelta(e, v, u);
+  const double delta =
+      TriggerDelta(e, u, v, counts_ptr) + TriggerDelta(e, v, u, counts_ptr);
   similarity_[e] += delta;
   ClampSimilarity(e);
+  if (record) {
+    metrics_->Add(m_.reinforcements);
+    if (counts.af > 0) metrics_->Add(m_.af_terms, counts.af);
+    if (counts.tf > 0) metrics_->Add(m_.tf_terms, counts.tf);
+    if (counts.wsf > 0) metrics_->Add(m_.wsf_terms, counts.wsf);
+  }
 }
 
 void SimilarityEngine::ClampSimilarity(EdgeId e) {
-  similarity_[e] = std::clamp(similarity_[e], params_.min_similarity,
-                              params_.max_similarity);
+  const double raw = similarity_[e];
+  similarity_[e] =
+      std::clamp(raw, params_.min_similarity, params_.max_similarity);
+  if (obs::kMetricsEnabled && metrics_ != nullptr && similarity_[e] != raw) {
+    metrics_->Add(m_.clamp_hits);
+  }
 }
 
 SimilarityEngine::Snapshot SimilarityEngine::TakeSnapshot() const {

@@ -7,6 +7,7 @@
 
 #include "activation/activeness.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace anc {
@@ -62,7 +63,12 @@ struct SimilarityParams {
 ///  - reinforcement: one sorted merge per trigger node, O(1) sigma lookups.
 class SimilarityEngine {
  public:
-  SimilarityEngine(const Graph& graph, SimilarityParams params);
+  /// `metrics`, when non-null, receives the layer's anc.sim.* counters
+  /// (activeness/sigma-cache updates, AF/TF/WSF reinforcement terms, clamp
+  /// hits, rescale events) and PosM store-size gauges; it must outlive the
+  /// engine. Null disables recording.
+  SimilarityEngine(const Graph& graph, SimilarityParams params,
+                   obs::MetricsRegistry* metrics = nullptr);
 
   SimilarityEngine(const SimilarityEngine&) = delete;
   SimilarityEngine& operator=(const SimilarityEngine&) = delete;
@@ -160,6 +166,13 @@ class SimilarityEngine {
   }
 
  private:
+  /// Per-reinforcement counts of applied AF/TF/WSF terms (observability).
+  struct ReinforceTermCounts {
+    uint64_t af = 0;
+    uint64_t tf = 0;
+    uint64_t wsf = 0;
+  };
+
   /// Scales all anchored state by `factor` (batched rescale hook).
   void OnRescale(double factor);
 
@@ -171,8 +184,10 @@ class SimilarityEngine {
   void Reinforce(EdgeId e);
 
   /// Contribution of trigger node `u` (the other endpoint is `v`): returns
-  /// the signed delta to S(e) per the role formulas (Eqs. 2-4).
-  double TriggerDelta(EdgeId e, NodeId u, NodeId v) const;
+  /// the signed delta to S(e) per the role formulas (Eqs. 2-4). When
+  /// `counts` is non-null the applied term counts are accumulated into it.
+  double TriggerDelta(EdgeId e, NodeId u, NodeId v,
+                      ReinforceTermCounts* counts) const;
 
   void ClampSimilarity(EdgeId e);
 
@@ -183,6 +198,19 @@ class SimilarityEngine {
   std::vector<double> sigma_numerator_;  // num(e), anchored
   std::vector<double> similarity_;       // S*(e), anchored
   std::function<void(double, const std::vector<EdgeId>&)> rescale_callback_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  struct {
+    obs::CounterId activeness_updates;
+    obs::CounterId sigma_cache_updates;
+    obs::CounterId reinforcements;
+    obs::CounterId af_terms;
+    obs::CounterId tf_terms;
+    obs::CounterId wsf_terms;
+    obs::CounterId clamp_hits;
+    obs::CounterId rescale_events;
+    obs::CounterId rescale_clamped_edges;
+  } m_;
 };
 
 /// Suggests a graph-dependent active-neighbor threshold epsilon: the given

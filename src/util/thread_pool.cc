@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <chrono>
+
 namespace anc {
 
 ThreadPool::ThreadPool(unsigned num_threads)
@@ -41,20 +43,44 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::SetMetrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (metrics_ == nullptr) return;
+  tasks_queued_ = metrics_->Counter("anc.pool.tasks_queued");
+  tasks_run_ = metrics_->Counter("anc.pool.tasks_run");
+  queue_wait_us_ = metrics_->Histogram("anc.pool.queue_wait_us");
+}
+
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& fn) {
   if (count == 0) return;
+  const bool record = obs::kMetricsEnabled && metrics_ != nullptr;
   if (workers_.empty() || count == 1) {
     for (size_t i = 0; i < count; ++i) fn(i);
+    if (record) metrics_->Add(tasks_run_, count);
     return;
   }
+  const auto enqueue_time = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     inflight_ += count;
     for (size_t i = 0; i < count; ++i) {
-      tasks_.push([&fn, i] { fn(i); });
+      if (record) {
+        tasks_.push([this, &fn, i, enqueue_time] {
+          metrics_->Record(
+              queue_wait_us_,
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - enqueue_time)
+                  .count());
+          metrics_->Add(tasks_run_);
+          fn(i);
+        });
+      } else {
+        tasks_.push([&fn, i] { fn(i); });
+      }
     }
   }
+  if (record) metrics_->Add(tasks_queued_, count);
   work_available_.notify_all();
   std::unique_lock<std::mutex> lock(mutex_);
   work_done_.wait(lock, [this] { return inflight_ == 0; });

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace anc {
 
 /// Fixed-size worker pool used to update the k x ceil(log2 n) mutually
@@ -31,6 +33,12 @@ class ThreadPool {
   /// workers, and returns when all iterations completed.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
+  /// Attaches a metrics registry: anc.pool.tasks_queued (tasks handed to
+  /// workers), anc.pool.tasks_run (iterations executed, serial fallback
+  /// included) and the anc.pool.queue_wait_us histogram (enqueue-to-start
+  /// latency). Call before the first ParallelFor; nullptr detaches.
+  void SetMetrics(obs::MetricsRegistry* registry);
+
  private:
   void WorkerLoop();
 
@@ -42,6 +50,10 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   size_t inflight_ = 0;
   bool shutdown_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::CounterId tasks_queued_;
+  obs::CounterId tasks_run_;
+  obs::HistogramId queue_wait_us_;
 };
 
 }  // namespace anc

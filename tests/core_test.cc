@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -78,6 +79,76 @@ TEST(AncIndexTest, OnlineStreamKeepsIndexConsistent) {
     }
   }
   EXPECT_GT(anc.total_touched_nodes(), 0u);
+}
+
+TEST(AncIndexTest, StatsMatchesTouchedNodesAfterStream) {
+  GroundTruthGraph data = Planted(3);
+  AncIndex anc(data.graph, SmallConfig(AncMode::kOnline));
+  Rng rng(3);
+  ActivationStream stream = UniformStream(data.graph, 10, 0.02, rng);
+  ASSERT_TRUE(anc.ApplyStream(stream).ok());
+
+  const obs::StatsSnapshot stats = anc.Stats();
+  if (!obs::kMetricsEnabled) {
+    // Disabled build: the snapshot keeps its shape but reads all-zero.
+    EXPECT_EQ(stats.counter("anc.apply.count"), 0u);
+    return;
+  }
+  // The facade's apply counters track the stream exactly.
+  EXPECT_EQ(stats.counter("anc.apply.count"), stream.size());
+  EXPECT_EQ(stats.counter("anc.apply.online"), stream.size());
+  EXPECT_EQ(stats.counter("anc.apply.offline"), 0u);
+  // The index counter is the same accounting as total_touched_nodes():
+  // every UpdateEdgeWeight call records the nodes it touched.
+  EXPECT_EQ(stats.counter("anc.index.touched_nodes"),
+            anc.total_touched_nodes());
+  EXPECT_GT(stats.counter("anc.index.touched_nodes"), 0u);
+  EXPECT_GT(stats.counter("anc.index.repairs"), 0u);
+  // Per-level repairs sum to at most repairs * levels, and at least one
+  // level saw repair work.
+  uint64_t level_repairs = 0;
+  for (uint32_t l = 1; l <= anc.num_levels(); ++l) {
+    level_repairs +=
+        stats.counter("anc.index.level" + std::to_string(l) + ".repairs");
+  }
+  EXPECT_GT(level_repairs, 0u);
+  // Similarity-layer counters: one reinforcement and one activeness bump
+  // per online activation (S0 init happens before the stream, but
+  // InitializeStatic resets nothing here — so >= stream.size()).
+  EXPECT_GE(stats.counter("anc.sim.reinforcements"), stream.size());
+  EXPECT_GT(stats.counter("anc.sim.activeness_updates"), 0u);
+  // Latency histograms saw one sample per apply.
+  const auto* latency = stats.histogram("anc.apply.latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, stream.size());
+  // The snapshot serializes and parses back intact.
+  obs::StatsSnapshot parsed;
+  ASSERT_TRUE(obs::StatsSnapshot::FromJson(stats.ToJson(), &parsed));
+  EXPECT_EQ(parsed.counter("anc.index.touched_nodes"),
+            stats.counter("anc.index.touched_nodes"));
+}
+
+TEST(AncIndexTest, OfflineModeRecordsZeroIndexRepairs) {
+  GroundTruthGraph data = Planted(5);
+  AncIndex ancf(data.graph, SmallConfig(AncMode::kOffline));
+  ancf.metrics().Reset();  // drop construction-time S0 bookkeeping
+  Rng rng(5);
+  ActivationStream stream = UniformStream(data.graph, 5, 0.05, rng);
+  ASSERT_TRUE(ancf.ApplyStream(stream).ok());
+
+  const obs::StatsSnapshot stats = ancf.Stats();
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics disabled";
+  // ANCF never touches the index during the stream: no incremental repairs
+  // and no reinforcement, only activeness/sigma bookkeeping.
+  EXPECT_EQ(stats.counter("anc.apply.offline"), stream.size());
+  EXPECT_EQ(stats.counter("anc.index.repairs"), 0u);
+  EXPECT_EQ(stats.counter("anc.index.touched_nodes"), 0u);
+  EXPECT_EQ(stats.counter("anc.sim.reinforcements"), 0u);
+  EXPECT_GT(stats.counter("anc.sim.activeness_updates"), 0u);
+  // The snapshot recompute is counted (and is not an index repair).
+  ancf.RecomputeSnapshot();
+  EXPECT_EQ(ancf.Stats().counter("anc.snapshot.recomputes"), 1u);
+  EXPECT_EQ(ancf.Stats().counter("anc.index.repairs"), 0u);
 }
 
 TEST(AncIndexTest, AncorRunsPeriodicReinforcement) {

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace anc::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Json
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, RoundTripsDocument) {
+  Json doc = Json::Object();
+  doc.Set("flag", Json::Bool(true));
+  doc.Set("count", Json::Number(42));
+  doc.Set("name", Json::Str("anc \"quoted\"\n"));
+  Json arr = Json::Array();
+  arr.Append(Json::Number(1.5));
+  arr.Append(Json());  // null
+  doc.Set("values", std::move(arr));
+
+  for (int indent : {0, 2}) {
+    Json parsed;
+    ASSERT_TRUE(Json::Parse(doc.Dump(indent), &parsed)) << indent;
+    ASSERT_TRUE(parsed.is_object());
+    EXPECT_TRUE(parsed.Find("flag")->boolean());
+    EXPECT_EQ(parsed.Find("count")->number(), 42.0);
+    EXPECT_EQ(parsed.Find("name")->str(), "anc \"quoted\"\n");
+    const Json* values = parsed.Find("values");
+    ASSERT_EQ(values->size(), 2u);
+    EXPECT_EQ(values->at(0).number(), 1.5);
+    EXPECT_TRUE(values->at(1).is_null());
+  }
+}
+
+TEST(JsonTest, IntegersPrintExactly) {
+  Json big = Json::Number(1234567890123.0);
+  EXPECT_EQ(big.Dump(), "1234567890123");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  Json out;
+  EXPECT_FALSE(Json::Parse("{", &out));
+  EXPECT_FALSE(Json::Parse("[1, 2,]", &out));
+  EXPECT_FALSE(Json::Parse("{} trailing", &out));
+  EXPECT_FALSE(Json::Parse("\"unterminated", &out));
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry registry;
+  const CounterId c = registry.Counter("test.counter");
+  registry.Add(c);
+  registry.Add(c, 41);
+  const StatsSnapshot snap = registry.Snapshot();
+  if (kMetricsEnabled) {
+    EXPECT_EQ(snap.counter("test.counter"), 42u);
+  } else {
+    EXPECT_EQ(snap.counter("test.counter"), 0u);
+  }
+  // Missing names read as zero in either build.
+  EXPECT_EQ(snap.counter("no.such.counter"), 0u);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  const CounterId a = registry.Counter("same.name");
+  const CounterId b = registry.Counter("same.name");
+  EXPECT_EQ(a.slot, b.slot);
+  registry.Add(a);
+  registry.Add(b);
+  const StatsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  if (kMetricsEnabled) EXPECT_EQ(snap.counters[0].value, 2u);
+}
+
+TEST(MetricsRegistryTest, GaugeLastWriteWins) {
+  MetricsRegistry registry;
+  const GaugeId g = registry.Gauge("test.gauge");
+  registry.Set(g, 7);
+  registry.Set(g, -3);
+  const StatsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.gauge("test.gauge"), kMetricsEnabled ? -3 : 0);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsMatchPowerOfTwoLayout) {
+  MetricsRegistry registry;
+  const HistogramId h = registry.Histogram("test.hist");
+  // Bucket 0: [0, 1). Bucket i: [2^(i-1), 2^i).
+  registry.Record(h, 0.0);
+  registry.Record(h, 0.99);   // bucket 0
+  registry.Record(h, 1.0);    // bucket 1
+  registry.Record(h, 2.0);    // bucket 2
+  registry.Record(h, 3.0);    // bucket 2
+  registry.Record(h, 1e30);   // clamps to last bucket
+  const StatsSnapshot snap = registry.Snapshot();
+  const auto* entry = snap.histogram("test.hist");
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->buckets.size(), kHistogramBucketCount);
+  if (!kMetricsEnabled) {
+    EXPECT_EQ(entry->count, 0u);
+    return;
+  }
+  EXPECT_EQ(entry->count, 6u);
+  EXPECT_EQ(entry->buckets[0], 2u);
+  EXPECT_EQ(entry->buckets[1], 1u);
+  EXPECT_EQ(entry->buckets[2], 2u);
+  EXPECT_EQ(entry->buckets[kHistogramBucketCount - 1], 1u);
+  EXPECT_DOUBLE_EQ(entry->sum, 0.0 + 0.99 + 1.0 + 2.0 + 3.0 + 1e30);
+  EXPECT_GT(entry->Mean(), 0.0);
+  // Quantiles report the upper bound of the bucket containing the rank:
+  // rank 3 of 6 is reached at bucket 1 ([1,2)), rank 4.5 inside bucket 2.
+  EXPECT_DOUBLE_EQ(entry->ApproxQuantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(entry->ApproxQuantile(0.75), 4.0);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesKeepsNames) {
+  MetricsRegistry registry;
+  const CounterId c = registry.Counter("test.counter");
+  const HistogramId h = registry.Histogram("test.hist");
+  registry.Add(c, 5);
+  registry.Record(h, 3.0);
+  registry.Reset();
+  const StatsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("test.counter"), 0u);
+  ASSERT_NE(snap.histogram("test.hist"), nullptr);
+  EXPECT_EQ(snap.histogram("test.hist")->count, 0u);
+  // Handles stay valid after Reset.
+  registry.Add(c, 2);
+  if (kMetricsEnabled) {
+    EXPECT_EQ(registry.Snapshot().counter("test.counter"), 2u);
+  }
+}
+
+TEST(MetricsRegistryTest, MergesThreadShards) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics disabled at compile time";
+  MetricsRegistry registry;
+  const CounterId c = registry.Counter("test.parallel");
+  const HistogramId h = registry.Histogram("test.parallel_hist");
+  constexpr size_t kTasks = 64;
+  constexpr uint64_t kPerTask = 1000;
+  ThreadPool pool(4);
+  pool.ParallelFor(kTasks, [&](size_t i) {
+    for (uint64_t j = 0; j < kPerTask; ++j) registry.Add(c);
+    registry.Record(h, static_cast<double>(i));
+  });
+  const StatsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("test.parallel"), kTasks * kPerTask);
+  EXPECT_EQ(snap.histogram("test.parallel_hist")->count, kTasks);
+}
+
+TEST(MetricsRegistryTest, ShardValuesSurviveThreadExit) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics disabled at compile time";
+  MetricsRegistry registry;
+  const CounterId c = registry.Counter("test.exited");
+  {
+    std::thread worker([&] { registry.Add(c, 11); });
+    worker.join();
+  }
+  EXPECT_EQ(registry.Snapshot().counter("test.exited"), 11u);
+}
+
+TEST(MetricsRegistryTest, PerRegistryIsolation) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics disabled at compile time";
+  MetricsRegistry a;
+  MetricsRegistry b;
+  const CounterId ca = a.Counter("shared.name");
+  const CounterId cb = b.Counter("shared.name");
+  a.Add(ca, 3);
+  b.Add(cb, 5);
+  EXPECT_EQ(a.Snapshot().counter("shared.name"), 3u);
+  EXPECT_EQ(b.Snapshot().counter("shared.name"), 5u);
+}
+
+TEST(MetricsRegistryTest, InvalidHandlesAreSilentNoOps) {
+  MetricsRegistry registry;
+  registry.Add(CounterId{}, 7);
+  registry.Set(GaugeId{}, 7);
+  registry.Record(HistogramId{}, 7.0);
+  const StatsSnapshot snap = registry.Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(ScopedTimerTest, RecordsElapsedMicros) {
+  MetricsRegistry registry;
+  const HistogramId h = registry.Histogram("test.timer_us");
+  { ScopedTimer timer(&registry, h); }
+  { ScopedTimer timer(&registry, h); }
+  const StatsSnapshot snap = registry.Snapshot();
+  const auto* entry = snap.histogram("test.timer_us");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->count, kMetricsEnabled ? 2u : 0u);
+  // Null registry must be safe (the disabled-pointer pattern).
+  { ScopedTimer timer(nullptr, h); }
+}
+
+// ---------------------------------------------------------------------------
+// StatsSnapshot JSON
+// ---------------------------------------------------------------------------
+
+TEST(StatsSnapshotTest, JsonRoundTrip) {
+  MetricsRegistry registry;
+  registry.Add(registry.Counter("rt.counter"), 42);
+  registry.Set(registry.Gauge("rt.gauge"), -17);
+  const HistogramId h = registry.Histogram("rt.hist");
+  registry.Record(h, 0.5);
+  registry.Record(h, 1000.0);
+  const StatsSnapshot snap = registry.Snapshot();
+
+  StatsSnapshot parsed;
+  ASSERT_TRUE(StatsSnapshot::FromJson(snap.ToJson(), &parsed));
+  ASSERT_EQ(parsed.counters.size(), snap.counters.size());
+  EXPECT_EQ(parsed.counter("rt.counter"), snap.counter("rt.counter"));
+  EXPECT_EQ(parsed.gauge("rt.gauge"), snap.gauge("rt.gauge"));
+  const auto* orig = snap.histogram("rt.hist");
+  const auto* back = parsed.histogram("rt.hist");
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->count, orig->count);
+  EXPECT_DOUBLE_EQ(back->sum, orig->sum);
+  EXPECT_EQ(back->buckets, orig->buckets);
+}
+
+TEST(StatsSnapshotTest, FromJsonRejectsWrongShape) {
+  StatsSnapshot out;
+  EXPECT_FALSE(StatsSnapshot::FromJson("[]", &out));
+  EXPECT_FALSE(StatsSnapshot::FromJson("{\"counters\": []}", &out));
+  // Histogram bucket array of the wrong length.
+  EXPECT_FALSE(StatsSnapshot::FromJson(
+      "{\"counters\":{},\"gauges\":{},\"histograms\":"
+      "{\"h\":{\"count\":1,\"sum\":2,\"buckets\":[1,2,3]}}}",
+      &out));
+}
+
+TEST(StatsSnapshotTest, BucketUpperBounds) {
+  EXPECT_DOUBLE_EQ(HistogramBucketUpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramBucketUpperBound(1), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramBucketUpperBound(5), 32.0);
+  EXPECT_TRUE(std::isinf(HistogramBucketUpperBound(kHistogramBucketCount - 1)));
+}
+
+// ---------------------------------------------------------------------------
+// TraceSink
+// ---------------------------------------------------------------------------
+
+TEST(TraceSinkTest, EmitsNestedJsonlSpans) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics disabled at compile time";
+  std::ostringstream out;
+  TraceSink sink(&out);
+  ASSERT_TRUE(sink.ok());
+
+  MetricsRegistry registry;
+  const HistogramId outer_h = registry.Histogram("outer_us");
+  const HistogramId inner_h = registry.Histogram("inner_us");
+  registry.SetTraceSink(&sink);
+  {
+    ScopedTimer outer(&registry, outer_h, "outer");
+    ScopedTimer inner(&registry, inner_h, "inner");
+  }
+  registry.SetTraceSink(nullptr);
+  {
+    ScopedTimer silent(&registry, outer_h, "silent");
+  }
+
+  std::vector<Json> events;
+  std::istringstream lines(out.str());
+  for (std::string line; std::getline(lines, line);) {
+    Json event;
+    ASSERT_TRUE(Json::Parse(line, &event)) << line;
+    events.push_back(std::move(event));
+  }
+  // Spans are emitted on completion: inner first, then outer; nothing after
+  // the sink was detached.
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].Find("name")->str(), "inner");
+  EXPECT_EQ(events[0].Find("depth")->number(), 1.0);
+  EXPECT_EQ(events[1].Find("name")->str(), "outer");
+  EXPECT_EQ(events[1].Find("depth")->number(), 0.0);
+  EXPECT_LE(events[1].Find("ts_us")->number(),
+            events[0].Find("ts_us")->number());
+  EXPECT_GE(events[1].Find("dur_us")->number(),
+            events[0].Find("dur_us")->number());
+}
+
+}  // namespace
+}  // namespace anc::obs
