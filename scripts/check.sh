@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus hardened configurations:
-#   1. default build  + full ctest            (the tier-1 gate)
-#   2. ANC_METRICS=OFF build + full ctest     (no-op escape hatch compiles)
-#   3. ASan/UBSan build + full ctest          (exercises the lock-free
-#      metric shard merging under sanitizers)
+#   default     default build + full ctest          (the tier-1 gate)
+#   nometrics   ANC_METRICS=OFF build + full ctest  (no-op escape hatch compiles)
+#   asan        ASan/UBSan build + full ctest       (memory/UB audit)
+#   tsan        TSan build + full ctest             (race audit of the thread
+#               pool, metric shards and Lemma-13 parallel updates)
+#   invariants  ANC_CHECK_INVARIANTS=ON + full ctest (lemma-level validators
+#               armed in the update path)
 #
-# Usage: scripts/check.sh [--fast]
-#   --fast runs only the default configuration.
+# Usage: scripts/check.sh [--fast] [config ...]
+#   With no arguments every configuration runs. Naming one or more configs
+#   (e.g. `scripts/check.sh tsan` in a CI job) builds and tests only those.
+#   --fast is an alias for `default`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
-FAST=${1:-}
 
 run_config() {
   local dir=$1
@@ -22,11 +26,45 @@ run_config() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
-run_config build
+run_one() {
+  case "$1" in
+    default)
+      run_config build
+      ;;
+    nometrics)
+      run_config build-nometrics -DANC_METRICS=OFF
+      ;;
+    asan)
+      run_config build-asan -DANC_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      ;;
+    tsan)
+      run_config build-tsan -DANC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      ;;
+    invariants)
+      run_config build-invariants -DANC_CHECK_INVARIANTS=ON
+      ;;
+    *)
+      echo "unknown configuration '$1'" >&2
+      echo "known: default nometrics asan tsan invariants" >&2
+      exit 2
+      ;;
+  esac
+}
 
-if [[ "$FAST" != "--fast" ]]; then
-  run_config build-nometrics -DANC_METRICS=OFF
-  run_config build-asan -DANC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+CONFIGS=()
+for arg in "$@"; do
+  if [[ "$arg" == "--fast" ]]; then
+    CONFIGS+=(default)
+  else
+    CONFIGS+=("$arg")
+  fi
+done
+if [[ ${#CONFIGS[@]} -eq 0 ]]; then
+  CONFIGS=(default nometrics asan tsan invariants)
 fi
 
-echo "=== all configurations passed ==="
+for config in "${CONFIGS[@]}"; do
+  run_one "$config"
+done
+
+echo "=== configurations passed: ${CONFIGS[*]} ==="

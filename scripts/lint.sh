@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Lint gate: clang-format (diff-clean or fail) and clang-tidy over src/,
+# tests/ and bench/, driven by the committed .clang-format / .clang-tidy.
+#
+# Both tools are optional in minimal containers: when one is missing the
+# corresponding stage is skipped with a warning (CI installs both, so the
+# gate is always enforced there). A set of portable checks that need no
+# LLVM tooling always runs. Exits non-zero on any finding.
+#
+# Usage: scripts/lint.sh [format|tidy|portable]   (default: all stages)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+stage="${1:-all}"
+fail=0
+
+cxx_sources() {
+  find src tests bench -name '*.cc' -o -name '*.h' | sort
+}
+
+run_format() {
+  if ! command -v clang-format >/dev/null 2>&1; then
+    echo "[lint] clang-format not found; skipping format stage" >&2
+    return 0
+  fi
+  echo "[lint] clang-format --dry-run -Werror"
+  if ! cxx_sources | xargs clang-format --dry-run -Werror; then
+    fail=1
+  fi
+}
+
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "[lint] clang-tidy not found; skipping tidy stage" >&2
+    return 0
+  fi
+  # clang-tidy needs a compilation database; configure a throwaway build
+  # dir exporting one if the default build hasn't.
+  local db_dir=build
+  if [ ! -f build/compile_commands.json ]; then
+    db_dir=build-lint
+    cmake -S . -B "$db_dir" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DCMAKE_BUILD_TYPE=Release >/dev/null
+  fi
+  echo "[lint] clang-tidy (database: $db_dir)"
+  if ! find src bench -name '*.cc' | sort |
+    xargs clang-tidy -p "$db_dir" --quiet; then
+    fail=1
+  fi
+}
+
+# Tool-free checks enforceable with grep alone; these run everywhere,
+# including containers without LLVM.
+run_portable() {
+  echo "[lint] portable checks"
+  # No accidental debugging output in library code (tests/bench excluded;
+  # tools under src/tools are the CLI surface and print by design). A
+  # 'lint-ok: output' marker on the printing line or the one above
+  # suppresses the finding for deliberate fatal-path diagnostics.
+  if find src -name '*.cc' -o -name '*.h' | grep -v '^src/tools/' |
+    grep -v '^src/obs/' | sort | xargs awk '
+      /lint-ok: output/ { skip = 2 }
+      /std::cout|std::cerr|printf\(/ {
+        if (skip == 0) { print FILENAME ":" FNR ": " $0; found = 1 }
+      }
+      { if (skip > 0) skip-- }
+      END { exit found }'; then
+    :
+  else
+    echo "[lint] error: raw output in library code (annotate deliberate" \
+      "uses with '// lint-ok: output')" >&2
+    fail=1
+  fi
+  # Headers must carry include guards matching the repo convention.
+  local h
+  for h in $(find src -name '*.h'); do
+    if ! grep -q '#ifndef ANC_' "$h"; then
+      echo "[lint] error: $h lacks an ANC_* include guard" >&2
+      fail=1
+    fi
+  done
+  # No TODOs without an owner or issue reference.
+  if grep -rn 'TODO[^(:]' src tests bench --include='*.cc' \
+    --include='*.h'; then
+    echo "[lint] error: bare TODO (use TODO(name) or TODO(#issue))" >&2
+    fail=1
+  fi
+}
+
+case "$stage" in
+  format) run_format ;;
+  tidy) run_tidy ;;
+  portable) run_portable ;;
+  all)
+    run_format
+    run_tidy
+    run_portable
+    ;;
+  *)
+    echo "usage: scripts/lint.sh [format|tidy|portable]" >&2
+    exit 2
+    ;;
+esac
+
+if [ "$fail" -ne 0 ]; then
+  echo "[lint] FAILED" >&2
+  exit 1
+fi
+echo "[lint] OK"

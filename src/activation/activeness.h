@@ -9,6 +9,10 @@
 #include "graph/graph.h"
 #include "util/status.h"
 
+namespace anc::check {
+class TestHooks;
+}  // namespace anc::check
+
 namespace anc {
 
 /// One activation: an interaction on an existing edge at a timestamp
@@ -100,6 +104,10 @@ class ActivenessStore {
                          double last_time);
 
  private:
+  /// Test-only corruption seam (tests/check_test.cc): lets the invariant-
+  /// checker tests plant negative / NaN anchored values.
+  friend class ::anc::check::TestHooks;
+
   // Beyond this value of lambda * (t - t*), e^{+x} risks drowning small
   // anchored values; well inside double range (max exponent ~709).
   static constexpr double kMaxExponent = 60.0;

@@ -1,0 +1,318 @@
+#include "check/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+namespace anc::check {
+
+namespace {
+
+/// Relative closeness for incrementally maintained doubles: the caches
+/// accumulate the same terms as the recomputation in a different order, so
+/// exact equality is too strict but the drift stays within a few ulps per
+/// operation.
+bool RelClose(double a, double b, double tol) {
+  if (a == b) return true;  // covers +/-inf pairs
+  return std::abs(a - b) <= tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+constexpr double kCacheTol = 1e-6;
+constexpr double kWeightTol = 1e-9;
+constexpr double kDistTol = 1e-9;
+
+std::string Fmt(const char* what, uint64_t id, double got, double want) {
+  std::ostringstream out;
+  out << what << " " << id << ": got " << got << ", expected " << want;
+  return out.str();
+}
+
+}  // namespace
+
+void CheckReport::Add(std::string invariant, std::string detail) {
+  size_t existing = 0;
+  for (const Violation& v : violations_) {
+    if (v.invariant == invariant) ++existing;
+  }
+  if (existing >= max_per_invariant_) return;
+  violations_.push_back({std::move(invariant), std::move(detail)});
+}
+
+std::string CheckReport::ToString() const {
+  if (ok()) return "ok";
+  std::ostringstream out;
+  out << violations_.size() << " invariant violation(s):";
+  for (const Violation& v : violations_) {
+    out << "\n  [" << v.invariant << "] " << v.detail;
+  }
+  return out.str();
+}
+
+void CheckActiveness(const SimilarityEngine& engine, CheckReport* report) {
+  const Graph& g = engine.graph();
+  const ActivenessStore& store = engine.activeness();
+
+  // Definition 1: one shared anchor t*, advanced only by batched rescales,
+  // never past the activation clock.
+  if (store.anchor_time() > store.last_time()) {
+    std::ostringstream out;
+    out << "anchor_time " << store.anchor_time() << " > last_time "
+        << store.last_time();
+    report->Add("activeness.anchor_clock", out.str());
+  }
+  const double factor = store.GlobalFactor(store.last_time());
+  if (!(factor > 0.0) || !std::isfinite(factor)) {
+    std::ostringstream out;
+    out << "global factor g(last_time, t*) = " << factor
+        << " is not positive and finite";
+    report->Add("activeness.global_factor", out.str());
+  }
+
+  // Lemma 1: activations only add positive increments and rescales multiply
+  // by a positive factor, so anchored activeness can never go negative.
+  for (EdgeId e = 0; e < store.num_edges(); ++e) {
+    const double a = store.Anchored(e);
+    if (!(a >= 0.0) || !std::isfinite(a)) {
+      report->Add("activeness.non_negative",
+                  Fmt("anchored activeness of edge", e, a, 0.0));
+    }
+  }
+
+  // Lemma 5: the O(deg u + deg v) incremental maintenance of the sigma
+  // caches must agree with the from-scratch definitions.
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const double cached = engine.NodeActivity(v);
+    const double truth = engine.RecomputeNodeActivity(v);
+    if (!RelClose(cached, truth, kCacheTol)) {
+      report->Add("activeness.node_activity_cache",
+                  Fmt("A(v) cache of node", v, cached, truth));
+    }
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const double cached = engine.SigmaNumerator(e);
+    const double truth = engine.RecomputeSigmaNumerator(e);
+    if (!RelClose(cached, truth, kCacheTol)) {
+      report->Add("activeness.sigma_numerator_cache",
+                  Fmt("num(e) cache of edge", e, cached, truth));
+    }
+  }
+}
+
+void CheckSimilarityStore(const SimilarityEngine& engine, CheckReport* report) {
+  const Graph& g = engine.graph();
+  const SimilarityParams& params = engine.params();
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    // PosM entries stay inside the clamp window (Lemma 4 + the Attractor
+    // truncation adopted by SimilarityParams).
+    const double s = engine.Similarity(e);
+    if (!std::isfinite(s) || s < params.min_similarity ||
+        s > params.max_similarity) {
+      std::ostringstream out;
+      out << "S*(" << e << ") = " << s << " outside clamp ["
+          << params.min_similarity << ", " << params.max_similarity << "]";
+      report->Add("similarity.clamp", out.str());
+      continue;  // the NegM checks below would only repeat the finding
+    }
+    // NegM is the exact inverse of PosM (Lemma 6): the distance weight the
+    // pyramid index consumes must be 1/S*, positive and finite.
+    const double w = engine.Weight(e);
+    if (!(w > 0.0) || !std::isfinite(w) || !RelClose(w, 1.0 / s, kWeightTol)) {
+      report->Add("similarity.negm_inverse",
+                  Fmt("weight of edge", e, w, 1.0 / s));
+    }
+  }
+  // NeuM agreement (Lemma 4): sigma is a weighted-Jaccard ratio, so it must
+  // land in [0, 1] and match recomputation from the activeness — which also
+  // makes N_eps membership symmetric: both endpoints of e count the same
+  // sigma(e) against epsilon.
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const double sigma = engine.Sigma(e);
+    if (!std::isfinite(sigma) || sigma < -kCacheTol ||
+        sigma > 1.0 + kCacheTol) {
+      report->Add("similarity.sigma_range",
+                  Fmt("sigma of edge", e, sigma, 0.5));
+      continue;
+    }
+    const auto& [u, v] = g.Endpoints(e);
+    const double denom =
+        engine.RecomputeNodeActivity(u) + engine.RecomputeNodeActivity(v);
+    const double truth =
+        denom > 0.0 ? engine.RecomputeSigmaNumerator(e) / denom : 0.0;
+    if (!RelClose(sigma, truth, kCacheTol)) {
+      report->Add("similarity.sigma_agreement",
+                  Fmt("sigma of edge", e, sigma, truth));
+    }
+  }
+}
+
+void CheckPyramidStructure(const PyramidIndex& index, CheckReport* report) {
+  const Graph& g = index.graph();
+  const uint32_t n = g.NumNodes();
+  const uint32_t k = index.num_pyramids();
+
+  // Voting threshold: ceil(theta * k), at least 1 (Section V-B).
+  const uint32_t want_threshold = std::max<uint32_t>(
+      1, static_cast<uint32_t>(
+             std::ceil(index.params().theta * static_cast<double>(k) - 1e-12)));
+  if (index.vote_threshold() != want_threshold) {
+    report->Add("pyramid.vote_threshold",
+                Fmt("vote threshold", 0, index.vote_threshold(),
+                    want_threshold));
+  }
+
+  std::unordered_set<NodeId> seed_set;
+  for (uint32_t p = 0; p < k; ++p) {
+    for (uint32_t level = 1; level <= index.num_levels(); ++level) {
+      const VoronoiPartition& part = index.partition(p, level);
+      const auto& seeds = part.seeds();
+
+      // Lemma 7: level l draws min(2^(l-1), n) seeds — never more — and
+      // they are distinct, in range, self-dominating at distance 0.
+      const uint64_t cap = std::min<uint64_t>(1ull << (level - 1), n);
+      std::ostringstream where;
+      where << "pyramid " << p << " level " << level;
+      if (seeds.empty() || seeds.size() > cap) {
+        std::ostringstream out;
+        out << where.str() << ": " << seeds.size()
+            << " seeds, expected in [1, " << cap << "]";
+        report->Add("pyramid.seed_count", out.str());
+      }
+      seed_set.clear();
+      for (NodeId s : seeds) {
+        if (s >= n || !seed_set.insert(s).second) {
+          std::ostringstream out;
+          out << where.str() << ": seed " << s << " out of range or repeated";
+          report->Add("pyramid.seed_set", out.str());
+          continue;
+        }
+        if (part.SeedOf(s) != s || part.Dist(s) != 0.0) {
+          std::ostringstream out;
+          out << where.str() << ": seed " << s << " has seed_of "
+              << part.SeedOf(s) << " dist " << part.Dist(s);
+          report->Add("pyramid.seed_self", out.str());
+        }
+      }
+
+      // The Voronoi cells partition V (Section V-A): every node is either
+      // unreachable or consistently linked into one seed's SPT.
+      for (NodeId v = 0; v < n; ++v) {
+        const NodeId seed = part.SeedOf(v);
+        const double dist = part.Dist(v);
+        const NodeId parent = part.Parent(v);
+        if (seed == kInvalidNode) {
+          if (dist != kInfDist || parent != kInvalidNode) {
+            std::ostringstream out;
+            out << where.str() << ": unreachable node " << v << " has dist "
+                << dist << " parent " << parent;
+            report->Add("pyramid.unreachable", out.str());
+          }
+          continue;
+        }
+        if (seed >= n || !seed_set.contains(seed)) {
+          std::ostringstream out;
+          out << where.str() << ": node " << v << " dominated by non-seed "
+              << seed;
+          report->Add("pyramid.cell_seed", out.str());
+          continue;
+        }
+        if (!(dist >= 0.0) || !std::isfinite(dist)) {
+          std::ostringstream out;
+          out << where.str() << ": node " << v << " reachable with dist "
+              << dist;
+          report->Add("pyramid.cell_dist", out.str());
+          continue;
+        }
+        if (v == seed) continue;  // validated as a seed above
+        // SPT link: the parent edge exists, connects v to its parent,
+        // accounts for the distance gap, and stays inside the cell. Since
+        // every weight is positive, dist strictly decreases towards the
+        // seed, so well-formed links imply acyclic parent chains.
+        if (parent == kInvalidNode || parent >= n) {
+          std::ostringstream out;
+          out << where.str() << ": non-seed node " << v << " has no parent";
+          report->Add("pyramid.spt_parent", out.str());
+          continue;
+        }
+        const EdgeId pe = part.ParentEdge(v);
+        if (pe >= g.NumEdges() || g.Opposite(pe, v) != parent) {
+          std::ostringstream out;
+          out << where.str() << ": parent edge " << pe
+              << " does not connect node " << v << " to parent " << parent;
+          report->Add("pyramid.spt_edge", out.str());
+          continue;
+        }
+        if (part.SeedOf(parent) != seed) {
+          std::ostringstream out;
+          out << where.str() << ": node " << v << " (seed " << seed
+              << ") has parent " << parent << " in cell "
+              << part.SeedOf(parent);
+          report->Add("pyramid.spt_cell", out.str());
+        }
+        const double gap = part.Dist(parent) + index.WeightOf(pe);
+        if (!RelClose(dist, gap, kDistTol)) {
+          std::ostringstream out;
+          out << where.str() << ": node " << v << " dist " << dist
+              << " != parent dist + weight " << gap;
+          report->Add("pyramid.spt_dist", out.str());
+        }
+      }
+    }
+  }
+
+  // Section V-C Remarks: the maintained per-level per-edge vote counts must
+  // equal recomputation from the partitions' same-seed relation.
+  for (uint32_t level = 1; level <= index.num_levels(); ++level) {
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      const auto& [u, v] = g.Endpoints(e);
+      uint32_t votes = 0;
+      for (uint32_t p = 0; p < k; ++p) {
+        if (index.partition(p, level).SameSeed(u, v)) ++votes;
+      }
+      if (index.VotesOf(e, level) != votes) {
+        std::ostringstream out;
+        out << "level " << level << " edge " << e << ": vote count "
+            << index.VotesOf(e, level) << ", recomputed " << votes;
+        report->Add("pyramid.vote_count", out.str());
+      }
+    }
+  }
+}
+
+void CheckPartitionsAgainstRebuild(const PyramidIndex& index,
+                                   CheckReport* report) {
+  const Graph& g = index.graph();
+  std::vector<double> weights(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) weights[e] = index.WeightOf(e);
+  for (uint32_t p = 0; p < index.num_pyramids(); ++p) {
+    for (uint32_t level = 1; level <= index.num_levels(); ++level) {
+      if (!index.partition(p, level).ConsistentWith(g, weights)) {
+        std::ostringstream out;
+        out << "pyramid " << p << " level " << level
+            << ": incremental distances diverge from a from-scratch rebuild";
+        report->Add("pyramid.rebuild_distance", out.str());
+      }
+    }
+  }
+}
+
+void CheckAll(const SimilarityEngine& engine, const PyramidIndex& index,
+              bool deep, CheckReport* report) {
+  CheckActiveness(engine, report);
+  CheckSimilarityStore(engine, report);
+  // The index consumes the engine's NegM weights (Lemma 10): the two views
+  // must agree edge-by-edge (batched rescales fold the same factor into
+  // both sides, up to rounding).
+  const Graph& g = engine.graph();
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (!RelClose(index.WeightOf(e), engine.Weight(e), kCacheTol)) {
+      report->Add("weights.agree",
+                  Fmt("index weight of edge", e, index.WeightOf(e),
+                      engine.Weight(e)));
+    }
+  }
+  CheckPyramidStructure(index, report);
+  if (deep) CheckPartitionsAgainstRebuild(index, report);
+}
+
+}  // namespace anc::check

@@ -1,0 +1,94 @@
+#ifndef ANC_CHECK_INVARIANTS_H_
+#define ANC_CHECK_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "pyramid/pyramid_index.h"
+#include "similarity/similarity_engine.h"
+
+namespace anc::check {
+
+/// One violated invariant: which lemma-level property failed and a
+/// human-readable description of the offending state.
+struct Violation {
+  std::string invariant;  ///< short id, e.g. "activeness.non_negative"
+  std::string detail;     ///< offending ids and values
+};
+
+/// Accumulates violations across validators. Validators append instead of
+/// failing fast so one run reports every broken invariant (a corrupted
+/// anchor typically cascades into several).
+class CheckReport {
+ public:
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  void Add(std::string invariant, std::string detail);
+
+  /// Caps the violations recorded per invariant id (default 8) so a
+  /// corrupted global anchor does not produce one entry per edge.
+  void set_max_per_invariant(size_t cap) { max_per_invariant_ = cap; }
+
+  /// "ok" or one line per violation, for test failures and the
+  /// ANC_CHECK_INVARIANTS abort message.
+  std::string ToString() const;
+
+ private:
+  std::vector<Violation> violations_;
+  size_t max_per_invariant_ = 8;
+};
+
+/// Validates the activation substrate against Definition 1 / Lemma 1
+/// (anchored activeness under the global decay factor):
+///  - the anchor clock is sane: anchor_time <= last_time, the global
+///    factor at last_time is finite and positive,
+///  - no anchored activeness is negative, NaN or infinite (activations only
+///    ever add positive increments; decay is a positive scalar),
+///  - the incremental caches agree with recomputation: node activity A(v)
+///    and sigma numerators num(e) match their from-scratch definitions
+///    (Lemma 5's O(deg u + deg v) maintenance must be exact).
+void CheckActiveness(const SimilarityEngine& engine, CheckReport* report);
+
+/// Validates the similarity store against Lemmas 4-6 (PosM / NeuM mutual
+/// consistency):
+///  - every similarity S*(e) is finite and inside the configured clamp
+///    window [min_similarity, max_similarity],
+///  - the distance weight agrees with the store: Weight(e) == 1 / S*(e),
+///    positive and finite (NegM is the exact inverse of PosM, Lemma 6),
+///  - sigma(e) is in [0, 1] (it is a weighted-Jaccard ratio) and matches
+///    recomputation from the activeness, so N_eps membership is symmetric:
+///    both endpoints of e see the same sigma when counting active
+///    neighbors (Lemma 4's NeuM agreement).
+void CheckSimilarityStore(const SimilarityEngine& engine, CheckReport* report);
+
+/// Validates the pyramid index structure (Section V, Lemmas 7-13):
+///  - level l of every pyramid has between 1 and min(2^(l-1), n) distinct
+///    in-range seeds; every seed dominates itself at distance 0,
+///  - the Voronoi cells partition V: each node is either unreachable
+///    (invalid seed, infinite distance, no parent) or carries a valid seed,
+///    a finite distance and — unless it is a seed — a parent/child SPT link
+///    whose edge exists, whose weight accounts for the distance gap and
+///    whose seed matches (parent chains reach the seed in <= n hops),
+///  - the per-level per-edge vote counts match recomputation from the
+///    partitions' same-seed relation, and the vote threshold is
+///    ceil(theta * k) (Section V-C real-time vote maintenance).
+void CheckPyramidStructure(const PyramidIndex& index, CheckReport* report);
+
+/// Deep partition check: rebuilds every Voronoi partition from scratch and
+/// compares shortest distances (VoronoiPartition::ConsistentWith — the
+/// Lemma 11/12 claim that incremental repair equals recomputation). Cost is
+/// one multi-source Dijkstra per partition; intended for checkpoints and
+/// tests, not the per-activation tripwire.
+void CheckPartitionsAgainstRebuild(const PyramidIndex& index,
+                                   CheckReport* report);
+
+/// Runs every validator above (the rebuild check only when `deep`).
+/// The engine and index must be views of the same logical state: the
+/// index's weights must equal the engine's distance weights.
+void CheckAll(const SimilarityEngine& engine, const PyramidIndex& index,
+              bool deep, CheckReport* report);
+
+}  // namespace anc::check
+
+#endif  // ANC_CHECK_INVARIANTS_H_

@@ -1,0 +1,71 @@
+#ifndef ANC_CHECK_TEST_HOOKS_H_
+#define ANC_CHECK_TEST_HOOKS_H_
+
+#include <cstdint>
+
+#include "pyramid/pyramid_index.h"
+#include "similarity/similarity_engine.h"
+
+namespace anc::check {
+
+/// Deliberate state corruption for the invariant-checker tests
+/// (tests/check_test.cc): each setter breaks exactly one maintained
+/// quantity, bypassing the class invariants, so the tests can assert the
+/// matching validator reports the damage — and stays silent on healthy
+/// state. Befriended by the target classes; never called by library code.
+class TestHooks {
+ public:
+  TestHooks() = delete;
+
+  /// Overwrites the anchored activeness of `e` (e.g. with a negative or
+  /// NaN value) without touching the derived sigma caches.
+  static void SetAnchoredActiveness(SimilarityEngine& engine, EdgeId e,
+                                    double value) {
+    engine.activeness_.anchored_[e] = value;
+  }
+
+  /// Desynchronizes the A(v) cache from its definition.
+  static void SetNodeActivity(SimilarityEngine& engine, NodeId v,
+                              double value) {
+    engine.node_activity_[v] = value;
+  }
+
+  /// Desynchronizes the num(e) cache (breaks PosM/NeuM sigma agreement).
+  static void SetSigmaNumerator(SimilarityEngine& engine, EdgeId e,
+                                double value) {
+    engine.sigma_numerator_[e] = value;
+  }
+
+  /// Overwrites a PosM similarity entry, bypassing the clamp.
+  static void SetSimilarity(SimilarityEngine& engine, EdgeId e, double value) {
+    engine.similarity_[e] = value;
+  }
+
+  /// Overwrites a maintained per-level vote count.
+  static void SetVoteCount(PyramidIndex& index, uint32_t level, EdgeId e,
+                           uint16_t votes) {
+    index.vote_counts_[level - 1][e] = votes;
+  }
+
+  /// Reassigns a node's Voronoi cell without repairing the SPT.
+  static void SetSeedOf(PyramidIndex& index, uint32_t pyramid, uint32_t level,
+                        NodeId v, NodeId seed) {
+    index.partitions_[index.PartitionSlot(pyramid, level)].seed_of_[v] = seed;
+  }
+
+  /// Overwrites a node's stored shortest distance.
+  static void SetDist(PyramidIndex& index, uint32_t pyramid, uint32_t level,
+                      NodeId v, double dist) {
+    index.partitions_[index.PartitionSlot(pyramid, level)].dist_[v] = dist;
+  }
+
+  /// Overwrites one stored edge weight of the index (desynchronizes it from
+  /// the similarity engine's NegM view).
+  static void SetIndexWeight(PyramidIndex& index, EdgeId e, double weight) {
+    index.weights_[e] = weight;
+  }
+};
+
+}  // namespace anc::check
+
+#endif  // ANC_CHECK_TEST_HOOKS_H_

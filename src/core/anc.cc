@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/invariants.h"
+
 namespace anc {
 
 namespace {
@@ -12,6 +14,14 @@ std::vector<double> AllWeights(const SimilarityEngine& engine) {
   for (EdgeId e = 0; e < weights.size(); ++e) weights[e] = engine.Weight(e);
   return weights;
 }
+
+#ifdef ANC_CHECK_INVARIANTS
+// Applies between periodic self-checks when the lemma-level tripwire is
+// compiled in. The shallow validator pass is O(k n log n + m log n) — far
+// above the bounded per-activation repair cost — so it is amortized over a
+// window instead of running per activation.
+constexpr uint64_t kSelfCheckInterval = 256;
+#endif
 
 }  // namespace
 
@@ -158,6 +168,14 @@ Status AncIndex::Apply(const Activation& activation) {
     metrics_.Set(m_.ancor_pending_edges,
                  static_cast<int64_t>(interval_edges_.size()));
   }
+#ifdef ANC_CHECK_INVARIANTS
+  if (++applies_since_check_ >= kSelfCheckInterval) {
+    applies_since_check_ = 0;
+    check::CheckReport report;
+    check::CheckAll(engine_, *index_, /*deep=*/false, &report);
+    ANC_CHECK(report.ok(), report.ToString().c_str());
+  }
+#endif
   return Status::OK();
 }
 
@@ -231,6 +249,13 @@ std::vector<NodeId> AncIndex::SmallestCluster(NodeId query, uint32_t min_size,
       SmallestClusterLevel(*index_, query, min_size, &members);
   if (level_out != nullptr) *level_out = level;
   return members;
+}
+
+Status AncIndex::ValidateInvariants(bool deep) const {
+  check::CheckReport report;
+  check::CheckAll(engine_, *index_, deep, &report);
+  if (report.ok()) return Status::OK();
+  return Status::Internal(report.ToString());
 }
 
 size_t AncIndex::MemoryBytes() const {

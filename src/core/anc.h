@@ -133,6 +133,16 @@ class AncIndex {
   /// Total nodes touched by index repairs so far (Lemma 12 accounting).
   size_t total_touched_nodes() const { return total_touched_; }
 
+  /// Runs the full anc::check validator suite over the engine and the
+  /// index (anchored-activeness bounds, PosM/NeuM consistency, pyramid
+  /// structure, vote recounts; see docs/correctness.md). `deep`
+  /// additionally rebuilds every Voronoi partition from scratch and
+  /// compares distances (Lemmas 11-12). Returns OK or an Internal status
+  /// carrying the violation report. Always available; a build configured
+  /// with -DANC_CHECK_INVARIANTS=ON additionally self-checks periodically
+  /// inside Apply and aborts on the first violation.
+  Status ValidateInvariants(bool deep = false) const;
+
   /// ANCOR interval bookkeeping, exposed for serialization: the timestamp
   /// of the last periodic pass and the edges activated since (sorted).
   double last_reinforce_time() const { return last_reinforce_time_; }
@@ -194,6 +204,11 @@ class AncIndex {
   SimilarityEngine engine_;
   std::unique_ptr<PyramidIndex> index_;
   size_t total_touched_ = 0;
+#ifdef ANC_CHECK_INVARIANTS
+  // Applies since the last periodic self-check (ANC_CHECK_INVARIANTS
+  // builds only; see MaybeSelfCheck in anc.cc).
+  uint64_t applies_since_check_ = 0;
+#endif
   // ANCOR interval bookkeeping.
   double last_reinforce_time_ = 0.0;
   std::unordered_set<EdgeId> interval_edges_;

@@ -12,6 +12,10 @@
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
+namespace anc::check {
+class TestHooks;
+}  // namespace anc::check
+
 namespace anc {
 
 /// Configuration of the pyramid index P (Section V, Table II).
@@ -168,6 +172,10 @@ class PyramidIndex {
   std::vector<VoronoiPartition::TreeState> ExportTreeStates() const;
 
  private:
+  /// Test-only corruption seam for tests/check_test.cc (vote counts, cell
+  /// assignments): proves the anc::check validators catch real damage.
+  friend class ::anc::check::TestHooks;
+
   size_t PartitionSlot(uint32_t pyramid, uint32_t level) const {
     return static_cast<size_t>(pyramid) * num_levels_ + (level - 1);
   }

@@ -9,6 +9,10 @@
 #include "util/indexed_heap.h"
 #include "util/status.h"
 
+namespace anc::check {
+class TestHooks;
+}  // namespace anc::check
+
 namespace anc {
 
 inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
@@ -92,6 +96,10 @@ class VoronoiPartition {
   Status RestoreTree(const Graph& g, TreeState state);
 
  private:
+  /// Test-only corruption seam (tests/check_test.cc): plants inconsistent
+  /// cell assignments / distances for the invariant-checker tests.
+  friend class ::anc::check::TestHooks;
+
   /// Probe (Algorithm 2): tries to improve a's distance via its neighbor b
   /// along edge e_ab. On success rewires a's parent to b and records a in
   /// the touched set. Returns true when a improved.

@@ -33,6 +33,9 @@ SimilarityEngine::SimilarityEngine(const Graph& graph, SimilarityParams params,
                   static_cast<int64_t>(graph.NumNodes()));
   }
   activeness_.SetRescaleHook([this](double factor) { OnRescale(factor); });
+  if (params_.rescale_interval > 0) {
+    activeness_.set_rescale_interval(params_.rescale_interval);
+  }
   // Build the sigma caches from the uniform initial activeness.
   for (NodeId v = 0; v < graph.NumNodes(); ++v) {
     node_activity_[v] = RecomputeNodeActivity(v);
@@ -46,6 +49,9 @@ void SimilarityEngine::InitializeStatic(uint32_t rep) {
   activeness_ = ActivenessStore(graph_->NumEdges(), params_.lambda,
                                 params_.initial_activeness);
   activeness_.SetRescaleHook([this](double factor) { OnRescale(factor); });
+  if (params_.rescale_interval > 0) {
+    activeness_.set_rescale_interval(params_.rescale_interval);
+  }
   for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
     node_activity_[v] = RecomputeNodeActivity(v);
   }

@@ -10,6 +10,10 @@
 #include "obs/metrics.h"
 #include "util/status.h"
 
+namespace anc::check {
+class TestHooks;
+}  // namespace anc::check
+
 namespace anc {
 
 /// Node roles of Section IV-B. The three types disjointly partition V:
@@ -33,6 +37,11 @@ struct SimilarityParams {
   /// Initial activeness of every edge ("The initial edge activeness is 1",
   /// Section VI).
   double initial_activeness = 1.0;
+  /// Activations between batched rescales (Lemma 1); 0 keeps the
+  /// ActivenessStore default (1<<20). The precision guard always applies;
+  /// small values force frequent rescales (used by the decay-maintenance
+  /// ablation and the differential oracle to stress the ScaleAll path).
+  uint64_t rescale_interval = 0;
 };
 
 /// Maintains, on top of an ActivenessStore, everything Section IV derives
@@ -131,10 +140,16 @@ class SimilarityEngine {
   /// Role of v under the current sigma (core / p-core / periphery).
   NodeRole Role(NodeId v) const;
 
-  /// Direct-computation cross-checks used by tests: recompute A(v) and
-  /// num(e) from scratch and compare against the incremental caches.
+  /// Direct-computation cross-checks used by tests and the invariant
+  /// checker: recompute A(v) and num(e) from scratch and compare against
+  /// the incremental caches.
   double RecomputeNodeActivity(NodeId v) const;
   double RecomputeSigmaNumerator(EdgeId e) const;
+
+  /// The incrementally maintained caches themselves (anchored), exposed so
+  /// the anc::check validators can diff them against the recomputations.
+  double NodeActivity(NodeId v) const { return node_activity_[v]; }
+  double SigmaNumerator(EdgeId e) const { return sigma_numerator_[e]; }
 
   /// Complete anchored state of the engine (serialization support).
   struct Snapshot {
@@ -166,6 +181,10 @@ class SimilarityEngine {
   }
 
  private:
+  /// Test-only corruption seam for tests/check_test.cc: deliberately breaks
+  /// individual invariants to prove the anc::check validators catch them.
+  friend class ::anc::check::TestHooks;
+
   /// Per-reinforcement counts of applied AF/TF/WSF terms (observability).
   struct ReinforceTermCounts {
     uint64_t af = 0;

@@ -79,6 +79,7 @@ class Result {
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : payload_(std::move(status)) {  // NOLINT
     if (std::get<Status>(payload_).ok()) {
+      // lint-ok: output (fatal-path diagnostic before abort)
       std::fprintf(stderr, "Result constructed from OK status\n");
       std::abort();
     }
@@ -110,6 +111,7 @@ class Result {
  private:
   void CheckOk() const {
     if (!ok()) {
+      // lint-ok: output (fatal-path diagnostic before abort)
       std::fprintf(stderr, "Result::value() on error: %s\n",
                    std::get<Status>(payload_).ToString().c_str());
       std::abort();
@@ -133,6 +135,7 @@ class Result {
 #define ANC_CHECK(cond, msg)                                           \
   do {                                                                 \
     if (!(cond)) {                                                     \
+      /* lint-ok: output (fatal-path diagnostic) */                   \
       std::fprintf(stderr, "ANC_CHECK failed at %s:%d: %s\n", __FILE__, \
                    __LINE__, (msg));                                   \
       std::abort();                                                    \

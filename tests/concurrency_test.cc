@@ -1,0 +1,223 @@
+// Concurrency regression stress tests — the executable half of the TSan
+// race audit (run them in the build-tsan configuration; scripts/check.sh
+// tsan). Covers the three shared-state surfaces: the ThreadPool closure
+// handoff, the MetricsRegistry shard writers vs. Snapshot merges, and the
+// Lemma-13 parallel pyramid batch updates.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "activation/stream_generators.h"
+#include "core/anc.h"
+#include "datasets/synthetic.h"
+#include "obs/metrics.h"
+#include "pyramid/pyramid_index.h"
+#include "similarity/similarity_engine.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace anc {
+namespace {
+
+TEST(ThreadPoolStressTest, RepeatedParallelForRunsEveryIteration) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  constexpr int kRounds = 100;
+  constexpr size_t kIters = 64;
+  for (int round = 0; round < kRounds; ++round) {
+    pool.ParallelFor(kIters, [&](size_t i) {
+      total.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), kRounds * (kIters * (kIters + 1) / 2));
+}
+
+TEST(ThreadPoolStressTest, MetricsRecordingUnderContention) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool(4);
+  pool.SetMetrics(&registry);
+  const obs::CounterId work = registry.Counter("test.work");
+  const obs::HistogramId samples = registry.Histogram("test.samples");
+
+  // A reader thread merges snapshots while the pool's workers record into
+  // their shards; under TSan this exercises writer/merge ordering.
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      obs::StatsSnapshot snap = registry.Snapshot();
+      ASSERT_LE(snap.counter("test.work"), 50u * 128u);
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(128, [&](size_t i) {
+      registry.Add(work);
+      registry.Record(samples, static_cast<double>(i));
+    });
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  // Recorded values are all-zero in the ANC_METRICS=OFF no-op build; the
+  // writer/merge interleaving above is the point of the test either way.
+  if (obs::kMetricsEnabled) {
+    obs::StatsSnapshot snap = registry.Snapshot();
+    EXPECT_EQ(snap.counter("test.work"), 50u * 128u);
+    ASSERT_NE(snap.histogram("test.samples"), nullptr);
+    EXPECT_EQ(snap.histogram("test.samples")->count, 50u * 128u);
+    EXPECT_EQ(snap.counter("anc.pool.tasks_run"), 50u * 128u);
+  }
+}
+
+TEST(MetricsStressTest, ManualThreadsRecordWhileSnapshotting) {
+  obs::MetricsRegistry registry;
+  const obs::CounterId hits = registry.Counter("stress.hits");
+  const obs::GaugeId level = registry.Gauge("stress.level");
+  const obs::HistogramId lat = registry.Histogram("stress.lat");
+
+  constexpr int kThreads = 4;
+  constexpr uint64_t kOpsPerThread = 20000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        registry.Add(hits);
+        registry.Record(lat, static_cast<double>(i % 512));
+        if ((i & 1023) == 0) registry.Set(level, static_cast<int64_t>(t));
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    obs::StatsSnapshot snap = registry.Snapshot();
+    ASSERT_LE(snap.counter("stress.hits"), kThreads * kOpsPerThread);
+  }
+  for (std::thread& w : writers) w.join();
+
+  if (obs::kMetricsEnabled) {
+    obs::StatsSnapshot snap = registry.Snapshot();
+    EXPECT_EQ(snap.counter("stress.hits"), kThreads * kOpsPerThread);
+    ASSERT_NE(snap.histogram("stress.lat"), nullptr);
+    EXPECT_EQ(snap.histogram("stress.lat")->count, kThreads * kOpsPerThread);
+  }
+}
+
+TEST(MetricsStressTest, ConcurrentRegistrationDeduplicates) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<obs::CounterId> ids(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        obs::CounterId id = registry.Counter("shared.counter");
+        registry.Add(id);
+        ids[t] = id;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(ids[t].slot, ids[0].slot);
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(registry.Snapshot().counter("shared.counter"),
+              static_cast<uint64_t>(kThreads) * 50u);
+  }
+}
+
+/// Serial and 4-worker batch updates over the same pyramid parameters must
+/// agree exactly: the partitions are mutually independent (Lemma 13), so
+/// parallelism may not change a single distance or vote.
+TEST(ParallelPyramidTest, BatchUpdatesMatchSerial) {
+  Rng rng(97);
+  Graph g = BarabasiAlbert(300, 3, rng);
+  std::vector<double> weights(g.NumEdges(), 1.0);
+
+  PyramidParams serial_params;
+  serial_params.num_pyramids = 3;
+  serial_params.seed = 5;
+  serial_params.num_threads = 1;
+  PyramidParams parallel_params = serial_params;
+  parallel_params.num_threads = 4;
+
+  obs::MetricsRegistry registry;  // recorded into from pool workers
+  PyramidIndex serial(g, weights, serial_params);
+  PyramidIndex parallel(g, weights, parallel_params, &registry);
+
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::pair<EdgeId, double>> batch;
+    batch.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      const EdgeId e = static_cast<EdgeId>(rng.Next() % g.NumEdges());
+      batch.emplace_back(e, 0.2 + rng.NextDouble());
+    }
+    serial.UpdateEdgeWeights(batch);
+    parallel.UpdateEdgeWeights(batch);
+  }
+
+  for (uint32_t level = 1; level <= serial.num_levels(); ++level) {
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      ASSERT_EQ(serial.VotesOf(e, level), parallel.VotesOf(e, level))
+          << "edge " << e << " level " << level;
+    }
+  }
+  std::vector<double> final_weights(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    final_weights[e] = parallel.WeightOf(e);
+  }
+  for (uint32_t p = 0; p < serial_params.num_pyramids; ++p) {
+    for (uint32_t level = 1; level <= serial.num_levels(); ++level) {
+      const VoronoiPartition& a = serial.partition(p, level);
+      const VoronoiPartition& b = parallel.partition(p, level);
+      for (NodeId v = 0; v < g.NumNodes(); ++v) {
+        ASSERT_EQ(a.SeedOf(v), b.SeedOf(v));
+        ASSERT_DOUBLE_EQ(a.Dist(v), b.Dist(v));
+      }
+      ASSERT_TRUE(b.ConsistentWith(g, final_weights));
+    }
+  }
+}
+
+/// End-to-end Lemma-13 coverage: a 4-worker AncIndex digests a stream while
+/// another thread polls Stats() (documented safe concurrently with
+/// updates). Under TSan this is the race audit for the full update path.
+TEST(ParallelPyramidTest, StreamApplyWithConcurrentStatsReader) {
+  PlantedPartitionParams pp;
+  pp.num_communities = 4;
+  pp.min_size = 12;
+  pp.max_size = 16;
+  Rng rng(31);
+  GroundTruthGraph data = PlantedPartition(pp, rng);
+
+  AncConfig config;
+  config.pyramid.num_pyramids = 3;
+  config.pyramid.num_threads = 4;
+  config.mode = AncMode::kOnline;
+  AncIndex anc(data.graph, config);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      obs::StatsSnapshot snap = anc.Stats();
+      ASSERT_GE(snap.counter("anc.apply.count"), 0u);
+    }
+  });
+
+  ActivationStream stream = UniformStream(data.graph, 25, 0.08, rng);
+  const Status status = anc.ApplyStream(stream);
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(anc.Stats().counter("anc.apply.count"), stream.size());
+  }
+  EXPECT_TRUE(anc.ValidateInvariants(/*deep=*/false).ok());
+}
+
+}  // namespace
+}  // namespace anc
