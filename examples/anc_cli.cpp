@@ -27,7 +27,20 @@
 //   save <path>             persist the index
 //   load <path>             restore a persisted index (graph included)
 //   quit
+//
+// Serve mode (docs/serving.md) — concurrent ingest + snapshot queries:
+//   serve-start [capacity] [block|drop|reject]   start the serving engine
+//   submit <u> <v> <t>      enqueue one activation (prints its ticket)
+//   submit-file <path>      enqueue "u v t" lines through the ingest queue
+//   flush                   await the watermark covering everything accepted
+//   view-clusters [level]   clusters from the current published snapshot
+//   view-local <v> [level]  local cluster from the snapshot
+//   serve-stats             watermark / epoch / queue depth / loss counters
+//   serve-stop              drain, publish the final view, stop the writer
+// While serving, the index belongs to the writer thread: activate / init /
+// save / load are refused until serve-stop.
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -39,6 +52,7 @@
 #include "core/serialization.h"
 #include "datasets/synthetic.h"
 #include "graph/io.h"
+#include "serve/server.h"
 #include "util/rng.h"
 
 using namespace anc;
@@ -48,6 +62,7 @@ namespace {
 struct Session {
   std::unique_ptr<Graph> graph;
   std::unique_ptr<AncIndex> index;
+  std::unique_ptr<serve::AncServer> server;
   uint32_t level = 1;
 
   bool RequireGraph() const {
@@ -57,6 +72,18 @@ struct Session {
   bool RequireIndex() const {
     if (index == nullptr) std::printf("error: index not built (run init)\n");
     return index != nullptr;
+  }
+  bool RequireServer() const {
+    if (server == nullptr) std::printf("error: not serving (serve-start)\n");
+    return server != nullptr;
+  }
+  /// Commands that touch the index directly are illegal while the serve
+  /// writer owns it.
+  bool RequireQuiesced() const {
+    if (server != nullptr) {
+      std::printf("error: index is being served; run serve-stop first\n");
+    }
+    return server == nullptr;
   }
 };
 
@@ -117,7 +144,7 @@ bool HandleLine(Session& session, const std::string& line) {
     std::printf("graph: %u nodes, %u edges\n", session.graph->NumNodes(),
                 session.graph->NumEdges());
   } else if (command == "init") {
-    if (!session.RequireGraph()) return true;
+    if (!session.RequireGraph() || !session.RequireQuiesced()) return true;
     uint32_t rep = 5;
     args >> rep;
     AncConfig config;
@@ -129,7 +156,7 @@ bool HandleLine(Session& session, const std::string& line) {
                 config.pyramid.num_pyramids, session.index->num_levels(),
                 config.similarity.epsilon, rep);
   } else if (command == "activate") {
-    if (!session.RequireIndex()) return true;
+    if (!session.RequireIndex() || !session.RequireQuiesced()) return true;
     NodeId u = 0;
     NodeId v = 0;
     double t = 0.0;
@@ -142,7 +169,7 @@ bool HandleLine(Session& session, const std::string& line) {
     Status s = session.index->Apply({*e, t});
     std::printf(s.ok() ? "ok\n" : "error: %s\n", s.ToString().c_str());
   } else if (command == "activate-file") {
-    if (!session.RequireIndex()) return true;
+    if (!session.RequireIndex() || !session.RequireQuiesced()) return true;
     std::string path;
     args >> path;
     std::ifstream in(path);
@@ -162,12 +189,12 @@ bool HandleLine(Session& session, const std::string& line) {
     }
     std::printf("applied %zu activations\n", applied);
   } else if (command == "clusters") {
-    if (!session.RequireIndex()) return true;
+    if (!session.RequireIndex() || !session.RequireQuiesced()) return true;
     uint32_t level = session.level;
     args >> level;
     PrintClusters(session.index->Clusters(level), *session.graph);
   } else if (command == "local") {
-    if (!session.RequireIndex()) return true;
+    if (!session.RequireIndex() || !session.RequireQuiesced()) return true;
     NodeId v = 0;
     uint32_t level = session.level;
     args >> v >> level;
@@ -233,13 +260,14 @@ bool HandleLine(Session& session, const std::string& line) {
         session.index->MemoryBytes() / (1024.0 * 1024.0),
         session.index->total_touched_nodes());
   } else if (command == "save") {
-    if (!session.RequireIndex()) return true;
+    if (!session.RequireIndex() || !session.RequireQuiesced()) return true;
     std::string path;
     args >> path;
     Status s = SaveIndex(*session.index, path);
     std::printf(s.ok() ? "saved %s\n" : "error: %s\n",
                 s.ok() ? path.c_str() : s.ToString().c_str());
   } else if (command == "load") {
+    if (!session.RequireQuiesced()) return true;
     std::string path;
     args >> path;
     Result<LoadedIndex> loaded = LoadIndex(path);
@@ -252,6 +280,145 @@ bool HandleLine(Session& session, const std::string& line) {
     session.level = session.index->DefaultLevel();
     std::printf("restored: %u nodes, %u edges\n", session.graph->NumNodes(),
                 session.graph->NumEdges());
+  } else if (command == "serve-start") {
+    if (!session.RequireIndex()) return true;
+    if (session.server != nullptr) {
+      std::printf("error: already serving\n");
+      return true;
+    }
+    serve::ServeOptions options;
+    size_t capacity = 0;
+    std::string policy;
+    if (args >> capacity && capacity > 0) options.ingest.capacity = capacity;
+    if (args >> policy) {
+      if (policy == "drop") {
+        options.ingest.policy = serve::BackpressurePolicy::kDropOldest;
+      } else if (policy == "reject") {
+        options.ingest.policy = serve::BackpressurePolicy::kReject;
+      } else if (policy != "block") {
+        std::printf("usage: serve-start [capacity] [block|drop|reject]\n");
+        return true;
+      }
+    }
+    session.server =
+        std::make_unique<serve::AncServer>(session.index.get(), options);
+    Status s = session.server->Start();
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.ToString().c_str());
+      session.server.reset();
+      return true;
+    }
+    std::printf("serving: ingest capacity %zu, policy %s, epoch %llu\n",
+                options.ingest.capacity, policy.empty() ? "block" : policy.c_str(),
+                static_cast<unsigned long long>(session.server->View()->epoch()));
+  } else if (command == "serve-stop") {
+    if (!session.RequireServer()) return true;
+    session.server->Stop();
+    const serve::Watermark wm = session.server->watermark();
+    std::printf("stopped at watermark seq=%llu time=%.3f (%llu dropped)\n",
+                static_cast<unsigned long long>(wm.seq), wm.time,
+                static_cast<unsigned long long>(session.server->dropped()));
+    session.server.reset();
+  } else if (command == "submit") {
+    if (!session.RequireServer()) return true;
+    NodeId u = 0;
+    NodeId v = 0;
+    double t = 0.0;
+    args >> u >> v >> t;
+    auto e = session.graph->FindEdge(u, v);
+    if (!e.has_value()) {
+      std::printf("error: (%u, %u) is not an edge\n", u, v);
+      return true;
+    }
+    Result<uint64_t> ticket = session.server->Submit({*e, t});
+    if (ticket.ok()) {
+      std::printf("ticket %llu\n", static_cast<unsigned long long>(*ticket));
+    } else {
+      std::printf("error: %s\n", ticket.status().ToString().c_str());
+    }
+  } else if (command == "submit-file") {
+    if (!session.RequireServer()) return true;
+    std::string path;
+    args >> path;
+    std::ifstream in(path);
+    if (!in) {
+      std::printf("error: cannot open %s\n", path.c_str());
+      return true;
+    }
+    size_t submitted = 0;
+    size_t bounced = 0;
+    NodeId u = 0;
+    NodeId v = 0;
+    double t = 0.0;
+    while (in >> u >> v >> t) {
+      auto e = session.graph->FindEdge(u, v);
+      if (!e.has_value()) continue;
+      if (session.server->Submit({*e, t}).ok()) {
+        ++submitted;
+      } else {
+        ++bounced;
+      }
+    }
+    std::printf("submitted %zu activations (%zu bounced)\n", submitted,
+                bounced);
+  } else if (command == "flush") {
+    if (!session.RequireServer()) return true;
+    Status s = session.server->Flush();
+    if (s.ok()) {
+      const serve::Watermark wm = session.server->watermark();
+      std::printf("flushed: watermark seq=%llu time=%.3f\n",
+                  static_cast<unsigned long long>(wm.seq), wm.time);
+    } else {
+      std::printf("error: %s\n", s.ToString().c_str());
+    }
+  } else if (command == "view-clusters") {
+    if (!session.RequireServer()) return true;
+    uint32_t level = session.server->View()->DefaultLevel();
+    args >> level;
+    Result<Clustering> c = session.server->Clusters(level);
+    if (!c.ok()) {
+      std::printf("error: %s\n", c.status().ToString().c_str());
+      return true;
+    }
+    std::printf("snapshot epoch %llu (watermark seq %llu):\n",
+                static_cast<unsigned long long>(session.server->View()->epoch()),
+                static_cast<unsigned long long>(
+                    session.server->View()->watermark().seq));
+    PrintClusters(c.value(), *session.graph);
+  } else if (command == "view-local") {
+    if (!session.RequireServer()) return true;
+    NodeId v = 0;
+    uint32_t level = session.server->View()->DefaultLevel();
+    args >> v >> level;
+    Result<std::vector<NodeId>> members = session.server->LocalCluster(v, level);
+    if (!members.ok()) {
+      std::printf("error: %s\n", members.status().ToString().c_str());
+      return true;
+    }
+    std::printf("snapshot cluster of %u at level %u (%zu members):", v, level,
+                members.value().size());
+    for (size_t i = 0; i < std::min<size_t>(20, members.value().size()); ++i) {
+      std::printf(" %u", members.value()[i]);
+    }
+    if (members.value().size() > 20) std::printf(" ...");
+    std::printf("\n");
+  } else if (command == "serve-stats") {
+    if (!session.RequireServer()) return true;
+    const serve::Watermark wm = session.server->watermark();
+    std::shared_ptr<const serve::ClusterView> view = session.server->View();
+    std::printf(
+        "watermark seq=%llu time=%.3f | epoch=%llu age=%.3fs | "
+        "queue depth=%zu | accepted=%llu dropped=%llu rejected=%llu | "
+        "writer=%s\n",
+        static_cast<unsigned long long>(wm.seq), wm.time,
+        static_cast<unsigned long long>(view->epoch()), view->AgeSeconds(),
+        session.server->IngestDepth(),
+        static_cast<unsigned long long>(session.server->accepted()),
+        static_cast<unsigned long long>(session.server->dropped()),
+        static_cast<unsigned long long>(session.server->rejected()),
+        session.server->writer_status().ok()
+            ? "ok"
+            : session.server->writer_status().ToString().c_str());
   } else {
     std::printf("unknown command: %s\n", command.c_str());
   }

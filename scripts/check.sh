@@ -4,7 +4,8 @@
 #   nometrics   ANC_METRICS=OFF build + full ctest  (no-op escape hatch compiles)
 #   asan        ASan/UBSan build + full ctest       (memory/UB audit)
 #   tsan        TSan build + full ctest             (race audit of the thread
-#               pool, metric shards and Lemma-13 parallel updates)
+#               pool, metric shards, Lemma-13 parallel updates and the
+#               serving stack, docs/serving.md)
 #   invariants  ANC_CHECK_INVARIANTS=ON + full ctest (lemma-level validators
 #               armed in the update path)
 #

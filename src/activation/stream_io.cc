@@ -1,10 +1,74 @@
 #include "activation/stream_io.h"
 
-#include <limits>
+#include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace anc {
+
+namespace {
+
+/// "path:line: <reason> in "<line text>"" — every loader diagnostic names
+/// the exact file position and quotes the offending line (truncated).
+std::string LineContext(const std::string& path, size_t line_number,
+                        const std::string& line, const std::string& reason) {
+  constexpr size_t kMaxQuoted = 64;
+  std::string quoted = line.substr(0, kMaxQuoted);
+  if (line.size() > kMaxQuoted) quoted += "...";
+  return path + ":" + std::to_string(line_number) + ": " + reason + " in \"" +
+         quoted + "\"";
+}
+
+const char* FieldName(int field) {
+  switch (field) {
+    case 0:
+      return "first endpoint";
+    case 1:
+      return "second endpoint";
+    default:
+      return "timestamp";
+  }
+}
+
+/// Parses one "u v t" data line; on failure returns the reason (which
+/// field, which token). Trailing junk after the three fields is malformed
+/// — it usually means a corrupted or mis-formatted file, and silently
+/// ignoring it hides the corruption.
+bool ParseActivationLine(const std::string& line, NodeId* u, NodeId* v,
+                         double* t, std::string* reason) {
+  std::istringstream fields(line);
+  std::string token;
+  for (int field = 0; field < 3; ++field) {
+    if (!(fields >> token)) {
+      *reason = std::string("missing ") + FieldName(field) +
+                " (expected \"u v t\")";
+      return false;
+    }
+    std::istringstream value(token);
+    bool ok = false;
+    if (field < 3 - 1) {
+      NodeId* out = field == 0 ? u : v;
+      long long parsed = 0;
+      ok = static_cast<bool>(value >> parsed) && value.eof() && parsed >= 0 &&
+           parsed <= std::numeric_limits<NodeId>::max();
+      if (ok) *out = static_cast<NodeId>(parsed);
+    } else {
+      ok = static_cast<bool>(value >> *t) && value.eof();
+    }
+    if (!ok) {
+      *reason = std::string("bad ") + FieldName(field) + " \"" + token + "\"";
+      return false;
+    }
+  }
+  if (fields >> token) {
+    *reason = "trailing content \"" + token + "\" after the three fields";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Status SaveActivationStream(const Graph& g, const ActivationStream& stream,
                             const std::string& path) {
@@ -26,39 +90,72 @@ Status SaveActivationStream(const Graph& g, const ActivationStream& stream,
 }
 
 Result<ActivationStream> LoadActivationStream(const Graph& g,
-                                              const std::string& path) {
+                                              const std::string& path,
+                                              const StreamLoadOptions& options,
+                                              StreamLoadReport* report) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   ActivationStream stream;
+  StreamLoadReport local_report;
+  StreamLoadReport& rep = report != nullptr ? *report : local_report;
+  rep = StreamLoadReport{};
   std::string line;
   size_t line_number = 0;
   double last_time = -std::numeric_limits<double>::infinity();
+
+  const auto fail_or_skip = [&](StatusCode code,
+                                const std::string& message) -> Status {
+    if (rep.first_error.empty()) rep.first_error = message;
+    if (options.skip_bad_lines) {
+      ++rep.skipped;
+      return Status::OK();
+    }
+    return Status(code, message);
+  };
+
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream fields(line);
+    ++rep.data_lines;
     NodeId u = 0;
     NodeId v = 0;
     double t = 0.0;
-    if (!(fields >> u >> v >> t)) {
-      return Status::IoError(path + ":" + std::to_string(line_number) +
-                             ": malformed activation line");
+    std::string reason;
+    if (!ParseActivationLine(line, &u, &v, &t, &reason)) {
+      ANC_RETURN_NOT_OK(fail_or_skip(
+          StatusCode::kIoError,
+          LineContext(path, line_number, line,
+                      "malformed activation line: " + reason)));
+      continue;
     }
     auto e = g.FindEdge(u, v);
     if (!e.has_value()) {
-      return Status::InvalidArgument(
-          path + ":" + std::to_string(line_number) + ": (" +
-          std::to_string(u) + ", " + std::to_string(v) + ") is not an edge");
+      ANC_RETURN_NOT_OK(fail_or_skip(
+          StatusCode::kInvalidArgument,
+          LineContext(path, line_number, line,
+                      "(" + std::to_string(u) + ", " + std::to_string(v) +
+                          ") is not an edge of the graph")));
+      continue;
     }
     if (t < last_time) {
-      return Status::InvalidArgument(
-          path + ":" + std::to_string(line_number) +
-          ": timestamps must be non-decreasing");
+      ANC_RETURN_NOT_OK(fail_or_skip(
+          StatusCode::kInvalidArgument,
+          LineContext(path, line_number, line,
+                      "timestamp regressed (must be non-decreasing; "
+                      "previous was " +
+                          std::to_string(last_time) + ")")));
+      continue;
     }
     last_time = t;
     stream.push_back({*e, t});
+    ++rep.loaded;
   }
   return stream;
+}
+
+Result<ActivationStream> LoadActivationStream(const Graph& g,
+                                              const std::string& path) {
+  return LoadActivationStream(g, path, StreamLoadOptions{}, nullptr);
 }
 
 }  // namespace anc

@@ -1,6 +1,7 @@
 #ifndef ANC_ACTIVATION_STREAM_IO_H_
 #define ANC_ACTIVATION_STREAM_IO_H_
 
+#include <cstddef>
 #include <string>
 
 #include "activation/activeness.h"
@@ -15,10 +16,36 @@ namespace anc {
 Status SaveActivationStream(const Graph& g, const ActivationStream& stream,
                             const std::string& path);
 
+/// Loader behavior for bad lines.
+struct StreamLoadOptions {
+  /// false (default): fail on the first bad line with a Status pinpointing
+  /// "path:line", the offending text and the reason. true: skip bad lines
+  /// (malformed fields, non-edges, regressed timestamps), count them in
+  /// the report, and keep loading.
+  bool skip_bad_lines = false;
+};
+
+/// What the loader saw (filled when a report pointer is passed; valid on
+/// success and on failure).
+struct StreamLoadReport {
+  size_t data_lines = 0;    ///< non-comment, non-blank lines seen
+  size_t loaded = 0;        ///< activations appended to the stream
+  size_t skipped = 0;       ///< bad lines skipped (skip_bad_lines mode)
+  std::string first_error;  ///< "path:line: reason" of the first bad line
+};
+
 /// Reads a stream saved by SaveActivationStream (or hand-written "u v t"
-/// lines). Fails with InvalidArgument when a line references a non-edge,
-/// and IoError on malformed lines. Timestamps must be non-decreasing to be
-/// replayable; this is validated here rather than at replay time.
+/// lines). Errors carry file:line context, the offending line text and
+/// the failing field. Fails with InvalidArgument when a line references a
+/// non-edge or regresses the timestamp (timestamps must be non-decreasing
+/// to be replayable; validated here rather than at replay time), IoError
+/// on malformed lines — unless options.skip_bad_lines, which skips and
+/// counts them instead.
+Result<ActivationStream> LoadActivationStream(
+    const Graph& g, const std::string& path,
+    const StreamLoadOptions& options, StreamLoadReport* report = nullptr);
+
+/// Strict loader (fails on the first bad line) — the original interface.
 Result<ActivationStream> LoadActivationStream(const Graph& g,
                                               const std::string& path);
 

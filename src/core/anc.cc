@@ -251,6 +251,15 @@ std::vector<NodeId> AncIndex::SmallestCluster(NodeId query, uint32_t min_size,
   return members;
 }
 
+AncIndex::ClusterState AncIndex::ExportClusterState() const {
+  ClusterState state;
+  state.vote_counts = index_->ExportVoteCounts();
+  state.num_levels = index_->num_levels();
+  state.default_level = index_->DefaultLevel();
+  state.vote_threshold = index_->vote_threshold();
+  return state;
+}
+
 Status AncIndex::ValidateInvariants(bool deep) const {
   check::CheckReport report;
   check::CheckAll(engine_, *index_, deep, &report);

@@ -121,6 +121,26 @@ class AncIndex {
   /// Interactive zoom-in/zoom-out cursor starting at the default level.
   ZoomCursor Zoom() const { return ZoomCursor(*index_); }
 
+  /// Everything a point-in-time cluster query needs, decoupled from the
+  /// live (mutable) pyramid: the per-level vote tallies plus the voting
+  /// threshold and level geometry. Section V-B's query algorithms are pure
+  /// functions of this state and the immutable graph, so a view built from
+  /// it answers Clusters / LocalCluster / SmallestCluster / Zoom
+  /// byte-identically to this index at export time. Consumed by
+  /// serve::ClusterView (docs/serving.md).
+  struct ClusterState {
+    std::vector<std::vector<uint16_t>> vote_counts;  ///< [level-1][edge]
+    uint32_t num_levels = 0;
+    uint32_t default_level = 0;
+    uint32_t vote_threshold = 0;
+  };
+
+  /// Snapshot export hook for the serving layer: copies the vote state out
+  /// of the pyramid index. O(levels * m) flat copies — far cheaper than
+  /// cloning the partitions — and const: safe at any quiescent point of the
+  /// single writer.
+  ClusterState ExportClusterState() const;
+
   /// Watched-node change reporting (Section V-C Remarks), forwarded to the
   /// pyramid index: register nodes, then drain the cluster-membership vote
   /// flips their incident edges experienced.

@@ -1,98 +1,29 @@
 #include "pyramid/clustering.h"
-#include <unordered_set>
-
-#include <algorithm>
-#include <deque>
-#include <numeric>
-
-#include "graph/algorithms.h"
 
 namespace anc {
 
+// The live-index entry points instantiate the generic algorithms with
+// PyramidIndex; serve::ClusterView instantiates the same templates, which
+// is what makes snapshot queries byte-identical to live queries over an
+// equal vote table.
+
 Clustering EvenClustering(const PyramidIndex& index, uint32_t level) {
-  const Graph& g = index.graph();
-  uint32_t num_components = 0;
-  std::vector<uint32_t> labels = FilteredComponents(
-      g, [&index, level](EdgeId e) { return index.EdgePassesVote(e, level); },
-      &num_components);
-  Clustering out;
-  out.labels = std::move(labels);
-  out.num_clusters = num_components;
-  return out;
+  return EvenClusteringOf(index, level);
 }
 
 Clustering PowerClustering(const PyramidIndex& index, uint32_t level) {
-  const Graph& g = index.graph();
-  const uint32_t n = g.NumNodes();
-
-  // Rank nodes by (degree desc, id asc); edges point from low rank index
-  // (strong) to high rank index (weak).
-  std::vector<NodeId> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&g](NodeId a, NodeId b) {
-    const uint32_t da = g.Degree(a);
-    const uint32_t db = g.Degree(b);
-    if (da != db) return da > db;
-    return a < b;
-  });
-  std::vector<uint32_t> rank(n);
-  for (uint32_t i = 0; i < n; ++i) rank[order[i]] = i;
-
-  Clustering out;
-  out.labels.assign(n, kNoise);
-  std::deque<NodeId> queue;
-  for (NodeId v : order) {
-    if (out.labels[v] != kNoise) continue;
-    const uint32_t cluster = out.num_clusters++;
-    out.labels[v] = cluster;
-    queue.push_back(v);
-    while (!queue.empty()) {
-      NodeId x = queue.front();
-      queue.pop_front();
-      for (const Neighbor& nb : g.Neighbors(x)) {
-        if (out.labels[nb.node] != kNoise) continue;
-        if (rank[nb.node] < rank[x]) continue;  // only travel downhill
-        if (!index.EdgePassesVote(nb.edge, level)) continue;
-        out.labels[nb.node] = cluster;
-        queue.push_back(nb.node);
-      }
-    }
-  }
-  return out;
+  return PowerClusteringOf(index, level);
 }
 
 std::vector<NodeId> LocalCluster(const PyramidIndex& index, NodeId query,
                                  uint32_t level) {
-  const Graph& g = index.graph();
-  std::vector<NodeId> members;
-  // Visited set sized to the discovered frontier, not the graph: a local
-  // query must not pay O(n). A hash set keyed by node id delivers that.
-  std::vector<NodeId> stack = {query};
-  std::unordered_set<NodeId> visited = {query};
-  while (!stack.empty()) {
-    NodeId x = stack.back();
-    stack.pop_back();
-    members.push_back(x);
-    for (const Neighbor& nb : g.Neighbors(x)) {
-      if (!index.EdgePassesVote(nb.edge, level)) continue;
-      if (visited.insert(nb.node).second) stack.push_back(nb.node);
-    }
-  }
-  std::sort(members.begin(), members.end());
-  return members;
+  return LocalClusterOf(index, query, level);
 }
 
 uint32_t SmallestClusterLevel(const PyramidIndex& index, NodeId query,
                               uint32_t min_size,
                               std::vector<NodeId>* members) {
-  for (uint32_t level = index.num_levels(); level >= 1; --level) {
-    std::vector<NodeId> cluster = LocalCluster(index, query, level);
-    if (cluster.size() >= min_size || level == 1) {
-      if (members != nullptr) *members = std::move(cluster);
-      return level;
-    }
-  }
-  return 1;  // unreachable; level 1 returns above
+  return SmallestClusterLevelOf(index, query, min_size, members);
 }
 
 }  // namespace anc

@@ -1,47 +1,153 @@
 #ifndef ANC_PYRAMID_CLUSTERING_H_
 #define ANC_PYRAMID_CLUSTERING_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <deque>
+#include <numeric>
+#include <unordered_set>
 #include <vector>
 
+#include "graph/algorithms.h"
 #include "graph/clustering_types.h"
 #include "pyramid/pyramid_index.h"
 
 namespace anc {
 
+/// The clustering algorithms of Section V-B are generic over any *vote
+/// source*: a type exposing
+///     const Graph& graph() const;
+///     uint32_t num_levels() const;
+///     bool EdgePassesVote(EdgeId e, uint32_t level) const;
+/// Both the live PyramidIndex and the immutable serve::ClusterView
+/// snapshots satisfy this, so concurrent snapshot queries are byte-
+/// identical to single-threaded queries against the same vote table —
+/// they run the exact same code.
+
 /// Even clustering (Section V-B.1): drop every edge whose voting result is
 /// 0 at `level` and report the connected components of what remains.
 /// O(m log n) (Lemma 8). Sensitive to single mis-votes (a spurious passing
 /// edge merges two clusters), which Power clustering avoids.
-Clustering EvenClustering(const PyramidIndex& index, uint32_t level);
+template <typename IndexT>
+Clustering EvenClusteringOf(const IndexT& index, uint32_t level) {
+  const Graph& g = index.graph();
+  uint32_t num_components = 0;
+  std::vector<uint32_t> labels = FilteredComponents(
+      g, [&index, level](EdgeId e) { return index.EdgePassesVote(e, level); },
+      &num_components);
+  Clustering out;
+  out.labels = std::move(labels);
+  out.num_clusters = num_components;
+  return out;
+}
 
 /// Power clustering / DirectedCluster (Section V-B.2): direct every passing
 /// edge from the higher-degree endpoint to the lower-degree one (node id
 /// breaks ties), then scan nodes from high rank to low; each still-
 /// unclustered node collects all unclustered nodes reachable downhill into
 /// one cluster. O(m log n) (Lemma 8).
-Clustering PowerClustering(const PyramidIndex& index, uint32_t level);
+template <typename IndexT>
+Clustering PowerClusteringOf(const IndexT& index, uint32_t level) {
+  const Graph& g = index.graph();
+  const uint32_t n = g.NumNodes();
+
+  // Rank nodes by (degree desc, id asc); edges point from low rank index
+  // (strong) to high rank index (weak).
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&g](NodeId a, NodeId b) {
+    const uint32_t da = g.Degree(a);
+    const uint32_t db = g.Degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  std::vector<uint32_t> rank(n);
+  for (uint32_t i = 0; i < n; ++i) rank[order[i]] = i;
+
+  Clustering out;
+  out.labels.assign(n, kNoise);
+  std::deque<NodeId> queue;
+  for (NodeId v : order) {
+    if (out.labels[v] != kNoise) continue;
+    const uint32_t cluster = out.num_clusters++;
+    out.labels[v] = cluster;
+    queue.push_back(v);
+    while (!queue.empty()) {
+      NodeId x = queue.front();
+      queue.pop_front();
+      for (const Neighbor& nb : g.Neighbors(x)) {
+        if (out.labels[nb.node] != kNoise) continue;
+        if (rank[nb.node] < rank[x]) continue;  // only travel downhill
+        if (!index.EdgePassesVote(nb.edge, level)) continue;
+        out.labels[nb.node] = cluster;
+        queue.push_back(nb.node);
+      }
+    }
+  }
+  return out;
+}
 
 /// Local cluster query (Lemma 9): the cluster containing `query` at
 /// `level`, discovered by searching only passing edges from `query`. Cost
 /// is proportional to the neighborhoods of the reported nodes, independent
 /// of graph size. Returns the member list (always contains `query`).
-std::vector<NodeId> LocalCluster(const PyramidIndex& index, NodeId query,
-                                 uint32_t level);
+template <typename IndexT>
+std::vector<NodeId> LocalClusterOf(const IndexT& index, NodeId query,
+                                   uint32_t level) {
+  const Graph& g = index.graph();
+  std::vector<NodeId> members;
+  // Visited set sized to the discovered frontier, not the graph: a local
+  // query must not pay O(n). A hash set keyed by node id delivers that.
+  std::vector<NodeId> stack = {query};
+  std::unordered_set<NodeId> visited = {query};
+  while (!stack.empty()) {
+    NodeId x = stack.back();
+    stack.pop_back();
+    members.push_back(x);
+    for (const Neighbor& nb : g.Neighbors(x)) {
+      if (!index.EdgePassesVote(nb.edge, level)) continue;
+      if (visited.insert(nb.node).second) stack.push_back(nb.node);
+    }
+  }
+  std::sort(members.begin(), members.end());
+  return members;
+}
 
 /// The finest granularity at which `query`'s cluster has at least
 /// `min_size` members, starting from the finest level and zooming out
 /// ("the smallest cluster that contains v", Problem 1.2). Returns the level
 /// and fills `members`.
+template <typename IndexT>
+uint32_t SmallestClusterLevelOf(const IndexT& index, NodeId query,
+                                uint32_t min_size,
+                                std::vector<NodeId>* members) {
+  for (uint32_t level = index.num_levels(); level >= 1; --level) {
+    std::vector<NodeId> cluster = LocalClusterOf(index, query, level);
+    if (cluster.size() >= min_size || level == 1) {
+      if (members != nullptr) *members = std::move(cluster);
+      return level;
+    }
+  }
+  return 1;  // unreachable; level 1 returns above
+}
+
+/// Non-template entry points for the live index (the original public API).
+Clustering EvenClustering(const PyramidIndex& index, uint32_t level);
+Clustering PowerClustering(const PyramidIndex& index, uint32_t level);
+std::vector<NodeId> LocalCluster(const PyramidIndex& index, NodeId query,
+                                 uint32_t level);
 uint32_t SmallestClusterLevel(const PyramidIndex& index, NodeId query,
                               uint32_t min_size, std::vector<NodeId>* members);
 
-/// Interactive granularity cursor over a PyramidIndex: the zoom-in /
-/// zoom-out operations of Problem 1 as a tiny stateful wrapper.
-class ZoomCursor {
+/// Interactive granularity cursor: the zoom-in / zoom-out operations of
+/// Problem 1 as a tiny stateful wrapper over any vote source (the live
+/// PyramidIndex or an immutable serve::ClusterView; the cursor does not
+/// keep the source alive).
+template <typename IndexT>
+class BasicZoomCursor {
  public:
   /// Starts at the Theta(sqrt(n))-clusters granularity (DefaultLevel).
-  explicit ZoomCursor(const PyramidIndex& index)
+  explicit BasicZoomCursor(const IndexT& index)
       : index_(&index), level_(index.DefaultLevel()) {}
 
   uint32_t level() const { return level_; }
@@ -61,17 +167,19 @@ class ZoomCursor {
   }
 
   /// All clusters at the cursor's granularity (power clustering).
-  Clustering Clusters() const { return PowerClustering(*index_, level_); }
+  Clustering Clusters() const { return PowerClusteringOf(*index_, level_); }
 
   /// The local cluster of `query` at the cursor's granularity.
   std::vector<NodeId> Local(NodeId query) const {
-    return LocalCluster(*index_, query, level_);
+    return LocalClusterOf(*index_, query, level_);
   }
 
  private:
-  const PyramidIndex* index_;
+  const IndexT* index_;
   uint32_t level_;
 };
+
+using ZoomCursor = BasicZoomCursor<PyramidIndex>;
 
 }  // namespace anc
 

@@ -165,6 +165,16 @@ class PyramidIndex {
   /// (Fig. 6 accounting; the graph itself is excluded as in the paper).
   size_t MemoryBytes() const;
 
+  /// Snapshot export hook for the serving layer: a copy of the maintained
+  /// per-level vote tallies ([level-1][edge], values in [0, k]). Together
+  /// with vote_threshold() this is the complete input of every Section V-B
+  /// query algorithm, so an immutable view built from it answers
+  /// Clusters / LocalCluster / Zoom byte-identically to this index at the
+  /// moment of the copy. O(levels * m) flat copies.
+  std::vector<std::vector<uint16_t>> ExportVoteCounts() const {
+    return vote_counts_;
+  }
+
   /// Seed sets in the layout the seed-injected constructor accepts.
   std::vector<std::vector<NodeId>> SeedSets() const;
 

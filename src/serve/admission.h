@@ -1,0 +1,95 @@
+#ifndef ANC_SERVE_ADMISSION_H_
+#define ANC_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "obs/metrics.h"
+#include "serve/cluster_view.h"
+#include "util/status.h"
+
+namespace anc::serve {
+
+/// Overload-behavior knobs (docs/serving.md). The defaults never degrade
+/// or shed: serving stays best-effort-fresh until thresholds are set.
+struct AdmissionOptions {
+  /// Shed queries outright while the ingest backlog is at or above this
+  /// depth (the writer is drowning; spending reader CPU makes it worse).
+  size_t shed_queue_depth = std::numeric_limits<size_t>::max();
+
+  /// When the published view is older than this (seconds), serve queries
+  /// `degrade_levels` levels coarser: coarse clusters change more slowly,
+  /// so a stale coarse answer stays closer to the truth than a stale fine
+  /// one (graceful degradation).
+  double degrade_staleness_s = std::numeric_limits<double>::infinity();
+  uint32_t degrade_levels = 1;
+
+  /// Shed queries once the view is older than this (seconds): past this
+  /// lag an answer is considered worse than an explicit Unavailable.
+  double shed_staleness_s = std::numeric_limits<double>::infinity();
+
+  /// Smoothing factor of the query-latency EWMA the deadline check uses.
+  double latency_ewma_alpha = 0.2;
+};
+
+/// Per-query options.
+struct QueryOptions {
+  /// Deadline budget in seconds. The admission layer sheds the query when
+  /// its smoothed latency estimate for this query class already exceeds
+  /// the budget — rejecting in O(1) instead of burning reader CPU on an
+  /// answer that will arrive too late. Infinity = no deadline.
+  double deadline_s = std::numeric_limits<double>::infinity();
+};
+
+/// Admission decision for one query.
+struct AdmissionDecision {
+  enum class Action { kServe, kDegrade, kShed };
+  Action action = Action::kServe;
+  /// The level to serve at (== requested level unless degraded).
+  uint32_t level = 0;
+  /// Unavailable with the shed reason when action == kShed; OK otherwise.
+  Status status;
+};
+
+/// The overload/admission layer of the serving stack: decides, per query,
+/// whether to serve fresh, serve degraded (coarser level) or shed, from
+/// two load signals — ingest backlog depth and published-view staleness —
+/// plus the caller's deadline against a smoothed latency estimate.
+/// Thread-safe; all state is atomic.
+class AdmissionController {
+ public:
+  /// `registry` (optional) receives anc.serve.admit_* counters; it must
+  /// outlive the controller.
+  explicit AdmissionController(AdmissionOptions options,
+                               obs::MetricsRegistry* registry = nullptr);
+
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Decides how to serve a query for `requested_level` given the current
+  /// view and ingest backlog. Never blocks.
+  AdmissionDecision Admit(uint32_t requested_level, const ClusterView& view,
+                          size_t ingest_depth,
+                          const QueryOptions& query = {}) const;
+
+  /// Feeds one completed query's latency into the deadline estimator.
+  void RecordLatency(double seconds) const;
+
+  /// Current smoothed latency estimate (seconds; 0 until the first
+  /// RecordLatency).
+  double LatencyEstimate() const {
+    return latency_ewma_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  AdmissionOptions options_;
+  mutable std::atomic<double> latency_ewma_{0.0};
+  obs::MetricsRegistry* metrics_;
+  obs::CounterId served_id_;
+  obs::CounterId degraded_id_;
+  obs::CounterId shed_id_;
+};
+
+}  // namespace anc::serve
+
+#endif  // ANC_SERVE_ADMISSION_H_

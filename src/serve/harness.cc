@@ -1,0 +1,168 @@
+#include "serve/harness.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace anc::serve {
+
+namespace {
+
+double Quantile(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  const size_t rank = std::min(
+      samples.size() - 1, static_cast<size_t>(q * (samples.size() - 1)));
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  return samples[rank];
+}
+
+}  // namespace
+
+std::string HarnessReport::ToString() const {
+  char buffer[512];
+  std::snprintf(  // lint-ok: output (formats the report string, no I/O)
+      buffer, sizeof(buffer),
+      "ingest: %llu submitted (%llu accepted, %llu dropped, %llu rejected) "
+      "in %.3fs = %.0f act/s | queries: %llu (%llu shed) "
+      "p50=%.1fus p99=%.1fus | staleness: mean=%.1f max=%llu activations | "
+      "epochs: %llu",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(accepted),
+      static_cast<unsigned long long>(dropped),
+      static_cast<unsigned long long>(rejected), ingest_seconds,
+      ingest_per_sec, static_cast<unsigned long long>(queries),
+      static_cast<unsigned long long>(shed), query_p50_us, query_p99_us,
+      mean_staleness_activations,
+      static_cast<unsigned long long>(max_staleness_activations),
+      static_cast<unsigned long long>(epochs));
+  return buffer;
+}
+
+ServeHarness::ServeHarness(AncServer* server, HarnessOptions options)
+    : server_(server), options_(options) {
+  ANC_CHECK(server_ != nullptr, "ServeHarness requires a server");
+  if (options_.num_producers == 0) options_.num_producers = 1;
+}
+
+HarnessReport ServeHarness::Run(const ActivationStream& stream) {
+  HarnessReport report;
+  report.submitted = stream.size();
+  const uint64_t accepted_before = server_->accepted();
+  const uint64_t dropped_before = server_->dropped();
+  const uint64_t rejected_before = server_->rejected();
+
+  std::atomic<size_t> next_index{0};
+  std::atomic<bool> stop_queries{false};
+
+  struct QueryThreadStats {
+    std::vector<double> latencies_us;
+    uint64_t queries = 0;
+    uint64_t shed = 0;
+    double staleness_sum = 0.0;
+    uint64_t staleness_max = 0;
+  };
+  std::vector<QueryThreadStats> per_thread(options_.num_query_threads);
+
+  std::vector<std::thread> query_threads;
+  query_threads.reserve(options_.num_query_threads);
+  for (uint32_t q = 0; q < options_.num_query_threads; ++q) {
+    query_threads.emplace_back([this, q, &stop_queries, &per_thread] {
+      QueryThreadStats& stats = per_thread[q];
+      Rng rng(options_.rng_seed + 1000 + q);
+      const uint32_t num_nodes =
+          server_->View() != nullptr ? server_->View()->graph().NumNodes() : 0;
+      if (num_nodes == 0) return;
+      while (!stop_queries.load(std::memory_order_acquire)) {
+        // Staleness of the answer the next query will see.
+        const uint64_t frontier = server_->accepted();
+        std::shared_ptr<const ClusterView> view = server_->View();
+        const uint64_t lag = frontier > view->watermark().seq
+                                 ? frontier - view->watermark().seq
+                                 : 0;
+        stats.staleness_sum += static_cast<double>(lag);
+        stats.staleness_max = std::max(stats.staleness_max, lag);
+
+        const auto start = std::chrono::steady_clock::now();
+        bool ok;
+        if (options_.full_clusters_every != 0 &&
+            stats.queries % options_.full_clusters_every ==
+                options_.full_clusters_every - 1) {
+          ok = server_->Clusters(view->DefaultLevel(), options_.query).ok();
+        } else {
+          const NodeId node = static_cast<NodeId>(rng.Next() % num_nodes);
+          ok = server_
+                   ->LocalCluster(node, view->DefaultLevel(), options_.query)
+                   .ok();
+        }
+        const double micros =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        ++stats.queries;
+        if (ok) {
+          stats.latencies_us.push_back(micros);
+        } else {
+          ++stats.shed;
+        }
+      }
+    });
+  }
+
+  const auto ingest_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> producers;
+  producers.reserve(options_.num_producers);
+  for (uint32_t p = 0; p < options_.num_producers; ++p) {
+    producers.emplace_back([this, &next_index, &stream] {
+      while (true) {
+        const size_t i =
+            next_index.fetch_add(1, std::memory_order_relaxed);
+        if (i >= stream.size()) return;
+        // Rejections (kReject backpressure, ordering races) are absorbed
+        // into the server's rejected() tally; the harness pushes on.
+        (void)server_->Submit(stream[i]);
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  (void)server_->Flush();
+  report.ingest_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ingest_start)
+          .count();
+
+  stop_queries.store(true, std::memory_order_release);
+  for (std::thread& thread : query_threads) thread.join();
+
+  report.accepted = server_->accepted() - accepted_before;
+  report.dropped = server_->dropped() - dropped_before;
+  report.rejected = server_->rejected() - rejected_before;
+  report.ingest_per_sec =
+      report.ingest_seconds > 0.0
+          ? static_cast<double>(report.accepted) / report.ingest_seconds
+          : 0.0;
+
+  std::vector<double> all_latencies;
+  for (QueryThreadStats& stats : per_thread) {
+    report.queries += stats.queries;
+    report.shed += stats.shed;
+    report.mean_staleness_activations += stats.staleness_sum;
+    report.max_staleness_activations =
+        std::max(report.max_staleness_activations, stats.staleness_max);
+    all_latencies.insert(all_latencies.end(), stats.latencies_us.begin(),
+                         stats.latencies_us.end());
+  }
+  if (report.queries > 0) {
+    report.mean_staleness_activations /= static_cast<double>(report.queries);
+  }
+  report.query_p50_us = Quantile(all_latencies, 0.50);
+  report.query_p99_us = Quantile(all_latencies, 0.99);
+  report.epochs = server_->Stats().counter("anc.serve.epochs");
+  return report;
+}
+
+}  // namespace anc::serve

@@ -1,0 +1,72 @@
+#ifndef ANC_SERVE_HARNESS_H_
+#define ANC_SERVE_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "activation/activeness.h"
+#include "serve/server.h"
+
+namespace anc::serve {
+
+/// Load-generator configuration for ServeHarness.
+struct HarnessOptions {
+  uint32_t num_producers = 2;
+  uint32_t num_query_threads = 4;
+  /// Each query thread issues local-cluster queries on random nodes and,
+  /// every `full_clusters_every` queries, one full Clusters() sweep
+  /// (0 disables the full sweeps).
+  uint32_t full_clusters_every = 64;
+  uint64_t rng_seed = 1;
+  QueryOptions query;
+};
+
+/// One harness run's scorecard (bench_serve_throughput and
+/// scripts/bench_smoke.sh report these).
+struct HarnessReport {
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t dropped = 0;
+  uint64_t rejected = 0;
+  double ingest_seconds = 0.0;
+  double ingest_per_sec = 0.0;
+
+  uint64_t queries = 0;
+  uint64_t shed = 0;
+  double query_p50_us = 0.0;
+  double query_p99_us = 0.0;
+
+  /// Staleness observed by queries: accepted tickets minus the view's
+  /// watermark ticket at query time (how many activations the answer is
+  /// behind the ingest frontier).
+  double mean_staleness_activations = 0.0;
+  uint64_t max_staleness_activations = 0;
+
+  uint64_t epochs = 0;
+
+  std::string ToString() const;
+};
+
+/// Multi-threaded driver for an AncServer: N producer threads race to
+/// submit a prepared activation stream while M query threads hammer the
+/// snapshot read path; reports ingest throughput, query latency quantiles
+/// and observed staleness. With more than one producer, configure the
+/// server's ingest with clamp_out_of_order = true — producers dispatch
+/// stream entries in order but race at the queue boundary.
+class ServeHarness {
+ public:
+  /// `server` must be started and outlive the harness.
+  ServeHarness(AncServer* server, HarnessOptions options);
+
+  /// Drives the full stream through the server (blocking), then flushes.
+  /// Query threads run for the whole ingest window. Reusable.
+  HarnessReport Run(const ActivationStream& stream);
+
+ private:
+  AncServer* server_;
+  HarnessOptions options_;
+};
+
+}  // namespace anc::serve
+
+#endif  // ANC_SERVE_HARNESS_H_

@@ -1,0 +1,142 @@
+#include "serve/ingest_queue.h"
+
+namespace anc::serve {
+
+IngestQueue::IngestQueue(IngestOptions options, obs::MetricsRegistry* registry)
+    : options_(options), metrics_(registry) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (metrics_ != nullptr) {
+    accepted_id_ = metrics_->Counter("anc.serve.ingest_accepted");
+    dropped_id_ = metrics_->Counter("anc.serve.ingest_dropped");
+    rejected_id_ = metrics_->Counter("anc.serve.ingest_rejected");
+    depth_id_ = metrics_->Gauge("anc.serve.ingest_depth");
+    queue_wait_us_ = metrics_->Histogram("anc.serve.ingest_wait_us");
+  }
+}
+
+Result<uint64_t> IngestQueue::Push(Activation activation) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) return Status::FailedPrecondition("ingest queue is closed");
+  if (activation.time < last_accepted_time_) {
+    if (options_.clamp_out_of_order) {
+      activation.time = last_accepted_time_;
+    } else {
+      ++rejected_;
+      if (metrics_ != nullptr) metrics_->Add(rejected_id_);
+      return Status::InvalidArgument(
+          "activation timestamp regressed below the accepted watermark");
+    }
+  }
+  if (entries_.size() >= options_.capacity) {
+    switch (options_.policy) {
+      case BackpressurePolicy::kBlock:
+        not_full_.wait(lock, [this] {
+          return closed_ || entries_.size() < options_.capacity;
+        });
+        if (closed_) {
+          return Status::FailedPrecondition("ingest queue is closed");
+        }
+        break;
+      case BackpressurePolicy::kDropOldest:
+        // FIFO head eviction: the evicted ticket resolves (as shed), so
+        // watermark waiters on it are not stranded.
+        resolved_seq_ = entries_.front().seq;
+        entries_.pop_front();
+        ++dropped_;
+        if (metrics_ != nullptr) metrics_->Add(dropped_id_);
+        break;
+      case BackpressurePolicy::kReject:
+        ++rejected_;
+        if (metrics_ != nullptr) metrics_->Add(rejected_id_);
+        return Status::Unavailable("ingest queue is full");
+    }
+  }
+  const uint64_t seq = next_seq_++;
+  // Re-check the watermark: a kBlock wait may have admitted later pushes.
+  if (activation.time < last_accepted_time_) {
+    activation.time = last_accepted_time_;
+  }
+  last_accepted_time_ = activation.time;
+  entries_.push_back({activation, seq, std::chrono::steady_clock::now()});
+  ++accepted_;
+  if (metrics_ != nullptr) {
+    metrics_->Add(accepted_id_);
+    metrics_->Set(depth_id_, static_cast<int64_t>(entries_.size()));
+  }
+  lock.unlock();
+  not_empty_.notify_one();
+  return seq;
+}
+
+size_t IngestQueue::PopBatch(std::vector<Activation>* out, size_t max_batch,
+                             std::chrono::microseconds wait,
+                             uint64_t* resolved_seq) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (entries_.empty() && !closed_) {
+    not_empty_.wait_for(lock, wait,
+                        [this] { return closed_ || !entries_.empty(); });
+  }
+  const auto now = std::chrono::steady_clock::now();
+  size_t popped = 0;
+  while (popped < max_batch && !entries_.empty()) {
+    Entry& entry = entries_.front();
+    out->push_back(entry.activation);
+    resolved_seq_ = entry.seq;
+    if (metrics_ != nullptr) {
+      metrics_->Record(queue_wait_us_,
+                       std::chrono::duration<double, std::micro>(
+                           now - entry.enqueued_at)
+                           .count());
+    }
+    entries_.pop_front();
+    ++popped;
+  }
+  if (resolved_seq != nullptr) *resolved_seq = resolved_seq_;
+  if (metrics_ != nullptr && popped > 0) {
+    metrics_->Set(depth_id_, static_cast<int64_t>(entries_.size()));
+  }
+  lock.unlock();
+  if (popped > 0) not_full_.notify_all();
+  return popped;
+}
+
+void IngestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool IngestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+size_t IngestQueue::Depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+uint64_t IngestQueue::accepted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepted_;
+}
+
+uint64_t IngestQueue::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+uint64_t IngestQueue::rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+double IngestQueue::last_accepted_time() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_accepted_time_;
+}
+
+}  // namespace anc::serve

@@ -1,0 +1,114 @@
+#ifndef ANC_SERVE_INGEST_QUEUE_H_
+#define ANC_SERVE_INGEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "activation/activeness.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace anc::serve {
+
+/// What Push does when the queue is at capacity.
+enum class BackpressurePolicy {
+  kBlock,      ///< block the producer until the writer drains a slot
+  kDropOldest, ///< evict the oldest unapplied activation to make room
+  kReject,     ///< bounce the push with Status::Unavailable
+};
+
+struct IngestOptions {
+  size_t capacity = 4096;
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  /// Activation timestamps must be non-decreasing across *all* producers
+  /// (the index's stream contract). With multiple wall-clock producers,
+  /// small inversions at the ingest boundary are expected; true clamps an
+  /// out-of-order timestamp up to the last accepted one instead of
+  /// rejecting the push with InvalidArgument.
+  bool clamp_out_of_order = false;
+};
+
+/// Bounded multi-producer single-consumer activation queue with explicit
+/// backpressure and durability tickets (docs/serving.md).
+///
+/// Producers call Push from any thread; each accepted activation is
+/// assigned a monotonically increasing *ticket* (1-based). The single
+/// writer drains with PopBatch, which also reports the highest ticket
+/// resolved — i.e. removed from the queue, by being handed to the writer
+/// or (under kDropOldest) evicted. Because the queue is FIFO and eviction
+/// happens at the head, tickets resolve in order, so "resolved up to s"
+/// means every ticket <= s has left the queue.
+class IngestQueue {
+ public:
+  /// `registry` (optional) receives anc.serve.ingest_* metrics; it must
+  /// outlive the queue.
+  explicit IngestQueue(IngestOptions options,
+                       obs::MetricsRegistry* registry = nullptr);
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  /// Producer side (any thread): enqueues one activation and returns its
+  /// ticket. Errors:
+  ///  - FailedPrecondition: the queue is closed.
+  ///  - InvalidArgument: timestamp below the last accepted one (and
+  ///    clamp_out_of_order is off).
+  ///  - Unavailable: the queue is full under kReject.
+  /// Under kBlock a full queue blocks until space frees or Close().
+  Result<uint64_t> Push(Activation activation);
+
+  /// Consumer side (single thread): moves up to `max_batch` activations
+  /// into *out (appended), waiting up to `wait` for the first one. Returns
+  /// the number popped; *resolved_seq (when non-null) receives the highest
+  /// ticket resolved so far (popped or dropped), which only grows.
+  size_t PopBatch(std::vector<Activation>* out, size_t max_batch,
+                  std::chrono::microseconds wait,
+                  uint64_t* resolved_seq = nullptr);
+
+  /// Closes the queue: subsequent pushes fail FailedPrecondition, blocked
+  /// producers wake with that status, and PopBatch keeps draining what
+  /// remains (then returns 0 immediately).
+  void Close();
+
+  bool closed() const;
+  size_t Depth() const;
+  uint64_t accepted() const;  ///< tickets issued
+  uint64_t dropped() const;   ///< kDropOldest evictions
+  uint64_t rejected() const;  ///< kReject bounces + out-of-order rejections
+  double last_accepted_time() const;
+
+ private:
+  struct Entry {
+    Activation activation;
+    uint64_t seq;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  IngestOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Entry> entries_;
+  bool closed_ = false;
+  uint64_t next_seq_ = 1;
+  uint64_t resolved_seq_ = 0;
+  uint64_t accepted_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t rejected_ = 0;
+  double last_accepted_time_ = 0.0;
+
+  obs::MetricsRegistry* metrics_;
+  obs::CounterId accepted_id_;
+  obs::CounterId dropped_id_;
+  obs::CounterId rejected_id_;
+  obs::GaugeId depth_id_;
+  obs::HistogramId queue_wait_us_;
+};
+
+}  // namespace anc::serve
+
+#endif  // ANC_SERVE_INGEST_QUEUE_H_

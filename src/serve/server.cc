@@ -1,0 +1,313 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace anc::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t) {
+  return std::chrono::duration<double>(Clock::now() - t).count();
+}
+
+double MicrosSince(Clock::time_point t) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t).count();
+}
+
+}  // namespace
+
+AncServer::AncServer(AncIndex* index, ServeOptions options)
+    : index_(index),
+      options_(options),
+      queue_(options.ingest, &index->metrics()),
+      admission_(options.admission, &index->metrics()) {
+  ANC_CHECK(index_ != nullptr, "AncServer requires an index");
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.snapshot_every_activations == 0) {
+    options_.snapshot_every_activations = 1;
+  }
+  obs::MetricsRegistry& registry = index_->metrics();
+  m_.epochs = registry.Counter("anc.serve.epochs");
+  m_.applied = registry.Counter("anc.serve.applied");
+  m_.apply_errors = registry.Counter("anc.serve.apply_errors");
+  m_.batches = registry.Counter("anc.serve.batches");
+  m_.batch_size = registry.Histogram("anc.serve.batch_size");
+  m_.snapshot_build_us = registry.Histogram("anc.serve.snapshot_build_us");
+  m_.query_us = registry.Histogram("anc.serve.query_us");
+  m_.query_staleness_us = registry.Histogram("anc.serve.query_staleness_us");
+  m_.watermark_seq = registry.Gauge("anc.serve.watermark_seq");
+  m_.publish_lag = registry.Gauge("anc.serve.publish_lag_activations");
+}
+
+AncServer::~AncServer() { Stop(); }
+
+Status AncServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  if (stop_requested_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "server already stopped; create a new AncServer to serve again");
+  }
+  writer_done_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  // Epoch 1: readers always have a view, even before the first activation.
+  Publish(Watermark{0, 0.0});
+  writer_ = std::thread(&AncServer::WriterLoop, this);
+  return Status::OK();
+}
+
+void AncServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  queue_.Close();
+  if (writer_.joinable()) writer_.join();
+  // Wake waiters stranded on tickets that will never resolve.
+  watermark_cv_.notify_all();
+}
+
+void AncServer::WriterLoop() {
+  std::vector<Activation> batch;
+  batch.reserve(options_.max_batch);
+  uint64_t applied_since_publish = 0;
+  uint64_t resolved_seq = 0;
+  uint64_t published_seq = 0;
+  double last_applied_time = 0.0;
+  Clock::time_point last_publish = Clock::now();
+
+  const auto publish = [&] {
+    Publish(Watermark{resolved_seq, last_applied_time});
+    published_seq = resolved_seq;
+    applied_since_publish = 0;
+    last_publish = Clock::now();
+  };
+
+  while (true) {
+    batch.clear();
+    const size_t popped = queue_.PopBatch(&batch, options_.max_batch,
+                                          options_.idle_wait, &resolved_seq);
+    if (popped == 0) {
+      if (stop_requested_.load(std::memory_order_acquire) &&
+          queue_.Depth() == 0) {
+        break;
+      }
+      // Idle wakeup: publish pending state (applies, or tickets resolved
+      // by drop-oldest eviction) once the staleness budget is spent.
+      if ((applied_since_publish > 0 || resolved_seq > published_seq) &&
+          SecondsSince(last_publish) >= options_.snapshot_max_age_s) {
+        publish();
+      }
+      continue;
+    }
+
+    for (const Activation& activation : batch) {
+      const Status status = index_->Apply(activation);
+      if (status.ok()) {
+        index_->metrics().Add(m_.applied);
+        last_applied_time = std::max(last_applied_time, activation.time);
+      } else {
+        index_->metrics().Add(m_.apply_errors);
+        std::lock_guard<std::mutex> lock(writer_status_mutex_);
+        if (writer_status_.ok()) writer_status_ = status;
+      }
+    }
+    applied_since_publish += popped;
+    index_->metrics().Add(m_.batches);
+    index_->metrics().Record(m_.batch_size, static_cast<double>(popped));
+
+    if (applied_since_publish >= options_.snapshot_every_activations ||
+        SecondsSince(last_publish) >= options_.snapshot_max_age_s) {
+      publish();
+    }
+  }
+  // Final quiescent publish: the watermark lands on everything resolved.
+  publish();
+  writer_done_.store(true, std::memory_order_release);
+  watermark_cv_.notify_all();
+}
+
+void AncServer::Publish(Watermark watermark) {
+#ifdef ANC_CHECK_INVARIANTS
+  // Quiescent-point validation: a snapshot is never built from an index
+  // state that fails the Lemma 4-13 validators (docs/serving.md).
+  const Status valid = index_->ValidateInvariants(/*deep=*/false);
+  ANC_CHECK(valid.ok(), valid.ToString().c_str());
+#endif
+  const Clock::time_point build_start = Clock::now();
+  auto view = std::make_shared<const ClusterView>(
+      index_->graph(), index_->ExportClusterState(), ++epoch_, watermark);
+  {
+    std::lock_guard<std::mutex> lock(view_mutex_);
+    view_ = std::move(view);
+  }
+  {
+    std::lock_guard<std::mutex> lock(watermark_mutex_);
+    published_ = watermark;
+  }
+  watermark_cv_.notify_all();
+  obs::MetricsRegistry& registry = index_->metrics();
+  registry.Add(m_.epochs);
+  registry.Record(m_.snapshot_build_us, MicrosSince(build_start));
+  registry.Set(m_.watermark_seq, static_cast<int64_t>(watermark.seq));
+  registry.Set(m_.publish_lag,
+               static_cast<int64_t>(queue_.accepted() - watermark.seq));
+}
+
+Result<uint64_t> AncServer::Submit(const Activation& activation) {
+  if (activation.edge >= index_->graph().NumEdges()) {
+    return Status::InvalidArgument("activation references edge " +
+                                   std::to_string(activation.edge) +
+                                   " outside the graph");
+  }
+  return queue_.Push(activation);
+}
+
+Status AncServer::SubmitStream(const ActivationStream& stream,
+                               uint64_t* last_seq) {
+  for (const Activation& activation : stream) {
+    Result<uint64_t> ticket = Submit(activation);
+    if (!ticket.ok()) return ticket.status();
+    if (last_seq != nullptr) *last_seq = *ticket;
+  }
+  return Status::OK();
+}
+
+Status AncServer::Flush(std::chrono::milliseconds timeout) {
+  return AwaitSeq(queue_.accepted(), timeout);
+}
+
+Watermark AncServer::watermark() const {
+  std::lock_guard<std::mutex> lock(watermark_mutex_);
+  return published_;
+}
+
+Status AncServer::AwaitSeq(uint64_t seq, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(watermark_mutex_);
+  if (published_.seq >= seq) return Status::OK();
+  const bool reached = watermark_cv_.wait_for(lock, timeout, [&] {
+    return published_.seq >= seq ||
+           writer_done_.load(std::memory_order_acquire);
+  });
+  if (published_.seq >= seq) return Status::OK();
+  return Status::Unavailable(
+      reached ? "server stopped before ticket " + std::to_string(seq) +
+                    " resolved"
+              : "timed out awaiting ticket " + std::to_string(seq));
+}
+
+Status AncServer::AwaitTime(double t, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(watermark_mutex_);
+  if (published_.time >= t) return Status::OK();
+  const bool reached = watermark_cv_.wait_for(lock, timeout, [&] {
+    return published_.time >= t ||
+           writer_done_.load(std::memory_order_acquire);
+  });
+  if (published_.time >= t) return Status::OK();
+  return Status::Unavailable(
+      reached ? "server stopped before watermark time " + std::to_string(t)
+              : "timed out awaiting watermark time " + std::to_string(t));
+}
+
+std::shared_ptr<const ClusterView> AncServer::View() const {
+  std::lock_guard<std::mutex> lock(view_mutex_);
+  return view_;
+}
+
+Result<Clustering> AncServer::Clusters(uint32_t level,
+                                       const QueryOptions& query) {
+  std::shared_ptr<const ClusterView> view = View();
+  if (view == nullptr) {
+    return Status::FailedPrecondition("server not started");
+  }
+  if (level < 1 || level > view->num_levels()) {
+    return Status::OutOfRange("level must be in [1, " +
+                              std::to_string(view->num_levels()) + "]");
+  }
+  const AdmissionDecision decision =
+      admission_.Admit(level, *view, queue_.Depth(), query);
+  if (decision.action == AdmissionDecision::Action::kShed) {
+    return decision.status;
+  }
+  obs::MetricsRegistry& registry = index_->metrics();
+  registry.Record(m_.query_staleness_us, view->AgeSeconds() * 1e6);
+  const Clock::time_point start = Clock::now();
+  Clustering out = view->Clusters(decision.level);
+  const double micros = MicrosSince(start);
+  registry.Record(m_.query_us, micros);
+  admission_.RecordLatency(micros * 1e-6);
+  return out;
+}
+
+Result<Clustering> AncServer::Clusters() {
+  std::shared_ptr<const ClusterView> view = View();
+  if (view == nullptr) {
+    return Status::FailedPrecondition("server not started");
+  }
+  return Clusters(view->DefaultLevel());
+}
+
+Result<std::vector<NodeId>> AncServer::LocalCluster(NodeId node,
+                                                    uint32_t level,
+                                                    const QueryOptions& query) {
+  std::shared_ptr<const ClusterView> view = View();
+  if (view == nullptr) {
+    return Status::FailedPrecondition("server not started");
+  }
+  if (node >= view->graph().NumNodes()) {
+    return Status::OutOfRange("node out of range");
+  }
+  if (level < 1 || level > view->num_levels()) {
+    return Status::OutOfRange("level must be in [1, " +
+                              std::to_string(view->num_levels()) + "]");
+  }
+  const AdmissionDecision decision =
+      admission_.Admit(level, *view, queue_.Depth(), query);
+  if (decision.action == AdmissionDecision::Action::kShed) {
+    return decision.status;
+  }
+  obs::MetricsRegistry& registry = index_->metrics();
+  registry.Record(m_.query_staleness_us, view->AgeSeconds() * 1e6);
+  const Clock::time_point start = Clock::now();
+  std::vector<NodeId> out = view->LocalCluster(node, decision.level);
+  const double micros = MicrosSince(start);
+  registry.Record(m_.query_us, micros);
+  admission_.RecordLatency(micros * 1e-6);
+  return out;
+}
+
+Result<std::vector<NodeId>> AncServer::SmallestCluster(
+    NodeId node, uint32_t min_size, uint32_t* level_out,
+    const QueryOptions& query) {
+  std::shared_ptr<const ClusterView> view = View();
+  if (view == nullptr) {
+    return Status::FailedPrecondition("server not started");
+  }
+  if (node >= view->graph().NumNodes()) {
+    return Status::OutOfRange("node out of range");
+  }
+  // SmallestCluster scans levels itself, so degradation does not apply;
+  // the admission check is for shedding only.
+  const AdmissionDecision decision =
+      admission_.Admit(view->DefaultLevel(), *view, queue_.Depth(), query);
+  if (decision.action == AdmissionDecision::Action::kShed) {
+    return decision.status;
+  }
+  obs::MetricsRegistry& registry = index_->metrics();
+  registry.Record(m_.query_staleness_us, view->AgeSeconds() * 1e6);
+  const Clock::time_point start = Clock::now();
+  std::vector<NodeId> out = view->SmallestCluster(node, min_size, level_out);
+  const double micros = MicrosSince(start);
+  registry.Record(m_.query_us, micros);
+  admission_.RecordLatency(micros * 1e-6);
+  return out;
+}
+
+Status AncServer::writer_status() const {
+  std::lock_guard<std::mutex> lock(writer_status_mutex_);
+  return writer_status_;
+}
+
+}  // namespace anc::serve

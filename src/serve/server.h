@@ -1,0 +1,207 @@
+#ifndef ANC_SERVE_SERVER_H_
+#define ANC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/anc.h"
+#include "obs/metrics.h"
+#include "serve/admission.h"
+#include "serve/cluster_view.h"
+#include "serve/ingest_queue.h"
+#include "util/status.h"
+
+namespace anc::serve {
+
+/// Serving-layer configuration (docs/serving.md).
+struct ServeOptions {
+  IngestOptions ingest;
+  AdmissionOptions admission;
+
+  /// Writer batch coalescing: up to this many queued activations are
+  /// drained and applied per wakeup, amortizing snapshot publication (and
+  /// letting the similarity layer's batched rescale amortize per Lemma 1).
+  size_t max_batch = 256;
+
+  /// Staleness bounds: a fresh view is published after at most this many
+  /// applied activations ...
+  uint64_t snapshot_every_activations = 64;
+  /// ... and at most this much wall time after an unpublished apply.
+  double snapshot_max_age_s = 0.010;
+
+  /// Idle wakeup granularity of the writer (bounds publication delay when
+  /// the stream pauses mid-interval).
+  std::chrono::microseconds idle_wait{1000};
+};
+
+/// The concurrent serving engine: a batched single-writer ingest pipeline
+/// over an AncIndex plus epoch-published immutable snapshots for readers
+/// (docs/serving.md).
+///
+///   producers --Submit--> [bounded MPSC IngestQueue] --PopBatch-->
+///     writer thread: AncIndex::Apply x batch --> publish ClusterView
+///       (shared_ptr swap under a micro-lock, epoch++) --> waiters notified
+///   readers  --View() / Clusters() / LocalCluster() / ...--> snapshot
+///
+/// Threading contract:
+///  - Submit / SubmitStream: any thread.
+///  - View / Clusters / LocalCluster / SmallestCluster / watermark /
+///    AwaitSeq / AwaitTime / Stats: any thread; acquiring the snapshot is
+///    one shared_ptr copy under a mutex held for only that copy, and the
+///    query then runs entirely against the immutable snapshot with no
+///    further synchronization.
+///  - The underlying AncIndex is mutated *only* by the writer thread
+///    between Start() and Stop(); callers must not touch it directly
+///    while the server is running (quiesce with Stop() first).
+///
+/// Watermark semantics are linearizable: when AwaitSeq(s) (or AwaitTime(t))
+/// returns OK, every later View() includes all activations with ticket
+/// <= s (timestamp <= t). Under kDropOldest, evicted activations resolve
+/// the watermark without being applied — bounded loss in exchange for
+/// liveness, visible in Stats() as anc.serve.ingest_dropped.
+class AncServer {
+ public:
+  /// `index` must outlive the server and be quiescent (no concurrent use)
+  /// while the server runs. Serve metrics are recorded into the index's
+  /// own registry, so AncIndex::Stats() covers the whole stack.
+  AncServer(AncIndex* index, ServeOptions options);
+  ~AncServer();
+
+  AncServer(const AncServer&) = delete;
+  AncServer& operator=(const AncServer&) = delete;
+
+  /// Publishes the initial view (epoch 1) and starts the writer thread.
+  Status Start();
+
+  /// Closes ingest, drains the queue, publishes the final view and joins
+  /// the writer. Idempotent. After Stop() the index is quiescent again.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // --- Producer side ------------------------------------------------------
+
+  /// Enqueues one activation; returns its durability ticket (see
+  /// AwaitSeq). Backpressure behavior per ServeOptions::ingest.
+  Result<uint64_t> Submit(const Activation& activation);
+
+  /// Enqueues a whole stream in order; stops at the first rejected
+  /// activation. Returns the last ticket issued via *last_seq (optional).
+  Status SubmitStream(const ActivationStream& stream,
+                      uint64_t* last_seq = nullptr);
+
+  /// Blocks until every activation accepted before the call is reflected
+  /// in the published view (or `timeout` elapses -> Unavailable).
+  Status Flush(std::chrono::milliseconds timeout = std::chrono::minutes(1));
+
+  // --- Watermark / durability --------------------------------------------
+
+  /// The published watermark: every activation with ticket <= seq (time
+  /// <= time) is reflected in View().
+  Watermark watermark() const;
+
+  /// Blocks until the published watermark covers ticket `seq`.
+  Status AwaitSeq(uint64_t seq, std::chrono::milliseconds timeout);
+
+  /// Blocks until the published watermark covers activation timestamp `t`.
+  /// The watermark only reaches `t` once an activation with timestamp
+  /// >= t has been applied, so await a time you actually submitted.
+  Status AwaitTime(double t, std::chrono::milliseconds timeout);
+
+  // --- Reader side --------------------------------------------------------
+
+  /// The current published snapshot: one atomic load, never null between
+  /// Start() and destruction. Hold the shared_ptr for as long as the
+  /// query runs; the writer publishing newer epochs never invalidates it.
+  std::shared_ptr<const ClusterView> View() const;
+
+  /// Admission-controlled snapshot queries: consult the overload layer
+  /// (shed / degrade per ServeOptions::admission and the per-query
+  /// deadline), then answer from the current view. Shed queries return
+  /// Status::Unavailable without touching the snapshot.
+  Result<Clustering> Clusters(uint32_t level, const QueryOptions& query = {});
+  Result<Clustering> Clusters() /*default level*/;
+  Result<std::vector<NodeId>> LocalCluster(NodeId node, uint32_t level,
+                                           const QueryOptions& query = {});
+  Result<std::vector<NodeId>> SmallestCluster(NodeId node,
+                                              uint32_t min_size = 2,
+                                              uint32_t* level_out = nullptr,
+                                              const QueryOptions& query = {});
+
+  // --- Introspection ------------------------------------------------------
+
+  const AdmissionController& admission() const { return admission_; }
+  size_t IngestDepth() const { return queue_.Depth(); }
+  uint64_t accepted() const { return queue_.accepted(); }
+  uint64_t dropped() const { return queue_.dropped(); }
+  uint64_t rejected() const { return queue_.rejected(); }
+
+  /// First error the writer hit applying an activation (OK if none).
+  /// Failed applies are counted (anc.serve.apply_errors) and skipped.
+  Status writer_status() const;
+
+  /// Full metric snapshot (the index's registry: anc.apply.*, anc.index.*,
+  /// anc.serve.*, anc.pool.*, ...).
+  obs::StatsSnapshot Stats() const { return index_->Stats(); }
+
+ private:
+  void WriterLoop();
+  /// Builds and publishes a view at the given watermark (writer thread
+  /// only). In ANC_CHECK_INVARIANTS builds, validates the index at this
+  /// quiescent point first — a view is never built from a state that
+  /// fails the Lemma 4-13 validators.
+  void Publish(Watermark watermark);
+
+  AncIndex* index_;
+  ServeOptions options_;
+  IngestQueue queue_;
+  AdmissionController admission_;
+
+  std::thread writer_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  // Set by the writer after its final publish: no further watermark
+  // advances are possible, so waiters can stop waiting.
+  std::atomic<bool> writer_done_{false};
+
+  // Current snapshot. Guarded by view_mutex_, which is held only for the
+  // duration of one shared_ptr copy/swap — never while building a view or
+  // answering a query. (libstdc++'s std::atomic<std::shared_ptr> unlocks
+  // its reader path with memory_order_relaxed, which leaves load/store of
+  // the embedded raw pointer formally racy — ThreadSanitizer flags it —
+  // so publication uses this micro-critical-section instead.)
+  mutable std::mutex view_mutex_;
+  std::shared_ptr<const ClusterView> view_;
+  uint64_t epoch_ = 0;  // writer thread (and Start) only
+
+  // Published-watermark waiters.
+  mutable std::mutex watermark_mutex_;
+  std::condition_variable watermark_cv_;
+  Watermark published_;
+
+  mutable std::mutex writer_status_mutex_;
+  Status writer_status_;
+
+  struct Metrics {
+    obs::CounterId epochs;
+    obs::CounterId applied;
+    obs::CounterId apply_errors;
+    obs::CounterId batches;
+    obs::HistogramId batch_size;
+    obs::HistogramId snapshot_build_us;
+    obs::HistogramId query_us;
+    obs::HistogramId query_staleness_us;
+    obs::GaugeId watermark_seq;
+    obs::GaugeId publish_lag;
+  } m_;
+};
+
+}  // namespace anc::serve
+
+#endif  // ANC_SERVE_SERVER_H_

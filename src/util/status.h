@@ -20,6 +20,7 @@ enum class StatusCode {
   kIoError,
   kFailedPrecondition,
   kInternal,
+  kUnavailable,
 };
 
 /// Lightweight status object returned by fallible operations.
@@ -55,6 +56,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

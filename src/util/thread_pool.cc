@@ -4,6 +4,16 @@
 
 namespace anc {
 
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned num_threads)
     : num_threads_(num_threads == 0 ? 1 : num_threads) {
   if (num_threads_ > 1) {
@@ -34,6 +44,9 @@ void ThreadPool::WorkerLoop() {
       if (shutdown_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      if (metrics_ != nullptr) {
+        metrics_->Set(queue_depth_, static_cast<int64_t>(tasks_.size()));
+      }
     }
     task();
     {
@@ -48,7 +61,9 @@ void ThreadPool::SetMetrics(obs::MetricsRegistry* registry) {
   if (metrics_ == nullptr) return;
   tasks_queued_ = metrics_->Counter("anc.pool.tasks_queued");
   tasks_run_ = metrics_->Counter("anc.pool.tasks_run");
+  queue_depth_ = metrics_->Gauge("anc.pool.queue_depth");
   queue_wait_us_ = metrics_->Histogram("anc.pool.queue_wait_us");
+  task_us_ = metrics_->Histogram("anc.pool.task_us");
 }
 
 void ThreadPool::ParallelFor(size_t count,
@@ -56,8 +71,14 @@ void ThreadPool::ParallelFor(size_t count,
   if (count == 0) return;
   const bool record = obs::kMetricsEnabled && metrics_ != nullptr;
   if (workers_.empty() || count == 1) {
-    for (size_t i = 0; i < count; ++i) fn(i);
-    if (record) metrics_->Add(tasks_run_, count);
+    if (record) {
+      const auto start = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < count; ++i) fn(i);
+      metrics_->Record(task_us_, MicrosSince(start));
+      metrics_->Add(tasks_run_, count);
+    } else {
+      for (size_t i = 0; i < count; ++i) fn(i);
+    }
     return;
   }
   const auto enqueue_time = std::chrono::steady_clock::now();
@@ -67,17 +88,18 @@ void ThreadPool::ParallelFor(size_t count,
     for (size_t i = 0; i < count; ++i) {
       if (record) {
         tasks_.push([this, &fn, i, enqueue_time] {
-          metrics_->Record(
-              queue_wait_us_,
-              std::chrono::duration<double, std::micro>(
-                  std::chrono::steady_clock::now() - enqueue_time)
-                  .count());
+          metrics_->Record(queue_wait_us_, MicrosSince(enqueue_time));
           metrics_->Add(tasks_run_);
+          const auto run_start = std::chrono::steady_clock::now();
           fn(i);
+          metrics_->Record(task_us_, MicrosSince(run_start));
         });
       } else {
         tasks_.push([&fn, i] { fn(i); });
       }
+    }
+    if (record) {
+      metrics_->Set(queue_depth_, static_cast<int64_t>(tasks_.size()));
     }
   }
   if (record) metrics_->Add(tasks_queued_, count);

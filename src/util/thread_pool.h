@@ -35,8 +35,12 @@ class ThreadPool {
 
   /// Attaches a metrics registry: anc.pool.tasks_queued (tasks handed to
   /// workers), anc.pool.tasks_run (iterations executed, serial fallback
-  /// included) and the anc.pool.queue_wait_us histogram (enqueue-to-start
-  /// latency). Call before the first ParallelFor; nullptr detaches.
+  /// included), the anc.pool.queue_depth gauge (tasks waiting for a
+  /// worker; saturation signal for the serve layer), and two histograms —
+  /// anc.pool.queue_wait_us (enqueue-to-start latency) and
+  /// anc.pool.task_us (task execution time; the serial fallback records
+  /// its whole loop as one task). Call before the first ParallelFor;
+  /// nullptr detaches.
   void SetMetrics(obs::MetricsRegistry* registry);
 
  private:
@@ -53,7 +57,9 @@ class ThreadPool {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::CounterId tasks_queued_;
   obs::CounterId tasks_run_;
+  obs::GaugeId queue_depth_;
   obs::HistogramId queue_wait_us_;
+  obs::HistogramId task_us_;
 };
 
 }  // namespace anc

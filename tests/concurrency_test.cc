@@ -17,6 +17,7 @@
 #include "datasets/synthetic.h"
 #include "obs/metrics.h"
 #include "pyramid/pyramid_index.h"
+#include "serve/server.h"
 #include "similarity/similarity_engine.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -217,6 +218,81 @@ TEST(ParallelPyramidTest, StreamApplyWithConcurrentStatsReader) {
     EXPECT_EQ(anc.Stats().counter("anc.apply.count"), stream.size());
   }
   EXPECT_TRUE(anc.ValidateInvariants(/*deep=*/false).ok());
+}
+
+/// The serving stack's shared-state surfaces under TSan: racing producers
+/// against the IngestQueue, the writer's view publication against
+/// concurrent readers, and watermark waiters against the final drain. The
+/// functional assertions live in serve_test.cc; this variant maximizes
+/// interleavings (tiny snapshot interval, aggressive backpressure).
+TEST(ServeStressTest, PublishRaceAudit) {
+  PlantedPartitionParams pp;
+  pp.num_communities = 3;
+  pp.min_size = 8;
+  pp.max_size = 12;
+  Rng rng(61);
+  GroundTruthGraph data = PlantedPartition(pp, rng);
+  ActivationStream stream = UniformStream(data.graph, 30, 0.08, rng);
+
+  AncConfig config;
+  config.pyramid.num_pyramids = 3;
+  config.mode = AncMode::kOnline;
+  AncIndex index(data.graph, config);
+
+  serve::ServeOptions options;
+  options.ingest.capacity = 8;  // force backpressure blocking
+  options.ingest.clamp_out_of_order = true;
+  options.snapshot_every_activations = 1;  // publish on every apply
+  options.snapshot_max_age_s = 0.0;
+  serve::AncServer server(&index, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kProducers = 3;
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < stream.size();
+           i = next.fetch_add(1)) {
+        ASSERT_TRUE(server.Submit(stream[i]).ok());
+      }
+    });
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread waiter([&] {
+    // Repeatedly await the moving accepted frontier: exercises the
+    // watermark cv against concurrent publishes and the final drain.
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t target = server.accepted();
+      ASSERT_TRUE(
+          server.AwaitSeq(target, std::chrono::milliseconds(5000)).ok());
+      ASSERT_GE(server.watermark().seq, target);
+    }
+  });
+  std::thread reader([&] {
+    uint64_t last_epoch = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      std::shared_ptr<const serve::ClusterView> view = server.View();
+      ASSERT_GE(view->epoch(), last_epoch);
+      last_epoch = view->epoch();
+      view->LocalCluster(static_cast<NodeId>(last_epoch %
+                                             data.graph.NumNodes()),
+                         view->DefaultLevel());
+    }
+  });
+
+  for (std::thread& p : producers) p.join();
+  ASSERT_TRUE(server.Flush(std::chrono::milliseconds(30000)).ok());
+  stop.store(true, std::memory_order_release);
+  waiter.join();
+  reader.join();
+  server.Stop();
+
+  EXPECT_TRUE(server.writer_status().ok());
+  EXPECT_EQ(server.accepted(), stream.size());
+  EXPECT_TRUE(index.ValidateInvariants(/*deep=*/false).ok());
 }
 
 }  // namespace

@@ -94,6 +94,111 @@ TEST(StreamIoTest, CommentsAndBlanksSkipped) {
   std::remove(path.c_str());
 }
 
+TEST(StreamIoTest, ErrorPinpointsFileAndLine) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = b.Build();
+  const std::string path = TempPath("anc_stream_ctx.txt");
+  {
+    std::ofstream out(path);
+    out << "# header\n0 1 1.0\n0 1 oops\n";
+  }
+  Result<ActivationStream> r = LoadActivationStream(g, path);
+  ASSERT_FALSE(r.ok());
+  const std::string msg = r.status().message();
+  EXPECT_NE(msg.find(path + ":3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("timestamp"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("oops"), std::string::npos) << msg;
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, ErrorNamesMissingField) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = b.Build();
+  const std::string path = TempPath("anc_stream_short.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n";
+  }
+  Result<ActivationStream> r = LoadActivationStream(g, path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_NE(r.status().message().find("missing timestamp"), std::string::npos)
+      << r.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, TrailingContentIsMalformed) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = b.Build();
+  const std::string path = TempPath("anc_stream_trail.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1 1.0 extra\n";
+  }
+  Result<ActivationStream> r = LoadActivationStream(g, path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_NE(r.status().message().find("trailing"), std::string::npos)
+      << r.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, SkipBadLinesLoadsTheRest) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  Graph g = b.Build();
+  const std::string path = TempPath("anc_stream_skip.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1 1.0\n"     // good
+        << "0 2 1.5\n"     // non-edge
+        << "1 2 junk\n"    // malformed timestamp
+        << "1 2 2.0\n"     // good
+        << "0 1 0.5\n"     // timestamp regression
+        << "0 1 3.0\n";    // good
+  }
+  StreamLoadOptions options;
+  options.skip_bad_lines = true;
+  StreamLoadReport report;
+  Result<ActivationStream> r =
+      LoadActivationStream(g, path, options, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 3u);
+  EXPECT_EQ(report.data_lines, 6u);
+  EXPECT_EQ(report.loaded, 3u);
+  EXPECT_EQ(report.skipped, 3u);
+  EXPECT_NE(report.first_error.find(path + ":2"), std::string::npos)
+      << report.first_error;
+  // The surviving activations stay monotone.
+  EXPECT_DOUBLE_EQ(r.value()[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(r.value()[1].time, 2.0);
+  EXPECT_DOUBLE_EQ(r.value()[2].time, 3.0);
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, StrictModeFillsReportOnFailure) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = b.Build();
+  const std::string path = TempPath("anc_stream_rep.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1 1.0\nbogus\n";
+  }
+  StreamLoadReport report;
+  Result<ActivationStream> r =
+      LoadActivationStream(g, path, StreamLoadOptions{}, &report);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_FALSE(report.first_error.empty());
+  EXPECT_EQ(r.status().message(), report.first_error);
+  std::remove(path.c_str());
+}
+
 TEST(StreamIoTest, MissingFileIsIoError) {
   GraphBuilder b;
   ASSERT_TRUE(b.AddEdge(0, 1).ok());
