@@ -1,0 +1,121 @@
+// Durability-layer benchmark (docs/durability.md): drives the WAL append /
+// group-commit path of store::DurableStore directly with serve-writer-sized
+// activation batches, sweeping the two policy knobs — group-commit size
+// (auto-sync threshold) and background flush interval — and timing a
+// checkpoint rotation for each configuration. Reports append throughput,
+// fsync counts and bytes; full anc.store.* metrics go to
+// bench_store_wal_stats.json via StatsJsonExporter ($ANC_STATS_DIR).
+//
+// ANC_STORE_SMOKE=1 shrinks the workload for CI smoke runs
+// (scripts/bench_smoke.sh).
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "activation/stream_generators.h"
+#include "bench/bench_common.h"
+#include "core/anc.h"
+#include "datasets/synthetic.h"
+#include "store/store.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace anc::bench {
+namespace {
+
+/// The serve writer drains batches of roughly this size per wakeup; the
+/// bench appends the same shape so fsync coalescing behaves as in serving.
+constexpr size_t kBatchSize = 32;
+
+struct Config {
+  std::string label;
+  size_t group_commit_records;
+  double flush_interval_s;
+};
+
+int Main() {
+  const bool smoke = std::getenv("ANC_STORE_SMOKE") != nullptr;
+  Rng rng(2022);
+  Graph g = BarabasiAlbert(smoke ? 300 : 2000, 3, rng);
+  ActivationStream stream = UniformStream(g, smoke ? 30 : 120, 0.05, rng);
+  std::printf("graph: n=%u m=%u, stream: %zu activations%s\n", g.NumNodes(),
+              g.NumEdges(), stream.size(), smoke ? " (smoke)" : "");
+
+  // Group-commit sweep (explicit sync cadence), then flusher-driven
+  // configurations (sync cadence owned by the background thread).
+  std::vector<Config> configs;
+  if (smoke) {
+    configs = {{"gc1", 1, 0.0}, {"gc64", 64, 0.0}, {"flush5ms", 0, 0.005}};
+  } else {
+    configs = {{"gc1", 1, 0.0},        {"gc8", 8, 0.0},
+               {"gc64", 64, 0.0},      {"gc256", 256, 0.0},
+               {"flush1ms", 0, 0.001}, {"flush10ms", 0, 0.01}};
+  }
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "anc_bench_store").string();
+
+  StatsJsonExporter exporter("bench_store_wal");
+  PrintHeader("store WAL: group-commit size x flush interval sweep");
+  PrintRow({"config", "records", "rec/s", "MB/s", "syncs", "wal_MB",
+            "ckpt_ms"});
+
+  for (const Config& config : configs) {
+    std::filesystem::remove_all(dir);
+    AncConfig anc_config;
+    anc_config.mode = AncMode::kOnline;
+    AncIndex index(g, anc_config);
+
+    store::StoreOptions options;
+    options.group_commit_records = config.group_commit_records;
+    options.flush_interval_s = config.flush_interval_s;
+    auto opened = store::DurableStore::Open(dir, index, store::Mark{0, 0.0},
+                                            options, &index.metrics());
+    if (!opened.ok()) {
+      std::printf("open failed: %s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    store::DurableStore& store = *opened.value();
+
+    Timer timer;
+    uint64_t records = 0;
+    for (size_t i = 0; i < stream.size(); i += kBatchSize) {
+      const size_t count = std::min(kBatchSize, stream.size() - i);
+      std::vector<Activation> batch(stream.begin() + i,
+                                    stream.begin() + i + count);
+      if (!store.Append(batch, i + 1).ok()) return 1;
+      ++records;
+    }
+    if (!store.Sync().ok()) return 1;
+    const double elapsed = timer.ElapsedSeconds();
+    // Capture before the checkpoint rotation truncates the live segments.
+    const store::StoreStats stats = store.Stats();
+
+    Timer checkpoint_timer;
+    if (!store.WriteCheckpoint(index, store.appended()).ok()) return 1;
+    const double checkpoint_ms = checkpoint_timer.ElapsedSeconds() * 1e3;
+    PrintRow({config.label, std::to_string(records),
+              FormatSci(records / elapsed),
+              FormatDouble(static_cast<double>(stats.wal_bytes) /
+                               (1024.0 * 1024.0) / elapsed,
+                           2),
+              std::to_string(stats.syncs),
+              FormatDouble(static_cast<double>(stats.wal_bytes) /
+                               (1024.0 * 1024.0),
+                           3),
+              FormatDouble(checkpoint_ms, 1)});
+    exporter.Add(config.label, index.Stats(), elapsed);
+  }
+  std::filesystem::remove_all(dir);
+
+  const std::string path = exporter.Flush();
+  if (!path.empty()) std::printf("\nstats: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace anc::bench
+
+int main() { return anc::bench::Main(); }

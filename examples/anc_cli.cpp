@@ -29,16 +29,30 @@
 //   quit
 //
 // Serve mode (docs/serving.md) — concurrent ingest + snapshot queries:
-//   serve-start [capacity] [block|drop|reject]   start the serving engine
+//   serve-start [capacity] [block|drop|reject] [none|async|group]
+//                           start the serving engine; a durability policy
+//                           other than none requires a wal-open store
 //   submit <u> <v> <t>      enqueue one activation (prints its ticket)
 //   submit-file <path>      enqueue "u v t" lines through the ingest queue
+//                           (bad lines are skipped and counted)
 //   flush                   await the watermark covering everything accepted
+//   flush-durable           additionally await the covering fsync
 //   view-clusters [level]   clusters from the current published snapshot
 //   view-local <v> [level]  local cluster from the snapshot
 //   serve-stats             watermark / epoch / queue depth / loss counters
 //   serve-stop              drain, publish the final view, stop the writer
 // While serving, the index belongs to the writer thread: activate / init /
 // save / load are refused until serve-stop.
+//
+// Durability (docs/durability.md) — WAL + checkpoint rotation + recovery:
+//   wal-open <dir>          open (or create) a durable store on the index;
+//                           refused while serving
+//   checkpoint              rotate a checkpoint (through the writer while
+//                           serving, directly when quiesced)
+//   store-stats             generation / marks / segments / sync counters
+//   wal-close               sync and close the store (refused while serving)
+//   recover <dir>           rebuild graph + index from checkpoint + WAL;
+//                           wal-open the same dir afterwards to continue
 
 #include <chrono>
 #include <cstdio>
@@ -48,11 +62,13 @@
 #include <sstream>
 #include <string>
 
+#include "activation/stream_io.h"
 #include "core/anc.h"
 #include "core/serialization.h"
 #include "datasets/synthetic.h"
 #include "graph/io.h"
 #include "serve/server.h"
+#include "store/store.h"
 #include "util/rng.h"
 
 using namespace anc;
@@ -62,8 +78,12 @@ namespace {
 struct Session {
   std::unique_ptr<Graph> graph;
   std::unique_ptr<AncIndex> index;
+  std::unique_ptr<store::DurableStore> store;
   std::unique_ptr<serve::AncServer> server;
   uint32_t level = 1;
+  /// Highest activation time the index already covers — recover sets it so
+  /// a follow-up wal-open checkpoints the store at the right mark.
+  double covered_time = 0.0;
 
   bool RequireGraph() const {
     if (graph == nullptr) std::printf("error: no graph loaded\n");
@@ -77,8 +97,12 @@ struct Session {
     if (server == nullptr) std::printf("error: not serving (serve-start)\n");
     return server != nullptr;
   }
-  /// Commands that touch the index directly are illegal while the serve
-  /// writer owns it.
+  bool RequireStore() const {
+    if (store == nullptr) std::printf("error: no store (run wal-open)\n");
+    return store != nullptr;
+  }
+  /// Commands that touch the index or the store directly are illegal while
+  /// the serve writer owns them.
   bool RequireQuiesced() const {
     if (server != nullptr) {
       std::printf("error: index is being served; run serve-stop first\n");
@@ -128,6 +152,7 @@ bool HandleLine(Session& session, const std::string& line) {
     }
     session.graph = std::make_unique<Graph>(std::move(loaded.value()));
     session.index.reset();
+    session.store.reset();
     std::printf("graph: %u nodes, %u edges\n", session.graph->NumNodes(),
                 session.graph->NumEdges());
   } else if (command == "gen-ba") {
@@ -141,6 +166,7 @@ bool HandleLine(Session& session, const std::string& line) {
     Rng rng(7);
     session.graph = std::make_unique<Graph>(BarabasiAlbert(n, deg, rng));
     session.index.reset();
+    session.store.reset();
     std::printf("graph: %u nodes, %u edges\n", session.graph->NumNodes(),
                 session.graph->NumEdges());
   } else if (command == "init") {
@@ -151,6 +177,8 @@ bool HandleLine(Session& session, const std::string& line) {
     config.rep = rep;
     config.similarity.epsilon = SuggestEpsilon(*session.graph);
     session.index = std::make_unique<AncIndex>(*session.graph, config);
+    session.store.reset();  // a store checkpoints one specific index
+    session.covered_time = 0.0;
     session.level = session.index->DefaultLevel();
     std::printf("index ready: %u pyramids x %u levels, epsilon=%.3f, rep=%u\n",
                 config.pyramid.num_pyramids, session.index->num_levels(),
@@ -277,6 +305,8 @@ bool HandleLine(Session& session, const std::string& line) {
     }
     session.graph = std::move(loaded.value().graph);
     session.index = std::move(loaded.value().index);
+    session.store.reset();
+    session.covered_time = 0.0;
     session.level = session.index->DefaultLevel();
     std::printf("restored: %u nodes, %u edges\n", session.graph->NumNodes(),
                 session.graph->NumEdges());
@@ -289,6 +319,7 @@ bool HandleLine(Session& session, const std::string& line) {
     serve::ServeOptions options;
     size_t capacity = 0;
     std::string policy;
+    std::string durability;
     if (args >> capacity && capacity > 0) options.ingest.capacity = capacity;
     if (args >> policy) {
       if (policy == "drop") {
@@ -296,9 +327,25 @@ bool HandleLine(Session& session, const std::string& line) {
       } else if (policy == "reject") {
         options.ingest.policy = serve::BackpressurePolicy::kReject;
       } else if (policy != "block") {
-        std::printf("usage: serve-start [capacity] [block|drop|reject]\n");
+        std::printf(
+            "usage: serve-start [capacity] [block|drop|reject] "
+            "[none|async|group]\n");
         return true;
       }
+    }
+    if (args >> durability && durability != "none") {
+      if (durability == "async") {
+        options.durability = serve::DurabilityPolicy::kAsync;
+      } else if (durability == "group") {
+        options.durability = serve::DurabilityPolicy::kGroupCommit;
+      } else {
+        std::printf(
+            "usage: serve-start [capacity] [block|drop|reject] "
+            "[none|async|group]\n");
+        return true;
+      }
+      if (!session.RequireStore()) return true;
+      options.store = session.store.get();
     }
     session.server =
         std::make_unique<serve::AncServer>(session.index.get(), options);
@@ -308,16 +355,27 @@ bool HandleLine(Session& session, const std::string& line) {
       session.server.reset();
       return true;
     }
-    std::printf("serving: ingest capacity %zu, policy %s, epoch %llu\n",
-                options.ingest.capacity, policy.empty() ? "block" : policy.c_str(),
-                static_cast<unsigned long long>(session.server->View()->epoch()));
+    std::printf(
+        "serving: ingest capacity %zu, policy %s, durability %s, epoch %llu\n",
+        options.ingest.capacity, policy.empty() ? "block" : policy.c_str(),
+        durability.empty() ? "none" : durability.c_str(),
+        static_cast<unsigned long long>(session.server->View()->epoch()));
   } else if (command == "serve-stop") {
     if (!session.RequireServer()) return true;
     session.server->Stop();
     const serve::Watermark wm = session.server->watermark();
+    session.covered_time = wm.time;
     std::printf("stopped at watermark seq=%llu time=%.3f (%llu dropped)\n",
                 static_cast<unsigned long long>(wm.seq), wm.time,
                 static_cast<unsigned long long>(session.server->dropped()));
+    if (session.store != nullptr) {
+      const serve::Watermark durable = session.server->durable_watermark();
+      std::printf("durable seq=%llu time=%.3f store=%s\n",
+                  static_cast<unsigned long long>(durable.seq), durable.time,
+                  session.server->store_status().ok()
+                      ? "ok"
+                      : session.server->store_status().ToString().c_str());
+    }
     session.server.reset();
   } else if (command == "submit") {
     if (!session.RequireServer()) return true;
@@ -340,27 +398,45 @@ bool HandleLine(Session& session, const std::string& line) {
     if (!session.RequireServer()) return true;
     std::string path;
     args >> path;
-    std::ifstream in(path);
-    if (!in) {
-      std::printf("error: cannot open %s\n", path.c_str());
+    StreamLoadOptions load;
+    load.skip_bad_lines = true;
+    StreamLoadReport load_report;
+    Result<ActivationStream> stream =
+        LoadActivationStream(*session.graph, path, load, &load_report);
+    if (!stream.ok()) {
+      std::printf("error: %s\n", stream.status().ToString().c_str());
       return true;
     }
+    session.server->RecordLoadReport(load_report);
     size_t submitted = 0;
     size_t bounced = 0;
-    NodeId u = 0;
-    NodeId v = 0;
-    double t = 0.0;
-    while (in >> u >> v >> t) {
-      auto e = session.graph->FindEdge(u, v);
-      if (!e.has_value()) continue;
-      if (session.server->Submit({*e, t}).ok()) {
+    for (const Activation& activation : stream.value()) {
+      if (session.server->Submit(activation).ok()) {
         ++submitted;
       } else {
         ++bounced;
       }
     }
-    std::printf("submitted %zu activations (%zu bounced)\n", submitted,
-                bounced);
+    std::printf("submitted %zu activations (%zu bounced, %zu lines skipped)\n",
+                submitted, bounced, load_report.skipped);
+    if (load_report.skipped > 0) {
+      std::printf("  first skip: %s\n", load_report.first_error.c_str());
+    }
+  } else if (command == "flush-durable") {
+    if (!session.RequireServer()) return true;
+    if (session.store == nullptr) {
+      std::printf("error: serving without durability (wal-open + serve-start "
+                  "... async|group)\n");
+      return true;
+    }
+    Status s = session.server->FlushDurable();
+    if (s.ok()) {
+      const serve::Watermark durable = session.server->durable_watermark();
+      std::printf("durable: seq=%llu time=%.3f\n",
+                  static_cast<unsigned long long>(durable.seq), durable.time);
+    } else {
+      std::printf("error: %s\n", s.ToString().c_str());
+    }
   } else if (command == "flush") {
     if (!session.RequireServer()) return true;
     Status s = session.server->Flush();
@@ -419,6 +495,114 @@ bool HandleLine(Session& session, const std::string& line) {
         session.server->writer_status().ok()
             ? "ok"
             : session.server->writer_status().ToString().c_str());
+    if (session.store != nullptr) {
+      const serve::Watermark durable = session.server->durable_watermark();
+      std::printf("durable seq=%llu time=%.3f store=%s\n",
+                  static_cast<unsigned long long>(durable.seq), durable.time,
+                  session.server->store_status().ok()
+                      ? "ok"
+                      : session.server->store_status().ToString().c_str());
+    }
+  } else if (command == "wal-open") {
+    if (!session.RequireIndex() || !session.RequireQuiesced()) return true;
+    if (session.store != nullptr) {
+      std::printf("error: store already open at %s (wal-close first)\n",
+                  session.store->dir().c_str());
+      return true;
+    }
+    std::string dir;
+    if (!(args >> dir)) {
+      std::printf("usage: wal-open <dir>\n");
+      return true;
+    }
+    store::StoreOptions options;
+    options.flush_interval_s = 0.05;  // async policy stays durable by itself
+    Result<std::unique_ptr<store::DurableStore>> opened =
+        store::DurableStore::Open(dir, *session.index,
+                                  store::Mark{0, session.covered_time},
+                                  options, &session.index->metrics());
+    if (!opened.ok()) {
+      std::printf("error: %s\n", opened.status().ToString().c_str());
+      return true;
+    }
+    session.store = std::move(opened.value());
+    std::printf("store open: %s generation %llu (checkpoint written)\n",
+                dir.c_str(),
+                static_cast<unsigned long long>(session.store->generation()));
+  } else if (command == "wal-close") {
+    if (!session.RequireStore() || !session.RequireQuiesced()) return true;
+    Status s = session.store->Sync();
+    session.store.reset();
+    std::printf(s.ok() ? "store closed\n" : "store closed (last sync: %s)\n",
+                s.ToString().c_str());
+  } else if (command == "checkpoint") {
+    if (session.server != nullptr) {
+      // The writer owns index + store: rotate through its quiescent points.
+      if (session.store == nullptr) {
+        std::printf("error: serving without durability\n");
+        return true;
+      }
+      Status s = session.server->RequestCheckpoint();
+      std::printf(s.ok() ? "checkpoint rotated (via writer)\n"
+                         : "error: %s\n",
+                  s.ToString().c_str());
+      return true;
+    }
+    if (!session.RequireIndex() || !session.RequireStore()) return true;
+    Status s = session.store->WriteCheckpoint(*session.index,
+                                              session.store->appended());
+    if (s.ok()) {
+      std::printf("checkpoint rotated: generation %llu\n",
+                  static_cast<unsigned long long>(session.store->generation()));
+    } else {
+      std::printf("error: %s\n", s.ToString().c_str());
+    }
+  } else if (command == "store-stats") {
+    if (!session.RequireStore()) return true;
+    const store::StoreStats stats = session.store->Stats();
+    std::printf(
+        "dir=%s generation=%llu | appended seq=%llu durable seq=%llu | "
+        "wal: %llu segments, %llu bytes | records=%llu syncs=%llu "
+        "checkpoints=%llu | checkpoint=%s\n",
+        session.store->dir().c_str(),
+        static_cast<unsigned long long>(stats.generation),
+        static_cast<unsigned long long>(stats.appended.seq),
+        static_cast<unsigned long long>(stats.durable.seq),
+        static_cast<unsigned long long>(stats.wal_segments),
+        static_cast<unsigned long long>(stats.wal_bytes),
+        static_cast<unsigned long long>(stats.records),
+        static_cast<unsigned long long>(stats.syncs),
+        static_cast<unsigned long long>(stats.checkpoints),
+        stats.checkpoint_file.c_str());
+  } else if (command == "recover") {
+    if (!session.RequireQuiesced()) return true;
+    std::string dir;
+    if (!(args >> dir)) {
+      std::printf("usage: recover <dir>\n");
+      return true;
+    }
+    Result<store::RecoveredStore> recovered = store::Recover(dir);
+    if (!recovered.ok()) {
+      std::printf("error: %s\n", recovered.status().ToString().c_str());
+      return true;
+    }
+    store::RecoveredStore& r = recovered.value();
+    session.graph = std::move(r.graph);
+    session.index = std::move(r.index);
+    session.store.reset();
+    session.covered_time = r.watermark.time;
+    session.level = session.index->DefaultLevel();
+    std::printf(
+        "recovered: %u nodes, %u edges | generation %llu, checkpoint seq "
+        "%llu + %llu replayed records (%llu activations, %llu skipped)%s\n"
+        "run 'wal-open %s' to continue durably\n",
+        session.graph->NumNodes(), session.graph->NumEdges(),
+        static_cast<unsigned long long>(r.generation),
+        static_cast<unsigned long long>(r.checkpoint_seq),
+        static_cast<unsigned long long>(r.replayed_records),
+        static_cast<unsigned long long>(r.replayed_activations),
+        static_cast<unsigned long long>(r.skipped_applies),
+        r.truncated_tail ? " | torn tail truncated" : "", dir.c_str());
   } else {
     std::printf("unknown command: %s\n", command.c_str());
   }

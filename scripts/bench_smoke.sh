@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Serving-layer bench smoke: builds bench_serve_throughput, runs it on the
-# shrunk ANC_SERVE_SMOKE workload (seconds, not minutes) and snapshots the
-# StatsJsonExporter output as BENCH_serve.json at the repo root, so the
-# serving stack's throughput/latency/staleness counters are tracked in-tree
-# next to the code that produces them (docs/serving.md).
+# Serving/durability bench smoke: builds bench_serve_throughput and
+# bench_store_wal, runs them on the shrunk ANC_*_SMOKE workloads (seconds,
+# not minutes) and snapshots the StatsJsonExporter output as
+# BENCH_serve.json / BENCH_store.json at the repo root, so the serving
+# stack's throughput/latency/staleness counters and the WAL's group-commit
+# sweep are tracked in-tree next to the code that produces them
+# (docs/serving.md, docs/durability.md).
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -13,13 +15,17 @@ BUILD_DIR=${1:-build}
 JOBS=$(nproc 2>/dev/null || echo 4)
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_serve_throughput
+cmake --build "$BUILD_DIR" -j "$JOBS" \
+  --target bench_serve_throughput bench_store_wal
 
 STATS_DIR=$(mktemp -d)
 trap 'rm -rf "$STATS_DIR"' EXIT
 
 ANC_SERVE_SMOKE=1 ANC_STATS_DIR="$STATS_DIR" \
   "$BUILD_DIR/bench/bench_serve_throughput"
+ANC_STORE_SMOKE=1 ANC_STATS_DIR="$STATS_DIR" \
+  "$BUILD_DIR/bench/bench_store_wal"
 
 cp "$STATS_DIR/bench_serve_throughput_stats.json" BENCH_serve.json
-echo "wrote BENCH_serve.json"
+cp "$STATS_DIR/bench_store_wal_stats.json" BENCH_store.json
+echo "wrote BENCH_serve.json BENCH_store.json"

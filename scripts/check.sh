@@ -8,6 +8,9 @@
 #               serving stack, docs/serving.md)
 #   invariants  ANC_CHECK_INVARIANTS=ON + full ctest (lemma-level validators
 #               armed in the update path)
+#   store-crash ASan/UBSan build, durability fault-injection suite only
+#               (store_test crash matrix + persistence corruption tests,
+#               docs/durability.md)
 #
 # Usage: scripts/check.sh [--fast] [config ...]
 #   With no arguments every configuration runs. Naming one or more configs
@@ -44,9 +47,21 @@ run_one() {
     invariants)
       run_config build-invariants -DANC_CHECK_INVARIANTS=ON
       ;;
+    store-crash)
+      # The fault-injection matrix under ASan: simulated crashes at every
+      # seam, torn tails, corrupt checkpoints/manifests — the durability
+      # suite, without re-running the full tier-1 battery.
+      local dir=build-asan
+      echo "=== [$dir] store-crash (fault-injection under ASan) ==="
+      cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DANC_SANITIZE=address
+      cmake --build "$dir" -j "$JOBS" --target store_test persistence_test
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+        -R '^(WalTest|StoreCrashMatrixTest|StoreRecoveryTest|DurableServeTest|SerializationTest)\.'
+      ;;
     *)
       echo "unknown configuration '$1'" >&2
-      echo "known: default nometrics asan tsan invariants" >&2
+      echo "known: default nometrics asan tsan invariants store-crash" >&2
       exit 2
       ;;
   esac

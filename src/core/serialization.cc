@@ -3,13 +3,26 @@
 
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 #include <vector>
+
+#include "util/crc32c.h"
 
 namespace anc {
 
 namespace {
 
-constexpr char kMagic[8] = {'A', 'N', 'C', 'I', 'D', 'X', '0', '1'};
+// Format v2 (current): [magic "ANCIDX02"][u32 version][u64 payload_bytes]
+// [u32 crc32c(payload)][payload]. The checksum rejects bit rot and
+// truncation with InvalidArgument instead of loading silently-corrupt
+// state; the explicit version field rejects files from a different format
+// generation ("ANCIDX01" seeds included) rather than misparsing them.
+constexpr char kMagic[8] = {'A', 'N', 'C', 'I', 'D', 'X', '0', '2'};
+constexpr char kMagicPrefix[6] = {'A', 'N', 'C', 'I', 'D', 'X'};
+constexpr uint32_t kFormatVersion = 2;
+// Corruption guard: refuse to allocate payloads beyond this (a corrupt
+// size field must not drive a multi-GB resize).
+constexpr uint64_t kMaxPayloadBytes = 16ull << 30;
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -47,10 +60,11 @@ constexpr uint64_t kMaxElements = 1ull << 26;
 }  // namespace
 
 Status SaveIndex(const AncIndex& index, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-
-  out.write(kMagic, sizeof(kMagic));
+  // Serialize the payload into memory first so its checksum and size can
+  // frame it; index snapshots are bounded by kMaxElements sections, so
+  // this stays well under the write-then-rename working set of a
+  // checkpoint anyway.
+  std::ostringstream out(std::ios::binary);
 
   // --- graph topology ---
   const Graph& g = index.graph();
@@ -104,19 +118,60 @@ Status SaveIndex(const AncIndex& index, const std::string& path) {
     WriteVec(out, tree.prev_sibling);
   }
 
-  if (!out) return Status::IoError("write error on " + path);
+  if (!out) return Status::IoError("serialization error for " + path);
+  const std::string payload = out.str();
+
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file.write(kMagic, sizeof(kMagic));
+  WritePod<uint32_t>(file, kFormatVersion);
+  WritePod<uint64_t>(file, payload.size());
+  WritePod<uint32_t>(file, Crc32c(payload.data(), payload.size()));
+  file.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!file) return Status::IoError("write error on " + path);
   return Status::OK();
 }
 
 Result<LoadedIndex> LoadIndex(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open " + path);
 
   char magic[sizeof(kMagic)] = {};
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  file.read(magic, sizeof(magic));
+  if (!file || std::memcmp(magic, kMagicPrefix, sizeof(kMagicPrefix)) != 0) {
     return Status::InvalidArgument(path + ": not an ANC index file");
   }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        path + ": unsupported index format generation '" +
+        std::string(magic, sizeof(magic)) + "' (this build reads ANCIDX02)");
+  }
+  uint32_t version = 0;
+  uint64_t payload_bytes = 0;
+  uint32_t crc = 0;
+  if (!ReadPod(file, &version) || !ReadPod(file, &payload_bytes) ||
+      !ReadPod(file, &crc)) {
+    return Status::InvalidArgument(path + ": truncated index header");
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(path + ": index format version " +
+                                   std::to_string(version) +
+                                   " does not match this build's " +
+                                   std::to_string(kFormatVersion));
+  }
+  if (payload_bytes > kMaxPayloadBytes) {
+    return Status::InvalidArgument(path + ": implausible payload size");
+  }
+  std::string payload(payload_bytes, '\0');
+  file.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+  if (!file) {
+    return Status::InvalidArgument(path + ": truncated index payload");
+  }
+  if (Crc32c(payload.data(), payload.size()) != crc) {
+    return Status::InvalidArgument(path + ": index checksum mismatch "
+                                   "(file is corrupted)");
+  }
+  std::istringstream in(payload, std::ios::binary);
 
   // --- graph ---
   uint32_t num_nodes = 0;

@@ -40,7 +40,15 @@ std::string HarnessReport::ToString() const {
       mean_staleness_activations,
       static_cast<unsigned long long>(max_staleness_activations),
       static_cast<unsigned long long>(epochs));
-  return buffer;
+  std::string out = buffer;
+  if (load_skipped > 0) {
+    std::snprintf(  // lint-ok: output (formats the report string, no I/O)
+        buffer, sizeof(buffer), " | load: %llu lines skipped (first: %s)",
+        static_cast<unsigned long long>(load_skipped),
+        load_first_error.c_str());
+    out += buffer;
+  }
+  return out;
 }
 
 ServeHarness::ServeHarness(AncServer* server, HarnessOptions options)
@@ -162,6 +170,21 @@ HarnessReport ServeHarness::Run(const ActivationStream& stream) {
   report.query_p50_us = Quantile(all_latencies, 0.50);
   report.query_p99_us = Quantile(all_latencies, 0.99);
   report.epochs = server_->Stats().counter("anc.serve.epochs");
+  return report;
+}
+
+Result<HarnessReport> ServeHarness::RunFile(const Graph& g,
+                                            const std::string& path) {
+  StreamLoadOptions load;
+  load.skip_bad_lines = true;
+  StreamLoadReport load_report;
+  Result<ActivationStream> stream =
+      LoadActivationStream(g, path, load, &load_report);
+  if (!stream.ok()) return stream.status();
+  server_->RecordLoadReport(load_report);
+  HarnessReport report = Run(stream.value());
+  report.load_skipped = load_report.skipped;
+  report.load_first_error = load_report.first_error;
   return report;
 }
 

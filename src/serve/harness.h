@@ -28,6 +28,12 @@ struct HarnessReport {
   uint64_t accepted = 0;
   uint64_t dropped = 0;
   uint64_t rejected = 0;
+  /// RunFile only: lines the stream loader skipped (malformed fields,
+  /// non-edges, regressed timestamps) and the first one's "path:line:
+  /// reason". Skips are also folded into the serve stats
+  /// (anc.serve.load_skipped) so they never vanish silently.
+  uint64_t load_skipped = 0;
+  std::string load_first_error;
   double ingest_seconds = 0.0;
   double ingest_per_sec = 0.0;
 
@@ -61,6 +67,11 @@ class ServeHarness {
   /// Drives the full stream through the server (blocking), then flushes.
   /// Query threads run for the whole ingest window. Reusable.
   HarnessReport Run(const ActivationStream& stream);
+
+  /// Loads "u v t" lines from `path` (skipping bad lines), records the
+  /// loader's report into the server stats, then runs the loaded stream.
+  /// Fails only when the file itself is unreadable.
+  Result<HarnessReport> RunFile(const Graph& g, const std::string& path);
 
  private:
   AncServer* server_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "store/store.h"
+
 namespace anc::serve {
 
 namespace {
@@ -40,6 +42,9 @@ AncServer::AncServer(AncIndex* index, ServeOptions options)
   m_.query_staleness_us = registry.Histogram("anc.serve.query_staleness_us");
   m_.watermark_seq = registry.Gauge("anc.serve.watermark_seq");
   m_.publish_lag = registry.Gauge("anc.serve.publish_lag_activations");
+  m_.wal_errors = registry.Counter("anc.serve.wal_errors");
+  m_.load_lines = registry.Counter("anc.serve.load_lines");
+  m_.load_skipped = registry.Counter("anc.serve.load_skipped");
 }
 
 AncServer::~AncServer() { Stop(); }
@@ -51,6 +56,22 @@ Status AncServer::Start() {
   if (stop_requested_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition(
         "server already stopped; create a new AncServer to serve again");
+  }
+  if (options_.durability != DurabilityPolicy::kNone) {
+    if (options_.store == nullptr) {
+      return Status::FailedPrecondition(
+          "durability policy requires ServeOptions::store");
+    }
+    store_ = options_.store;
+    // Seed from the store's current durable mark (the checkpoint base) and
+    // route every fsync-advance back into the durable watermark.
+    const store::Mark durable = store_->durable();
+    {
+      std::lock_guard<std::mutex> lock(durable_mutex_);
+      durable_ = Watermark{durable.seq, durable.time};
+    }
+    store_->SetDurableCallback(
+        [this](store::Mark mark) { OnDurable(mark.seq, mark.time); });
   }
   writer_done_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -65,14 +86,22 @@ void AncServer::Stop() {
   stop_requested_.store(true, std::memory_order_release);
   queue_.Close();
   if (writer_.joinable()) writer_.join();
+  if (store_ != nullptr) {
+    // Detach the durable callback; SetDurableCallback serializes with any
+    // in-flight invocation, so nothing touches this server afterwards.
+    store_->SetDurableCallback(nullptr);
+  }
   // Wake waiters stranded on tickets that will never resolve.
   watermark_cv_.notify_all();
+  durable_cv_.notify_all();
+  checkpoint_cv_.notify_all();
 }
 
 void AncServer::WriterLoop() {
   std::vector<Activation> batch;
   batch.reserve(options_.max_batch);
   uint64_t applied_since_publish = 0;
+  uint64_t applied_since_checkpoint = 0;
   uint64_t resolved_seq = 0;
   uint64_t published_seq = 0;
   double last_applied_time = 0.0;
@@ -100,7 +129,26 @@ void AncServer::WriterLoop() {
           SecondsSince(last_publish) >= options_.snapshot_max_age_s) {
         publish();
       }
+      if (store_ != nullptr &&
+          checkpoint_requested_.load(std::memory_order_acquire)) {
+        ServiceCheckpoint(resolved_seq, last_applied_time);
+        applied_since_checkpoint = 0;
+      }
       continue;
+    }
+
+    if (store_ != nullptr) {
+      // Write-ahead: the popped batch is a contiguous ticket run (drops
+      // only evict at the queue head), logged before any apply mutates
+      // the index. A store failure freezes the durable watermark but
+      // never stops live serving.
+      const uint64_t first_seq = resolved_seq - popped + 1;
+      Status logged = store_->Append(batch, first_seq);
+      if (logged.ok() &&
+          options_.durability == DurabilityPolicy::kGroupCommit) {
+        logged = store_->Sync();
+      }
+      if (!logged.ok()) RecordStoreError(logged);
     }
 
     for (const Activation& activation : batch) {
@@ -115,6 +163,7 @@ void AncServer::WriterLoop() {
       }
     }
     applied_since_publish += popped;
+    applied_since_checkpoint += popped;
     index_->metrics().Add(m_.batches);
     index_->metrics().Record(m_.batch_size, static_cast<double>(popped));
 
@@ -122,11 +171,44 @@ void AncServer::WriterLoop() {
         SecondsSince(last_publish) >= options_.snapshot_max_age_s) {
       publish();
     }
+    if (store_ != nullptr &&
+        ((options_.checkpoint_every_applied > 0 &&
+          applied_since_checkpoint >= options_.checkpoint_every_applied) ||
+         checkpoint_requested_.load(std::memory_order_acquire))) {
+      // Between batches the index is quiescent and resolved_seq describes
+      // exactly what has been applied — the only safe checkpoint mark.
+      ServiceCheckpoint(resolved_seq, last_applied_time);
+      applied_since_checkpoint = 0;
+    }
   }
   // Final quiescent publish: the watermark lands on everything resolved.
   publish();
+  if (store_ != nullptr) {
+    if (checkpoint_requested_.load(std::memory_order_acquire)) {
+      ServiceCheckpoint(resolved_seq, last_applied_time);
+    }
+    // Everything the writer logged becomes durable before waiters are
+    // released: a clean Stop() never loses accepted work.
+    const Status synced = store_->Sync();
+    if (!synced.ok()) RecordStoreError(synced);
+  }
   writer_done_.store(true, std::memory_order_release);
   watermark_cv_.notify_all();
+  durable_cv_.notify_all();
+  checkpoint_cv_.notify_all();
+}
+
+void AncServer::ServiceCheckpoint(uint64_t seq, double time) {
+  checkpoint_requested_.store(false, std::memory_order_release);
+  const Status status =
+      store_->WriteCheckpoint(*index_, store::Mark{seq, time});
+  if (!status.ok()) RecordStoreError(status);
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+    ++checkpoints_done_;
+    last_checkpoint_status_ = status;
+  }
+  checkpoint_cv_.notify_all();
 }
 
 void AncServer::Publish(Watermark watermark) {
@@ -209,6 +291,96 @@ Status AncServer::AwaitTime(double t, std::chrono::milliseconds timeout) {
   return Status::Unavailable(
       reached ? "server stopped before watermark time " + std::to_string(t)
               : "timed out awaiting watermark time " + std::to_string(t));
+}
+
+Watermark AncServer::durable_watermark() const {
+  std::lock_guard<std::mutex> lock(durable_mutex_);
+  return durable_;
+}
+
+void AncServer::OnDurable(uint64_t seq, double time) {
+  {
+    std::lock_guard<std::mutex> lock(durable_mutex_);
+    if (seq > durable_.seq) durable_.seq = seq;
+    if (time > durable_.time) durable_.time = time;
+  }
+  durable_cv_.notify_all();
+}
+
+void AncServer::RecordStoreError(const Status& status) {
+  index_->metrics().Add(m_.wal_errors);
+  std::lock_guard<std::mutex> lock(store_status_mutex_);
+  if (store_status_.ok()) store_status_ = status;
+}
+
+Status AncServer::store_status() const {
+  std::lock_guard<std::mutex> lock(store_status_mutex_);
+  return store_status_;
+}
+
+Status AncServer::AwaitDurableSeq(uint64_t seq,
+                                  std::chrono::milliseconds timeout) {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no durability configured (DurabilityPolicy::kNone)");
+  }
+  std::unique_lock<std::mutex> lock(durable_mutex_);
+  if (durable_.seq >= seq) return Status::OK();
+  durable_cv_.wait_for(lock, timeout, [&] { return durable_.seq >= seq; });
+  if (durable_.seq >= seq) return Status::OK();
+  return Status::Unavailable("timed out awaiting durability of ticket " +
+                             std::to_string(seq));
+}
+
+Status AncServer::FlushDurable(std::chrono::milliseconds timeout) {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no durability configured (DurabilityPolicy::kNone)");
+  }
+  const uint64_t target = queue_.accepted();
+  const Clock::time_point deadline = Clock::now() + timeout;
+  // Applied implies appended (the writer logs before applying), so once
+  // the live flush resolves the only gap left is the covering fsync.
+  ANC_RETURN_NOT_OK(AwaitSeq(target, timeout));
+  const Status synced = store_->Sync();
+  if (!synced.ok()) {
+    RecordStoreError(synced);
+    return synced;
+  }
+  const auto remaining = std::max(
+      std::chrono::milliseconds(1),
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                            Clock::now()));
+  return AwaitDurableSeq(target, remaining);
+}
+
+Status AncServer::RequestCheckpoint(std::chrono::milliseconds timeout) {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no durability configured (DurabilityPolicy::kNone)");
+  }
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "server not running; checkpoint through the store directly");
+  }
+  std::unique_lock<std::mutex> lock(checkpoint_mutex_);
+  const uint64_t target = checkpoints_done_ + 1;
+  checkpoint_requested_.store(true, std::memory_order_release);
+  checkpoint_cv_.wait_for(lock, timeout, [&] {
+    return checkpoints_done_ >= target ||
+           writer_done_.load(std::memory_order_acquire);
+  });
+  if (checkpoints_done_ >= target) return last_checkpoint_status_;
+  return Status::Unavailable(
+      writer_done_.load(std::memory_order_acquire)
+          ? "server stopped before the checkpoint was taken"
+          : "timed out awaiting checkpoint");
+}
+
+void AncServer::RecordLoadReport(const StreamLoadReport& report) {
+  obs::MetricsRegistry& registry = index_->metrics();
+  registry.Add(m_.load_lines, report.data_lines);
+  registry.Add(m_.load_skipped, report.skipped);
 }
 
 std::shared_ptr<const ClusterView> AncServer::View() const {

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "activation/stream_io.h"
 #include "core/anc.h"
 #include "obs/metrics.h"
 #include "serve/admission.h"
@@ -17,12 +18,41 @@
 #include "serve/ingest_queue.h"
 #include "util/status.h"
 
+namespace anc::store {
+class DurableStore;
+}  // namespace anc::store
+
 namespace anc::serve {
+
+/// When an accepted activation becomes durable (docs/durability.md).
+enum class DurabilityPolicy {
+  /// No WAL: state lives only in memory (the pre-durability behavior).
+  kNone,
+  /// The writer appends every drained batch to the WAL before applying it;
+  /// fsync cadence is ruled by the store's group-commit threshold and
+  /// flush interval. Bounded loss (at most one flush interval) for
+  /// near-zero ingest overhead.
+  kAsync,
+  /// kAsync plus one Sync per drained batch: the batch is the commit
+  /// group, so FlushDurable resolves as soon as the queue drains.
+  kGroupCommit,
+};
 
 /// Serving-layer configuration (docs/serving.md).
 struct ServeOptions {
   IngestOptions ingest;
   AdmissionOptions admission;
+
+  /// Durability (docs/durability.md): with a policy other than kNone,
+  /// `store` must point at a DurableStore opened on this server's index
+  /// (it must outlive the server). The writer write-ahead-logs every
+  /// drained batch before applying it.
+  DurabilityPolicy durability = DurabilityPolicy::kNone;
+  store::DurableStore* store = nullptr;
+
+  /// > 0: the writer rotates a checkpoint automatically after this many
+  /// applied activations (on top of explicit RequestCheckpoint calls).
+  uint64_t checkpoint_every_applied = 0;
 
   /// Writer batch coalescing: up to this many queued activations are
   /// drained and applied per wakeup, amortizing snapshot publication (and
@@ -114,6 +144,38 @@ class AncServer {
   /// >= t has been applied, so await a time you actually submitted.
   Status AwaitTime(double t, std::chrono::milliseconds timeout);
 
+  /// The durable watermark: every activation with ticket <= seq is covered
+  /// by an fsynced WAL record (or a checkpoint), so crash recovery
+  /// reproduces it. Zero-valued under DurabilityPolicy::kNone.
+  Watermark durable_watermark() const;
+
+  /// Blocks until the durable watermark covers ticket `seq`. Fails
+  /// FailedPrecondition without a configured store, Unavailable on
+  /// timeout. Note: under kDropOldest, tickets evicted at the queue tail
+  /// are never appended, so awaiting them stalls until the timeout.
+  Status AwaitDurableSeq(uint64_t seq, std::chrono::milliseconds timeout);
+
+  /// Flush + fsync: blocks until every activation accepted before the
+  /// call is both applied AND durable. When this returns OK, recovery
+  /// from the store directory reproduces a state covering all of them —
+  /// it never reports a ticket recovery cannot reproduce (a simulated or
+  /// real WAL failure surfaces here as Unavailable).
+  Status FlushDurable(
+      std::chrono::milliseconds timeout = std::chrono::minutes(1));
+
+  /// Asks the writer to rotate a checkpoint at its next quiescent point
+  /// (between batches, where the resolved watermark exactly describes the
+  /// applied state) and blocks until it completes; returns the checkpoint
+  /// status. FailedPrecondition without a store or when not running —
+  /// checkpoint through the store directly when quiesced.
+  Status RequestCheckpoint(
+      std::chrono::milliseconds timeout = std::chrono::minutes(1));
+
+  /// First error the writer (or a flush) hit talking to the durable store
+  /// (OK if none, and always OK under kNone). Store errors do not stop
+  /// live serving; they freeze the durable watermark.
+  Status store_status() const;
+
   // --- Reader side --------------------------------------------------------
 
   /// The current published snapshot: one atomic load, never null between
@@ -147,8 +209,13 @@ class AncServer {
   Status writer_status() const;
 
   /// Full metric snapshot (the index's registry: anc.apply.*, anc.index.*,
-  /// anc.serve.*, anc.pool.*, ...).
+  /// anc.serve.*, anc.store.*, anc.pool.*, ...).
   obs::StatsSnapshot Stats() const { return index_->Stats(); }
+
+  /// Folds a stream loader's report into the serve metrics
+  /// (anc.serve.load_lines / load_skipped), so lines skipped while loading
+  /// a file for submission are visible in Stats() instead of vanishing.
+  void RecordLoadReport(const StreamLoadReport& report);
 
  private:
   void WriterLoop();
@@ -158,10 +225,20 @@ class AncServer {
   /// fails the Lemma 4-13 validators.
   void Publish(Watermark watermark);
 
+  /// Called by the store (append/flusher thread) when an fsync advances
+  /// the durable mark; advances durable_ monotonically and wakes waiters.
+  void OnDurable(uint64_t seq, double time);
+  /// Records a store failure: first error sticks, anc.serve.wal_errors++.
+  void RecordStoreError(const Status& status);
+  /// Writer thread only: rotates a checkpoint at the current quiescent
+  /// point and resolves any pending RequestCheckpoint waiters.
+  void ServiceCheckpoint(uint64_t seq, double time);
+
   AncIndex* index_;
   ServeOptions options_;
   IngestQueue queue_;
   AdmissionController admission_;
+  store::DurableStore* store_ = nullptr;  // set in Start() when policy != kNone
 
   std::thread writer_;
   std::atomic<bool> running_{false};
@@ -188,6 +265,21 @@ class AncServer {
   mutable std::mutex writer_status_mutex_;
   Status writer_status_;
 
+  // Durable-watermark waiters (mirrors the published-watermark pair).
+  mutable std::mutex durable_mutex_;
+  std::condition_variable durable_cv_;
+  Watermark durable_;
+
+  mutable std::mutex store_status_mutex_;
+  Status store_status_;
+
+  // RequestCheckpoint handshake with the writer thread.
+  std::atomic<bool> checkpoint_requested_{false};
+  std::mutex checkpoint_mutex_;
+  std::condition_variable checkpoint_cv_;
+  uint64_t checkpoints_done_ = 0;   // guarded by checkpoint_mutex_
+  Status last_checkpoint_status_;   // guarded by checkpoint_mutex_
+
   struct Metrics {
     obs::CounterId epochs;
     obs::CounterId applied;
@@ -199,6 +291,9 @@ class AncServer {
     obs::HistogramId query_staleness_us;
     obs::GaugeId watermark_seq;
     obs::GaugeId publish_lag;
+    obs::CounterId wal_errors;
+    obs::CounterId load_lines;
+    obs::CounterId load_skipped;
   } m_;
 };
 

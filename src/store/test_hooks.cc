@@ -1,0 +1,85 @@
+#include "store/test_hooks.h"
+
+#include <cstdio>
+
+namespace anc::store {
+
+std::mutex TestHooks::mutex_;
+bool TestHooks::armed_ = false;
+CrashPoint TestHooks::point_ = CrashPoint::kMidRecord;
+uint32_t TestHooks::remaining_ = 0;
+
+const char* CrashPointName(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kMidRecord:
+      return "mid-record";
+    case CrashPoint::kPostAppendPreFsync:
+      return "post-append-pre-fsync";
+    case CrashPoint::kMidCheckpoint:
+      return "mid-checkpoint";
+    case CrashPoint::kPreManifestSwap:
+      return "pre-manifest-swap";
+    case CrashPoint::kNumCrashPoints:
+      break;
+  }
+  return "unknown";
+}
+
+void TestHooks::ArmCrash(CrashPoint point, uint32_t skip) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = true;
+  point_ = point;
+  remaining_ = skip;
+}
+
+void TestHooks::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+  remaining_ = 0;
+}
+
+bool TestHooks::ShouldCrash(CrashPoint point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_ || point_ != point) return false;
+  if (remaining_ > 0) {
+    --remaining_;
+    return false;
+  }
+  armed_ = false;
+  return true;
+}
+
+Status TestHooks::CorruptByte(const std::string& path, int64_t offset) {
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + path + " for corruption");
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::IoError("seek failed on " + path);
+  }
+  const long size = std::ftell(file);  // NOLINT(google-runtime-int)
+  const int64_t target = offset >= 0 ? offset : size + offset;
+  if (size <= 0 || target < 0 || target >= size) {
+    std::fclose(file);
+    return Status::OutOfRange("corruption offset outside " + path);
+  }
+  if (std::fseek(file, static_cast<long>(target), SEEK_SET) != 0) {  // NOLINT
+    std::fclose(file);
+    return Status::IoError("seek failed on " + path);
+  }
+  const int byte = std::fgetc(file);
+  if (byte == EOF) {
+    std::fclose(file);
+    return Status::IoError("read failed on " + path);
+  }
+  if (std::fseek(file, static_cast<long>(target), SEEK_SET) != 0) {  // NOLINT
+    std::fclose(file);
+    return Status::IoError("seek failed on " + path);
+  }
+  std::fputc(byte ^ 0xFF, file);
+  std::fclose(file);
+  return Status::OK();
+}
+
+}  // namespace anc::store

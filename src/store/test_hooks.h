@@ -1,0 +1,68 @@
+#ifndef ANC_STORE_TEST_HOOKS_H_
+#define ANC_STORE_TEST_HOOKS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace anc::store {
+
+/// Labeled crash points consulted by the store's write paths. Each one
+/// names the exact on-disk state a real process death could leave behind
+/// (docs/durability.md "Fault injection"):
+enum class CrashPoint : int {
+  /// A frame is torn mid-write: part of the serialized record reaches the
+  /// segment, the rest never does (power loss during write()).
+  kMidRecord = 0,
+  /// Records were accepted into the group-commit buffer but the process
+  /// dies before they are written/fsynced: appended, never durable.
+  kPostAppendPreFsync,
+  /// The checkpoint temp file is left truncated and never renamed into
+  /// place; the manifest still names the previous checkpoint.
+  kMidCheckpoint,
+  /// The new checkpoint is fully durable but the process dies before the
+  /// manifest swap: the old manifest (and old WAL segments) still rule.
+  kPreManifestSwap,
+  kNumCrashPoints,
+};
+
+const char* CrashPointName(CrashPoint point);
+
+/// Fault-injection seam for the durability tests (tests/store_test.cc),
+/// modeled on check::TestHooks: arm a one-shot simulated crash at a labeled
+/// point, or corrupt bytes of a store file directly. When an armed crash
+/// fires, the store object enters a terminal "crashed" state — every later
+/// operation fails Unavailable and nothing further is written — so the
+/// on-disk directory is exactly what a process death at that point leaves,
+/// and the test can run Recover() against it. Never armed by library code.
+class TestHooks {
+ public:
+  TestHooks() = delete;
+
+  /// Arms a one-shot crash: the (skip+1)-th time `point` is reached trips
+  /// it. Re-arming replaces any previous armed crash.
+  static void ArmCrash(CrashPoint point, uint32_t skip = 0);
+
+  /// Disarms any pending crash (tests should disarm in teardown).
+  static void Disarm();
+
+  /// Consumed by store code at the labeled points: returns true exactly
+  /// once per arming, when the armed point's skip count is exhausted.
+  static bool ShouldCrash(CrashPoint point);
+
+  /// Flips one byte of `path` at `offset` (negative offsets index from the
+  /// end of the file), simulating media corruption.
+  static Status CorruptByte(const std::string& path, int64_t offset);
+
+ private:
+  static std::mutex mutex_;
+  static bool armed_;
+  static CrashPoint point_;
+  static uint32_t remaining_;
+};
+
+}  // namespace anc::store
+
+#endif  // ANC_STORE_TEST_HOOKS_H_

@@ -1,0 +1,63 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace anc {
+
+namespace {
+
+// Four 256-entry tables for slice-by-4: table[0] is the classic reflected
+// CRC-32C byte table, table[k] advances a byte k positions further.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+};
+
+Tables BuildTables() {
+  constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+  Tables tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables.t[0][i];
+    for (size_t k = 1; k < 4; ++k) {
+      crc = tables.t[0][crc & 0xFFu] ^ (crc >> 8);
+      tables.t[k][i] = crc;
+    }
+  }
+  return tables;
+}
+
+const Tables& GetTables() {
+  static const Tables tables = BuildTables();
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t crc) {
+  const Tables& tables = GetTables();
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (size >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tables.t[3][crc & 0xFFu] ^ tables.t[2][(crc >> 8) & 0xFFu] ^
+          tables.t[1][(crc >> 16) & 0xFFu] ^ tables.t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size > 0) {
+    crc = tables.t[0][(crc ^ *p) & 0xFFu] ^ (crc >> 8);
+    ++p;
+    --size;
+  }
+  return ~crc;
+}
+
+}  // namespace anc

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "pyramid/pyramid_index.h"
 #include "serve/server.h"
 #include "similarity/similarity_engine.h"
+#include "store/store.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -293,6 +295,90 @@ TEST(ServeStressTest, PublishRaceAudit) {
   EXPECT_TRUE(server.writer_status().ok());
   EXPECT_EQ(server.accepted(), stream.size());
   EXPECT_TRUE(index.ValidateInvariants(/*deep=*/false).ok());
+}
+
+/// The durability stack's shared-state surfaces under TSan: the serve
+/// writer appending WAL batches races the store's background group-commit
+/// flusher (flush_interval_s > 0) over the append buffer and durable mark,
+/// while other threads poll StoreStats and await the durable watermark.
+/// Functional crash/recovery assertions live in store_test.cc; this
+/// variant maximizes interleavings (sub-millisecond flush ticks, auto-sync
+/// disabled so the flusher owns every fsync).
+TEST(StoreStressTest, WriterVsGroupCommitFlusherRaceAudit) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "anc_store_stress").string();
+  std::filesystem::remove_all(dir);
+
+  PlantedPartitionParams pp;
+  pp.num_communities = 3;
+  pp.min_size = 8;
+  pp.max_size = 12;
+  Rng rng(71);
+  GroundTruthGraph data = PlantedPartition(pp, rng);
+  ActivationStream stream = UniformStream(data.graph, 30, 0.08, rng);
+
+  AncConfig config;
+  config.pyramid.num_pyramids = 3;
+  config.mode = AncMode::kOnline;
+  AncIndex index(data.graph, config);
+
+  store::StoreOptions store_options;
+  store_options.flush_interval_s = 0.0005;  // flusher ticks constantly
+  store_options.group_commit_records = 0;   // only the flusher fsyncs
+  auto opened = store::DurableStore::Open(dir, index, store::Mark{0, 0.0},
+                                          store_options, &index.metrics());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+
+  serve::ServeOptions options;
+  options.ingest.capacity = 8;  // force backpressure blocking
+  options.ingest.clamp_out_of_order = true;
+  options.max_batch = 4;  // many small WAL appends racing the flusher
+  options.durability = serve::DurabilityPolicy::kAsync;
+  options.store = opened.value().get();
+  serve::AncServer server(&index, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kProducers = 3;
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < stream.size();
+           i = next.fetch_add(1)) {
+        ASSERT_TRUE(server.Submit(stream[i]).ok());
+      }
+    });
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread stats_poller([&] {
+    // Stats() and durable() take the store mutex against the writer's
+    // appends and the flusher's syncs; the watermark read crosses the
+    // durable-callback path.
+    uint64_t last_durable = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const store::StoreStats stats = opened.value()->Stats();
+      ASSERT_GE(stats.appended.seq, stats.durable.seq);
+      ASSERT_GE(server.durable_watermark().seq, last_durable);
+      last_durable = server.durable_watermark().seq;
+    }
+  });
+
+  for (std::thread& p : producers) p.join();
+  // FlushDurable races the flusher's own fsyncs: both sides may advance
+  // the durable mark and fire the callback.
+  ASSERT_TRUE(server.FlushDurable(std::chrono::milliseconds(30000)).ok());
+  stop.store(true, std::memory_order_release);
+  stats_poller.join();
+  EXPECT_GE(server.durable_watermark().seq, stream.size());
+  server.Stop();
+
+  EXPECT_TRUE(server.writer_status().ok());
+  EXPECT_TRUE(server.store_status().ok());
+  EXPECT_EQ(server.accepted(), stream.size());
+  opened.value().reset();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

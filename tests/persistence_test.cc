@@ -170,11 +170,90 @@ TEST(SerializationTest, TruncatedFileRejected) {
   AncIndex index(g, TestConfig());
   const std::string path = TempPath("anc_trunc.idx");
   ASSERT_TRUE(SaveIndex(index, path).ok());
-  // Truncate to 60% and expect a clean IoError, not a crash.
+  // Truncate to 60% and expect a clean rejection, not a crash.
   const auto full_size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, full_size * 6 / 10);
   Result<LoadedIndex> r = LoadIndex(path);
   EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, BitFlipAnywhereInPayloadRejected) {
+  Rng rng(4);
+  Graph g = BarabasiAlbert(60, 2, rng);
+  AncIndex index(g, TestConfig());
+  ActivationStream stream = UniformStream(g, 5, 0.05, rng);
+  ASSERT_TRUE(index.ApplyStream(stream).ok());
+  const std::string path = TempPath("anc_bitflip.idx");
+  ASSERT_TRUE(SaveIndex(index, path).ok());
+  const auto size = std::filesystem::file_size(path);
+  const size_t header = 8 + 4 + 8 + 4;  // magic, version, size, crc
+
+  // Flip one byte at several payload offsets; the checksum must catch
+  // every one of them with InvalidArgument (never a crash or a silently
+  // different index).
+  for (const double frac : {0.0, 0.25, 0.5, 0.9}) {
+    const auto offset =
+        header + static_cast<size_t>(frac * static_cast<double>(size - header - 1));
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.is_open());
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.write(&byte, 1);
+    file.close();
+
+    Result<LoadedIndex> r = LoadIndex(path);
+    ASSERT_FALSE(r.ok()) << "bit flip at offset " << offset << " not caught";
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+    // Flip back so the next iteration starts from a clean file.
+    std::fstream undo(path, std::ios::binary | std::ios::in | std::ios::out);
+    byte = static_cast<char>(byte ^ 0x10);
+    undo.seekp(static_cast<std::streamoff>(offset));
+    undo.write(&byte, 1);
+  }
+  // Pristine file still loads.
+  EXPECT_TRUE(LoadIndex(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, VersionSkewRejected) {
+  Rng rng(5);
+  Graph g = BarabasiAlbert(40, 2, rng);
+  AncIndex index(g, TestConfig());
+  const std::string path = TempPath("anc_skew.idx");
+  ASSERT_TRUE(SaveIndex(index, path).ok());
+
+  // A file from the previous format generation (magic "ANCIDX01") must be
+  // rejected as version skew, not misparsed.
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(7);
+    file.put('1');
+  }
+  Result<LoadedIndex> old_gen = LoadIndex(path);
+  ASSERT_FALSE(old_gen.ok());
+  EXPECT_EQ(old_gen.status().code(), StatusCode::kInvalidArgument);
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(7);
+    file.put('2');
+  }
+
+  // Matching magic but a skewed version field is rejected too.
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(8);
+    const uint32_t version = 99;
+    file.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  }
+  Result<LoadedIndex> skewed = LoadIndex(path);
+  ASSERT_FALSE(skewed.ok());
+  EXPECT_EQ(skewed.status().code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());
 }
 

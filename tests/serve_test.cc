@@ -8,16 +8,21 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "activation/stream_generators.h"
+#include "activation/stream_io.h"
 #include "core/anc.h"
 #include "datasets/synthetic.h"
 #include "serve/admission.h"
 #include "serve/cluster_view.h"
+#include "serve/harness.h"
 #include "serve/ingest_queue.h"
 #include "serve/server.h"
 #include "util/rng.h"
@@ -397,6 +402,48 @@ TEST(ServeLifecycleTest, StopIsIdempotentAndRestartRefused) {
   EXPECT_FALSE(server.Start().ok());  // one serving lifetime per instance
   Result<uint64_t> r = server.Submit({0, 1.0});
   EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServeLifecycleTest, RunFileSurfacesSkippedLinesInStats) {
+  GroundTruthGraph data = SmallCommunityGraph(63);
+  AncIndex index(data.graph, SmallConfig());
+  Rng rng(63);
+  ActivationStream stream = UniformStream(data.graph, 4, 0.05, rng);
+  ASSERT_GE(stream.size(), 3u);
+
+  // A stream file with malformed lines sprinkled in: the harness loads it
+  // in skip-and-count mode, and the skips must land in the serve stats.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "anc_serve_runfile.stream")
+          .string();
+  ASSERT_TRUE(SaveActivationStream(data.graph, stream, path).ok());
+  {
+    std::ofstream append(path, std::ios::app);
+    append << "not a line at all\n";
+    append << "0 1\n";  // missing timestamp
+  }
+
+  serve::AncServer server(&index, ServeOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  serve::HarnessOptions harness_options;
+  harness_options.num_producers = 1;  // keep timestamps ordered at the queue
+  serve::ServeHarness harness(&server, harness_options);
+  Result<serve::HarnessReport> report = harness.RunFile(data.graph, path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  server.Stop();
+
+  EXPECT_EQ(report.value().accepted, stream.size());
+  EXPECT_EQ(report.value().load_skipped, 2u);
+  EXPECT_FALSE(report.value().load_first_error.empty());
+  // The skips survive into the report string and the metrics snapshot.
+  EXPECT_NE(report.value().ToString().find("2 lines skipped"),
+            std::string::npos);
+  if (obs::kMetricsEnabled) {
+    obs::StatsSnapshot snap = server.Stats();
+    EXPECT_EQ(snap.counter("anc.serve.load_skipped"), 2u);
+    EXPECT_EQ(snap.counter("anc.serve.load_lines"), stream.size() + 2u);
+  }
+  std::remove(path.c_str());
 }
 
 // --- Admission ------------------------------------------------------------
