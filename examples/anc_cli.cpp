@@ -53,6 +53,23 @@
 //   wal-close               sync and close the store (refused while serving)
 //   recover <dir>           rebuild graph + index from checkpoint + WAL;
 //                           wal-open the same dir afterwards to continue
+//
+// Sharding (docs/sharding.md) — partitioned ingest over N writer shards:
+//   shard-start <k> [hash|ldg] [dir]
+//                           partition the graph and start k AncServer
+//                           shards (per-shard WAL under <dir>/shard-<i>
+//                           when a directory is given)
+//   shard-submit <u> <v> <t>  route one activation (prints global ticket)
+//   shard-submit-file <path>  route "u v t" lines through the router
+//   shard-flush             drain every shard, publish merged views
+//   shard-clusters [level]  scatter-gather merged clusters
+//   shard-stats             partition / balance / halo traffic and the
+//                           per-shard watermark vector
+//   shard-recover <dir>     rebuild every shard from its own checkpoint +
+//                           WAL and resume durable serving
+//   shard-stop              drain and stop all shards
+// While sharded serving is active, the single-index and single-server
+// commands are refused (and vice versa).
 
 #include <chrono>
 #include <cstdio>
@@ -68,6 +85,8 @@
 #include "datasets/synthetic.h"
 #include "graph/io.h"
 #include "serve/server.h"
+#include "shard/partitioner.h"
+#include "shard/sharded_server.h"
 #include "store/store.h"
 #include "util/rng.h"
 
@@ -80,6 +99,7 @@ struct Session {
   std::unique_ptr<AncIndex> index;
   std::unique_ptr<store::DurableStore> store;
   std::unique_ptr<serve::AncServer> server;
+  std::unique_ptr<shard::ShardedServer> sharded;
   uint32_t level = 1;
   /// Highest activation time the index already covers — recover sets it so
   /// a follow-up wal-open checkpoints the store at the right mark.
@@ -101,13 +121,24 @@ struct Session {
     if (store == nullptr) std::printf("error: no store (run wal-open)\n");
     return store != nullptr;
   }
+  bool RequireSharded() const {
+    if (sharded == nullptr) {
+      std::printf("error: not sharded-serving (shard-start)\n");
+    }
+    return sharded != nullptr;
+  }
   /// Commands that touch the index or the store directly are illegal while
-  /// the serve writer owns them.
+  /// the serve writer (or the sharded writers) own them.
   bool RequireQuiesced() const {
     if (server != nullptr) {
       std::printf("error: index is being served; run serve-stop first\n");
+      return false;
     }
-    return server == nullptr;
+    if (sharded != nullptr) {
+      std::printf("error: sharded serving is active; run shard-stop first\n");
+      return false;
+    }
+    return true;
   }
 };
 
@@ -143,6 +174,9 @@ bool HandleLine(Session& session, const std::string& line) {
   if (command == "quit" || command == "exit") return false;
 
   if (command == "load-graph") {
+    // The serve/shard writers borrow the current graph — never swap it out
+    // from under them.
+    if (!session.RequireQuiesced()) return true;
     std::string path;
     args >> path;
     Result<Graph> loaded = LoadEdgeList(path);
@@ -156,6 +190,7 @@ bool HandleLine(Session& session, const std::string& line) {
     std::printf("graph: %u nodes, %u edges\n", session.graph->NumNodes(),
                 session.graph->NumEdges());
   } else if (command == "gen-ba") {
+    if (!session.RequireQuiesced()) return true;
     uint32_t n = 0;
     uint32_t deg = 0;
     args >> n >> deg;
@@ -314,6 +349,10 @@ bool HandleLine(Session& session, const std::string& line) {
     if (!session.RequireIndex()) return true;
     if (session.server != nullptr) {
       std::printf("error: already serving\n");
+      return true;
+    }
+    if (session.sharded != nullptr) {
+      std::printf("error: sharded serving is active; run shard-stop first\n");
       return true;
     }
     serve::ServeOptions options;
@@ -603,6 +642,192 @@ bool HandleLine(Session& session, const std::string& line) {
         static_cast<unsigned long long>(r.replayed_activations),
         static_cast<unsigned long long>(r.skipped_applies),
         r.truncated_tail ? " | torn tail truncated" : "", dir.c_str());
+  } else if (command == "shard-start") {
+    if (!session.RequireGraph() || !session.RequireQuiesced()) return true;
+    uint32_t num_shards = 0;
+    std::string kind_name;
+    std::string dir;
+    if (!(args >> num_shards) || num_shards == 0) {
+      std::printf("usage: shard-start <k> [hash|ldg] [dir]\n");
+      return true;
+    }
+    shard::ShardedOptions options;
+    options.partition.num_shards = num_shards;
+    if (args >> kind_name) {
+      Result<shard::PartitionerKind> kind =
+          shard::ParsePartitionerKind(kind_name);
+      if (!kind.ok()) {
+        std::printf("usage: shard-start <k> [hash|ldg] [dir]\n");
+        return true;
+      }
+      options.partition.kind = kind.value();
+    }
+    options.partition.ldg_passes = 3;  // restreamed LDG: tighter cuts
+    options.serve.ingest.clamp_out_of_order = true;
+    if (args >> dir) {
+      options.serve.durability = serve::DurabilityPolicy::kGroupCommit;
+      options.store_dir = dir;
+    }
+    AncConfig config;
+    config.mode = AncMode::kOnline;
+    config.similarity.epsilon = SuggestEpsilon(*session.graph);
+    Result<std::unique_ptr<shard::ShardedServer>> created =
+        shard::ShardedServer::Create(*session.graph, config, options);
+    if (!created.ok()) {
+      std::printf("error: %s\n", created.status().ToString().c_str());
+      return true;
+    }
+    Status s = created.value()->Start();
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.ToString().c_str());
+      return true;
+    }
+    session.sharded = std::move(created.value());
+    std::printf("sharded serving: %s | durability %s\n",
+                session.sharded->partition_stats().ToString().c_str(),
+                dir.empty() ? "none" : dir.c_str());
+  } else if (command == "shard-submit") {
+    if (!session.RequireSharded()) return true;
+    NodeId u = 0;
+    NodeId v = 0;
+    double t = 0.0;
+    args >> u >> v >> t;
+    auto e = session.sharded->graph().FindEdge(u, v);
+    if (!e.has_value()) {
+      std::printf("error: (%u, %u) is not an edge\n", u, v);
+      return true;
+    }
+    Result<uint64_t> ticket = session.sharded->Submit({*e, t});
+    if (ticket.ok()) {
+      std::printf("ticket %llu\n", static_cast<unsigned long long>(*ticket));
+    } else {
+      std::printf("error: %s\n", ticket.status().ToString().c_str());
+    }
+  } else if (command == "shard-submit-file") {
+    if (!session.RequireSharded()) return true;
+    std::string path;
+    args >> path;
+    StreamLoadOptions load;
+    load.skip_bad_lines = true;
+    StreamLoadReport load_report;
+    Result<ActivationStream> stream = LoadActivationStream(
+        session.sharded->graph(), path, load, &load_report);
+    if (!stream.ok()) {
+      std::printf("error: %s\n", stream.status().ToString().c_str());
+      return true;
+    }
+    uint64_t last_seq = 0;
+    Status s = session.sharded->SubmitStream(stream.value(), &last_seq);
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.ToString().c_str());
+      return true;
+    }
+    std::printf("submitted %zu activations through ticket %llu "
+                "(%zu lines skipped)\n",
+                stream.value().size(),
+                static_cast<unsigned long long>(last_seq),
+                load_report.skipped);
+  } else if (command == "shard-flush") {
+    if (!session.RequireSharded()) return true;
+    Status s = session.sharded->Flush();
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.ToString().c_str());
+      return true;
+    }
+    std::printf("flushed: %llu accepted visible in every shard's view\n",
+                static_cast<unsigned long long>(session.sharded->accepted()));
+  } else if (command == "shard-clusters") {
+    if (!session.RequireSharded()) return true;
+    uint32_t level = 0;
+    Result<Clustering> c = (args >> level)
+                               ? session.sharded->Clusters(level)
+                               : session.sharded->Clusters();
+    if (!c.ok()) {
+      std::printf("error: %s\n", c.status().ToString().c_str());
+      return true;
+    }
+    PrintClusters(c.value(), session.sharded->graph());
+  } else if (command == "shard-stats") {
+    if (!session.RequireSharded()) return true;
+    shard::ShardedServer& sharded = *session.sharded;
+    std::printf(
+        "%s | accepted=%llu rejected=%llu halo=%llu (%llu partial) | "
+        "queued=%zu | writer=%s store=%s\n",
+        sharded.partition_stats().ToString().c_str(),
+        static_cast<unsigned long long>(sharded.accepted()),
+        static_cast<unsigned long long>(sharded.rejected()),
+        static_cast<unsigned long long>(sharded.halo_deliveries()),
+        static_cast<unsigned long long>(sharded.halo_partial()),
+        sharded.IngestDepth(),
+        sharded.writer_status().ok()
+            ? "ok"
+            : sharded.writer_status().ToString().c_str(),
+        sharded.store_status().ok()
+            ? "ok"
+            : sharded.store_status().ToString().c_str());
+    for (uint32_t s = 0; s < sharded.num_shards(); ++s) {
+      const serve::AncServer& shard_server = sharded.shard(s);
+      const serve::Watermark wm = shard_server.watermark();
+      std::printf("  shard %u: accepted=%llu watermark seq=%llu time=%.3f "
+                  "epoch=%llu depth=%zu\n",
+                  s,
+                  static_cast<unsigned long long>(shard_server.accepted()),
+                  static_cast<unsigned long long>(wm.seq), wm.time,
+                  static_cast<unsigned long long>(shard_server.View()->epoch()),
+                  shard_server.IngestDepth());
+    }
+  } else if (command == "shard-recover") {
+    if (!session.RequireQuiesced()) return true;
+    std::string dir;
+    if (!(args >> dir)) {
+      std::printf("usage: shard-recover <dir>\n");
+      return true;
+    }
+    shard::ShardedOptions options;
+    options.serve.ingest.clamp_out_of_order = true;
+    options.serve.durability = serve::DurabilityPolicy::kGroupCommit;
+    options.store_dir = dir;
+    Result<std::unique_ptr<shard::ShardedServer>> recovered =
+        shard::ShardedServer::RecoverAll(dir, options);
+    if (!recovered.ok()) {
+      std::printf("error: %s\n", recovered.status().ToString().c_str());
+      return true;
+    }
+    Status s = recovered.value()->Start();
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.ToString().c_str());
+      return true;
+    }
+    session.sharded = std::move(recovered.value());
+    std::printf("recovered %u shards: %s\n", session.sharded->num_shards(),
+                session.sharded->partition_stats().ToString().c_str());
+    for (const shard::ShardRecoveryInfo& info :
+         session.sharded->recovery_info()) {
+      std::printf("  shard %u: watermark seq=%llu time=%.3f | generation "
+                  "%llu, checkpoint seq %llu + %llu replayed records "
+                  "(%llu activations)%s\n",
+                  info.shard,
+                  static_cast<unsigned long long>(info.watermark.seq),
+                  info.watermark.time,
+                  static_cast<unsigned long long>(info.generation),
+                  static_cast<unsigned long long>(info.checkpoint_seq),
+                  static_cast<unsigned long long>(info.replayed_records),
+                  static_cast<unsigned long long>(info.replayed_activations),
+                  info.truncated_tail ? " | torn tail truncated" : "");
+    }
+  } else if (command == "shard-stop") {
+    if (!session.RequireSharded()) return true;
+    session.sharded->Stop();
+    std::printf("stopped %u shards at %llu accepted (%llu halo deliveries, "
+                "store=%s)\n",
+                session.sharded->num_shards(),
+                static_cast<unsigned long long>(session.sharded->accepted()),
+                static_cast<unsigned long long>(
+                    session.sharded->halo_deliveries()),
+                session.sharded->store_status().ok()
+                    ? "ok"
+                    : session.sharded->store_status().ToString().c_str());
+    session.sharded.reset();
   } else {
     std::printf("unknown command: %s\n", command.c_str());
   }

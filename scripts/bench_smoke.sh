@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Serving/durability bench smoke: builds bench_serve_throughput and
-# bench_store_wal, runs them on the shrunk ANC_*_SMOKE workloads (seconds,
-# not minutes) and snapshots the StatsJsonExporter output as
-# BENCH_serve.json / BENCH_store.json at the repo root, so the serving
-# stack's throughput/latency/staleness counters and the WAL's group-commit
-# sweep are tracked in-tree next to the code that produces them
-# (docs/serving.md, docs/durability.md).
+# Serving/durability/sharding bench smoke: builds bench_serve_throughput,
+# bench_store_wal and bench_shard_scaling, runs them on the shrunk
+# ANC_*_SMOKE workloads (seconds, not minutes) and snapshots the
+# StatsJsonExporter output as BENCH_serve.json / BENCH_store.json /
+# BENCH_shard.json at the repo root, so the serving stack's
+# throughput/latency/staleness counters, the WAL's group-commit sweep and
+# the sharded-ingest scaling rows (bench.speedup_x100 >= 200 at ldg_s4 is
+# the sharding acceptance bar) are tracked in-tree next to the code that
+# produces them (docs/serving.md, docs/durability.md, docs/sharding.md).
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -16,7 +18,7 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-  --target bench_serve_throughput bench_store_wal
+  --target bench_serve_throughput bench_store_wal bench_shard_scaling
 
 STATS_DIR=$(mktemp -d)
 trap 'rm -rf "$STATS_DIR"' EXIT
@@ -25,7 +27,10 @@ ANC_SERVE_SMOKE=1 ANC_STATS_DIR="$STATS_DIR" \
   "$BUILD_DIR/bench/bench_serve_throughput"
 ANC_STORE_SMOKE=1 ANC_STATS_DIR="$STATS_DIR" \
   "$BUILD_DIR/bench/bench_store_wal"
+ANC_SHARD_SMOKE=1 ANC_STATS_DIR="$STATS_DIR" \
+  "$BUILD_DIR/bench/bench_shard_scaling"
 
 cp "$STATS_DIR/bench_serve_throughput_stats.json" BENCH_serve.json
 cp "$STATS_DIR/bench_store_wal_stats.json" BENCH_store.json
-echo "wrote BENCH_serve.json BENCH_store.json"
+cp "$STATS_DIR/bench_shard_scaling_stats.json" BENCH_shard.json
+echo "wrote BENCH_serve.json BENCH_store.json BENCH_shard.json"

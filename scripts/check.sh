@@ -11,6 +11,10 @@
 #   store-crash ASan/UBSan build, durability fault-injection suite only
 #               (store_test crash matrix + persistence corruption tests,
 #               docs/durability.md)
+#   shard       TSan build, sharding suite only: partitioner/router/
+#               ShardedServer differential + recovery tests and the
+#               racing-producers scatter-gather stress in
+#               concurrency_test.cc (docs/sharding.md)
 #
 # Usage: scripts/check.sh [--fast] [config ...]
 #   With no arguments every configuration runs. Naming one or more configs
@@ -59,9 +63,22 @@ run_one() {
       ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
         -R '^(WalTest|StoreCrashMatrixTest|StoreRecoveryTest|DurableServeTest|SerializationTest)\.'
       ;;
+    shard)
+      # The sharding suite under TSan: partition/router unit tests, the
+      # byte-identity and quality differentials, per-shard crash recovery,
+      # and the racing-producers scatter-gather stress — without re-running
+      # the full tier-1 battery.
+      local dir=build-tsan
+      echo "=== [$dir] shard (sharding suite under TSan) ==="
+      cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DANC_SANITIZE=thread
+      cmake --build "$dir" -j "$JOBS" --target shard_test concurrency_test
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+        -R '^(ShardPartitionerTest|ShardRouterTest|ShardedServerTest|ShardRecoveryTest|ShardStressTest)\.'
+      ;;
     *)
       echo "unknown configuration '$1'" >&2
-      echo "known: default nometrics asan tsan invariants store-crash" >&2
+      echo "known: default nometrics asan tsan invariants store-crash shard" >&2
       exit 2
       ;;
   esac

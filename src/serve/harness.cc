@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/rng.h"
@@ -51,18 +52,60 @@ std::string HarnessReport::ToString() const {
   return out;
 }
 
+HarnessTarget TargetFor(AncServer* server) {
+  ANC_CHECK(server != nullptr, "TargetFor requires a server");
+  HarnessTarget target;
+  target.submit = [server](const Activation& activation) {
+    return server->Submit(activation);
+  };
+  target.flush = [server](std::chrono::milliseconds timeout) {
+    return server->Flush(timeout);
+  };
+  target.accepted = [server] { return server->accepted(); };
+  target.dropped = [server] { return server->dropped(); };
+  target.rejected = [server] { return server->rejected(); };
+  target.frontier = [server] { return server->accepted(); };
+  target.view_seq = [server] { return server->View()->watermark().seq; };
+  target.epochs = [server] {
+    return server->Stats().counter("anc.serve.epochs");
+  };
+  target.num_nodes = [server]() -> uint32_t {
+    const auto view = server->View();
+    return view != nullptr ? view->graph().NumNodes() : 0;
+  };
+  target.query_clusters = [server](const QueryOptions& query) {
+    return server->Clusters(server->View()->DefaultLevel(), query).ok();
+  };
+  target.query_local = [server](NodeId node, const QueryOptions& query) {
+    return server->LocalCluster(node, server->View()->DefaultLevel(), query)
+        .ok();
+  };
+  target.record_load_report = [server](const StreamLoadReport& report) {
+    server->RecordLoadReport(report);
+  };
+  return target;
+}
+
 ServeHarness::ServeHarness(AncServer* server, HarnessOptions options)
-    : server_(server), options_(options) {
-  ANC_CHECK(server_ != nullptr, "ServeHarness requires a server");
+    : ServeHarness(TargetFor(server), options) {}
+
+ServeHarness::ServeHarness(HarnessTarget target, HarnessOptions options)
+    : target_(std::move(target)), options_(options) {
+  ANC_CHECK(target_.submit && target_.flush && target_.accepted &&
+                target_.dropped && target_.rejected && target_.frontier &&
+                target_.view_seq && target_.epochs && target_.num_nodes &&
+                target_.query_clusters && target_.query_local,
+            "ServeHarness target is missing callbacks");
   if (options_.num_producers == 0) options_.num_producers = 1;
 }
 
 HarnessReport ServeHarness::Run(const ActivationStream& stream) {
   HarnessReport report;
   report.submitted = stream.size();
-  const uint64_t accepted_before = server_->accepted();
-  const uint64_t dropped_before = server_->dropped();
-  const uint64_t rejected_before = server_->rejected();
+  const uint64_t accepted_before = target_.accepted();
+  const uint64_t dropped_before = target_.dropped();
+  const uint64_t rejected_before = target_.rejected();
+  const uint64_t epochs_before = target_.epochs();
 
   std::atomic<size_t> next_index{0};
   std::atomic<bool> stop_queries{false};
@@ -82,16 +125,13 @@ HarnessReport ServeHarness::Run(const ActivationStream& stream) {
     query_threads.emplace_back([this, q, &stop_queries, &per_thread] {
       QueryThreadStats& stats = per_thread[q];
       Rng rng(options_.rng_seed + 1000 + q);
-      const uint32_t num_nodes =
-          server_->View() != nullptr ? server_->View()->graph().NumNodes() : 0;
+      const uint32_t num_nodes = target_.num_nodes();
       if (num_nodes == 0) return;
       while (!stop_queries.load(std::memory_order_acquire)) {
         // Staleness of the answer the next query will see.
-        const uint64_t frontier = server_->accepted();
-        std::shared_ptr<const ClusterView> view = server_->View();
-        const uint64_t lag = frontier > view->watermark().seq
-                                 ? frontier - view->watermark().seq
-                                 : 0;
+        const uint64_t frontier = target_.frontier();
+        const uint64_t seq = target_.view_seq();
+        const uint64_t lag = frontier > seq ? frontier - seq : 0;
         stats.staleness_sum += static_cast<double>(lag);
         stats.staleness_max = std::max(stats.staleness_max, lag);
 
@@ -100,12 +140,10 @@ HarnessReport ServeHarness::Run(const ActivationStream& stream) {
         if (options_.full_clusters_every != 0 &&
             stats.queries % options_.full_clusters_every ==
                 options_.full_clusters_every - 1) {
-          ok = server_->Clusters(view->DefaultLevel(), options_.query).ok();
+          ok = target_.query_clusters(options_.query);
         } else {
           const NodeId node = static_cast<NodeId>(rng.Next() % num_nodes);
-          ok = server_
-                   ->LocalCluster(node, view->DefaultLevel(), options_.query)
-                   .ok();
+          ok = target_.query_local(node, options_.query);
         }
         const double micros =
             std::chrono::duration<double, std::micro>(
@@ -131,13 +169,13 @@ HarnessReport ServeHarness::Run(const ActivationStream& stream) {
             next_index.fetch_add(1, std::memory_order_relaxed);
         if (i >= stream.size()) return;
         // Rejections (kReject backpressure, ordering races) are absorbed
-        // into the server's rejected() tally; the harness pushes on.
-        (void)server_->Submit(stream[i]);
+        // into the target's rejected() tally; the harness pushes on.
+        (void)target_.submit(stream[i]);
       }
     });
   }
   for (std::thread& producer : producers) producer.join();
-  (void)server_->Flush();
+  (void)target_.flush(std::chrono::minutes(1));
   report.ingest_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     ingest_start)
@@ -146,9 +184,9 @@ HarnessReport ServeHarness::Run(const ActivationStream& stream) {
   stop_queries.store(true, std::memory_order_release);
   for (std::thread& thread : query_threads) thread.join();
 
-  report.accepted = server_->accepted() - accepted_before;
-  report.dropped = server_->dropped() - dropped_before;
-  report.rejected = server_->rejected() - rejected_before;
+  report.accepted = target_.accepted() - accepted_before;
+  report.dropped = target_.dropped() - dropped_before;
+  report.rejected = target_.rejected() - rejected_before;
   report.ingest_per_sec =
       report.ingest_seconds > 0.0
           ? static_cast<double>(report.accepted) / report.ingest_seconds
@@ -169,7 +207,7 @@ HarnessReport ServeHarness::Run(const ActivationStream& stream) {
   }
   report.query_p50_us = Quantile(all_latencies, 0.50);
   report.query_p99_us = Quantile(all_latencies, 0.99);
-  report.epochs = server_->Stats().counter("anc.serve.epochs");
+  report.epochs = target_.epochs() - epochs_before;
   return report;
 }
 
@@ -181,7 +219,7 @@ Result<HarnessReport> ServeHarness::RunFile(const Graph& g,
   Result<ActivationStream> stream =
       LoadActivationStream(g, path, load, &load_report);
   if (!stream.ok()) return stream.status();
-  server_->RecordLoadReport(load_report);
+  if (target_.record_load_report) target_.record_load_report(load_report);
   HarnessReport report = Run(stream.value());
   report.load_skipped = load_report.skipped;
   report.load_first_error = load_report.first_error;

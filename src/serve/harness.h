@@ -1,7 +1,9 @@
 #ifndef ANC_SERVE_HARNESS_H_
 #define ANC_SERVE_HARNESS_H_
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "activation/activeness.h"
@@ -42,8 +44,8 @@ struct HarnessReport {
   double query_p50_us = 0.0;
   double query_p99_us = 0.0;
 
-  /// Staleness observed by queries: accepted tickets minus the view's
-  /// watermark ticket at query time (how many activations the answer is
+  /// Staleness observed by queries: the target's ingest frontier minus its
+  /// published watermark at query time (how many activations the answer is
   /// behind the ingest frontier).
   double mean_staleness_activations = 0.0;
   uint64_t max_staleness_activations = 0;
@@ -53,28 +55,72 @@ struct HarnessReport {
   std::string ToString() const;
 };
 
-/// Multi-threaded driver for an AncServer: N producer threads race to
-/// submit a prepared activation stream while M query threads hammer the
-/// snapshot read path; reports ingest throughput, query latency quantiles
-/// and observed staleness. With more than one producer, configure the
-/// server's ingest with clamp_out_of_order = true — producers dispatch
-/// stream entries in order but race at the queue boundary.
+/// The routing seam between the harness and whatever it drives: a bundle
+/// of callbacks any serving stack can satisfy — a single AncServer
+/// (TargetFor), a shard::ShardedServer (ShardedServer::HarnessTarget), or
+/// a test double. All callbacks except record_load_report are required and
+/// must be thread-safe: producers call submit concurrently while query
+/// threads poll the counters and issue queries.
+struct HarnessTarget {
+  std::function<Result<uint64_t>(const Activation&)> submit;
+  std::function<Status(std::chrono::milliseconds)> flush;
+
+  /// Ingest tallies for the report.
+  std::function<uint64_t()> accepted;
+  std::function<uint64_t()> dropped;
+  std::function<uint64_t()> rejected;
+
+  /// Staleness pair in one shared unit (e.g. resolved tickets): how far
+  /// published answers lag the ingest frontier.
+  std::function<uint64_t()> frontier;
+  std::function<uint64_t()> view_seq;
+
+  /// Snapshot publications over the target's lifetime.
+  std::function<uint64_t()> epochs;
+
+  /// Node-id domain the query threads draw from (0 disables queries).
+  std::function<uint32_t()> num_nodes;
+
+  /// Issue one full cluster sweep / one local-cluster query at the
+  /// target's default granularity; return false when shed.
+  std::function<bool(const QueryOptions&)> query_clusters;
+  std::function<bool(NodeId, const QueryOptions&)> query_local;
+
+  /// Optional: fold a stream loader's report into the target's stats.
+  std::function<void(const StreamLoadReport&)> record_load_report;
+};
+
+/// The canonical single-server target.
+HarnessTarget TargetFor(AncServer* server);
+
+/// Multi-threaded load driver: N producer threads race to submit a
+/// prepared activation stream into a HarnessTarget while M query threads
+/// hammer its snapshot read path; reports ingest throughput, query latency
+/// quantiles and observed staleness. With more than one producer,
+/// configure the target's ingest with clamp_out_of_order = true —
+/// producers dispatch stream entries in order but race at the queue
+/// boundary.
 class ServeHarness {
  public:
-  /// `server` must be started and outlive the harness.
+  /// Convenience: drives a single AncServer (must be started and outlive
+  /// the harness).
   ServeHarness(AncServer* server, HarnessOptions options);
 
-  /// Drives the full stream through the server (blocking), then flushes.
+  /// Drives any target (e.g. a ShardedServer routing to N shards). The
+  /// callbacks must stay valid for the harness lifetime.
+  ServeHarness(HarnessTarget target, HarnessOptions options);
+
+  /// Drives the full stream through the target (blocking), then flushes.
   /// Query threads run for the whole ingest window. Reusable.
   HarnessReport Run(const ActivationStream& stream);
 
   /// Loads "u v t" lines from `path` (skipping bad lines), records the
-  /// loader's report into the server stats, then runs the loaded stream.
-  /// Fails only when the file itself is unreadable.
+  /// loader's report into the target's stats, then runs the loaded
+  /// stream. Fails only when the file itself is unreadable.
   Result<HarnessReport> RunFile(const Graph& g, const std::string& path);
 
  private:
-  AncServer* server_;
+  HarnessTarget target_;
   HarnessOptions options_;
 };
 

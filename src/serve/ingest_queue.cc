@@ -68,6 +68,75 @@ Result<uint64_t> IngestQueue::Push(Activation activation) {
   return seq;
 }
 
+Result<size_t> IngestQueue::PushBatch(const Activation* data, size_t count,
+                                      uint64_t* last_seq) {
+  size_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t dropped = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < count; ++i) {
+      // Close() can land while a kBlock wait releases the lock: stop and
+      // report the accepted prefix (the caller's remaining entries are
+      // lost exactly as a failed Push would lose them).
+      if (closed_) break;
+      Activation activation = data[i];
+      if (activation.time < last_accepted_time_) {
+        if (options_.clamp_out_of_order) {
+          activation.time = last_accepted_time_;
+        } else {
+          ++rejected;
+          continue;
+        }
+      }
+      if (entries_.size() >= options_.capacity) {
+        switch (options_.policy) {
+          case BackpressurePolicy::kBlock:
+            not_empty_.notify_one();  // wake the drainer before waiting on it
+            not_full_.wait(lock, [this] {
+              return closed_ || entries_.size() < options_.capacity;
+            });
+            if (closed_) break;
+            // A concurrent push may have advanced the watermark: re-clamp.
+            if (activation.time < last_accepted_time_) {
+              activation.time = last_accepted_time_;
+            }
+            break;
+          case BackpressurePolicy::kDropOldest:
+            resolved_seq_ = entries_.front().seq;
+            entries_.pop_front();
+            ++dropped;
+            break;
+          case BackpressurePolicy::kReject:
+            ++rejected;
+            continue;
+        }
+      }
+      if (closed_) break;
+      const uint64_t seq = next_seq_++;
+      last_accepted_time_ = activation.time;
+      entries_.push_back({activation, seq, now});
+      ++accepted;
+      if (last_seq != nullptr) *last_seq = seq;
+    }
+    accepted_ += accepted;
+    rejected_ += rejected;
+    dropped_ += dropped;
+    if (metrics_ != nullptr) {
+      if (accepted > 0) metrics_->Add(accepted_id_, accepted);
+      if (rejected > 0) metrics_->Add(rejected_id_, rejected);
+      if (dropped > 0) metrics_->Add(dropped_id_, dropped);
+      metrics_->Set(depth_id_, static_cast<int64_t>(entries_.size()));
+    }
+    if (closed_ && accepted == 0) {
+      return Status::FailedPrecondition("ingest queue is closed");
+    }
+  }
+  if (accepted > 0) not_empty_.notify_one();
+  return accepted;
+}
+
 size_t IngestQueue::PopBatch(std::vector<Activation>* out, size_t max_batch,
                              std::chrono::microseconds wait,
                              uint64_t* resolved_seq) {

@@ -61,6 +61,19 @@ class IngestQueue {
   /// Under kBlock a full queue blocks until space frees or Close().
   Result<uint64_t> Push(Activation activation);
 
+  /// Batched producer fast path: enqueues `count` activations under one
+  /// lock acquisition with one consumer wakeup — per-push mutex and futex
+  /// costs dominate fan-out producers (shard routers) that otherwise beat
+  /// the queue with many tiny pushes. Per-entry semantics match Push:
+  /// regressed timestamps are clamped or (clamp off) rejected and skipped,
+  /// kReject bounces entries that find the queue full, kBlock waits for
+  /// space inside the batch. Returns the number accepted; *last_seq (when
+  /// non-null) receives the last ticket issued (untouched if none).
+  /// Fails FailedPrecondition only when the queue was closed before any
+  /// entry was accepted; a mid-batch Close returns the accepted prefix.
+  Result<size_t> PushBatch(const Activation* data, size_t count,
+                           uint64_t* last_seq = nullptr);
+
   /// Consumer side (single thread): moves up to `max_batch` activations
   /// into *out (appended), waiting up to `wait` for the first one. Returns
   /// the number popped; *resolved_seq (when non-null) receives the highest

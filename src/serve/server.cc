@@ -247,6 +247,18 @@ Result<uint64_t> AncServer::Submit(const Activation& activation) {
   return queue_.Push(activation);
 }
 
+Result<size_t> AncServer::SubmitBatch(const Activation* data, size_t count,
+                                      uint64_t* last_seq) {
+  for (size_t i = 0; i < count; ++i) {
+    if (data[i].edge >= index_->graph().NumEdges()) {
+      return Status::InvalidArgument("activation references edge " +
+                                     std::to_string(data[i].edge) +
+                                     " outside the graph");
+    }
+  }
+  return queue_.PushBatch(data, count, last_seq);
+}
+
 Status AncServer::SubmitStream(const ActivationStream& stream,
                                uint64_t* last_seq) {
   for (const Activation& activation : stream) {

@@ -121,6 +121,16 @@ class AncServer {
   /// AwaitSeq). Backpressure behavior per ServeOptions::ingest.
   Result<uint64_t> Submit(const Activation& activation);
 
+  /// Enqueues `count` activations under one queue lock and one writer
+  /// wakeup (IngestQueue::PushBatch) — the fan-out fast path used by
+  /// shard::ShardedServer's router. Validates every edge up front
+  /// (InvalidArgument, nothing enqueued, on any out-of-range edge), then
+  /// returns the number the queue accepted and the last ticket issued via
+  /// *last_seq (optional); per-entry queue rejections (kReject, regressed
+  /// timestamps with clamping off) are skipped, not errors.
+  Result<size_t> SubmitBatch(const Activation* data, size_t count,
+                             uint64_t* last_seq = nullptr);
+
   /// Enqueues a whole stream in order; stops at the first rejected
   /// activation. Returns the last ticket issued via *last_seq (optional).
   Status SubmitStream(const ActivationStream& stream,

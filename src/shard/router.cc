@@ -1,0 +1,25 @@
+#include "shard/router.h"
+
+#include "util/status.h"
+
+namespace anc::shard {
+
+Router::Router(const Graph& g, Partition partition)
+    : partition_(std::move(partition)) {
+  ANC_CHECK(partition_.num_shards > 0, "Router requires >= 1 shard");
+  ANC_CHECK(partition_.node_shard.size() == g.NumNodes(),
+            "Router partition does not cover the graph");
+  routes_.resize(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto [u, v] = g.Endpoints(e);
+    EdgeRoute& route = routes_[e];
+    route.owner = partition_.node_shard[u];
+    const uint32_t other = partition_.node_shard[v];
+    if (other != route.owner) {
+      route.halo = other;
+      ++cut_edges_;
+    }
+  }
+}
+
+}  // namespace anc::shard

@@ -1,0 +1,64 @@
+#ifndef ANC_SHARD_ROUTER_H_
+#define ANC_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "shard/partitioner.h"
+
+namespace anc::shard {
+
+/// Precomputed edge → shard routing over a vertex partition
+/// (docs/sharding.md).
+///
+/// Every edge has one *vote owner* — the shard owning its first endpoint —
+/// whose replica supplies the edge's vote row at query-merge time. An
+/// activation on an intra-shard edge is delivered to that shard alone; an
+/// activation on a cut edge is additionally delivered to the other
+/// endpoint's shard (the one-hop halo), so each shard sees every activation
+/// incident to its owned vertices and local reinforcement (AF/TF/WSF) of
+/// owned edges reads a fresh boundary neighborhood.
+///
+/// Immutable after construction; safe to share across threads.
+class Router {
+ public:
+  static constexpr uint32_t kNoShard = UINT32_MAX;
+
+  Router(const Graph& g, Partition partition);
+
+  uint32_t num_shards() const { return partition_.num_shards; }
+  const Partition& partition() const { return partition_; }
+
+  uint32_t NodeOwner(NodeId v) const { return partition_.node_shard[v]; }
+
+  /// The shard whose replica owns edge e's votes (= NodeOwner of the first
+  /// endpoint).
+  uint32_t EdgeOwner(EdgeId e) const { return routes_[e].owner; }
+
+  /// Delivery set of an activation on e: {owner, halo}. halo == kNoShard
+  /// for intra-shard edges.
+  std::pair<uint32_t, uint32_t> DeliveryOf(EdgeId e) const {
+    return {routes_[e].owner, routes_[e].halo};
+  }
+
+  bool IsCut(EdgeId e) const { return routes_[e].halo != kNoShard; }
+
+  /// Number of cut edges (each costs one halo delivery per activation).
+  uint64_t cut_edges() const { return cut_edges_; }
+
+ private:
+  struct EdgeRoute {
+    uint32_t owner = 0;
+    uint32_t halo = kNoShard;
+  };
+
+  Partition partition_;
+  std::vector<EdgeRoute> routes_;
+  uint64_t cut_edges_ = 0;
+};
+
+}  // namespace anc::shard
+
+#endif  // ANC_SHARD_ROUTER_H_

@@ -1,0 +1,608 @@
+#include "shard/sharded_server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "util/crc32c.h"
+
+namespace anc::shard {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// shards.meta layout: magic, shard count, graph shape, the node → shard
+/// assignment, CRC32C over everything after the magic. Written atomically
+/// (temp + rename) so RecoverAll never reads a torn partition.
+constexpr char kMetaMagic[8] = {'A', 'N', 'C', 'S', 'H', 'R', 'D', '1'};
+constexpr const char* kMetaName = "shards.meta";
+
+struct ScopedFile {
+  std::FILE* file = nullptr;
+  ~ScopedFile() {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+
+Status RemainingBudget(std::chrono::steady_clock::time_point deadline,
+                       std::chrono::milliseconds* remaining) {
+  const auto now = std::chrono::steady_clock::now();
+  *remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - now);
+  if (*remaining < std::chrono::milliseconds(0)) {
+    *remaining = std::chrono::milliseconds(0);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedServer>> ShardedServer::Create(
+    const Graph& graph, const AncConfig& config, ShardedOptions options) {
+  if (options.serve.store != nullptr) {
+    return Status::InvalidArgument(
+        "leave ShardedOptions::serve.store null: per-shard stores are "
+        "opened by Start()");
+  }
+  if (options.serve.durability != serve::DurabilityPolicy::kNone &&
+      options.store_dir.empty()) {
+    return Status::InvalidArgument(
+        "durability requires ShardedOptions::store_dir");
+  }
+  Result<Partition> partition = MakePartition(graph, options.partition);
+  if (!partition.ok()) return partition.status();
+
+  std::vector<Shard> shards(partition.value().num_shards);
+  for (Shard& shard : shards) {
+    // Every replica is built from the same (graph, config): index
+    // construction is deterministic (seeded pyramids, Lemma 7), so all
+    // shards start byte-identical and diverge only by the activations
+    // routed to them.
+    Result<std::unique_ptr<AncIndex>> index = AncIndex::Create(graph, config);
+    if (!index.ok()) return index.status();
+    shard.index = std::move(index.value());
+  }
+  return std::unique_ptr<ShardedServer>(
+      new ShardedServer(&graph, std::move(shards),
+                        std::move(partition.value()), std::move(options)));
+}
+
+Result<std::unique_ptr<ShardedServer>> ShardedServer::RecoverAll(
+    const std::string& dir, ShardedOptions options) {
+  Result<std::pair<Partition, uint32_t>> meta = ReadMeta(dir);
+  if (!meta.ok()) return meta.status();
+  Partition& partition = meta.value().first;
+  const uint32_t num_edges = meta.value().second;
+
+  std::vector<Shard> shards(partition.num_shards);
+  std::vector<ShardRecoveryInfo> info;
+  info.reserve(partition.num_shards);
+  for (uint32_t s = 0; s < partition.num_shards; ++s) {
+    const std::string shard_dir =
+        (fs::path(dir) / ("shard-" + std::to_string(s))).string();
+    // Shards recover independently: one shard's torn WAL tail rolls only
+    // that shard back to its own durable horizon.
+    Result<store::RecoveredStore> recovered = store::Recover(shard_dir);
+    if (!recovered.ok()) {
+      return Status(recovered.status().code(),
+                    "shard " + std::to_string(s) + ": " +
+                        recovered.status().message());
+    }
+    store::RecoveredStore& r = recovered.value();
+    if (r.graph->NumNodes() != partition.node_shard.size() ||
+        r.graph->NumEdges() != num_edges) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(s) +
+          ": recovered graph does not match shards.meta");
+    }
+    ShardRecoveryInfo entry;
+    entry.shard = s;
+    entry.watermark = r.watermark;
+    entry.generation = r.generation;
+    entry.checkpoint_seq = r.checkpoint_seq;
+    entry.replayed_records = r.replayed_records;
+    entry.replayed_activations = r.replayed_activations;
+    entry.truncated_tail = r.truncated_tail;
+    info.push_back(entry);
+
+    Shard& shard = shards[s];
+    shard.owned_graph = std::move(r.graph);
+    shard.index = std::move(r.index);
+    // A new serving session restarts ticket numbering at 1, so the store
+    // reopens at {0, recovered time}: the Open-time checkpoint collapses
+    // the replayed WAL (same idiom as single-server recovery).
+    shard.start_mark = store::Mark{0, r.watermark.time};
+  }
+  const Graph* graph = shards[0].owned_graph.get();
+  std::unique_ptr<ShardedServer> server(
+      new ShardedServer(graph, std::move(shards), std::move(partition),
+                        std::move(options)));
+  server->recovery_info_ = std::move(info);
+  return server;
+}
+
+ShardedServer::ShardedServer(const Graph* graph, std::vector<Shard> shards,
+                             Partition partition, ShardedOptions options)
+    : graph_(graph), options_(std::move(options)), shards_(std::move(shards)) {
+  router_ = std::make_unique<Router>(*graph_, std::move(partition));
+  partition_stats_ = ComputeStats(*graph_, router_->partition());
+  shard_last_ticket_.assign(router_->num_shards(), 0);
+  staging_.resize(router_->num_shards());
+  for (auto& buffer : staging_) buffer.reserve(kRouteBatch);
+}
+
+ShardedServer::~ShardedServer() { Stop(); }
+
+std::string ShardedServer::ShardDir(uint32_t s) const {
+  return (fs::path(options_.store_dir) / ("shard-" + std::to_string(s)))
+      .string();
+}
+
+Status ShardedServer::WriteMeta() const {
+  const Partition& partition = router_->partition();
+  std::vector<char> payload;
+  const auto append_u32 = [&payload](uint32_t value) {
+    char bytes[4];
+    std::memcpy(bytes, &value, 4);
+    payload.insert(payload.end(), bytes, bytes + 4);
+  };
+  append_u32(partition.num_shards);
+  append_u32(graph_->NumNodes());
+  append_u32(graph_->NumEdges());
+  for (const uint32_t s : partition.node_shard) append_u32(s);
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+
+  const fs::path path = fs::path(options_.store_dir) / kMetaName;
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    ScopedFile out;
+    out.file = std::fopen(tmp.c_str(), "wb");
+    if (out.file == nullptr) {
+      return Status::IoError("cannot write " + tmp.string());
+    }
+    if (std::fwrite(kMetaMagic, 1, sizeof(kMetaMagic), out.file) !=
+            sizeof(kMetaMagic) ||
+        std::fwrite(payload.data(), 1, payload.size(), out.file) !=
+            payload.size() ||
+        std::fwrite(&crc, 1, 4, out.file) != 4 ||
+        std::fflush(out.file) != 0) {
+      return Status::IoError("short write to " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IoError("cannot rename " + tmp.string());
+  return Status::OK();
+}
+
+Result<std::pair<Partition, uint32_t>> ShardedServer::ReadMeta(
+    const std::string& dir) {
+  const fs::path path = fs::path(dir) / kMetaName;
+  ScopedFile in;
+  in.file = std::fopen(path.c_str(), "rb");
+  if (in.file == nullptr) {
+    return Status::NotFound("no " + path.string());
+  }
+  char magic[sizeof(kMetaMagic)];
+  if (std::fread(magic, 1, sizeof(magic), in.file) != sizeof(magic) ||
+      std::memcmp(magic, kMetaMagic, sizeof(magic)) != 0) {
+    return Status::IoError(path.string() + ": bad magic");
+  }
+  uint32_t header[3];  // num_shards, num_nodes, num_edges
+  if (std::fread(header, 1, sizeof(header), in.file) != sizeof(header)) {
+    return Status::IoError(path.string() + ": truncated header");
+  }
+  const uint32_t num_shards = header[0];
+  const uint32_t num_nodes = header[1];
+  if (num_shards == 0 || num_shards > (1u << 20) ||
+      num_nodes > (1u << 28)) {
+    return Status::IoError(path.string() + ": implausible header");
+  }
+  std::vector<uint32_t> assignment(num_nodes);
+  if (num_nodes > 0 &&
+      std::fread(assignment.data(), 4, num_nodes, in.file) != num_nodes) {
+    return Status::IoError(path.string() + ": truncated assignment");
+  }
+  uint32_t crc = 0;
+  if (std::fread(&crc, 1, 4, in.file) != 4) {
+    return Status::IoError(path.string() + ": missing checksum");
+  }
+  uint32_t expected = Crc32c(header, sizeof(header));
+  expected = Crc32c(assignment.data(), size_t{num_nodes} * 4, expected);
+  if (crc != expected) {
+    return Status::IoError(path.string() + ": checksum mismatch");
+  }
+  for (const uint32_t s : assignment) {
+    if (s >= num_shards) {
+      return Status::IoError(path.string() + ": assignment names bad shard");
+    }
+  }
+  Partition partition;
+  partition.num_shards = num_shards;
+  partition.node_shard = std::move(assignment);
+  return std::make_pair(std::move(partition), header[2]);
+}
+
+Status ShardedServer::Start() {
+  if (started_once_) {
+    return Status::FailedPrecondition(
+        "ShardedServer cannot restart; build a new instance (RecoverAll "
+        "for durable state)");
+  }
+  if (options_.serve.durability != serve::DurabilityPolicy::kNone) {
+    if (options_.store_dir.empty()) {
+      return Status::InvalidArgument(
+          "durability requires ShardedOptions::store_dir");
+    }
+    std::error_code ec;
+    fs::create_directories(options_.store_dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create " + options_.store_dir);
+    }
+    ANC_RETURN_NOT_OK(WriteMeta());
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      Shard& shard = shards_[s];
+      Result<std::unique_ptr<store::DurableStore>> store =
+          store::DurableStore::Open(ShardDir(s), *shard.index,
+                                    shard.start_mark, options_.store,
+                                    &shard.index->metrics());
+      if (!store.ok()) {
+        return Status(store.status().code(), "shard " + std::to_string(s) +
+                                                 ": " +
+                                                 store.status().message());
+      }
+      shard.store = std::move(store.value());
+    }
+  }
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    Shard& shard = shards_[s];
+    serve::ServeOptions serve_options = options_.serve;
+    serve_options.store = shard.store.get();
+    if (serve_options.store == nullptr) {
+      serve_options.durability = serve::DurabilityPolicy::kNone;
+    }
+    shard.server =
+        std::make_unique<serve::AncServer>(shard.index.get(), serve_options);
+    const Status status = shard.server->Start();
+    if (!status.ok()) {
+      for (uint32_t t = 0; t < s; ++t) shards_[t].server->Stop();
+      return status;
+    }
+  }
+  started_once_ = true;
+  running_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void ShardedServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Hand any staged deliveries over before closing the queues so a
+  // Submit-then-Stop sequence loses nothing.
+  FlushStaging();
+  for (Shard& shard : shards_) {
+    if (shard.server != nullptr) shard.server->Stop();
+  }
+}
+
+void ShardedServer::StageLocked(uint32_t s, const Activation& activation) {
+  if (staged_total_ == 0) {
+    staging_oldest_ = std::chrono::steady_clock::now();
+  }
+  staging_[s].push_back(activation);
+  ++staged_total_;
+  if (staging_[s].size() >= kRouteBatch) FlushShardLocked(s);
+}
+
+void ShardedServer::FlushShardLocked(uint32_t s) {
+  std::vector<Activation>& buffer = staging_[s];
+  if (buffer.empty()) return;
+  uint64_t last = 0;
+  const Result<size_t> pushed =
+      shards_[s].server->SubmitBatch(buffer.data(), buffer.size(), &last);
+  const size_t accepted = pushed.ok() ? pushed.value() : 0;
+  if (accepted > 0) shard_last_ticket_[s] = last;
+  if (accepted < buffer.size()) {
+    // The queue refused part of the batch (closed, kReject backpressure,
+    // or a timestamp race with clamping off): those replicas go stale on
+    // the affected edges; the other replicas keep their copies.
+    halo_partial_.fetch_add(buffer.size() - accepted,
+                            std::memory_order_relaxed);
+  }
+  staged_total_ -= buffer.size();
+  buffer.clear();
+}
+
+void ShardedServer::FlushAllLocked() {
+  for (uint32_t s = 0; s < num_shards(); ++s) FlushShardLocked(s);
+}
+
+void ShardedServer::FlushStaging() {
+  if (!started_once_) return;
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  FlushAllLocked();
+}
+
+Result<uint64_t> ShardedServer::Submit(const Activation& activation) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("ShardedServer is not running");
+  }
+  if (activation.edge >= graph_->NumEdges()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("activation edge out of range");
+  }
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  const auto [owner, halo] = router_->DeliveryOf(activation.edge);
+  StageLocked(owner, activation);
+  if (halo != Router::kNoShard) {
+    halo_deliveries_.fetch_add(1, std::memory_order_relaxed);
+    StageLocked(halo, activation);
+  }
+  // Bound the visibility latency of half-full batches under continued
+  // traffic (idle buffers drain on the next Flush/AwaitSeq instead).
+  if (staged_total_ > 0 &&
+      std::chrono::steady_clock::now() - staging_oldest_ > kMaxStageAge) {
+    FlushAllLocked();
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  return ++issued_;
+}
+
+Status ShardedServer::SubmitStream(const ActivationStream& stream,
+                                   uint64_t* last_seq) {
+  for (const Activation& activation : stream) {
+    Result<uint64_t> seq = Submit(activation);
+    if (!seq.ok()) return seq.status();
+    if (last_seq != nullptr) *last_seq = seq.value();
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint64_t>> ShardedServer::ShardFrontiers(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  if (seq > issued_) {
+    return Status::OutOfRange("ticket was never issued");
+  }
+  // Everything staged was routed at or before issued_ >= seq: drain it so
+  // the frontier tickets below cover `seq`.
+  FlushAllLocked();
+  return shard_last_ticket_;
+}
+
+Status ShardedServer::AwaitSeq(uint64_t seq,
+                               std::chrono::milliseconds timeout) {
+  if (!started_once_) {
+    return Status::FailedPrecondition("ShardedServer never started");
+  }
+  // Conservative per-shard frontier: every delivery routed at or before
+  // global ticket `seq` has a per-shard ticket <= the snapshot (the route
+  // lock orders ticket issue with shard pushes), so awaiting the snapshot
+  // covers `seq` — possibly waiting for a few later deliveries too.
+  Result<std::vector<uint64_t>> frontiers = ShardFrontiers(seq);
+  if (!frontiers.ok()) return frontiers.status();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (frontiers.value()[s] == 0) continue;
+    std::chrono::milliseconds remaining;
+    ANC_RETURN_NOT_OK(RemainingBudget(deadline, &remaining));
+    ANC_RETURN_NOT_OK(
+        shards_[s].server->AwaitSeq(frontiers.value()[s], remaining));
+  }
+  return Status::OK();
+}
+
+Status ShardedServer::Flush(std::chrono::milliseconds timeout) {
+  if (!started_once_) {
+    return Status::FailedPrecondition("ShardedServer never started");
+  }
+  FlushStaging();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (Shard& shard : shards_) {
+    std::chrono::milliseconds remaining;
+    ANC_RETURN_NOT_OK(RemainingBudget(deadline, &remaining));
+    ANC_RETURN_NOT_OK(shard.server->Flush(remaining));
+  }
+  return Status::OK();
+}
+
+Status ShardedServer::FlushDurable(std::chrono::milliseconds timeout) {
+  if (!started_once_) {
+    return Status::FailedPrecondition("ShardedServer never started");
+  }
+  FlushStaging();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (Shard& shard : shards_) {
+    std::chrono::milliseconds remaining;
+    ANC_RETURN_NOT_OK(RemainingBudget(deadline, &remaining));
+    ANC_RETURN_NOT_OK(shard.server->FlushDurable(remaining));
+  }
+  return Status::OK();
+}
+
+Status ShardedServer::RequestCheckpointAll(std::chrono::milliseconds timeout) {
+  if (!started_once_) {
+    return Status::FailedPrecondition("ShardedServer never started");
+  }
+  FlushStaging();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (Shard& shard : shards_) {
+    std::chrono::milliseconds remaining;
+    ANC_RETURN_NOT_OK(RemainingBudget(deadline, &remaining));
+    ANC_RETURN_NOT_OK(shard.server->RequestCheckpoint(remaining));
+  }
+  return Status::OK();
+}
+
+Status ShardedServer::store_status() const {
+  for (const Shard& shard : shards_) {
+    if (shard.server == nullptr) continue;
+    const Status status = shard.server->store_status();
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+Status ShardedServer::writer_status() const {
+  for (const Shard& shard : shards_) {
+    if (shard.server == nullptr) continue;
+    const Status status = shard.server->writer_status();
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+ShardedView ShardedServer::View() const {
+  ANC_CHECK(started_once_, "ShardedServer::View before Start()");
+  std::vector<std::shared_ptr<const serve::ClusterView>> views;
+  views.reserve(shards_.size());
+  for (const Shard& shard : shards_) views.push_back(shard.server->View());
+  return ShardedView(*graph_, *router_, std::move(views));
+}
+
+Result<Clustering> ShardedServer::Clusters(uint32_t level) const {
+  if (!started_once_) {
+    return Status::FailedPrecondition("ShardedServer never started");
+  }
+  const ShardedView view = View();
+  if (level < 1 || level > view.num_levels()) {
+    return Status::InvalidArgument("level out of range");
+  }
+  return view.Clusters(level);
+}
+
+Result<Clustering> ShardedServer::Clusters() const {
+  if (!started_once_) {
+    return Status::FailedPrecondition("ShardedServer never started");
+  }
+  const ShardedView view = View();
+  return view.Clusters(view.DefaultLevel());
+}
+
+Result<std::vector<NodeId>> ShardedServer::LocalCluster(
+    NodeId node, uint32_t level) const {
+  if (!started_once_) {
+    return Status::FailedPrecondition("ShardedServer never started");
+  }
+  if (node >= graph_->NumNodes()) {
+    return Status::InvalidArgument("node out of range");
+  }
+  const ShardedView view = View();
+  if (level < 1 || level > view.num_levels()) {
+    return Status::InvalidArgument("level out of range");
+  }
+  return view.LocalCluster(node, level);
+}
+
+Result<std::vector<NodeId>> ShardedServer::SmallestCluster(
+    NodeId node, uint32_t min_size, uint32_t* level_out) const {
+  if (!started_once_) {
+    return Status::FailedPrecondition("ShardedServer never started");
+  }
+  if (node >= graph_->NumNodes()) {
+    return Status::InvalidArgument("node out of range");
+  }
+  return View().SmallestCluster(node, min_size, level_out);
+}
+
+size_t ShardedServer::IngestDepth() const {
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    depth += staged_total_;
+  }
+  for (const Shard& shard : shards_) {
+    if (shard.server != nullptr) depth += shard.server->IngestDepth();
+  }
+  return depth;
+}
+
+obs::StatsSnapshot ShardedServer::Stats() const {
+  obs::StatsSnapshot snapshot;
+  snapshot.counters.push_back({"anc.shard.accepted", accepted()});
+  snapshot.counters.push_back({"anc.shard.rejected", rejected()});
+  snapshot.counters.push_back(
+      {"anc.shard.halo_deliveries", halo_deliveries()});
+  snapshot.counters.push_back({"anc.shard.halo_partial", halo_partial()});
+  snapshot.gauges.push_back(
+      {"anc.shard.num_shards", static_cast<int64_t>(num_shards())});
+  snapshot.gauges.push_back(
+      {"anc.shard.cut_edges", static_cast<int64_t>(router_->cut_edges())});
+  snapshot.gauges.push_back(
+      {"anc.shard.balance_x1000",
+       static_cast<int64_t>(partition_stats_.balance * 1000.0)});
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    const std::string prefix = "anc.shard." + std::to_string(s) + ".";
+    const serve::AncServer* server = shards_[s].server.get();
+    snapshot.counters.push_back(
+        {prefix + "accepted", server != nullptr ? server->accepted() : 0});
+    snapshot.gauges.push_back(
+        {prefix + "queue_depth",
+         server != nullptr ? static_cast<int64_t>(server->IngestDepth())
+                           : 0});
+    snapshot.gauges.push_back(
+        {prefix + "epoch",
+         started_once_ && server != nullptr
+             ? static_cast<int64_t>(server->View()->epoch())
+             : 0});
+  }
+  return snapshot;
+}
+
+serve::HarnessTarget ShardedServer::HarnessTarget() {
+  serve::HarnessTarget target;
+  target.submit = [this](const Activation& activation) {
+    return Submit(activation);
+  };
+  target.flush = [this](std::chrono::milliseconds timeout) {
+    return Flush(timeout);
+  };
+  target.accepted = [this] { return accepted(); };
+  target.dropped = [this] {
+    uint64_t dropped = 0;
+    for (const Shard& shard : shards_) dropped += shard.server->dropped();
+    return dropped;
+  };
+  target.rejected = [this] { return rejected(); };
+  // Staleness in delivery units (halo duplicates counted once per
+  // receiving shard) so frontier and view_seq share a scale.
+  target.frontier = [this] {
+    uint64_t frontier = 0;
+    for (const Shard& shard : shards_) frontier += shard.server->accepted();
+    return frontier;
+  };
+  target.view_seq = [this] {
+    uint64_t seq = 0;
+    for (const Shard& shard : shards_) {
+      seq += shard.server->View()->watermark().seq;
+    }
+    return seq;
+  };
+  target.epochs = [this] {
+    uint64_t epochs = 0;
+    for (const Shard& shard : shards_) {
+      epochs += shard.server->Stats().counter("anc.serve.epochs");
+    }
+    return epochs;
+  };
+  target.num_nodes = [this] { return graph_->NumNodes(); };
+  // Merged queries bypass per-shard admission (docs/sharding.md), so they
+  // are never shed.
+  target.query_clusters = [this](const serve::QueryOptions&) {
+    const ShardedView view = View();
+    (void)view.Clusters(view.DefaultLevel());
+    return true;
+  };
+  target.query_local = [this](NodeId node, const serve::QueryOptions&) {
+    const ShardedView view = View();
+    (void)view.LocalCluster(node, view.DefaultLevel());
+    return true;
+  };
+  target.record_load_report = [this](const StreamLoadReport& report) {
+    shards_[0].server->RecordLoadReport(report);
+  };
+  return target;
+}
+
+}  // namespace anc::shard

@@ -1,0 +1,295 @@
+#ifndef ANC_SHARD_SHARDED_SERVER_H_
+#define ANC_SHARD_SHARDED_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/anc.h"
+#include "obs/stats.h"
+#include "serve/harness.h"
+#include "serve/server.h"
+#include "shard/partitioner.h"
+#include "shard/router.h"
+#include "shard/sharded_view.h"
+#include "store/store.h"
+#include "util/status.h"
+
+namespace anc::shard {
+
+/// Configuration of a ShardedServer.
+struct ShardedOptions {
+  /// How vertices are assigned to shards (docs/sharding.md).
+  PartitionOptions partition;
+
+  /// Per-shard serving template, applied to every AncServer shard.
+  /// `serve.store` must stay null — per-shard stores are opened by
+  /// Start() from `store_dir` when `serve.durability` != kNone.
+  serve::ServeOptions serve;
+
+  /// Base directory for per-shard durability: shard i logs under
+  /// <store_dir>/shard-<i>, and <store_dir>/shards.meta records the
+  /// partition so RecoverAll can rebuild the router. Required when
+  /// serve.durability != kNone.
+  std::string store_dir;
+
+  /// Per-shard WAL/checkpoint knobs.
+  store::StoreOptions store;
+};
+
+/// Per-shard scorecard of a RecoverAll (mirrors store::RecoveredStore).
+struct ShardRecoveryInfo {
+  uint32_t shard = 0;
+  store::Mark watermark;          ///< last per-shard ticket recovered
+  uint64_t generation = 0;
+  uint64_t checkpoint_seq = 0;
+  uint64_t replayed_records = 0;
+  uint64_t replayed_activations = 0;
+  bool truncated_tail = false;
+};
+
+/// A horizontally partitioned serving stack (docs/sharding.md): N
+/// single-writer AncServer shards behind one router.
+///
+/// Each shard holds a *full-graph replica* of the index (same graph, same
+/// config, hence — by construction determinism — an identical initial
+/// state) and receives exactly the activations incident to its owned
+/// vertices: intra-shard activations go to the owning shard alone, cut-edge
+/// activations to both endpoint shards (the one-hop halo), so local
+/// reinforcement of owned edges always reads a fresh boundary
+/// neighborhood. Writes parallelize across the N apply loops — the
+/// single-writer throughput ceiling of PR 3 — while queries scatter-gather:
+/// View() captures one ClusterView per shard (the vector watermark) and
+/// merges them per-edge under the vote-ownership rule (ShardedView).
+///
+/// Threading contract:
+///  - Submit / SubmitStream: any thread (routing is serialized on an
+///    internal mutex; the per-shard apply loops run concurrently).
+///  - View / Clusters / LocalCluster / SmallestCluster / Flush / AwaitSeq /
+///    Stats: any thread.
+///  - Global tickets: Submit returns a ShardedServer-level sequence
+///    number; AwaitSeq(seq) blocks until every shard has resolved every
+///    delivery routed at or before ticket `seq` (conservative: it may wait
+///    for a few later ones too). AwaitTime is deliberately absent — shards
+///    apply independent sub-streams, so a scalar time watermark would be
+///    ambiguous; use Flush() or AwaitSeq.
+///  - Merged queries bypass per-shard admission (each shard still admits
+///    its own direct queries); overload shedding for merged reads is
+///    future work, tracked in docs/sharding.md.
+class ShardedServer {
+ public:
+  /// Builds `options.partition.num_shards` replicas of (graph, config).
+  /// `graph` must outlive the server. Fails on invalid config/partition.
+  static Result<std::unique_ptr<ShardedServer>> Create(
+      const Graph& graph, const AncConfig& config, ShardedOptions options);
+
+  /// Recovers every shard of a previously durable ShardedServer from
+  /// <dir>/shards.meta + <dir>/shard-<i>: per-shard checkpoint + WAL
+  /// replay (store::Recover), independently per shard — one shard having
+  /// lost a WAL tail only rolls that shard back to its own durable
+  /// horizon. The recovered server owns its graphs; `options.partition` is
+  /// ignored (the persisted partition wins). Call Start() to resume
+  /// serving (with durability re-opened at the recovered marks when
+  /// options.serve.durability != kNone and options.store_dir names the
+  /// same directory).
+  static Result<std::unique_ptr<ShardedServer>> RecoverAll(
+      const std::string& dir, ShardedOptions options);
+
+  ~ShardedServer();
+
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  /// Opens per-shard stores (when durability is configured), persists
+  /// shards.meta and starts every shard's writer thread.
+  Status Start();
+
+  /// Stops every shard (drains queues, publishes final views). Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // --- Producer side ------------------------------------------------------
+
+  /// Routes one activation to its owner shard (and, for cut edges, the
+  /// halo shard) and returns a global ticket. Rejected synchronously on a
+  /// bad edge or a stopped server. Deliveries are *staged*: the router
+  /// accumulates a small per-shard batch and hands it to the shard queue
+  /// in one push (per-push lock/wakeup costs would otherwise serialize the
+  /// whole fan-out, see docs/sharding.md "Routing throughput"), so an
+  /// accepted submission becomes visible after at most kRouteBatch further
+  /// submissions, kMaxStageAge of continued traffic, or the next
+  /// Flush/AwaitSeq/FlushDurable/Stop — whichever comes first. A delivery
+  /// the receiving queue then refuses (kReject backpressure, a regressed
+  /// timestamp with clamping off) is dropped and counted as
+  /// anc.shard.halo_partial; run concurrent producers with
+  /// ingest.clamp_out_of_order = true to keep that path halo-only.
+  Result<uint64_t> Submit(const Activation& activation);
+
+  /// Routes a whole stream in order; stops at the first owner rejection.
+  Status SubmitStream(const ActivationStream& stream,
+                      uint64_t* last_seq = nullptr);
+
+  /// Blocks until every shard has drained and published everything
+  /// accepted before the call.
+  Status Flush(std::chrono::milliseconds timeout = std::chrono::minutes(1));
+
+  /// Blocks until every delivery routed at or before global ticket `seq`
+  /// is reflected in every shard's published view.
+  Status AwaitSeq(uint64_t seq, std::chrono::milliseconds timeout);
+
+  // --- Durability ---------------------------------------------------------
+
+  /// Flush + fsync on every shard: when OK, RecoverAll reproduces a state
+  /// covering everything accepted before the call.
+  Status FlushDurable(
+      std::chrono::milliseconds timeout = std::chrono::minutes(1));
+
+  /// Rotates a checkpoint on every shard.
+  Status RequestCheckpointAll(
+      std::chrono::milliseconds timeout = std::chrono::minutes(1));
+
+  /// First store error any shard hit (OK if none).
+  Status store_status() const;
+
+  /// First apply error any shard's writer hit (OK if none).
+  Status writer_status() const;
+
+  /// Per-shard recovery scorecards (empty unless built by RecoverAll).
+  const std::vector<ShardRecoveryInfo>& recovery_info() const {
+    return recovery_info_;
+  }
+
+  // --- Reader side --------------------------------------------------------
+
+  /// Captures the vector watermark: one snapshot per shard, merged
+  /// per-edge. Valid after Start(); cheap (N shared_ptr copies).
+  ShardedView View() const;
+
+  /// Scatter-gather queries over a fresh View().
+  Result<Clustering> Clusters(uint32_t level) const;
+  Result<Clustering> Clusters() const;
+  Result<std::vector<NodeId>> LocalCluster(NodeId node, uint32_t level) const;
+  Result<std::vector<NodeId>> SmallestCluster(
+      NodeId node, uint32_t min_size = 2, uint32_t* level_out = nullptr) const;
+
+  // --- Introspection ------------------------------------------------------
+
+  const Graph& graph() const { return *graph_; }
+  const Router& router() const { return *router_; }
+  const PartitionStats& partition_stats() const { return partition_stats_; }
+  uint32_t num_shards() const { return router_->num_shards(); }
+
+  /// Direct access to shard s (tests, per-shard stats). The underlying
+  /// index must only be touched when the server is stopped.
+  serve::AncServer& shard(uint32_t s) { return *shards_[s].server; }
+  const serve::AncServer& shard(uint32_t s) const { return *shards_[s].server; }
+  AncIndex& shard_index(uint32_t s) { return *shards_[s].index; }
+
+  uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  /// Cut-edge deliveries duplicated to the halo shard.
+  uint64_t halo_deliveries() const {
+    return halo_deliveries_.load(std::memory_order_relaxed);
+  }
+  /// Deliveries a receiving shard's queue refused at hand-off (the other
+  /// replicas keep the activation; the refusing replica's boundary
+  /// neighborhood goes slightly stale). Under the default kBlock policy
+  /// with clamped timestamps this stays 0.
+  uint64_t halo_partial() const {
+    return halo_partial_.load(std::memory_order_relaxed);
+  }
+  /// Total queued activations across shards.
+  size_t IngestDepth() const;
+
+  /// Router-level stats: anc.shard.* counters (accepted / deliveries /
+  /// halo traffic / rejections) plus gauges for shard count, cut edges,
+  /// balance (x1000) and per-shard queue depth / epoch / accepted
+  /// (anc.shard.<i>.*). Per-shard full snapshots via ShardStats().
+  obs::StatsSnapshot Stats() const;
+
+  /// Shard s's full metric snapshot (anc.apply.*, anc.serve.*, ...).
+  obs::StatsSnapshot ShardStats(uint32_t s) const {
+    return shards_[s].server->Stats();
+  }
+
+  /// Adapter driving this server from a ServeHarness (satellite of the
+  /// sharding PR: the harness routes through callbacks, not a hardcoded
+  /// AncServer). The target borrows this server; keep it alive and
+  /// running for the harness run.
+  serve::HarnessTarget HarnessTarget();
+
+ private:
+  struct Shard {
+    std::unique_ptr<Graph> owned_graph;  ///< recovery path only
+    std::unique_ptr<AncIndex> index;
+    std::unique_ptr<store::DurableStore> store;
+    std::unique_ptr<serve::AncServer> server;
+    store::Mark start_mark;  ///< durability base (recovered watermark)
+  };
+
+  ShardedServer(const Graph* graph, std::vector<Shard> shards,
+                Partition partition, ShardedOptions options);
+
+  std::string ShardDir(uint32_t s) const;
+  Status WriteMeta() const;
+  static Result<std::pair<Partition, uint32_t>> ReadMeta(
+      const std::string& dir);
+
+  /// Drains staged deliveries and snapshots the per-shard frontier tickets
+  /// covering global ticket `seq`; OutOfRange when `seq` was never issued.
+  Result<std::vector<uint64_t>> ShardFrontiers(uint64_t seq);
+
+  /// Stages one delivery for shard `s` (route_mutex_ held), flushing the
+  /// shard's batch when it reaches kRouteBatch.
+  void StageLocked(uint32_t s, const Activation& activation);
+  /// Hands shard `s`'s staged batch to its queue in one push
+  /// (route_mutex_ held).
+  void FlushShardLocked(uint32_t s);
+  void FlushAllLocked();
+  /// Takes route_mutex_ and drains every staging buffer.
+  void FlushStaging();
+
+  const Graph* graph_;  ///< canonical graph (external or shard 0's)
+  ShardedOptions options_;
+  std::vector<Shard> shards_;
+  std::unique_ptr<Router> router_;
+  PartitionStats partition_stats_;
+  std::vector<ShardRecoveryInfo> recovery_info_;
+
+  std::atomic<bool> running_{false};
+  bool started_once_ = false;
+
+  /// Deliveries staged per shard before their batched queue push.
+  static constexpr size_t kRouteBatch = 128;
+  /// Oldest a staged delivery may get under continued traffic before a
+  /// Submit flushes every buffer (visibility bound for slow producers).
+  static constexpr std::chrono::milliseconds kMaxStageAge{2};
+
+  /// Serializes routing: global ticket issue + per-shard staging/pushes,
+  /// keeping the per-shard frontier vector consistent with the global
+  /// order.
+  mutable std::mutex route_mutex_;
+  uint64_t issued_ = 0;                       // guarded by route_mutex_
+  std::vector<uint64_t> shard_last_ticket_;   // guarded by route_mutex_
+  std::vector<std::vector<Activation>> staging_;  // guarded by route_mutex_
+  size_t staged_total_ = 0;                   // guarded by route_mutex_
+  std::chrono::steady_clock::time_point staging_oldest_;  // guarded too
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> halo_deliveries_{0};
+  std::atomic<uint64_t> halo_partial_{0};
+};
+
+}  // namespace anc::shard
+
+#endif  // ANC_SHARD_SHARDED_SERVER_H_

@@ -19,6 +19,8 @@
 #include "obs/metrics.h"
 #include "pyramid/pyramid_index.h"
 #include "serve/server.h"
+#include "shard/sharded_server.h"
+#include "shard/sharded_view.h"
 #include "similarity/similarity_engine.h"
 #include "store/store.h"
 #include "util/rng.h"
@@ -379,6 +381,105 @@ TEST(StoreStressTest, WriterVsGroupCommitFlusherRaceAudit) {
   EXPECT_EQ(server.accepted(), stream.size());
   opened.value().reset();
   std::filesystem::remove_all(dir);
+}
+
+/// The sharded router's shared surfaces under TSan: racing producers push
+/// through the routing mutex into four concurrent shard writers, a reader
+/// thread repeatedly captures merged ShardedViews (N snapshot publishes
+/// racing N captures) and runs scatter-gather queries over them, a waiter
+/// chases the moving global ticket frontier across the per-shard watermark
+/// cvs, and a stats poller crosses every per-shard metrics registry.
+/// Functional differential assertions live in shard_test.cc; this variant
+/// maximizes interleavings (tiny queues, publish-on-every-apply).
+TEST(ShardStressTest, RoutedProducersVsScatterGatherReaders) {
+  PlantedPartitionParams pp;
+  pp.num_communities = 4;
+  pp.min_size = 10;
+  pp.max_size = 14;
+  pp.mixing = 0.2;  // cut edges so halo delivery races too
+  Rng rng(81);
+  GroundTruthGraph data = PlantedPartition(pp, rng);
+  ActivationStream stream = UniformStream(data.graph, 30, 0.08, rng);
+
+  AncConfig config;
+  config.pyramid.num_pyramids = 3;
+  config.mode = AncMode::kOnline;
+
+  shard::ShardedOptions options;
+  options.partition.num_shards = 4;
+  options.serve.ingest.capacity = 8;  // force backpressure blocking
+  options.serve.ingest.clamp_out_of_order = true;
+  options.serve.snapshot_every_activations = 1;  // publish on every apply
+  options.serve.snapshot_max_age_s = 0.0;
+  auto created = shard::ShardedServer::Create(data.graph, config, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  shard::ShardedServer& server = *created.value();
+  ASSERT_GT(server.router().cut_edges(), 0u);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kProducers = 3;
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < stream.size();
+           i = next.fetch_add(1)) {
+        ASSERT_TRUE(server.Submit(stream[i]).ok());
+      }
+    });
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread waiter([&] {
+    // Await the moving global frontier: ShardFrontiers snapshots under the
+    // route mutex while producers issue tickets, then blocks on every
+    // shard's watermark cv.
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t target = server.accepted();
+      ASSERT_TRUE(
+          server.AwaitSeq(target, std::chrono::milliseconds(5000)).ok());
+    }
+  });
+  std::thread reader([&] {
+    uint64_t reads = 0;
+    std::vector<uint64_t> last_epochs(4, 0);
+    while (!stop.load(std::memory_order_acquire)) {
+      const shard::ShardedView view = server.View();
+      const std::vector<uint64_t> epochs = view.Epochs();
+      for (size_t s = 0; s < epochs.size(); ++s) {
+        ASSERT_GE(epochs[s], last_epochs[s]);  // per-shard monotone
+        last_epochs[s] = epochs[s];
+      }
+      view.LocalCluster(
+          static_cast<NodeId>(reads % data.graph.NumNodes()),
+          view.DefaultLevel());
+      if (++reads % 16 == 0) view.Clusters();
+    }
+  });
+  std::thread stats_poller([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const obs::StatsSnapshot stats = server.Stats();
+      ASSERT_GE(stats.counter("anc.shard.accepted") +
+                    stats.counter("anc.shard.rejected"),
+                stats.counter("anc.shard.halo_partial"));
+    }
+  });
+
+  for (std::thread& p : producers) p.join();
+  ASSERT_TRUE(server.Flush(std::chrono::milliseconds(30000)).ok());
+  stop.store(true, std::memory_order_release);
+  waiter.join();
+  reader.join();
+  stats_poller.join();
+  server.Stop();
+
+  EXPECT_TRUE(server.writer_status().ok());
+  EXPECT_EQ(server.accepted(), stream.size());
+  EXPECT_GT(server.halo_deliveries(), 0u);
+  for (uint32_t s = 0; s < server.num_shards(); ++s) {
+    EXPECT_TRUE(server.shard_index(s).ValidateInvariants(/*deep=*/false).ok());
+  }
 }
 
 }  // namespace
