@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,7 +12,9 @@
 #include "graph/graph.h"
 #include "metrics/quality.h"
 #include "metrics/structural.h"
+#include "obs/exporter.h"
 #include "obs/stats.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace anc::bench {
@@ -53,17 +56,29 @@ void PrintRow(const std::vector<std::string>& cells, int width = 12);
 std::string FormatDouble(double value, int precision = 4);
 std::string FormatSci(double value);
 
+/// Opens a JSONL obs::TraceSink on the path in $ANC_TRACE_FILE, or returns
+/// nullptr when the variable is unset/empty or the file cannot be opened.
+/// Benches attach the sink to whatever they drive (AncIndex::SetTraceSink /
+/// shard::ShardedServer::SetTraceSink) so a traced bench run costs one env
+/// var:  ANC_TRACE_FILE=/tmp/bench.trace ./bench_serve_throughput
+std::unique_ptr<obs::TraceSink> OpenTraceSinkFromEnv();
+
 /// Collects labeled StatsSnapshots over a bench run and writes them as one
 /// JSON document `<bench_name>_stats.json` in $ANC_STATS_DIR (falling back
 /// to the working directory) on Flush/destruction:
 ///
 ///   { "bench": "...", "runs": [
 ///       {"label": "...", "elapsed_seconds": ..., "stats": {counters,
-///        gauges, histograms}}, ... ] }
+///        gauges, histograms},
+///        "timeseries": [{"t_s":..,"interval_s":..,"delta":{...}}, ...]},
+///       ... ] }
 ///
 /// Typical use: `exporter.Add(label, anc.Stats(), timer.ElapsedSeconds())`
 /// after each configuration, so every row of a bench table has the full
-/// per-stage metric breakdown next to it (docs/observability.md).
+/// per-stage metric breakdown next to it (docs/observability.md). Runs that
+/// kept a TelemetryExporter ticking pass its samples() as `timeseries`,
+/// turning the per-run summary into a live time-series of per-interval
+/// deltas (the "timeseries" section of BENCH_*.json).
 class StatsJsonExporter {
  public:
   explicit StatsJsonExporter(std::string bench_name);
@@ -73,7 +88,8 @@ class StatsJsonExporter {
   StatsJsonExporter& operator=(const StatsJsonExporter&) = delete;
 
   void Add(std::string label, obs::StatsSnapshot stats,
-           double elapsed_seconds = 0.0);
+           double elapsed_seconds = 0.0,
+           std::vector<obs::TelemetrySample> timeseries = {});
 
   /// Writes the document; returns the output path ("" on I/O failure).
   /// Idempotent: the second and later calls do nothing and return the
@@ -85,6 +101,7 @@ class StatsJsonExporter {
     std::string label;
     obs::StatsSnapshot stats;
     double elapsed_seconds = 0.0;
+    std::vector<obs::TelemetrySample> timeseries;
   };
   std::string bench_name_;
   std::vector<Run> runs_;

@@ -4,12 +4,16 @@
 // three backpressure policies and a producer/reader sweep. Reports ingest
 // throughput, query p50/p99, observed staleness (activations behind the
 // ingest frontier) and epochs published; full per-stage metrics go to
-// bench_serve_throughput_stats.json via StatsJsonExporter ($ANC_STATS_DIR).
+// bench_serve_throughput_stats.json via StatsJsonExporter ($ANC_STATS_DIR),
+// with a per-run "timeseries" section of periodic TelemetryExporter deltas.
 //
 // ANC_SERVE_SMOKE=1 shrinks the workload for CI smoke runs
-// (scripts/bench_smoke.sh).
+// (scripts/bench_smoke.sh). ANC_TRACE_FILE=<path> attaches a TraceSink so
+// every run also emits correlated ingest/apply/publish spans as JSONL.
 
+#include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,6 +64,14 @@ serve::ServeOptions OptionsFor(serve::BackpressurePolicy policy,
   return options;
 }
 
+/// Tick fast enough that even smoke runs retain a few per-interval deltas
+/// (Stop() always takes a final sample, so no run exports empty).
+obs::TelemetryOptions TelemetryTick() {
+  obs::TelemetryOptions options;
+  options.interval = std::chrono::milliseconds(100);
+  return options;
+}
+
 std::string Row(const std::string& label, const serve::HarnessReport& r) {
   PrintRow({label, std::to_string(r.accepted), FormatSci(r.ingest_per_sec),
             FormatDouble(r.query_p50_us, 1), FormatDouble(r.query_p99_us, 1),
@@ -78,6 +90,7 @@ int Main() {
               w.stream.size(), smoke ? " (smoke)" : "");
 
   StatsJsonExporter exporter("bench_serve_throughput");
+  const std::unique_ptr<obs::TraceSink> trace = OpenTraceSinkFromEnv();
   PrintHeader("serve throughput: producers x query-threads sweep");
   PrintRow({"config", "accepted", "ingest/s", "q_p50us", "q_p99us",
             "stale_avg", "stale_max", "lost", "shed", "epochs"});
@@ -91,9 +104,13 @@ int Main() {
                   {1, 1}, {1, 4}, {2, 4}, {4, 4}, {4, 8}};
   for (const auto& [producers, readers] : sweep) {
     AncIndex index(w.data.graph, ServeConfig());
+    if (trace != nullptr) index.SetTraceSink(trace.get());
     serve::AncServer server(
         &index, OptionsFor(serve::BackpressurePolicy::kBlock, 4096));
     if (!server.Start().ok()) return 1;
+    obs::TelemetryExporter telemetry([&server] { return server.Stats(); },
+                                     TelemetryTick());
+    telemetry.Start();
     serve::HarnessOptions ho;
     ho.num_producers = producers;
     ho.num_query_threads = readers;
@@ -101,11 +118,12 @@ int Main() {
     Timer timer;
     serve::HarnessReport report = harness.Run(w.stream);
     const double elapsed = timer.ElapsedSeconds();
+    telemetry.Stop();
     server.Stop();
     const std::string label =
         "block_p" + std::to_string(producers) + "_q" + std::to_string(readers);
     Row(label, report);
-    exporter.Add(label, server.Stats(), elapsed);
+    exporter.Add(label, server.Stats(), elapsed, telemetry.samples());
   }
 
   // Backpressure policies under a deliberately tiny queue: kBlock stays
@@ -120,8 +138,12 @@ int Main() {
                   {"reject", serve::BackpressurePolicy::kReject}};
   for (const auto& [name, policy] : policies) {
     AncIndex index(w.data.graph, ServeConfig());
+    if (trace != nullptr) index.SetTraceSink(trace.get());
     serve::AncServer server(&index, OptionsFor(policy, 64));
     if (!server.Start().ok()) return 1;
+    obs::TelemetryExporter telemetry([&server] { return server.Stats(); },
+                                     TelemetryTick());
+    telemetry.Start();
     serve::HarnessOptions ho;
     ho.num_producers = 2;
     ho.num_query_threads = 4;
@@ -129,9 +151,10 @@ int Main() {
     Timer timer;
     serve::HarnessReport report = harness.Run(w.stream);
     const double elapsed = timer.ElapsedSeconds();
+    telemetry.Stop();
     server.Stop();
     Row(name, report);
-    exporter.Add(name, server.Stats(), elapsed);
+    exporter.Add(name, server.Stats(), elapsed, telemetry.samples());
   }
 
   const std::string path = exporter.Flush();

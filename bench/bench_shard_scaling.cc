@@ -8,13 +8,17 @@
 // speedup column; each run's row in bench_shard_scaling_stats.json
 // (StatsJsonExporter, $ANC_STATS_DIR) carries it as the
 // bench.ingest_per_sec / bench.speedup_x100 gauges next to the full router
-// metrics.
+// metrics, plus a "timeseries" section of periodic TelemetryExporter
+// deltas. ANC_TRACE_FILE=<path> attaches a TraceSink so every run also
+// emits correlated routed-ingest and scatter-gather spans as JSONL.
 //
 // ANC_SHARD_SMOKE=1 keeps the full-size workload (a toy graph cannot show
 // scaling) but trims the sweep to the acceptance rows — single, hash_s4,
 // ldg_s4 — so scripts/bench_smoke.sh and CI finish in seconds.
 
+#include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -57,7 +61,8 @@ Workload MakeWorkload() {
 /// BENCH_shard.json carries them directly (speedup_x100 = 2.51x -> 251).
 void AddRun(StatsJsonExporter& exporter, const std::string& label,
             obs::StatsSnapshot stats, const serve::HarnessReport& report,
-            double speedup, double elapsed) {
+            double speedup, double elapsed,
+            std::vector<obs::TelemetrySample> timeseries) {
   stats.gauges.push_back(
       {"bench.ingest_per_sec",
        static_cast<int64_t>(report.ingest_per_sec + 0.5)});
@@ -66,7 +71,15 @@ void AddRun(StatsJsonExporter& exporter, const std::string& label,
   stats.gauges.push_back(
       {"bench.query_p99_us",
        static_cast<int64_t>(report.query_p99_us + 0.5)});
-  exporter.Add(label, std::move(stats), elapsed);
+  exporter.Add(label, std::move(stats), elapsed, std::move(timeseries));
+}
+
+/// Tick fast enough that even the smoke sweep retains a few per-interval
+/// deltas (Stop() always takes a final sample, so no run exports empty).
+obs::TelemetryOptions TelemetryTick() {
+  obs::TelemetryOptions options;
+  options.interval = std::chrono::milliseconds(100);
+  return options;
 }
 
 AncConfig ServeConfig() {
@@ -101,6 +114,7 @@ int Main() {
               w.stream.size(), smoke ? " (smoke: acceptance rows only)" : "");
 
   StatsJsonExporter exporter("bench_shard_scaling");
+  const std::unique_ptr<obs::TraceSink> trace = OpenTraceSinkFromEnv();
   serve::HarnessOptions ho;
   ho.num_producers = 2;
   ho.num_query_threads = 4;
@@ -114,16 +128,22 @@ int Main() {
   double baseline_per_sec = 0.0;
   {
     AncIndex index(w.data.graph, ServeConfig());
+    if (trace != nullptr) index.SetTraceSink(trace.get());
     serve::AncServer server(&index, ShardServeOptions());
     if (!server.Start().ok()) return 1;
+    obs::TelemetryExporter telemetry([&server] { return server.Stats(); },
+                                     TelemetryTick());
+    telemetry.Start();
     serve::ServeHarness harness(&server, ho);
     Timer timer;
     serve::HarnessReport report = harness.Run(w.stream);
     const double elapsed = timer.ElapsedSeconds();
+    telemetry.Stop();
     server.Stop();
     baseline_per_sec = report.ingest_per_sec;
     Row("single", report, 1.0, 0.0, 1.0, 0);
-    AddRun(exporter, "single", server.Stats(), report, 1.0, elapsed);
+    AddRun(exporter, "single", server.Stats(), report, 1.0, elapsed,
+           telemetry.samples());
   }
 
   std::vector<std::pair<shard::PartitionerKind, uint32_t>> sweep;
@@ -151,11 +171,16 @@ int Main() {
       return 1;
     }
     shard::ShardedServer& server = *created.value();
+    if (trace != nullptr) server.SetTraceSink(trace.get());
     if (!server.Start().ok()) return 1;
+    obs::TelemetryExporter telemetry([&server] { return server.Stats(); },
+                                     TelemetryTick());
+    telemetry.Start();
     serve::ServeHarness harness(server.HarnessTarget(), ho);
     Timer timer;
     serve::HarnessReport report = harness.Run(w.stream);
     const double elapsed = timer.ElapsedSeconds();
+    telemetry.Stop();
     server.Stop();
     const shard::PartitionStats& stats = server.partition_stats();
     const std::string label = std::string(PartitionerKindName(kind)) + "_s" +
@@ -165,7 +190,8 @@ int Main() {
                                : 0.0;
     Row(label, report, speedup, stats.cut_ratio, stats.balance,
         server.halo_deliveries());
-    AddRun(exporter, label, server.Stats(), report, speedup, elapsed);
+    AddRun(exporter, label, server.Stats(), report, speedup, elapsed,
+           telemetry.samples());
   }
 
   const std::string path = exporter.Flush();

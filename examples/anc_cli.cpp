@@ -70,6 +70,20 @@
 //   shard-stop              drain and stop all shards
 // While sharded serving is active, the single-index and single-server
 // commands are refused (and vice versa).
+//
+// Observability (docs/observability.md) — tracing, telemetry, health:
+//   trace-open <path>       attach a JSONL trace sink to the index (and the
+//                           sharded server, when running): spans for every
+//                           apply / query / ingest stage, correlated by
+//                           trace id; validate with examples/trace_check
+//   trace-close             detach and close the trace sink
+//   telemetry [prom|json] [path]
+//                           render the current metric snapshot as
+//                           Prometheus text exposition (default) or JSON,
+//                           to stdout or to <path>
+//   shard-health            per-shard health scorecards (cut ratio, queue
+//                           depth/staleness, durable lag) with degraded /
+//                           critical verdicts
 
 #include <chrono>
 #include <cstdio>
@@ -84,7 +98,11 @@
 #include "core/serialization.h"
 #include "datasets/synthetic.h"
 #include "graph/io.h"
+#include "obs/exporter.h"
+#include "obs/health.h"
+#include "obs/trace.h"
 #include "serve/server.h"
+#include "shard/health.h"
 #include "shard/partitioner.h"
 #include "shard/sharded_server.h"
 #include "store/store.h"
@@ -100,6 +118,8 @@ struct Session {
   std::unique_ptr<store::DurableStore> store;
   std::unique_ptr<serve::AncServer> server;
   std::unique_ptr<shard::ShardedServer> sharded;
+  std::unique_ptr<obs::TraceSink> trace;
+  std::string trace_path;
   uint32_t level = 1;
   /// Highest activation time the index already covers — recover sets it so
   /// a follow-up wal-open checkpoints the store at the right mark.
@@ -215,6 +235,9 @@ bool HandleLine(Session& session, const std::string& line) {
     session.store.reset();  // a store checkpoints one specific index
     session.covered_time = 0.0;
     session.level = session.index->DefaultLevel();
+    if (session.trace != nullptr) {
+      session.index->SetTraceSink(session.trace.get());
+    }
     std::printf("index ready: %u pyramids x %u levels, epsilon=%.3f, rep=%u\n",
                 config.pyramid.num_pyramids, session.index->num_levels(),
                 config.similarity.epsilon, rep);
@@ -683,6 +706,9 @@ bool HandleLine(Session& session, const std::string& line) {
       return true;
     }
     session.sharded = std::move(created.value());
+    if (session.trace != nullptr) {
+      session.sharded->SetTraceSink(session.trace.get());
+    }
     std::printf("sharded serving: %s | durability %s\n",
                 session.sharded->partition_stats().ToString().c_str(),
                 dir.empty() ? "none" : dir.c_str());
@@ -799,6 +825,9 @@ bool HandleLine(Session& session, const std::string& line) {
       return true;
     }
     session.sharded = std::move(recovered.value());
+    if (session.trace != nullptr) {
+      session.sharded->SetTraceSink(session.trace.get());
+    }
     std::printf("recovered %u shards: %s\n", session.sharded->num_shards(),
                 session.sharded->partition_stats().ToString().c_str());
     for (const shard::ShardRecoveryInfo& info :
@@ -828,6 +857,82 @@ bool HandleLine(Session& session, const std::string& line) {
                     ? "ok"
                     : session.sharded->store_status().ToString().c_str());
     session.sharded.reset();
+  } else if (command == "trace-open") {
+    std::string path;
+    if (!(args >> path)) {
+      std::printf("usage: trace-open <path>\n");
+      return true;
+    }
+    if (session.trace != nullptr) {
+      std::printf("error: trace already open at %s (trace-close first)\n",
+                  session.trace_path.c_str());
+      return true;
+    }
+    auto sink = std::make_unique<obs::TraceSink>(path);
+    if (!sink->ok()) {
+      std::printf("error: cannot open %s\n", path.c_str());
+      return true;
+    }
+    session.trace = std::move(sink);
+    session.trace_path = path;
+    if (session.index != nullptr) {
+      session.index->SetTraceSink(session.trace.get());
+    }
+    if (session.sharded != nullptr) {
+      session.sharded->SetTraceSink(session.trace.get());
+    }
+    std::printf("tracing to %s (JSONL; check with trace_check)\n",
+                path.c_str());
+  } else if (command == "trace-close") {
+    if (session.trace == nullptr) {
+      std::printf("error: no trace open\n");
+      return true;
+    }
+    if (session.index != nullptr) session.index->SetTraceSink(nullptr);
+    if (session.sharded != nullptr) session.sharded->SetTraceSink(nullptr);
+    session.trace.reset();
+    std::printf("trace closed: %s\n", session.trace_path.c_str());
+    session.trace_path.clear();
+  } else if (command == "telemetry") {
+    obs::StatsSnapshot snapshot;
+    if (session.sharded != nullptr) {
+      snapshot = session.sharded->Stats();
+    } else if (session.server != nullptr) {
+      snapshot = session.server->Stats();
+    } else if (session.index != nullptr) {
+      snapshot = session.index->Stats();
+    } else {
+      std::printf("error: nothing to report (run init first)\n");
+      return true;
+    }
+    std::string format = "prom";
+    std::string path;
+    args >> format >> path;
+    std::string rendered;
+    if (format == "prom") {
+      rendered = obs::RenderPrometheus(snapshot);
+    } else if (format == "json") {
+      rendered = snapshot.ToJson(2) + "\n";
+    } else {
+      std::printf("usage: telemetry [prom|json] [path]\n");
+      return true;
+    }
+    if (path.empty()) {
+      std::fputs(rendered.c_str(), stdout);
+    } else {
+      std::ofstream out(path, std::ios::trunc);
+      if (!out) {
+        std::printf("error: cannot write %s\n", path.c_str());
+        return true;
+      }
+      out << rendered;
+      std::printf("wrote %zu bytes of %s to %s\n", rendered.size(),
+                  format.c_str(), path.c_str());
+    }
+  } else if (command == "shard-health") {
+    if (!session.RequireSharded()) return true;
+    const obs::HealthReport report = shard::AssessHealth(*session.sharded);
+    std::printf("%s\n", report.ToString().c_str());
   } else {
     std::printf("unknown command: %s\n", command.c_str());
   }

@@ -15,6 +15,10 @@
 #               ShardedServer differential + recovery tests and the
 #               racing-producers scatter-gather stress in
 #               concurrency_test.cc (docs/sharding.md)
+#   obs-trace   Release build, traced smoke runs of the serving and
+#               sharding benches; trace_check validates the emitted JSONL
+#               (span nesting, queue-wait→apply and query→gather
+#               correlation, required span names — docs/observability.md)
 #
 # Usage: scripts/check.sh [--fast] [config ...]
 #   With no arguments every configuration runs. Naming one or more configs
@@ -76,9 +80,32 @@ run_one() {
       ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
         -R '^(ShardPartitionerTest|ShardRouterTest|ShardedServerTest|ShardRecoveryTest|ShardStressTest)\.'
       ;;
+    obs-trace)
+      # Traced smoke runs of the serving and sharding benches; trace_check
+      # rejects malformed JSONL, broken span nesting, queue-wait spans with
+      # no matching apply, query spans with no matching gather, and missing
+      # required span names (docs/observability.md).
+      local dir=build
+      echo "=== [$dir] obs-trace (traced bench smoke + trace_check) ==="
+      cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release
+      cmake --build "$dir" -j "$JOBS" \
+        --target bench_serve_throughput bench_shard_scaling trace_check
+      local tracedir
+      tracedir=$(mktemp -d)
+      ANC_SERVE_SMOKE=1 ANC_TRACE_FILE="$tracedir/serve.jsonl" \
+        "$dir/bench/bench_serve_throughput"
+      "$dir/examples/trace_check" "$tracedir/serve.jsonl" \
+        ingest.queue_wait serve.apply serve.publish
+      ANC_SHARD_SMOKE=1 ANC_TRACE_FILE="$tracedir/shard.jsonl" \
+        "$dir/bench/bench_shard_scaling"
+      "$dir/examples/trace_check" "$tracedir/shard.jsonl" \
+        ingest.queue_wait serve.apply serve.publish \
+        shard.query_clusters shard.gather shard.merge
+      rm -rf "$tracedir"
+      ;;
     *)
       echo "unknown configuration '$1'" >&2
-      echo "known: default nometrics asan tsan invariants store-crash shard" >&2
+      echo "known: default nometrics asan tsan invariants store-crash shard obs-trace" >&2
       exit 2
       ;;
   esac

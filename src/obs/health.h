@@ -1,0 +1,180 @@
+#ifndef ANC_OBS_HEALTH_H_
+#define ANC_OBS_HEALTH_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace anc::obs {
+
+class Json;
+
+/// Health states, ordered by severity.
+enum class HealthState : uint8_t { kHealthy = 0, kDegraded = 1, kCritical = 2 };
+
+const char* HealthStateName(HealthState state);
+
+/// Per-shard observation folded into a scorecard. The shard layer builds
+/// these from its servers (shard::CollectHealthSample); keeping the types
+/// plain here lets the monitor live in obs without depending on serve or
+/// shard.
+struct ShardHealthSample {
+  uint32_t shard = 0;
+  uint64_t accepted = 0;        ///< per-shard tickets issued
+  size_t queue_depth = 0;       ///< unapplied activations in the queue
+  double queue_oldest_age_s = 0.0;  ///< age of the oldest queued entry
+  uint64_t applied_seq = 0;     ///< published watermark ticket
+  uint64_t durable_seq = 0;     ///< fsynced watermark ticket
+  bool durable_enabled = false; ///< durability configured on this shard
+  double view_age_s = 0.0;      ///< staleness of the published view
+  uint64_t epoch = 0;
+};
+
+/// Cluster-wide observation: partitioner scorecard (ComputeStats) plus the
+/// router's anc.shard.* counters.
+struct ClusterHealthSample {
+  uint32_t num_shards = 0;
+  uint64_t num_edges = 0;
+  uint64_t cut_edges = 0;
+  double cut_ratio = 0.0;  ///< cut_edges / num_edges
+  double balance = 0.0;    ///< max shard_nodes / (n / k); 1.0 is perfect
+  uint64_t halo_partial = 0;  ///< fan-out deliveries a shard queue refused
+  std::vector<ShardHealthSample> shards;
+};
+
+/// Degraded / critical trip points. Every check trips kDegraded at the
+/// degraded_* value and kCritical at the critical_* value; the report's
+/// state is the worst tripped check. Defaults reflect docs/sharding.md:
+/// LDG cuts ~10-20% of community-structured edges where hash approaches
+/// (k-1)/k, so a 25% cut ratio separates "partitioner doing its job" from
+/// "ingest dominated by halo duplication".
+struct HealthThresholds {
+  double degraded_cut_ratio = 0.25;
+  double critical_cut_ratio = 0.60;
+  double degraded_balance = 1.5;
+  double critical_balance = 2.5;
+  size_t degraded_queue_depth = 1024;
+  size_t critical_queue_depth = 16384;
+  double degraded_staleness_s = 0.5;  ///< queue oldest-entry age / view age
+  double critical_staleness_s = 5.0;
+  uint64_t degraded_durable_lag = 4096;  ///< applied_seq - durable_seq
+  uint64_t critical_durable_lag = 65536;
+  /// Ingest skew: max per-shard accepted / mean accepted. Only judged once
+  /// total accepted reaches min_accepted_for_skew (early traffic is noise).
+  double degraded_load_skew = 2.0;
+  double critical_load_skew = 4.0;
+  uint64_t min_accepted_for_skew = 1024;
+};
+
+/// One shard's verdict: the tripped checks, each as a human-readable
+/// reason string ("queue_depth 9000 >= 1024").
+struct ShardScorecard {
+  uint32_t shard = 0;
+  HealthState state = HealthState::kHealthy;
+  std::vector<std::string> reasons;
+  ShardHealthSample sample;
+};
+
+struct HealthReport {
+  HealthState overall = HealthState::kHealthy;
+  /// Cluster-level verdict (cut ratio, balance, skew, halo_partial).
+  HealthState cluster_state = HealthState::kHealthy;
+  std::vector<std::string> cluster_reasons;
+  std::vector<ShardScorecard> shards;
+  ClusterHealthSample sample;
+
+  Json ToJsonValue() const;
+  std::string ToJson(int indent = 2) const;
+  /// Multi-line human-readable rendering (the anc_cli `shard-health`
+  /// command).
+  std::string ToString() const;
+};
+
+/// Folds a ClusterHealthSample into per-shard scorecards and an overall
+/// state (docs/observability.md). Pure function of (sample, thresholds) —
+/// call it on every assessment; keep the monitor around to hold the
+/// thresholds.
+class ShardHealthMonitor {
+ public:
+  ShardHealthMonitor(HealthThresholds thresholds = {})  // NOLINT: implicit
+      : thresholds_(thresholds) {}
+
+  const HealthThresholds& thresholds() const { return thresholds_; }
+
+  HealthReport Assess(const ClusterHealthSample& sample) const;
+
+ private:
+  HealthThresholds thresholds_;
+};
+
+/// What a StallWatchdog probe reports per watched entity: an opaque
+/// progress value (e.g. applied ticket + durable ticket) and whether the
+/// entity has pending work. A stall is "pending work, progress frozen".
+struct WatchedProgress {
+  std::string name;
+  uint64_t progress = 0;
+  bool pending = false;
+};
+
+struct WatchdogOptions {
+  std::chrono::milliseconds poll{50};
+  /// Seconds a pending entity's progress may stay frozen before on_stall
+  /// fires (once per stall episode; progress re-arms it).
+  double stall_after_s = 1.0;
+};
+
+/// Background stall detector (docs/observability.md): polls `probe` and
+/// fires `on_stall(entry, stalled_s)` when an entry has had pending work
+/// but unchanged progress for stall_after_s. The shard layer wires this to
+/// per-shard applied/durable watermarks and dumps the flight recorder from
+/// on_stall. Both callbacks run on the watchdog thread; they must not
+/// block for long and must outlive the watchdog.
+class StallWatchdog {
+ public:
+  StallWatchdog(std::function<std::vector<WatchedProgress>()> probe,
+                std::function<void(const WatchedProgress&, double)> on_stall,
+                WatchdogOptions options = {});
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  bool Start();
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Stall episodes fired so far.
+  uint64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+
+ private:
+  struct WatchState {
+    uint64_t progress = 0;
+    std::chrono::steady_clock::time_point last_change;
+    bool fired = false;
+    bool seen = false;
+  };
+
+  void Loop();
+
+  std::function<std::vector<WatchedProgress>()> probe_;
+  std::function<void(const WatchedProgress&, double)> on_stall_;
+  WatchdogOptions options_;
+
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> stalls_{0};
+  std::vector<std::pair<std::string, WatchState>> states_;
+  std::thread thread_;
+};
+
+}  // namespace anc::obs
+
+#endif  // ANC_OBS_HEALTH_H_

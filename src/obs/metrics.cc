@@ -152,12 +152,21 @@ void MetricsRegistry::Reset() {
 #ifndef ANC_METRICS_DISABLED
 
 ScopedTimer::ScopedTimer(MetricsRegistry* registry, HistogramId hist,
-                         const char* span_name)
-    : registry_(registry), hist_(hist), span_name_(nullptr) {
+                         const char* span_name, TraceContext trace,
+                         int shard)
+    : registry_(registry),
+      hist_(hist),
+      span_name_(nullptr),
+      sink_uid_(0),
+      trace_(trace),
+      shard_(shard) {
   if (registry_ == nullptr) return;
-  if (span_name != nullptr && registry_->trace_sink() != nullptr) {
-    span_name_ = span_name;
-    TraceSink::EnterSpan();
+  if (span_name != nullptr) {
+    if (TraceSink* sink = registry_->trace_sink()) {
+      span_name_ = span_name;
+      sink_uid_ = sink->uid();
+      TraceSink::EnterSpan(sink_uid_);
+    }
   }
   start_ = std::chrono::steady_clock::now();
 }
@@ -169,11 +178,22 @@ ScopedTimer::~ScopedTimer() {
       std::chrono::duration<double, std::micro>(end - start_).count();
   registry_->Record(hist_, us);
   if (span_name_ != nullptr) {
-    const int depth = TraceSink::ExitSpan();
-    // Re-read the sink: it may have been detached mid-span, in which case
-    // the event is dropped but the depth bookkeeping above stays balanced.
-    if (TraceSink* sink = registry_->trace_sink()) {
-      sink->EmitSpan(span_name_, sink->TsMicros(start_), us, depth);
+    // Exit is keyed by uid (no sink dereference), so depth stays balanced
+    // even if the sink was detached — or detached *and destroyed* —
+    // mid-span. Re-read the sink and emit only if the same one is still
+    // attached; otherwise the event is dropped.
+    const int depth = TraceSink::ExitSpan(sink_uid_);
+    TraceSink* sink = registry_->trace_sink();
+    if (sink != nullptr && sink->uid() == sink_uid_) {
+      SpanEvent span;
+      span.name = span_name_;
+      span.ts_us = sink->TsMicros(start_);
+      span.dur_us = us;
+      span.depth = depth;
+      span.trace_id = trace_.trace_id;
+      span.parent_span = trace_.parent_span;
+      span.shard = shard_;
+      sink->EmitSpan(span);
     }
   }
 }

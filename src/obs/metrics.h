@@ -12,10 +12,9 @@
 #include <vector>
 
 #include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace anc::obs {
-
-class TraceSink;
 
 /// Compile-time escape hatch: configuring with -DANC_METRICS=OFF defines
 /// ANC_METRICS_DISABLED globally and every recording call (Add / Set /
@@ -164,16 +163,20 @@ class MetricsRegistry {
 /// RAII stage timer: records elapsed microseconds into `hist` on
 /// destruction and, when constructed with a span name while the registry
 /// has a trace sink attached, emits a nested span event (JSONL) to the
-/// sink. A null registry disables the timer entirely (no clock reads).
+/// sink, carrying `trace` (and `shard`, when >= 0) if given. A null
+/// registry disables the timer entirely (no clock reads); an invalid
+/// `hist` skips the histogram but still emits the span.
 class ScopedTimer {
  public:
 #ifndef ANC_METRICS_DISABLED
   ScopedTimer(MetricsRegistry* registry, HistogramId hist,
-              const char* span_name = nullptr);
+              const char* span_name = nullptr, TraceContext trace = {},
+              int shard = -1);
   ~ScopedTimer();
 #else
   ScopedTimer(MetricsRegistry* /*registry*/, HistogramId /*hist*/,
-              const char* /*span_name*/ = nullptr) {}
+              const char* /*span_name*/ = nullptr,
+              TraceContext /*trace*/ = {}, int /*shard*/ = -1) {}
   ~ScopedTimer() = default;
 #endif
 
@@ -185,6 +188,9 @@ class ScopedTimer {
   MetricsRegistry* registry_;
   HistogramId hist_;
   const char* span_name_;
+  uint64_t sink_uid_;  // the sink entered at construction (depth key)
+  TraceContext trace_;
+  int shard_;
   std::chrono::steady_clock::time_point start_;
 #endif
 };

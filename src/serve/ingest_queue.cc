@@ -10,11 +10,26 @@ IngestQueue::IngestQueue(IngestOptions options, obs::MetricsRegistry* registry)
     dropped_id_ = metrics_->Counter("anc.serve.ingest_dropped");
     rejected_id_ = metrics_->Counter("anc.serve.ingest_rejected");
     depth_id_ = metrics_->Gauge("anc.serve.ingest_depth");
+    high_watermark_id_ = metrics_->Gauge("anc.serve.ingest_high_watermark");
+    oldest_age_us_id_ = metrics_->Gauge("anc.serve.ingest_oldest_age_us");
     queue_wait_us_ = metrics_->Histogram("anc.serve.ingest_wait_us");
   }
 }
 
-Result<uint64_t> IngestQueue::Push(Activation activation) {
+void IngestQueue::SetOldestGaugeLocked(
+    std::chrono::steady_clock::time_point now) {
+  if (metrics_ == nullptr) return;
+  const double age_us =
+      entries_.empty()
+          ? 0.0
+          : std::chrono::duration<double, std::micro>(
+                now - entries_.front().enqueued_at)
+                .count();
+  metrics_->Set(oldest_age_us_id_, static_cast<int64_t>(age_us));
+}
+
+Result<uint64_t> IngestQueue::Push(Activation activation,
+                                   obs::TraceContext trace) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (closed_) return Status::FailedPrecondition("ingest queue is closed");
   if (activation.time < last_accepted_time_) {
@@ -57,11 +72,16 @@ Result<uint64_t> IngestQueue::Push(Activation activation) {
     activation.time = last_accepted_time_;
   }
   last_accepted_time_ = activation.time;
-  entries_.push_back({activation, seq, std::chrono::steady_clock::now()});
+  const auto now = std::chrono::steady_clock::now();
+  entries_.push_back({activation, seq, now, trace});
   ++accepted_;
+  if (entries_.size() > high_watermark_) high_watermark_ = entries_.size();
   if (metrics_ != nullptr) {
     metrics_->Add(accepted_id_);
     metrics_->Set(depth_id_, static_cast<int64_t>(entries_.size()));
+    metrics_->Set(high_watermark_id_,
+                  static_cast<int64_t>(high_watermark_));
+    SetOldestGaugeLocked(now);
   }
   lock.unlock();
   not_empty_.notify_one();
@@ -69,7 +89,8 @@ Result<uint64_t> IngestQueue::Push(Activation activation) {
 }
 
 Result<size_t> IngestQueue::PushBatch(const Activation* data, size_t count,
-                                      uint64_t* last_seq) {
+                                      uint64_t* last_seq,
+                                      const obs::TraceContext* traces) {
   size_t accepted = 0;
   uint64_t rejected = 0;
   uint64_t dropped = 0;
@@ -116,8 +137,13 @@ Result<size_t> IngestQueue::PushBatch(const Activation* data, size_t count,
       if (closed_) break;
       const uint64_t seq = next_seq_++;
       last_accepted_time_ = activation.time;
-      entries_.push_back({activation, seq, now});
+      entries_.push_back({activation, seq, now,
+                          traces != nullptr ? traces[i]
+                                            : obs::TraceContext{}});
       ++accepted;
+      if (entries_.size() > high_watermark_) {
+        high_watermark_ = entries_.size();
+      }
       if (last_seq != nullptr) *last_seq = seq;
     }
     accepted_ += accepted;
@@ -128,6 +154,9 @@ Result<size_t> IngestQueue::PushBatch(const Activation* data, size_t count,
       if (rejected > 0) metrics_->Add(rejected_id_, rejected);
       if (dropped > 0) metrics_->Add(dropped_id_, dropped);
       metrics_->Set(depth_id_, static_cast<int64_t>(entries_.size()));
+      metrics_->Set(high_watermark_id_,
+                    static_cast<int64_t>(high_watermark_));
+      SetOldestGaugeLocked(now);
     }
     if (closed_ && accepted == 0) {
       return Status::FailedPrecondition("ingest queue is closed");
@@ -139,7 +168,8 @@ Result<size_t> IngestQueue::PushBatch(const Activation* data, size_t count,
 
 size_t IngestQueue::PopBatch(std::vector<Activation>* out, size_t max_batch,
                              std::chrono::microseconds wait,
-                             uint64_t* resolved_seq) {
+                             uint64_t* resolved_seq,
+                             std::vector<Popped>* info) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (entries_.empty() && !closed_) {
     not_empty_.wait_for(lock, wait,
@@ -150,6 +180,7 @@ size_t IngestQueue::PopBatch(std::vector<Activation>* out, size_t max_batch,
   while (popped < max_batch && !entries_.empty()) {
     Entry& entry = entries_.front();
     out->push_back(entry.activation);
+    if (info != nullptr) info->push_back({entry.trace, entry.enqueued_at});
     resolved_seq_ = entry.seq;
     if (metrics_ != nullptr) {
       metrics_->Record(queue_wait_us_,
@@ -163,6 +194,7 @@ size_t IngestQueue::PopBatch(std::vector<Activation>* out, size_t max_batch,
   if (resolved_seq != nullptr) *resolved_seq = resolved_seq_;
   if (metrics_ != nullptr && popped > 0) {
     metrics_->Set(depth_id_, static_cast<int64_t>(entries_.size()));
+    SetOldestGaugeLocked(now);
   }
   lock.unlock();
   if (popped > 0) not_full_.notify_all();
@@ -206,6 +238,19 @@ uint64_t IngestQueue::rejected() const {
 double IngestQueue::last_accepted_time() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return last_accepted_time_;
+}
+
+size_t IngestQueue::high_watermark() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return high_watermark_;
+}
+
+double IngestQueue::OldestAgeSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.empty()) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       entries_.front().enqueued_at)
+      .count();
 }
 
 }  // namespace anc::serve

@@ -53,13 +53,15 @@ class IngestQueue {
   IngestQueue& operator=(const IngestQueue&) = delete;
 
   /// Producer side (any thread): enqueues one activation and returns its
-  /// ticket. Errors:
+  /// ticket. `trace` (optional) rides along to PopBatch, correlating the
+  /// queue-wait/apply/publish spans of a traced request
+  /// (docs/observability.md). Errors:
   ///  - FailedPrecondition: the queue is closed.
   ///  - InvalidArgument: timestamp below the last accepted one (and
   ///    clamp_out_of_order is off).
   ///  - Unavailable: the queue is full under kReject.
   /// Under kBlock a full queue blocks until space frees or Close().
-  Result<uint64_t> Push(Activation activation);
+  Result<uint64_t> Push(Activation activation, obs::TraceContext trace = {});
 
   /// Batched producer fast path: enqueues `count` activations under one
   /// lock acquisition with one consumer wakeup — per-push mutex and futex
@@ -71,16 +73,31 @@ class IngestQueue {
   /// non-null) receives the last ticket issued (untouched if none).
   /// Fails FailedPrecondition only when the queue was closed before any
   /// entry was accepted; a mid-batch Close returns the accepted prefix.
+  /// `traces` (optional) is an array of `count` per-entry trace contexts
+  /// aligned with `data` (fan-out batches mix requests, so one context per
+  /// batch would mis-attribute spans).
   Result<size_t> PushBatch(const Activation* data, size_t count,
-                           uint64_t* last_seq = nullptr);
+                           uint64_t* last_seq = nullptr,
+                           const obs::TraceContext* traces = nullptr);
+
+  /// Per-entry metadata PopBatch hands to the writer alongside the
+  /// activations: the producer's trace context and the enqueue time (the
+  /// writer emits queue-wait spans from it, with the shard ordinal only it
+  /// knows).
+  struct Popped {
+    obs::TraceContext trace;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
 
   /// Consumer side (single thread): moves up to `max_batch` activations
   /// into *out (appended), waiting up to `wait` for the first one. Returns
   /// the number popped; *resolved_seq (when non-null) receives the highest
-  /// ticket resolved so far (popped or dropped), which only grows.
+  /// ticket resolved so far (popped or dropped), which only grows. *info
+  /// (when non-null) receives one Popped per appended activation.
   size_t PopBatch(std::vector<Activation>* out, size_t max_batch,
                   std::chrono::microseconds wait,
-                  uint64_t* resolved_seq = nullptr);
+                  uint64_t* resolved_seq = nullptr,
+                  std::vector<Popped>* info = nullptr);
 
   /// Closes the queue: subsequent pushes fail FailedPrecondition, blocked
   /// producers wake with that status, and PopBatch keeps draining what
@@ -94,12 +111,28 @@ class IngestQueue {
   uint64_t rejected() const;  ///< kReject bounces + out-of-order rejections
   double last_accepted_time() const;
 
+  /// Deepest the queue has ever been (also the
+  /// anc.serve.ingest_high_watermark gauge) — sizes the capacity headroom
+  /// a shed decision had to work with.
+  size_t high_watermark() const;
+
+  /// Age of the oldest queued entry (0 when empty) — the ingest-side
+  /// staleness bound: everything published lags live time by at least
+  /// this much. Gauge anc.serve.ingest_oldest_age_us tracks it at the
+  /// last push/pop.
+  double OldestAgeSeconds() const;
+
  private:
   struct Entry {
     Activation activation;
     uint64_t seq;
     std::chrono::steady_clock::time_point enqueued_at;
+    obs::TraceContext trace;
   };
+
+  /// mutex_ held. Refreshes the oldest-entry-age gauge from the current
+  /// head (0 when empty).
+  void SetOldestGaugeLocked(std::chrono::steady_clock::time_point now);
 
   IngestOptions options_;
   mutable std::mutex mutex_;
@@ -113,12 +146,15 @@ class IngestQueue {
   uint64_t dropped_ = 0;
   uint64_t rejected_ = 0;
   double last_accepted_time_ = 0.0;
+  size_t high_watermark_ = 0;
 
   obs::MetricsRegistry* metrics_;
   obs::CounterId accepted_id_;
   obs::CounterId dropped_id_;
   obs::CounterId rejected_id_;
   obs::GaugeId depth_id_;
+  obs::GaugeId high_watermark_id_;
+  obs::GaugeId oldest_age_us_id_;
   obs::HistogramId queue_wait_us_;
 };
 

@@ -100,6 +100,15 @@ void AncServer::Stop() {
 void AncServer::WriterLoop() {
   std::vector<Activation> batch;
   batch.reserve(options_.max_batch);
+  std::vector<IngestQueue::Popped> info;
+  // Distinct trace ids drained but not yet covered by a published view; a
+  // "serve.publish" span is emitted for each at the next publish. Sized to
+  // hold a full drain batch of distinct traces (publish follows at most a
+  // few batches behind); beyond the cap, excess traces simply miss their
+  // publish span.
+  const size_t max_pending_publish_traces =
+      std::max<size_t>(4 * options_.max_batch, 128);
+  std::vector<uint64_t> pending_publish_traces;
   uint64_t applied_since_publish = 0;
   uint64_t applied_since_checkpoint = 0;
   uint64_t resolved_seq = 0;
@@ -107,17 +116,50 @@ void AncServer::WriterLoop() {
   double last_applied_time = 0.0;
   Clock::time_point last_publish = Clock::now();
 
+  const auto emit_span = [&](obs::TraceSink* sink, const char* name,
+                             Clock::time_point start, double dur_us,
+                             int depth, uint64_t trace_id) {
+    obs::SpanEvent span;
+    span.name = name;
+    span.ts_us = sink->TsMicros(start);
+    span.dur_us = dur_us;
+    span.depth = depth;
+    span.trace_id = trace_id;
+    span.shard = options_.shard_ordinal;
+    sink->EmitSpan(span);
+  };
+
   const auto publish = [&] {
+    obs::TraceSink* sink =
+        obs::kMetricsEnabled ? index_->metrics().trace_sink() : nullptr;
+    const Clock::time_point start = Clock::now();
+    if (sink != nullptr) obs::TraceSink::EnterSpan(sink->uid());
     Publish(Watermark{resolved_seq, last_applied_time});
+    if (sink != nullptr) {
+      const int depth = obs::TraceSink::ExitSpan(sink->uid());
+      const double dur_us = MicrosSince(start);
+      if (pending_publish_traces.empty()) {
+        emit_span(sink, "serve.publish", start, dur_us, depth, 0);
+      } else {
+        for (uint64_t trace_id : pending_publish_traces) {
+          emit_span(sink, "serve.publish", start, dur_us, depth, trace_id);
+        }
+      }
+    }
+    pending_publish_traces.clear();
     published_seq = resolved_seq;
     applied_since_publish = 0;
     last_publish = Clock::now();
   };
 
   while (true) {
+    obs::TraceSink* sink =
+        obs::kMetricsEnabled ? index_->metrics().trace_sink() : nullptr;
     batch.clear();
-    const size_t popped = queue_.PopBatch(&batch, options_.max_batch,
-                                          options_.idle_wait, &resolved_seq);
+    info.clear();
+    const size_t popped =
+        queue_.PopBatch(&batch, options_.max_batch, options_.idle_wait,
+                        &resolved_seq, sink != nullptr ? &info : nullptr);
     if (popped == 0) {
       if (stop_requested_.load(std::memory_order_acquire) &&
           queue_.Depth() == 0) {
@@ -151,6 +193,32 @@ void AncServer::WriterLoop() {
       if (!logged.ok()) RecordStoreError(logged);
     }
 
+    if (sink != nullptr) {
+      // One queue-wait span per distinct trace in the drained batch (the
+      // enqueue-to-drain latency), and remember the trace for its publish
+      // span. Entries from one traced batch are adjacent in the queue, so
+      // adjacent dedup is enough.
+      const Clock::time_point drained = Clock::now();
+      uint64_t last_trace = 0;
+      for (const IngestQueue::Popped& p : info) {
+        if (p.trace.trace_id == 0 || p.trace.trace_id == last_trace) continue;
+        last_trace = p.trace.trace_id;
+        emit_span(sink, "ingest.queue_wait", p.enqueued_at,
+                  std::chrono::duration<double, std::micro>(drained -
+                                                            p.enqueued_at)
+                      .count(),
+                  /*depth=*/0, p.trace.trace_id);
+        if (pending_publish_traces.size() < max_pending_publish_traces &&
+            std::find(pending_publish_traces.begin(),
+                      pending_publish_traces.end(),
+                      p.trace.trace_id) == pending_publish_traces.end()) {
+          pending_publish_traces.push_back(p.trace.trace_id);
+        }
+      }
+    }
+
+    const Clock::time_point apply_start = Clock::now();
+    if (sink != nullptr) obs::TraceSink::EnterSpan(sink->uid());
     for (const Activation& activation : batch) {
       const Status status = index_->Apply(activation);
       if (status.ok()) {
@@ -160,6 +228,19 @@ void AncServer::WriterLoop() {
         index_->metrics().Add(m_.apply_errors);
         std::lock_guard<std::mutex> lock(writer_status_mutex_);
         if (writer_status_.ok()) writer_status_ = status;
+      }
+    }
+    if (sink != nullptr) {
+      // One batch apply interval, attributed to every trace it covered
+      // (the per-activation "apply" spans nest inside, untraced).
+      const int depth = obs::TraceSink::ExitSpan(sink->uid());
+      const double dur_us = MicrosSince(apply_start);
+      uint64_t last_trace = 0;
+      for (const IngestQueue::Popped& p : info) {
+        if (p.trace.trace_id == 0 || p.trace.trace_id == last_trace) continue;
+        last_trace = p.trace.trace_id;
+        emit_span(sink, "serve.apply", apply_start, dur_us, depth,
+                  p.trace.trace_id);
       }
     }
     applied_since_publish += popped;
@@ -238,17 +319,23 @@ void AncServer::Publish(Watermark watermark) {
                static_cast<int64_t>(queue_.accepted() - watermark.seq));
 }
 
-Result<uint64_t> AncServer::Submit(const Activation& activation) {
+Result<uint64_t> AncServer::Submit(const Activation& activation,
+                                   obs::TraceContext trace) {
   if (activation.edge >= index_->graph().NumEdges()) {
     return Status::InvalidArgument("activation references edge " +
                                    std::to_string(activation.edge) +
                                    " outside the graph");
   }
-  return queue_.Push(activation);
+  if (obs::kMetricsEnabled && !trace.active() &&
+      index_->metrics().trace_sink() != nullptr) {
+    trace = obs::TraceContext::NewTrace();
+  }
+  return queue_.Push(activation, trace);
 }
 
 Result<size_t> AncServer::SubmitBatch(const Activation* data, size_t count,
-                                      uint64_t* last_seq) {
+                                      uint64_t* last_seq,
+                                      const obs::TraceContext* traces) {
   for (size_t i = 0; i < count; ++i) {
     if (data[i].edge >= index_->graph().NumEdges()) {
       return Status::InvalidArgument("activation references edge " +
@@ -256,7 +343,7 @@ Result<size_t> AncServer::SubmitBatch(const Activation* data, size_t count,
                                      " outside the graph");
     }
   }
-  return queue_.PushBatch(data, count, last_seq);
+  return queue_.PushBatch(data, count, last_seq, traces);
 }
 
 Status AncServer::SubmitStream(const ActivationStream& stream,

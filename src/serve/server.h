@@ -68,6 +68,11 @@ struct ServeOptions {
   /// Idle wakeup granularity of the writer (bounds publication delay when
   /// the stream pauses mid-interval).
   std::chrono::microseconds idle_wait{1000};
+
+  /// Shard ordinal stamped onto this server's trace spans (the `shard`
+  /// field), so a sharded deployment's interleaved spans attribute to the
+  /// right replica. < 0 (the standalone default) omits the field.
+  int shard_ordinal = -1;
 };
 
 /// The concurrent serving engine: a batched single-writer ingest pipeline
@@ -118,8 +123,13 @@ class AncServer {
   // --- Producer side ------------------------------------------------------
 
   /// Enqueues one activation; returns its durability ticket (see
-  /// AwaitSeq). Backpressure behavior per ServeOptions::ingest.
-  Result<uint64_t> Submit(const Activation& activation);
+  /// AwaitSeq). Backpressure behavior per ServeOptions::ingest. `trace`
+  /// correlates the activation's queue-wait/apply/publish spans
+  /// (docs/observability.md); when omitted and a trace sink is attached to
+  /// the index's registry, a fresh root trace is minted so every submitted
+  /// request is traceable without caller involvement.
+  Result<uint64_t> Submit(const Activation& activation,
+                          obs::TraceContext trace = {});
 
   /// Enqueues `count` activations under one queue lock and one writer
   /// wakeup (IngestQueue::PushBatch) — the fan-out fast path used by
@@ -127,9 +137,12 @@ class AncServer {
   /// (InvalidArgument, nothing enqueued, on any out-of-range edge), then
   /// returns the number the queue accepted and the last ticket issued via
   /// *last_seq (optional); per-entry queue rejections (kReject, regressed
-  /// timestamps with clamping off) are skipped, not errors.
+  /// timestamps with clamping off) are skipped, not errors. `traces`
+  /// (optional) carries one trace context per entry, aligned with `data`
+  /// — batch submitters own their trace identity, so no auto-minting here.
   Result<size_t> SubmitBatch(const Activation* data, size_t count,
-                             uint64_t* last_seq = nullptr);
+                             uint64_t* last_seq = nullptr,
+                             const obs::TraceContext* traces = nullptr);
 
   /// Enqueues a whole stream in order; stops at the first rejected
   /// activation. Returns the last ticket issued via *last_seq (optional).
@@ -213,6 +226,11 @@ class AncServer {
   uint64_t accepted() const { return queue_.accepted(); }
   uint64_t dropped() const { return queue_.dropped(); }
   uint64_t rejected() const { return queue_.rejected(); }
+  /// Deepest the ingest queue has ever been (capacity headroom).
+  size_t IngestHighWatermark() const { return queue_.high_watermark(); }
+  /// Age of the oldest queued activation (0 when drained) — the ingest-side
+  /// staleness bound the health monitor folds into its scorecards.
+  double IngestOldestAgeSeconds() const { return queue_.OldestAgeSeconds(); }
 
   /// First error the writer hit applying an activation (OK if none).
   /// Failed applies are counted (anc.serve.apply_errors) and skipped.

@@ -1,0 +1,73 @@
+#include "shard/health.h"
+
+#include <string>
+#include <vector>
+
+namespace anc::shard {
+
+obs::ClusterHealthSample CollectHealthSample(const ShardedServer& server) {
+  obs::ClusterHealthSample sample;
+  const PartitionStats& stats = server.partition_stats();
+  sample.num_shards = server.num_shards();
+  sample.num_edges = server.graph().NumEdges();
+  sample.cut_edges = stats.cut_edges;
+  sample.cut_ratio = stats.cut_ratio;
+  sample.balance = stats.balance;
+  sample.halo_partial = server.halo_partial();
+  sample.shards.reserve(server.num_shards());
+  for (uint32_t s = 0; s < server.num_shards(); ++s) {
+    const serve::AncServer& shard = server.shard(s);
+    obs::ShardHealthSample entry;
+    entry.shard = s;
+    entry.accepted = shard.accepted();
+    entry.queue_depth = shard.IngestDepth();
+    entry.queue_oldest_age_s = shard.IngestOldestAgeSeconds();
+    entry.applied_seq = shard.watermark().seq;
+    entry.durable_seq = shard.durable_watermark().seq;
+    entry.durable_enabled = server.durable();
+    const std::shared_ptr<const serve::ClusterView> view = shard.View();
+    if (view != nullptr) {
+      entry.view_age_s = view->AgeSeconds();
+      entry.epoch = view->epoch();
+    }
+    sample.shards.push_back(entry);
+  }
+  return sample;
+}
+
+obs::HealthReport AssessHealth(const ShardedServer& server,
+                               const obs::ShardHealthMonitor& monitor) {
+  return monitor.Assess(CollectHealthSample(server));
+}
+
+std::unique_ptr<obs::StallWatchdog> MakeStallWatchdog(
+    const ShardedServer* server, obs::TraceSink* dump_sink,
+    const obs::FlightRecorder* recorder, obs::WatchdogOptions options) {
+  auto probe = [server] {
+    std::vector<obs::WatchedProgress> probed;
+    probed.reserve(server->num_shards());
+    for (uint32_t s = 0; s < server->num_shards(); ++s) {
+      const serve::AncServer& shard = server->shard(s);
+      obs::WatchedProgress entry;
+      entry.name = "shard-" + std::to_string(s);
+      // Any advance of either watermark counts as progress; a frozen sum
+      // with queued work is the stall signature.
+      entry.progress = shard.watermark().seq + shard.durable_watermark().seq;
+      entry.pending = shard.IngestDepth() > 0;
+      probed.push_back(std::move(entry));
+    }
+    return probed;
+  };
+  auto on_stall = [dump_sink, recorder](const obs::WatchedProgress& entry,
+                                        double stalled_s) {
+    if (dump_sink == nullptr || recorder == nullptr) return;
+    recorder->DumpTo(*dump_sink,
+                     "stall: " + entry.name + " frozen " +
+                         std::to_string(stalled_s) + "s with " +
+                         "pending ingest");
+  };
+  return std::make_unique<obs::StallWatchdog>(std::move(probe),
+                                              std::move(on_stall), options);
+}
+
+}  // namespace anc::shard

@@ -132,6 +132,12 @@ ShardedServer::ShardedServer(const Graph* graph, std::vector<Shard> shards,
   shard_last_ticket_.assign(router_->num_shards(), 0);
   staging_.resize(router_->num_shards());
   for (auto& buffer : staging_) buffer.reserve(kRouteBatch);
+  staging_traces_.resize(router_->num_shards());
+  for (auto& buffer : staging_traces_) buffer.reserve(kRouteBatch);
+  queries_ = registry_.Counter("anc.shard.queries");
+  query_us_ = registry_.Histogram("anc.shard.query_us");
+  gather_us_ = registry_.Histogram("anc.shard.gather_us");
+  merge_us_ = registry_.Histogram("anc.shard.merge_us");
 }
 
 ShardedServer::~ShardedServer() { Stop(); }
@@ -261,6 +267,7 @@ Status ShardedServer::Start() {
     Shard& shard = shards_[s];
     serve::ServeOptions serve_options = options_.serve;
     serve_options.store = shard.store.get();
+    serve_options.shard_ordinal = static_cast<int>(s);
     if (serve_options.store == nullptr) {
       serve_options.durability = serve::DurabilityPolicy::kNone;
     }
@@ -287,11 +294,13 @@ void ShardedServer::Stop() {
   }
 }
 
-void ShardedServer::StageLocked(uint32_t s, const Activation& activation) {
+void ShardedServer::StageLocked(uint32_t s, const Activation& activation,
+                                obs::TraceContext trace) {
   if (staged_total_ == 0) {
     staging_oldest_ = std::chrono::steady_clock::now();
   }
   staging_[s].push_back(activation);
+  staging_traces_[s].push_back(trace);
   ++staged_total_;
   if (staging_[s].size() >= kRouteBatch) FlushShardLocked(s);
 }
@@ -300,8 +309,8 @@ void ShardedServer::FlushShardLocked(uint32_t s) {
   std::vector<Activation>& buffer = staging_[s];
   if (buffer.empty()) return;
   uint64_t last = 0;
-  const Result<size_t> pushed =
-      shards_[s].server->SubmitBatch(buffer.data(), buffer.size(), &last);
+  const Result<size_t> pushed = shards_[s].server->SubmitBatch(
+      buffer.data(), buffer.size(), &last, staging_traces_[s].data());
   const size_t accepted = pushed.ok() ? pushed.value() : 0;
   if (accepted > 0) shard_last_ticket_[s] = last;
   if (accepted < buffer.size()) {
@@ -313,6 +322,7 @@ void ShardedServer::FlushShardLocked(uint32_t s) {
   }
   staged_total_ -= buffer.size();
   buffer.clear();
+  staging_traces_[s].clear();
 }
 
 void ShardedServer::FlushAllLocked() {
@@ -325,7 +335,8 @@ void ShardedServer::FlushStaging() {
   FlushAllLocked();
 }
 
-Result<uint64_t> ShardedServer::Submit(const Activation& activation) {
+Result<uint64_t> ShardedServer::Submit(const Activation& activation,
+                                       obs::TraceContext trace) {
   if (!running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("ShardedServer is not running");
   }
@@ -333,12 +344,16 @@ Result<uint64_t> ShardedServer::Submit(const Activation& activation) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return Status::InvalidArgument("activation edge out of range");
   }
+  if (obs::kMetricsEnabled && !trace.active() &&
+      registry_.trace_sink() != nullptr) {
+    trace = obs::TraceContext::NewTrace();
+  }
   std::lock_guard<std::mutex> lock(route_mutex_);
   const auto [owner, halo] = router_->DeliveryOf(activation.edge);
-  StageLocked(owner, activation);
+  StageLocked(owner, activation, trace);
   if (halo != Router::kNoShard) {
     halo_deliveries_.fetch_add(1, std::memory_order_relaxed);
-    StageLocked(halo, activation);
+    StageLocked(halo, activation, trace);
   }
   // Bound the visibility latency of half-full batches under continued
   // traffic (idle buffers drain on the next Flush/AwaitSeq instead).
@@ -453,6 +468,13 @@ Status ShardedServer::writer_status() const {
   return Status::OK();
 }
 
+void ShardedServer::SetTraceSink(obs::TraceSink* sink) {
+  registry_.SetTraceSink(sink);
+  for (Shard& shard : shards_) {
+    if (shard.index != nullptr) shard.index->SetTraceSink(sink);
+  }
+}
+
 ShardedView ShardedServer::View() const {
   ANC_CHECK(started_once_, "ShardedServer::View before Start()");
   std::vector<std::shared_ptr<const serve::ClusterView>> views;
@@ -461,14 +483,36 @@ ShardedView ShardedServer::View() const {
   return ShardedView(*graph_, *router_, std::move(views));
 }
 
+ShardedView ShardedServer::GatherView(obs::TraceContext trace) const {
+  ANC_CHECK(started_once_, "ShardedServer::GatherView before Start()");
+  obs::ScopedTimer gather_timer(&registry_, gather_us_);
+  obs::TraceSink* sink =
+      obs::kMetricsEnabled ? registry_.trace_sink() : nullptr;
+  std::vector<std::shared_ptr<const serve::ClusterView>> views;
+  views.reserve(shards_.size());
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    obs::TraceSpan span(sink, "shard.gather", trace, static_cast<int>(s));
+    views.push_back(shards_[s].server->View());
+  }
+  return ShardedView(*graph_, *router_, std::move(views));
+}
+
 Result<Clustering> ShardedServer::Clusters(uint32_t level) const {
   if (!started_once_) {
     return Status::FailedPrecondition("ShardedServer never started");
   }
-  const ShardedView view = View();
+  obs::TraceSink* sink =
+      obs::kMetricsEnabled ? registry_.trace_sink() : nullptr;
+  const obs::TraceContext trace =
+      sink != nullptr ? obs::TraceContext::NewTrace() : obs::TraceContext{};
+  obs::ScopedTimer timer(&registry_, query_us_, "shard.query_clusters",
+                         trace);
+  registry_.Add(queries_);
+  const ShardedView view = GatherView(trace);
   if (level < 1 || level > view.num_levels()) {
     return Status::InvalidArgument("level out of range");
   }
+  obs::ScopedTimer merge(&registry_, merge_us_, "shard.merge", trace);
   return view.Clusters(level);
 }
 
@@ -476,8 +520,7 @@ Result<Clustering> ShardedServer::Clusters() const {
   if (!started_once_) {
     return Status::FailedPrecondition("ShardedServer never started");
   }
-  const ShardedView view = View();
-  return view.Clusters(view.DefaultLevel());
+  return Clusters(View().DefaultLevel());
 }
 
 Result<std::vector<NodeId>> ShardedServer::LocalCluster(
@@ -488,11 +531,25 @@ Result<std::vector<NodeId>> ShardedServer::LocalCluster(
   if (node >= graph_->NumNodes()) {
     return Status::InvalidArgument("node out of range");
   }
-  const ShardedView view = View();
+  obs::TraceSink* sink =
+      obs::kMetricsEnabled ? registry_.trace_sink() : nullptr;
+  const obs::TraceContext trace =
+      sink != nullptr ? obs::TraceContext::NewTrace() : obs::TraceContext{};
+  obs::ScopedTimer timer(&registry_, query_us_, "shard.query_local", trace);
+  registry_.Add(queries_);
+  const ShardedView view = GatherView(trace);
   if (level < 1 || level > view.num_levels()) {
     return Status::InvalidArgument("level out of range");
   }
+  obs::ScopedTimer merge(&registry_, merge_us_, "shard.merge", trace);
   return view.LocalCluster(node, level);
+}
+
+Result<std::vector<NodeId>> ShardedServer::LocalCluster(NodeId node) const {
+  if (!started_once_) {
+    return Status::FailedPrecondition("ShardedServer never started");
+  }
+  return LocalCluster(node, View().DefaultLevel());
 }
 
 Result<std::vector<NodeId>> ShardedServer::SmallestCluster(
@@ -503,7 +560,16 @@ Result<std::vector<NodeId>> ShardedServer::SmallestCluster(
   if (node >= graph_->NumNodes()) {
     return Status::InvalidArgument("node out of range");
   }
-  return View().SmallestCluster(node, min_size, level_out);
+  obs::TraceSink* sink =
+      obs::kMetricsEnabled ? registry_.trace_sink() : nullptr;
+  const obs::TraceContext trace =
+      sink != nullptr ? obs::TraceContext::NewTrace() : obs::TraceContext{};
+  obs::ScopedTimer timer(&registry_, query_us_, "shard.query_smallest",
+                         trace);
+  registry_.Add(queries_);
+  const ShardedView view = GatherView(trace);
+  obs::ScopedTimer merge(&registry_, merge_us_, "shard.merge", trace);
+  return view.SmallestCluster(node, min_size, level_out);
 }
 
 size_t ShardedServer::IngestDepth() const {
@@ -519,7 +585,9 @@ size_t ShardedServer::IngestDepth() const {
 }
 
 obs::StatsSnapshot ShardedServer::Stats() const {
-  obs::StatsSnapshot snapshot;
+  // Start from the router registry (queries counter + query/gather/merge
+  // histograms), then fold in the synthetic router-level series.
+  obs::StatsSnapshot snapshot = registry_.Snapshot();
   snapshot.counters.push_back({"anc.shard.accepted", accepted()});
   snapshot.counters.push_back({"anc.shard.rejected", rejected()});
   snapshot.counters.push_back(
@@ -532,6 +600,9 @@ obs::StatsSnapshot ShardedServer::Stats() const {
   snapshot.gauges.push_back(
       {"anc.shard.balance_x1000",
        static_cast<int64_t>(partition_stats_.balance * 1000.0)});
+  snapshot.gauges.push_back(
+      {"anc.shard.cut_ratio_x1000",
+       static_cast<int64_t>(partition_stats_.cut_ratio * 1000.0)});
   for (uint32_t s = 0; s < num_shards(); ++s) {
     const std::string prefix = "anc.shard." + std::to_string(s) + ".";
     const serve::AncServer* server = shards_[s].server.get();
@@ -541,6 +612,16 @@ obs::StatsSnapshot ShardedServer::Stats() const {
         {prefix + "queue_depth",
          server != nullptr ? static_cast<int64_t>(server->IngestDepth())
                            : 0});
+    snapshot.gauges.push_back(
+        {prefix + "queue_high_watermark",
+         server != nullptr
+             ? static_cast<int64_t>(server->IngestHighWatermark())
+             : 0});
+    snapshot.gauges.push_back(
+        {prefix + "queue_oldest_age_us",
+         server != nullptr
+             ? static_cast<int64_t>(server->IngestOldestAgeSeconds() * 1e6)
+             : 0});
     snapshot.gauges.push_back(
         {prefix + "epoch",
          started_once_ && server != nullptr
@@ -588,16 +669,14 @@ serve::HarnessTarget ShardedServer::HarnessTarget() {
   };
   target.num_nodes = [this] { return graph_->NumNodes(); };
   // Merged queries bypass per-shard admission (docs/sharding.md), so they
-  // are never shed.
+  // are never shed. Routing through Clusters()/LocalCluster() (not a raw
+  // View()) means harness-driven queries carry traces and land in the
+  // router registry's query histograms.
   target.query_clusters = [this](const serve::QueryOptions&) {
-    const ShardedView view = View();
-    (void)view.Clusters(view.DefaultLevel());
-    return true;
+    return Clusters().ok();
   };
   target.query_local = [this](NodeId node, const serve::QueryOptions&) {
-    const ShardedView view = View();
-    (void)view.LocalCluster(node, view.DefaultLevel());
-    return true;
+    return LocalCluster(node).ok();
   };
   target.record_load_report = [this](const StreamLoadReport& report) {
     shards_[0].server->RecordLoadReport(report);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/anc.h"
+#include "obs/metrics.h"
 #include "obs/stats.h"
 #include "serve/harness.h"
 #include "serve/server.h"
@@ -128,7 +129,12 @@ class ShardedServer {
   /// timestamp with clamping off) is dropped and counted as
   /// anc.shard.halo_partial; run concurrent producers with
   /// ingest.clamp_out_of_order = true to keep that path halo-only.
-  Result<uint64_t> Submit(const Activation& activation);
+  ///
+  /// `trace` correlates the submission's spans across every replica it
+  /// lands on (docs/observability.md); when omitted and a trace sink is
+  /// attached (SetTraceSink), a fresh root trace is minted per submission.
+  Result<uint64_t> Submit(const Activation& activation,
+                          obs::TraceContext trace = {});
 
   /// Routes a whole stream in order; stops at the first owner rejection.
   Status SubmitStream(const ActivationStream& stream,
@@ -170,10 +176,15 @@ class ShardedServer {
   /// per-edge. Valid after Start(); cheap (N shared_ptr copies).
   ShardedView View() const;
 
-  /// Scatter-gather queries over a fresh View().
+  /// Scatter-gather queries over a fresh View(). Each query mints a trace
+  /// (when a sink is attached) and emits a shard.query_* span wrapping one
+  /// shard.gather span per shard and a shard.merge span, all sharing the
+  /// query's trace id; latency lands in the router registry's
+  /// anc.shard.query_us / gather_us / merge_us histograms.
   Result<Clustering> Clusters(uint32_t level) const;
   Result<Clustering> Clusters() const;
   Result<std::vector<NodeId>> LocalCluster(NodeId node, uint32_t level) const;
+  Result<std::vector<NodeId>> LocalCluster(NodeId node) const;
   Result<std::vector<NodeId>> SmallestCluster(
       NodeId node, uint32_t min_size = 2, uint32_t* level_out = nullptr) const;
 
@@ -183,6 +194,22 @@ class ShardedServer {
   const Router& router() const { return *router_; }
   const PartitionStats& partition_stats() const { return partition_stats_; }
   uint32_t num_shards() const { return router_->num_shards(); }
+  /// Whether the shards run with a durability policy (health scorecards
+  /// only judge durable lag when they do).
+  bool durable() const {
+    return options_.serve.durability != serve::DurabilityPolicy::kNone;
+  }
+
+  /// Attaches (nullptr detaches) one trace sink to the router registry and
+  /// every shard's index registry: router-level query spans and per-shard
+  /// ingest/apply/publish spans interleave in one JSONL stream, correlated
+  /// by trace id and told apart by their `shard` field. The sink must
+  /// outlive the attachment.
+  void SetTraceSink(obs::TraceSink* sink);
+
+  /// The router-level registry (anc.shard.query_us / gather_us / merge_us,
+  /// anc.shard.queries). Per-shard registries live on the shard indices.
+  obs::MetricsRegistry& metrics() const { return registry_; }
 
   /// Direct access to shard s (tests, per-shard stats). The underlying
   /// index must only be touched when the server is stopped.
@@ -248,9 +275,14 @@ class ShardedServer {
   /// covering global ticket `seq`; OutOfRange when `seq` was never issued.
   Result<std::vector<uint64_t>> ShardFrontiers(uint64_t seq);
 
+  /// Captures the vector watermark like View(), emitting one shard.gather
+  /// span per shard under `trace` (and the gather_us histogram).
+  ShardedView GatherView(obs::TraceContext trace) const;
+
   /// Stages one delivery for shard `s` (route_mutex_ held), flushing the
   /// shard's batch when it reaches kRouteBatch.
-  void StageLocked(uint32_t s, const Activation& activation);
+  void StageLocked(uint32_t s, const Activation& activation,
+                   obs::TraceContext trace);
   /// Hands shard `s`'s staged batch to its queue in one push
   /// (route_mutex_ held).
   void FlushShardLocked(uint32_t s);
@@ -281,8 +313,18 @@ class ShardedServer {
   uint64_t issued_ = 0;                       // guarded by route_mutex_
   std::vector<uint64_t> shard_last_ticket_;   // guarded by route_mutex_
   std::vector<std::vector<Activation>> staging_;  // guarded by route_mutex_
+  /// Trace context per staged delivery, aligned with staging_[s].
+  std::vector<std::vector<obs::TraceContext>> staging_traces_;  // guarded too
   size_t staged_total_ = 0;                   // guarded by route_mutex_
   std::chrono::steady_clock::time_point staging_oldest_;  // guarded too
+
+  /// Router-level metrics (scatter-gather queries live above any single
+  /// shard's registry).
+  mutable obs::MetricsRegistry registry_;
+  obs::CounterId queries_;
+  obs::HistogramId query_us_;
+  obs::HistogramId gather_us_;
+  obs::HistogramId merge_us_;
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> rejected_{0};

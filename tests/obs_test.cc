@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <sstream>
@@ -7,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/exporter.h"
+#include "obs/health.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/stats.h"
@@ -126,6 +130,28 @@ TEST(MetricsRegistryTest, HistogramBucketsMatchPowerOfTwoLayout) {
   // rank 3 of 6 is reached at bucket 1 ([1,2)), rank 4.5 inside bucket 2.
   EXPECT_DOUBLE_EQ(entry->ApproxQuantile(0.5), 2.0);
   EXPECT_DOUBLE_EQ(entry->ApproxQuantile(0.75), 4.0);
+}
+
+TEST(MetricsRegistryTest, HistogramEdgeValuesLandInEdgeBuckets) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics disabled at compile time";
+  MetricsRegistry registry;
+  const HistogramId h = registry.Histogram("edge.hist");
+  // Zero and negative durations (a clock stepping backwards mid-span) both
+  // clamp into bucket 0; values past any finite bound land in the overflow
+  // bucket, including those past the uint64 conversion range.
+  registry.Record(h, 0.0);
+  registry.Record(h, -123.5);
+  registry.Record(h, 1e300);
+  registry.Record(h, 9.3e18);
+  const StatsSnapshot snap = registry.Snapshot();
+  const auto* entry = snap.histogram("edge.hist");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->count, 4u);
+  EXPECT_EQ(entry->buckets[0], 2u);
+  EXPECT_EQ(entry->buckets[kHistogramBucketCount - 1], 2u);
+  // The overflow bucket has no finite upper bound, so tail quantiles report
+  // +inf rather than inventing a number.
+  EXPECT_TRUE(std::isinf(entry->ApproxQuantile(1.0)));
 }
 
 TEST(MetricsRegistryTest, ResetZeroesValuesKeepsNames) {
@@ -295,6 +321,335 @@ TEST(TraceSinkTest, EmitsNestedJsonlSpans) {
             events[0].Find("ts_us")->number());
   EXPECT_GE(events[1].Find("dur_us")->number(),
             events[0].Find("dur_us")->number());
+}
+
+std::vector<Json> ParseJsonl(const std::string& text) {
+  std::vector<Json> events;
+  std::istringstream lines(text);
+  for (std::string line; std::getline(lines, line);) {
+    Json event;
+    EXPECT_TRUE(Json::Parse(line, &event)) << line;
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+TEST(TraceContextTest, NewTraceMintsDistinctActiveIds) {
+  const TraceContext a = TraceContext::NewTrace();
+  const TraceContext b = TraceContext::NewTrace();
+  EXPECT_TRUE(a.active());
+  EXPECT_TRUE(b.active());
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_FALSE(TraceContext{}.active());
+}
+
+TEST(TraceSinkTest, DepthIsTrackedPerSink) {
+  std::ostringstream out_a;
+  std::ostringstream out_b;
+  TraceSink a(&out_a);
+  TraceSink b(&out_b);
+  // A span on sink b opened inside a span on sink a is top-level *for b*:
+  // each sink keeps its own per-thread nesting.
+  {
+    TraceSpan outer(&a, "a.outer");
+    TraceSpan cross(&b, "b.top");
+    TraceSpan inner(&a, "a.inner");
+  }
+  const std::vector<Json> from_a = ParseJsonl(out_a.str());
+  const std::vector<Json> from_b = ParseJsonl(out_b.str());
+  ASSERT_EQ(from_a.size(), 2u);
+  ASSERT_EQ(from_b.size(), 1u);
+  EXPECT_EQ(from_a[0].Find("name")->str(), "a.inner");
+  EXPECT_EQ(from_a[0].Find("depth")->number(), 1.0);
+  EXPECT_EQ(from_a[1].Find("name")->str(), "a.outer");
+  EXPECT_EQ(from_a[1].Find("depth")->number(), 0.0);
+  EXPECT_EQ(from_b[0].Find("name")->str(), "b.top");
+  EXPECT_EQ(from_b[0].Find("depth")->number(), 0.0);
+}
+
+TEST(TraceSpanTest, EmitsAndOmitsCorrelationFields) {
+  std::ostringstream out;
+  TraceSink sink(&out);
+  const TraceContext trace = TraceContext::NewTrace();
+  { TraceSpan span(&sink, "tagged", trace, /*shard=*/3, /*seq=*/41); }
+  { TraceSpan span(&sink, "untagged"); }
+  const std::vector<Json> events = ParseJsonl(out.str());
+  ASSERT_EQ(events.size(), 2u);
+  ASSERT_NE(events[0].Find("trace"), nullptr);
+  EXPECT_EQ(events[0].Find("trace")->number(),
+            static_cast<double>(trace.trace_id));
+  EXPECT_EQ(events[0].Find("shard")->number(), 3.0);
+  EXPECT_EQ(events[0].Find("seq")->number(), 41.0);
+  // Inactive context / unset shard / zero seq: the fields are absent, not
+  // zero-valued.
+  EXPECT_EQ(events[1].Find("trace"), nullptr);
+  EXPECT_EQ(events[1].Find("shard"), nullptr);
+  EXPECT_EQ(events[1].Find("seq"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, RingKeepsMostRecentSpansAndDumps) {
+  FlightRecorder recorder(4);
+  TraceSink capture(static_cast<std::ostream*>(nullptr));  // capture-only
+  capture.SetFlightRecorder(&recorder);
+  for (int i = 0; i < 6; ++i) {
+    SpanEvent span;
+    span.name = "ring";
+    span.ts_us = static_cast<double>(i);
+    capture.EmitSpan(span);
+  }
+  EXPECT_EQ(recorder.recorded(), 6u);
+  const std::vector<FlightRecorder::Recorded> snap = recorder.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);  // oldest two overwritten
+  EXPECT_DOUBLE_EQ(snap.front().ts_us, 2.0);
+  EXPECT_DOUBLE_EQ(snap.back().ts_us, 5.0);
+
+  std::ostringstream out;
+  TraceSink sink(&out);
+  recorder.DumpTo(sink, "test stall");
+  const std::vector<Json> events = ParseJsonl(out.str());
+  ASSERT_EQ(events.size(), 5u);  // marker + 4 replayed spans
+  ASSERT_NE(events[0].Find("event"), nullptr);
+  EXPECT_EQ(events[0].Find("event")->str(), "flight_dump");
+  EXPECT_EQ(events[0].Find("reason")->str(), "test stall");
+  for (size_t i = 1; i < events.size(); ++i) {
+    ASSERT_NE(events[i].Find("flight"), nullptr) << i;
+    EXPECT_TRUE(events[i].Find("flight")->boolean());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryExporter
+// ---------------------------------------------------------------------------
+
+TEST(ExporterTest, DiffSnapshotsSubtractsCumulativeValues) {
+  StatsSnapshot prev;
+  prev.counters.push_back({"c", 10});
+  StatsSnapshot::HistogramEntry ph;
+  ph.name = "h";
+  ph.count = 2;
+  ph.sum = 3.0;
+  ph.buckets.assign(kHistogramBucketCount, 0);
+  ph.buckets[1] = 2;
+  prev.histograms.push_back(ph);
+
+  StatsSnapshot cur = prev;
+  cur.counters[0].value = 25;
+  cur.counters.push_back({"fresh", 5});
+  cur.gauges.push_back({"g", -7});
+  cur.histograms[0].count = 5;
+  cur.histograms[0].sum = 9.0;
+  cur.histograms[0].buckets[1] = 4;
+  cur.histograms[0].buckets[3] = 1;
+
+  const StatsSnapshot delta = DiffSnapshots(cur, prev);
+  EXPECT_EQ(delta.counter("c"), 15u);
+  EXPECT_EQ(delta.counter("fresh"), 5u);   // absent before: diffs vs zero
+  EXPECT_EQ(delta.gauge("g"), -7);         // gauges pass through
+  const auto* dh = delta.histogram("h");
+  ASSERT_NE(dh, nullptr);
+  EXPECT_EQ(dh->count, 3u);
+  EXPECT_DOUBLE_EQ(dh->sum, 6.0);
+  EXPECT_EQ(dh->buckets[1], 2u);
+  EXPECT_EQ(dh->buckets[3], 1u);
+
+  // A Reset() between snapshots makes current < previous: clamp, don't wrap.
+  const StatsSnapshot clamped = DiffSnapshots(prev, cur);
+  EXPECT_EQ(clamped.counter("c"), 0u);
+  EXPECT_EQ(clamped.histogram("h")->count, 2u);  // shape mismatch-free clamp
+}
+
+TEST(ExporterTest, RenderPrometheusEmitsExpositionFormat) {
+  StatsSnapshot snap;
+  snap.counters.push_back({"anc.serve.accepted", 42});
+  snap.gauges.push_back({"anc.serve.queue_depth", -1});
+  StatsSnapshot::HistogramEntry h;
+  h.name = "anc.apply_us";
+  h.count = 3;
+  h.sum = 4.5;
+  h.buckets.assign(kHistogramBucketCount, 0);
+  h.buckets[0] = 2;
+  h.buckets[2] = 1;
+  snap.histograms.push_back(h);
+
+  const std::string text = RenderPrometheus(snap);
+  EXPECT_NE(text.find("# TYPE anc_serve_accepted counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("anc_serve_accepted 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE anc_serve_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("anc_serve_queue_depth -1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE anc_apply_us histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("anc_apply_us_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  // Cumulative buckets: the +Inf bucket equals the total count.
+  EXPECT_NE(text.find("anc_apply_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("anc_apply_us_sum 4.5\n"), std::string::npos);
+  EXPECT_NE(text.find("anc_apply_us_count 3\n"), std::string::npos);
+}
+
+TEST(ExporterTest, SampleNowDiffsAgainstPreviousTick) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics disabled at compile time";
+  MetricsRegistry registry;
+  const CounterId c = registry.Counter("tick.counter");
+  TelemetryExporter exporter([&registry] { return registry.Snapshot(); },
+                             TelemetryOptions{});
+  registry.Add(c, 5);
+  const TelemetrySample first = exporter.SampleNow();
+  EXPECT_EQ(first.stats.counter("tick.counter"), 5u);
+  EXPECT_EQ(first.delta.counter("tick.counter"), 5u);
+  registry.Add(c, 2);
+  const TelemetrySample second = exporter.SampleNow();
+  EXPECT_EQ(second.stats.counter("tick.counter"), 7u);
+  EXPECT_EQ(second.delta.counter("tick.counter"), 2u);
+  EXPECT_GE(second.t_s, first.t_s);
+  ASSERT_EQ(exporter.samples().size(), 2u);
+
+  // The JSONL rendering keeps only non-zero deltas and must parse.
+  Json line;
+  ASSERT_TRUE(Json::Parse(TelemetrySampleToJsonLine(second), &line));
+  const Json* delta = line.Find("delta");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_NE(delta->Find("counters")->Find("tick.counter"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// ShardHealthMonitor
+// ---------------------------------------------------------------------------
+
+ClusterHealthSample HealthyCluster() {
+  ClusterHealthSample sample;
+  sample.num_shards = 4;
+  sample.num_edges = 1000;
+  sample.cut_edges = 150;
+  sample.cut_ratio = 0.15;
+  sample.balance = 1.05;
+  for (uint32_t s = 0; s < 4; ++s) {
+    ShardHealthSample shard;
+    shard.shard = s;
+    shard.accepted = 10000;
+    shard.queue_depth = 4;
+    shard.queue_oldest_age_s = 0.001;
+    shard.applied_seq = 9996;
+    shard.durable_seq = 9990;
+    shard.durable_enabled = true;
+    shard.view_age_s = 0.01;
+    sample.shards.push_back(shard);
+  }
+  return sample;
+}
+
+TEST(ShardHealthMonitorTest, HealthyClusterReadsHealthy) {
+  const ShardHealthMonitor monitor;
+  const HealthReport report = monitor.Assess(HealthyCluster());
+  EXPECT_EQ(report.overall, HealthState::kHealthy);
+  EXPECT_EQ(report.cluster_state, HealthState::kHealthy);
+  EXPECT_TRUE(report.cluster_reasons.empty());
+  ASSERT_EQ(report.shards.size(), 4u);
+  for (const ShardScorecard& card : report.shards) {
+    EXPECT_EQ(card.state, HealthState::kHealthy);
+    EXPECT_TRUE(card.reasons.empty());
+  }
+}
+
+TEST(ShardHealthMonitorTest, HashLikeCutRatioTripsCluster) {
+  const ShardHealthMonitor monitor;
+  ClusterHealthSample sample = HealthyCluster();
+  // A hash partitioner on a community graph cuts ~ (k-1)/k of the edges.
+  sample.cut_edges = 750;
+  sample.cut_ratio = 0.75;
+  const HealthReport report = monitor.Assess(sample);
+  EXPECT_EQ(report.cluster_state, HealthState::kCritical);
+  EXPECT_EQ(report.overall, HealthState::kCritical);
+  ASSERT_FALSE(report.cluster_reasons.empty());
+  EXPECT_NE(report.cluster_reasons[0].find("cut_ratio"), std::string::npos);
+}
+
+TEST(ShardHealthMonitorTest, PerShardChecksTripIndependently) {
+  const ShardHealthMonitor monitor;
+  ClusterHealthSample sample = HealthyCluster();
+  sample.shards[1].queue_depth = 5000;       // degraded (>= 1024)
+  sample.shards[2].applied_seq = 100000;
+  sample.shards[2].durable_seq = 1000;       // critical durable lag
+  const HealthReport report = monitor.Assess(sample);
+  EXPECT_EQ(report.cluster_state, HealthState::kHealthy);
+  EXPECT_EQ(report.shards[0].state, HealthState::kHealthy);
+  EXPECT_EQ(report.shards[1].state, HealthState::kDegraded);
+  EXPECT_EQ(report.shards[2].state, HealthState::kCritical);
+  EXPECT_EQ(report.overall, HealthState::kCritical);
+  // Disabling durability suppresses the lag check entirely.
+  sample.shards[2].durable_enabled = false;
+  EXPECT_EQ(monitor.Assess(sample).shards[2].state, HealthState::kHealthy);
+}
+
+TEST(ShardHealthMonitorTest, ReportSerializesToParsableJson) {
+  const ShardHealthMonitor monitor;
+  ClusterHealthSample sample = HealthyCluster();
+  sample.cut_ratio = 0.30;  // one degraded reason to exercise the arrays
+  const HealthReport report = monitor.Assess(sample);
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(report.ToJson(), &parsed));
+  ASSERT_TRUE(parsed.is_object());
+  EXPECT_EQ(parsed.Find("overall")->str(), "degraded");
+  ASSERT_NE(parsed.Find("shards"), nullptr);
+  EXPECT_EQ(parsed.Find("shards")->size(), 4u);
+  EXPECT_NE(report.ToString().find("degraded"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// StallWatchdog
+// ---------------------------------------------------------------------------
+
+TEST(StallWatchdogTest, FiresOncePerStallEpisodeAndRearms) {
+  std::atomic<uint64_t> progress{1};
+  std::atomic<bool> pending{true};
+  std::atomic<int> fired{0};
+  std::string stalled_name;
+  std::mutex name_mutex;
+
+  WatchdogOptions options;
+  options.poll = std::chrono::milliseconds(5);
+  options.stall_after_s = 0.05;
+  StallWatchdog watchdog(
+      [&] {
+        return std::vector<WatchedProgress>{
+            {"shard-0", progress.load(), pending.load()}};
+      },
+      [&](const WatchedProgress& entry, double stalled_s) {
+        std::lock_guard<std::mutex> lock(name_mutex);
+        stalled_name = entry.name;
+        EXPECT_GE(stalled_s, 0.05);
+        fired.fetch_add(1);
+      },
+      options);
+  ASSERT_TRUE(watchdog.Start());
+  EXPECT_FALSE(watchdog.Start());  // already running
+
+  // Frozen progress with pending work: exactly one firing per episode.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_EQ(fired.load(), 1);
+  {
+    std::lock_guard<std::mutex> lock(name_mutex);
+    EXPECT_EQ(stalled_name, "shard-0");
+  }
+
+  // Progress re-arms the watchdog; freezing again fires a second episode.
+  progress.fetch_add(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_EQ(fired.load(), 2);
+  EXPECT_EQ(watchdog.stalls(), 2u);
+
+  // No pending work: a frozen watermark is idle, not stalled.
+  progress.fetch_add(1);
+  pending.store(false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(fired.load(), 2);
+  watchdog.Stop();
+  EXPECT_FALSE(watchdog.running());
 }
 
 }  // namespace

@@ -11,6 +11,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -20,6 +23,9 @@
 #include "activation/stream_io.h"
 #include "core/anc.h"
 #include "datasets/synthetic.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/admission.h"
 #include "serve/cluster_view.h"
 #include "serve/harness.h"
@@ -689,6 +695,104 @@ TEST(ServeStressTest, ConcurrentReadersAndProducers) {
   uint64_t total_queries = 0;
   for (uint64_t q : queries_per_reader) total_queries += q;
   EXPECT_GT(total_queries, 0u);
+}
+
+// --- Ingest gauges and tracing --------------------------------------------
+
+TEST(IngestQueueTest, TracksHighWatermarkAndOldestAge) {
+  obs::MetricsRegistry registry;
+  IngestQueue q(IngestOptions{}, &registry);
+  ASSERT_TRUE(q.Push({0, 1.0}).ok());
+  ASSERT_TRUE(q.Push({0, 2.0}).ok());
+  ASSERT_TRUE(q.Push({0, 3.0}).ok());
+  EXPECT_EQ(q.high_watermark(), 3u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GT(q.OldestAgeSeconds(), 0.005);
+
+  std::vector<Activation> batch;
+  ASSERT_EQ(q.PopBatch(&batch, 16, std::chrono::microseconds(0)), 3u);
+  EXPECT_EQ(q.OldestAgeSeconds(), 0.0);     // empty queue has no oldest
+  EXPECT_EQ(q.high_watermark(), 3u);        // high watermark never recedes
+  if (obs::kMetricsEnabled) {
+    const obs::StatsSnapshot snap = registry.Snapshot();
+    EXPECT_EQ(snap.gauge("anc.serve.ingest_high_watermark"), 3);
+    EXPECT_EQ(snap.gauge("anc.serve.ingest_oldest_age_us"), 0);
+  }
+}
+
+TEST(IngestQueueTest, PopBatchReportsPerEntryTraceAndEnqueueTime) {
+  IngestQueue q(IngestOptions{});
+  const obs::TraceContext traced = obs::TraceContext::NewTrace();
+  const auto before = std::chrono::steady_clock::now();
+  ASSERT_TRUE(q.Push({0, 1.0}, traced).ok());
+  ASSERT_TRUE(q.Push({0, 2.0}).ok());  // untraced
+
+  std::vector<Activation> batch;
+  std::vector<IngestQueue::Popped> info;
+  ASSERT_EQ(q.PopBatch(&batch, 16, std::chrono::microseconds(0), nullptr,
+                       &info),
+            2u);
+  ASSERT_EQ(info.size(), 2u);
+  EXPECT_EQ(info[0].trace.trace_id, traced.trace_id);
+  EXPECT_FALSE(info[1].trace.active());
+  EXPECT_GE(info[0].enqueued_at, before);
+  EXPECT_LE(info[0].enqueued_at, info[1].enqueued_at);
+}
+
+TEST(ServeTraceTest, SubmitSpansCorrelateAcrossQueueApplyPublish) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics disabled";
+  GroundTruthGraph data = SmallCommunityGraph(53);
+  Rng rng(19);
+  ActivationStream stream =
+      CommunityBiasedStream(data.graph, data.truth.labels, 20, 0.1, 4.0, rng);
+
+  AncIndex index(data.graph, SmallConfig());
+  std::ostringstream out;
+  obs::TraceSink sink(&out);
+  index.SetTraceSink(&sink);
+
+  ServeOptions options;
+  options.snapshot_every_activations = 4;
+  AncServer server(&index, options);
+  ASSERT_TRUE(server.Start().ok());
+  uint64_t last_seq = 0;
+  for (const Activation& activation : stream) {
+    // With a sink attached, Submit mints a root trace per request.
+    Result<uint64_t> ticket = server.Submit(activation);
+    ASSERT_TRUE(ticket.ok());
+    last_seq = *ticket;
+  }
+  ASSERT_TRUE(server.AwaitSeq(last_seq, kAwait).ok());
+  server.Stop();
+  index.SetTraceSink(nullptr);
+
+  std::map<std::string, std::set<uint64_t>> traces_by_name;
+  size_t queue_wait_spans = 0;
+  std::istringstream lines(out.str());
+  for (std::string line; std::getline(lines, line);) {
+    obs::Json event;
+    ASSERT_TRUE(obs::Json::Parse(line, &event)) << line;
+    const obs::Json* name = event.Find("name");
+    ASSERT_NE(name, nullptr) << line;
+    ASSERT_NE(event.Find("tid"), nullptr) << line;
+    // shard_ordinal defaults to -1: no shard field on a plain AncServer.
+    EXPECT_EQ(event.Find("shard"), nullptr) << line;
+    if (const obs::Json* trace = event.Find("trace"); trace != nullptr) {
+      traces_by_name[name->str()].insert(
+          static_cast<uint64_t>(trace->number()));
+    }
+    if (name->str() == "ingest.queue_wait") ++queue_wait_spans;
+  }
+  // One queue-wait span per submitted request, each on a distinct trace.
+  EXPECT_EQ(queue_wait_spans, stream.size());
+  const std::set<uint64_t>& waits = traces_by_name["ingest.queue_wait"];
+  EXPECT_EQ(waits.size(), stream.size());
+  // Every traced request's queue-wait correlates with an apply and a
+  // publish attributed to the same trace id.
+  for (const uint64_t trace : waits) {
+    EXPECT_TRUE(traces_by_name["serve.apply"].count(trace) > 0) << trace;
+    EXPECT_TRUE(traces_by_name["serve.publish"].count(trace) > 0) << trace;
+  }
 }
 
 }  // namespace
