@@ -1,0 +1,134 @@
+// Standalone corpus replayer, linked in place of libFuzzer when the
+// toolchain has no fuzzer runtime (GCC builds). Usage:
+//
+//   fuzz_<target> <file-or-directory>...
+//
+// Every input file is fed to LLVMFuzzerTestOneInput verbatim, then through
+// ANC_FUZZ_MUTATIONS (env, default 64) deterministic byte-level mutations
+// seeded from the file's own contents — a smoke run explores a
+// neighborhood of the checked-in corpus, not just its exact bytes, while
+// staying bit-for-bit reproducible. A crash or sanitizer report aborts the
+// process; that is the failure signal scripts/check.sh fuzz-smoke watches
+// for. Exit status 0 means every input (and mutation) was survived.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr size_t kMaxMutatedBytes = 1u << 20;
+
+uint64_t Fnv1a(const std::vector<uint8_t>& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void RunOne(const std::vector<uint8_t>& bytes) {
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+}
+
+/// One random edit: flip a byte, truncate, duplicate a slice, or insert a
+/// byte. Sizes are capped so pathological growth cannot slow the smoke run.
+void Mutate(std::vector<uint8_t>* bytes, std::mt19937_64* rng) {
+  const auto pick = [&](size_t n) {
+    return n == 0 ? 0 : static_cast<size_t>((*rng)() % n);
+  };
+  switch ((*rng)() % 4) {
+    case 0:  // bit flip
+      if (!bytes->empty()) {
+        (*bytes)[pick(bytes->size())] ^=
+            static_cast<uint8_t>(1u << ((*rng)() % 8));
+      }
+      break;
+    case 1:  // truncate
+      bytes->resize(pick(bytes->size() + 1));
+      break;
+    case 2: {  // duplicate a slice onto the end
+      if (!bytes->empty() && bytes->size() < kMaxMutatedBytes) {
+        const size_t begin = pick(bytes->size());
+        const size_t len =
+            std::min(pick(bytes->size() - begin) + 1,
+                     kMaxMutatedBytes - bytes->size());
+        bytes->insert(bytes->end(), bytes->begin() + begin,
+                      bytes->begin() + begin + len);
+      }
+      break;
+    }
+    default:  // insert one random byte
+      if (bytes->size() < kMaxMutatedBytes) {
+        bytes->insert(bytes->begin() + pick(bytes->size() + 1),
+                      static_cast<uint8_t>((*rng)() % 256));
+      }
+  }
+}
+
+int RunFile(const fs::path& path, unsigned mutations) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz driver: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  RunOne(bytes);
+  std::mt19937_64 rng(Fnv1a(bytes));
+  std::vector<uint8_t> mutated = bytes;
+  for (unsigned i = 0; i < mutations; ++i) {
+    Mutate(&mutated, &rng);
+    RunOne(mutated);
+    if ((i + 1) % 16 == 0) mutated = bytes;  // re-anchor near the corpus
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file-or-directory>...\n", argv[0]);
+    return 2;
+  }
+  unsigned mutations = 64;
+  if (const char* env = std::getenv("ANC_FUZZ_MUTATIONS")) {
+    mutations = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  int failures = 0;
+  size_t inputs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::directory_iterator(arg, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        failures += RunFile(file, mutations);
+        ++inputs;
+      }
+    } else {
+      failures += RunFile(arg, mutations);
+      ++inputs;
+    }
+  }
+  std::fprintf(stderr, "fuzz driver: %zu inputs x %u mutations, %d unreadable\n",
+               inputs, mutations, failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+// Fuzz target: the obs JSON parser (obs/json.h Json::Parse).
+//
+// Health endpoints and tooling parse JSON the process did not produce, so
+// Parse must reject arbitrary bytes gracefully — in particular without the
+// stack overflow that unbounded "[[[[..." nesting used to cause (fixed
+// with the kMaxParseDepth cap in obs/json.cc). When an input does parse,
+// its Dump must reparse: the serializer and parser stay a closed loop.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  anc::obs::Json parsed;
+  if (anc::obs::Json::Parse(text, &parsed)) {
+    const std::string compact = parsed.Dump(0);
+    const std::string pretty = parsed.Dump(2);
+    anc::obs::Json reparsed;
+    if (!anc::obs::Json::Parse(compact, &reparsed) ||
+        !anc::obs::Json::Parse(pretty, &reparsed)) {
+      __builtin_trap();  // round-trip violation: Dump produced bad JSON
+    }
+  }
+  return 0;
+}

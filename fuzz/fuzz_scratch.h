@@ -1,0 +1,35 @@
+#ifndef ANC_FUZZ_FUZZ_SCRATCH_H_
+#define ANC_FUZZ_FUZZ_SCRATCH_H_
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace anc::fuzz {
+
+/// Per-process scratch path under the system temp dir for harnesses whose
+/// target API reads files (WAL segments, checkpoints, streams). One path
+/// per tag, reused across iterations — the driver runs inputs serially.
+inline std::string ScratchPath(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("anc_fuzz_") + tag + "." + std::to_string(::getpid())))
+      .string();
+}
+
+/// Writes the fuzz input to `path`, truncating. Returns false on I/O error
+/// (a full temp dir is an environment failure, not a finding).
+inline bool WriteInput(const std::string& path, const uint8_t* data,
+                       size_t size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  return out.good();
+}
+
+}  // namespace anc::fuzz
+
+#endif  // ANC_FUZZ_FUZZ_SCRATCH_H_

@@ -1,0 +1,131 @@
+// Seed-corpus generator: writes one well-formed exemplar per fuzz target
+// into <out_dir>/{wal,index,json,stream}/ using the real production
+// writers (WalAppender, DurableStore, SaveIndex), so the checked-in
+// corpora under fuzz/corpus/ always decode on the current format version.
+// Rerun after a format change:
+//
+//   cmake -B build -S . -DANC_FUZZ=ON && cmake --build build --target make_corpus
+//   ./build/fuzz/make_corpus fuzz/corpus
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/anc.h"
+#include "core/serialization.h"
+#include "graph/graph.h"
+#include "store/store.h"
+#include "store/wal.h"
+#include "util/status.h"
+
+namespace fs = std::filesystem;
+using anc::Activation;
+
+namespace {
+
+anc::Graph MakeGraph() {
+  anc::GraphBuilder builder;
+  builder.SetNumNodes(6);
+  const std::pair<anc::NodeId, anc::NodeId> edges[] = {
+      {0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {3, 5},
+  };
+  for (const auto& [u, v] : edges) (void)builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+void WriteText(const fs::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <out_dir>\n", argv[0]);
+    return 2;
+  }
+  const fs::path out(argv[1]);
+  for (const char* sub : {"wal", "index", "json", "stream"}) {
+    fs::create_directories(out / sub);
+  }
+
+  const anc::Graph graph = MakeGraph();
+
+  // wal/: a real two-record segment plus a truncated copy (torn tail).
+  {
+    const std::string path = (out / "wal" / "segment").string();
+    auto appender = anc::store::WalAppender::Create(path, 1);
+    if (!appender.ok()) return 1;
+    const std::vector<Activation> batch1 = {{0, 1.0}, {1, 2.0}, {2, 2.5}};
+    const std::vector<Activation> batch2 = {{3, 3.0}, {4, 4.0}};
+    ANC_CHECK(appender.value()->Append(batch1.data(), batch1.size(), 1).ok(),
+              "wal append");
+    ANC_CHECK(appender.value()->Append(batch2.data(), batch2.size(), 4).ok(),
+              "wal append");
+    ANC_CHECK(appender.value()->Close().ok(), "wal close");
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    fs::copy_file(path, out / "wal" / "torn",
+                  fs::copy_options::overwrite_existing, ec);
+    fs::resize_file(out / "wal" / "torn", size - 5, ec);
+  }
+
+  // index/: a real ANCIDX02 checkpoint and a real MANIFEST (produced by
+  // opening a store in a scratch dir), plus a truncated checkpoint.
+  {
+    anc::AncConfig config;
+    auto index = anc::AncIndex::Create(graph, config);
+    if (!index.ok()) return 1;
+    const std::string ckpt = (out / "index" / "checkpoint.idx").string();
+    ANC_CHECK(anc::SaveIndex(*index.value(), ckpt).ok(), "save index");
+
+    const fs::path scratch = out / "index" / ".store_scratch";
+    auto store = anc::store::DurableStore::Open(scratch.string(),
+                                                *index.value(), {});
+    if (!store.ok()) return 1;
+    store.value().reset();
+    std::error_code ec;
+    fs::copy_file(scratch / "MANIFEST", out / "index" / "manifest",
+                  fs::copy_options::overwrite_existing, ec);
+    fs::remove_all(scratch, ec);
+
+    fs::copy_file(ckpt, out / "index" / "truncated.idx",
+                  fs::copy_options::overwrite_existing, ec);
+    const auto size = fs::file_size(out / "index" / "truncated.idx", ec);
+    fs::resize_file(out / "index" / "truncated.idx", size / 2, ec);
+  }
+
+  // json/: shapes the obs layer actually round-trips, plus adversarial
+  // exemplars (deep nesting at the parser's depth cap, escapes, numbers).
+  {
+    WriteText(out / "json" / "telemetry",
+              R"({"t_s":1.5,"interval_s":0.5,"delta":{"counters":{"anc.serve.ingest_accepted":42},"gauges":{"anc.store.wal_bytes":4096},"histograms":{"anc.apply.us":{"count":7,"sum":123.5,"buckets":[0,3,4]}}}})");
+    WriteText(out / "json" / "health",
+              R"({"overall":"degraded","shards":[{"shard":0,"state":"healthy","reasons":[]},{"shard":1,"state":"degraded","reasons":["queue_depth 9000 >= 1024"]}]})");
+    WriteText(out / "json" / "escapes",
+              "{\"s\":\"a\\\"b\\\\c\\nd\\u0041\\u00e9\",\"n\":[-1.5e-3,1e308,0.0,9007199254740993]}");
+    std::string deep;
+    for (int i = 0; i < 120; ++i) deep += '[';
+    deep += "null";
+    for (int i = 0; i < 120; ++i) deep += ']';
+    WriteText(out / "json" / "deep", deep);
+    WriteText(out / "json" / "scalars", "true");
+  }
+
+  // stream/: a valid "u v t" trace over the fuzz graph, one with comments
+  // and blank lines, and one with a bad line (skip_bad_lines territory).
+  {
+    WriteText(out / "stream" / "valid",
+              "0 1 0.5\n1 2 1.0\n2 3 1.5\n3 4 2.0\n4 5 2.5\n");
+    WriteText(out / "stream" / "comments",
+              "# activation trace\n\n0 2 0.25\n2 3 0.75\n\n# tail comment\n");
+    WriteText(out / "stream" / "mixed",
+              "0 1 1.0\nnot a line\n5 5 2.0\n1 2 0.5\n3 5 9.0\n");
+  }
+
+  std::fprintf(stderr, "corpus written under %s\n", out.string().c_str());
+  return 0;
+}

@@ -19,6 +19,18 @@
 #               sharding benches; trace_check validates the emitted JSONL
 #               (span nesting, queue-wait→apply and query→gather
 #               correlation, required span names — docs/observability.md)
+#   tsa         Clang Thread Safety Analysis build
+#               (-DANC_THREAD_SAFETY=ON, -Werror=thread-safety): every
+#               GUARDED_BY / REQUIRES contract in serve/shard/store/obs/
+#               thread_pool is checked at compile time
+#               (docs/static_analysis.md). Self-skips with a message when
+#               no clang++ is installed — the annotations are no-ops under
+#               GCC, so a GCC "pass" would be meaningless.
+#   fuzz-smoke  ASan/UBSan build of the fuzz/ harnesses, replayed over the
+#               checked-in corpora (plus bounded deterministic mutations)
+#               by the standalone driver: WAL frames, checkpoints +
+#               MANIFEST, obs JSON, activation streams. Malformed input
+#               must come back as a Status, never a crash/leak/UB.
 #
 # Usage: scripts/check.sh [--fast] [config ...]
 #   With no arguments every configuration runs. Naming one or more configs
@@ -103,9 +115,42 @@ run_one() {
         shard.query_clusters shard.gather shard.merge
       rm -rf "$tracedir"
       ;;
+    tsa)
+      # Compile-time lock-discipline audit. Build-only: the point is the
+      # -Werror=thread-safety diagnostics, and runtime behavior is already
+      # covered by the tsan configuration (annotations must not change it).
+      if ! command -v clang++ >/dev/null 2>&1; then
+        echo "=== [tsa] SKIPPED: clang++ not found (Thread Safety Analysis" \
+          "is Clang-only; install clang or rely on the CI tsa job) ==="
+        return 0
+      fi
+      local dir=build-tsa
+      echo "=== [$dir] Clang Thread Safety Analysis (-Werror=thread-safety) ==="
+      cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_CXX_COMPILER=clang++ -DANC_THREAD_SAFETY=ON
+      cmake --build "$dir" -j "$JOBS"
+      ;;
+    fuzz-smoke)
+      # Bounded fuzz replay under ASan/UBSan: every harness over its
+      # checked-in corpus plus ANC_FUZZ_MUTATIONS deterministic mutations
+      # per input. Any crash, leak or sanitizer report fails the run.
+      local dir=build-fuzz
+      echo "=== [$dir] fuzz-smoke (corpus replay under ASan/UBSan) ==="
+      cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DANC_FUZZ=ON -DANC_SANITIZE=address
+      cmake --build "$dir" -j "$JOBS" \
+        --target fuzz_wal fuzz_index fuzz_json fuzz_stream
+      local target
+      for target in wal index json stream; do
+        echo "--- fuzz_$target over fuzz/corpus/$target ---"
+        ASAN_OPTIONS=detect_leaks=1 \
+          ANC_FUZZ_MUTATIONS="${ANC_FUZZ_MUTATIONS:-256}" \
+          "$dir/fuzz/fuzz_$target" "fuzz/corpus/$target"
+      done
+      ;;
     *)
       echo "unknown configuration '$1'" >&2
-      echo "known: default nometrics asan tsan invariants store-crash shard obs-trace" >&2
+      echo "known: default nometrics asan tsan invariants store-crash shard obs-trace tsa fuzz-smoke" >&2
       exit 2
       ;;
   esac

@@ -85,6 +85,36 @@ run_portable() {
     echo "[lint] error: bare TODO (use TODO(name) or TODO(#issue))" >&2
     fail=1
   fi
+  # [[nodiscard]] discipline: Status and Result are class-level
+  # [[nodiscard]] (src/util/status.h), which is what turns a silently
+  # dropped error into a compile error under -Werror=unused-result. Guard
+  # the attributes themselves so a refactor cannot quietly shed them.
+  local attr
+  for attr in 'class \[\[nodiscard\]\] Status' 'class \[\[nodiscard\]\] Result'; do
+    if ! grep -q "$attr" src/util/status.h; then
+      echo "[lint] error: src/util/status.h lost its '$attr' attribute" \
+        "(dropped Status/Result results would compile again)" >&2
+      fail=1
+    fi
+  done
+  # And deliberate drops must say why: every '(void)' cast of a
+  # Status/Result-returning call needs a reason in a comment on the same
+  # line or the line above ('//' anywhere nearby counts; fuzz harnesses
+  # drop by design and carry a file-level rationale).
+  if find src -name '*.cc' -o -name '*.h' | sort | xargs awk '
+      { prev_comment = comment; comment = (/\/\// ? 1 : 0) }
+      /\(void\)[A-Za-z_:.>-]+.*\(/ {
+        if (!comment && !prev_comment) {
+          print FILENAME ":" FNR ": " $0; found = 1
+        }
+      }
+      END { exit found }'; then
+    :
+  else
+    echo "[lint] error: unexplained (void) drop of a function result" \
+      "(add a comment saying why the Status/Result is discarded)" >&2
+    fail=1
+  fi
 }
 
 case "$stage" in

@@ -155,7 +155,7 @@ TelemetryExporter::~TelemetryExporter() { Stop(); }
 
 bool TelemetryExporter::Start() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (running_) return false;
     running_ = true;
     stop_requested_ = false;
@@ -166,28 +166,28 @@ bool TelemetryExporter::Start() {
 
 void TelemetryExporter::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!running_) return;
     stop_requested_ = true;
   }
-  stop_cv_.notify_all();
+  stop_cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   running_ = false;
 }
 
 bool TelemetryExporter::running() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return running_;
 }
 
 TelemetrySample TelemetryExporter::SampleNow() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return TickLocked();
 }
 
 std::vector<TelemetrySample> TelemetryExporter::samples() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return samples_;
 }
 
@@ -225,10 +225,15 @@ void TelemetryExporter::WriteFilesLocked(const TelemetrySample& sample) {
 }
 
 void TelemetryExporter::Loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  // One lock scope per tick (ticks write files under the lock; nobody
+  // contends except Stop and on-demand SampleNow callers).
   while (true) {
-    const bool stopping = stop_cv_.wait_for(
-        lock, options_.interval, [this] { return stop_requested_; });
+    util::MutexLock lock(mutex_);
+    const bool stopping = stop_cv_.WaitFor(
+        mutex_, options_.interval, [this] {
+          mutex_.AssertHeld();
+          return stop_requested_;
+        });
     TickLocked();
     if (stopping) break;
   }

@@ -2,15 +2,14 @@
 #define ANC_OBS_EXPORTER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/stats.h"
+#include "util/sync.h"
 
 namespace anc::obs {
 
@@ -92,22 +91,22 @@ class TelemetryExporter {
   const TelemetryOptions& options() const { return options_; }
 
  private:
-  TelemetrySample TickLocked();
-  void WriteFilesLocked(const TelemetrySample& sample);
+  TelemetrySample TickLocked() ANC_REQUIRES(mutex_);
+  void WriteFilesLocked(const TelemetrySample& sample) ANC_REQUIRES(mutex_);
   void Loop();
 
   std::function<StatsSnapshot()> source_;
   TelemetryOptions options_;
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable stop_cv_;
-  bool running_ = false;
-  bool stop_requested_ = false;
-  bool json_truncated_ = false;
-  StatsSnapshot previous_;
-  std::chrono::steady_clock::time_point previous_at_;
-  std::vector<TelemetrySample> samples_;
+  mutable util::Mutex mutex_;
+  util::CondVar stop_cv_;
+  bool running_ ANC_GUARDED_BY(mutex_) = false;
+  bool stop_requested_ ANC_GUARDED_BY(mutex_) = false;
+  bool json_truncated_ ANC_GUARDED_BY(mutex_) = false;
+  StatsSnapshot previous_ ANC_GUARDED_BY(mutex_);
+  std::chrono::steady_clock::time_point previous_at_ ANC_GUARDED_BY(mutex_);
+  std::vector<TelemetrySample> samples_ ANC_GUARDED_BY(mutex_);
   std::thread thread_;
 };
 

@@ -209,7 +209,7 @@ StallWatchdog::~StallWatchdog() { Stop(); }
 bool StallWatchdog::Start() {
   if (running_.exchange(true, std::memory_order_acq_rel)) return false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_requested_ = false;
   }
   thread_ = std::thread(&StallWatchdog::Loop, this);
@@ -219,19 +219,21 @@ bool StallWatchdog::Start() {
 void StallWatchdog::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_requested_ = true;
   }
-  stop_cv_.notify_all();
+  stop_cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
 void StallWatchdog::Loop() {
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (stop_cv_.wait_for(lock, options_.poll,
-                            [this] { return stop_requested_; })) {
+      util::MutexLock lock(mutex_);
+      if (stop_cv_.WaitFor(mutex_, options_.poll, [this] {
+            mutex_.AssertHeld();
+            return stop_requested_;
+          })) {
         return;
       }
     }

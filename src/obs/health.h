@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace anc::obs {
 
@@ -166,11 +166,12 @@ class StallWatchdog {
   std::function<void(const WatchedProgress&, double)> on_stall_;
   WatchdogOptions options_;
 
-  std::mutex mutex_;
-  std::condition_variable stop_cv_;
-  bool stop_requested_ = false;
+  util::Mutex mutex_;
+  util::CondVar stop_cv_;
+  bool stop_requested_ ANC_GUARDED_BY(mutex_) = false;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> stalls_{0};
+  /// Watchdog-thread-only (written by Loop between polls); no guard.
   std::vector<std::pair<std::string, WatchState>> states_;
   std::thread thread_;
 };

@@ -56,6 +56,12 @@ void NumberInto(double v, std::string* out) {
   out->append(buf);
 }
 
+/// Recursive-descent parse depth cap. Each '['/'{' costs one stack frame,
+/// so without a cap a few KB of "[[[[..." overflows the stack (found by
+/// fuzz/fuzz_json.cc); 128 levels is far beyond anything the obs layer
+/// round-trips while keeping worst-case stack use a few tens of KB.
+constexpr int kMaxParseDepth = 128;
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -84,6 +90,7 @@ class Parser {
 
   bool ParseValue(Json* out) {
     if (pos_ >= text_.size()) return false;
+    if (depth_ >= kMaxParseDepth) return false;
     switch (text_[pos_]) {
       case 'n':
         *out = Json();
@@ -194,10 +201,12 @@ class Parser {
 
   bool ParseArray(Json* out) {
     ++pos_;  // '['
+    ++depth_;
     *out = Json::Array();
     SkipWs();
     if (pos_ < text_.size() && text_[pos_] == ']') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -208,17 +217,22 @@ class Parser {
       SkipWs();
       if (pos_ >= text_.size()) return false;
       const char c = text_[pos_++];
-      if (c == ']') return true;
+      if (c == ']') {
+        --depth_;
+        return true;
+      }
       if (c != ',') return false;
     }
   }
 
   bool ParseObject(Json* out) {
     ++pos_;  // '{'
+    ++depth_;
     *out = Json::Object();
     SkipWs();
     if (pos_ < text_.size() && text_[pos_] == '}') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -234,13 +248,17 @@ class Parser {
       SkipWs();
       if (pos_ >= text_.size()) return false;
       const char c = text_[pos_++];
-      if (c == '}') return true;
+      if (c == '}') {
+        --depth_;
+        return true;
+      }
       if (c != ',') return false;
     }
   }
 
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -64,7 +64,9 @@ class Json {
   std::string Dump(int indent = 0) const;
 
   /// Parses `text` into `*out`. Returns false on malformed input (trailing
-  /// garbage included). `out` is left unspecified on failure.
+  /// garbage included) and on nesting deeper than 128 levels — the parser
+  /// is recursive-descent, so unbounded depth would overflow the stack on
+  /// attacker-shaped input. `out` is left unspecified on failure.
   static bool Parse(std::string_view text, Json* out);
 
  private:

@@ -52,17 +52,17 @@ MetricsRegistry::MetricsRegistry() : uid_(g_next_registry_uid.fetch_add(1)) {}
 MetricsRegistry::~MetricsRegistry() = default;
 
 CounterId MetricsRegistry::Counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return CounterId{FindOrAppend(counter_names_, name, kMaxCounters)};
 }
 
 GaugeId MetricsRegistry::Gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return GaugeId{FindOrAppend(gauge_names_, name, kMaxGauges)};
 }
 
 HistogramId MetricsRegistry::Histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return HistogramId{FindOrAppend(histogram_names_, name, kMaxHistograms)};
 }
 
@@ -75,7 +75,7 @@ MetricsRegistry::Shard& MetricsRegistry::LocalShard() {
       return *static_cast<Shard*>(ref.shard);
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   shards_.push_back(std::make_unique<Shard>());
   Shard* shard = shards_.back().get();
   t_shards.push_back({uid_, shard});
@@ -103,7 +103,7 @@ void MetricsRegistry::RecordImpl(uint32_t slot, double value) {
 }
 
 StatsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   StatsSnapshot snap;
   snap.counters.reserve(counter_names_.size());
   for (uint32_t i = 0; i < counter_names_.size(); ++i) {
@@ -137,7 +137,7 @@ StatsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (const auto& shard : shards_) {
     for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
     for (auto& hist : shard->histograms) {

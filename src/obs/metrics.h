@@ -6,13 +6,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/stats.h"
 #include "obs/trace.h"
+#include "util/sync.h"
 
 namespace anc::obs {
 
@@ -149,11 +149,11 @@ class MetricsRegistry {
   Shard& LocalShard();
 
   const uint64_t uid_;  // never reused; guards thread-local shard caches
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::string> counter_names_;
-  std::vector<std::string> gauge_names_;
-  std::vector<std::string> histogram_names_;
+  mutable util::Mutex mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_ ANC_GUARDED_BY(mutex_);
+  std::vector<std::string> counter_names_ ANC_GUARDED_BY(mutex_);
+  std::vector<std::string> gauge_names_ ANC_GUARDED_BY(mutex_);
+  std::vector<std::string> histogram_names_ ANC_GUARDED_BY(mutex_);
   // Gauges are written rarely (sizes, watermarks): a single central slab,
   // no sharding.
   std::array<std::atomic<int64_t>, kMaxGauges> gauges_{};

@@ -83,13 +83,13 @@ void TraceSink::EmitSpan(const SpanEvent& span) {
       SpanToJson(span.name, span.ts_us, span.dur_us, span.depth, tid,
                  span.trace_id, span.parent_span, span.shard, span.seq)
           .Dump(0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   (*out_) << line << '\n';
 }
 
 void TraceSink::EmitLine(const std::string& line) {
   if (out_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   (*out_) << line << '\n';
 }
 
@@ -113,7 +113,7 @@ void FlightRecorder::Record(const SpanEvent& span, int tid) {
   entry.parent_span = span.parent_span;
   entry.shard = span.shard;
   entry.seq = span.seq;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(entry));
   } else {
@@ -124,7 +124,7 @@ void FlightRecorder::Record(const SpanEvent& span, int tid) {
 }
 
 std::vector<FlightRecorder::Recorded> FlightRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<Recorded> out;
   out.reserve(ring_.size());
   // Oldest first: once wrapped, next_ points at the oldest entry.
@@ -153,7 +153,7 @@ void FlightRecorder::DumpTo(TraceSink& sink, const std::string& reason) const {
 }
 
 uint64_t FlightRecorder::recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return recorded_;
 }
 

@@ -5,10 +5,11 @@
 #include <chrono>
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace anc::obs {
 
@@ -124,7 +125,10 @@ class TraceSink {
 
  private:
   const uint64_t uid_;
-  std::mutex mutex_;
+  util::Mutex mutex_;
+  /// file_ and out_ are set once in the constructor and never reseated;
+  /// mutex_ serializes *writes through* the stream (EmitSpan/EmitLine),
+  /// while ok()'s pointer read needs no lock.
   std::ofstream file_;
   std::ostream* out_;
   std::chrono::steady_clock::time_point epoch_;
@@ -216,10 +220,10 @@ class FlightRecorder {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<Recorded> ring_;
-  size_t next_ = 0;
-  uint64_t recorded_ = 0;
+  mutable util::Mutex mutex_;
+  std::vector<Recorded> ring_ ANC_GUARDED_BY(mutex_);
+  size_t next_ ANC_GUARDED_BY(mutex_) = 0;
+  uint64_t recorded_ ANC_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace anc::obs

@@ -175,6 +175,7 @@ HarnessReport ServeHarness::Run(const ActivationStream& stream) {
     });
   }
   for (std::thread& producer : producers) producer.join();
+  // A flush timeout surfaces through the report's watermarks, not here.
   (void)target_.flush(std::chrono::minutes(1));
   report.ingest_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -30,61 +30,64 @@ void IngestQueue::SetOldestGaugeLocked(
 
 Result<uint64_t> IngestQueue::Push(Activation activation,
                                    obs::TraceContext trace) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (closed_) return Status::FailedPrecondition("ingest queue is closed");
-  if (activation.time < last_accepted_time_) {
-    if (options_.clamp_out_of_order) {
-      activation.time = last_accepted_time_;
-    } else {
-      ++rejected_;
-      if (metrics_ != nullptr) metrics_->Add(rejected_id_);
-      return Status::InvalidArgument(
-          "activation timestamp regressed below the accepted watermark");
-    }
-  }
-  if (entries_.size() >= options_.capacity) {
-    switch (options_.policy) {
-      case BackpressurePolicy::kBlock:
-        not_full_.wait(lock, [this] {
-          return closed_ || entries_.size() < options_.capacity;
-        });
-        if (closed_) {
-          return Status::FailedPrecondition("ingest queue is closed");
-        }
-        break;
-      case BackpressurePolicy::kDropOldest:
-        // FIFO head eviction: the evicted ticket resolves (as shed), so
-        // watermark waiters on it are not stranded.
-        resolved_seq_ = entries_.front().seq;
-        entries_.pop_front();
-        ++dropped_;
-        if (metrics_ != nullptr) metrics_->Add(dropped_id_);
-        break;
-      case BackpressurePolicy::kReject:
+  uint64_t seq = 0;
+  {
+    util::MutexLock lock(mutex_);
+    if (closed_) return Status::FailedPrecondition("ingest queue is closed");
+    if (activation.time < last_accepted_time_) {
+      if (options_.clamp_out_of_order) {
+        activation.time = last_accepted_time_;
+      } else {
         ++rejected_;
         if (metrics_ != nullptr) metrics_->Add(rejected_id_);
-        return Status::Unavailable("ingest queue is full");
+        return Status::InvalidArgument(
+            "activation timestamp regressed below the accepted watermark");
+      }
+    }
+    if (entries_.size() >= options_.capacity) {
+      switch (options_.policy) {
+        case BackpressurePolicy::kBlock:
+          not_full_.Wait(mutex_, [this] {
+            mutex_.AssertHeld();
+            return closed_ || entries_.size() < options_.capacity;
+          });
+          if (closed_) {
+            return Status::FailedPrecondition("ingest queue is closed");
+          }
+          break;
+        case BackpressurePolicy::kDropOldest:
+          // FIFO head eviction: the evicted ticket resolves (as shed), so
+          // watermark waiters on it are not stranded.
+          resolved_seq_ = entries_.front().seq;
+          entries_.pop_front();
+          ++dropped_;
+          if (metrics_ != nullptr) metrics_->Add(dropped_id_);
+          break;
+        case BackpressurePolicy::kReject:
+          ++rejected_;
+          if (metrics_ != nullptr) metrics_->Add(rejected_id_);
+          return Status::Unavailable("ingest queue is full");
+      }
+    }
+    seq = next_seq_++;
+    // Re-check the watermark: a kBlock wait may have admitted later pushes.
+    if (activation.time < last_accepted_time_) {
+      activation.time = last_accepted_time_;
+    }
+    last_accepted_time_ = activation.time;
+    const auto now = std::chrono::steady_clock::now();
+    entries_.push_back({activation, seq, now, trace});
+    ++accepted_;
+    if (entries_.size() > high_watermark_) high_watermark_ = entries_.size();
+    if (metrics_ != nullptr) {
+      metrics_->Add(accepted_id_);
+      metrics_->Set(depth_id_, static_cast<int64_t>(entries_.size()));
+      metrics_->Set(high_watermark_id_,
+                    static_cast<int64_t>(high_watermark_));
+      SetOldestGaugeLocked(now);
     }
   }
-  const uint64_t seq = next_seq_++;
-  // Re-check the watermark: a kBlock wait may have admitted later pushes.
-  if (activation.time < last_accepted_time_) {
-    activation.time = last_accepted_time_;
-  }
-  last_accepted_time_ = activation.time;
-  const auto now = std::chrono::steady_clock::now();
-  entries_.push_back({activation, seq, now, trace});
-  ++accepted_;
-  if (entries_.size() > high_watermark_) high_watermark_ = entries_.size();
-  if (metrics_ != nullptr) {
-    metrics_->Add(accepted_id_);
-    metrics_->Set(depth_id_, static_cast<int64_t>(entries_.size()));
-    metrics_->Set(high_watermark_id_,
-                  static_cast<int64_t>(high_watermark_));
-    SetOldestGaugeLocked(now);
-  }
-  lock.unlock();
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return seq;
 }
 
@@ -95,7 +98,7 @@ Result<size_t> IngestQueue::PushBatch(const Activation* data, size_t count,
   uint64_t rejected = 0;
   uint64_t dropped = 0;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto now = std::chrono::steady_clock::now();
     for (size_t i = 0; i < count; ++i) {
       // Close() can land while a kBlock wait releases the lock: stop and
@@ -114,8 +117,9 @@ Result<size_t> IngestQueue::PushBatch(const Activation* data, size_t count,
       if (entries_.size() >= options_.capacity) {
         switch (options_.policy) {
           case BackpressurePolicy::kBlock:
-            not_empty_.notify_one();  // wake the drainer before waiting on it
-            not_full_.wait(lock, [this] {
+            not_empty_.NotifyOne();  // wake the drainer before waiting on it
+            not_full_.Wait(mutex_, [this] {
+              mutex_.AssertHeld();
               return closed_ || entries_.size() < options_.capacity;
             });
             if (closed_) break;
@@ -162,7 +166,7 @@ Result<size_t> IngestQueue::PushBatch(const Activation* data, size_t count,
       return Status::FailedPrecondition("ingest queue is closed");
     }
   }
-  if (accepted > 0) not_empty_.notify_one();
+  if (accepted > 0) not_empty_.NotifyOne();
   return accepted;
 }
 
@@ -170,83 +174,86 @@ size_t IngestQueue::PopBatch(std::vector<Activation>* out, size_t max_batch,
                              std::chrono::microseconds wait,
                              uint64_t* resolved_seq,
                              std::vector<Popped>* info) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (entries_.empty() && !closed_) {
-    not_empty_.wait_for(lock, wait,
-                        [this] { return closed_ || !entries_.empty(); });
-  }
-  const auto now = std::chrono::steady_clock::now();
   size_t popped = 0;
-  while (popped < max_batch && !entries_.empty()) {
-    Entry& entry = entries_.front();
-    out->push_back(entry.activation);
-    if (info != nullptr) info->push_back({entry.trace, entry.enqueued_at});
-    resolved_seq_ = entry.seq;
-    if (metrics_ != nullptr) {
-      metrics_->Record(queue_wait_us_,
-                       std::chrono::duration<double, std::micro>(
-                           now - entry.enqueued_at)
-                           .count());
+  {
+    util::MutexLock lock(mutex_);
+    if (entries_.empty() && !closed_) {
+      not_empty_.WaitFor(mutex_, wait, [this] {
+        mutex_.AssertHeld();
+        return closed_ || !entries_.empty();
+      });
     }
-    entries_.pop_front();
-    ++popped;
+    const auto now = std::chrono::steady_clock::now();
+    while (popped < max_batch && !entries_.empty()) {
+      Entry& entry = entries_.front();
+      out->push_back(entry.activation);
+      if (info != nullptr) info->push_back({entry.trace, entry.enqueued_at});
+      resolved_seq_ = entry.seq;
+      if (metrics_ != nullptr) {
+        metrics_->Record(queue_wait_us_,
+                         std::chrono::duration<double, std::micro>(
+                             now - entry.enqueued_at)
+                             .count());
+      }
+      entries_.pop_front();
+      ++popped;
+    }
+    if (resolved_seq != nullptr) *resolved_seq = resolved_seq_;
+    if (metrics_ != nullptr && popped > 0) {
+      metrics_->Set(depth_id_, static_cast<int64_t>(entries_.size()));
+      SetOldestGaugeLocked(now);
+    }
   }
-  if (resolved_seq != nullptr) *resolved_seq = resolved_seq_;
-  if (metrics_ != nullptr && popped > 0) {
-    metrics_->Set(depth_id_, static_cast<int64_t>(entries_.size()));
-    SetOldestGaugeLocked(now);
-  }
-  lock.unlock();
-  if (popped > 0) not_full_.notify_all();
+  if (popped > 0) not_full_.NotifyAll();
   return popped;
 }
 
 void IngestQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     closed_ = true;
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  not_empty_.NotifyAll();
+  not_full_.NotifyAll();
 }
 
 bool IngestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return closed_;
 }
 
 size_t IngestQueue::Depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return entries_.size();
 }
 
 uint64_t IngestQueue::accepted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return accepted_;
 }
 
 uint64_t IngestQueue::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return dropped_;
 }
 
 uint64_t IngestQueue::rejected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return rejected_;
 }
 
 double IngestQueue::last_accepted_time() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return last_accepted_time_;
 }
 
 size_t IngestQueue::high_watermark() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return high_watermark_;
 }
 
 double IngestQueue::OldestAgeSeconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (entries_.empty()) return 0.0;
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        entries_.front().enqueued_at)

@@ -2,15 +2,14 @@
 #define ANC_SERVE_INGEST_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "activation/activeness.h"
 #include "obs/metrics.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace anc::serve {
 
@@ -130,23 +129,24 @@ class IngestQueue {
     obs::TraceContext trace;
   };
 
-  /// mutex_ held. Refreshes the oldest-entry-age gauge from the current
-  /// head (0 when empty).
-  void SetOldestGaugeLocked(std::chrono::steady_clock::time_point now);
+  /// Refreshes the oldest-entry-age gauge from the current head (0 when
+  /// empty).
+  void SetOldestGaugeLocked(std::chrono::steady_clock::time_point now)
+      ANC_REQUIRES(mutex_);
 
   IngestOptions options_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<Entry> entries_;
-  bool closed_ = false;
-  uint64_t next_seq_ = 1;
-  uint64_t resolved_seq_ = 0;
-  uint64_t accepted_ = 0;
-  uint64_t dropped_ = 0;
-  uint64_t rejected_ = 0;
-  double last_accepted_time_ = 0.0;
-  size_t high_watermark_ = 0;
+  mutable util::Mutex mutex_;
+  util::CondVar not_empty_;
+  util::CondVar not_full_;
+  std::deque<Entry> entries_ ANC_GUARDED_BY(mutex_);
+  bool closed_ ANC_GUARDED_BY(mutex_) = false;
+  uint64_t next_seq_ ANC_GUARDED_BY(mutex_) = 1;
+  uint64_t resolved_seq_ ANC_GUARDED_BY(mutex_) = 0;
+  uint64_t accepted_ ANC_GUARDED_BY(mutex_) = 0;
+  uint64_t dropped_ ANC_GUARDED_BY(mutex_) = 0;
+  uint64_t rejected_ ANC_GUARDED_BY(mutex_) = 0;
+  double last_accepted_time_ ANC_GUARDED_BY(mutex_) = 0.0;
+  size_t high_watermark_ ANC_GUARDED_BY(mutex_) = 0;
 
   obs::MetricsRegistry* metrics_;
   obs::CounterId accepted_id_;

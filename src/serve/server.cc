@@ -67,7 +67,7 @@ Status AncServer::Start() {
     // route every fsync-advance back into the durable watermark.
     const store::Mark durable = store_->durable();
     {
-      std::lock_guard<std::mutex> lock(durable_mutex_);
+      util::MutexLock lock(durable_mutex_);
       durable_ = Watermark{durable.seq, durable.time};
     }
     store_->SetDurableCallback(
@@ -92,9 +92,9 @@ void AncServer::Stop() {
     store_->SetDurableCallback(nullptr);
   }
   // Wake waiters stranded on tickets that will never resolve.
-  watermark_cv_.notify_all();
-  durable_cv_.notify_all();
-  checkpoint_cv_.notify_all();
+  watermark_cv_.NotifyAll();
+  durable_cv_.NotifyAll();
+  checkpoint_cv_.NotifyAll();
 }
 
 void AncServer::WriterLoop() {
@@ -226,7 +226,7 @@ void AncServer::WriterLoop() {
         last_applied_time = std::max(last_applied_time, activation.time);
       } else {
         index_->metrics().Add(m_.apply_errors);
-        std::lock_guard<std::mutex> lock(writer_status_mutex_);
+        util::MutexLock lock(writer_status_mutex_);
         if (writer_status_.ok()) writer_status_ = status;
       }
     }
@@ -274,9 +274,9 @@ void AncServer::WriterLoop() {
     if (!synced.ok()) RecordStoreError(synced);
   }
   writer_done_.store(true, std::memory_order_release);
-  watermark_cv_.notify_all();
-  durable_cv_.notify_all();
-  checkpoint_cv_.notify_all();
+  watermark_cv_.NotifyAll();
+  durable_cv_.NotifyAll();
+  checkpoint_cv_.NotifyAll();
 }
 
 void AncServer::ServiceCheckpoint(uint64_t seq, double time) {
@@ -285,11 +285,11 @@ void AncServer::ServiceCheckpoint(uint64_t seq, double time) {
       store_->WriteCheckpoint(*index_, store::Mark{seq, time});
   if (!status.ok()) RecordStoreError(status);
   {
-    std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+    util::MutexLock lock(checkpoint_mutex_);
     ++checkpoints_done_;
     last_checkpoint_status_ = status;
   }
-  checkpoint_cv_.notify_all();
+  checkpoint_cv_.NotifyAll();
 }
 
 void AncServer::Publish(Watermark watermark) {
@@ -303,14 +303,14 @@ void AncServer::Publish(Watermark watermark) {
   auto view = std::make_shared<const ClusterView>(
       index_->graph(), index_->ExportClusterState(), ++epoch_, watermark);
   {
-    std::lock_guard<std::mutex> lock(view_mutex_);
+    util::MutexLock lock(view_mutex_);
     view_ = std::move(view);
   }
   {
-    std::lock_guard<std::mutex> lock(watermark_mutex_);
+    util::MutexLock lock(watermark_mutex_);
     published_ = watermark;
   }
-  watermark_cv_.notify_all();
+  watermark_cv_.NotifyAll();
   obs::MetricsRegistry& registry = index_->metrics();
   registry.Add(m_.epochs);
   registry.Record(m_.snapshot_build_us, MicrosSince(build_start));
@@ -361,14 +361,15 @@ Status AncServer::Flush(std::chrono::milliseconds timeout) {
 }
 
 Watermark AncServer::watermark() const {
-  std::lock_guard<std::mutex> lock(watermark_mutex_);
+  util::MutexLock lock(watermark_mutex_);
   return published_;
 }
 
 Status AncServer::AwaitSeq(uint64_t seq, std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(watermark_mutex_);
+  util::MutexLock lock(watermark_mutex_);
   if (published_.seq >= seq) return Status::OK();
-  const bool reached = watermark_cv_.wait_for(lock, timeout, [&] {
+  const bool reached = watermark_cv_.WaitFor(watermark_mutex_, timeout, [&] {
+    watermark_mutex_.AssertHeld();
     return published_.seq >= seq ||
            writer_done_.load(std::memory_order_acquire);
   });
@@ -380,9 +381,10 @@ Status AncServer::AwaitSeq(uint64_t seq, std::chrono::milliseconds timeout) {
 }
 
 Status AncServer::AwaitTime(double t, std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(watermark_mutex_);
+  util::MutexLock lock(watermark_mutex_);
   if (published_.time >= t) return Status::OK();
-  const bool reached = watermark_cv_.wait_for(lock, timeout, [&] {
+  const bool reached = watermark_cv_.WaitFor(watermark_mutex_, timeout, [&] {
+    watermark_mutex_.AssertHeld();
     return published_.time >= t ||
            writer_done_.load(std::memory_order_acquire);
   });
@@ -393,27 +395,27 @@ Status AncServer::AwaitTime(double t, std::chrono::milliseconds timeout) {
 }
 
 Watermark AncServer::durable_watermark() const {
-  std::lock_guard<std::mutex> lock(durable_mutex_);
+  util::MutexLock lock(durable_mutex_);
   return durable_;
 }
 
 void AncServer::OnDurable(uint64_t seq, double time) {
   {
-    std::lock_guard<std::mutex> lock(durable_mutex_);
+    util::MutexLock lock(durable_mutex_);
     if (seq > durable_.seq) durable_.seq = seq;
     if (time > durable_.time) durable_.time = time;
   }
-  durable_cv_.notify_all();
+  durable_cv_.NotifyAll();
 }
 
 void AncServer::RecordStoreError(const Status& status) {
   index_->metrics().Add(m_.wal_errors);
-  std::lock_guard<std::mutex> lock(store_status_mutex_);
+  util::MutexLock lock(store_status_mutex_);
   if (store_status_.ok()) store_status_ = status;
 }
 
 Status AncServer::store_status() const {
-  std::lock_guard<std::mutex> lock(store_status_mutex_);
+  util::MutexLock lock(store_status_mutex_);
   return store_status_;
 }
 
@@ -423,9 +425,12 @@ Status AncServer::AwaitDurableSeq(uint64_t seq,
     return Status::FailedPrecondition(
         "no durability configured (DurabilityPolicy::kNone)");
   }
-  std::unique_lock<std::mutex> lock(durable_mutex_);
+  util::MutexLock lock(durable_mutex_);
   if (durable_.seq >= seq) return Status::OK();
-  durable_cv_.wait_for(lock, timeout, [&] { return durable_.seq >= seq; });
+  durable_cv_.WaitFor(durable_mutex_, timeout, [&] {
+    durable_mutex_.AssertHeld();
+    return durable_.seq >= seq;
+  });
   if (durable_.seq >= seq) return Status::OK();
   return Status::Unavailable("timed out awaiting durability of ticket " +
                              std::to_string(seq));
@@ -462,10 +467,11 @@ Status AncServer::RequestCheckpoint(std::chrono::milliseconds timeout) {
     return Status::FailedPrecondition(
         "server not running; checkpoint through the store directly");
   }
-  std::unique_lock<std::mutex> lock(checkpoint_mutex_);
+  util::MutexLock lock(checkpoint_mutex_);
   const uint64_t target = checkpoints_done_ + 1;
   checkpoint_requested_.store(true, std::memory_order_release);
-  checkpoint_cv_.wait_for(lock, timeout, [&] {
+  checkpoint_cv_.WaitFor(checkpoint_mutex_, timeout, [&] {
+    checkpoint_mutex_.AssertHeld();
     return checkpoints_done_ >= target ||
            writer_done_.load(std::memory_order_acquire);
   });
@@ -483,7 +489,7 @@ void AncServer::RecordLoadReport(const StreamLoadReport& report) {
 }
 
 std::shared_ptr<const ClusterView> AncServer::View() const {
-  std::lock_guard<std::mutex> lock(view_mutex_);
+  util::MutexLock lock(view_mutex_);
   return view_;
 }
 
@@ -577,7 +583,7 @@ Result<std::vector<NodeId>> AncServer::SmallestCluster(
 }
 
 Status AncServer::writer_status() const {
-  std::lock_guard<std::mutex> lock(writer_status_mutex_);
+  util::MutexLock lock(writer_status_mutex_);
   return writer_status_;
 }
 

@@ -3,10 +3,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -17,6 +15,7 @@
 #include "serve/cluster_view.h"
 #include "serve/ingest_queue.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace anc::store {
 class DurableStore;
@@ -281,32 +280,32 @@ class AncServer {
   // its reader path with memory_order_relaxed, which leaves load/store of
   // the embedded raw pointer formally racy — ThreadSanitizer flags it —
   // so publication uses this micro-critical-section instead.)
-  mutable std::mutex view_mutex_;
-  std::shared_ptr<const ClusterView> view_;
+  mutable util::Mutex view_mutex_;
+  std::shared_ptr<const ClusterView> view_ ANC_GUARDED_BY(view_mutex_);
   uint64_t epoch_ = 0;  // writer thread (and Start) only
 
   // Published-watermark waiters.
-  mutable std::mutex watermark_mutex_;
-  std::condition_variable watermark_cv_;
-  Watermark published_;
+  mutable util::Mutex watermark_mutex_;
+  util::CondVar watermark_cv_;
+  Watermark published_ ANC_GUARDED_BY(watermark_mutex_);
 
-  mutable std::mutex writer_status_mutex_;
-  Status writer_status_;
+  mutable util::Mutex writer_status_mutex_;
+  Status writer_status_ ANC_GUARDED_BY(writer_status_mutex_);
 
   // Durable-watermark waiters (mirrors the published-watermark pair).
-  mutable std::mutex durable_mutex_;
-  std::condition_variable durable_cv_;
-  Watermark durable_;
+  mutable util::Mutex durable_mutex_;
+  util::CondVar durable_cv_;
+  Watermark durable_ ANC_GUARDED_BY(durable_mutex_);
 
-  mutable std::mutex store_status_mutex_;
-  Status store_status_;
+  mutable util::Mutex store_status_mutex_;
+  Status store_status_ ANC_GUARDED_BY(store_status_mutex_);
 
   // RequestCheckpoint handshake with the writer thread.
   std::atomic<bool> checkpoint_requested_{false};
-  std::mutex checkpoint_mutex_;
-  std::condition_variable checkpoint_cv_;
-  uint64_t checkpoints_done_ = 0;   // guarded by checkpoint_mutex_
-  Status last_checkpoint_status_;   // guarded by checkpoint_mutex_
+  util::Mutex checkpoint_mutex_;
+  util::CondVar checkpoint_cv_;
+  uint64_t checkpoints_done_ ANC_GUARDED_BY(checkpoint_mutex_) = 0;
+  Status last_checkpoint_status_ ANC_GUARDED_BY(checkpoint_mutex_);
 
   struct Metrics {
     obs::CounterId epochs;

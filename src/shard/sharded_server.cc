@@ -331,7 +331,7 @@ void ShardedServer::FlushAllLocked() {
 
 void ShardedServer::FlushStaging() {
   if (!started_once_) return;
-  std::lock_guard<std::mutex> lock(route_mutex_);
+  util::MutexLock lock(route_mutex_);
   FlushAllLocked();
 }
 
@@ -348,7 +348,7 @@ Result<uint64_t> ShardedServer::Submit(const Activation& activation,
       registry_.trace_sink() != nullptr) {
     trace = obs::TraceContext::NewTrace();
   }
-  std::lock_guard<std::mutex> lock(route_mutex_);
+  util::MutexLock lock(route_mutex_);
   const auto [owner, halo] = router_->DeliveryOf(activation.edge);
   StageLocked(owner, activation, trace);
   if (halo != Router::kNoShard) {
@@ -376,7 +376,7 @@ Status ShardedServer::SubmitStream(const ActivationStream& stream,
 }
 
 Result<std::vector<uint64_t>> ShardedServer::ShardFrontiers(uint64_t seq) {
-  std::lock_guard<std::mutex> lock(route_mutex_);
+  util::MutexLock lock(route_mutex_);
   if (seq > issued_) {
     return Status::OutOfRange("ticket was never issued");
   }
@@ -575,7 +575,7 @@ Result<std::vector<NodeId>> ShardedServer::SmallestCluster(
 size_t ShardedServer::IngestDepth() const {
   size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(route_mutex_);
+    util::MutexLock lock(route_mutex_);
     depth += staged_total_;
   }
   for (const Shard& shard : shards_) {

@@ -5,7 +5,6 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +18,7 @@
 #include "shard/sharded_view.h"
 #include "store/store.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace anc::shard {
 
@@ -282,13 +282,13 @@ class ShardedServer {
   /// Stages one delivery for shard `s` (route_mutex_ held), flushing the
   /// shard's batch when it reaches kRouteBatch.
   void StageLocked(uint32_t s, const Activation& activation,
-                   obs::TraceContext trace);
+                   obs::TraceContext trace) ANC_REQUIRES(route_mutex_);
   /// Hands shard `s`'s staged batch to its queue in one push
   /// (route_mutex_ held).
-  void FlushShardLocked(uint32_t s);
-  void FlushAllLocked();
+  void FlushShardLocked(uint32_t s) ANC_REQUIRES(route_mutex_);
+  void FlushAllLocked() ANC_REQUIRES(route_mutex_);
   /// Takes route_mutex_ and drains every staging buffer.
-  void FlushStaging();
+  void FlushStaging() ANC_EXCLUDES(route_mutex_);
 
   const Graph* graph_;  ///< canonical graph (external or shard 0's)
   ShardedOptions options_;
@@ -298,6 +298,9 @@ class ShardedServer {
   std::vector<ShardRecoveryInfo> recovery_info_;
 
   std::atomic<bool> running_{false};
+  /// Not guarded: written only by Start(), read only by Start()/Stop(),
+  /// and the caller must already serialize those (starting a server twice
+  /// concurrently is a usage error the API has never admitted).
   bool started_once_ = false;
 
   /// Deliveries staged per shard before their batched queue push.
@@ -309,14 +312,16 @@ class ShardedServer {
   /// Serializes routing: global ticket issue + per-shard staging/pushes,
   /// keeping the per-shard frontier vector consistent with the global
   /// order.
-  mutable std::mutex route_mutex_;
-  uint64_t issued_ = 0;                       // guarded by route_mutex_
-  std::vector<uint64_t> shard_last_ticket_;   // guarded by route_mutex_
-  std::vector<std::vector<Activation>> staging_;  // guarded by route_mutex_
+  mutable util::Mutex route_mutex_;
+  uint64_t issued_ ANC_GUARDED_BY(route_mutex_) = 0;
+  std::vector<uint64_t> shard_last_ticket_ ANC_GUARDED_BY(route_mutex_);
+  std::vector<std::vector<Activation>> staging_ ANC_GUARDED_BY(route_mutex_);
   /// Trace context per staged delivery, aligned with staging_[s].
-  std::vector<std::vector<obs::TraceContext>> staging_traces_;  // guarded too
-  size_t staged_total_ = 0;                   // guarded by route_mutex_
-  std::chrono::steady_clock::time_point staging_oldest_;  // guarded too
+  std::vector<std::vector<obs::TraceContext>> staging_traces_
+      ANC_GUARDED_BY(route_mutex_);
+  size_t staged_total_ ANC_GUARDED_BY(route_mutex_) = 0;
+  std::chrono::steady_clock::time_point staging_oldest_
+      ANC_GUARDED_BY(route_mutex_);
 
   /// Router-level metrics (scatter-gather queries live above any single
   /// shard's registry).

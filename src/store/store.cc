@@ -202,17 +202,25 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
     store->flusher_ = std::thread([s = store.get()] {
       const auto interval =
           std::chrono::duration<double>(s->options_.flush_interval_s);
-      std::unique_lock<std::mutex> lock(s->mutex_);
-      while (!s->stop_flusher_) {
-        s->flusher_cv_.wait_for(lock, interval,
-                                [s] { return s->stop_flusher_; });
-        if (s->stop_flusher_) break;
-        if (s->wal_ == nullptr || s->pending_records_ == 0) continue;
-        if (!s->SyncLocked().ok()) continue;  // sticky error surfaces later
-        const Mark durable = s->wal_->durable();
-        lock.unlock();
-        s->NotifyDurable(durable);
-        lock.lock();
+      // One lock acquisition per flush tick, released before the durable
+      // callback fires (NotifyDurable excludes mutex_).
+      while (true) {
+        Mark durable;
+        bool advanced = false;
+        {
+          util::MutexLock lock(s->mutex_);
+          if (s->stop_flusher_) break;
+          s->flusher_cv_.WaitFor(s->mutex_, interval, [s] {
+            s->mutex_.AssertHeld();
+            return s->stop_flusher_;
+          });
+          if (s->stop_flusher_) break;
+          if (s->wal_ == nullptr || s->pending_records_ == 0) continue;
+          if (!s->SyncLocked().ok()) continue;  // sticky error surfaces later
+          durable = s->wal_->durable();
+          advanced = true;
+        }
+        if (advanced) s->NotifyDurable(durable);
       }
     });
   }
@@ -221,12 +229,12 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
 
 DurableStore::~DurableStore() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_flusher_ = true;
   }
-  flusher_cv_.notify_all();
+  flusher_cv_.NotifyAll();
   if (flusher_.joinable()) flusher_.join();
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (wal_ != nullptr) {
     if (crashed_) wal_->Abandon();  // frozen disk state: no parting sync
     (void)wal_->Close();
@@ -234,7 +242,7 @@ DurableStore::~DurableStore() {
 }
 
 void DurableStore::SetDurableCallback(std::function<void(Mark)> callback) {
-  std::lock_guard<std::mutex> lock(callback_mutex_);
+  util::MutexLock lock(callback_mutex_);
   durable_callback_ = std::move(callback);
 }
 
@@ -242,7 +250,7 @@ void DurableStore::NotifyDurable(Mark mark) {
   // Invoked under callback_mutex_ (never the store mutex): the callback
   // may run store accessors, and SetDurableCallback(nullptr) doubles as a
   // barrier — once it returns, no invocation is in flight.
-  std::lock_guard<std::mutex> lock(callback_mutex_);
+  util::MutexLock lock(callback_mutex_);
   if (durable_callback_) durable_callback_(mark);
 }
 
@@ -253,7 +261,7 @@ Status DurableStore::Append(const std::vector<Activation>& batch,
   Mark durable;
   Status status;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (crashed_) return Status::Unavailable("store crashed (simulated)");
     if (wal_ == nullptr) {
       return Status::FailedPrecondition("store has no open WAL segment");
@@ -301,7 +309,7 @@ Status DurableStore::AppendLocked(const std::vector<Activation>& batch,
 Status DurableStore::Sync() {
   Mark durable;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (crashed_) return Status::Unavailable("store crashed (simulated)");
     if (wal_ == nullptr) return Status::OK();
     ANC_RETURN_NOT_OK(SyncLocked());
@@ -390,7 +398,7 @@ Status DurableStore::WriteCheckpoint(const AncIndex& index, Mark at) {
   Mark durable;
   Status status;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (crashed_) return Status::Unavailable("store crashed (simulated)");
     const Clock::time_point start = Clock::now();
     if (wal_ != nullptr) {
@@ -484,22 +492,22 @@ Status DurableStore::WriteCheckpoint(const AncIndex& index, Mark at) {
 }
 
 Mark DurableStore::appended() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return wal_ != nullptr ? wal_->appended() : Mark{};
 }
 
 Mark DurableStore::durable() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return wal_ != nullptr ? wal_->durable() : Mark{};
 }
 
 uint64_t DurableStore::generation() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return generation_;
 }
 
 StoreStats DurableStore::Stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   StoreStats stats;
   stats.generation = generation_;
   if (wal_ != nullptr) {

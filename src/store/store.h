@@ -4,18 +4,16 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
-
-#include <condition_variable>
 
 #include "core/anc.h"
 #include "core/serialization.h"
 #include "obs/metrics.h"
 #include "store/wal.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace anc::store {
 
@@ -117,33 +115,40 @@ class DurableStore {
                obs::MetricsRegistry* metrics);
 
   Status AppendLocked(const std::vector<Activation>& batch,
-                      uint64_t first_seq);
-  Status SyncLocked();          // returns after advancing durable_
-  Status RotateSegmentLocked(uint64_t base_seq);
-  Status WriteManifestLocked(const std::string& checkpoint_file, Mark at);
-  void NotifyDurable(Mark mark);  // called outside the lock
+                      uint64_t first_seq) ANC_REQUIRES(mutex_);
+  Status SyncLocked() ANC_REQUIRES(mutex_);  // returns after advancing durable_
+  Status RotateSegmentLocked(uint64_t base_seq) ANC_REQUIRES(mutex_);
+  Status WriteManifestLocked(const std::string& checkpoint_file, Mark at)
+      ANC_REQUIRES(mutex_);
+  /// Fires the durable callback. Must run outside mutex_: the callback may
+  /// re-enter store accessors (ANC_EXCLUDES makes Clang TSA reject callers
+  /// that still hold the store lock).
+  void NotifyDurable(Mark mark) ANC_EXCLUDES(mutex_);
 
   const std::string dir_;
   StoreOptions options_;
 
-  mutable std::mutex mutex_;
-  std::unique_ptr<WalAppender> wal_;
-  std::vector<std::string> sealed_segments_;  // rotated, not yet truncated
-  uint64_t sealed_bytes_ = 0;
-  uint64_t generation_ = 0;
-  std::string checkpoint_file_;
-  uint64_t records_ = 0;
-  uint64_t syncs_ = 0;
-  uint64_t checkpoints_ = 0;
-  size_t pending_records_ = 0;  // appended since the last sync
-  bool crashed_ = false;        // a checkpoint-path crash seam fired
+  mutable util::Mutex mutex_;
+  std::unique_ptr<WalAppender> wal_ ANC_GUARDED_BY(mutex_);
+  /// Rotated, not yet truncated.
+  std::vector<std::string> sealed_segments_ ANC_GUARDED_BY(mutex_);
+  uint64_t sealed_bytes_ ANC_GUARDED_BY(mutex_) = 0;
+  uint64_t generation_ ANC_GUARDED_BY(mutex_) = 0;
+  std::string checkpoint_file_ ANC_GUARDED_BY(mutex_);
+  uint64_t records_ ANC_GUARDED_BY(mutex_) = 0;
+  uint64_t syncs_ ANC_GUARDED_BY(mutex_) = 0;
+  uint64_t checkpoints_ ANC_GUARDED_BY(mutex_) = 0;
+  /// Appended since the last sync.
+  size_t pending_records_ ANC_GUARDED_BY(mutex_) = 0;
+  /// A checkpoint-path crash seam fired.
+  bool crashed_ ANC_GUARDED_BY(mutex_) = false;
 
-  std::mutex callback_mutex_;
-  std::function<void(Mark)> durable_callback_;
+  util::Mutex callback_mutex_;
+  std::function<void(Mark)> durable_callback_ ANC_GUARDED_BY(callback_mutex_);
 
   std::thread flusher_;
-  std::condition_variable flusher_cv_;
-  bool stop_flusher_ = false;  // guarded by mutex_
+  util::CondVar flusher_cv_;
+  bool stop_flusher_ ANC_GUARDED_BY(mutex_) = false;
 
   obs::MetricsRegistry* metrics_;
   struct Metrics {

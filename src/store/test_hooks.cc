@@ -4,7 +4,7 @@
 
 namespace anc::store {
 
-std::mutex TestHooks::mutex_;
+util::Mutex TestHooks::mutex_;
 bool TestHooks::armed_ = false;
 CrashPoint TestHooks::point_ = CrashPoint::kMidRecord;
 uint32_t TestHooks::remaining_ = 0;
@@ -26,20 +26,20 @@ const char* CrashPointName(CrashPoint point) {
 }
 
 void TestHooks::ArmCrash(CrashPoint point, uint32_t skip) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   armed_ = true;
   point_ = point;
   remaining_ = skip;
 }
 
 void TestHooks::Disarm() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   armed_ = false;
   remaining_ = 0;
 }
 
 bool TestHooks::ShouldCrash(CrashPoint point) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!armed_ || point_ != point) return false;
   if (remaining_ > 0) {
     --remaining_;

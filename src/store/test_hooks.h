@@ -2,10 +2,10 @@
 #define ANC_STORE_TEST_HOOKS_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace anc::store {
 
@@ -57,10 +57,10 @@ class TestHooks {
   static Status CorruptByte(const std::string& path, int64_t offset);
 
  private:
-  static std::mutex mutex_;
-  static bool armed_;
-  static CrashPoint point_;
-  static uint32_t remaining_;
+  static util::Mutex mutex_;
+  static bool armed_ ANC_GUARDED_BY(mutex_);
+  static CrashPoint point_ ANC_GUARDED_BY(mutex_);
+  static uint32_t remaining_ ANC_GUARDED_BY(mutex_);
 };
 
 }  // namespace anc::store

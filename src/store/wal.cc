@@ -197,6 +197,8 @@ WalAppender::WalAppender(std::string path, int fd, uint64_t base_seq)
       base_seq_ > 0 ? base_seq_ - 1 : 0;
 }
 
+// Destructors cannot report; callers needing the final sync's status call
+// Close() themselves first (Close is idempotent).
 WalAppender::~WalAppender() { (void)Close(); }
 
 Status WalAppender::Append(const Activation* data, size_t count,
@@ -246,6 +248,7 @@ Status WalAppender::Flush() {
     // advance, so the durable contract is preserved.
     const size_t frame = frame_sizes_.front();
     const size_t torn = std::max<size_t>(kWalFrameHeaderBytes + 1, frame / 2);
+    // Best-effort by design: the simulated death happens mid-write anyway.
     (void)WriteAll(fd_, buffer_.data(), std::min(torn, frame - 1), path_);
     crashed_ = true;
     return CrashStatus(CrashPoint::kMidRecord);

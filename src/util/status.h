@@ -30,7 +30,13 @@ enum class StatusCode {
 ///
 ///     Status s = graph.AddEdge(u, v);
 ///     if (!s.ok()) return s;
-class Status {
+///
+/// The class itself is [[nodiscard]], so *every* function returning a
+/// Status by value makes a silently dropped result a compile error
+/// (-Werror=unused-result) without per-declaration annotations. A
+/// deliberate drop must say so: `(void)wal_->Close();` — and ideally why.
+/// scripts/lint.sh guards this attribute (and Result's) from regressing.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -74,9 +80,10 @@ class Status {
 };
 
 /// Result<T> is either a value or an error Status (Arrow's arrow::Result
-/// idiom). Accessing the value of an error result aborts.
+/// idiom). Accessing the value of an error result aborts. [[nodiscard]]
+/// for the same reason as Status: a dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from Status so `return value;` and
   /// `return Status::...;` both work in functions returning Result<T>.

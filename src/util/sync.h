@@ -1,0 +1,98 @@
+#ifndef ANC_UTIL_SYNC_H_
+#define ANC_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace anc::util {
+
+/// Annotated std::mutex: a capability the thread safety analysis can track
+/// (docs/static_analysis.md). Zero-cost — the wrapper adds nothing to the
+/// underlying mutex; all methods are inline forwards.
+///
+/// Conversion idioms used across serve/shard/store/obs:
+///  - members protected by a Mutex carry ANC_GUARDED_BY(mutex_);
+///  - `...Locked` helpers carry ANC_REQUIRES(mutex_);
+///  - critical sections are `MutexLock lock(mutex_);` scopes — code that
+///    used to unlock-then-notify now notifies after the scope closes;
+///  - CondVar wait predicates call mutex_.AssertHeld() first (the analysis
+///    treats a lambda as a separate function and cannot see the held lock).
+class ANC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ANC_ACQUIRE() { mu_.lock(); }
+  void Unlock() ANC_RELEASE() { mu_.unlock(); }
+  bool TryLock() ANC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis this thread holds the mutex. Runtime no-op; used
+  /// inside wait predicates and other contexts entered with the lock held
+  /// that the analysis cannot see into.
+  void AssertHeld() const ANC_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII critical section over a Mutex (std::lock_guard / std::unique_lock
+/// replacement the analysis understands as a scoped capability).
+class ANC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ANC_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() ANC_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex. Every wait takes the Mutex the
+/// caller already holds (ANC_REQUIRES) and returns with it still held; the
+/// handoff to the underlying std::condition_variable is a borrow
+/// (adopt-then-release), so the capability never changes hands as far as
+/// the analysis — or the caller's MutexLock — is concerned.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until pred() is true. `mu` must be held; pred runs with it
+  /// held and must start with mu.AssertHeld().
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) ANC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> borrowed(mu.mu_, std::adopt_lock);
+    cv_.wait(borrowed, pred);
+    borrowed.release();  // the caller's scope still owns the mutex
+  }
+
+  /// Blocks until pred() is true or `timeout` elapses; returns pred().
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout,
+               Pred pred) ANC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> borrowed(mu.mu_, std::adopt_lock);
+    const bool satisfied = cv_.wait_for(borrowed, timeout, pred);
+    borrowed.release();
+    return satisfied;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace anc::util
+
+#endif  // ANC_UTIL_SYNC_H_

@@ -1,0 +1,77 @@
+#ifndef ANC_UTIL_THREAD_ANNOTATIONS_H_
+#define ANC_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Portable wrappers over Clang's Thread Safety Analysis attributes
+/// (docs/static_analysis.md). Under Clang with -Wthread-safety the
+/// annotations turn the repo's locking discipline into compile-time
+/// contracts: every ANC_GUARDED_BY member may only be touched while its
+/// capability is held, every ANC_REQUIRES function may only be called with
+/// it held, and violations are build errors under -Werror=thread-safety
+/// (the `scripts/check.sh tsa` configuration). Under GCC — which has no
+/// equivalent analysis — every macro expands to nothing, so the annotated
+/// tree builds identically everywhere.
+///
+/// The annotations attach to the anc::util::Mutex / MutexLock / CondVar
+/// wrappers in util/sync.h; see that header for the conversion idioms
+/// (AssertHeld in wait predicates, *Locked methods, scoped notify blocks).
+
+#if defined(__clang__)
+#define ANC_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define ANC_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off Clang
+#endif
+
+/// Declares a type to be a capability (a lockable resource).
+#define ANC_CAPABILITY(x) ANC_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define ANC_SCOPED_CAPABILITY ANC_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Member data that may only be read or written while `x` is held.
+#define ANC_GUARDED_BY(x) ANC_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member whose *pointee* may only be touched while `x` is held.
+#define ANC_PT_GUARDED_BY(x) ANC_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function that must be called with the listed capabilities held (the
+/// `...Locked` helper convention).
+#define ANC_REQUIRES(...) \
+  ANC_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and returns with them
+/// held.
+#define ANC_ACQUIRE(...) \
+  ANC_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities.
+#define ANC_RELEASE(...) \
+  ANC_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function that attempts an acquisition; `b` is the return value meaning
+/// success.
+#define ANC_TRY_ACQUIRE(b, ...) \
+  ANC_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function that must be called with the listed capabilities NOT held
+/// (deadlock guards on callback paths).
+#define ANC_EXCLUDES(...) \
+  ANC_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime no-op telling the analysis the capability is held here — the
+/// escape for contexts the analysis cannot see through, canonically the
+/// wait-predicate lambdas passed to CondVar (the analysis treats a lambda
+/// as an unrelated function).
+#define ANC_ASSERT_CAPABILITY(x) \
+  ANC_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function returning a reference to the capability guarding its result.
+#define ANC_RETURN_CAPABILITY(x) \
+  ANC_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Turns the analysis off for one function. Every use must carry a comment
+/// stating the invariant that makes the unguarded access safe.
+#define ANC_NO_THREAD_SAFETY_ANALYSIS \
+  ANC_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // ANC_UTIL_THREAD_ANNOTATIONS_H_

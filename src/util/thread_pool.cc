@@ -27,10 +27,10 @@ ThreadPool::ThreadPool(unsigned num_threads)
 ThreadPool::~ThreadPool() {
   if (!workers_.empty()) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       shutdown_ = true;
     }
-    work_available_.notify_all();
+    work_available_.NotifyAll();
     for (auto& worker : workers_) worker.join();
   }
 }
@@ -39,8 +39,11 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      util::MutexLock lock(mutex_);
+      work_available_.Wait(mutex_, [this] {
+        mutex_.AssertHeld();
+        return shutdown_ || !tasks_.empty();
+      });
       if (shutdown_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -50,20 +53,26 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--inflight_ == 0) work_done_.notify_all();
+      util::MutexLock lock(mutex_);
+      if (--inflight_ == 0) work_done_.NotifyAll();
     }
   }
 }
 
 void ThreadPool::SetMetrics(obs::MetricsRegistry* registry) {
-  metrics_ = registry;
-  if (metrics_ == nullptr) return;
-  tasks_queued_ = metrics_->Counter("anc.pool.tasks_queued");
-  tasks_run_ = metrics_->Counter("anc.pool.tasks_run");
-  queue_depth_ = metrics_->Gauge("anc.pool.queue_depth");
-  queue_wait_us_ = metrics_->Histogram("anc.pool.queue_wait_us");
-  task_us_ = metrics_->Histogram("anc.pool.task_us");
+  // The store happens under mutex_ so a worker parked in WorkerLoop (the
+  // workers start in the constructor, before any SetMetrics) reads the new
+  // pointer, not a stale null, when it next wakes under the same mutex.
+  {
+    util::MutexLock lock(mutex_);
+    metrics_ = registry;
+  }
+  if (registry == nullptr) return;
+  tasks_queued_ = registry->Counter("anc.pool.tasks_queued");
+  tasks_run_ = registry->Counter("anc.pool.tasks_run");
+  queue_depth_ = registry->Gauge("anc.pool.queue_depth");
+  queue_wait_us_ = registry->Histogram("anc.pool.queue_wait_us");
+  task_us_ = registry->Histogram("anc.pool.task_us");
 }
 
 void ThreadPool::ParallelFor(size_t count,
@@ -83,7 +92,7 @@ void ThreadPool::ParallelFor(size_t count,
   }
   const auto enqueue_time = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     inflight_ += count;
     for (size_t i = 0; i < count; ++i) {
       if (record) {
@@ -103,9 +112,12 @@ void ThreadPool::ParallelFor(size_t count,
     }
   }
   if (record) metrics_->Add(tasks_queued_, count);
-  work_available_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return inflight_ == 0; });
+  work_available_.NotifyAll();
+  util::MutexLock lock(mutex_);
+  work_done_.Wait(mutex_, [this] {
+    mutex_.AssertHeld();
+    return inflight_ == 0;
+  });
 }
 
 }  // namespace anc

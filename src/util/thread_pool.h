@@ -1,14 +1,13 @@
 #ifndef ANC_UTIL_THREAD_POOL_H_
 #define ANC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/sync.h"
 
 namespace anc {
 
@@ -48,12 +47,16 @@ class ThreadPool {
 
   unsigned num_threads_;
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable work_done_;
-  std::queue<std::function<void()>> tasks_;
-  size_t inflight_ = 0;
-  bool shutdown_ = false;
+  util::Mutex mutex_;
+  util::CondVar work_available_;
+  util::CondVar work_done_;
+  std::queue<std::function<void()>> tasks_ ANC_GUARDED_BY(mutex_);
+  size_t inflight_ ANC_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ ANC_GUARDED_BY(mutex_) = false;
+  // Not guarded: SetMetrics must precede the first ParallelFor (documented
+  // contract), so every read — the ParallelFor fast path, the worker-side
+  // task bodies — is ordered after the store. SetMetrics still writes under
+  // mutex_ so workers already parked in WorkerLoop observe it.
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::CounterId tasks_queued_;
   obs::CounterId tasks_run_;

@@ -42,6 +42,30 @@ TEST(ThreadPoolStressTest, RepeatedParallelForRunsEveryIteration) {
   EXPECT_EQ(total.load(), kRounds * (kIters * (kIters + 1) / 2));
 }
 
+TEST(ThreadPoolStressTest, SetMetricsVisibleToFirstParallelFor) {
+  // Regression: SetMetrics publishes the registry pointer under the pool
+  // mutex, so workers that started (and parked) in the constructor observe
+  // it — along with the counter/histogram ids it registered — on their
+  // next wake. Before the fix the publish was a plain unsynchronized
+  // store, and the very first ParallelFor after SetMetrics could record
+  // through a half-visible registry.
+  for (int round = 0; round < 32; ++round) {
+    obs::MetricsRegistry registry;
+    ThreadPool pool(4);
+    pool.SetMetrics(&registry);
+    std::atomic<uint64_t> total{0};
+    pool.ParallelFor(64, [&](size_t i) {
+      total.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(total.load(), 64u * 65u / 2u);
+    if (obs::kMetricsEnabled) {
+      const obs::StatsSnapshot snap = registry.Snapshot();
+      EXPECT_EQ(snap.counter("anc.pool.tasks_run"), 64u);
+      EXPECT_EQ(snap.counter("anc.pool.tasks_queued"), 64u);
+    }
+  }
+}
+
 TEST(ThreadPoolStressTest, MetricsRecordingUnderContention) {
   obs::MetricsRegistry registry;
   ThreadPool pool(4);

@@ -61,6 +61,38 @@ TEST(JsonTest, RejectsMalformedInput) {
   EXPECT_FALSE(Json::Parse("\"unterminated", &out));
 }
 
+TEST(JsonTest, NestingDepthCapped) {
+  // Regression for a stack overflow found by fuzz/fuzz_json.cc: a few KB
+  // of "[[[[..." used to recurse until the stack died. The parser now
+  // rejects anything nested deeper than 128 levels and parses anything at
+  // or below the cap.
+  const auto nested_array = [](int depth) {
+    std::string text(static_cast<size_t>(depth), '[');
+    text.append(static_cast<size_t>(depth), ']');
+    return text;
+  };
+  Json out;
+  EXPECT_TRUE(Json::Parse(nested_array(128), &out));
+  EXPECT_FALSE(Json::Parse(nested_array(129), &out));
+
+  std::string object = "1";
+  for (int i = 0; i < 129; ++i) {
+    object = "{\"k\":" + object + "}";
+  }
+  EXPECT_FALSE(Json::Parse(object, &out));
+
+  // Pathological inputs come back as a clean `false`, not a crash — even
+  // unbalanced ones far past the cap.
+  EXPECT_FALSE(Json::Parse(std::string(100000, '['), &out));
+
+  // Width is not depth: a large flat array stays parseable.
+  std::string wide = "[0";
+  for (int i = 1; i < 10000; ++i) wide += ",1";
+  wide += "]";
+  ASSERT_TRUE(Json::Parse(wide, &out));
+  EXPECT_EQ(out.size(), 10000u);
+}
+
 // ---------------------------------------------------------------------------
 // MetricsRegistry
 // ---------------------------------------------------------------------------

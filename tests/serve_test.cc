@@ -656,7 +656,10 @@ TEST(ServeStressTest, ConcurrentReadersAndProducers) {
     readers.emplace_back([&, t] {
       uint64_t n = 0;
       uint64_t last_epoch = 0;
-      while (!stop_readers.load(std::memory_order_acquire)) {
+      // do/while: every reader queries at least once even when producers
+      // finish before this thread is first scheduled, so the
+      // total_queries > 0 assertion below cannot flake under load.
+      do {
         std::shared_ptr<const ClusterView> view = server.View();
         ASSERT_NE(view, nullptr);
         // Epochs only move forward under a single writer.
@@ -674,7 +677,7 @@ TEST(ServeStressTest, ConcurrentReadersAndProducers) {
           ASSERT_TRUE(local.ok()) << local.status().ToString();
         }
         ++n;
-      }
+      } while (!stop_readers.load(std::memory_order_acquire));
       queries_per_reader[t] = n;
     });
   }

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -171,6 +172,46 @@ TEST(WalTest, CorruptTailDetectedAndTruncated) {
   EXPECT_FALSE(rescan.value().torn_tail);
   EXPECT_EQ(rescan.value().records, 1u);
   EXPECT_EQ(std::filesystem::file_size(path), rescan.value().valid_bytes);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalTest, OversizedFrameLengthTreatedAsTornTail) {
+  // Regression from fuzz/fuzz_wal.cc: a frame header claiming a ~4 GiB
+  // payload (far above kMaxWalPayloadBytes) must be flagged as a torn
+  // tail before the scanner ever attempts the allocation.
+  const std::string dir = TempDir("anc_wal_oversized");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/wal-1.log";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(store::kWalMagic, sizeof(store::kWalMagic));
+    const uint64_t base_seq = 1;
+    out.write(reinterpret_cast<const char*>(&base_seq), sizeof(base_seq));
+    const uint32_t length = 0xffffffffu;
+    const uint32_t crc = 0;
+    out.write(reinterpret_cast<const char*>(&length), sizeof(length));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  }
+  Result<WalSegmentInfo> scan =
+      store::ReadWalSegment(path, nullptr, /*truncate_torn_tail=*/true);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan.value().torn_tail);
+  EXPECT_EQ(scan.value().records, 0u);
+  EXPECT_EQ(scan.value().valid_bytes, store::kWalSegmentHeaderBytes);
+  EXPECT_EQ(std::filesystem::file_size(path), store::kWalSegmentHeaderBytes);
+
+  // A length too small to hold even the record preamble is equally torn.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const uint32_t length = 4;
+    const uint32_t crc = 0;
+    out.write(reinterpret_cast<const char*>(&length), sizeof(length));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  }
+  Result<WalSegmentInfo> rescan = store::ReadWalSegment(path, nullptr);
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_TRUE(rescan.value().torn_tail);
+  EXPECT_EQ(rescan.value().records, 0u);
   std::filesystem::remove_all(dir);
 }
 

@@ -199,6 +199,39 @@ TEST(StreamIoTest, StrictModeFillsReportOnFailure) {
   std::remove(path.c_str());
 }
 
+TEST(StreamIoTest, BinaryGarbageSurvivedAsStatusNotCrash) {
+  // Pins the fuzz/fuzz_stream.cc surface (docs/static_analysis.md):
+  // arbitrary bytes — embedded NULs, no trailing newline, tokens that are
+  // not numbers — must come back as a Status in strict mode and as a
+  // fully-skipped load in skip mode, never as a crash or hang.
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = b.Build();
+  const std::string path = TempPath("anc_stream_garbage.txt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char garbage[] = "\x00\xff\x7f 0 1\n\x01\x02"
+                           "nan inf -9e999\n0 1";
+    out.write(garbage, sizeof(garbage) - 1);
+  }
+  // Which error code depends on how far the reader gets before the NUL
+  // bytes derail it; the contract is only that it *is* an error Status.
+  Result<ActivationStream> strict = LoadActivationStream(g, path);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_FALSE(strict.status().message().empty());
+
+  StreamLoadOptions options;
+  options.skip_bad_lines = true;
+  StreamLoadReport report;
+  Result<ActivationStream> skipped =
+      LoadActivationStream(g, path, options, &report);
+  ASSERT_TRUE(skipped.ok()) << skipped.status().ToString();
+  EXPECT_TRUE(skipped.value().empty());
+  EXPECT_EQ(report.loaded, 0u);
+  EXPECT_EQ(report.skipped, report.data_lines);
+  std::remove(path.c_str());
+}
+
 TEST(StreamIoTest, MissingFileIsIoError) {
   GraphBuilder b;
   ASSERT_TRUE(b.AddEdge(0, 1).ok());
