@@ -84,6 +84,23 @@
 //   shard-health            per-shard health scorecards (cut ratio, queue
 //                           depth/staleness, durable lag) with degraded /
 //                           critical verdicts
+//
+// Networking (docs/networking.md) — RPC serving, remote clients:
+//   net-serve [port]        expose the running serve/shard engine over TCP
+//                           (port 0 = ephemeral; the bound port is printed)
+//   net-stop                stop the RPC front-end
+//   connect <host> <port> [tenant]
+//                           open a client connection to a NetServer
+//   disconnect              close it
+//   remote-submit <u> <v> <t>  submit one activation over RPC (needs a
+//                           local graph to resolve the edge id)
+//   remote-flush            await the remote published watermark
+//   remote-clusters [level] clusters from the remote snapshot
+//   remote-local <v> [level]   local cluster over RPC
+//   remote-zoom <v>         per-level cluster sizes of v over RPC
+//   remote-watermark        remote watermark / epoch (and cache-hit flag)
+//   remote-stats | remote-health | remote-metrics
+//                           remote introspection (JSON / JSON / Prometheus)
 
 #include <chrono>
 #include <cstdio>
@@ -98,6 +115,9 @@
 #include "core/serialization.h"
 #include "datasets/synthetic.h"
 #include "graph/io.h"
+#include "net/backend.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/exporter.h"
 #include "obs/health.h"
 #include "obs/trace.h"
@@ -118,6 +138,9 @@ struct Session {
   std::unique_ptr<store::DurableStore> store;
   std::unique_ptr<serve::AncServer> server;
   std::unique_ptr<shard::ShardedServer> sharded;
+  std::unique_ptr<net::Backend> net_backend;
+  std::unique_ptr<net::NetServer> net_server;
+  std::unique_ptr<net::Client> remote;
   std::unique_ptr<obs::TraceSink> trace;
   std::string trace_path;
   uint32_t level = 1;
@@ -140,6 +163,10 @@ struct Session {
   bool RequireStore() const {
     if (store == nullptr) std::printf("error: no store (run wal-open)\n");
     return store != nullptr;
+  }
+  bool RequireRemote() const {
+    if (remote == nullptr) std::printf("error: not connected (connect)\n");
+    return remote != nullptr;
   }
   bool RequireSharded() const {
     if (sharded == nullptr) {
@@ -933,6 +960,182 @@ bool HandleLine(Session& session, const std::string& line) {
     if (!session.RequireSharded()) return true;
     const obs::HealthReport report = shard::AssessHealth(*session.sharded);
     std::printf("%s\n", report.ToString().c_str());
+  } else if (command == "net-serve") {
+    if (session.net_server != nullptr) {
+      std::printf("error: already serving RPC on port %u (net-stop first)\n",
+                  session.net_server->port());
+      return true;
+    }
+    if (session.server == nullptr && session.sharded == nullptr) {
+      std::printf(
+          "error: nothing to expose (serve-start or shard-start first)\n");
+      return true;
+    }
+    net::NetServerOptions options;
+    unsigned port = 0;
+    if (args >> port) options.port = static_cast<uint16_t>(port);
+    if (session.sharded != nullptr) {
+      session.net_backend =
+          std::make_unique<net::ShardedBackend>(session.sharded.get());
+    } else {
+      session.net_backend =
+          std::make_unique<net::ServerBackend>(session.server.get());
+    }
+    session.net_server = std::make_unique<net::NetServer>(
+        session.net_backend.get(), options);
+    Status s = session.net_server->Start();
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.ToString().c_str());
+      session.net_server.reset();
+      session.net_backend.reset();
+      return true;
+    }
+    std::printf("rpc: serving %s on 127.0.0.1:%u\n",
+                session.sharded != nullptr ? "sharded" : "single",
+                session.net_server->port());
+  } else if (command == "net-stop") {
+    if (session.net_server == nullptr) {
+      std::printf("error: no RPC front-end running\n");
+      return true;
+    }
+    session.net_server->Stop();
+    session.net_server.reset();
+    session.net_backend.reset();
+    std::printf("rpc: stopped\n");
+  } else if (command == "connect") {
+    std::string host;
+    unsigned port = 0;
+    if (!(args >> host >> port) || port == 0 || port > 65535) {
+      std::printf("usage: connect <host> <port> [tenant]\n");
+      return true;
+    }
+    net::Client::Options options;
+    args >> options.tenant_id;
+    auto client =
+        net::Client::Connect(host, static_cast<uint16_t>(port), options);
+    if (!client.ok()) {
+      std::printf("error: %s\n", client.status().ToString().c_str());
+      return true;
+    }
+    session.remote = std::move(client.value());
+    auto mark = session.remote->Ping();
+    if (!mark.ok()) {
+      std::printf("error: %s\n", mark.status().ToString().c_str());
+      session.remote.reset();
+      return true;
+    }
+    std::printf("connected: watermark seq=%llu epoch=%llu\n",
+                static_cast<unsigned long long>(mark->seq),
+                static_cast<unsigned long long>(mark->epoch));
+  } else if (command == "disconnect") {
+    if (!session.RequireRemote()) return true;
+    session.remote.reset();
+    std::printf("disconnected\n");
+  } else if (command == "remote-submit") {
+    if (!session.RequireRemote() || !session.RequireGraph()) return true;
+    NodeId u = 0;
+    NodeId v = 0;
+    double t = 0.0;
+    args >> u >> v >> t;
+    auto e = session.graph->FindEdge(u, v);
+    if (!e.has_value()) {
+      std::printf("error: (%u, %u) is not an edge\n", u, v);
+      return true;
+    }
+    auto ack = session.remote->Submit({*e, t});
+    if (!ack.ok()) {
+      std::printf("error: %s\n", ack.status().ToString().c_str());
+      return true;
+    }
+    std::printf("ticket %llu\n",
+                static_cast<unsigned long long>(ack->last_seq));
+  } else if (command == "remote-flush") {
+    if (!session.RequireRemote()) return true;
+    auto mark = session.remote->Flush();
+    if (!mark.ok()) {
+      std::printf("error: %s\n", mark.status().ToString().c_str());
+      return true;
+    }
+    std::printf("watermark seq=%llu time=%.3f epoch=%llu\n",
+                static_cast<unsigned long long>(mark->seq), mark->time,
+                static_cast<unsigned long long>(mark->epoch));
+  } else if (command == "remote-clusters") {
+    if (!session.RequireRemote()) return true;
+    uint32_t level = 0;
+    args >> level;
+    auto clusters = session.remote->Clusters(level);
+    if (!clusters.ok()) {
+      std::printf("error: %s\n", clusters.status().ToString().c_str());
+      return true;
+    }
+    std::printf("%u clusters at level %u (epoch %llu%s)\n",
+                clusters->num_clusters, clusters->level,
+                static_cast<unsigned long long>(clusters->epoch),
+                (session.remote->last_flags() & net::kFlagCacheHit) != 0
+                    ? ", cached"
+                    : "");
+  } else if (command == "remote-local") {
+    if (!session.RequireRemote()) return true;
+    NodeId v = 0;
+    uint32_t level = 0;
+    args >> v >> level;
+    auto members = session.remote->LocalCluster(v, level);
+    if (!members.ok()) {
+      std::printf("error: %s\n", members.status().ToString().c_str());
+      return true;
+    }
+    std::printf("level %u:", members->level);
+    size_t shown = 0;
+    for (NodeId member : members->members) {
+      if (shown++ == 20) {
+        std::printf(" ...");
+        break;
+      }
+      std::printf(" %u", member);
+    }
+    std::printf("  (%zu members%s)\n", members->members.size(),
+                (session.remote->last_flags() & net::kFlagCacheHit) != 0
+                    ? ", cached"
+                    : "");
+  } else if (command == "remote-zoom") {
+    if (!session.RequireRemote()) return true;
+    NodeId v = 0;
+    args >> v;
+    auto zoom = session.remote->Zoom(v);
+    if (!zoom.ok()) {
+      std::printf("error: %s\n", zoom.status().ToString().c_str());
+      return true;
+    }
+    for (size_t level = 0; level < zoom->cluster_sizes.size(); ++level) {
+      std::printf("  level %zu: %u members%s\n", level + 1,
+                  zoom->cluster_sizes[level],
+                  level + 1 == zoom->default_level ? "  (default)" : "");
+    }
+  } else if (command == "remote-watermark") {
+    if (!session.RequireRemote()) return true;
+    auto mark = session.remote->Watermark();
+    if (!mark.ok()) {
+      std::printf("error: %s\n", mark.status().ToString().c_str());
+      return true;
+    }
+    std::printf(
+        "seq=%llu time=%.3f durable_seq=%llu epoch=%llu\n",
+        static_cast<unsigned long long>(mark->seq), mark->time,
+        static_cast<unsigned long long>(mark->durable_seq),
+        static_cast<unsigned long long>(mark->epoch));
+  } else if (command == "remote-stats" || command == "remote-health" ||
+             command == "remote-metrics") {
+    if (!session.RequireRemote()) return true;
+    Result<std::string> text =
+        command == "remote-stats"    ? session.remote->StatsJson()
+        : command == "remote-health" ? session.remote->HealthJson()
+                                     : session.remote->Metrics();
+    if (!text.ok()) {
+      std::printf("error: %s\n", text.status().ToString().c_str());
+      return true;
+    }
+    std::fputs(text->c_str(), stdout);
+    if (text->empty() || text->back() != '\n') std::printf("\n");
   } else {
     std::printf("unknown command: %s\n", command.c_str());
   }

@@ -1,0 +1,133 @@
+// Fuzz target: the RPC frame parser and every typed body decoder
+// (net/protocol.h).
+//
+// The networked front-end feeds socket bytes straight into this code, so
+// arbitrary input — garbage, truncation, oversized lengths, corrupt CRCs,
+// hostile counts — must always come back as a Status: never a crash, hang,
+// overflow or unbounded allocation (the kMaxFramePayloadBytes guard).
+// Mirrors the server's actual consumption order: frame decode first (CRC
+// before any field), then the request envelope, then the op-specific body;
+// the response path and every response body decoder run over the same
+// payload, since the client parses untrusted server bytes with them.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/protocol.h"
+
+using anc::net::ByteReader;
+
+namespace {
+
+// Runs every body decoder over the remaining payload. Each gets a fresh
+// reader: decoders must be independently safe on arbitrary input.
+void DecodeAllBodies(std::string_view payload) {
+  {
+    ByteReader in(payload);
+    anc::net::SubmitBody body;
+    (void)anc::net::DecodeSubmitBody(&in, &body);
+  }
+  {
+    ByteReader in(payload);
+    anc::net::SubmitAck ack;
+    (void)anc::net::DecodeSubmitAck(&in, &ack);
+  }
+  {
+    ByteReader in(payload);
+    anc::net::AwaitBody body;
+    (void)anc::net::DecodeAwaitBody(&in, &body);
+  }
+  {
+    ByteReader in(payload);
+    anc::net::WatermarkBody body;
+    (void)anc::net::DecodeWatermarkBody(&in, &body);
+  }
+  {
+    ByteReader in(payload);
+    anc::net::QueryBody body;
+    (void)anc::net::DecodeQueryBody(&in, &body);
+  }
+  {
+    ByteReader in(payload);
+    anc::net::ClustersBody body;
+    (void)anc::net::DecodeClustersBody(&in, &body);
+  }
+  {
+    ByteReader in(payload);
+    anc::net::MembersBody body;
+    (void)anc::net::DecodeMembersBody(&in, &body);
+  }
+  {
+    ByteReader in(payload);
+    anc::net::ZoomBody body;
+    (void)anc::net::DecodeZoomBody(&in, &body);
+  }
+  {
+    ByteReader in(payload);
+    anc::net::TextBody body;
+    (void)anc::net::DecodeTextBody(&in, &body);
+  }
+  {
+    ByteReader in(payload);
+    anc::net::PullLogBody body;
+    (void)anc::net::DecodePullLogBody(&in, &body);
+  }
+  {
+    ByteReader in(payload);
+    anc::net::LogChunkBody body;
+    (void)anc::net::DecodeLogChunkBody(&in, &body);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // 1) Raw bytes as a frame stream (the server's read loop).
+  size_t offset = 0;
+  while (offset < size) {
+    std::string_view payload;
+    size_t consumed = 0;
+    const anc::Status s =
+        anc::net::DecodeFrame(data + offset, size - offset, &payload,
+                              &consumed);
+    if (!s.ok()) break;
+    // A valid frame: parse as a request (envelope then op body)...
+    {
+      ByteReader in(payload);
+      anc::net::RequestHeader header;
+      if (anc::net::DecodeRequestHeader(&in, &header).ok()) {
+        std::string_view rest;
+        (void)in.ReadBytes(in.remaining(), &rest);
+        DecodeAllBodies(rest);
+      }
+    }
+    // ... and as a response (the client's parse of server bytes).
+    {
+      ByteReader in(payload);
+      anc::net::ResponseHeader header;
+      if (anc::net::DecodeResponseHeader(&in, &header).ok()) {
+        std::string_view rest;
+        (void)in.ReadBytes(in.remaining(), &rest);
+        DecodeAllBodies(rest);
+      }
+    }
+    offset += consumed;
+  }
+
+  // 2) Raw bytes straight into the envelope + body decoders: the framing
+  // CRC must not be the only line of defense.
+  std::string_view raw(reinterpret_cast<const char*>(data), size);
+  {
+    ByteReader in(raw);
+    anc::net::RequestHeader header;
+    (void)anc::net::DecodeRequestHeader(&in, &header);
+  }
+  {
+    ByteReader in(raw);
+    anc::net::ResponseHeader header;
+    (void)anc::net::DecodeResponseHeader(&in, &header);
+  }
+  DecodeAllBodies(raw);
+  return 0;
+}

@@ -1,7 +1,8 @@
 // Seed-corpus generator: writes one well-formed exemplar per fuzz target
-// into <out_dir>/{wal,index,json,stream}/ using the real production
-// writers (WalAppender, DurableStore, SaveIndex), so the checked-in
-// corpora under fuzz/corpus/ always decode on the current format version.
+// into <out_dir>/{wal,index,json,stream,rpc}/ using the real production
+// writers (WalAppender, DurableStore, SaveIndex, the net:: frame codec),
+// so the checked-in corpora under fuzz/corpus/ always decode on the
+// current format version.
 // Rerun after a format change:
 //
 //   cmake -B build -S . -DANC_FUZZ=ON && cmake --build build --target make_corpus
@@ -16,6 +17,7 @@
 #include "core/anc.h"
 #include "core/serialization.h"
 #include "graph/graph.h"
+#include "net/protocol.h"
 #include "store/store.h"
 #include "store/wal.h"
 #include "util/status.h"
@@ -48,7 +50,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const fs::path out(argv[1]);
-  for (const char* sub : {"wal", "index", "json", "stream"}) {
+  for (const char* sub : {"wal", "index", "json", "stream", "rpc"}) {
     fs::create_directories(out / sub);
   }
 
@@ -124,6 +126,93 @@ int main(int argc, char** argv) {
               "# activation trace\n\n0 2 0.25\n2 3 0.75\n\n# tail comment\n");
     WriteText(out / "stream" / "mixed",
               "0 1 1.0\nnot a line\n5 5 2.0\n1 2 0.5\n3 5 9.0\n");
+  }
+
+  // rpc/: real frames produced by the production codec — one request per
+  // op family, one OK response, one error response, and a two-frame
+  // stream — plus a truncated and a CRC-corrupted copy.
+  {
+    using anc::net::Op;
+    const auto frame_request = [](Op op, const std::string& body) {
+      std::string payload;
+      anc::net::RequestHeader header;
+      header.request_id = 7;
+      header.tenant_id = 3;
+      header.op = op;
+      anc::net::AppendRequestHeader(&payload, header);
+      payload += body;
+      std::string wire;
+      anc::net::AppendFrame(&wire, payload);
+      return wire;
+    };
+
+    std::string submit_body;
+    anc::net::SubmitBody submit;
+    submit.activations = {{0, 1.0}, {1, 2.0}, {2, 2.5}};
+    anc::net::AppendSubmitBody(&submit_body, submit);
+    WriteText(out / "rpc" / "submit", frame_request(Op::kSubmitBatch,
+                                                    submit_body));
+
+    std::string query_body;
+    anc::net::QueryBody query;
+    query.node = 2;
+    query.level = 1;
+    query.min_seq = 3;
+    anc::net::AppendQueryBody(&query_body, query);
+    WriteText(out / "rpc" / "query", frame_request(Op::kLocalCluster,
+                                                   query_body));
+
+    std::string await_body;
+    anc::net::AwaitBody await;
+    await.seq = 3;
+    anc::net::AppendAwaitBody(&await_body, await);
+    WriteText(out / "rpc" / "await", frame_request(Op::kAwaitSeq,
+                                                   await_body));
+
+    std::string pull_body;
+    anc::net::PullLogBody pull;
+    pull.after_seq = 1;
+    anc::net::AppendPullLogBody(&pull_body, pull);
+    WriteText(out / "rpc" / "pull", frame_request(Op::kPullLog, pull_body));
+
+    // An OK response carrying a ClustersBody.
+    std::string response;
+    anc::net::ResponseHeader response_header;
+    response_header.request_id = 7;
+    response_header.op = Op::kClusters;
+    anc::net::AppendResponseHeader(&response, response_header);
+    anc::net::ClustersBody clusters;
+    clusters.epoch = 2;
+    clusters.watermark_seq = 3;
+    clusters.level = 1;
+    clusters.num_clusters = 2;
+    clusters.labels = {0, 0, 1, 1, 1, 0};
+    anc::net::AppendClustersBody(&response, clusters);
+    std::string response_wire;
+    anc::net::AppendFrame(&response_wire, response);
+    WriteText(out / "rpc" / "response", response_wire);
+
+    // An error response (non-OK code, message bytes as body).
+    std::string error;
+    anc::net::ResponseHeader error_header;
+    error_header.request_id = 8;
+    error_header.op = Op::kClusters;
+    error_header.code = anc::StatusCode::kUnavailable;
+    anc::net::AppendResponseHeader(&error, error_header);
+    error += "replication lag exceeds the staleness bound";
+    std::string error_wire;
+    anc::net::AppendFrame(&error_wire, error);
+    WriteText(out / "rpc" / "error", error_wire);
+
+    // Two frames back to back (the server's streaming read loop).
+    WriteText(out / "rpc" / "stream",
+              frame_request(Op::kPing, "") + frame_request(Op::kStats, ""));
+
+    // Truncated and CRC-corrupted copies of a valid frame.
+    std::string wire = frame_request(Op::kClusters, query_body);
+    WriteText(out / "rpc" / "truncated", wire.substr(0, wire.size() - 3));
+    wire.back() ^= 0x5a;
+    WriteText(out / "rpc" / "badcrc", wire);
   }
 
   std::fprintf(stderr, "corpus written under %s\n", out.string().c_str());

@@ -26,6 +26,12 @@
 #               (docs/static_analysis.md). Self-skips with a message when
 #               no clang++ is installed — the annotations are no-ops under
 #               GCC, so a GCC "pass" would be meaningless.
+#   net         TSan build, networking suite only: RPC frame/body codec
+#               units, query-cache semantics, loopback client/server
+#               end-to-end (byte-identity vs. the in-process view, tenant
+#               quotas, garbage connections) and the replication chain
+#               (WAL shipping, follower staleness barrier) — plus a smoke
+#               run of the net QPS bench under TSan (docs/networking.md)
 #   fuzz-smoke  ASan/UBSan build of the fuzz/ harnesses, replayed over the
 #               checked-in corpora (plus bounded deterministic mutations)
 #               by the standalone driver: WAL frames, checkpoints +
@@ -92,6 +98,25 @@ run_one() {
       ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
         -R '^(ShardPartitionerTest|ShardRouterTest|ShardedServerTest|ShardRecoveryTest|ShardStressTest)\.'
       ;;
+    net)
+      # The networking suite under TSan: codec + cache units, the loopback
+      # end-to-end matrix, and leader/follower replication with its pause/
+      # resume staleness stall — the raciest surfaces in src/net/. Finishes
+      # with a smoke run of the loopback QPS bench (acceptor + workers +
+      # pullers + client threads all live at once).
+      local dir=build-tsan
+      echo "=== [$dir] net (networking suite under TSan) ==="
+      cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DANC_SANITIZE=thread
+      cmake --build "$dir" -j "$JOBS" --target net_test bench_net_qps
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+        -R '^(NetProtocolTest|QueryCacheTest|NetServerTest|NetReplicationTest)\.'
+      local statsdir
+      statsdir=$(mktemp -d)
+      ANC_NET_SMOKE=1 ANC_NET_THREADS=2 ANC_STATS_DIR="$statsdir" \
+        "$dir/bench/bench_net_qps"
+      rm -rf "$statsdir"
+      ;;
     obs-trace)
       # Traced smoke runs of the serving and sharding benches; trace_check
       # rejects malformed JSONL, broken span nesting, queue-wait spans with
@@ -139,9 +164,9 @@ run_one() {
       cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DANC_FUZZ=ON -DANC_SANITIZE=address
       cmake --build "$dir" -j "$JOBS" \
-        --target fuzz_wal fuzz_index fuzz_json fuzz_stream
+        --target fuzz_wal fuzz_index fuzz_json fuzz_stream fuzz_rpc
       local target
-      for target in wal index json stream; do
+      for target in wal index json stream rpc; do
         echo "--- fuzz_$target over fuzz/corpus/$target ---"
         ASAN_OPTIONS=detect_leaks=1 \
           ANC_FUZZ_MUTATIONS="${ANC_FUZZ_MUTATIONS:-256}" \
@@ -150,7 +175,7 @@ run_one() {
       ;;
     *)
       echo "unknown configuration '$1'" >&2
-      echo "known: default nometrics asan tsan invariants store-crash shard obs-trace tsa fuzz-smoke" >&2
+      echo "known: default nometrics asan tsan invariants store-crash shard net obs-trace tsa fuzz-smoke" >&2
       exit 2
       ;;
   esac

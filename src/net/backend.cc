@@ -1,0 +1,386 @@
+#include "net/backend.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "obs/json.h"
+#include "store/wal.h"
+
+namespace anc::net {
+namespace {
+
+/// Resolves a requested level (0 = default) against a view's geometry.
+template <typename ViewT>
+Result<uint32_t> ResolveLevel(const ViewT& view, uint32_t requested) {
+  const uint32_t level = requested == 0 ? view.DefaultLevel() : requested;
+  if (level < 1 || level > view.num_levels()) {
+    return Status::InvalidArgument(
+        "level " + std::to_string(requested) + " out of range [1, " +
+        std::to_string(view.num_levels()) + "]");
+  }
+  return level;
+}
+
+template <typename ViewT>
+Status CheckNode(const ViewT& view, uint32_t node) {
+  if (node >= view.graph().NumNodes()) {
+    return Status::InvalidArgument(
+        "node " + std::to_string(node) + " out of range (graph has " +
+        std::to_string(view.graph().NumNodes()) + " nodes)");
+  }
+  return Status::OK();
+}
+
+template <typename ViewT>
+ClustersBody ClustersOver(const ViewT& view, uint64_t epoch, uint64_t seq,
+                          uint32_t level) {
+  Clustering clustering = view.Clusters(level);
+  ClustersBody body;
+  body.epoch = epoch;
+  body.watermark_seq = seq;
+  body.level = level;
+  body.num_clusters = clustering.num_clusters;
+  body.labels = std::move(clustering.labels);
+  return body;
+}
+
+template <typename ViewT>
+ZoomBody ZoomOver(const ViewT& view, uint64_t epoch, uint64_t seq,
+                  uint32_t node) {
+  ZoomBody body;
+  body.epoch = epoch;
+  body.watermark_seq = seq;
+  body.default_level = view.DefaultLevel();
+  body.cluster_sizes.reserve(view.num_levels());
+  for (uint32_t level = 1; level <= view.num_levels(); ++level) {
+    body.cluster_sizes.push_back(
+        static_cast<uint32_t>(view.LocalCluster(node, level).size()));
+  }
+  return body;
+}
+
+}  // namespace
+
+std::string BackendHealthJson(const char* role, const WatermarkBody& mark,
+                              size_t ingest_depth, const Status& writer_status,
+                              const Status& store_status) {
+  const bool ok = writer_status.ok() && store_status.ok();
+  obs::Json doc = obs::Json::Object();
+  doc.Set("status", obs::Json::Str(ok ? "ok" : "degraded"));
+  doc.Set("role", obs::Json::Str(role));
+  doc.Set("epoch", obs::Json::Number(static_cast<double>(mark.epoch)));
+  doc.Set("watermark_seq", obs::Json::Number(static_cast<double>(mark.seq)));
+  doc.Set("watermark_time", obs::Json::Number(mark.time));
+  doc.Set("durable_seq",
+          obs::Json::Number(static_cast<double>(mark.durable_seq)));
+  doc.Set("ingest_depth",
+          obs::Json::Number(static_cast<double>(ingest_depth)));
+  if (!writer_status.ok()) {
+    doc.Set("writer_error", obs::Json::Str(writer_status.ToString()));
+  }
+  if (!store_status.ok()) {
+    doc.Set("store_error", obs::Json::Str(store_status.ToString()));
+  }
+  return doc.Dump(2);
+}
+
+// --- ServerBackend ----------------------------------------------------------
+
+ServerBackend::ServerBackend(serve::AncServer* server, Options options)
+    : server_(server), options_(options) {}
+
+Result<SubmitAck> ServerBackend::Submit(const Activation* data, size_t count) {
+  // Ticket issue and log append are one critical section: once the batch
+  // holds tickets, the record covering them is already in the log, so the
+  // watermark can never advance past a ticket PullLog cannot ship.
+  // (SubmitBatch can block on ingest backpressure while this is held —
+  // replication pulls then wait too, which is the correct order: a
+  // follower must not outrun the leader's own ingest.)
+  util::MutexLock lock(log_mutex_);
+  uint64_t last_seq = 0;
+  auto accepted = server_->SubmitBatch(data, count, &last_seq);
+  ANC_RETURN_NOT_OK(accepted.status());
+  SubmitAck ack;
+  ack.accepted = *accepted;
+  ack.last_seq = last_seq;
+  if (*accepted > 0) {
+    if (*accepted == count) {
+      LogEntry entry;
+      entry.first_seq = last_seq - *accepted + 1;
+      entry.last_seq = last_seq;
+      store::AppendWalFrame(&entry.frame, data, count, entry.first_seq);
+      log_bytes_ += entry.frame.size();
+      log_.push_back(std::move(entry));
+      while (options_.max_log_bytes > 0 &&
+             log_bytes_ > options_.max_log_bytes && !log_.empty()) {
+        log_bytes_ -= log_.front().frame.size();
+        log_base_seq_ = log_.front().last_seq;
+        log_.pop_front();
+      }
+    } else {
+      // The queue skipped some entries mid-batch; which tickets map to
+      // which activations is no longer known, so the log has a hole.
+      // Followers past this point must re-bootstrap.
+      log_base_seq_ = std::max(log_base_seq_, last_seq);
+      log_bytes_ = 0;
+      log_.clear();
+    }
+  }
+  return ack;
+}
+
+Status ServerBackend::Flush(std::chrono::milliseconds timeout) {
+  return server_->Flush(timeout);
+}
+
+Status ServerBackend::AwaitSeq(uint64_t seq, std::chrono::milliseconds timeout) {
+  return server_->AwaitSeq(seq, timeout);
+}
+
+Status ServerBackend::FlushDurable(std::chrono::milliseconds timeout) {
+  return server_->FlushDurable(timeout);
+}
+
+WatermarkBody ServerBackend::Watermark() {
+  const auto view = server_->View();
+  const serve::Watermark durable = server_->durable_watermark();
+  WatermarkBody mark;
+  mark.seq = view->watermark().seq;
+  mark.time = view->watermark().time;
+  mark.durable_seq = durable.seq;
+  mark.durable_time = durable.time;
+  mark.epoch = view->epoch();
+  return mark;
+}
+
+uint64_t ServerBackend::Epoch() { return server_->View()->epoch(); }
+
+Result<std::shared_ptr<const serve::ClusterView>> ServerBackend::Pin(
+    uint64_t min_seq) {
+  auto view = server_->View();
+  if (min_seq > 0 && view->watermark().seq < min_seq) {
+    ANC_RETURN_NOT_OK(server_->AwaitSeq(min_seq, options_.barrier_timeout));
+    view = server_->View();
+  }
+  return view;
+}
+
+Result<ClustersBody> ServerBackend::Clusters(const QueryBody& query) {
+  auto view = Pin(query.min_seq);
+  ANC_RETURN_NOT_OK(view.status());
+  auto level = ResolveLevel(**view, query.level);
+  ANC_RETURN_NOT_OK(level.status());
+  return ClustersOver(**view, (*view)->epoch(), (*view)->watermark().seq,
+                      *level);
+}
+
+Result<MembersBody> ServerBackend::LocalCluster(const QueryBody& query) {
+  auto view = Pin(query.min_seq);
+  ANC_RETURN_NOT_OK(view.status());
+  ANC_RETURN_NOT_OK(CheckNode(**view, query.node));
+  auto level = ResolveLevel(**view, query.level);
+  ANC_RETURN_NOT_OK(level.status());
+  MembersBody body;
+  body.epoch = (*view)->epoch();
+  body.watermark_seq = (*view)->watermark().seq;
+  body.level = *level;
+  body.members = (*view)->LocalCluster(query.node, *level);
+  return body;
+}
+
+Result<MembersBody> ServerBackend::SmallestCluster(const QueryBody& query) {
+  auto view = Pin(query.min_seq);
+  ANC_RETURN_NOT_OK(view.status());
+  ANC_RETURN_NOT_OK(CheckNode(**view, query.node));
+  MembersBody body;
+  body.epoch = (*view)->epoch();
+  body.watermark_seq = (*view)->watermark().seq;
+  uint32_t level = 0;
+  body.members = (*view)->SmallestCluster(query.node, query.min_size, &level);
+  body.level = level;
+  return body;
+}
+
+Result<ZoomBody> ServerBackend::Zoom(const QueryBody& query) {
+  auto view = Pin(query.min_seq);
+  ANC_RETURN_NOT_OK(view.status());
+  ANC_RETURN_NOT_OK(CheckNode(**view, query.node));
+  return ZoomOver(**view, (*view)->epoch(), (*view)->watermark().seq,
+                  query.node);
+}
+
+std::string ServerBackend::StatsJson() { return server_->Stats().ToJson(); }
+
+std::string ServerBackend::HealthJson() {
+  return BackendHealthJson("leader", Watermark(), server_->IngestDepth(),
+                           server_->writer_status(), server_->store_status());
+}
+
+obs::StatsSnapshot ServerBackend::Stats() { return server_->Stats(); }
+
+Result<LogChunkBody> ServerBackend::PullLog(const PullLogBody& req) {
+  // The ship mark caps what followers may apply: the durable watermark
+  // when the leader runs with durability (a follower must never be ahead
+  // of what leader recovery reproduces), the published watermark
+  // otherwise.
+  const serve::Watermark durable = server_->durable_watermark();
+  const uint64_t ship_mark = options_.ship_durable_only
+                                 ? durable.seq
+                                 : server_->watermark().seq;
+  LogChunkBody chunk;
+  chunk.ship_seq = ship_mark;
+  util::MutexLock lock(log_mutex_);
+  if (req.after_seq < log_base_seq_) {
+    return Status::FailedPrecondition(
+        "replication log trimmed past seq " + std::to_string(req.after_seq) +
+        " (log starts after " + std::to_string(log_base_seq_) +
+        "); follower must re-bootstrap");
+  }
+  uint32_t shipped = 0;
+  const uint32_t max_records = req.max_records == 0 ? 64 : req.max_records;
+  for (const LogEntry& entry : log_) {
+    if (entry.last_seq <= req.after_seq) continue;
+    if (entry.last_seq > ship_mark) break;  // not yet shippable
+    if (shipped == max_records) break;
+    chunk.frames.append(entry.frame);
+    ++shipped;
+  }
+  return chunk;
+}
+
+// --- ShardedBackend ---------------------------------------------------------
+
+ShardedBackend::ShardedBackend(shard::ShardedServer* server, Options options)
+    : server_(server), options_(options) {}
+
+Result<SubmitAck> ShardedBackend::Submit(const Activation* data,
+                                         size_t count) {
+  SubmitAck ack;
+  for (size_t i = 0; i < count; ++i) {
+    auto ticket = server_->Submit(data[i]);
+    if (!ticket.ok()) {
+      if (ack.accepted == 0) return ticket.status();
+      break;  // partial batch: report what got in
+    }
+    ++ack.accepted;
+    ack.last_seq = *ticket;
+  }
+  return ack;
+}
+
+Status ShardedBackend::Flush(std::chrono::milliseconds timeout) {
+  return server_->Flush(timeout);
+}
+
+Status ShardedBackend::AwaitSeq(uint64_t seq,
+                                std::chrono::milliseconds timeout) {
+  return server_->AwaitSeq(seq, timeout);
+}
+
+Status ShardedBackend::FlushDurable(std::chrono::milliseconds timeout) {
+  return server_->FlushDurable(timeout);
+}
+
+uint64_t ShardedBackend::StampFor(const std::vector<uint64_t>& epochs) {
+  util::MutexLock lock(stamp_mutex_);
+  if (epochs != last_epochs_) {
+    last_epochs_ = epochs;
+    ++stamp_;
+  }
+  return stamp_;
+}
+
+Result<shard::ShardedView> ShardedBackend::Pin(uint64_t min_seq,
+                                               uint64_t* stamp) {
+  shard::ShardedView view = server_->View();
+  if (min_seq > 0 && view.TotalSeq() < min_seq) {
+    // Global tickets resolve into per-shard deliveries; AwaitSeq blocks
+    // until every delivery routed at or before `min_seq` is published.
+    ANC_RETURN_NOT_OK(server_->AwaitSeq(min_seq, options_.barrier_timeout));
+    view = server_->View();
+  }
+  *stamp = StampFor(view.Epochs());
+  return view;
+}
+
+WatermarkBody ShardedBackend::Watermark() {
+  const shard::ShardedView view = server_->View();
+  WatermarkBody mark;
+  mark.seq = view.TotalSeq();
+  mark.time = view.MaxTime();
+  for (uint32_t s = 0; s < server_->num_shards(); ++s) {
+    const serve::Watermark durable = server_->shard(s).durable_watermark();
+    mark.durable_seq += durable.seq;
+    mark.durable_time = std::max(mark.durable_time, durable.time);
+  }
+  mark.epoch = StampFor(view.Epochs());
+  return mark;
+}
+
+uint64_t ShardedBackend::Epoch() { return StampFor(server_->View().Epochs()); }
+
+Result<ClustersBody> ShardedBackend::Clusters(const QueryBody& query) {
+  uint64_t stamp = 0;
+  auto view = Pin(query.min_seq, &stamp);
+  ANC_RETURN_NOT_OK(view.status());
+  auto level = ResolveLevel(*view, query.level);
+  ANC_RETURN_NOT_OK(level.status());
+  return ClustersOver(*view, stamp, view->TotalSeq(), *level);
+}
+
+Result<MembersBody> ShardedBackend::LocalCluster(const QueryBody& query) {
+  uint64_t stamp = 0;
+  auto view = Pin(query.min_seq, &stamp);
+  ANC_RETURN_NOT_OK(view.status());
+  ANC_RETURN_NOT_OK(CheckNode(*view, query.node));
+  auto level = ResolveLevel(*view, query.level);
+  ANC_RETURN_NOT_OK(level.status());
+  MembersBody body;
+  body.epoch = stamp;
+  body.watermark_seq = view->TotalSeq();
+  body.level = *level;
+  body.members = view->LocalCluster(query.node, *level);
+  return body;
+}
+
+Result<MembersBody> ShardedBackend::SmallestCluster(const QueryBody& query) {
+  uint64_t stamp = 0;
+  auto view = Pin(query.min_seq, &stamp);
+  ANC_RETURN_NOT_OK(view.status());
+  ANC_RETURN_NOT_OK(CheckNode(*view, query.node));
+  MembersBody body;
+  body.epoch = stamp;
+  body.watermark_seq = view->TotalSeq();
+  uint32_t level = 0;
+  body.members = view->SmallestCluster(query.node, query.min_size, &level);
+  body.level = level;
+  return body;
+}
+
+Result<ZoomBody> ShardedBackend::Zoom(const QueryBody& query) {
+  uint64_t stamp = 0;
+  auto view = Pin(query.min_seq, &stamp);
+  ANC_RETURN_NOT_OK(view.status());
+  ANC_RETURN_NOT_OK(CheckNode(*view, query.node));
+  return ZoomOver(*view, stamp, view->TotalSeq(), query.node);
+}
+
+std::string ShardedBackend::StatsJson() { return server_->Stats().ToJson(); }
+
+std::string ShardedBackend::HealthJson() {
+  return BackendHealthJson("sharded-leader", Watermark(),
+                           server_->IngestDepth(), server_->writer_status(),
+                           server_->store_status());
+}
+
+obs::StatsSnapshot ShardedBackend::Stats() { return server_->Stats(); }
+
+Result<LogChunkBody> ShardedBackend::PullLog(const PullLogBody& req) {
+  (void)req;
+  return Status::FailedPrecondition(
+      "a sharded leader serves no single-stream replication log; replicate "
+      "per shard (docs/networking.md)");
+}
+
+}  // namespace anc::net

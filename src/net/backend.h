@@ -1,0 +1,196 @@
+#ifndef ANC_NET_BACKEND_H_
+#define ANC_NET_BACKEND_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "obs/stats.h"
+#include "serve/server.h"
+#include "shard/sharded_server.h"
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace anc::net {
+
+/// What the networked front-end serves (docs/networking.md): one interface
+/// over the in-process serving stacks, so the same NetServer fronts a
+/// single AncServer, a ShardedServer, or a follower replica.
+///
+/// Contract for the read ops (Clusters / LocalCluster / SmallestCluster /
+/// Zoom): the implementation pins ONE published snapshot, answers entirely
+/// from it, and reports the snapshot's epoch and watermark in the response
+/// body. The reported epoch is the cache key the front-end stores the
+/// response under — pinning makes the pair (epoch, response) exact even
+/// while the writer publishes newer epochs mid-request. `min_seq` is the
+/// read barrier: the answer must cover every leader ticket <= min_seq;
+/// a leader waits for it, a follower refuses Unavailable (the client then
+/// falls back to the leader).
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// True for a follower replica: reads are flagged kFlagFollower and
+  /// writes are refused.
+  virtual bool follower() const { return false; }
+
+  // --- Writes -------------------------------------------------------------
+  virtual Result<SubmitAck> Submit(const Activation* data, size_t count) = 0;
+  virtual Status Flush(std::chrono::milliseconds timeout) = 0;
+  virtual Status AwaitSeq(uint64_t seq, std::chrono::milliseconds timeout) = 0;
+  virtual Status FlushDurable(std::chrono::milliseconds timeout) = 0;
+
+  // --- Watermarks / provenance --------------------------------------------
+  virtual WatermarkBody Watermark() = 0;
+  /// Current publish stamp: monotone, advances exactly when a read could
+  /// observe a different snapshot. The front-end invalidates its cache
+  /// wholesale whenever this moves.
+  virtual uint64_t Epoch() = 0;
+
+  // --- Reads (pin one snapshot; fill epoch + watermark_seq) ---------------
+  virtual Result<ClustersBody> Clusters(const QueryBody& query) = 0;
+  virtual Result<MembersBody> LocalCluster(const QueryBody& query) = 0;
+  virtual Result<MembersBody> SmallestCluster(const QueryBody& query) = 0;
+  virtual Result<ZoomBody> Zoom(const QueryBody& query) = 0;
+
+  // --- Introspection ------------------------------------------------------
+  virtual std::string StatsJson() = 0;
+  virtual std::string HealthJson() = 0;
+  /// Metric snapshot for the Prometheus exposition op.
+  virtual obs::StatsSnapshot Stats() = 0;
+
+  // --- Replication --------------------------------------------------------
+  /// Leader-side log stream: WAL frames covering tickets after
+  /// `req.after_seq`, capped at the ship mark (the durable watermark when
+  /// the leader runs with durability, the published watermark otherwise).
+  /// FailedPrecondition when this backend does not serve a log.
+  virtual Result<LogChunkBody> PullLog(const PullLogBody& req) = 0;
+};
+
+/// Leader backend over one AncServer. Owns the replication log: Submit
+/// appends every accepted batch to an in-memory record log (byte-identical
+/// store:: WAL frames) *under the same mutex that issues the tickets*, so
+/// the published watermark can never advance past a ticket the log does
+/// not hold — PullLog never has a gap below the ship mark.
+struct ServerBackendOptions {
+    /// Default timeout of the min_seq read barrier.
+    std::chrono::milliseconds barrier_timeout{5000};
+    /// Replication log budget; 0 = unbounded. When trimming drops records
+    /// a follower still needs, its PullLog fails FailedPrecondition (it
+    /// must re-bootstrap) — size this to cover follower lag.
+    size_t max_log_bytes = 0;
+    /// True when the wrapped server runs with a durability policy: the
+    /// ship mark becomes the durable watermark, so a follower is never
+    /// ahead of what leader recovery reproduces. (The serve layer does not
+    /// expose its policy; whoever wires the backend knows it.)
+    bool ship_durable_only = false;
+};
+
+class ServerBackend : public Backend {
+ public:
+  using Options = ServerBackendOptions;
+
+  /// `server` must be started and outlive the backend.
+  explicit ServerBackend(serve::AncServer* server, Options options = {});
+
+  Result<SubmitAck> Submit(const Activation* data, size_t count) override;
+  Status Flush(std::chrono::milliseconds timeout) override;
+  Status AwaitSeq(uint64_t seq, std::chrono::milliseconds timeout) override;
+  Status FlushDurable(std::chrono::milliseconds timeout) override;
+  WatermarkBody Watermark() override;
+  uint64_t Epoch() override;
+  Result<ClustersBody> Clusters(const QueryBody& query) override;
+  Result<MembersBody> LocalCluster(const QueryBody& query) override;
+  Result<MembersBody> SmallestCluster(const QueryBody& query) override;
+  Result<ZoomBody> Zoom(const QueryBody& query) override;
+  std::string StatsJson() override;
+  std::string HealthJson() override;
+  obs::StatsSnapshot Stats() override;
+  Result<LogChunkBody> PullLog(const PullLogBody& req) override;
+
+ private:
+  struct LogEntry {
+    uint64_t first_seq = 0;
+    uint64_t last_seq = 0;
+    std::string frame;  ///< one store:: WAL frame
+  };
+
+  /// Pins the published view after enforcing the min_seq barrier.
+  Result<std::shared_ptr<const serve::ClusterView>> Pin(uint64_t min_seq);
+
+  serve::AncServer* server_;
+  Options options_;
+
+  util::Mutex log_mutex_;
+  std::deque<LogEntry> log_ ANC_GUARDED_BY(log_mutex_);
+  size_t log_bytes_ ANC_GUARDED_BY(log_mutex_) = 0;
+  /// Tickets <= this were trimmed out of the log.
+  uint64_t log_base_seq_ ANC_GUARDED_BY(log_mutex_) = 0;
+};
+
+/// Leader backend over a ShardedServer: writes route through the sharded
+/// ingest fan-out, reads pin one ShardedView (the vector watermark) and are
+/// byte-identical to in-process ShardedView queries.
+///
+/// The publish stamp: per-shard epochs form a vector, and no single u64 of
+/// it (e.g. the sum) is collision-free — shard A publishing while B idles
+/// must not collide with B publishing while A idles. The backend therefore
+/// registers each distinct epoch vector under a process-local monotone
+/// stamp; a cache hit requires the exact same registered vector, so merged
+/// answers from different vector watermarks can never share a cache slot.
+///
+/// PullLog is FailedPrecondition: replication followers track a single
+/// leader ticket stream, which a sharded deployment does not expose (each
+/// shard has its own; run one NetServer per shard to replicate a sharded
+/// tier — docs/networking.md "Replication x sharding").
+struct ShardedBackendOptions {
+  std::chrono::milliseconds barrier_timeout{5000};
+};
+
+class ShardedBackend : public Backend {
+ public:
+  using Options = ShardedBackendOptions;
+
+  explicit ShardedBackend(shard::ShardedServer* server, Options options = {});
+
+  Result<SubmitAck> Submit(const Activation* data, size_t count) override;
+  Status Flush(std::chrono::milliseconds timeout) override;
+  Status AwaitSeq(uint64_t seq, std::chrono::milliseconds timeout) override;
+  Status FlushDurable(std::chrono::milliseconds timeout) override;
+  WatermarkBody Watermark() override;
+  uint64_t Epoch() override;
+  Result<ClustersBody> Clusters(const QueryBody& query) override;
+  Result<MembersBody> LocalCluster(const QueryBody& query) override;
+  Result<MembersBody> SmallestCluster(const QueryBody& query) override;
+  Result<ZoomBody> Zoom(const QueryBody& query) override;
+  std::string StatsJson() override;
+  std::string HealthJson() override;
+  obs::StatsSnapshot Stats() override;
+  Result<LogChunkBody> PullLog(const PullLogBody& req) override;
+
+ private:
+  /// The monotone stamp registered for this epoch vector (see class docs).
+  uint64_t StampFor(const std::vector<uint64_t>& epochs);
+  /// Pins a ShardedView whose total resolved tickets cover min_seq.
+  Result<shard::ShardedView> Pin(uint64_t min_seq, uint64_t* stamp);
+
+  shard::ShardedServer* server_;
+  Options options_;
+
+  util::Mutex stamp_mutex_;
+  std::vector<uint64_t> last_epochs_ ANC_GUARDED_BY(stamp_mutex_);
+  uint64_t stamp_ ANC_GUARDED_BY(stamp_mutex_) = 0;
+};
+
+/// Builds the JSON health document shared by every backend (status,
+/// watermarks, epoch, ingest depth).
+std::string BackendHealthJson(const char* role, const WatermarkBody& mark,
+                              size_t ingest_depth, const Status& writer_status,
+                              const Status& store_status);
+
+}  // namespace anc::net
+
+#endif  // ANC_NET_BACKEND_H_

@@ -1,0 +1,314 @@
+#include "net/replica.h"
+
+#include <utility>
+#include <vector>
+
+#include "store/wal.h"
+
+namespace anc::net {
+
+// --- Follower ---------------------------------------------------------------
+
+Result<std::unique_ptr<Follower>> Follower::Create(
+    const Graph& graph, const AncConfig& config,
+    serve::ServeOptions serve_options) {
+  if (serve_options.durability != serve::DurabilityPolicy::kNone ||
+      serve_options.store != nullptr) {
+    return Status::InvalidArgument(
+        "followers run without local durability: the leader's log is the "
+        "record of truth, a lost follower re-bootstraps from it");
+  }
+  auto follower = std::unique_ptr<Follower>(new Follower());
+  auto index = AncIndex::Create(graph, config);
+  ANC_RETURN_NOT_OK(index.status());
+  follower->index_ = std::move(*index);
+  follower->server_ = std::make_unique<serve::AncServer>(
+      follower->index_.get(), serve_options);
+  ANC_RETURN_NOT_OK(follower->server_->Start());
+  return follower;
+}
+
+Follower::~Follower() {
+  if (server_ != nullptr) server_->Stop();
+}
+
+Status Follower::ApplyChunk(const LogChunkBody& chunk) {
+  util::MutexLock apply_lock(apply_mutex_);
+  const uint8_t* data =
+      reinterpret_cast<const uint8_t*>(chunk.frames.data());
+  size_t remaining = chunk.frames.size();
+  uint64_t mark = applied_.load(std::memory_order_acquire);
+  uint64_t applied_up_to = mark;
+  while (remaining > 0) {
+    size_t consumed = 0;
+    auto record = store::DecodeWalFrame(data, remaining, &consumed);
+    ANC_RETURN_NOT_OK(record.status());
+    data += consumed;
+    remaining -= consumed;
+    if (record->activations.empty()) continue;
+    if (record->last_seq() <= mark) continue;  // duplicate delivery
+    if (record->first_seq <= mark) {
+      return Status::InvalidArgument(
+          "replication record [" + std::to_string(record->first_seq) + ", " +
+          std::to_string(record->last_seq()) +
+          "] straddles the applied mark " + std::to_string(mark));
+    }
+    uint64_t last_seq = 0;
+    auto accepted = server_->SubmitBatch(record->activations.data(),
+                                         record->activations.size(),
+                                         &last_seq);
+    ANC_RETURN_NOT_OK(accepted.status());
+    if (*accepted != record->activations.size()) {
+      return Status::Internal(
+          "replica ingest refused " +
+          std::to_string(record->activations.size() - *accepted) +
+          " of a replicated record — replica state would diverge");
+    }
+    applied_up_to = record->last_seq();
+    mark = applied_up_to;
+  }
+  if (applied_up_to > applied_.load(std::memory_order_acquire)) {
+    // Publish before the mark moves: a reader that sees the new mark must
+    // find every covered record in the replica's published view.
+    ANC_RETURN_NOT_OK(server_->Flush());
+    {
+      util::MutexLock lock(applied_mutex_);
+      applied_.store(applied_up_to, std::memory_order_release);
+    }
+    applied_cv_.NotifyAll();
+  }
+  return Status::OK();
+}
+
+Status Follower::AwaitApplied(uint64_t seq,
+                              std::chrono::milliseconds timeout) {
+  util::MutexLock lock(applied_mutex_);
+  const bool covered = applied_cv_.WaitFor(applied_mutex_, timeout, [&] {
+    applied_mutex_.AssertHeld();
+    return applied_.load(std::memory_order_acquire) >= seq;
+  });
+  if (!covered) {
+    return Status::Unavailable(
+        "follower applied mark " +
+        std::to_string(applied_.load(std::memory_order_acquire)) +
+        " has not reached " + std::to_string(seq) +
+        " (replication lag exceeds the staleness bound)");
+  }
+  return Status::OK();
+}
+
+// --- FollowerBackend --------------------------------------------------------
+
+FollowerBackend::FollowerBackend(Follower* follower, Options options)
+    : follower_(follower), options_(options) {}
+
+Result<SubmitAck> FollowerBackend::Submit(const Activation* data,
+                                          size_t count) {
+  (void)data;
+  (void)count;
+  return Status::FailedPrecondition(
+      "follower replicas are read-only; submit to the leader");
+}
+
+Status FollowerBackend::Flush(std::chrono::milliseconds timeout) {
+  (void)timeout;
+  return Status::FailedPrecondition(
+      "follower replicas take no writes, so there is nothing to flush; "
+      "flush the leader");
+}
+
+Status FollowerBackend::AwaitSeq(uint64_t seq,
+                                 std::chrono::milliseconds timeout) {
+  return follower_->AwaitApplied(seq, timeout);
+}
+
+Status FollowerBackend::FlushDurable(std::chrono::milliseconds timeout) {
+  (void)timeout;
+  return Status::FailedPrecondition(
+      "follower replicas run without local durability; FlushDurable on the "
+      "leader");
+}
+
+WatermarkBody FollowerBackend::Watermark() {
+  // Capture the mark before the view: the mark only advances after
+  // publication, so the view is always at least as fresh as the mark.
+  const uint64_t applied = follower_->applied_leader_seq();
+  const auto view = follower_->server().View();
+  WatermarkBody mark;
+  mark.seq = applied;  // leader ticket space
+  mark.time = view->watermark().time;
+  mark.epoch = view->epoch();
+  return mark;
+}
+
+uint64_t FollowerBackend::Epoch() {
+  return follower_->server().View()->epoch();
+}
+
+Result<std::pair<uint64_t, std::shared_ptr<const serve::ClusterView>>>
+FollowerBackend::Pin(uint64_t min_seq) {
+  if (min_seq > 0 && follower_->applied_leader_seq() < min_seq) {
+    ANC_RETURN_NOT_OK(
+        follower_->AwaitApplied(min_seq, options_.barrier_wait));
+  }
+  const uint64_t applied = follower_->applied_leader_seq();
+  return std::make_pair(applied, follower_->server().View());
+}
+
+Result<ClustersBody> FollowerBackend::Clusters(const QueryBody& query) {
+  auto pin = Pin(query.min_seq);
+  ANC_RETURN_NOT_OK(pin.status());
+  const auto& [applied, view] = *pin;
+  const uint32_t level = query.level == 0 ? view->DefaultLevel() : query.level;
+  if (level < 1 || level > view->num_levels()) {
+    return Status::InvalidArgument("level " + std::to_string(query.level) +
+                                   " out of range [1, " +
+                                   std::to_string(view->num_levels()) + "]");
+  }
+  Clustering clustering = view->Clusters(level);
+  ClustersBody body;
+  body.epoch = view->epoch();
+  body.watermark_seq = applied;
+  body.level = level;
+  body.num_clusters = clustering.num_clusters;
+  body.labels = std::move(clustering.labels);
+  return body;
+}
+
+Result<MembersBody> FollowerBackend::LocalCluster(const QueryBody& query) {
+  auto pin = Pin(query.min_seq);
+  ANC_RETURN_NOT_OK(pin.status());
+  const auto& [applied, view] = *pin;
+  if (query.node >= view->graph().NumNodes()) {
+    return Status::InvalidArgument("node " + std::to_string(query.node) +
+                                   " out of range");
+  }
+  const uint32_t level = query.level == 0 ? view->DefaultLevel() : query.level;
+  if (level < 1 || level > view->num_levels()) {
+    return Status::InvalidArgument("level " + std::to_string(query.level) +
+                                   " out of range [1, " +
+                                   std::to_string(view->num_levels()) + "]");
+  }
+  MembersBody body;
+  body.epoch = view->epoch();
+  body.watermark_seq = applied;
+  body.level = level;
+  body.members = view->LocalCluster(query.node, level);
+  return body;
+}
+
+Result<MembersBody> FollowerBackend::SmallestCluster(const QueryBody& query) {
+  auto pin = Pin(query.min_seq);
+  ANC_RETURN_NOT_OK(pin.status());
+  const auto& [applied, view] = *pin;
+  if (query.node >= view->graph().NumNodes()) {
+    return Status::InvalidArgument("node " + std::to_string(query.node) +
+                                   " out of range");
+  }
+  MembersBody body;
+  body.epoch = view->epoch();
+  body.watermark_seq = applied;
+  uint32_t level = 0;
+  body.members = view->SmallestCluster(query.node, query.min_size, &level);
+  body.level = level;
+  return body;
+}
+
+Result<ZoomBody> FollowerBackend::Zoom(const QueryBody& query) {
+  auto pin = Pin(query.min_seq);
+  ANC_RETURN_NOT_OK(pin.status());
+  const auto& [applied, view] = *pin;
+  if (query.node >= view->graph().NumNodes()) {
+    return Status::InvalidArgument("node " + std::to_string(query.node) +
+                                   " out of range");
+  }
+  ZoomBody body;
+  body.epoch = view->epoch();
+  body.watermark_seq = applied;
+  body.default_level = view->DefaultLevel();
+  body.cluster_sizes.reserve(view->num_levels());
+  for (uint32_t level = 1; level <= view->num_levels(); ++level) {
+    body.cluster_sizes.push_back(static_cast<uint32_t>(
+        view->LocalCluster(query.node, level).size()));
+  }
+  return body;
+}
+
+std::string FollowerBackend::StatsJson() {
+  return follower_->server().Stats().ToJson();
+}
+
+std::string FollowerBackend::HealthJson() {
+  return BackendHealthJson("follower", Watermark(),
+                           follower_->server().IngestDepth(),
+                           follower_->server().writer_status(),
+                           follower_->server().store_status());
+}
+
+obs::StatsSnapshot FollowerBackend::Stats() {
+  return follower_->server().Stats();
+}
+
+Result<LogChunkBody> FollowerBackend::PullLog(const PullLogBody& req) {
+  (void)req;
+  return Status::FailedPrecondition(
+      "followers do not re-ship the log; pull from the leader");
+}
+
+// --- ReplicationPuller ------------------------------------------------------
+
+ReplicationPuller::ReplicationPuller(Follower* follower,
+                                     std::unique_ptr<Client> leader,
+                                     Options options)
+    : follower_(follower), leader_(std::move(leader)), options_(options) {}
+
+ReplicationPuller::~ReplicationPuller() { Stop(); }
+
+void ReplicationPuller::Start() {
+  if (running_.exchange(true)) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ReplicationPuller::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+Status ReplicationPuller::last_status() const {
+  util::MutexLock lock(status_mutex_);
+  return last_status_;
+}
+
+void ReplicationPuller::Loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (paused_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(options_.poll_interval);
+      continue;
+    }
+    auto chunk = leader_->PullLog(follower_->applied_leader_seq(),
+                                  options_.max_records_per_pull);
+    pulls_.fetch_add(1, std::memory_order_relaxed);
+    // Re-check the pause between pull and apply: a pull in flight when
+    // Pause() landed may carry records written after it, and a "stalled"
+    // puller must not apply them (the stall must be an actual stall).
+    if (paused_.load(std::memory_order_acquire)) continue;
+    Status status = chunk.status();
+    if (status.ok() && !chunk->frames.empty()) {
+      status = follower_->ApplyChunk(*chunk);
+    }
+    {
+      util::MutexLock lock(status_mutex_);
+      last_status_ = status;
+    }
+    if (!status.ok() || !chunk.ok() || chunk->frames.empty()) {
+      // Idle or unhealthy: back off one poll interval and retry —
+      // replication never gives up, it just lags.
+      std::this_thread::sleep_for(options_.poll_interval);
+    }
+  }
+}
+
+}  // namespace anc::net

@@ -12,7 +12,43 @@ AdmissionController::AdmissionController(AdmissionOptions options,
     served_id_ = metrics_->Counter("anc.serve.admit_served");
     degraded_id_ = metrics_->Counter("anc.serve.admit_degraded");
     shed_id_ = metrics_->Counter("anc.serve.admit_shed");
+    quota_rejections_id_ = metrics_->Counter("anc.net.quota_rejections");
   }
+}
+
+Status AdmissionController::AdmitTenant(uint64_t tenant_id) const {
+  if (options_.tenant_quota_per_s <= 0.0) return Status::OK();
+  const double burst = options_.tenant_quota_burst > 0.0
+                           ? options_.tenant_quota_burst
+                           : options_.tenant_quota_per_s;
+  const auto now = std::chrono::steady_clock::now();
+  bool admitted = false;
+  {
+    util::MutexLock lock(tenant_mutex_);
+    auto [it, inserted] = tenants_.try_emplace(tenant_id);
+    TokenBucket& bucket = it->second;
+    if (inserted) {
+      bucket.tokens = burst;  // a fresh tenant starts with a full burst
+      bucket.last_refill = now;
+    } else {
+      const double elapsed =
+          std::chrono::duration<double>(now - bucket.last_refill).count();
+      bucket.tokens = std::min(
+          burst, bucket.tokens + elapsed * options_.tenant_quota_per_s);
+      bucket.last_refill = now;
+    }
+    if (bucket.tokens >= 1.0) {
+      bucket.tokens -= 1.0;
+      admitted = true;
+    }
+  }
+  if (admitted) return Status::OK();
+  quota_rejections_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) metrics_->Add(quota_rejections_id_);
+  return Status::Unavailable(
+      "tenant " + std::to_string(tenant_id) + " over quota (" +
+      std::to_string(options_.tenant_quota_per_s) + " req/s, burst " +
+      std::to_string(burst) + ")");
 }
 
 AdmissionDecision AdmissionController::Admit(uint32_t requested_level,

@@ -2,12 +2,15 @@
 #define ANC_SERVE_ADMISSION_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <limits>
+#include <unordered_map>
 
 #include "obs/metrics.h"
 #include "serve/cluster_view.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace anc::serve {
 
@@ -31,6 +34,15 @@ struct AdmissionOptions {
 
   /// Smoothing factor of the query-latency EWMA the deadline check uses.
   double latency_ewma_alpha = 0.2;
+
+  /// Per-tenant token-bucket quota (docs/networking.md): each tenant id
+  /// (carried in the RPC frame) earns `tenant_quota_per_s` request tokens
+  /// per second up to a burst of `tenant_quota_burst`; a request that finds
+  /// the bucket empty is rejected Unavailable and counted in
+  /// anc.net.quota_rejections. 0 (the default) disables quota enforcement —
+  /// every tenant is admitted.
+  double tenant_quota_per_s = 0.0;
+  double tenant_quota_burst = 0.0;
 };
 
 /// Per-query options.
@@ -72,6 +84,20 @@ class AdmissionController {
                           size_t ingest_depth,
                           const QueryOptions& query = {}) const;
 
+  /// Per-tenant token-bucket admission (the networked front-end calls this
+  /// with the tenant id from the RPC frame before dispatching any op).
+  /// Refills `tenant_quota_per_s` tokens/s up to `tenant_quota_burst`,
+  /// spends one token per admitted request, and rejects Unavailable when
+  /// the bucket is empty (anc.net.quota_rejections). Always OK while
+  /// quotas are disabled (tenant_quota_per_s == 0). Thread-safe.
+  Status AdmitTenant(uint64_t tenant_id) const;
+
+  /// Quota rejections so far (mirrors the anc.net.quota_rejections
+  /// counter, for registry-less deployments).
+  uint64_t quota_rejections() const {
+    return quota_rejections_.load(std::memory_order_relaxed);
+  }
+
   /// Feeds one completed query's latency into the deadline estimator.
   void RecordLatency(double seconds) const;
 
@@ -82,12 +108,26 @@ class AdmissionController {
   }
 
  private:
+  /// One tenant's bucket. Tokens refill lazily on access.
+  struct TokenBucket {
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last_refill;
+  };
+
   AdmissionOptions options_;
   mutable std::atomic<double> latency_ewma_{0.0};
+  mutable std::atomic<uint64_t> quota_rejections_{0};
+  /// Tenant buckets are touched once per request under a plain mutex: the
+  /// critical section is a couple of arithmetic ops, far below the cost of
+  /// the socket read that precedes every AdmitTenant call.
+  mutable util::Mutex tenant_mutex_;
+  mutable std::unordered_map<uint64_t, TokenBucket> tenants_
+      ANC_GUARDED_BY(tenant_mutex_);
   obs::MetricsRegistry* metrics_;
   obs::CounterId served_id_;
   obs::CounterId degraded_id_;
   obs::CounterId shed_id_;
+  obs::CounterId quota_rejections_id_;
 };
 
 }  // namespace anc::serve

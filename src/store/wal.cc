@@ -81,6 +81,61 @@ Status FsyncDir(const std::string& dir) {
   return Status::OK();
 }
 
+void AppendWalFrame(std::string* out, const Activation* data, size_t count,
+                    uint64_t first_seq) {
+  const uint32_t length = static_cast<uint32_t>(
+      sizeof(uint64_t) + sizeof(uint32_t) + count * kWalEntryBytes);
+  std::string payload;
+  payload.reserve(length);
+  AppendPod(&payload, first_seq);
+  AppendPod(&payload, static_cast<uint32_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    AppendPod(&payload, static_cast<uint32_t>(data[i].edge));
+    AppendPod(&payload, data[i].time);
+  }
+  AppendPod(out, length);
+  AppendPod(out, Crc32c(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+Result<WalRecord> DecodeWalFrame(const uint8_t* data, size_t size,
+                                 size_t* consumed) {
+  if (size < kWalFrameHeaderBytes) {
+    return Status::InvalidArgument("WAL frame: short header");
+  }
+  const char* bytes = reinterpret_cast<const char*>(data);
+  const uint32_t length = ReadPod<uint32_t>(bytes);
+  const uint32_t crc = ReadPod<uint32_t>(bytes + 4);
+  if (length < sizeof(uint64_t) + sizeof(uint32_t) ||
+      length > kMaxWalPayloadBytes) {
+    return Status::InvalidArgument("WAL frame: invalid length");
+  }
+  if (size - kWalFrameHeaderBytes < length) {
+    return Status::InvalidArgument("WAL frame: short payload");
+  }
+  const char* payload = bytes + kWalFrameHeaderBytes;
+  if (Crc32c(payload, length) != crc) {
+    return Status::InvalidArgument("WAL frame: CRC mismatch");
+  }
+  const uint64_t first_seq = ReadPod<uint64_t>(payload);
+  const uint32_t count = ReadPod<uint32_t>(payload + 8);
+  if (count == 0 ||
+      length != sizeof(uint64_t) + sizeof(uint32_t) +
+                    static_cast<uint64_t>(count) * kWalEntryBytes) {
+    return Status::InvalidArgument("WAL frame: inconsistent count");
+  }
+  WalRecord record;
+  record.first_seq = first_seq;
+  record.activations.resize(count);
+  const char* entry = payload + 12;
+  for (uint32_t i = 0; i < count; ++i, entry += kWalEntryBytes) {
+    record.activations[i].edge = ReadPod<uint32_t>(entry);
+    record.activations[i].time = ReadPod<double>(entry + 4);
+  }
+  if (consumed != nullptr) *consumed = kWalFrameHeaderBytes + length;
+  return record;
+}
+
 Result<WalSegmentInfo> ReadWalSegment(
     const std::string& path, const std::function<Status(const WalRecord&)>& fn,
     bool truncate_torn_tail) {
@@ -208,22 +263,12 @@ Status WalAppender::Append(const Activation* data, size_t count,
   if (count == 0) return Status::InvalidArgument("empty WAL record");
 
   const size_t before = buffer_.size();
-  const uint32_t length = static_cast<uint32_t>(
-      sizeof(uint64_t) + sizeof(uint32_t) + count * kWalEntryBytes);
-  std::string payload;
-  payload.reserve(length);
-  AppendPod(&payload, first_seq);
-  AppendPod(&payload, static_cast<uint32_t>(count));
+  AppendWalFrame(&buffer_, data, count, first_seq);
+  frame_sizes_.push_back(buffer_.size() - before);
   double max_time = appended_.time;
   for (size_t i = 0; i < count; ++i) {
-    AppendPod(&payload, static_cast<uint32_t>(data[i].edge));
-    AppendPod(&payload, data[i].time);
     max_time = std::max(max_time, data[i].time);
   }
-  AppendPod(&buffer_, length);
-  AppendPod(&buffer_, Crc32c(payload.data(), payload.size()));
-  buffer_.append(payload);
-  frame_sizes_.push_back(buffer_.size() - before);
 
   appended_.seq = std::max(appended_.seq, first_seq + count - 1);
   appended_.time = max_time;

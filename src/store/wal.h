@@ -57,6 +57,21 @@ struct WalSegmentInfo {
   bool torn_tail = false;    ///< trailing torn/corrupt bytes were present
 };
 
+/// Encodes one record as a standalone WAL frame — the exact
+/// [u32 payload_len][u32 crc32c(payload)][payload] bytes WalAppender puts
+/// into a segment. Shared by the appender and the replication log stream
+/// (net::, docs/networking.md), so followers apply byte-identical frames.
+void AppendWalFrame(std::string* out, const Activation* data, size_t count,
+                    uint64_t first_seq);
+
+/// Decodes one frame from an in-memory buffer — the inverse of
+/// AppendWalFrame, with the same validation as ReadWalSegment's frame loop
+/// (short header, zero/oversized length, short payload, CRC mismatch,
+/// inconsistent count all fail with InvalidArgument; nothing past a bad
+/// frame can be trusted). On success *consumed advances past the frame.
+Result<WalRecord> DecodeWalFrame(const uint8_t* data, size_t size,
+                                 size_t* consumed);
+
 /// Scans a segment front to back, invoking `fn` for every valid record in
 /// order; decoding stops at the first invalid frame (short header, zero or
 /// oversized length, short payload, CRC mismatch, inconsistent count) —

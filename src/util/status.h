@@ -119,6 +119,9 @@ class [[nodiscard]] Result {
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
 
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
  private:
   void CheckOk() const {
     if (!ok()) {

@@ -1,0 +1,731 @@
+// Networked front-end tests (src/net/): RPC frame/body codecs under the
+// PR 7 parser discipline (garbage, truncation and oversized lengths must
+// yield Status, never a crash), the epoch-keyed query cache (byte-identity
+// within an epoch, wholesale invalidation on publish), per-tenant quota
+// rejection, loopback end-to-end byte-identity against the in-process
+// serving stacks (AncServer and ShardedServer), and the WAL-shipping
+// replication chain: follower reads never claim tickets past the leader's
+// ship mark, the min_seq barrier refuses under an injected leader stall,
+// and the replica-set client falls back to the leader.
+
+#include <chrono>
+#include <cstring>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/anc.h"
+#include "datasets/synthetic.h"
+#include "net/backend.h"
+#include "net/cache.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/replica.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "serve/server.h"
+#include "shard/sharded_server.h"
+#include "store/wal.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+using net::Backend;
+using net::ByteReader;
+using net::Client;
+using net::ClustersBody;
+using net::Follower;
+using net::FollowerBackend;
+using net::LogChunkBody;
+using net::MembersBody;
+using net::NetServer;
+using net::NetServerOptions;
+using net::Op;
+using net::PullLogBody;
+using net::QueryBody;
+using net::QueryCache;
+using net::QueryCacheOptions;
+using net::ReplicaSetClient;
+using net::ReplicationPuller;
+using net::ServerBackend;
+using net::ShardedBackend;
+using net::SubmitAck;
+using net::SubmitBody;
+using net::WatermarkBody;
+using net::ZoomBody;
+
+constexpr std::chrono::milliseconds kAwait{5000};
+
+AncConfig SmallConfig() {
+  AncConfig config;
+  config.pyramid.num_pyramids = 3;
+  config.pyramid.seed = 7;
+  config.mode = AncMode::kOnline;
+  return config;
+}
+
+GroundTruthGraph SmallCommunityGraph(uint64_t seed = 11) {
+  PlantedPartitionParams pp;
+  pp.num_communities = 4;
+  pp.min_size = 10;
+  pp.max_size = 14;
+  Rng rng(seed);
+  return PlantedPartition(pp, rng);
+}
+
+// Activation times must advance monotonically across batches (the ingest
+// queue rejects regressed timestamps), so later batches pass a time base.
+std::vector<Activation> MakeActivations(const Graph& g, size_t count,
+                                        uint64_t seed = 3, double t0 = 0.0) {
+  Rng rng(seed);
+  std::vector<Activation> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(Activation{
+        static_cast<EdgeId>(rng.Next() % g.NumEdges()),
+        t0 + static_cast<double>(i + 1)});
+  }
+  return out;
+}
+
+// A started leader stack: index + AncServer + ServerBackend + NetServer,
+// torn down in reverse order.
+struct LeaderStack {
+  std::unique_ptr<AncIndex> index;
+  std::unique_ptr<serve::AncServer> server;
+  std::unique_ptr<ServerBackend> backend;
+  std::unique_ptr<NetServer> net;
+
+  static LeaderStack Start(const Graph& graph, NetServerOptions net_options = {},
+                           ServerBackend::Options backend_options = {}) {
+    LeaderStack s;
+    auto created = AncIndex::Create(graph, SmallConfig());
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    s.index = std::move(created).value();
+    s.server = std::make_unique<serve::AncServer>(s.index.get(),
+                                                  serve::ServeOptions{});
+    EXPECT_TRUE(s.server->Start().ok());
+    s.backend =
+        std::make_unique<ServerBackend>(s.server.get(), backend_options);
+    s.net = std::make_unique<NetServer>(s.backend.get(), net_options);
+    Status started = s.net->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return s;
+  }
+
+  LeaderStack() = default;
+  LeaderStack(LeaderStack&&) = default;
+
+  ~LeaderStack() {
+    if (net) net->Stop();
+    if (server) server->Stop();
+  }
+};
+
+// --- Frame codec ----------------------------------------------------------
+
+TEST(NetProtocolTest, FrameRoundTrip) {
+  std::string wire;
+  net::AppendFrame(&wire, "hello payload");
+  std::string_view payload;
+  size_t consumed = 0;
+  Status s = net::DecodeFrame(reinterpret_cast<const uint8_t*>(wire.data()),
+                              wire.size(), &payload, &consumed);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(payload, "hello payload");
+  EXPECT_EQ(consumed, wire.size());
+}
+
+TEST(NetProtocolTest, TruncatedFrameIsOutOfRange) {
+  std::string wire;
+  net::AppendFrame(&wire, "a longer payload for truncation");
+  std::string_view payload;
+  size_t consumed = 0;
+  // Every proper prefix must report OutOfRange (read more), never crash.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    Status s = net::DecodeFrame(reinterpret_cast<const uint8_t*>(wire.data()),
+                                len, &payload, &consumed);
+    ASSERT_FALSE(s.ok()) << "prefix " << len;
+    EXPECT_EQ(s.code(), StatusCode::kOutOfRange) << "prefix " << len;
+  }
+}
+
+TEST(NetProtocolTest, BadMagicOversizeAndCrcAreInvalidArgument) {
+  std::string wire;
+  net::AppendFrame(&wire, "payload");
+  std::string_view payload;
+  size_t consumed = 0;
+
+  std::string bad_magic = wire;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(net::DecodeFrame(reinterpret_cast<const uint8_t*>(bad_magic.data()),
+                             bad_magic.size(), &payload, &consumed)
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  std::string oversize = wire;
+  const uint32_t huge = net::kMaxFramePayloadBytes + 1;
+  std::memcpy(&oversize[4], &huge, sizeof(huge));
+  EXPECT_EQ(net::DecodeFrame(reinterpret_cast<const uint8_t*>(oversize.data()),
+                             oversize.size(), &payload, &consumed)
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  std::string bad_crc = wire;
+  bad_crc.back() ^= 0x5a;
+  EXPECT_EQ(net::DecodeFrame(reinterpret_cast<const uint8_t*>(bad_crc.data()),
+                             bad_crc.size(), &payload, &consumed)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetProtocolTest, GarbageNeverCrashes) {
+  Rng rng(99);
+  std::string_view payload;
+  size_t consumed = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string junk(rng.Next() % 64, '\0');
+    for (char& c : junk) c = static_cast<char>(rng.Next());
+    Status s = net::DecodeFrame(reinterpret_cast<const uint8_t*>(junk.data()),
+                                junk.size(), &payload, &consumed);
+    // Random bytes essentially never form a valid CRC frame; either error
+    // code is acceptable, a crash is not.
+    if (s.ok()) {
+      ADD_FAILURE() << "random junk decoded as a frame";
+    }
+  }
+}
+
+TEST(NetProtocolTest, RequestHeaderRejectsUnknownOp) {
+  std::string payload;
+  net::PutU64(&payload, 1);    // request_id
+  net::PutU64(&payload, 0);    // tenant_id
+  net::PutU16(&payload, 999);  // unknown op
+  net::PutU16(&payload, 0);    // flags
+  ByteReader in(payload);
+  net::RequestHeader header;
+  EXPECT_EQ(net::DecodeRequestHeader(&in, &header).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetProtocolTest, BodiesRoundTrip) {
+  {
+    SubmitBody body;
+    body.activations = {{3, 1.5}, {7, 2.5}};
+    std::string bytes;
+    net::AppendSubmitBody(&bytes, body);
+    ByteReader in(bytes);
+    SubmitBody out;
+    ASSERT_TRUE(net::DecodeSubmitBody(&in, &out).ok());
+    ASSERT_EQ(out.activations.size(), 2u);
+    EXPECT_EQ(out.activations[1].edge, 7u);
+    EXPECT_DOUBLE_EQ(out.activations[1].time, 2.5);
+  }
+  {
+    WatermarkBody body{42, 6.5, 40, 6.0, 9};
+    std::string bytes;
+    net::AppendWatermarkBody(&bytes, body);
+    ByteReader in(bytes);
+    WatermarkBody out;
+    ASSERT_TRUE(net::DecodeWatermarkBody(&in, &out).ok());
+    EXPECT_EQ(out.seq, 42u);
+    EXPECT_EQ(out.durable_seq, 40u);
+    EXPECT_EQ(out.epoch, 9u);
+  }
+  {
+    ClustersBody body;
+    body.epoch = 5;
+    body.watermark_seq = 17;
+    body.level = 2;
+    body.num_clusters = 3;
+    body.labels = {0, 1, 2, 1};
+    std::string bytes;
+    net::AppendClustersBody(&bytes, body);
+    ByteReader in(bytes);
+    ClustersBody out;
+    ASSERT_TRUE(net::DecodeClustersBody(&in, &out).ok());
+    EXPECT_EQ(out.labels, body.labels);
+    EXPECT_EQ(out.epoch, 5u);
+    EXPECT_EQ(out.watermark_seq, 17u);
+    // The uniform [epoch][watermark_seq] prefix the server's barrier check
+    // relies on (CachedCoversBarrier reads the u64 at offset 8).
+    ASSERT_GE(bytes.size(), 16u);
+    uint64_t prefix_epoch = 0, prefix_seq = 0;
+    std::memcpy(&prefix_epoch, bytes.data(), 8);
+    std::memcpy(&prefix_seq, bytes.data() + 8, 8);
+    EXPECT_EQ(prefix_epoch, 5u);
+    EXPECT_EQ(prefix_seq, 17u);
+  }
+  {
+    MembersBody body;
+    body.epoch = 4;
+    body.watermark_seq = 10;
+    body.level = 1;
+    body.members = {2, 4, 8};
+    std::string bytes;
+    net::AppendMembersBody(&bytes, body);
+    ByteReader in(bytes);
+    MembersBody out;
+    ASSERT_TRUE(net::DecodeMembersBody(&in, &out).ok());
+    EXPECT_EQ(out.members, body.members);
+  }
+  {
+    ZoomBody body;
+    body.epoch = 3;
+    body.watermark_seq = 6;
+    body.default_level = 2;
+    body.cluster_sizes = {48, 12, 4};
+    std::string bytes;
+    net::AppendZoomBody(&bytes, body);
+    ByteReader in(bytes);
+    ZoomBody out;
+    ASSERT_TRUE(net::DecodeZoomBody(&in, &out).ok());
+    EXPECT_EQ(out.cluster_sizes, body.cluster_sizes);
+  }
+  {
+    LogChunkBody body;
+    body.ship_seq = 12;
+    body.frames = "opaque-frame-bytes";
+    std::string bytes;
+    net::AppendLogChunkBody(&bytes, body);
+    ByteReader in(bytes);
+    LogChunkBody out;
+    ASSERT_TRUE(net::DecodeLogChunkBody(&in, &out).ok());
+    EXPECT_EQ(out.ship_seq, 12u);
+    EXPECT_EQ(out.frames, body.frames);
+  }
+}
+
+TEST(NetProtocolTest, TruncatedBodyIsRejected) {
+  ClustersBody body;
+  body.num_clusters = 2;
+  body.labels = {0, 1, 1};
+  std::string bytes;
+  net::AppendClustersBody(&bytes, body);
+  // Chop the label array short: the count no longer matches the remaining
+  // payload and the decoder must refuse before allocating.
+  std::string chopped = bytes.substr(0, bytes.size() - 2);
+  ByteReader in(chopped);
+  ClustersBody out;
+  EXPECT_FALSE(net::DecodeClustersBody(&in, &out).ok());
+}
+
+TEST(NetProtocolTest, CanonicalQueryArgsExcludesMinSeq) {
+  QueryBody a;
+  a.node = 5;
+  a.level = 2;
+  a.min_seq = 0;
+  QueryBody b = a;
+  b.min_seq = 999;  // the barrier gates admission, not the answer
+  EXPECT_EQ(net::CanonicalQueryArgs(Op::kLocalCluster, a),
+            net::CanonicalQueryArgs(Op::kLocalCluster, b));
+  QueryBody c = a;
+  c.node = 6;
+  EXPECT_NE(net::CanonicalQueryArgs(Op::kLocalCluster, a),
+            net::CanonicalQueryArgs(Op::kLocalCluster, c));
+  EXPECT_NE(net::CanonicalQueryArgs(Op::kLocalCluster, a),
+            net::CanonicalQueryArgs(Op::kZoom, a));
+}
+
+// --- Query cache ----------------------------------------------------------
+
+TEST(QueryCacheTest, HitMissAndInvalidate) {
+  QueryCacheOptions options;
+  options.byte_budget = 1 << 20;
+  options.num_shards = 2;
+  QueryCache cache(options);
+
+  std::string payload;
+  EXPECT_FALSE(cache.Get(1, Op::kClusters, "args", &payload));
+  cache.Put(1, Op::kClusters, "args", "response-bytes");
+  ASSERT_TRUE(cache.Get(1, Op::kClusters, "args", &payload));
+  EXPECT_EQ(payload, "response-bytes");
+
+  // A different epoch is a different key.
+  EXPECT_FALSE(cache.Get(2, Op::kClusters, "args", &payload));
+
+  cache.Put(2, Op::kClusters, "args", "newer-bytes");
+  cache.InvalidateBelowEpoch(2);
+  EXPECT_FALSE(cache.Get(1, Op::kClusters, "args", &payload));
+  ASSERT_TRUE(cache.Get(2, Op::kClusters, "args", &payload));
+  EXPECT_EQ(payload, "newer-bytes");
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(QueryCacheTest, EvictsUnderByteBudget) {
+  QueryCacheOptions options;
+  options.byte_budget = 512;
+  options.num_shards = 1;
+  QueryCache cache(options);
+  const std::string value(100, 'v');
+  for (int i = 0; i < 32; ++i) {
+    cache.Put(1, Op::kClusters, "key-" + std::to_string(i), value);
+  }
+  EXPECT_LE(cache.bytes(), 512u);
+  EXPECT_GE(cache.entries(), 1u);
+}
+
+TEST(QueryCacheTest, ZeroBudgetDisables) {
+  QueryCacheOptions options;
+  options.byte_budget = 0;
+  QueryCache cache(options);
+  cache.Put(1, Op::kClusters, "args", "bytes");
+  std::string payload;
+  EXPECT_FALSE(cache.Get(1, Op::kClusters, "args", &payload));
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+// --- Loopback end-to-end: leader over one AncServer -----------------------
+
+TEST(NetServerTest, EndToEndMatchesInProcessView) {
+  GroundTruthGraph gt = SmallCommunityGraph();
+  LeaderStack stack = LeaderStack::Start(gt.graph);
+
+  auto connected = Client::Connect("127.0.0.1", stack.net->port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  Client& client = **connected;
+
+  Result<WatermarkBody> ping = client.Ping();
+  ASSERT_TRUE(ping.ok()) << ping.status().ToString();
+
+  std::vector<Activation> batch = MakeActivations(gt.graph, 64);
+  Result<SubmitAck> ack = client.SubmitBatch(batch);
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->accepted, batch.size());
+  EXPECT_GE(ack->last_seq, batch.size());
+
+  Result<WatermarkBody> flushed = client.Flush();
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_GE(flushed->seq, ack->last_seq);
+
+  // Remote answers must byte-equal the in-process published view.
+  std::shared_ptr<const serve::ClusterView> view = stack.server->View();
+  Result<ClustersBody> remote = client.Clusters(/*level=*/0);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  const Clustering local = view->Clusters(view->DefaultLevel());
+  EXPECT_EQ(remote->labels, local.labels);
+  EXPECT_EQ(remote->num_clusters, local.num_clusters);
+  EXPECT_EQ(remote->level, view->DefaultLevel());
+  EXPECT_EQ(remote->epoch, view->epoch());
+
+  for (NodeId v = 0; v < gt.graph.NumNodes(); v += 7) {
+    Result<MembersBody> members = client.LocalCluster(v);
+    ASSERT_TRUE(members.ok()) << members.status().ToString();
+    EXPECT_EQ(members->members, view->LocalCluster(v, view->DefaultLevel()))
+        << "node " << v;
+  }
+
+  Result<ZoomBody> zoom = client.Zoom(0);
+  ASSERT_TRUE(zoom.ok());
+  ASSERT_EQ(zoom->cluster_sizes.size(), view->num_levels());
+  for (uint32_t level = 1; level <= view->num_levels(); ++level) {
+    EXPECT_EQ(zoom->cluster_sizes[level - 1],
+              view->LocalCluster(0, level).size());
+  }
+
+  Result<std::string> health = client.HealthJson();
+  ASSERT_TRUE(health.ok());
+  EXPECT_NE(health->find("\"role\""), std::string::npos);
+
+  Result<std::string> metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("anc_net_requests"), std::string::npos);
+}
+
+TEST(NetServerTest, CacheHitIsByteIdenticalAndInvalidatedOnPublish) {
+  GroundTruthGraph gt = SmallCommunityGraph();
+  LeaderStack stack = LeaderStack::Start(gt.graph);
+
+  auto connected = Client::Connect("127.0.0.1", stack.net->port());
+  ASSERT_TRUE(connected.ok());
+  Client& client = **connected;
+
+  std::vector<Activation> batch = MakeActivations(gt.graph, 32);
+  ASSERT_TRUE(client.SubmitBatch(batch).ok());
+  ASSERT_TRUE(client.Flush().ok());
+
+  Result<ClustersBody> first = client.Clusters();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(client.last_flags() & net::kFlagCacheHit, 0);
+
+  Result<ClustersBody> second = client.Clusters();
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(client.last_flags() & net::kFlagCacheHit, 0)
+      << "identical query within the epoch must be served from cache";
+
+  // Cached vs uncached must be byte-identical within an epoch.
+  EXPECT_EQ(second->epoch, first->epoch);
+  EXPECT_EQ(second->watermark_seq, first->watermark_seq);
+  EXPECT_EQ(second->labels, first->labels);
+  EXPECT_EQ(second->num_clusters, first->num_clusters);
+  EXPECT_GE(stack.net->cache().hits(), 1u);
+
+  // Publish a new snapshot: the next request observes a newer epoch and
+  // the cache is invalidated wholesale.
+  std::vector<Activation> more = MakeActivations(gt.graph, 32, /*seed=*/5, /*t0=*/1000.0);
+  ASSERT_TRUE(client.SubmitBatch(more).ok());
+  ASSERT_TRUE(client.Flush().ok());
+
+  Result<ClustersBody> third = client.Clusters();
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(client.last_flags() & net::kFlagCacheHit, 0)
+      << "publish must invalidate the cache";
+  EXPECT_GT(third->epoch, first->epoch);
+
+  // And the fresh epoch caches again.
+  Result<ClustersBody> fourth = client.Clusters();
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_NE(client.last_flags() & net::kFlagCacheHit, 0);
+  EXPECT_EQ(fourth->labels, third->labels);
+}
+
+TEST(NetServerTest, TenantQuotaRejectsWhenExhausted) {
+  GroundTruthGraph gt = SmallCommunityGraph();
+  NetServerOptions options;
+  options.admission.tenant_quota_per_s = 0.001;  // effectively no refill
+  options.admission.tenant_quota_burst = 2.0;
+  LeaderStack stack = LeaderStack::Start(gt.graph, options);
+
+  Client::Options tenant;
+  tenant.tenant_id = 7;
+  auto connected = Client::Connect("127.0.0.1", stack.net->port(), tenant);
+  ASSERT_TRUE(connected.ok());
+  Client& client = **connected;
+
+  ASSERT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Ping().ok());
+  Result<WatermarkBody> third = client.Ping();
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kUnavailable);
+
+  // Another tenant has its own bucket.
+  Client::Options other;
+  other.tenant_id = 8;
+  auto connected2 = Client::Connect("127.0.0.1", stack.net->port(), other);
+  ASSERT_TRUE(connected2.ok());
+  EXPECT_TRUE((*connected2)->Ping().ok());
+}
+
+TEST(NetServerTest, ServerSurvivesGarbageConnection) {
+  GroundTruthGraph gt = SmallCommunityGraph();
+  LeaderStack stack = LeaderStack::Start(gt.graph);
+
+  // A raw connection that sends junk gets dropped without hurting others.
+  Result<int> fd = net::ConnectTcp("127.0.0.1", stack.net->port());
+  ASSERT_TRUE(fd.ok());
+  std::string junk = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(net::SendAll(*fd, junk.data(), junk.size()).ok());
+  char buf[16];
+  // The server drops the connection; the read returns EOF or error.
+  (void)net::RecvAll(*fd, buf, sizeof(buf));
+  net::CloseFd(*fd);
+
+  auto connected = Client::Connect("127.0.0.1", stack.net->port());
+  ASSERT_TRUE(connected.ok());
+  EXPECT_TRUE((*connected)->Ping().ok());
+}
+
+// --- Loopback end-to-end: sharded leader ----------------------------------
+
+TEST(NetServerTest, ShardedBackendMatchesShardedView) {
+  GroundTruthGraph gt = SmallCommunityGraph();
+  shard::ShardedOptions shard_options;
+  shard_options.partition.num_shards = 2;
+  auto created =
+      shard::ShardedServer::Create(gt.graph, SmallConfig(), shard_options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  shard::ShardedServer& sharded = **created;
+  ASSERT_TRUE(sharded.Start().ok());
+
+  ShardedBackend backend(&sharded);
+  NetServer net_server(&backend, NetServerOptions{});
+  ASSERT_TRUE(net_server.Start().ok());
+
+  auto connected = Client::Connect("127.0.0.1", net_server.port());
+  ASSERT_TRUE(connected.ok());
+  Client& client = **connected;
+
+  std::vector<Activation> batch = MakeActivations(gt.graph, 48);
+  Result<SubmitAck> ack = client.SubmitBatch(batch);
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->accepted, batch.size());
+  ASSERT_TRUE(client.Flush().ok());
+
+  shard::ShardedView view = sharded.View();
+  const Clustering local = view.Clusters();
+  Result<ClustersBody> remote = client.Clusters();
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_EQ(remote->labels, local.labels);
+  EXPECT_EQ(remote->num_clusters, local.num_clusters);
+
+  for (NodeId v = 0; v < gt.graph.NumNodes(); v += 9) {
+    Result<MembersBody> members_remote = client.LocalCluster(v);
+    ASSERT_TRUE(members_remote.ok());
+    EXPECT_EQ(members_remote->members,
+              view.LocalCluster(v, view.DefaultLevel()))
+        << "node " << v;
+  }
+
+  // Writes route through the sharded ingest: replication pull is refused.
+  Result<LogChunkBody> chunk = client.PullLog(0);
+  ASSERT_FALSE(chunk.ok());
+  EXPECT_EQ(chunk.status().code(), StatusCode::kFailedPrecondition);
+
+  net_server.Stop();
+  sharded.Stop();
+}
+
+// --- Replication ----------------------------------------------------------
+
+TEST(NetReplicationTest, PullLogShipsDecodableWalFrames) {
+  GroundTruthGraph gt = SmallCommunityGraph();
+  LeaderStack stack = LeaderStack::Start(gt.graph);
+
+  auto connected = Client::Connect("127.0.0.1", stack.net->port());
+  ASSERT_TRUE(connected.ok());
+  Client& client = **connected;
+
+  std::vector<Activation> batch = MakeActivations(gt.graph, 24);
+  Result<SubmitAck> ack = client.SubmitBatch(batch);
+  ASSERT_TRUE(ack.ok());
+  ASSERT_TRUE(client.Flush().ok());
+
+  Result<LogChunkBody> chunk = client.PullLog(0);
+  ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+  EXPECT_GE(chunk->ship_seq, ack->last_seq);
+
+  // The stream is byte-identical store:: WAL frames, in ticket order.
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(chunk->frames.data());
+  size_t size = chunk->frames.size();
+  uint64_t next_seq = 1;
+  size_t total = 0;
+  while (size > 0) {
+    size_t consumed = 0;
+    Result<store::WalRecord> record = store::DecodeWalFrame(data, size,
+                                                            &consumed);
+    ASSERT_TRUE(record.ok()) << record.status().ToString();
+    EXPECT_EQ(record->first_seq, next_seq);
+    next_seq = record->last_seq() + 1;
+    total += record->activations.size();
+    data += consumed;
+    size -= consumed;
+  }
+  EXPECT_EQ(total, batch.size());
+}
+
+TEST(NetReplicationTest, FollowerNeverAheadOfLeaderAndBarrierHolds) {
+  GroundTruthGraph gt = SmallCommunityGraph();
+  LeaderStack leader = LeaderStack::Start(gt.graph);
+
+  auto follower_created = Follower::Create(gt.graph, SmallConfig());
+  ASSERT_TRUE(follower_created.ok())
+      << follower_created.status().ToString();
+  Follower& follower = **follower_created;
+
+  FollowerBackend follower_backend(&follower);
+  NetServer follower_net(&follower_backend, NetServerOptions{});
+  ASSERT_TRUE(follower_net.Start().ok());
+
+  auto puller_conn = Client::Connect("127.0.0.1", leader.net->port());
+  ASSERT_TRUE(puller_conn.ok());
+  ReplicationPuller puller(&follower, std::move(*puller_conn));
+  puller.Start();
+
+  auto client_created = ReplicaSetClient::Connect(
+      "127.0.0.1", leader.net->port(),
+      {{"127.0.0.1", follower_net.port()}});
+  ASSERT_TRUE(client_created.ok()) << client_created.status().ToString();
+  ReplicaSetClient& client = **client_created;
+
+  std::vector<Activation> batch = MakeActivations(gt.graph, 40);
+  Result<SubmitAck> ack = client.SubmitBatch(batch);
+  ASSERT_TRUE(ack.ok());
+  ASSERT_TRUE(client.Flush().ok());
+
+  // Read-your-writes through the replica set: the barrier is the last
+  // acked ticket, so the answer covers it whether a follower or the
+  // leader serves it.
+  Result<ClustersBody> remote = client.Clusters();
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_GE(remote->watermark_seq, ack->last_seq);
+
+  // Let replication catch up fully, then check the staleness invariant:
+  // the follower's applied mark never exceeds the leader's ship mark.
+  ASSERT_TRUE(follower.AwaitApplied(ack->last_seq, kAwait).ok());
+  Result<LogChunkBody> probe =
+      client.leader().PullLog(follower.applied_leader_seq());
+  ASSERT_TRUE(probe.ok());
+  EXPECT_LE(follower.applied_leader_seq(), probe->ship_seq);
+
+  // Follower reads answer byte-identically to the leader at the same
+  // ticket horizon (replication is deterministic replay).
+  auto direct = Client::Connect("127.0.0.1", follower_net.port());
+  ASSERT_TRUE(direct.ok());
+  Result<ClustersBody> from_follower = (*direct)->Clusters();
+  ASSERT_TRUE(from_follower.ok()) << from_follower.status().ToString();
+  EXPECT_NE((*direct)->last_flags() & net::kFlagFollower, 0);
+  std::shared_ptr<const serve::ClusterView> leader_view =
+      leader.server->View();
+  EXPECT_EQ(from_follower->labels,
+            leader_view->Clusters(leader_view->DefaultLevel()).labels);
+
+  // Injected leader stall: pause the puller, write on the leader; a
+  // barrier read on the follower must refuse (never serve staler than
+  // min_seq) and the replica-set client must fall back to the leader.
+  puller.Pause(true);
+  std::vector<Activation> more = MakeActivations(gt.graph, 16, /*seed=*/21, /*t0=*/1000.0);
+  Result<SubmitAck> ack2 = client.SubmitBatch(more);
+  ASSERT_TRUE(ack2.ok());
+  ASSERT_TRUE(client.Flush().ok());
+
+  EXPECT_LT(follower.applied_leader_seq(), ack2->last_seq)
+      << "paused puller must not have applied the stalled writes";
+  Result<ClustersBody> stalled =
+      (*direct)->Clusters(/*level=*/0, /*min_seq=*/ack2->last_seq);
+  ASSERT_FALSE(stalled.ok());
+  EXPECT_EQ(stalled.status().code(), StatusCode::kUnavailable);
+
+  const uint64_t fallbacks_before = client.leader_fallbacks();
+  Result<ClustersBody> fallback = client.Clusters();
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_GE(fallback->watermark_seq, ack2->last_seq);
+  EXPECT_GT(client.leader_fallbacks(), fallbacks_before);
+
+  // Resume: the follower catches up and serves barrier reads again.
+  puller.Pause(false);
+  ASSERT_TRUE(follower.AwaitApplied(ack2->last_seq, kAwait).ok());
+  Result<ClustersBody> caught_up =
+      (*direct)->Clusters(/*level=*/0, /*min_seq=*/ack2->last_seq);
+  ASSERT_TRUE(caught_up.ok()) << caught_up.status().ToString();
+  EXPECT_GE(caught_up->watermark_seq, ack2->last_seq);
+
+  puller.Stop();
+  follower_net.Stop();
+}
+
+TEST(NetReplicationTest, FollowerRefusesWrites) {
+  GroundTruthGraph gt = SmallCommunityGraph();
+  auto follower_created = Follower::Create(gt.graph, SmallConfig());
+  ASSERT_TRUE(follower_created.ok());
+  Follower& follower = **follower_created;
+
+  FollowerBackend backend(&follower);
+  NetServer net_server(&backend, NetServerOptions{});
+  ASSERT_TRUE(net_server.Start().ok());
+
+  auto connected = Client::Connect("127.0.0.1", net_server.port());
+  ASSERT_TRUE(connected.ok());
+  Result<SubmitAck> ack = (*connected)->Submit(Activation{0, 1.0});
+  ASSERT_FALSE(ack.ok());
+  EXPECT_EQ(ack.status().code(), StatusCode::kFailedPrecondition);
+  net_server.Stop();
+}
+
+}  // namespace
+}  // namespace anc
