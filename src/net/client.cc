@@ -330,8 +330,16 @@ Result<BodyT> ReplicaSetClient::ReadWithFallback(const Fn& read) {
       follower_reads_.fetch_add(1, std::memory_order_relaxed);
       return result;
     }
-    // Barrier refused (staleness bound exceeded) or the follower died:
-    // the leader always covers the barrier.
+    // Fall back only where the leader can do better: barrier refused /
+    // follower overloaded (Unavailable), transport died (IoError), or the
+    // reply was unusable (Internal). Deterministic failures — a bad node
+    // or level is InvalidArgument on every replica — fail identically on
+    // the leader, so forwarding them only doubles its load.
+    const StatusCode code = result.status().code();
+    if (code != StatusCode::kUnavailable && code != StatusCode::kIoError &&
+        code != StatusCode::kInternal) {
+      return result;
+    }
     leader_fallbacks_.fetch_add(1, std::memory_order_relaxed);
   }
   return read(*leader_, barrier);

@@ -137,9 +137,11 @@ class ReplicaSetClient {
   /// Raises min_seq_ to at least `seq` (CAS loop; concurrent writers).
   void RaiseMinSeq(uint64_t seq);
 
-  /// Runs `read` against the next follower with the current barrier; on
-  /// any failure (barrier refusal, dead connection), retries on the
-  /// leader.
+  /// Runs `read` against the next follower with the current barrier; on a
+  /// failure the leader could answer differently (barrier refusal, dead
+  /// connection, unusable reply), retries on the leader. Deterministic
+  /// failures (e.g. InvalidArgument for a bad node/level) are returned
+  /// directly — they would fail identically there.
   template <typename BodyT, typename Fn>
   Result<BodyT> ReadWithFallback(const Fn& read);
 

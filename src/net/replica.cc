@@ -37,47 +37,64 @@ Status Follower::ApplyChunk(const LogChunkBody& chunk) {
   const uint8_t* data =
       reinterpret_cast<const uint8_t*>(chunk.frames.data());
   size_t remaining = chunk.frames.size();
-  uint64_t mark = applied_.load(std::memory_order_acquire);
-  uint64_t applied_up_to = mark;
-  while (remaining > 0) {
+  // Dedup against the *submitted* mark, not the applied one: after a
+  // mid-chunk or publish failure the puller retries from the (stale)
+  // applied mark, and the records it re-ships must be skipped — submitting
+  // them again would apply activations twice and silently diverge the
+  // replica from the leader.
+  Status failure;
+  while (remaining > 0 && failure.ok()) {
     size_t consumed = 0;
     auto record = store::DecodeWalFrame(data, remaining, &consumed);
-    ANC_RETURN_NOT_OK(record.status());
+    if (!record.ok()) {
+      failure = record.status();
+      break;
+    }
     data += consumed;
     remaining -= consumed;
     if (record->activations.empty()) continue;
-    if (record->last_seq() <= mark) continue;  // duplicate delivery
-    if (record->first_seq <= mark) {
-      return Status::InvalidArgument(
+    if (record->last_seq() <= submitted_) continue;  // duplicate delivery
+    if (record->first_seq <= submitted_) {
+      failure = Status::InvalidArgument(
           "replication record [" + std::to_string(record->first_seq) + ", " +
           std::to_string(record->last_seq()) +
-          "] straddles the applied mark " + std::to_string(mark));
+          "] straddles the submitted mark " + std::to_string(submitted_));
+      break;
     }
     uint64_t last_seq = 0;
     auto accepted = server_->SubmitBatch(record->activations.data(),
                                          record->activations.size(),
                                          &last_seq);
-    ANC_RETURN_NOT_OK(accepted.status());
+    if (!accepted.ok()) {
+      failure = accepted.status();
+      break;
+    }
     if (*accepted != record->activations.size()) {
-      return Status::Internal(
+      failure = Status::Internal(
           "replica ingest refused " +
           std::to_string(record->activations.size() - *accepted) +
           " of a replicated record — replica state would diverge");
+      break;
     }
-    applied_up_to = record->last_seq();
-    mark = applied_up_to;
+    submitted_ = record->last_seq();
   }
-  if (applied_up_to > applied_.load(std::memory_order_acquire)) {
-    // Publish before the mark moves: a reader that sees the new mark must
-    // find every covered record in the replica's published view.
-    ANC_RETURN_NOT_OK(server_->Flush());
+  if (submitted_ > applied_.load(std::memory_order_acquire)) {
+    // Publish the fully-applied prefix even when a later record failed —
+    // the retry path depends on the mark covering everything already
+    // ingested. Publish before the mark moves: a reader that sees the new
+    // mark must find every covered record in the replica's published view.
+    // If the Flush itself fails the mark stays put and the next
+    // (re-pulled) chunk retries the publish; the submitted mark keeps the
+    // retry idempotent.
+    Status flushed = server_->Flush();
+    if (!flushed.ok()) return failure.ok() ? flushed : failure;
     {
       util::MutexLock lock(applied_mutex_);
-      applied_.store(applied_up_to, std::memory_order_release);
+      applied_.store(submitted_, std::memory_order_release);
     }
     applied_cv_.NotifyAll();
   }
-  return Status::OK();
+  return failure;
 }
 
 Status Follower::AwaitApplied(uint64_t seq,

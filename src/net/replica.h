@@ -47,10 +47,12 @@ class Follower {
   Follower& operator=(const Follower&) = delete;
 
   /// Applies every WAL record in `chunk.frames` (store:: frame bytes, in
-  /// ticket order): records at or below the applied mark are skipped as
+  /// ticket order): records at or below the submitted mark are skipped as
   /// duplicates, the rest are submitted to the replica and published
-  /// (Flush) before the mark advances. A corrupt frame fails
-  /// InvalidArgument with nothing past it applied.
+  /// (Flush) before the applied mark advances. A corrupt frame fails
+  /// InvalidArgument with nothing past it applied — but the prefix before
+  /// it IS published, so the puller's retry (which re-pulls from the
+  /// applied mark) never re-applies a record that already made it in.
   Status ApplyChunk(const LogChunkBody& chunk);
 
   /// Last leader ticket covered by the replica's published view.
@@ -71,6 +73,13 @@ class Follower {
   std::unique_ptr<serve::AncServer> server_;
 
   util::Mutex apply_mutex_;  ///< serializes ApplyChunk (puller + tests)
+  /// Last leader ticket *ingested* into the replica server — the dedup
+  /// horizon. Runs ahead of `applied_` when a chunk fails mid-way (or its
+  /// publish Flush fails): the puller re-pulls from the applied mark and
+  /// ApplyChunk skips everything at or below this mark, so a retried
+  /// record is never submitted twice (which would silently diverge the
+  /// replica from the leader).
+  uint64_t submitted_ ANC_GUARDED_BY(apply_mutex_) = 0;
   std::atomic<uint64_t> applied_{0};
 
   util::Mutex applied_mutex_;  ///< wait-side of the applied mark

@@ -1,7 +1,9 @@
 #include "net/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "net/socket.h"
 #include "obs/exporter.h"
@@ -96,7 +98,11 @@ void NetServer::AcceptLoop() {
     auto fd = AcceptConn(listen_fd_);
     if (!fd.ok()) {
       if (stop_.load(std::memory_order_acquire)) break;
-      continue;  // transient accept failure
+      // AcceptConn already retries EINTR, so this is a real failure —
+      // possibly a persistent one like EMFILE. Back off briefly instead of
+      // spinning the acceptor at 100% CPU until the condition clears.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
     }
     if (options_.conn_recv_timeout_ms > 0) {
       // Best-effort: a connection without the idle bound still serves
@@ -289,8 +295,13 @@ Status NetServer::Dispatch(Op op, ByteReader* in, std::string* body,
     case Op::kAwaitSeq: {
       AwaitBody await;
       ANC_RETURN_NOT_OK(DecodeAwaitBody(in, &await));
+      // Clamp the client-supplied timeout: the wait holds a worker thread,
+      // so an unbounded u32 (~49 days) would let a handful of requests for
+      // an unreachable seq occupy the whole pool and stall Stop().
+      const auto timeout = std::min<std::chrono::milliseconds::rep>(
+          await.timeout_ms, kWriteTimeout.count());
       ANC_RETURN_NOT_OK(backend_->AwaitSeq(
-          await.seq, std::chrono::milliseconds(await.timeout_ms)));
+          await.seq, std::chrono::milliseconds(timeout)));
       AppendWatermarkBody(body, backend_->Watermark());
       return Status::OK();
     }

@@ -16,6 +16,34 @@ AdmissionController::AdmissionController(AdmissionOptions options,
   }
 }
 
+void AdmissionController::EvictTenantsLocked(
+    std::chrono::steady_clock::time_point now, double burst) const {
+  // A bucket idle for burst/rate seconds has refilled to a full burst, so
+  // dropping it is lossless — a re-seen tenant starts with a full burst
+  // either way. One pass drops them all, amortizing the scan across the
+  // inserts that forced it; only when every bucket is still hot does the
+  // least-recently-refilled one (the closest to full) go instead.
+  const double full_after_s = burst / options_.tenant_quota_per_s;
+  auto oldest = tenants_.end();
+  for (auto it = tenants_.begin(); it != tenants_.end();) {
+    const double idle =
+        std::chrono::duration<double>(now - it->second.last_refill).count();
+    if (idle >= full_after_s) {
+      it = tenants_.erase(it);
+    } else {
+      if (oldest == tenants_.end() ||
+          it->second.last_refill < oldest->second.last_refill) {
+        oldest = it;
+      }
+      ++it;
+    }
+  }
+  if (tenants_.size() >= options_.tenant_quota_max_tenants &&
+      oldest != tenants_.end()) {
+    tenants_.erase(oldest);
+  }
+}
+
 Status AdmissionController::AdmitTenant(uint64_t tenant_id) const {
   if (options_.tenant_quota_per_s <= 0.0) return Status::OK();
   const double burst = options_.tenant_quota_burst > 0.0
@@ -25,6 +53,10 @@ Status AdmissionController::AdmitTenant(uint64_t tenant_id) const {
   bool admitted = false;
   {
     util::MutexLock lock(tenant_mutex_);
+    if (tenants_.size() >= options_.tenant_quota_max_tenants &&
+        tenants_.find(tenant_id) == tenants_.end()) {
+      EvictTenantsLocked(now, burst);
+    }
     auto [it, inserted] = tenants_.try_emplace(tenant_id);
     TokenBucket& bucket = it->second;
     if (inserted) {

@@ -43,6 +43,14 @@ struct AdmissionOptions {
   /// every tenant is admitted.
   double tenant_quota_per_s = 0.0;
   double tenant_quota_burst = 0.0;
+
+  /// Upper bound on tracked tenant buckets. Tenant ids arrive unauthenticated
+  /// on the wire, so without a bound an attacker cycling ids grows the bucket
+  /// map without limit (memory exhaustion). At capacity, inserting a new
+  /// tenant first drops every bucket idle long enough to have refilled to a
+  /// full burst (eviction is lossless: a re-seen tenant starts with a full
+  /// burst anyway), falling back to the least-recently-refilled bucket.
+  size_t tenant_quota_max_tenants = 4096;
 };
 
 /// Per-query options.
@@ -113,6 +121,12 @@ class AdmissionController {
     double tokens = 0.0;
     std::chrono::steady_clock::time_point last_refill;
   };
+
+  /// Makes room for one more tenant bucket (see tenant_quota_max_tenants):
+  /// drops every bucket idle long enough to have refilled to a full burst,
+  /// else the least-recently-refilled one.
+  void EvictTenantsLocked(std::chrono::steady_clock::time_point now,
+                          double burst) const ANC_REQUIRES(tenant_mutex_);
 
   AdmissionOptions options_;
   mutable std::atomic<double> latency_ewma_{0.0};

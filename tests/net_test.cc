@@ -512,6 +512,26 @@ TEST(NetServerTest, TenantQuotaRejectsWhenExhausted) {
   EXPECT_TRUE((*connected2)->Ping().ok());
 }
 
+TEST(NetServerTest, TenantQuotaMapIsBounded) {
+  serve::AdmissionOptions options;
+  options.tenant_quota_per_s = 0.001;  // effectively no refill
+  options.tenant_quota_burst = 1.0;
+  options.tenant_quota_max_tenants = 4;
+  serve::AdmissionController admission(options);
+
+  ASSERT_TRUE(admission.AdmitTenant(1).ok());
+  EXPECT_EQ(admission.AdmitTenant(1).code(), StatusCode::kUnavailable);
+
+  // Tenant ids are unauthenticated wire input: cycling ids must evict old
+  // buckets instead of growing the map without bound.
+  for (uint64_t id = 2; id <= 64; ++id) {
+    ASSERT_TRUE(admission.AdmitTenant(id).ok()) << "tenant " << id;
+  }
+  // Tenant 1's exhausted bucket was evicted along the way, so it is
+  // re-seen with a fresh burst — the documented cost of bounding the map.
+  EXPECT_TRUE(admission.AdmitTenant(1).ok());
+}
+
 TEST(NetServerTest, ServerSurvivesGarbageConnection) {
   GroundTruthGraph gt = SmallCommunityGraph();
   LeaderStack stack = LeaderStack::Start(gt.graph);
@@ -707,6 +727,60 @@ TEST(NetReplicationTest, FollowerNeverAheadOfLeaderAndBarrierHolds) {
 
   puller.Stop();
   follower_net.Stop();
+}
+
+TEST(NetReplicationTest, MidChunkFailurePublishesPrefixAndRetryIsIdempotent) {
+  GroundTruthGraph gt = SmallCommunityGraph();
+  std::vector<Activation> first = MakeActivations(gt.graph, 8);
+  std::vector<Activation> second =
+      MakeActivations(gt.graph, 8, /*seed=*/9, /*t0=*/100.0);
+
+  // A chunk whose second frame is corrupt: the decode fails only after the
+  // first record has already been ingested (the mid-chunk failure).
+  LogChunkBody torn;
+  store::AppendWalFrame(&torn.frames, first.data(), first.size(),
+                        /*first_seq=*/1);
+  const size_t prefix_bytes = torn.frames.size();
+  store::AppendWalFrame(&torn.frames, second.data(), second.size(),
+                        /*first_seq=*/9);
+  torn.frames[prefix_bytes + store::kWalFrameHeaderBytes] ^= 0x40;  // CRC
+
+  auto follower_created = Follower::Create(gt.graph, SmallConfig());
+  ASSERT_TRUE(follower_created.ok());
+  Follower& follower = **follower_created;
+  Status failed = follower.ApplyChunk(torn);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(follower.applied_leader_seq(), 8u)
+      << "the fully-applied prefix must be published before the error "
+         "surfaces, or the puller's retry re-applies it (divergence)";
+
+  // Retry with duplicate delivery of the applied record plus the clean
+  // tail — exactly what a re-pull from the published mark can ship.
+  LogChunkBody retry;
+  store::AppendWalFrame(&retry.frames, first.data(), first.size(),
+                        /*first_seq=*/1);
+  store::AppendWalFrame(&retry.frames, second.data(), second.size(),
+                        /*first_seq=*/9);
+  Status retried = follower.ApplyChunk(retry);
+  ASSERT_TRUE(retried.ok()) << retried.ToString();
+  EXPECT_EQ(follower.applied_leader_seq(), 16u);
+
+  // State must match a replica that applied the stream cleanly in one
+  // chunk: a double-applied record would silently diverge the labels.
+  auto clean_created = Follower::Create(gt.graph, SmallConfig());
+  ASSERT_TRUE(clean_created.ok());
+  Follower& clean = **clean_created;
+  LogChunkBody whole;
+  store::AppendWalFrame(&whole.frames, first.data(), first.size(),
+                        /*first_seq=*/1);
+  store::AppendWalFrame(&whole.frames, second.data(), second.size(),
+                        /*first_seq=*/9);
+  ASSERT_TRUE(clean.ApplyChunk(whole).ok());
+  std::shared_ptr<const serve::ClusterView> retried_view =
+      follower.server().View();
+  std::shared_ptr<const serve::ClusterView> clean_view = clean.server().View();
+  EXPECT_EQ(retried_view->Clusters(retried_view->DefaultLevel()).labels,
+            clean_view->Clusters(clean_view->DefaultLevel()).labels);
 }
 
 TEST(NetReplicationTest, FollowerRefusesWrites) {
