@@ -51,8 +51,25 @@
 //                           serving, directly when quiesced)
 //   store-stats             generation / marks / segments / sync counters
 //   wal-close               sync and close the store (refused while serving)
-//   recover <dir>           rebuild graph + index from checkpoint + WAL;
-//                           wal-open the same dir afterwards to continue
+//   recover <dir>           rebuild graph + index from checkpoint + WAL
+//                           (tier-aware: ANCTHD01 heads load through their
+//                           cold segments and the tier dir is swept);
+//                           wal-open / tier-open the same dir to continue
+//
+// Tiered storage (docs/storage_tiers.md) — larger-than-RAM operation:
+//   tier-open <dir> [budget]
+//                           wal-open plus a hot/cold tier under <dir>/tier:
+//                           per-edge columns spill to mmap'd cold segments
+//                           until the resident delta fits <budget> bytes
+//                           (0 = spill only at checkpoints), and
+//                           checkpoints rotate as incremental ANCTHD01
+//                           heads instead of full-index rewrites
+//   tier-stats              budget / resident / cold bytes, page + segment
+//                           counts, spill / promotion / compaction totals
+//   tier-compact            merge every live cold segment into one
+//   tier-verify             CRC-audit every live segment + the manifest
+//   wal-close               also detaches the tier (cold pages promoted
+//                           back to RAM first)
 //
 // Sharding (docs/sharding.md) — partitioned ingest over N writer shards:
 //   shard-start <k> [hash|ldg] [dir]
@@ -126,6 +143,8 @@
 #include "shard/partitioner.h"
 #include "shard/sharded_server.h"
 #include "store/store.h"
+#include "tier/head.h"
+#include "tier/tiered_store.h"
 #include "util/rng.h"
 
 using namespace anc;
@@ -135,6 +154,9 @@ namespace {
 struct Session {
   std::unique_ptr<Graph> graph;
   std::unique_ptr<AncIndex> index;
+  // Declared between index and store so teardown runs store → tier →
+  // index: the tier detaches its columns while the index is still alive.
+  std::unique_ptr<tier::TieredStore> tier;
   std::unique_ptr<store::DurableStore> store;
   std::unique_ptr<serve::AncServer> server;
   std::unique_ptr<shard::ShardedServer> sharded;
@@ -163,6 +185,10 @@ struct Session {
   bool RequireStore() const {
     if (store == nullptr) std::printf("error: no store (run wal-open)\n");
     return store != nullptr;
+  }
+  bool RequireTier() const {
+    if (tier == nullptr) std::printf("error: no tier (run tier-open)\n");
+    return tier != nullptr;
   }
   bool RequireRemote() const {
     if (remote == nullptr) std::printf("error: not connected (connect)\n");
@@ -435,6 +461,9 @@ bool HandleLine(Session& session, const std::string& line) {
       }
       if (!session.RequireStore()) return true;
       options.store = session.store.get();
+      // The writer drives tier maintenance (spill/compaction install) at
+      // its quiescent points and completes checkpoint installs.
+      options.tier = session.tier.get();
     }
     session.server =
         std::make_unique<serve::AncServer>(session.index.get(), options);
@@ -618,10 +647,60 @@ bool HandleLine(Session& session, const std::string& line) {
     std::printf("store open: %s generation %llu (checkpoint written)\n",
                 dir.c_str(),
                 static_cast<unsigned long long>(session.store->generation()));
+  } else if (command == "tier-open") {
+    if (!session.RequireIndex() || !session.RequireQuiesced()) return true;
+    if (session.store != nullptr) {
+      std::printf("error: store already open at %s (wal-close first)\n",
+                  session.store->dir().c_str());
+      return true;
+    }
+    std::string dir;
+    if (!(args >> dir)) {
+      std::printf("usage: tier-open <dir> [budget_bytes]\n");
+      return true;
+    }
+    tier::TierOptions tier_options;
+    args >> tier_options.tier_budget_bytes;
+    Result<std::unique_ptr<tier::TieredStore>> tier_opened =
+        tier::TieredStore::Open(dir, tier_options, &session.index->metrics());
+    if (!tier_opened.ok()) {
+      std::printf("error: %s\n", tier_opened.status().ToString().c_str());
+      return true;
+    }
+    session.tier = std::move(tier_opened.value());
+    session.index->AttachTier(session.tier.get());
+
+    store::StoreOptions options;
+    options.flush_interval_s = 0.05;
+    options.checkpoint_writer = session.tier->CheckpointWriter();
+    Result<std::unique_ptr<store::DurableStore>> opened =
+        store::DurableStore::Open(dir, *session.index,
+                                  store::Mark{0, session.covered_time},
+                                  options, &session.index->metrics());
+    if (!opened.ok()) {
+      std::printf("error: %s\n", opened.status().ToString().c_str());
+      session.tier->DetachAll();
+      session.tier.reset();
+      return true;
+    }
+    session.store = std::move(opened.value());
+    session.tier->OnCheckpointInstalled();  // Open's base head is durable
+    std::printf(
+        "tiered store open: %s generation %llu, budget %llu bytes "
+        "(tier under %s)\n",
+        dir.c_str(),
+        static_cast<unsigned long long>(session.store->generation()),
+        static_cast<unsigned long long>(tier_options.tier_budget_bytes),
+        session.tier->dir().c_str());
   } else if (command == "wal-close") {
     if (!session.RequireStore() || !session.RequireQuiesced()) return true;
     Status s = session.store->Sync();
     session.store.reset();
+    if (session.tier != nullptr) {
+      session.tier->DetachAll();
+      session.tier.reset();
+      std::printf("tier detached (cold pages promoted back to RAM)\n");
+    }
     std::printf(s.ok() ? "store closed\n" : "store closed (last sync: %s)\n",
                 s.ToString().c_str());
   } else if (command == "checkpoint") {
@@ -641,6 +720,7 @@ bool HandleLine(Session& session, const std::string& line) {
     Status s = session.store->WriteCheckpoint(*session.index,
                                               session.store->appended());
     if (s.ok()) {
+      if (session.tier != nullptr) session.tier->OnCheckpointInstalled();
       std::printf("checkpoint rotated: generation %llu\n",
                   static_cast<unsigned long long>(session.store->generation()));
     } else {
@@ -663,6 +743,49 @@ bool HandleLine(Session& session, const std::string& line) {
         static_cast<unsigned long long>(stats.syncs),
         static_cast<unsigned long long>(stats.checkpoints),
         stats.checkpoint_file.c_str());
+  } else if (command == "tier-stats") {
+    if (!session.RequireTier()) return true;
+    const tier::TierStats stats = session.tier->Stats();
+    std::printf(
+        "tier=%s budget=%llu resident=%llu cold=%llu bytes | "
+        "columns=%llu pages=%llu/%llu resident | segments=%llu | "
+        "spills=%llu (%llu pages, %llu bytes) promotions=%llu (%llu bytes) "
+        "| compactions=%llu segments_deleted=%llu\n",
+        session.tier->dir().c_str(),
+        static_cast<unsigned long long>(stats.budget_bytes),
+        static_cast<unsigned long long>(stats.resident_bytes),
+        static_cast<unsigned long long>(stats.cold_bytes),
+        static_cast<unsigned long long>(stats.columns),
+        static_cast<unsigned long long>(stats.pages_resident),
+        static_cast<unsigned long long>(stats.pages_total),
+        static_cast<unsigned long long>(stats.segments),
+        static_cast<unsigned long long>(stats.spills),
+        static_cast<unsigned long long>(stats.spilled_pages),
+        static_cast<unsigned long long>(stats.spilled_bytes),
+        static_cast<unsigned long long>(stats.promotions),
+        static_cast<unsigned long long>(stats.promoted_bytes),
+        static_cast<unsigned long long>(stats.compactions),
+        static_cast<unsigned long long>(stats.segments_deleted));
+  } else if (command == "tier-compact") {
+    // CompactNow runs on the caller's thread at a quiescent point; while
+    // serving, the writer owns those points (Maintain compacts in the
+    // background there).
+    if (!session.RequireTier() || !session.RequireQuiesced()) return true;
+    Status s = session.tier->CompactNow();
+    if (s.ok()) {
+      const tier::TierStats stats = session.tier->Stats();
+      std::printf("compacted: %llu live segments, %llu cold bytes\n",
+                  static_cast<unsigned long long>(stats.segments),
+                  static_cast<unsigned long long>(stats.cold_bytes));
+    } else {
+      std::printf("error: %s\n", s.ToString().c_str());
+    }
+  } else if (command == "tier-verify") {
+    if (!session.RequireTier()) return true;
+    Status s = session.tier->VerifySegments();
+    std::printf(s.ok() ? "tier verified: every live segment CRC-clean\n"
+                       : "error: %s\n",
+                s.ToString().c_str());
   } else if (command == "recover") {
     if (!session.RequireQuiesced()) return true;
     std::string dir;
@@ -670,12 +793,19 @@ bool HandleLine(Session& session, const std::string& line) {
       std::printf("usage: recover <dir>\n");
       return true;
     }
-    Result<store::RecoveredStore> recovered = store::Recover(dir);
+    // Tier-aware: loads ANCTHD01 heads through their cold segments, plain
+    // ANCIDX02 checkpoints as before, and sweeps crash wreckage from the
+    // tier directory.
+    Result<store::RecoveredStore> recovered = tier::Recover(dir);
     if (!recovered.ok()) {
       std::printf("error: %s\n", recovered.status().ToString().c_str());
       return true;
     }
     store::RecoveredStore& r = recovered.value();
+    if (session.tier != nullptr) {
+      session.tier->DetachAll();  // before the old index it feeds goes away
+      session.tier.reset();
+    }
     session.graph = std::move(r.graph);
     session.index = std::move(r.index);
     session.store.reset();

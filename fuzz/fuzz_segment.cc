@@ -1,0 +1,31 @@
+// Fuzz target: the ANCSEG01 cold-segment parser (tier/segment.h).
+//
+// Recovery and `anc_cli tier-verify` parse segment files straight off
+// disk, and a crash can leave arbitrarily torn bytes behind, so the
+// decoder must treat its input as hostile: garbage, truncation, oversized
+// directory counts, misaligned or overlapping page extents and corrupt
+// CRCs must all come back as a Status — never a crash, hang, overflow or
+// unbounded allocation (the kMaxSegmentPages / kMaxSegmentPageBytes
+// guards). Runs the decoder in both modes: directory-only (how a fresh
+// spill is opened) and with full payload verification (how recovery and
+// tier-verify open it).
+
+#include <cstdint>
+#include <vector>
+
+#include "tier/segment.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const char* bytes = reinterpret_cast<const char*>(data);
+  {
+    std::vector<anc::tier::SegmentPage> pages;
+    (void)anc::tier::DecodeSegment(bytes, size, &pages,
+                                   /*verify_pages=*/false);
+  }
+  {
+    std::vector<anc::tier::SegmentPage> pages;
+    (void)anc::tier::DecodeSegment(bytes, size, &pages,
+                                   /*verify_pages=*/true);
+  }
+  return 0;
+}

@@ -1,8 +1,8 @@
 // Seed-corpus generator: writes one well-formed exemplar per fuzz target
-// into <out_dir>/{wal,index,json,stream,rpc}/ using the real production
-// writers (WalAppender, DurableStore, SaveIndex, the net:: frame codec),
-// so the checked-in corpora under fuzz/corpus/ always decode on the
-// current format version.
+// into <out_dir>/{wal,index,json,stream,rpc,segment}/ using the real
+// production writers (WalAppender, DurableStore, SaveIndex, the net::
+// frame codec, tier::SegmentWriter), so the checked-in corpora under
+// fuzz/corpus/ always decode on the current format version.
 // Rerun after a format change:
 //
 //   cmake -B build -S . -DANC_FUZZ=ON && cmake --build build --target make_corpus
@@ -20,6 +20,7 @@
 #include "net/protocol.h"
 #include "store/store.h"
 #include "store/wal.h"
+#include "tier/segment.h"
 #include "util/status.h"
 
 namespace fs = std::filesystem;
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const fs::path out(argv[1]);
-  for (const char* sub : {"wal", "index", "json", "stream", "rpc"}) {
+  for (const char* sub : {"wal", "index", "json", "stream", "rpc", "segment"}) {
     fs::create_directories(out / sub);
   }
 
@@ -73,6 +74,50 @@ int main(int argc, char** argv) {
     fs::copy_file(path, out / "wal" / "torn",
                   fs::copy_options::overwrite_existing, ec);
     fs::resize_file(out / "wal" / "torn", size - 5, ec);
+  }
+
+  // segment/: a real sealed ANCSEG01 cold segment (several pages across
+  // two columns) plus a truncated copy (torn mid-compaction) and a
+  // payload-corrupted copy (bit rot under the directory CRC).
+  {
+    const std::string path = (out / "segment" / "sealed").string();
+    auto writer = anc::tier::SegmentWriter::Create(path);
+    if (!writer.ok()) return 1;
+    std::vector<double> payload(64);
+    for (size_t i = 0; i < payload.size(); ++i) payload[i] = 0.25 * i;
+    const uint32_t bytes =
+        static_cast<uint32_t>(payload.size() * sizeof(double));
+    ANC_CHECK(writer.value()
+                  ->AddPage(/*column_id=*/1, sizeof(double), /*page_index=*/0,
+                            payload.data(), bytes)
+                  .ok(),
+              "segment page");
+    ANC_CHECK(writer.value()
+                  ->AddPage(/*column_id=*/1, sizeof(double), /*page_index=*/1,
+                            payload.data(), bytes / 2)
+                  .ok(),
+              "segment page");
+    ANC_CHECK(writer.value()
+                  ->AddPage(/*column_id=*/2, sizeof(double), /*page_index=*/0,
+                            payload.data(), bytes)
+                  .ok(),
+              "segment page");
+    ANC_CHECK(writer.value()->Finish().ok(), "segment finish");
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    fs::copy_file(path, out / "segment" / "torn",
+                  fs::copy_options::overwrite_existing, ec);
+    fs::resize_file(out / "segment" / "torn", size - 7, ec);
+    fs::copy_file(path, out / "segment" / "badpage",
+                  fs::copy_options::overwrite_existing, ec);
+    std::fstream bad(out / "segment" / "badpage",
+                     std::ios::in | std::ios::out | std::ios::binary);
+    const auto at =
+        static_cast<std::streamoff>(anc::tier::kSegmentHeaderBytes + 3);
+    bad.seekg(at);
+    const int orig = bad.get();
+    bad.seekp(at);
+    bad.put(static_cast<char>(orig ^ 0x5a));
   }
 
   // index/: a real ANCIDX02 checkpoint and a real MANIFEST (produced by

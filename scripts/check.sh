@@ -11,6 +11,12 @@
 #   store-crash ASan/UBSan build, durability fault-injection suite only
 #               (store_test crash matrix + persistence corruption tests,
 #               docs/durability.md)
+#   tier        ASan/UBSan build, tiered-storage suite only: segment
+#               round-trip/corruption units, budgeted spill + compaction
+#               byte-identity differentials, tiered recovery and the
+#               crash-seam matrix (mid-segment-write, pre-manifest-swap,
+#               mid-compaction), and the server-driven quiescent-point
+#               maintenance test (docs/storage_tiers.md)
 #   shard       TSan build, sharding suite only: partitioner/router/
 #               ShardedServer differential + recovery tests and the
 #               racing-producers scatter-gather stress in
@@ -36,7 +42,8 @@
 #               checked-in corpora (plus bounded deterministic mutations)
 #               by the standalone driver: WAL frames, checkpoints +
 #               MANIFEST, obs JSON, activation streams. Malformed input
-#               must come back as a Status, never a crash/leak/UB.
+#               must come back as a Status, never a crash/leak/UB. Also
+#               covers ANCSEG01 cold-segment parsing (fuzz_segment).
 #
 # Usage: scripts/check.sh [--fast] [config ...]
 #   With no arguments every configuration runs. Naming one or more configs
@@ -84,6 +91,20 @@ run_one() {
       cmake --build "$dir" -j "$JOBS" --target store_test persistence_test
       ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
         -R '^(WalTest|StoreCrashMatrixTest|StoreRecoveryTest|DurableServeTest|SerializationTest)\.'
+      ;;
+    tier)
+      # The tiered-storage suite under ASan: cold-segment format units,
+      # budgeted spill and compaction byte-identity differentials against
+      # the untiered index, tiered recovery, the tier crash-seam matrix,
+      # and the AncServer quiescent-point maintenance path — without
+      # re-running the full tier-1 battery.
+      local dir=build-asan
+      echo "=== [$dir] tier (tiered-storage suite under ASan) ==="
+      cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DANC_SANITIZE=address
+      cmake --build "$dir" -j "$JOBS" --target tier_test store_test
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+        -R '^(SegmentTest|TieredStoreTest|TieredHeadTest|TierRecoveryTest|TierCrashMatrixTest|TierServeTest|StoreRecoveryTest)\.'
       ;;
     shard)
       # The sharding suite under TSan: partition/router unit tests, the
@@ -164,9 +185,10 @@ run_one() {
       cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DANC_FUZZ=ON -DANC_SANITIZE=address
       cmake --build "$dir" -j "$JOBS" \
-        --target fuzz_wal fuzz_index fuzz_json fuzz_stream fuzz_rpc
+        --target fuzz_wal fuzz_index fuzz_json fuzz_stream fuzz_rpc \
+                 fuzz_segment
       local target
-      for target in wal index json stream rpc; do
+      for target in wal index json stream rpc segment; do
         echo "--- fuzz_$target over fuzz/corpus/$target ---"
         ASAN_OPTIONS=detect_leaks=1 \
           ANC_FUZZ_MUTATIONS="${ANC_FUZZ_MUTATIONS:-256}" \
@@ -175,7 +197,7 @@ run_one() {
       ;;
     *)
       echo "unknown configuration '$1'" >&2
-      echo "known: default nometrics asan tsan invariants store-crash shard net obs-trace tsa fuzz-smoke" >&2
+      echo "known: default nometrics asan tsan invariants store-crash tier shard net obs-trace tsa fuzz-smoke" >&2
       exit 2
       ;;
   esac

@@ -19,7 +19,7 @@ Status ActivenessStore::Activate(EdgeId e, double t, double* delta) {
   }
   // Increase of a_t(e) by 1 (Eq. 1) == increase of a*(e) by 1/g(t, t*).
   const double increment = std::exp(lambda_ * (t - anchor_time_));
-  anchored_[e] += increment;
+  anchored_.Mut(e) += increment;
   if (delta != nullptr) *delta = increment;
   return Status::OK();
 }
@@ -40,7 +40,7 @@ Status ActivenessStore::RestoreAnchored(std::vector<double> anchored,
   if (anchor_time > last_time) {
     return Status::InvalidArgument("anchor_time must be <= last_time");
   }
-  anchored_ = std::move(anchored);
+  anchored_.Assign(anchored);
   anchor_time_ = anchor_time;
   last_time_ = last_time;
   since_rescale_ = 0;
@@ -49,7 +49,7 @@ Status ActivenessStore::RestoreAnchored(std::vector<double> anchored,
 
 void ActivenessStore::Rescale(double t) {
   const double g = GlobalFactor(t);
-  for (double& a : anchored_) a *= g;
+  anchored_.ForEachMutable([g](size_t, double& a) { a *= g; });
   anchor_time_ = t;
   since_rescale_ = 0;
   ++rescale_count_;

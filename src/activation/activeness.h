@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "tier/column.h"
 #include "util/status.h"
 
 namespace anc::check {
@@ -51,6 +52,13 @@ class ActivenessStore {
   double anchor_time() const { return anchor_time_; }
   double last_time() const { return last_time_; }
   uint32_t num_edges() const { return static_cast<uint32_t>(anchored_.size()); }
+
+  /// Hands the anchored-activeness array to a storage tier
+  /// (docs/storage_tiers.md): cold pages of a*(e) then live in mmap'd
+  /// segments and promote transparently on the next write.
+  void AttachTier(tier::ColumnHost* host) {
+    anchored_.Attach(host, tier::kColAnchored);
+  }
 
   /// Global decay factor g(t, t*) = e^{-lambda (t - t*)}.
   double GlobalFactor(double t) const {
@@ -118,7 +126,7 @@ class ActivenessStore {
   uint64_t since_rescale_ = 0;
   uint64_t rescale_interval_ = 1ull << 20;
   uint64_t rescale_count_ = 0;
-  std::vector<double> anchored_;
+  tier::Column<double> anchored_;
   std::function<void(double)> rescale_hook_;
 };
 

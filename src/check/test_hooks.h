@@ -21,7 +21,7 @@ class TestHooks {
   /// NaN value) without touching the derived sigma caches.
   static void SetAnchoredActiveness(SimilarityEngine& engine, EdgeId e,
                                     double value) {
-    engine.activeness_.anchored_[e] = value;
+    engine.activeness_.anchored_.Set(e, value);
   }
 
   /// Desynchronizes the A(v) cache from its definition.
@@ -33,18 +33,18 @@ class TestHooks {
   /// Desynchronizes the num(e) cache (breaks PosM/NeuM sigma agreement).
   static void SetSigmaNumerator(SimilarityEngine& engine, EdgeId e,
                                 double value) {
-    engine.sigma_numerator_[e] = value;
+    engine.sigma_numerator_.Set(e, value);
   }
 
   /// Overwrites a PosM similarity entry, bypassing the clamp.
   static void SetSimilarity(SimilarityEngine& engine, EdgeId e, double value) {
-    engine.similarity_[e] = value;
+    engine.similarity_.Set(e, value);
   }
 
   /// Overwrites a maintained per-level vote count.
   static void SetVoteCount(PyramidIndex& index, uint32_t level, EdgeId e,
                            uint16_t votes) {
-    index.vote_counts_[level - 1][e] = votes;
+    index.vote_counts_[level - 1].Set(e, votes);
   }
 
   /// Reassigns a node's Voronoi cell without repairing the SPT.

@@ -172,6 +172,18 @@ class AncIndex {
   /// Heap bytes of index + similarity state (graph excluded, as in Fig. 6).
   size_t MemoryBytes() const;
 
+  /// Hands every tierable per-edge array (anchored activeness, similarity,
+  /// sigma numerators, per-level vote tallies, per-partition same-seed
+  /// bits) to a storage tier (docs/storage_tiers.md). Call once, while
+  /// quiescent, before serving; the host (tier::TieredStore) must outlive
+  /// the attachment or detach first. Queries and Apply see no behavioral
+  /// difference: cold pages are read from their mmap'd segments and the
+  /// first write promotes a page back to RAM.
+  void AttachTier(tier::ColumnHost* host) {
+    engine_.AttachTier(host);
+    index_->AttachTier(host);
+  }
+
   // --- Observability (docs/observability.md) -----------------------------
 
   /// Merged snapshot of every anc.* metric this index and its subsystems

@@ -87,8 +87,45 @@ std::string BackendHealthJson(const char* role, const WatermarkBody& mark,
 
 // --- ServerBackend ----------------------------------------------------------
 
-ServerBackend::ServerBackend(serve::AncServer* server, Options options)
-    : server_(server), options_(options) {}
+ServerBackend::ServerBackend(serve::AncServer* server, Options options,
+                             obs::MetricsRegistry* metrics)
+    : server_(server), options_(options), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    repl_log_bytes_id_ = metrics_->Gauge("anc.net.repl_log_bytes");
+  }
+}
+
+void ServerBackend::UpdateLogGaugeLocked() {
+  if (metrics_ != nullptr) {
+    metrics_->Set(repl_log_bytes_id_, static_cast<int64_t>(log_bytes_));
+  }
+}
+
+void ServerBackend::TrimAckedLocked() {
+  if (options_.follower_expiry.count() > 0) {
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = followers_.begin(); it != followers_.end();) {
+      if (now - it->second.last_seen > options_.follower_expiry) {
+        it = followers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (followers_.empty()) return;
+  uint64_t min_acked = UINT64_MAX;
+  for (const auto& [id, ack] : followers_) {
+    min_acked = std::min(min_acked, ack.acked_seq);
+  }
+  // Every live follower holds tickets <= min_acked; shipping them again
+  // is impossible (pulls are strictly after the ack), so the entries are
+  // dead weight.
+  while (!log_.empty() && log_.front().last_seq <= min_acked) {
+    log_bytes_ -= log_.front().frame.size();
+    log_base_seq_ = std::max(log_base_seq_, log_.front().last_seq);
+    log_.pop_front();
+  }
+}
 
 Result<SubmitAck> ServerBackend::Submit(const Activation* data, size_t count) {
   // Ticket issue and log append are one critical section: once the batch
@@ -118,6 +155,7 @@ Result<SubmitAck> ServerBackend::Submit(const Activation* data, size_t count) {
         log_base_seq_ = log_.front().last_seq;
         log_.pop_front();
       }
+      UpdateLogGaugeLocked();
     } else {
       // The queue skipped some entries mid-batch; which tickets map to
       // which activations is no longer known, so the log has a hole.
@@ -125,6 +163,7 @@ Result<SubmitAck> ServerBackend::Submit(const Activation* data, size_t count) {
       log_base_seq_ = std::max(log_base_seq_, last_seq);
       log_bytes_ = 0;
       log_.clear();
+      UpdateLogGaugeLocked();
     }
   }
   return ack;
@@ -231,6 +270,17 @@ Result<LogChunkBody> ServerBackend::PullLog(const PullLogBody& req) {
   LogChunkBody chunk;
   chunk.ship_seq = ship_mark;
   util::MutexLock lock(log_mutex_);
+  if (req.follower_id != 0) {
+    // The pull is the ack: the follower owns everything <= after_seq, so
+    // record it (even when this pull then fails the trimmed-log check —
+    // the ack is true regardless) and drop whatever every live follower
+    // has acked.
+    FollowerAck& ack = followers_[req.follower_id];
+    ack.acked_seq = std::max(ack.acked_seq, req.after_seq);
+    ack.last_seen = std::chrono::steady_clock::now();
+    TrimAckedLocked();
+    UpdateLogGaugeLocked();
+  }
   if (req.after_seq < log_base_seq_) {
     return Status::FailedPrecondition(
         "replication log trimmed past seq " + std::to_string(req.after_seq) +

@@ -4,10 +4,12 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "net/protocol.h"
+#include "obs/metrics.h"
 #include "obs/stats.h"
 #include "serve/server.h"
 #include "shard/sharded_server.h"
@@ -87,14 +89,26 @@ struct ServerBackendOptions {
     /// ahead of what leader recovery reproduces. (The serve layer does not
     /// expose its policy; whoever wires the backend knows it.)
     bool ship_durable_only = false;
+    /// Ack-based log truncation: a follower that identifies itself in
+    /// PullLog (follower_id != 0) acks everything <= after_seq, and
+    /// entries acked by every live follower are dropped eagerly instead
+    /// of waiting for the byte cap. A follower that has not pulled within
+    /// this window no longer pins the log (it re-bootstraps if it comes
+    /// back too late). 0 disables expiry — a vanished follower then pins
+    /// the log until max_log_bytes forces the trim.
+    std::chrono::milliseconds follower_expiry{10000};
 };
 
 class ServerBackend : public Backend {
  public:
   using Options = ServerBackendOptions;
 
-  /// `server` must be started and outlive the backend.
-  explicit ServerBackend(serve::AncServer* server, Options options = {});
+  /// `server` must be started and outlive the backend. `metrics`
+  /// (optional) receives the anc.net.repl_log_bytes gauge and must
+  /// outlive the backend — pass the NetServer's registry so the gauge
+  /// rides the same Prometheus exposition as the front-end counters.
+  explicit ServerBackend(serve::AncServer* server, Options options = {},
+                         obs::MetricsRegistry* metrics = nullptr);
 
   Result<SubmitAck> Submit(const Activation* data, size_t count) override;
   Status Flush(std::chrono::milliseconds timeout) override;
@@ -118,17 +132,32 @@ class ServerBackend : public Backend {
     std::string frame;  ///< one store:: WAL frame
   };
 
+  struct FollowerAck {
+    uint64_t acked_seq = 0;
+    std::chrono::steady_clock::time_point last_seen;
+  };
+
   /// Pins the published view after enforcing the min_seq barrier.
   Result<std::shared_ptr<const serve::ClusterView>> Pin(uint64_t min_seq);
 
+  /// Drops expired followers, then trims every entry acked by all live
+  /// ones. No-op while no live follower is registered (nothing proves the
+  /// entries were shipped anywhere).
+  void TrimAckedLocked() ANC_REQUIRES(log_mutex_);
+  void UpdateLogGaugeLocked() ANC_REQUIRES(log_mutex_);
+
   serve::AncServer* server_;
   Options options_;
+  obs::MetricsRegistry* metrics_;
+  obs::GaugeId repl_log_bytes_id_;
 
   util::Mutex log_mutex_;
   std::deque<LogEntry> log_ ANC_GUARDED_BY(log_mutex_);
   size_t log_bytes_ ANC_GUARDED_BY(log_mutex_) = 0;
   /// Tickets <= this were trimmed out of the log.
   uint64_t log_base_seq_ ANC_GUARDED_BY(log_mutex_) = 0;
+  /// follower_id -> latest ack, for ack-keyed truncation.
+  std::map<uint64_t, FollowerAck> followers_ ANC_GUARDED_BY(log_mutex_);
 };
 
 /// Leader backend over a ShardedServer: writes route through the sharded

@@ -55,7 +55,8 @@ class Client {
   Result<std::string> HealthJson();
   /// Prometheus text exposition of the server's metrics (the /metrics op).
   Result<std::string> Metrics();
-  Result<LogChunkBody> PullLog(uint64_t after_seq, uint32_t max_records = 64);
+  Result<LogChunkBody> PullLog(uint64_t after_seq, uint32_t max_records = 64,
+                               uint64_t follower_id = 0);
 
   // --- Introspection ------------------------------------------------------
   /// Response flags of the last completed call (kFlagCacheHit /

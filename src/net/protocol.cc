@@ -330,11 +330,18 @@ Status DecodeTextBody(ByteReader* in, TextBody* out) {
 void AppendPullLogBody(std::string* out, const PullLogBody& body) {
   PutU64(out, body.after_seq);
   PutU32(out, body.max_records);
+  PutU64(out, body.follower_id);
 }
 
 Status DecodePullLogBody(ByteReader* in, PullLogBody* out) {
   ANC_RETURN_NOT_OK(in->ReadU64(&out->after_seq));
-  return in->ReadU32(&out->max_records);
+  ANC_RETURN_NOT_OK(in->ReadU32(&out->max_records));
+  // Appended after the first release of the op: absent means anonymous.
+  out->follower_id = 0;
+  if (in->remaining() >= sizeof(uint64_t)) {
+    ANC_RETURN_NOT_OK(in->ReadU64(&out->follower_id));
+  }
+  return Status::OK();
 }
 
 void AppendLogChunkBody(std::string* out, const LogChunkBody& body) {

@@ -306,7 +306,8 @@ void ReplicationPuller::Loop() {
       continue;
     }
     auto chunk = leader_->PullLog(follower_->applied_leader_seq(),
-                                  options_.max_records_per_pull);
+                                  options_.max_records_per_pull,
+                                  options_.follower_id);
     pulls_.fetch_add(1, std::memory_order_relaxed);
     // Re-check the pause between pull and apply: a pull in flight when
     // Pause() landed may carry records written after it, and a "stalled"

@@ -141,6 +141,11 @@ struct ReplicationPullerOptions {
   /// Idle poll cadence when the leader has nothing new.
   std::chrono::milliseconds poll_interval{2};
   uint32_t max_records_per_pull = 256;
+  /// Stable identity reported with every pull so the leader can truncate
+  /// its replication log up to the slowest live follower's ack. 0 =
+  /// anonymous (never holds the leader's log back, never enables
+  /// ack-based truncation for this puller).
+  uint64_t follower_id = 0;
 };
 
 class ReplicationPuller {

@@ -40,10 +40,10 @@ PyramidIndex::PyramidIndex(const Graph& g, std::vector<double> weights,
 
   const uint32_t k = params_.num_pyramids;
   partitions_.resize(static_cast<size_t>(k) * num_levels_);
-  same_seed_bits_.assign(partitions_.size(),
-                         std::vector<uint8_t>(g.NumEdges(), 0));
-  vote_counts_.assign(num_levels_,
-                      std::vector<uint16_t>(g.NumEdges(), 0));
+  same_seed_bits_.resize(partitions_.size());
+  for (auto& bits : same_seed_bits_) bits.assign(g.NumEdges(), 0);
+  vote_counts_.resize(num_levels_);
+  for (auto& votes : vote_counts_) votes.assign(g.NumEdges(), 0);
   seed_changed_scratch_.resize(partitions_.size());
   watched_.assign(g.NumNodes(), 0);
   pending_changes_.resize(num_levels_);
@@ -113,9 +113,9 @@ void PyramidIndex::InitVotes(uint32_t pyramid, uint32_t level) {
   for (EdgeId e = 0; e < graph_->NumEdges(); ++e) {
     const auto& [u, v] = graph_->Endpoints(e);
     const uint8_t same = part.SameSeed(u, v) ? 1 : 0;
-    if (same && !bits[e]) ++votes[e];
-    if (!same && bits[e]) --votes[e];
-    bits[e] = same;
+    if (same && !bits[e]) ++votes.Mut(e);
+    if (!same && bits[e]) --votes.Mut(e);
+    bits.Set(e, same);
   }
 }
 
@@ -123,10 +123,9 @@ void PyramidIndex::RefreshEdgeBit(uint32_t pyramid, uint32_t level, EdgeId e) {
   const size_t slot = PartitionSlot(pyramid, level);
   const auto& [u, v] = graph_->Endpoints(e);
   const uint8_t same = partitions_[slot].SameSeed(u, v) ? 1 : 0;
-  uint8_t& bit = same_seed_bits_[slot][e];
-  if (same == bit) return;
-  bit = same;
-  auto& votes = vote_counts_[level - 1][e];
+  if (same == same_seed_bits_[slot][e]) return;
+  same_seed_bits_[slot].Set(e, same);
+  uint16_t& votes = vote_counts_[level - 1].Mut(e);
   const bool was_passing = votes >= vote_threshold_;
   if (same) {
     ++votes;
@@ -362,12 +361,11 @@ std::vector<std::vector<NodeId>> PyramidIndex::SeedSets() const {
 size_t PyramidIndex::MemoryBytes() const {
   size_t bytes = weights_.capacity() * sizeof(double);
   for (const auto& part : partitions_) bytes += part.MemoryBytes();
-  for (const auto& bits : same_seed_bits_) {
-    bytes += bits.capacity() * sizeof(uint8_t);
-  }
-  for (const auto& votes : vote_counts_) {
-    bytes += votes.capacity() * sizeof(uint16_t);
-  }
+  // Tiered columns count their resident pages only: cold pages live in
+  // mmap'd segments, which is the point of the accounting (Fig. 6 measures
+  // RAM).
+  for (const auto& bits : same_seed_bits_) bytes += bits.ResidentBytes();
+  for (const auto& votes : vote_counts_) bytes += votes.ResidentBytes();
   return bytes;
 }
 

@@ -9,6 +9,7 @@
 #include "graph/graph.h"
 #include "obs/metrics.h"
 #include "pyramid/voronoi.h"
+#include "tier/column.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -172,7 +173,24 @@ class PyramidIndex {
   /// Clusters / LocalCluster / Zoom byte-identically to this index at the
   /// moment of the copy. O(levels * m) flat copies.
   std::vector<std::vector<uint16_t>> ExportVoteCounts() const {
-    return vote_counts_;
+    std::vector<std::vector<uint16_t>> out;
+    out.reserve(vote_counts_.size());
+    for (const auto& votes : vote_counts_) out.push_back(votes.ToVector());
+    return out;
+  }
+
+  /// Hands the vote tallies and same-seed bits to a storage tier
+  /// (docs/storage_tiers.md): pages of inactive edges spill to mmap'd cold
+  /// segments. The partition trees and the weight array stay resident (the
+  /// SPT repairs walk them on every update).
+  void AttachTier(tier::ColumnHost* host) {
+    for (uint32_t l = 0; l < num_levels_; ++l) {
+      vote_counts_[l].Attach(host, static_cast<uint16_t>(tier::kColVotesBase + l));
+    }
+    for (size_t slot = 0; slot < same_seed_bits_.size(); ++slot) {
+      same_seed_bits_[slot].Attach(
+          host, static_cast<uint16_t>(tier::kColBitsBase + slot));
+    }
   }
 
   /// Seed sets in the layout the seed-injected constructor accepts.
@@ -206,8 +224,8 @@ class PyramidIndex {
   // same_seed_bits_[slot][e]: 1 iff partition `slot` currently has both
   // endpoints of e under one seed. Differencing these bits keeps
   // vote_counts_ exact under incremental updates.
-  std::vector<std::vector<uint8_t>> same_seed_bits_;
-  std::vector<std::vector<uint16_t>> vote_counts_;  // [level-1][edge]
+  std::vector<tier::Column<uint8_t>> same_seed_bits_;
+  std::vector<tier::Column<uint16_t>> vote_counts_;  // [level-1][edge]
   std::unique_ptr<ThreadPool> pool_;
   // Per-slot scratch for seed-change reporting (avoids reallocating in the
   // update hot path).

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "store/store.h"
+#include "tier/tiered_store.h"
 
 namespace anc::serve {
 
@@ -176,6 +177,13 @@ void AncServer::WriterLoop() {
         ServiceCheckpoint(resolved_seq, last_applied_time);
         applied_since_checkpoint = 0;
       }
+      // Idle wakeups are quiescent points: let the tier demote pages that
+      // decayed under the budget and service any finished compaction. A
+      // spill failure freezes tiering but never stops live serving.
+      if (options_.tier != nullptr) {
+        const Status tiered = options_.tier->Maintain();
+        if (!tiered.ok()) RecordStoreError(tiered);
+      }
       continue;
     }
 
@@ -261,6 +269,13 @@ void AncServer::WriterLoop() {
       ServiceCheckpoint(resolved_seq, last_applied_time);
       applied_since_checkpoint = 0;
     }
+    // Post-batch quiescent point: demotion/compaction never overlaps an
+    // Apply, so the tier can move pages without synchronizing with reads
+    // of the live index (docs/storage_tiers.md).
+    if (options_.tier != nullptr) {
+      const Status tiered = options_.tier->Maintain();
+      if (!tiered.ok()) RecordStoreError(tiered);
+    }
   }
   // Final quiescent publish: the watermark lands on everything resolved.
   publish();
@@ -284,6 +299,11 @@ void AncServer::ServiceCheckpoint(uint64_t seq, double time) {
   const Status status =
       store_->WriteCheckpoint(*index_, store::Mark{seq, time});
   if (!status.ok()) RecordStoreError(status);
+  if (status.ok() && options_.tier != nullptr) {
+    // The manifest now points at the new head: its segment refs are
+    // durable roots, and segments referenced only by the old head can go.
+    options_.tier->OnCheckpointInstalled();
+  }
   {
     util::MutexLock lock(checkpoint_mutex_);
     ++checkpoints_done_;

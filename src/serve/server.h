@@ -21,6 +21,10 @@ namespace anc::store {
 class DurableStore;
 }  // namespace anc::store
 
+namespace anc::tier {
+class TieredStore;
+}  // namespace anc::tier
+
 namespace anc::serve {
 
 /// When an accepted activation becomes durable (docs/durability.md).
@@ -72,6 +76,16 @@ struct ServeOptions {
   /// field), so a sharded deployment's interleaved spans attribute to the
   /// right replica. < 0 (the standalone default) omits the field.
   int shard_ordinal = -1;
+
+  /// Hot/cold tiering (docs/storage_tiers.md): when set, the writer calls
+  /// tier->Maintain() at quiescent points (post-batch and on idle wakeups)
+  /// to demote cold pages and service compactions, and
+  /// tier->OnCheckpointInstalled() after every successful checkpoint so
+  /// newly referenced segments become durable roots. Pair with
+  /// StoreOptions::checkpoint_writer = tier->CheckpointWriter() so
+  /// checkpoints rotate as incremental segment promotions instead of full
+  /// index rewrites. Must outlive the server.
+  tier::TieredStore* tier = nullptr;
 };
 
 /// The concurrent serving engine: a batched single-writer ingest pipeline

@@ -41,7 +41,7 @@ SimilarityEngine::SimilarityEngine(const Graph& graph, SimilarityParams params,
     node_activity_[v] = RecomputeNodeActivity(v);
   }
   for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
-    sigma_numerator_[e] = RecomputeSigmaNumerator(e);
+    sigma_numerator_.Set(e, RecomputeSigmaNumerator(e));
   }
 }
 
@@ -56,14 +56,14 @@ void SimilarityEngine::InitializeStatic(uint32_t rep) {
     node_activity_[v] = RecomputeNodeActivity(v);
   }
   for (EdgeId e = 0; e < graph_->NumEdges(); ++e) {
-    sigma_numerator_[e] = RecomputeSigmaNumerator(e);
+    sigma_numerator_.Set(e, RecomputeSigmaNumerator(e));
   }
-  std::fill(similarity_.begin(), similarity_.end(), 1.0);
+  similarity_.Fill(1.0);
   for (uint32_t round = 0; round < rep; ++round) ReinforceAllEdges();
 }
 
 void SimilarityEngine::RecomputeFromActiveness(uint32_t rep) {
-  std::fill(similarity_.begin(), similarity_.end(), 1.0);
+  similarity_.Fill(1.0);
   for (uint32_t round = 0; round < rep; ++round) ReinforceAllEdges();
 }
 
@@ -142,19 +142,21 @@ double SimilarityEngine::RecomputeSigmaNumerator(EdgeId e) const {
 
 void SimilarityEngine::OnRescale(double factor) {
   for (double& a : node_activity_) a *= factor;
-  for (double& s : sigma_numerator_) s *= factor;
+  sigma_numerator_.ForEachMutable([factor](size_t, double& s) { s *= factor; });
   // Re-apply the clamp while scaling: a long-idle network must not
   // underflow similarities to zero (infinite distance weights). Clamped
   // edges break the uniform scale, so they are reported to the callback
   // for individual downstream repair.
   std::vector<EdgeId> clamped;
-  for (EdgeId e = 0; e < similarity_.size(); ++e) {
-    const double scaled = similarity_[e] * factor;
-    similarity_[e] = scaled;
-    ClampSimilarity(e);
-    if (similarity_[e] != scaled) clamped.push_back(e);
-  }
+  const double lo = params_.min_similarity;
+  const double hi = params_.max_similarity;
+  similarity_.ForEachMutable([factor, lo, hi, &clamped](size_t e, double& s) {
+    const double scaled = s * factor;
+    s = std::clamp(scaled, lo, hi);
+    if (s != scaled) clamped.push_back(static_cast<EdgeId>(e));
+  });
   if (obs::kMetricsEnabled && metrics_ != nullptr) {
+    metrics_->Add(m_.clamp_hits, clamped.size());
     metrics_->Add(m_.rescale_events);
     metrics_->Add(m_.rescale_clamped_edges, clamped.size());
   }
@@ -179,8 +181,8 @@ void SimilarityEngine::BumpActiveness(EdgeId e, double delta) {
     } else if (nu[i].node > nv[j].node) {
       ++j;
     } else {
-      sigma_numerator_[nu[i].edge] += delta;
-      sigma_numerator_[nv[j].edge] += delta;
+      sigma_numerator_.Mut(nu[i].edge) += delta;
+      sigma_numerator_.Mut(nv[j].edge) += delta;
       numerator_updates += 2;
       ++i;
       ++j;
@@ -262,7 +264,7 @@ void SimilarityEngine::Reinforce(EdgeId e) {
   // result does not depend on endpoint order.
   const double delta =
       TriggerDelta(e, u, v, counts_ptr) + TriggerDelta(e, v, u, counts_ptr);
-  similarity_[e] += delta;
+  similarity_.Mut(e) += delta;
   ClampSimilarity(e);
   if (record) {
     metrics_->Add(m_.reinforcements);
@@ -273,10 +275,10 @@ void SimilarityEngine::Reinforce(EdgeId e) {
 }
 
 void SimilarityEngine::ClampSimilarity(EdgeId e) {
-  const double raw = similarity_[e];
-  similarity_[e] =
-      std::clamp(raw, params_.min_similarity, params_.max_similarity);
-  if (obs::kMetricsEnabled && metrics_ != nullptr && similarity_[e] != raw) {
+  double& s = similarity_.Mut(e);
+  const double raw = s;
+  s = std::clamp(raw, params_.min_similarity, params_.max_similarity);
+  if (obs::kMetricsEnabled && metrics_ != nullptr && s != raw) {
     metrics_->Add(m_.clamp_hits);
   }
 }
@@ -289,7 +291,7 @@ SimilarityEngine::Snapshot SimilarityEngine::TakeSnapshot() const {
   for (EdgeId e = 0; e < graph_->NumEdges(); ++e) {
     snapshot.anchored_activeness[e] = activeness_.Anchored(e);
   }
-  snapshot.similarity = similarity_;
+  snapshot.similarity = similarity_.ToVector();
   return snapshot;
 }
 
@@ -302,13 +304,13 @@ Status SimilarityEngine::Restore(const Snapshot& snapshot) {
   ANC_RETURN_NOT_OK(activeness_.RestoreAnchored(snapshot.anchored_activeness,
                                                 snapshot.anchor_time,
                                                 snapshot.last_time));
-  similarity_ = snapshot.similarity;
+  similarity_.Assign(snapshot.similarity);
   for (EdgeId e = 0; e < graph_->NumEdges(); ++e) ClampSimilarity(e);
   for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
     node_activity_[v] = RecomputeNodeActivity(v);
   }
   for (EdgeId e = 0; e < graph_->NumEdges(); ++e) {
-    sigma_numerator_[e] = RecomputeSigmaNumerator(e);
+    sigma_numerator_.Set(e, RecomputeSigmaNumerator(e));
   }
   return Status::OK();
 }

@@ -167,6 +167,16 @@ class SimilarityEngine {
   /// rebuilding the sigma caches. O(n + sum_e min-deg).
   Status Restore(const Snapshot& snapshot);
 
+  /// Hands the per-edge arrays (anchored activeness, similarity, sigma
+  /// numerators) to a storage tier (docs/storage_tiers.md): inactive pages
+  /// spill to mmap'd cold segments under the host's budget and promote
+  /// transparently on the next write.
+  void AttachTier(tier::ColumnHost* host) {
+    activeness_.AttachTier(host);
+    similarity_.Attach(host, tier::kColSimilarity);
+    sigma_numerator_.Attach(host, tier::kColSigma);
+  }
+
   /// Registers a callback fired with the rescale factor g after a batched
   /// rescale has been folded into the engine's anchored state. Consumers
   /// holding derived NegM state (the pyramid index's distance weights,
@@ -213,9 +223,11 @@ class SimilarityEngine {
   const Graph* graph_;
   SimilarityParams params_;
   ActivenessStore activeness_;
-  std::vector<double> node_activity_;    // A(v), anchored
-  std::vector<double> sigma_numerator_;  // num(e), anchored
-  std::vector<double> similarity_;       // S*(e), anchored
+  // A(v) stays resident (per-node, hot on every sigma lookup); the
+  // per-edge arrays are tierable columns (docs/storage_tiers.md).
+  std::vector<double> node_activity_;          // A(v), anchored
+  tier::Column<double> sigma_numerator_;       // num(e), anchored
+  tier::Column<double> similarity_;            // S*(e), anchored
   std::function<void(double, const std::vector<EdgeId>&)> rescale_callback_;
 
   obs::MetricsRegistry* metrics_ = nullptr;

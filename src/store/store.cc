@@ -419,7 +419,9 @@ Status DurableStore::WriteCheckpoint(const AncIndex& index, Mark at) {
     const std::string checkpoint_file = CheckpointName(generation, at.seq);
     const std::string checkpoint_path = dir_ + "/" + checkpoint_file;
     const std::string tmp = checkpoint_path + ".tmp";
-    status = SaveIndex(index, tmp);
+    status = options_.checkpoint_writer
+                 ? options_.checkpoint_writer(index, tmp)
+                 : SaveIndex(index, tmp);
     if (status.ok() && TestHooks::ShouldCrash(CrashPoint::kMidCheckpoint)) {
       // Die halfway through writing the snapshot: a truncated temp file,
       // never renamed into place. The previous checkpoint still rules.
@@ -527,6 +529,11 @@ StoreStats DurableStore::Stats() const {
 // Recovery
 
 Result<RecoveredStore> Recover(const std::string& dir) {
+  return Recover(dir, RecoverOptions{});
+}
+
+Result<RecoveredStore> Recover(const std::string& dir,
+                               const RecoverOptions& options) {
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) {
     return Status::NotFound("store directory " + dir + " does not exist");
@@ -562,7 +569,9 @@ Result<RecoveredStore> Recover(const std::string& dir) {
     uint64_t generation = 0;
     uint64_t seq = 0;
     if (!ParseCheckpointName(name, &generation, &seq)) continue;
-    Result<LoadedIndex> checkpoint = LoadIndex(dir + "/" + name);
+    Result<LoadedIndex> checkpoint =
+        options.checkpoint_loader ? options.checkpoint_loader(dir + "/" + name)
+                                  : LoadIndex(dir + "/" + name);
     if (!checkpoint.ok()) continue;  // damaged: fall back to the next newest
     recovered.graph = std::move(checkpoint.value().graph);
     recovered.index = std::move(checkpoint.value().index);
@@ -593,8 +602,25 @@ Result<RecoveredStore> Recover(const std::string& dir) {
 
   AncIndex* index = recovered.index.get();
   RecoveredStore* rec = &recovered;
-  for (const auto& [base_seq, path] : segments) {
+  for (size_t s = 0; s < segments.size(); ++s) {
+    const auto& [base_seq, path] = segments[s];
+    // A segment is provably covered by the checkpoint when the *next*
+    // segment starts at or before checkpoint_seq + 1: every record in this
+    // one then has seq <= checkpoint_seq. Skip it without reading a byte.
+    if (s + 1 < segments.size() &&
+        segments[s + 1].first <= recovered.checkpoint_seq + 1) {
+      ++recovered.skipped_segments;
+      continue;
+    }
     const auto replay = [index, rec](const WalRecord& record) {
+      // Replay must start strictly after the checkpoint: a record whose
+      // whole ticket run is covered is counted and dropped, never applied.
+      const uint64_t last_seq =
+          record.first_seq + record.activations.size() - 1;
+      if (!record.activations.empty() && last_seq <= rec->checkpoint_seq) {
+        ++rec->skipped_records;
+        return Status::OK();
+      }
       for (size_t i = 0; i < record.activations.size(); ++i) {
         const uint64_t seq = record.first_seq + i;
         if (seq <= rec->checkpoint_seq) continue;  // covered by the snapshot

@@ -30,6 +30,13 @@ struct StoreOptions {
   /// every interval — the upper bound on how long an accepted record can
   /// stay non-durable under DurabilityPolicy::kAsync.
   double flush_interval_s = 0.0;
+  /// When set, WriteCheckpoint delegates snapshot serialization to this
+  /// hook instead of SaveIndex — the tiering subsystem plugs in
+  /// tier::TieredStore::CheckpointWriter() here so checkpoints rotate as
+  /// incremental ANCTHD01 heads (docs/storage_tiers.md). The hook writes
+  /// `path` without fsync; the store owns temp-file/fsync/rename.
+  std::function<Status(const AncIndex&, const std::string& path)>
+      checkpoint_writer;
 };
 
 /// Point-in-time store health for store-stats / bench reporting.
@@ -176,7 +183,21 @@ struct RecoveredStore {
   uint64_t replayed_activations = 0;
   uint64_t skipped_applies = 0;      ///< Apply errors skipped (mirrors the
                                      ///< serve writer's skip-and-count)
+  uint64_t skipped_records = 0;      ///< records fully covered by the
+                                     ///< checkpoint, not replayed
+  uint64_t skipped_segments = 0;     ///< whole segments skipped unread
   bool truncated_tail = false;       ///< a torn segment tail was truncated
+};
+
+/// Recovery hooks. The default-constructed value reproduces Recover(dir)
+/// exactly.
+struct RecoverOptions {
+  /// Loads a checkpoint file into an index (default: core LoadIndex). The
+  /// tiering subsystem passes a loader that also understands ANCTHD01
+  /// heads (tier::Recover). A failed load falls back to the next-newest
+  /// candidate checkpoint, same as the default.
+  std::function<Result<LoadedIndex>(const std::string& path)>
+      checkpoint_loader;
 };
 
 /// Crash recovery (docs/durability.md "Recovery"): loads the newest valid
@@ -186,7 +207,15 @@ struct RecoveredStore {
 /// order, truncating torn segment tails. Replay stops at the first invalid
 /// frame of a segment (nothing past it can be trusted). Fails NotFound
 /// when no checkpoint is recoverable.
+///
+/// Records fully covered by the checkpoint are never replayed: whole
+/// segments whose ticket range provably ends at or before the checkpoint
+/// seq are skipped without being read (skipped_segments), and covered
+/// records inside the first relevant segment are counted in
+/// skipped_records instead of replayed_records.
 Result<RecoveredStore> Recover(const std::string& dir);
+Result<RecoveredStore> Recover(const std::string& dir,
+                               const RecoverOptions& options);
 
 }  // namespace anc::store
 

@@ -19,6 +19,12 @@ const char* CrashPointName(CrashPoint point) {
       return "mid-checkpoint";
     case CrashPoint::kPreManifestSwap:
       return "pre-manifest-swap";
+    case CrashPoint::kMidSegmentWrite:
+      return "mid-segment-write";
+    case CrashPoint::kPreTierManifestSwap:
+      return "pre-tier-manifest-swap";
+    case CrashPoint::kMidCompaction:
+      return "mid-compaction";
     case CrashPoint::kNumCrashPoints:
       break;
   }

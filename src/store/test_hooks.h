@@ -25,6 +25,15 @@ enum class CrashPoint : int {
   /// The new checkpoint is fully durable but the process dies before the
   /// manifest swap: the old manifest (and old WAL segments) still rule.
   kPreManifestSwap,
+  /// A cold-segment spill dies mid-write: the segment temp file is left
+  /// truncated and never renamed; no live state references it.
+  kMidSegmentWrite,
+  /// A sealed segment is durable but the process dies before the tier
+  /// manifest swap: the previous manifest (and segment set) still rule.
+  kPreTierManifestSwap,
+  /// Background compaction dies mid-merge: the merged segment temp file is
+  /// left behind; the input segments remain live and referenced.
+  kMidCompaction,
   kNumCrashPoints,
 };
 

@@ -1,0 +1,112 @@
+#include "tier/compactor.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "store/test_hooks.h"
+#include "tier/segment.h"
+
+namespace anc::tier {
+
+Compactor::Compactor() {
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+Compactor::~Compactor() {
+  {
+    util::MutexLock lock(mutex_);
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  if (worker_.joinable()) worker_.join();
+}
+
+bool Compactor::busy() const {
+  util::MutexLock lock(mutex_);
+  return pending_.has_value() || running_ || done_.has_value();
+}
+
+Status Compactor::Submit(Job job) {
+  {
+    util::MutexLock lock(mutex_);
+    if (pending_.has_value() || running_ || done_.has_value()) {
+      return Status::FailedPrecondition("a compaction is already in flight");
+    }
+    pending_ = std::move(job);
+  }
+  cv_.NotifyAll();
+  return Status::OK();
+}
+
+std::optional<Compactor::Outcome> Compactor::Poll() {
+  util::MutexLock lock(mutex_);
+  std::optional<Outcome> out = std::move(done_);
+  done_.reset();
+  return out;
+}
+
+void Compactor::WorkerLoop() {
+  while (true) {
+    Job job;
+    {
+      util::MutexLock lock(mutex_);
+      cv_.Wait(mutex_, [this] {
+        mutex_.AssertHeld();
+        return stop_ || pending_.has_value();
+      });
+      if (stop_ && !pending_.has_value()) return;
+      job = std::move(*pending_);
+      pending_.reset();
+      running_ = true;
+    }
+    Outcome outcome;
+    outcome.status = MergeSegments(job.inputs, job.output);
+    outcome.job = std::move(job);
+    {
+      util::MutexLock lock(mutex_);
+      running_ = false;
+      done_ = std::move(outcome);
+    }
+  }
+}
+
+Status Compactor::MergeSegments(const std::vector<std::string>& inputs,
+                                const std::string& output) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("compaction needs at least one input");
+  }
+  std::vector<std::unique_ptr<SegmentReader>> readers;
+  readers.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    auto reader = SegmentReader::Open(path, /*verify_pages=*/false);
+    if (!reader.ok()) return reader.status();
+    readers.push_back(std::move(*reader));
+  }
+  // Newest input wins per (column, page): iterate oldest first and let
+  // later inputs overwrite. The map is ordered so the merged segment lays
+  // pages out column-major — future sequential scans of one column read
+  // the file front to back.
+  std::map<std::pair<uint16_t, uint32_t>, const SegmentPage*> newest;
+  for (const auto& reader : readers) {
+    for (const SegmentPage& page : reader->pages()) {
+      newest[{page.column_id, page.page_index}] = &page;
+    }
+  }
+  auto writer = SegmentWriter::Create(output);
+  if (!writer.ok()) return writer.status();
+  for (const auto& [key, page] : newest) {
+    ANC_RETURN_NOT_OK((*writer)->AddPage(page->column_id, page->elem_size,
+                                         page->page_index, page->data,
+                                         page->bytes));
+  }
+  if (store::TestHooks::ShouldCrash(store::CrashPoint::kMidCompaction)) {
+    // Die before the seal: the merged temp file is left truncated and the
+    // input segments remain the live, referenced copies.
+    (*writer)->AbandonForCrash();
+    return Status::Unavailable("simulated crash: mid-compaction");
+  }
+  return (*writer)->Finish();
+}
+
+}  // namespace anc::tier

@@ -1,0 +1,74 @@
+#ifndef ANC_TIER_COMPACTOR_H_
+#define ANC_TIER_COMPACTOR_H_
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace anc::tier {
+
+/// Background segment merger (docs/storage_tiers.md "Compaction").
+///
+/// The single-writer thread submits a merge job (a snapshot of the live
+/// segment names, oldest first, plus an output path) at a quiescent point;
+/// the compactor's own thread performs the merge against the sealed,
+/// immutable input files and parks the outcome for the writer to Poll()
+/// and install at a later quiescent point. The writer never blocks on a
+/// merge, and the merge never touches live column state — the only shared
+/// surface is immutable files plus this class's small mailbox.
+class Compactor {
+ public:
+  struct Job {
+    std::vector<std::string> inputs;  ///< sealed segment paths, oldest first
+    std::string output;               ///< final path of the merged segment
+  };
+  struct Outcome {
+    Job job;
+    Status status = Status::OK();
+  };
+
+  Compactor();
+  ~Compactor();  // drains and joins the worker
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  /// True while a job is queued, running, or finished-but-unpolled.
+  bool busy() const;
+
+  /// Enqueues one merge; a single job is in flight at a time
+  /// (FailedPrecondition while busy()).
+  Status Submit(Job job);
+
+  /// Non-blocking: the finished job's outcome, if one is parked.
+  std::optional<Outcome> Poll();
+
+  /// The synchronous merge core (also what `anc_cli tier-compact` and the
+  /// crash-seam tests drive directly): opens the inputs oldest first, keeps
+  /// the *newest* copy of every (column, page) — cold pointers always
+  /// reference the newest spill, so older duplicates are dead — and writes
+  /// the survivors to `output` as one sealed segment. The kMidCompaction
+  /// crash seam fires just before the seal, leaving only a truncated temp
+  /// file.
+  static Status MergeSegments(const std::vector<std::string>& inputs,
+                              const std::string& output);
+
+ private:
+  void WorkerLoop();
+
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  bool stop_ ANC_GUARDED_BY(mutex_) = false;
+  std::optional<Job> pending_ ANC_GUARDED_BY(mutex_);
+  std::optional<Outcome> done_ ANC_GUARDED_BY(mutex_);
+  bool running_ ANC_GUARDED_BY(mutex_) = false;
+  std::thread worker_;
+};
+
+}  // namespace anc::tier
+
+#endif  // ANC_TIER_COMPACTOR_H_

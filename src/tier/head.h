@@ -1,0 +1,77 @@
+#ifndef ANC_TIER_HEAD_H_
+#define ANC_TIER_HEAD_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/serialization.h"
+#include "store/store.h"
+#include "util/status.h"
+
+namespace anc::tier {
+
+/// The tiered checkpoint head ("ANCTHD01"): a drop-in replacement for the
+/// full ANCIDX02 snapshot that `store::DurableStore` rotates. It keeps the
+/// ckpt-<gen>-<seq>.idx naming and the same outer frame
+/// ([magic][u32 version][u64 payload][u32 crc][payload]); inside, the two
+/// large per-edge arrays (anchored activeness, anchored similarity) are
+/// stored as *page tables* — pages whose current bytes already live in a
+/// sealed cold segment are written as {segment, offset, bytes, crc}
+/// references instead of payload. Everything else (graph, config, ANCOR
+/// bookkeeping, partition trees) stays inline, and the sigma caches and
+/// vote state are recomputed on load exactly as ANCIDX02's loader does, so
+/// a loaded head is byte-identical to a loaded full snapshot of the same
+/// state (docs/storage_tiers.md "Checkpoint heads").
+inline constexpr char kHeadMagic[8] = {'A', 'N', 'C', 'T', 'H', 'D',
+                                       '0', '1'};
+inline constexpr uint32_t kHeadVersion = 1;
+
+/// One page of a tiered column as the head serializer sees it: either raw
+/// payload (`inline_data`) or a reference into a sealed segment.
+struct HeadPage {
+  const char* inline_data = nullptr;
+  uint32_t bytes = 0;
+  std::string segment;  ///< non-empty selects the reference form
+  uint64_t offset = 0;  ///< payload offset within the segment file
+  uint32_t crc = 0;     ///< crc32c of the referenced payload
+};
+
+/// The full page table of one tiered column.
+struct HeadColumn {
+  uint64_t elems = 0;
+  uint32_t page_elems = 0;
+  std::vector<HeadPage> pages;
+};
+
+/// Serializes a head for `index` with the two similarity-state arrays
+/// described by `anchored` / `similarity` (built by TieredStore::WriteHead
+/// from its live columns). Writes to `path` without fsync — the store's
+/// checkpoint flow owns temp-file/fsync/rename.
+Status WriteTieredHead(const AncIndex& index, const HeadColumn& anchored,
+                       const HeadColumn& similarity, const std::string& path);
+
+/// True when `path` starts with the ANCTHD01 magic.
+bool IsTieredHead(const std::string& path);
+
+/// Loads a head, materializing every referenced page from its segment
+/// under `tier_dir` (CRC-checked) into a fully in-RAM index — the same
+/// LoadedIndex shape core/serialization.h's LoadIndex returns. When
+/// `segment_refs` is non-null it receives the names of every segment the
+/// head referenced (recovery GC keeps exactly those).
+Result<LoadedIndex> LoadTieredHead(const std::string& path,
+                                   const std::string& tier_dir,
+                                   std::set<std::string>* segment_refs);
+
+/// Tier-aware crash recovery: store::Recover with a checkpoint loader that
+/// understands both ANCIDX02 snapshots and ANCTHD01 heads (resolving
+/// segment references against `<dir>/tier`), followed by a sweep of the
+/// tier directory that deletes temp files and segments neither the loaded
+/// head nor the tier manifest references. The returned index is fully
+/// resident; re-attach it to a fresh TieredStore before serving.
+Result<store::RecoveredStore> Recover(const std::string& dir);
+
+}  // namespace anc::tier
+
+#endif  // ANC_TIER_HEAD_H_

@@ -801,5 +801,82 @@ TEST(NetReplicationTest, FollowerRefusesWrites) {
   net_server.Stop();
 }
 
+TEST(NetProtocolTest, PullLogBodyCarriesFollowerIdAndDecodesLegacy) {
+  PullLogBody body;
+  body.after_seq = 5;
+  body.max_records = 9;
+  body.follower_id = 77;
+  std::string bytes;
+  net::AppendPullLogBody(&bytes, body);
+
+  ByteReader reader(bytes);
+  PullLogBody out;
+  ASSERT_TRUE(net::DecodePullLogBody(&reader, &out).ok());
+  EXPECT_EQ(out.after_seq, 5u);
+  EXPECT_EQ(out.max_records, 9u);
+  EXPECT_EQ(out.follower_id, 77u);
+
+  // A pre-follower_id body (just after_seq + max_records) must still
+  // decode, as an anonymous pull.
+  std::string legacy;
+  net::PutU64(&legacy, 5);
+  net::PutU32(&legacy, 9);
+  ByteReader legacy_reader(legacy);
+  PullLogBody legacy_out;
+  ASSERT_TRUE(net::DecodePullLogBody(&legacy_reader, &legacy_out).ok());
+  EXPECT_EQ(legacy_out.after_seq, 5u);
+  EXPECT_EQ(legacy_out.follower_id, 0u);
+}
+
+TEST(NetReplicationTest, SlowestFollowerAckShrinksReplicationLog) {
+  GroundTruthGraph gt = SmallCommunityGraph();
+  auto created = AncIndex::Create(gt.graph, SmallConfig());
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<AncIndex> index = std::move(created).value();
+  serve::AncServer server(index.get(), serve::ServeOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  obs::MetricsRegistry registry;
+  ServerBackend backend(&server, ServerBackend::Options{}, &registry);
+
+  std::vector<Activation> batch = MakeActivations(gt.graph, 24);
+  Result<SubmitAck> ack = backend.Submit(batch.data(), batch.size());
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  ASSERT_EQ(ack->accepted, batch.size());
+  ASSERT_TRUE(backend.Flush(kAwait).ok());
+  const uint64_t last = ack->last_seq;
+
+  const int64_t full = registry.Snapshot().gauge("anc.net.repl_log_bytes");
+  ASSERT_GT(full, 0);
+
+  // Two followers register. Neither ack covers the log yet, so nothing
+  // may be trimmed — the slowest follower rules.
+  PullLogBody pull;
+  pull.max_records = 256;
+  pull.follower_id = 1;
+  pull.after_seq = 0;
+  ASSERT_TRUE(backend.PullLog(pull).ok());
+  pull.follower_id = 2;
+  pull.after_seq = last;  // the fast follower has everything
+  ASSERT_TRUE(backend.PullLog(pull).ok());
+  EXPECT_EQ(registry.Snapshot().gauge("anc.net.repl_log_bytes"), full);
+
+  // The slowest follower catches up: every entry is acked by all live
+  // followers and the log shrinks to zero.
+  pull.follower_id = 1;
+  pull.after_seq = last;
+  ASSERT_TRUE(backend.PullLog(pull).ok());
+  EXPECT_EQ(registry.Snapshot().gauge("anc.net.repl_log_bytes"), 0);
+
+  // The trimmed history is gone for good: a brand-new anonymous puller
+  // starting from 0 must re-bootstrap.
+  PullLogBody bootstrap;
+  Result<LogChunkBody> rebooted = backend.PullLog(bootstrap);
+  ASSERT_FALSE(rebooted.ok());
+  EXPECT_EQ(rebooted.status().code(), StatusCode::kFailedPrecondition);
+
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace anc

@@ -384,6 +384,75 @@ TEST(StoreRecoveryTest, SurvivesCorruptManifestViaCheckpointScan) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(StoreRecoveryTest, CheckpointCoveredWalFramesAreSkippedNotReplayed) {
+  // Replay must start strictly after the checkpoint seq: frames the
+  // checkpoint already covers are counted (skipped_records), and whole
+  // segments that provably end at or before it are skipped without even
+  // being read (skipped_segments).
+  Rng rng(29);
+  const Graph g = BarabasiAlbert(60, 3, rng);
+  const AncConfig config = TestConfig();
+  const ActivationStream stream = UniformStream(g, 8, 0.04, rng);
+  const std::string dir = TempDir("anc_store_skipcovered");
+
+  AncIndex live(g, config);
+  StoreOptions options;
+  options.segment_bytes = 1;  // rotate after every batch: many segments
+  auto opened = DurableStore::Open(dir, live, Mark{0, 0.0}, options);
+  ASSERT_TRUE(opened.ok());
+  DurableStore& store = *opened.value();
+
+  constexpr size_t kBatch = 7;
+  double last_time = 0.0;
+  uint64_t applied = 0;
+  for (size_t start = 0; start < stream.size(); start += kBatch) {
+    const size_t count = std::min(kBatch, stream.size() - start);
+    const std::vector<Activation> batch(stream.begin() + start,
+                                        stream.begin() + start + count);
+    ASSERT_TRUE(store.Append(batch, start + 1).ok());
+    for (const Activation& activation : batch) {
+      ASSERT_TRUE(live.Apply(activation).ok());
+      last_time = std::max(last_time, activation.time);
+      ++applied;
+    }
+  }
+
+  // Die between publishing the new checkpoint and swapping the manifest:
+  // the checkpoint covering every ticket is durable, but none of the WAL
+  // segments it obsoletes were garbage collected.
+  DisarmGuard guard;
+  TestHooks::ArmCrash(CrashPoint::kPreManifestSwap, 0);
+  EXPECT_FALSE(store.WriteCheckpoint(live, Mark{applied, last_time}).ok());
+  TestHooks::Disarm();
+  opened.value().reset();
+
+  // With the manifest gone, recovery falls back to the newest loadable
+  // checkpoint — the full-coverage one — while every covered WAL segment
+  // still sits on disk next to it. Drop the empty segment the checkpoint
+  // rotated to: the newest data segment then has no successor proving its
+  // range, so recovery must read it and count its covered records.
+  ASSERT_TRUE(TestHooks::CorruptByte(dir + "/MANIFEST", -1).ok());
+  {
+    char rotated[64];
+    std::snprintf(rotated, sizeof(rotated), "wal-%020llu.log",
+                  static_cast<unsigned long long>(applied + 1));
+    ASSERT_TRUE(std::filesystem::remove(dir + "/" + rotated));
+  }
+  Result<RecoveredStore> recovered = store::Recover(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  RecoveredStore& rec = recovered.value();
+  EXPECT_EQ(rec.checkpoint_seq, applied);
+  EXPECT_EQ(rec.watermark.seq, applied);
+  EXPECT_EQ(rec.replayed_records, 0u) << "covered frames were replayed";
+  EXPECT_EQ(rec.replayed_activations, 0u);
+  EXPECT_GT(rec.skipped_segments, 0u)
+      << "provably covered segments should be skipped unread";
+  EXPECT_GT(rec.skipped_records, 0u)
+      << "covered records in the boundary segment should be counted";
+  ExpectIndexStatesEqual(*rec.index, live);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(StoreRecoveryTest, EmptyOrMissingDirectoryFailsNotFound) {
   EXPECT_EQ(store::Recover("/nonexistent/anc/store").status().code(),
             StatusCode::kNotFound);
