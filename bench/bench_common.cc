@@ -150,14 +150,32 @@ std::string StatsJsonExporter::Flush() {
     if (!run.timeseries.empty()) {
       // Reuse the exporter's lean JSONL rendering (zero-delta entries
       // omitted) so the bench artifact matches the live telemetry format.
+      // Long runs at a fast telemetry interval produce thousands of
+      // windows; the artifact is for eyeballing trends, so hold each run
+      // to a fixed sample budget with an even-stride downsample that
+      // always keeps the first and last window. timeseries_total records
+      // how many windows the run really produced.
+      const size_t total = run.timeseries.size();
       obs::Json series = obs::Json::Array();
-      for (const obs::TelemetrySample& sample : run.timeseries) {
+      const auto append = [&series](const obs::TelemetrySample& sample) {
         obs::Json parsed;
         if (obs::Json::Parse(obs::TelemetrySampleToJsonLine(sample),
                              &parsed)) {
           series.Append(std::move(parsed));
         }
+      };
+      if (total <= kTimeseriesSampleBudget) {
+        for (const obs::TelemetrySample& sample : run.timeseries) {
+          append(sample);
+        }
+      } else {
+        for (size_t k = 0; k < kTimeseriesSampleBudget; ++k) {
+          append(run.timeseries[k * (total - 1) /
+                                (kTimeseriesSampleBudget - 1)]);
+        }
       }
+      entry.Set("timeseries_total",
+                obs::Json::Number(static_cast<double>(total)));
       entry.Set("timeseries", std::move(series));
     }
     runs.Append(std::move(entry));

@@ -19,6 +19,9 @@
 
 namespace anc::bench {
 
+/// Per-run cap on "timeseries" samples in BENCH_*.json (StatsJsonExporter).
+inline constexpr size_t kTimeseriesSampleBudget = 128;
+
 /// All five quality scores of Section VI-A for one clustering.
 struct QualityRow {
   double modularity = 0.0;
@@ -79,6 +82,12 @@ std::unique_ptr<obs::TraceSink> OpenTraceSinkFromEnv();
 /// kept a TelemetryExporter ticking pass its samples() as `timeseries`,
 /// turning the per-run summary into a live time-series of per-interval
 /// deltas (the "timeseries" section of BENCH_*.json).
+///
+/// Each run's series is capped at kTimeseriesSampleBudget samples by an
+/// even-stride downsample (first and last window always kept); the run's
+/// `timeseries_total` field records the pre-cap window count, so the
+/// artifact stays reviewable no matter how long the run or how fast the
+/// telemetry interval.
 class StatsJsonExporter {
  public:
   explicit StatsJsonExporter(std::string bench_name);

@@ -72,7 +72,7 @@
 //                           back to RAM first)
 //
 // Sharding (docs/sharding.md) — partitioned ingest over N writer shards:
-//   shard-start <k> [hash|ldg] [dir]
+//   shard-start <k> [hash|ldg|fennel|hdrf] [dir]
 //                           partition the graph and start k AncServer
 //                           shards (per-shard WAL under <dir>/shard-<i>
 //                           when a directory is given)
@@ -87,6 +87,20 @@
 //   shard-stop              drain and stop all shards
 // While sharded serving is active, the single-index and single-server
 // commands are refused (and vice versa).
+//
+// Rebalancing (docs/sharding.md "Rebalancing & live migration") — every
+// shard-start / shard-recover attaches a Rebalancer that taps routed
+// submissions into the activity tracker:
+//   rebalance-stats         drift monitor (observed cut EWMA vs static
+//                           scorecard, ingest skew, windows, trigger
+//                           state) and migration counters
+//   rebalance-now           close the window, plan from the current
+//                           activity EWMAs and execute live migrations
+//                           immediately, ignoring the drift trigger
+//                           (requires durable shards: shard-start ... dir)
+//   migrate <v> <shard>     hand vertex v's ownership to <shard> via the
+//                           live WAL-tail handoff (requires durable
+//                           shards; exactness needs whole-community moves)
 //
 // Observability (docs/observability.md) — tracing, telemetry, health:
 //   trace-open <path>       attach a JSONL trace sink to the index (and the
@@ -138,6 +152,7 @@
 #include "obs/exporter.h"
 #include "obs/health.h"
 #include "obs/trace.h"
+#include "rebalance/rebalancer.h"
 #include "serve/server.h"
 #include "shard/health.h"
 #include "shard/partitioner.h"
@@ -160,6 +175,8 @@ struct Session {
   std::unique_ptr<store::DurableStore> store;
   std::unique_ptr<serve::AncServer> server;
   std::unique_ptr<shard::ShardedServer> sharded;
+  // Declared after sharded, destroyed before it (holds a server pointer).
+  std::unique_ptr<rebalance::Rebalancer> rebalancer;
   std::unique_ptr<net::Backend> net_backend;
   std::unique_ptr<net::NetServer> net_server;
   std::unique_ptr<net::Client> remote;
@@ -828,7 +845,7 @@ bool HandleLine(Session& session, const std::string& line) {
     std::string kind_name;
     std::string dir;
     if (!(args >> num_shards) || num_shards == 0) {
-      std::printf("usage: shard-start <k> [hash|ldg] [dir]\n");
+      std::printf("usage: shard-start <k> [hash|ldg|fennel|hdrf] [dir]\n");
       return true;
     }
     shard::ShardedOptions options;
@@ -837,7 +854,7 @@ bool HandleLine(Session& session, const std::string& line) {
       Result<shard::PartitionerKind> kind =
           shard::ParsePartitionerKind(kind_name);
       if (!kind.ok()) {
-        std::printf("usage: shard-start <k> [hash|ldg] [dir]\n");
+        std::printf("usage: shard-start <k> [hash|ldg|fennel|hdrf] [dir]\n");
         return true;
       }
       options.partition.kind = kind.value();
@@ -863,6 +880,8 @@ bool HandleLine(Session& session, const std::string& line) {
       return true;
     }
     session.sharded = std::move(created.value());
+    session.rebalancer =
+        std::make_unique<rebalance::Rebalancer>(session.sharded.get());
     if (session.trace != nullptr) {
       session.sharded->SetTraceSink(session.trace.get());
     }
@@ -882,6 +901,7 @@ bool HandleLine(Session& session, const std::string& line) {
     }
     Result<uint64_t> ticket = session.sharded->Submit({*e, t});
     if (ticket.ok()) {
+      if (session.rebalancer != nullptr) session.rebalancer->Observe({*e, t});
       std::printf("ticket %llu\n", static_cast<unsigned long long>(*ticket));
     } else {
       std::printf("error: %s\n", ticket.status().ToString().c_str());
@@ -904,6 +924,11 @@ bool HandleLine(Session& session, const std::string& line) {
     if (!s.ok()) {
       std::printf("error: %s\n", s.ToString().c_str());
       return true;
+    }
+    if (session.rebalancer != nullptr) {
+      for (const Activation& activation : stream.value()) {
+        session.rebalancer->Observe(activation);
+      }
     }
     std::printf("submitted %zu activations through ticket %llu "
                 "(%zu lines skipped)\n",
@@ -982,6 +1007,8 @@ bool HandleLine(Session& session, const std::string& line) {
       return true;
     }
     session.sharded = std::move(recovered.value());
+    session.rebalancer =
+        std::make_unique<rebalance::Rebalancer>(session.sharded.get());
     if (session.trace != nullptr) {
       session.sharded->SetTraceSink(session.trace.get());
     }
@@ -1003,6 +1030,7 @@ bool HandleLine(Session& session, const std::string& line) {
     }
   } else if (command == "shard-stop") {
     if (!session.RequireSharded()) return true;
+    session.rebalancer.reset();  // before the server it watches
     session.sharded->Stop();
     std::printf("stopped %u shards at %llu accepted (%llu halo deliveries, "
                 "store=%s)\n",
@@ -1014,6 +1042,60 @@ bool HandleLine(Session& session, const std::string& line) {
                     ? "ok"
                     : session.sharded->store_status().ToString().c_str());
     session.sharded.reset();
+  } else if (command == "rebalance-stats") {
+    if (!session.RequireSharded()) return true;
+    const rebalance::Rebalancer& reb = *session.rebalancer;
+    const rebalance::CutMonitor& monitor = reb.monitor();
+    std::printf(
+        "observed cut=%.3f static cut=%.3f skew=%.2f | windows=%llu "
+        "trigger=%s | observed=%llu activations, %llu rotations | "
+        "migrations=%llu | epoch=%llu\n",
+        monitor.observed_cut_ratio(),
+        session.sharded->partition_stats().cut_ratio, monitor.ingest_skew(),
+        static_cast<unsigned long long>(monitor.windows()),
+        monitor.ShouldRebalance() ? "ARMED" : "idle",
+        static_cast<unsigned long long>(reb.tracker().observed()),
+        static_cast<unsigned long long>(reb.tracker().rotations()),
+        static_cast<unsigned long long>(reb.migrations()),
+        static_cast<unsigned long long>(session.sharded->assignment_epoch()));
+  } else if (command == "rebalance-now") {
+    if (!session.RequireSharded()) return true;
+    const rebalance::RebalanceOutcome outcome =
+        session.rebalancer->RebalanceNow();
+    if (!outcome.status.ok()) {
+      std::printf("error: %s\n", outcome.status.ToString().c_str());
+      return true;
+    }
+    if (outcome.planned_moves == 0) {
+      std::printf("nothing to do: the stream still matches the partition\n");
+      return true;
+    }
+    std::printf("planned %llu moves, executed %llu migrations (%llu "
+                "vertices) | now %s\n",
+                static_cast<unsigned long long>(outcome.planned_moves),
+                static_cast<unsigned long long>(outcome.migrations),
+                static_cast<unsigned long long>(outcome.migrated_vertices),
+                session.sharded->partition_stats().ToString().c_str());
+  } else if (command == "migrate") {
+    if (!session.RequireSharded()) return true;
+    NodeId v = 0;
+    uint32_t to = 0;
+    if (!(args >> v >> to)) {
+      std::printf("usage: migrate <vertex> <shard>\n");
+      return true;
+    }
+    if (v >= session.sharded->graph().NumNodes()) {
+      std::printf("error: node out of range\n");
+      return true;
+    }
+    Status s = session.rebalancer->Migrate({v}, to);
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.ToString().c_str());
+      return true;
+    }
+    std::printf("vertex %u now owned by shard %u (epoch %llu)\n", v, to,
+                static_cast<unsigned long long>(
+                    session.sharded->assignment_epoch()));
   } else if (command == "trace-open") {
     std::string path;
     if (!(args >> path)) {

@@ -18,6 +18,7 @@
 #include "core/serialization.h"
 #include "graph/graph.h"
 #include "net/protocol.h"
+#include "rebalance/journal.h"
 #include "store/store.h"
 #include "store/wal.h"
 #include "tier/segment.h"
@@ -51,7 +52,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const fs::path out(argv[1]);
-  for (const char* sub : {"wal", "index", "json", "stream", "rpc", "segment"}) {
+  for (const char* sub :
+       {"wal", "index", "json", "stream", "rpc", "segment", "journal"}) {
     fs::create_directories(out / sub);
   }
 
@@ -258,6 +260,33 @@ int main(int argc, char** argv) {
     WriteText(out / "rpc" / "truncated", wire.substr(0, wire.size() - 3));
     wire.back() ^= 0x5a;
     WriteText(out / "rpc" / "badcrc", wire);
+  }
+
+  // journal/: a real ANCMIG01 migration journal in each phase (the two
+  // shapes recovery can find on disk), plus a truncated and a
+  // CRC-corrupted copy.
+  {
+    anc::rebalance::MigrationJournal journal;
+    journal.id = 11;
+    journal.from = 0;
+    journal.to = 2;
+    journal.s_a = 37;
+    journal.moving = {1, 3, 4};
+    std::string prepare;
+    anc::rebalance::EncodeJournal(journal, &prepare);
+    WriteText(out / "journal" / "prepare", prepare);
+
+    journal.phase = anc::rebalance::MigrationPhase::kCommitted;
+    journal.s_b = 29;
+    journal.g0 = 2;
+    std::string committed;
+    anc::rebalance::EncodeJournal(journal, &committed);
+    WriteText(out / "journal" / "committed", committed);
+
+    WriteText(out / "journal" / "truncated",
+              committed.substr(0, committed.size() - 5));
+    committed.back() ^= 0x5a;
+    WriteText(out / "journal" / "badcrc", committed);
   }
 
   std::fprintf(stderr, "corpus written under %s\n", out.string().c_str());

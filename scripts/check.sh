@@ -32,6 +32,13 @@
 #               (docs/static_analysis.md). Self-skips with a message when
 #               no clang++ is installed — the annotations are no-ops under
 #               GCC, so a GCC "pass" would be meaningless.
+#   rebalance   TSan build, adaptive re-partitioning suite only:
+#               Fennel/HDRF partitioner units, cut-drift monitor +
+#               planner units, live-migration differentials (byte-
+#               identity vs the unsharded oracle before/during/after a
+#               handoff), the migration crash-seam matrix, and the
+#               concurrent ingest-during-migration stress
+#               (docs/sharding.md "Rebalancing & live migration")
 #   net         TSan build, networking suite only: RPC frame/body codec
 #               units, query-cache semantics, loopback client/server
 #               end-to-end (byte-identity vs. the in-process view, tenant
@@ -43,7 +50,8 @@
 #               by the standalone driver: WAL frames, checkpoints +
 #               MANIFEST, obs JSON, activation streams. Malformed input
 #               must come back as a Status, never a crash/leak/UB. Also
-#               covers ANCSEG01 cold-segment parsing (fuzz_segment).
+#               covers ANCSEG01 cold-segment parsing (fuzz_segment) and
+#               ANCMIG01 migration journals (fuzz_journal).
 #
 # Usage: scripts/check.sh [--fast] [config ...]
 #   With no arguments every configuration runs. Naming one or more configs
@@ -119,6 +127,21 @@ run_one() {
       ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
         -R '^(ShardPartitionerTest|ShardRouterTest|ShardedServerTest|ShardRecoveryTest|ShardStressTest)\.'
       ;;
+    rebalance)
+      # The adaptive re-partitioning suite under TSan: streaming
+      # partitioner units, monitor/planner units, and the live-migration
+      # stack — migration runs concurrently with ingest, so the handoff
+      # protocol (route lock, frontier tickets, side-buffer, epoch swap)
+      # is the raciest new surface. Crash seams re-run under the asan
+      # config via the full battery.
+      local dir=build-tsan
+      echo "=== [$dir] rebalance (re-partitioning suite under TSan) ==="
+      cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DANC_SANITIZE=thread
+      cmake --build "$dir" -j "$JOBS" --target rebalance_test
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+        -R '^(RebalancePartitionerTest|ActivityTrackerTest|CutMonitorTest|RebalancePlanTest|MigrationJournalTest|LiveMigrationTest|MigrationCrashTest|MigrationStressTest|RebalanceRouterTest|RebalanceHealthTest|RebalancerTest)\.'
+      ;;
     net)
       # The networking suite under TSan: codec + cache units, the loopback
       # end-to-end matrix, and leader/follower replication with its pause/
@@ -186,9 +209,9 @@ run_one() {
         -DANC_FUZZ=ON -DANC_SANITIZE=address
       cmake --build "$dir" -j "$JOBS" \
         --target fuzz_wal fuzz_index fuzz_json fuzz_stream fuzz_rpc \
-                 fuzz_segment
+                 fuzz_segment fuzz_journal
       local target
-      for target in wal index json stream rpc segment; do
+      for target in wal index json stream rpc segment journal; do
         echo "--- fuzz_$target over fuzz/corpus/$target ---"
         ASAN_OPTIONS=detect_leaks=1 \
           ANC_FUZZ_MUTATIONS="${ANC_FUZZ_MUTATIONS:-256}" \
@@ -197,7 +220,7 @@ run_one() {
       ;;
     *)
       echo "unknown configuration '$1'" >&2
-      echo "known: default nometrics asan tsan invariants store-crash tier shard net obs-trace tsa fuzz-smoke" >&2
+      echo "known: default nometrics asan tsan invariants store-crash tier shard rebalance net obs-trace tsa fuzz-smoke" >&2
       exit 2
       ;;
   esac

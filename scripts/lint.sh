@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Lint gate: clang-format (diff-clean or fail) and clang-tidy over src/,
-# tests/ and bench/, driven by the committed .clang-format / .clang-tidy.
+# Lint gate: clang-format (diff-clean or fail) and clang-tidy over src/
+# (every subsystem directory, src/rebalance/ included), tests/ and bench/,
+# driven by the committed .clang-format / .clang-tidy. The portable stage
+# also sweeps fuzz/ (harnesses + corpus generator).
 #
 # Both tools are optional in minimal containers: when one is missing the
 # corresponding stage is skipped with a warning (CI installs both, so the
@@ -73,14 +75,14 @@ run_portable() {
   fi
   # Headers must carry include guards matching the repo convention.
   local h
-  for h in $(find src -name '*.h'); do
+  for h in $(find src fuzz -name '*.h'); do
     if ! grep -q '#ifndef ANC_' "$h"; then
       echo "[lint] error: $h lacks an ANC_* include guard" >&2
       fail=1
     fi
   done
   # No TODOs without an owner or issue reference.
-  if grep -rn 'TODO[^(:]' src tests bench --include='*.cc' \
+  if grep -rn 'TODO[^(:]' src tests bench fuzz --include='*.cc' \
     --include='*.h'; then
     echo "[lint] error: bare TODO (use TODO(name) or TODO(#issue))" >&2
     fail=1

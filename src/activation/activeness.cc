@@ -13,9 +13,23 @@ Status ActivenessStore::Activate(EdgeId e, double t, double* delta) {
         std::to_string(t) + " after " + std::to_string(last_time_) + ")");
   }
   last_time_ = t;
-  if (lambda_ * (t - anchor_time_) > kMaxExponent ||
+  return ActivateAnchored(e, t, delta);
+}
+
+Status ActivenessStore::ActivateAnchored(EdgeId e, double t, double* delta) {
+  if (e >= anchored_.size()) {
+    return Status::OutOfRange("edge id " + std::to_string(e) +
+                              " out of range");
+  }
+  // The clock is owned by the strict path: an import must not advance it,
+  // or the owner's still-queued in-order records (behind the import's
+  // timestamps) would start failing Activate's monotonicity check. The
+  // overflow guard keys on the farthest time this increment touches, but
+  // the anchor itself only ever advances to the strict clock, preserving
+  // anchor_time() <= last_time().
+  if (lambda_ * (std::max(t, last_time_) - anchor_time_) > kMaxExponent ||
       ++since_rescale_ >= rescale_interval_) {
-    Rescale(t);
+    Rescale(last_time_);
   }
   // Increase of a_t(e) by 1 (Eq. 1) == increase of a*(e) by 1/g(t, t*).
   const double increment = std::exp(lambda_ * (t - anchor_time_));

@@ -82,6 +82,17 @@ class ActivenessStore {
   /// caches) can apply the same bump.
   Status Activate(EdgeId e, double t, double* delta = nullptr);
 
+  /// Like Activate, but tolerates timestamps on either side of
+  /// last_time() — the replica-import path (live shard migration and its
+  /// crash-recovery splice) replays one component's history into an index
+  /// whose own stream sits elsewhere in time. The anchored increment
+  /// 1/g(t, t*) = e^{lambda (t - t*)} is exact for *any* t, so an
+  /// out-of-order replay adds exactly the mass an in-order replay would
+  /// have. The clock is deliberately NOT advanced: it belongs to the
+  /// strict stream, and an import running ahead of it must not make the
+  /// owner's still-queued in-order records look time-reversed.
+  Status ActivateAnchored(EdgeId e, double t, double* delta = nullptr);
+
   /// Applies a whole stream (convenience wrapper over Activate).
   Status ActivateAll(const ActivationStream& stream);
 

@@ -179,6 +179,35 @@ Status AncIndex::Apply(const Activation& activation) {
   return Status::OK();
 }
 
+Status AncIndex::ApplyOutOfOrder(const Activation& activation) {
+  obs::ScopedTimer apply_timer(&metrics_, m_.apply_latency_us, "apply");
+  metrics_.Add(m_.apply_count);
+  if (config_.mode == AncMode::kOffline) {
+    return Status::FailedPrecondition(
+        "out-of-order apply is an online-replica import path");
+  }
+  metrics_.Add(config_.mode == AncMode::kOnlineReinforce ? m_.apply_ancor
+                                                         : m_.apply_online);
+  MaybeRunPeriodicReinforce(activation.time);
+  double new_weight = 0.0;
+  {
+    obs::ScopedTimer sim_timer(&metrics_, m_.apply_sim_us, "similarity");
+    ANC_RETURN_NOT_OK(engine_.ApplyActivationAnchored(
+        activation.edge, activation.time, &new_weight));
+  }
+  {
+    obs::ScopedTimer repair_timer(&metrics_, m_.apply_repair_us,
+                                  "index_repair");
+    total_touched_ += index_->UpdateEdgeWeight(activation.edge, new_weight);
+  }
+  if (config_.mode == AncMode::kOnlineReinforce) {
+    interval_edges_.insert(activation.edge);
+    metrics_.Set(m_.ancor_pending_edges,
+                 static_cast<int64_t>(interval_edges_.size()));
+  }
+  return Status::OK();
+}
+
 Status AncIndex::ApplyStream(const ActivationStream& stream) {
   for (const Activation& a : stream) {
     ANC_RETURN_NOT_OK(Apply(a));

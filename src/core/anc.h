@@ -95,6 +95,18 @@ class AncIndex {
   ///    per pyramid (Lemma 12), plus the periodic ANCOR pass.
   Status Apply(const Activation& activation);
 
+  /// Like Apply, but tolerates a timestamp behind the index clock — the
+  /// replica-import path of live shard migration (and its crash-recovery
+  /// splice), which replays one component's history into an index whose
+  /// clock other components already advanced. Exact in anchored space:
+  /// the activeness increment e^{lambda (t - t*)} is the same whether the
+  /// activation arrives in order or late, and sigma / reinforcement /
+  /// index repairs are state functions of the anchored values, so a
+  /// replica fed per-component in-order histories converges
+  /// byte-identically to an in-order index. Online modes only
+  /// (kFailedPrecondition in kOffline — nothing serves from one).
+  Status ApplyOutOfOrder(const Activation& activation);
+
   /// Feeds a whole stream in order.
   Status ApplyStream(const ActivationStream& stream);
 

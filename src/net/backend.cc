@@ -332,7 +332,13 @@ Status ShardedBackend::FlushDurable(std::chrono::milliseconds timeout) {
   return server_->FlushDurable(timeout);
 }
 
-uint64_t ShardedBackend::StampFor(const std::vector<uint64_t>& epochs) {
+uint64_t ShardedBackend::StampFor(std::vector<uint64_t> epochs) {
+  // Fold the vertex->shard assignment epoch in alongside the per-shard view
+  // epochs: live migration changes which shard owns an edge without touching
+  // any shard's view epoch, so a cached answer merged under the old
+  // assignment would otherwise survive the swap. assignment_epoch() is
+  // monotonic, so reading it after View() can only over-invalidate.
+  epochs.push_back(server_->assignment_epoch());
   util::MutexLock lock(stamp_mutex_);
   if (epochs != last_epochs_) {
     last_epochs_ = epochs;

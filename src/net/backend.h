@@ -202,7 +202,7 @@ class ShardedBackend : public Backend {
 
  private:
   /// The monotone stamp registered for this epoch vector (see class docs).
-  uint64_t StampFor(const std::vector<uint64_t>& epochs);
+  uint64_t StampFor(std::vector<uint64_t> epochs);
   /// Pins a ShardedView whose total resolved tickets cover min_seq.
   Result<shard::ShardedView> Pin(uint64_t min_seq, uint64_t* stamp);
 

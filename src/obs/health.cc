@@ -81,6 +81,11 @@ HealthReport ShardHealthMonitor::Assess(
     Check("load_skew", skew, t.degraded_load_skew, t.critical_load_skew,
           &report.cluster_state, &report.cluster_reasons);
   }
+  if (sample.accepted >= t.min_accepted_for_skew) {
+    const double drift = sample.observed_cut_ratio - sample.cut_ratio;
+    Check("cut_drift", drift, t.degraded_cut_drift, t.critical_cut_drift,
+          &report.cluster_state, &report.cluster_reasons);
+  }
 
   report.shards.reserve(sample.shards.size());
   for (const ShardHealthSample& shard : sample.shards) {
@@ -123,6 +128,12 @@ Json HealthReport::ToJsonValue() const {
   cluster.Set("balance", Json::Number(sample.balance));
   cluster.Set("halo_partial",
               Json::Number(static_cast<double>(sample.halo_partial)));
+  cluster.Set("accepted", Json::Number(static_cast<double>(sample.accepted)));
+  cluster.Set("halo_deliveries",
+              Json::Number(static_cast<double>(sample.halo_deliveries)));
+  cluster.Set("observed_cut_ratio", Json::Number(sample.observed_cut_ratio));
+  cluster.Set("assignment_epoch",
+              Json::Number(static_cast<double>(sample.assignment_epoch)));
   Json cluster_reasons_json = Json::Array();
   for (const std::string& reason : cluster_reasons) {
     cluster_reasons_json.Append(Json::Str(reason));
@@ -170,8 +181,10 @@ std::string HealthReport::ToString() const {
   out += HealthStateName(cluster_state);
   out += " (shards=" + std::to_string(sample.num_shards) +
          " cut_ratio=" + FormatDouble(sample.cut_ratio) +
+         " observed_cut=" + FormatDouble(sample.observed_cut_ratio) +
          " balance=" + FormatDouble(sample.balance) +
-         " halo_partial=" + std::to_string(sample.halo_partial) + ")";
+         " halo_partial=" + std::to_string(sample.halo_partial) +
+         " assignment_epoch=" + std::to_string(sample.assignment_epoch) + ")";
   for (const std::string& reason : cluster_reasons) {
     out += "\n  ! " + reason;
   }

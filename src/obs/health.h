@@ -42,9 +42,18 @@ struct ClusterHealthSample {
   uint32_t num_shards = 0;
   uint64_t num_edges = 0;
   uint64_t cut_edges = 0;
-  double cut_ratio = 0.0;  ///< cut_edges / num_edges
+  double cut_ratio = 0.0;  ///< cut_edges / num_edges (static, ComputeStats)
   double balance = 0.0;    ///< max shard_nodes / (n / k); 1.0 is perfect
   uint64_t halo_partial = 0;  ///< fan-out deliveries a shard queue refused
+  uint64_t accepted = 0;          ///< total tickets issued across shards
+  uint64_t halo_deliveries = 0;   ///< fan-out deliveries for cut edges
+  /// halo_deliveries / accepted: the cut ratio of the traffic actually
+  /// ingested, as opposed to cut_ratio's static edge-census. A live stream
+  /// concentrating on cut edges drives this above the static number — the
+  /// drift signal the rebalancer (src/rebalance/) acts on.
+  double observed_cut_ratio = 0.0;
+  /// Vertex->shard assignment generation; bumps on live migration.
+  uint64_t assignment_epoch = 0;
   std::vector<ShardHealthSample> shards;
 };
 
@@ -70,6 +79,13 @@ struct HealthThresholds {
   double degraded_load_skew = 2.0;
   double critical_load_skew = 4.0;
   uint64_t min_accepted_for_skew = 1024;
+  /// Observed-cut drift: observed_cut_ratio minus the static cut_ratio.
+  /// Judged under the same min_accepted_for_skew floor. Sustained drift
+  /// means the partition was computed for traffic that no longer exists;
+  /// the fix is a rebalance (src/rebalance/, docs/sharding.md), so the
+  /// degraded trip point matches CutMonitorOptions::drift_threshold.
+  double degraded_cut_drift = 0.15;
+  double critical_cut_drift = 0.40;
 };
 
 /// One shard's verdict: the tripped checks, each as a human-readable

@@ -1,0 +1,27 @@
+#include "rebalance/activity.h"
+
+namespace anc::rebalance {
+
+ActivityTracker::ActivityTracker(const Graph& graph, double alpha)
+    : graph_(&graph),
+      alpha_(alpha),
+      window_(graph.NumNodes()),
+      edge_window_(graph.NumEdges()),
+      ewma_(graph.NumNodes(), 0.0),
+      edge_ewma_(graph.NumEdges(), 0.0) {}
+
+void ActivityTracker::Rotate() {
+  for (size_t v = 0; v < window_.size(); ++v) {
+    const uint32_t count = window_[v].exchange(0, std::memory_order_relaxed);
+    ewma_[v] = (1.0 - alpha_) * ewma_[v] + alpha_ * static_cast<double>(count);
+  }
+  for (size_t e = 0; e < edge_window_.size(); ++e) {
+    const uint32_t count =
+        edge_window_[e].exchange(0, std::memory_order_relaxed);
+    edge_ewma_[e] =
+        (1.0 - alpha_) * edge_ewma_[e] + alpha_ * static_cast<double>(count);
+  }
+  ++rotations_;
+}
+
+}  // namespace anc::rebalance

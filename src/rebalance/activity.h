@@ -1,0 +1,75 @@
+#ifndef ANC_REBALANCE_ACTIVITY_H_
+#define ANC_REBALANCE_ACTIVITY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace anc::rebalance {
+
+/// Per-vertex activity estimator feeding the re-partitioning planner: an
+/// exponentially decayed count of activations incident to each vertex.
+/// The paper's activeness (Eq. 1) decays per *edge*; the planner needs the
+/// coarser per-vertex rate — "which communities are hot right now" — so a
+/// windowed EWMA over activation counts is enough, and much cheaper than
+/// reading index state.
+///
+/// Threading: Observe() is any-thread (one relaxed fetch_add per endpoint,
+/// cheap enough to sit next to ShardedServer::Submit in the ingest loop).
+/// Rotate() and the readers belong to the single monitor thread — Rotate
+/// folds the racing window counters into plain-double EWMAs; concurrent
+/// Observes may land in either window, which only shifts activity between
+/// adjacent windows.
+class ActivityTracker {
+ public:
+  /// `graph` must outlive the tracker. `alpha` is the EWMA weight of the
+  /// newest window (1.0 = only the latest window counts).
+  explicit ActivityTracker(const Graph& graph, double alpha = 0.3);
+
+  /// Records one activation on `edge` (both endpoints get credit).
+  void Observe(EdgeId edge) {
+    if (edge >= graph_->NumEdges()) return;
+    const auto [u, v] = graph_->Endpoints(edge);
+    window_[u].fetch_add(1, std::memory_order_relaxed);
+    window_[v].fetch_add(1, std::memory_order_relaxed);
+    edge_window_[edge].fetch_add(1, std::memory_order_relaxed);
+    observed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Folds the current window into the EWMAs and clears it (monitor
+  /// thread).
+  void Rotate();
+
+  /// Decayed per-vertex activity, valid after the first Rotate() (monitor
+  /// thread; stable between Rotates).
+  const std::vector<double>& activity() const { return ewma_; }
+
+  /// Decayed per-edge activity, same cadence. The planner's component
+  /// phase walks only *hot* edges: two busy communities joined by an
+  /// idle structural edge must stay separate components, which vertex
+  /// activity alone cannot tell apart.
+  const std::vector<double>& edge_activity() const { return edge_ewma_; }
+
+  /// Activations observed since construction.
+  uint64_t observed() const {
+    return observed_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t rotations() const { return rotations_; }
+
+ private:
+  const Graph* graph_;
+  double alpha_;
+  std::vector<std::atomic<uint32_t>> window_;
+  std::vector<std::atomic<uint32_t>> edge_window_;
+  std::vector<double> ewma_;
+  std::vector<double> edge_ewma_;
+  std::atomic<uint64_t> observed_{0};
+  uint64_t rotations_ = 0;
+};
+
+}  // namespace anc::rebalance
+
+#endif  // ANC_REBALANCE_ACTIVITY_H_

@@ -1,0 +1,216 @@
+#include "rebalance/journal.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "store/wal.h"
+#include "util/crc32c.h"
+
+namespace anc::rebalance {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kJournalName = "migration.journal";
+constexpr const char* kSidecarPrefix = "migrate-";
+constexpr const char* kImportArchivePrefix = "import-";
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(const uint8_t* data, size_t size, size_t* offset, T* value) {
+  if (size - *offset < sizeof(T)) return false;
+  std::memcpy(value, data + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+struct ScopedFile {
+  std::FILE* file = nullptr;
+  ~ScopedFile() {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+
+}  // namespace
+
+void EncodeJournal(const MigrationJournal& journal, std::string* out) {
+  std::string payload;
+  AppendPod(&payload, journal.id);
+  AppendPod(&payload, journal.from);
+  AppendPod(&payload, journal.to);
+  AppendPod(&payload, journal.s_a);
+  AppendPod(&payload, journal.s_b);
+  AppendPod(&payload, journal.g0);
+  AppendPod(&payload, static_cast<uint8_t>(journal.phase));
+  AppendPod(&payload, static_cast<uint32_t>(journal.moving.size()));
+  for (const NodeId node : journal.moving) AppendPod(&payload, node);
+
+  out->append(kJournalMagic, sizeof(kJournalMagic));
+  AppendPod(out, static_cast<uint32_t>(payload.size()));
+  AppendPod(out, Crc32c(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+Result<MigrationJournal> DecodeJournal(const uint8_t* data, size_t size) {
+  if (size < sizeof(kJournalMagic) + 8) {
+    return Status::InvalidArgument("journal: short header");
+  }
+  if (std::memcmp(data, kJournalMagic, sizeof(kJournalMagic)) != 0) {
+    return Status::InvalidArgument("journal: bad magic");
+  }
+  size_t offset = sizeof(kJournalMagic);
+  uint32_t length = 0;
+  uint32_t crc = 0;
+  ReadPod(data, size, &offset, &length);
+  ReadPod(data, size, &offset, &crc);
+  if (length > kMaxJournalPayloadBytes || size - offset < length) {
+    return Status::InvalidArgument("journal: implausible payload length");
+  }
+  const uint8_t* payload = data + offset;
+  if (Crc32c(payload, length) != crc) {
+    return Status::InvalidArgument("journal: checksum mismatch");
+  }
+
+  MigrationJournal journal;
+  size_t at = 0;
+  uint8_t phase = 0;
+  uint32_t count = 0;
+  if (!ReadPod(payload, length, &at, &journal.id) ||
+      !ReadPod(payload, length, &at, &journal.from) ||
+      !ReadPod(payload, length, &at, &journal.to) ||
+      !ReadPod(payload, length, &at, &journal.s_a) ||
+      !ReadPod(payload, length, &at, &journal.s_b) ||
+      !ReadPod(payload, length, &at, &journal.g0) ||
+      !ReadPod(payload, length, &at, &phase) ||
+      !ReadPod(payload, length, &at, &count)) {
+    return Status::InvalidArgument("journal: truncated payload");
+  }
+  if (phase > static_cast<uint8_t>(MigrationPhase::kCommitted)) {
+    return Status::InvalidArgument("journal: unknown phase");
+  }
+  journal.phase = static_cast<MigrationPhase>(phase);
+  if (size_t{count} * 4 != length - at) {
+    return Status::InvalidArgument("journal: inconsistent vertex count");
+  }
+  journal.moving.resize(count);
+  if (count > 0) {
+    std::memcpy(journal.moving.data(), payload + at, size_t{count} * 4);
+  }
+  return journal;
+}
+
+std::string JournalPath(const std::string& dir) {
+  return (fs::path(dir) / kJournalName).string();
+}
+
+std::string SidecarPath(const std::string& dir, uint64_t id, int stage) {
+  return (fs::path(dir) / (std::string(kSidecarPrefix) + std::to_string(id) +
+                           "." + std::to_string(stage) + ".wal"))
+      .string();
+}
+
+Status WriteJournal(const std::string& dir, const MigrationJournal& journal) {
+  std::string image;
+  EncodeJournal(journal, &image);
+  const std::string path = JournalPath(dir);
+  const std::string tmp = path + ".tmp";
+  {
+    ScopedFile out;
+    out.file = std::fopen(tmp.c_str(), "wb");
+    if (out.file == nullptr) {
+      return Status::IoError("cannot write " + tmp);
+    }
+    if (std::fwrite(image.data(), 1, image.size(), out.file) != image.size() ||
+        std::fflush(out.file) != 0) {
+      return Status::IoError("short write to " + tmp);
+    }
+  }
+  ANC_RETURN_NOT_OK(store::FsyncFile(tmp));
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IoError("cannot rename " + tmp);
+  return store::FsyncDir(dir);
+}
+
+Result<MigrationJournal> ReadJournal(const std::string& dir) {
+  const std::string path = JournalPath(dir);
+  ScopedFile in;
+  in.file = std::fopen(path.c_str(), "rb");
+  if (in.file == nullptr) {
+    return Status::NotFound("no " + path);
+  }
+  std::string image;
+  char buffer[4096];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), in.file)) > 0) {
+    image.append(buffer, got);
+    if (image.size() >
+        sizeof(kJournalMagic) + 8 + size_t{kMaxJournalPayloadBytes}) {
+      return Status::IoError(path + ": implausibly large journal");
+    }
+  }
+  Result<MigrationJournal> journal = DecodeJournal(
+      reinterpret_cast<const uint8_t*>(image.data()), image.size());
+  if (!journal.ok()) {
+    return Status::IoError(path + ": " + journal.status().message());
+  }
+  return journal;
+}
+
+std::string ImportArchivePath(const std::string& shard_dir, uint64_t id,
+                              int stage) {
+  return (fs::path(shard_dir) /
+          (std::string(kImportArchivePrefix) + std::to_string(id) + "." +
+           std::to_string(stage) + ".wal"))
+      .string();
+}
+
+std::vector<std::string> ListImportArchives(const std::string& shard_dir) {
+  std::vector<std::pair<std::pair<uint64_t, int>, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(shard_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t id = 0;
+    int stage = 0;
+    if (std::sscanf(name.c_str(), "import-%20" SCNu64 ".%d.wal", &id,
+                    &stage) == 2 &&
+        name == std::string(kImportArchivePrefix) + std::to_string(id) + "." +
+                    std::to_string(stage) + ".wal") {
+      found.push_back({{id, stage}, entry.path().string()});
+    }
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> archives;
+  archives.reserve(found.size());
+  for (auto& [key, path] : found) archives.push_back(std::move(path));
+  return archives;
+}
+
+std::vector<std::string> ListMigrationArtifacts(const std::string& dir) {
+  std::vector<std::string> artifacts;
+  const std::string journal = JournalPath(dir);
+  std::error_code ec;
+  if (fs::exists(journal, ec)) artifacts.push_back(journal);
+  if (fs::exists(journal + ".tmp", ec)) artifacts.push_back(journal + ".tmp");
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kSidecarPrefix, 0) == 0) {
+      artifacts.push_back(entry.path().string());
+    }
+  }
+  return artifacts;
+}
+
+}  // namespace anc::rebalance

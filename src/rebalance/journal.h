@@ -1,0 +1,104 @@
+#ifndef ANC_REBALANCE_JOURNAL_H_
+#define ANC_REBALANCE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace anc::rebalance {
+
+/// Phases of an in-flight live migration (docs/sharding.md "Rebalancing &
+/// live migration"). The journal file is rewritten atomically (temp +
+/// rename), so recovery only ever sees one of these two states:
+enum class MigrationPhase : uint8_t {
+  /// Handoff started; sidecars may exist in any state; the old owner is
+  /// still authoritative. Recovery rolls the migration *back*.
+  kPrepare = 0,
+  /// The commit record is durable: the target shard's quiesce ticket S_B
+  /// and store generation g0 are recorded, and the router swap happened
+  /// (or was about to). Recovery rolls the migration *forward*.
+  kCommitted = 1,
+};
+
+/// The durable record of one in-flight migration, stored as
+/// <store_dir>/migration.journal next to shards.meta. Its presence is what
+/// makes a crash mid-migration recoverable; its atomic-rename transition
+/// from kPrepare to kCommitted is the migration's commit point.
+///
+/// File layout (all little-endian host order, matching shards.meta):
+///   [8B magic "ANCMIG01"][u32 payload_len][u32 crc32c(payload)][payload]
+///   payload: u64 id, u32 from, u32 to, u64 s_a, u64 s_b, u64 g0,
+///            u8 phase, u32 count, count x u32 node
+struct MigrationJournal {
+  uint64_t id = 0;    ///< unique per migration; names the sidecar files
+  uint32_t from = 0;  ///< old owner shard
+  uint32_t to = 0;    ///< new owner shard
+  /// From-shard frontier ticket at BeginHandoff: every pre-handoff
+  /// delivery to `from` has per-shard ticket <= s_a (the WAL-tail filter).
+  uint64_t s_a = 0;
+  /// To-shard quiesce ticket at commit: every to-shard WAL record with
+  /// seq <= s_b predates the import splice. 0 while kPrepare.
+  uint64_t s_b = 0;
+  /// To-shard store generation at commit: a recovered generation beyond
+  /// this proves a post-migration checkpoint already folded the imports
+  /// in, so recovery must not re-apply the sidecars. 0 while kPrepare.
+  uint64_t g0 = 0;
+  MigrationPhase phase = MigrationPhase::kPrepare;
+  std::vector<NodeId> moving;  ///< the vertices changing owner
+};
+
+inline constexpr char kJournalMagic[8] = {'A', 'N', 'C', 'M',
+                                          'I', 'G', '0', '1'};
+/// Corruption guard: journals beyond this are rejected, never allocated.
+inline constexpr uint32_t kMaxJournalPayloadBytes = 16u << 20;
+
+/// Serializes `journal` (payload + framing) into `out`.
+void EncodeJournal(const MigrationJournal& journal, std::string* out);
+
+/// Parses a journal file image. Bounded and total: short buffers, bad
+/// magic, implausible lengths, CRC mismatches and inconsistent counts all
+/// fail InvalidArgument without large allocations (fuzzed by
+/// fuzz/fuzz_journal.cc).
+Result<MigrationJournal> DecodeJournal(const uint8_t* data, size_t size);
+
+/// <dir>/migration.journal.
+std::string JournalPath(const std::string& dir);
+
+/// <dir>/migrate-<id>.<stage>.wal — stage 0 is the WAL-tail snapshot,
+/// stage 1 the catch-up records (both plain WAL-segment files).
+std::string SidecarPath(const std::string& dir, uint64_t id, int stage);
+
+/// <shard_dir>/import-<id>.<stage>.wal — a completed migration's sidecar,
+/// archived into the *target's* shard directory at phase 5 instead of
+/// being deleted. It holds the moved edges' pre-import delivery history —
+/// the only copy, since imports never touch the target's WAL — which a
+/// later handoff *out of* that shard splices in front of its WAL scan.
+/// Start() retires stale archives from previous sessions (the Open-time
+/// checkpoint already folded them in).
+std::string ImportArchivePath(const std::string& shard_dir, uint64_t id,
+                              int stage);
+
+/// The import archives under `shard_dir`, ordered by (id, stage).
+std::vector<std::string> ListImportArchives(const std::string& shard_dir);
+
+/// Atomically persists `journal` at JournalPath(dir): temp file + fsync +
+/// rename + directory fsync. Overwrites any previous journal — this is the
+/// kPrepare -> kCommitted transition.
+Status WriteJournal(const std::string& dir, const MigrationJournal& journal);
+
+/// Reads and decodes <dir>/migration.journal. NotFound when absent.
+Result<MigrationJournal> ReadJournal(const std::string& dir);
+
+/// Every on-disk migration artifact under `dir`: the journal, sidecars of
+/// any migration id, and their orphaned temp files. Used by recovery and
+/// post-migration cleanup (the journal, when present, sorts first so
+/// deleting in order drops the commit record before its sidecars become
+/// unreferenced).
+std::vector<std::string> ListMigrationArtifacts(const std::string& dir);
+
+}  // namespace anc::rebalance
+
+#endif  // ANC_REBALANCE_JOURNAL_H_

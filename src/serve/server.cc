@@ -96,6 +96,7 @@ void AncServer::Stop() {
   watermark_cv_.NotifyAll();
   durable_cv_.NotifyAll();
   checkpoint_cv_.NotifyAll();
+  quiesce_cv_.NotifyAll();
 }
 
 void AncServer::WriterLoop() {
@@ -176,6 +177,9 @@ void AncServer::WriterLoop() {
           checkpoint_requested_.load(std::memory_order_acquire)) {
         ServiceCheckpoint(resolved_seq, last_applied_time);
         applied_since_checkpoint = 0;
+      }
+      if (quiesce_requested_.load(std::memory_order_acquire)) {
+        ServiceQuiesced(resolved_seq, last_applied_time);
       }
       // Idle wakeups are quiescent points: let the tier demote pages that
       // decayed under the budget and service any finished compaction. A
@@ -269,6 +273,9 @@ void AncServer::WriterLoop() {
       ServiceCheckpoint(resolved_seq, last_applied_time);
       applied_since_checkpoint = 0;
     }
+    if (quiesce_requested_.load(std::memory_order_acquire)) {
+      ServiceQuiesced(resolved_seq, last_applied_time);
+    }
     // Post-batch quiescent point: demotion/compaction never overlaps an
     // Apply, so the tier can move pages without synchronizing with reads
     // of the live index (docs/storage_tiers.md).
@@ -292,6 +299,9 @@ void AncServer::WriterLoop() {
   watermark_cv_.NotifyAll();
   durable_cv_.NotifyAll();
   checkpoint_cv_.NotifyAll();
+  // Callbacks still queued never run (the server is stopping); their
+  // waiters observe writer_done_ and fail Unavailable.
+  quiesce_cv_.NotifyAll();
 }
 
 void AncServer::ServiceCheckpoint(uint64_t seq, double time) {
@@ -310,6 +320,82 @@ void AncServer::ServiceCheckpoint(uint64_t seq, double time) {
     last_checkpoint_status_ = status;
   }
   checkpoint_cv_.NotifyAll();
+}
+
+void AncServer::ServiceQuiesced(uint64_t seq, double time) {
+  quiesce_requested_.store(false, std::memory_order_release);
+  QuiescedContext context;
+  context.watermark = Watermark{seq, time};
+  context.republish = [this, seq, time] { Publish(Watermark{seq, time}); };
+  while (true) {
+    QuiesceTicket ticket;
+    bool run = false;
+    {
+      util::MutexLock lock(quiesce_mutex_);
+      if (quiesce_callbacks_.empty()) break;
+      ticket = std::move(quiesce_callbacks_.front());
+      quiesce_callbacks_.erase(quiesce_callbacks_.begin());
+      // Decide run-vs-skip under the mutex: cancellation is also decided
+      // under it, so once quiesce_running_ names this ticket the owner can
+      // no longer cancel — a cancelled callback must never mutate state
+      // its caller believes was left untouched.
+      run = !ticket.cancelled->load(std::memory_order_acquire);
+      if (run) quiesce_running_ = ticket.id;
+    }
+    // Run outside quiesce_mutex_: the callback may block (migration bulk
+    // apply) and may take locks of its own; only the FIFO is guarded.
+    if (run) ticket.fn(context);
+    {
+      util::MutexLock lock(quiesce_mutex_);
+      quiesce_running_ = 0;
+      quiesce_done_ = ticket.id;
+    }
+    quiesce_cv_.NotifyAll();
+  }
+}
+
+Status AncServer::RunQuiesced(std::function<void(const QuiescedContext&)> fn,
+                              std::chrono::milliseconds timeout) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server not running");
+  }
+  QuiesceTicket ticket;
+  ticket.fn = std::move(fn);
+  ticket.cancelled = std::make_shared<std::atomic<bool>>(false);
+  std::shared_ptr<std::atomic<bool>> cancelled = ticket.cancelled;
+  uint64_t target = 0;
+  {
+    util::MutexLock lock(quiesce_mutex_);
+    ticket.id = ++quiesce_issued_;
+    target = ticket.id;
+    quiesce_callbacks_.push_back(std::move(ticket));
+  }
+  quiesce_requested_.store(true, std::memory_order_release);
+  util::MutexLock lock(quiesce_mutex_);
+  quiesce_cv_.WaitFor(quiesce_mutex_, timeout, [&] {
+    quiesce_mutex_.AssertHeld();
+    return quiesce_done_ >= target ||
+           writer_done_.load(std::memory_order_acquire);
+  });
+  if (quiesce_done_ >= target) return Status::OK();
+  if (quiesce_running_ == target) {
+    // The writer picked the callback up before the timeout fired: too late
+    // to cancel, so wait out the execution — the result must truthfully
+    // say whether the callback ran.
+    quiesce_cv_.WaitFor(quiesce_mutex_, timeout, [&] {
+      quiesce_mutex_.AssertHeld();
+      return quiesce_done_ >= target;
+    });
+    if (quiesce_done_ >= target) return Status::OK();
+    return Status::Unavailable("quiesced callback still executing");
+  }
+  // Never ran (stop or timeout): cancel — decided under quiesce_mutex_, so
+  // a later quiescent point can no longer pick the callback up.
+  cancelled->store(true, std::memory_order_release);
+  return Status::Unavailable(
+      writer_done_.load(std::memory_order_acquire)
+          ? "server stopped before the quiesced callback ran"
+          : "timed out awaiting a writer quiescent point");
 }
 
 void AncServer::Publish(Watermark watermark) {

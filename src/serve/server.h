@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -212,6 +213,34 @@ class AncServer {
   /// live serving; they freeze the durable watermark.
   Status store_status() const;
 
+  // --- Quiescent-point execution -------------------------------------------
+
+  /// Context handed to a RunQuiesced callback (writer thread, between
+  /// batches: the index is quiescent and `watermark` exactly describes the
+  /// applied state).
+  struct QuiescedContext {
+    /// The resolved watermark at this quiescent point.
+    Watermark watermark;
+    /// Rebuilds and publishes a fresh view (epoch++) at `watermark`. Call
+    /// this after mutating the index by other means than the ingest path
+    /// (e.g. a live-migration import applied directly to the index) so
+    /// readers observe the mutation; without it the published view keeps
+    /// describing the pre-callback state.
+    std::function<void()> republish;
+  };
+
+  /// Runs `fn` on the writer thread at its next quiescent point (between
+  /// batches, same point checkpoints rotate at) and blocks until it
+  /// completes. While `fn` runs, no Apply is in flight and none starts, so
+  /// the callback may mutate the index directly — the mechanism live shard
+  /// migration uses to import moved vertices and atomically republish.
+  /// Callbacks queue FIFO across callers. FailedPrecondition when the
+  /// server is not running; Unavailable when the server stops (or `timeout`
+  /// elapses) before the callback ran — the callback is then never invoked.
+  Status RunQuiesced(
+      std::function<void(const QuiescedContext&)> fn,
+      std::chrono::milliseconds timeout = std::chrono::minutes(1));
+
   // --- Reader side --------------------------------------------------------
 
   /// The current published snapshot: one atomic load, never null between
@@ -274,6 +303,9 @@ class AncServer {
   /// Writer thread only: rotates a checkpoint at the current quiescent
   /// point and resolves any pending RequestCheckpoint waiters.
   void ServiceCheckpoint(uint64_t seq, double time);
+  /// Writer thread only: drains queued RunQuiesced callbacks (FIFO) at the
+  /// current quiescent point and resolves their waiters.
+  void ServiceQuiesced(uint64_t seq, double time);
 
   AncIndex* index_;
   ServeOptions options_;
@@ -320,6 +352,27 @@ class AncServer {
   util::CondVar checkpoint_cv_;
   uint64_t checkpoints_done_ ANC_GUARDED_BY(checkpoint_mutex_) = 0;
   Status last_checkpoint_status_ ANC_GUARDED_BY(checkpoint_mutex_);
+
+  // RunQuiesced handshake (mirrors the checkpoint one, but carries a FIFO
+  // of callbacks; each caller waits for its own ticket). A caller that
+  // gives up (timeout / server stop) flips its ticket's `cancelled` flag,
+  // so a later quiescent point can never run a callback whose owner
+  // already returned Unavailable.
+  struct QuiesceTicket {
+    uint64_t id = 0;
+    std::function<void(const QuiescedContext&)> fn;
+    std::shared_ptr<std::atomic<bool>> cancelled;
+  };
+  std::atomic<bool> quiesce_requested_{false};
+  util::Mutex quiesce_mutex_;
+  util::CondVar quiesce_cv_;
+  uint64_t quiesce_issued_ ANC_GUARDED_BY(quiesce_mutex_) = 0;
+  uint64_t quiesce_done_ ANC_GUARDED_BY(quiesce_mutex_) = 0;
+  /// Ticket id the writer is executing right now (0 when none): a caller
+  /// whose timeout fires mid-execution must keep waiting — "ran" vs "never
+  /// ran" has to be decided truthfully.
+  uint64_t quiesce_running_ ANC_GUARDED_BY(quiesce_mutex_) = 0;
+  std::vector<QuiesceTicket> quiesce_callbacks_ ANC_GUARDED_BY(quiesce_mutex_);
 
   struct Metrics {
     obs::CounterId epochs;

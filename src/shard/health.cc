@@ -14,6 +14,13 @@ obs::ClusterHealthSample CollectHealthSample(const ShardedServer& server) {
   sample.cut_ratio = stats.cut_ratio;
   sample.balance = stats.balance;
   sample.halo_partial = server.halo_partial();
+  sample.accepted = server.accepted();
+  sample.halo_deliveries = server.halo_deliveries();
+  sample.observed_cut_ratio =
+      sample.accepted > 0
+          ? static_cast<double>(sample.halo_deliveries) / sample.accepted
+          : 0.0;
+  sample.assignment_epoch = server.assignment_epoch();
   sample.shards.reserve(server.num_shards());
   for (uint32_t s = 0; s < server.num_shards(); ++s) {
     const serve::AncServer& shard = server.shard(s);

@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <system_error>
 #include <utility>
 
+#include "rebalance/journal.h"
+#include "store/test_hooks.h"
 #include "util/crc32c.h"
 
 namespace anc::shard {
@@ -77,15 +80,77 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::RecoverAll(
   Partition& partition = meta.value().first;
   const uint32_t num_edges = meta.value().second;
 
-  std::vector<Shard> shards(partition.num_shards);
-  std::vector<ShardRecoveryInfo> info;
-  info.reserve(partition.num_shards);
+  // An in-flight live migration leaves a journal next to shards.meta
+  // (docs/sharding.md "Rebalancing & live migration"). Phase kPrepare:
+  // the move never committed — recover under the old assignment and let
+  // Start() retire the artifacts. Phase kCommitted: the move owns the
+  // target's state — roll it forward below. A journal that exists but
+  // cannot be parsed is real corruption (writes are atomic renames), and
+  // guessing either way could lose or double-apply a migration.
+  bool roll_forward = false;
+  rebalance::MigrationJournal journal;
+  {
+    Result<rebalance::MigrationJournal> read = rebalance::ReadJournal(dir);
+    if (read.ok()) {
+      journal = std::move(read.value());
+      if (journal.from >= partition.num_shards ||
+          journal.to >= partition.num_shards || journal.from == journal.to) {
+        return Status::IoError("migration journal names bad shards");
+      }
+      for (const NodeId v : journal.moving) {
+        if (v >= partition.node_shard.size()) {
+          return Status::IoError("migration journal names bad vertices");
+        }
+      }
+      roll_forward = journal.phase == rebalance::MigrationPhase::kCommitted;
+    } else if (read.status().code() != StatusCode::kNotFound) {
+      return read.status();
+    }
+  }
+
+  // When rolling forward, the target shard recovers last: the deferral
+  // gate below needs a graph (for edge incidence), and any already
+  // recovered sibling provides the identical one.
+  std::vector<uint32_t> order;
+  order.reserve(partition.num_shards);
   for (uint32_t s = 0; s < partition.num_shards; ++s) {
+    if (!(roll_forward && s == journal.to)) order.push_back(s);
+  }
+  if (roll_forward) order.push_back(journal.to);
+
+  std::vector<Shard> shards(partition.num_shards);
+  std::vector<ShardRecoveryInfo> info(partition.num_shards);
+  for (const uint32_t s : order) {
     const std::string shard_dir =
         (fs::path(dir) / ("shard-" + std::to_string(s))).string();
+    store::RecoverOptions recover_options;
+    std::vector<uint8_t> edge_in_move;
+    const bool is_target = roll_forward && s == journal.to;
+    if (is_target) {
+      // Defer the target's own post-commit deliveries for the moving set:
+      // they postdate the sidecar content (per-shard seq > S_B) but sit
+      // earlier in its WAL than the splice point. Collected, they are
+      // re-applied after the sidecars, reconstructing the live order of
+      // everything touching the moving vertices.
+      const Graph& graph = *shards[order.front()].owned_graph;
+      edge_in_move.assign(graph.NumEdges(), 0);
+      for (const NodeId v : journal.moving) {
+        for (const Neighbor& nb : graph.Neighbors(v)) {
+          edge_in_move[nb.edge] = 1;
+        }
+      }
+      const uint64_t s_b = journal.s_b;
+      const std::vector<uint8_t>* bitmap = &edge_in_move;
+      recover_options.defer = [bitmap, s_b](const Activation& activation,
+                                            uint64_t seq) {
+        return seq > s_b && activation.edge < bitmap->size() &&
+               (*bitmap)[activation.edge] != 0;
+      };
+    }
     // Shards recover independently: one shard's torn WAL tail rolls only
     // that shard back to its own durable horizon.
-    Result<store::RecoveredStore> recovered = store::Recover(shard_dir);
+    Result<store::RecoveredStore> recovered =
+        store::Recover(shard_dir, recover_options);
     if (!recovered.ok()) {
       return Status(recovered.status().code(),
                     "shard " + std::to_string(s) + ": " +
@@ -98,6 +163,55 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::RecoverAll(
           "shard " + std::to_string(s) +
           ": recovered graph does not match shards.meta");
     }
+
+    if (is_target) {
+      AncIndex* index = r.index.get();
+      double max_time = r.watermark.time;
+      const auto apply_all = [index, &max_time](const store::WalRecord& rec) {
+        for (const Activation& a : rec.activations) {
+          // Sidecar content replays through the same anchored
+          // out-of-order path the live import used (the timestamps sit
+          // behind the target's own replayed stream), so the splice is
+          // byte-identical to the state the live index reached.
+          ANC_RETURN_NOT_OK(index->ApplyOutOfOrder(a));
+          max_time = std::max(max_time, a.time);
+        }
+        return Status::OK();
+      };
+      if (r.generation > journal.g0) {
+        // A post-commit checkpoint (the cleanup phase) already folded the
+        // imports into the recovered state: the sidecars must not be
+        // re-applied. The gated records were ordinary post-checkpoint
+        // traffic — apply them now.
+        for (const Activation& a : r.deferred) {
+          // Mirror the serve writer: a failed apply is skipped, so the
+          // replay converges to the state the live index reached.
+          (void)index->Apply(a);
+          max_time = std::max(max_time, a.time);
+        }
+      } else {
+        // Splice: sidecar-0 (the owner's WAL tail), sidecar-1 (catch-up +
+        // residual), then the target's own deferred post-commit records.
+        for (const int stage : {0, 1}) {
+          const std::string sidecar =
+              rebalance::SidecarPath(dir, journal.id, stage);
+          Result<store::WalSegmentInfo> applied = store::ReadWalSegment(
+              sidecar, apply_all, /*truncate_torn_tail=*/false);
+          if (!applied.ok()) {
+            return Status(applied.status().code(),
+                          "migration sidecar " + sidecar + ": " +
+                              applied.status().message());
+          }
+        }
+        for (const Activation& a : r.deferred) {
+          // Same skip-on-failure convention as the store replay above.
+          (void)index->Apply(a);
+          max_time = std::max(max_time, a.time);
+        }
+      }
+      r.watermark.time = max_time;
+    }
+
     ShardRecoveryInfo entry;
     entry.shard = s;
     entry.watermark = r.watermark;
@@ -106,7 +220,7 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::RecoverAll(
     entry.replayed_records = r.replayed_records;
     entry.replayed_activations = r.replayed_activations;
     entry.truncated_tail = r.truncated_tail;
-    info.push_back(entry);
+    info[s] = entry;
 
     Shard& shard = shards[s];
     shard.owned_graph = std::move(r.graph);
@@ -115,6 +229,12 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::RecoverAll(
     // reopens at {0, recovered time}: the Open-time checkpoint collapses
     // the replayed WAL (same idiom as single-server recovery).
     shard.start_mark = store::Mark{0, r.watermark.time};
+  }
+  if (roll_forward) {
+    // The committed assignment, whether or not it reached shards.meta
+    // before the crash (idempotent when it did). Start()'s WriteMeta
+    // persists it.
+    for (const NodeId v : journal.moving) partition.node_shard[v] = journal.to;
   }
   const Graph* graph = shards[0].owned_graph.get();
   std::unique_ptr<ShardedServer> server(
@@ -127,12 +247,16 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::RecoverAll(
 ShardedServer::ShardedServer(const Graph* graph, std::vector<Shard> shards,
                              Partition partition, ShardedOptions options)
     : graph_(graph), options_(std::move(options)), shards_(std::move(shards)) {
-  router_ = std::make_unique<Router>(*graph_, std::move(partition));
-  partition_stats_ = ComputeStats(*graph_, router_->partition());
-  shard_last_ticket_.assign(router_->num_shards(), 0);
-  staging_.resize(router_->num_shards());
+  num_shards_ = partition.num_shards;
+  {
+    util::MutexLock lock(router_mutex_);
+    router_ = std::make_shared<const Router>(*graph_, std::move(partition));
+    partition_stats_ = ComputeStats(*graph_, router_->partition());
+  }
+  shard_last_ticket_.assign(num_shards_, 0);
+  staging_.resize(num_shards_);
   for (auto& buffer : staging_) buffer.reserve(kRouteBatch);
-  staging_traces_.resize(router_->num_shards());
+  staging_traces_.resize(num_shards_);
   for (auto& buffer : staging_traces_) buffer.reserve(kRouteBatch);
   queries_ = registry_.Counter("anc.shard.queries");
   query_us_ = registry_.Histogram("anc.shard.query_us");
@@ -147,8 +271,19 @@ std::string ShardedServer::ShardDir(uint32_t s) const {
       .string();
 }
 
+std::shared_ptr<const Router> ShardedServer::router() const {
+  util::MutexLock lock(router_mutex_);
+  return router_;
+}
+
+PartitionStats ShardedServer::partition_stats() const {
+  util::MutexLock lock(router_mutex_);
+  return partition_stats_;
+}
+
 Status ShardedServer::WriteMeta() const {
-  const Partition& partition = router_->partition();
+  const std::shared_ptr<const Router> router = this->router();
+  const Partition& partition = router->partition();
   std::vector<char> payload;
   const auto append_u32 = [&payload](uint32_t value) {
     char bytes[4];
@@ -249,11 +384,16 @@ Status ShardedServer::Start() {
       return Status::IoError("cannot create " + options_.store_dir);
     }
     ANC_RETURN_NOT_OK(WriteMeta());
+    // Live migration replays the session's full delivery history out of
+    // the WAL (the sidecar splice reads back to ticket 1), so serving-time
+    // checkpoints must retain sealed segments.
+    store::StoreOptions store_options = options_.store;
+    store_options.retain_wal_history = true;
     for (uint32_t s = 0; s < num_shards(); ++s) {
       Shard& shard = shards_[s];
       Result<std::unique_ptr<store::DurableStore>> store =
           store::DurableStore::Open(ShardDir(s), *shard.index,
-                                    shard.start_mark, options_.store,
+                                    shard.start_mark, store_options,
                                     &shard.index->metrics());
       if (!store.ok()) {
         return Status(store.status().code(), "shard " + std::to_string(s) +
@@ -261,6 +401,23 @@ Status ShardedServer::Start() {
                                                  store.status().message());
       }
       shard.store = std::move(store.value());
+    }
+    // Only now — with every store open and its Open-time checkpoint
+    // durable — is a rolled-forward migration's state independent of its
+    // artifacts. Retire them, journal first (while it exists, recovery
+    // would re-run the roll-forward; orphan sidecars are plain garbage).
+    for (const std::string& artifact :
+         rebalance::ListMigrationArtifacts(options_.store_dir)) {
+      fs::remove(artifact, ec);
+    }
+    // Import archives from a previous session are folded into the
+    // Open-time checkpoints and their filter tickets restarted — a later
+    // handoff must not splice them again.
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      for (const std::string& stale :
+           rebalance::ListImportArchives(ShardDir(s))) {
+        fs::remove(stale, ec);
+      }
     }
   }
   for (uint32_t s = 0; s < num_shards(); ++s) {
@@ -349,11 +506,20 @@ Result<uint64_t> ShardedServer::Submit(const Activation& activation,
     trace = obs::TraceContext::NewTrace();
   }
   util::MutexLock lock(route_mutex_);
-  const auto [owner, halo] = router_->DeliveryOf(activation.edge);
+  // Holding route_mutex_ pins the assignment (FinalizeHandoff swaps it
+  // only under both locks), so one snapshot covers the whole routing step.
+  const std::shared_ptr<const Router> router = this->router();
+  const auto [owner, halo] = router->DeliveryOf(activation.edge);
   StageLocked(owner, activation, trace);
   if (halo != Router::kNoShard) {
     halo_deliveries_.fetch_add(1, std::memory_order_relaxed);
     StageLocked(halo, activation, trace);
+  }
+  if (handoff_ != nullptr && handoff_->edge_in_handoff[activation.edge]) {
+    // Live migration in progress: the moving vertices' target shard gets a
+    // side-buffered copy on top of the normal delivery (the old owner
+    // stays authoritative until the swap).
+    handoff_->buffer.push_back(activation);
   }
   // Bound the visibility latency of half-full batches under continued
   // traffic (idle buffers drain on the next Flush/AwaitSeq instead).
@@ -477,10 +643,16 @@ void ShardedServer::SetTraceSink(obs::TraceSink* sink) {
 
 ShardedView ShardedServer::View() const {
   ANC_CHECK(started_once_, "ShardedServer::View before Start()");
+  // Router snapshot FIRST, per-shard views second. A migration publishes
+  // the target shard's post-import view *before* swapping the router, so
+  // in this order a capture holding the new assignment always sees the
+  // target's imported state; the reverse order could pair a new router
+  // with a pre-import view.
+  const std::shared_ptr<const Router> router = this->router();
   std::vector<std::shared_ptr<const serve::ClusterView>> views;
   views.reserve(shards_.size());
   for (const Shard& shard : shards_) views.push_back(shard.server->View());
-  return ShardedView(*graph_, *router_, std::move(views));
+  return ShardedView(*graph_, router, std::move(views));
 }
 
 ShardedView ShardedServer::GatherView(obs::TraceContext trace) const {
@@ -488,13 +660,16 @@ ShardedView ShardedServer::GatherView(obs::TraceContext trace) const {
   obs::ScopedTimer gather_timer(&registry_, gather_us_);
   obs::TraceSink* sink =
       obs::kMetricsEnabled ? registry_.trace_sink() : nullptr;
+  // Same router-before-views capture order as View() (see the comment
+  // there): required for migration consistency.
+  const std::shared_ptr<const Router> router = this->router();
   std::vector<std::shared_ptr<const serve::ClusterView>> views;
   views.reserve(shards_.size());
   for (uint32_t s = 0; s < num_shards(); ++s) {
     obs::TraceSpan span(sink, "shard.gather", trace, static_cast<int>(s));
     views.push_back(shards_[s].server->View());
   }
-  return ShardedView(*graph_, *router_, std::move(views));
+  return ShardedView(*graph_, router, std::move(views));
 }
 
 Result<Clustering> ShardedServer::Clusters(uint32_t level) const {
@@ -588,6 +763,8 @@ obs::StatsSnapshot ShardedServer::Stats() const {
   // Start from the router registry (queries counter + query/gather/merge
   // histograms), then fold in the synthetic router-level series.
   obs::StatsSnapshot snapshot = registry_.Snapshot();
+  const std::shared_ptr<const Router> router = this->router();
+  const PartitionStats stats = partition_stats();
   snapshot.counters.push_back({"anc.shard.accepted", accepted()});
   snapshot.counters.push_back({"anc.shard.rejected", rejected()});
   snapshot.counters.push_back(
@@ -596,13 +773,16 @@ obs::StatsSnapshot ShardedServer::Stats() const {
   snapshot.gauges.push_back(
       {"anc.shard.num_shards", static_cast<int64_t>(num_shards())});
   snapshot.gauges.push_back(
-      {"anc.shard.cut_edges", static_cast<int64_t>(router_->cut_edges())});
+      {"anc.shard.cut_edges", static_cast<int64_t>(router->cut_edges())});
   snapshot.gauges.push_back(
       {"anc.shard.balance_x1000",
-       static_cast<int64_t>(partition_stats_.balance * 1000.0)});
+       static_cast<int64_t>(stats.balance * 1000.0)});
   snapshot.gauges.push_back(
       {"anc.shard.cut_ratio_x1000",
-       static_cast<int64_t>(partition_stats_.cut_ratio * 1000.0)});
+       static_cast<int64_t>(stats.cut_ratio * 1000.0)});
+  snapshot.gauges.push_back(
+      {"anc.shard.assignment_epoch",
+       static_cast<int64_t>(assignment_epoch())});
   for (uint32_t s = 0; s < num_shards(); ++s) {
     const std::string prefix = "anc.shard." + std::to_string(s) + ".";
     const serve::AncServer* server = shards_[s].server.get();
@@ -629,6 +809,122 @@ obs::StatsSnapshot ShardedServer::Stats() const {
              : 0});
   }
   return snapshot;
+}
+
+Result<uint64_t> ShardedServer::BeginHandoff(const std::vector<NodeId>& moving,
+                                             uint32_t from, uint32_t to) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("ShardedServer is not running");
+  }
+  if (from >= num_shards_ || to >= num_shards_ || from == to) {
+    return Status::InvalidArgument("bad handoff shards");
+  }
+  if (moving.empty()) {
+    return Status::InvalidArgument("empty moving set");
+  }
+  // Build the handoff-edge bitmap outside the route lock (O(sum of moving
+  // degrees)): an edge is in handoff when it touches a moving vertex and
+  // shard `to` does not already receive it under the current assignment —
+  // those deliveries are the ones `to` would otherwise never see.
+  const std::shared_ptr<const Router> router = this->router();
+  for (const NodeId v : moving) {
+    if (v >= graph_->NumNodes()) {
+      return Status::InvalidArgument("moving vertex out of range");
+    }
+    if (router->NodeOwner(v) != from) {
+      return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                     " is not owned by shard " +
+                                     std::to_string(from));
+    }
+  }
+  auto handoff = std::make_unique<Handoff>();
+  handoff->from = from;
+  handoff->to = to;
+  handoff->edge_in_handoff.assign(graph_->NumEdges(), 0);
+  for (const NodeId v : moving) {
+    for (const Neighbor& nb : graph_->Neighbors(v)) {
+      const auto [owner, halo] = router->DeliveryOf(nb.edge);
+      if (owner == to || halo == to) continue;  // `to` already gets these
+      handoff->edge_in_handoff[nb.edge] = 1;
+    }
+  }
+
+  util::MutexLock lock(route_mutex_);
+  if (handoff_ != nullptr) {
+    return Status::FailedPrecondition("another handoff is active");
+  }
+  // Drain staging so the frontier ticket below covers every delivery
+  // routed before side-buffering starts.
+  FlushAllLocked();
+  const uint64_t from_frontier = shard_last_ticket_[from];
+  handoff_ = std::move(handoff);
+  return from_frontier;
+}
+
+std::vector<Activation> ShardedServer::TakeHandoffChunk() {
+  util::MutexLock lock(route_mutex_);
+  if (handoff_ == nullptr) return {};
+  std::vector<Activation> chunk = std::move(handoff_->buffer);
+  handoff_->buffer.clear();
+  return chunk;
+}
+
+size_t ShardedServer::HandoffBacklog() const {
+  util::MutexLock lock(route_mutex_);
+  return handoff_ != nullptr ? handoff_->buffer.size() : 0;
+}
+
+Status ShardedServer::FinalizeHandoff(
+    std::shared_ptr<const Router> new_router, PartitionStats new_stats,
+    const std::function<Status(std::vector<Activation> residual)>& commit) {
+  ANC_CHECK(new_router != nullptr, "FinalizeHandoff needs a router");
+  ANC_CHECK(new_router->num_shards() == num_shards_,
+            "FinalizeHandoff cannot change the shard count");
+  {
+    util::MutexLock lock(route_mutex_);
+    if (handoff_ == nullptr) {
+      return Status::FailedPrecondition("no handoff is active");
+    }
+    // No routing is in flight (we hold the route lock) and nothing stays
+    // staged, so the side buffer now holds *every* handoff delivery not
+    // yet handed to the target: the exact residual.
+    FlushAllLocked();
+    std::vector<Activation> residual = std::move(handoff_->buffer);
+    handoff_->buffer.clear();
+    const Status committed = commit(std::move(residual));
+    if (!committed.ok()) {
+      // The durable commit record was not written: the old assignment
+      // stays authoritative. The residual may already be (partially)
+      // applied to the target's live index, so a retry cannot reuse this
+      // buffer — the caller rolls back with AbortHandoff.
+      return committed;
+    }
+    {
+      util::MutexLock router_lock(router_mutex_);
+      router_ = std::move(new_router);
+      partition_stats_ = std::move(new_stats);
+    }
+    assignment_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    handoff_.reset();
+  }
+  // The swap is committed; persist the new assignment so a clean restart
+  // reads it straight from shards.meta. Death in this window is exactly
+  // the kPostMigrationCommitPreMeta seam: the committed journal rolls the
+  // move forward in RecoverAll instead.
+  if (options_.serve.durability != serve::DurabilityPolicy::kNone) {
+    if (store::TestHooks::ShouldCrash(
+            store::CrashPoint::kPostMigrationCommitPreMeta)) {
+      return Status::Unavailable(
+          "simulated crash: post-migration-commit-pre-meta");
+    }
+    return WriteMeta();
+  }
+  return Status::OK();
+}
+
+void ShardedServer::AbortHandoff() {
+  util::MutexLock lock(route_mutex_);
+  handoff_.reset();
 }
 
 serve::HarnessTarget ShardedServer::HarnessTarget() {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -191,9 +192,18 @@ class ShardedServer {
   // --- Introspection ------------------------------------------------------
 
   const Graph& graph() const { return *graph_; }
-  const Router& router() const { return *router_; }
-  const PartitionStats& partition_stats() const { return partition_stats_; }
-  uint32_t num_shards() const { return router_->num_shards(); }
+  /// The current assignment snapshot. Shared ownership: a live migration
+  /// may swap the server's router at any moment, and a caller routing or
+  /// merging against a snapshot must keep using the one it captured.
+  std::shared_ptr<const Router> router() const;
+  PartitionStats partition_stats() const;
+  uint32_t num_shards() const { return num_shards_; }
+  /// Bumped every time the vertex→shard assignment swaps (live migration).
+  /// Folded into the net layer's cache-epoch vector so a cached answer
+  /// merged under an old assignment can never be served after a swap.
+  uint64_t assignment_epoch() const {
+    return assignment_epoch_.load(std::memory_order_acquire);
+  }
   /// Whether the shards run with a durability policy (health scorecards
   /// only judge durable lag when they do).
   bool durable() const {
@@ -216,6 +226,17 @@ class ShardedServer {
   serve::AncServer& shard(uint32_t s) { return *shards_[s].server; }
   const serve::AncServer& shard(uint32_t s) const { return *shards_[s].server; }
   AncIndex& shard_index(uint32_t s) { return *shards_[s].index; }
+
+  /// Shard s's durable store (null when durability is off or before
+  /// Start). The migrator reads its generation counter at commit.
+  const store::DurableStore* shard_store(uint32_t s) const {
+    return shards_[s].store.get();
+  }
+
+  /// Base directory of per-shard durability (ShardedOptions::store_dir;
+  /// empty when non-durable). Shard i's WAL lives under shard-<i>, and
+  /// migration artifacts live at the top level next to shards.meta.
+  const std::string& store_dir() const { return options_.store_dir; }
 
   uint64_t accepted() const {
     return accepted_.load(std::memory_order_relaxed);
@@ -253,6 +274,53 @@ class ShardedServer {
   /// AncServer). The target borrows this server; keep it alive and
   /// running for the harness run.
   serve::HarnessTarget HarnessTarget();
+
+  // --- Live migration hooks (rebalance::Migrator; docs/sharding.md) -------
+  //
+  // The migration protocol itself — WAL-tail snapshot, sidecar files,
+  // commit journal, crash recovery — lives in src/rebalance/migrator.cc;
+  // these hooks expose the routing-layer state transitions it needs:
+  // side-buffering deliveries for the moving vertices, and the atomic
+  // router swap at a point where no routing is in flight.
+
+  /// Starts a handoff of `moving` (owned by shard `from`) toward shard
+  /// `to`: flushes staged deliveries, snapshots the from-shard frontier
+  /// ticket S_A (everything routed to `from` so far has a per-shard ticket
+  /// <= S_A), and from now on *side-buffers a copy* of every delivery on a
+  /// handoff edge — an edge incident to `moving` that shard `to` does not
+  /// already receive under the current assignment — while normal routing
+  /// continues untouched (the old owner stays authoritative). Returns S_A.
+  /// FailedPrecondition while another handoff is active; InvalidArgument
+  /// on bad shards or vertices not owned by `from`.
+  Result<uint64_t> BeginHandoff(const std::vector<NodeId>& moving,
+                                uint32_t from, uint32_t to);
+
+  /// Drains the handoff side buffer (deliveries accumulated since
+  /// BeginHandoff or the previous take), in routing order. Empty when no
+  /// handoff is active.
+  std::vector<Activation> TakeHandoffChunk();
+
+  /// Deliveries currently waiting in the handoff side buffer.
+  size_t HandoffBacklog() const;
+
+  /// Atomically completes the handoff. Under the route lock (no routing in
+  /// flight, producers briefly blocked — the migration's only ingest
+  /// stall): flushes staging, hands the final side-buffer residual to
+  /// `commit`, and — only if `commit` returns OK — swaps in `new_router`
+  /// (+ its precomputed stats), bumps the assignment epoch and clears the
+  /// handoff state. `commit` writes the durable commit record and applies
+  /// the residual to the target shard at a writer quiescent point, and
+  /// must republish the target's view *before* returning so no reader can
+  /// observe the new assignment with a pre-import view. On a non-OK
+  /// `commit` the handoff stays active (AbortHandoff to roll back).
+  Status FinalizeHandoff(
+      std::shared_ptr<const Router> new_router, PartitionStats new_stats,
+      const std::function<Status(std::vector<Activation> residual)>& commit);
+
+  /// Abandons an active handoff: side-buffering stops, the buffer is
+  /// dropped, routing continues under the unchanged assignment. No-op when
+  /// none is active.
+  void AbortHandoff();
 
  private:
   struct Shard {
@@ -293,9 +361,31 @@ class ShardedServer {
   const Graph* graph_;  ///< canonical graph (external or shard 0's)
   ShardedOptions options_;
   std::vector<Shard> shards_;
-  std::unique_ptr<Router> router_;
-  PartitionStats partition_stats_;
+  uint32_t num_shards_ = 0;  ///< constant across router swaps
   std::vector<ShardRecoveryInfo> recovery_info_;
+
+  /// Current assignment. A micro-mutex of its own (never held across any
+  /// blocking call; lock order route_mutex_ -> router_mutex_) so readers
+  /// can snapshot the router without contending on the route lock. Swapped
+  /// only by FinalizeHandoff, which additionally holds route_mutex_ — a
+  /// thread holding *either* lock therefore sees a stable assignment.
+  mutable util::Mutex router_mutex_;
+  std::shared_ptr<const Router> router_ ANC_GUARDED_BY(router_mutex_);
+  PartitionStats partition_stats_ ANC_GUARDED_BY(router_mutex_);
+  std::atomic<uint64_t> assignment_epoch_{1};
+
+  /// Live-migration handoff state (docs/sharding.md "Rebalancing & live
+  /// migration"): while active, deliveries on handoff edges are *copied*
+  /// into `buffer` in routing order, on top of their normal delivery.
+  struct Handoff {
+    uint32_t from = 0;
+    uint32_t to = 0;
+    /// edge id -> 1 when incident to the moving set and not already
+    /// delivered to `to` under the pre-move assignment.
+    std::vector<uint8_t> edge_in_handoff;
+    std::vector<Activation> buffer;
+  };
+  std::unique_ptr<Handoff> handoff_ ANC_GUARDED_BY(route_mutex_);
 
   std::atomic<bool> running_{false};
   /// Not guarded: written only by Start(), read only by Start()/Stop(),

@@ -32,11 +32,15 @@ namespace anc::shard {
 /// fresh epochs underneath without disturbing captured views.
 class ShardedView {
  public:
-  /// `graph` and `router` must outlive the view; `views` must hold one
-  /// non-null snapshot per router shard.
-  ShardedView(const Graph& graph, const Router& router,
+  /// `graph` must outlive the view. `router` is the assignment snapshot the
+  /// merge dispatches through — shared ownership, because a live migration
+  /// can swap the server's router underneath a captured view (the view must
+  /// keep merging under the assignment it was captured with). `views` must
+  /// hold one non-null snapshot per router shard.
+  ShardedView(const Graph& graph, std::shared_ptr<const Router> router,
               std::vector<std::shared_ptr<const serve::ClusterView>> views)
-      : graph_(&graph), router_(&router), views_(std::move(views)) {
+      : graph_(&graph), router_(std::move(router)), views_(std::move(views)) {
+    ANC_CHECK(router_ != nullptr, "ShardedView needs a router snapshot");
     ANC_CHECK(views_.size() == router_->num_shards(),
               "ShardedView needs one snapshot per shard");
     for (const auto& view : views_) {
@@ -59,6 +63,8 @@ class ShardedView {
   // --- Vector watermark ---------------------------------------------------
   uint32_t num_shards() const { return static_cast<uint32_t>(views_.size()); }
   const serve::ClusterView& shard(uint32_t s) const { return *views_[s]; }
+  /// The assignment this capture merges under.
+  const Router& router() const { return *router_; }
 
   /// Per-shard publication epochs — the vector watermark of this capture.
   std::vector<uint64_t> Epochs() const {
@@ -132,7 +138,7 @@ class ShardedView {
 
  private:
   const Graph* graph_;
-  const Router* router_;
+  std::shared_ptr<const Router> router_;
   std::vector<std::shared_ptr<const serve::ClusterView>> views_;
 };
 

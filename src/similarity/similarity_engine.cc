@@ -80,6 +80,19 @@ Status SimilarityEngine::ApplyActivation(EdgeId e, double t,
   return Status::OK();
 }
 
+Status SimilarityEngine::ApplyActivationAnchored(EdgeId e, double t,
+                                                 double* new_weight) {
+  if (e >= graph_->NumEdges()) {
+    return Status::OutOfRange("edge id out of range");
+  }
+  double delta = 0.0;
+  ANC_RETURN_NOT_OK(activeness_.ActivateAnchored(e, t, &delta));
+  BumpActiveness(e, delta);
+  Reinforce(e);
+  if (new_weight != nullptr) *new_weight = Weight(e);
+  return Status::OK();
+}
+
 Status SimilarityEngine::ApplyActivationNoReinforce(EdgeId e, double t,
                                                     double* delta) {
   if (e >= graph_->NumEdges()) {

@@ -103,6 +103,15 @@ class SimilarityEngine {
   /// update) if non-null.
   Status ApplyActivation(EdgeId e, double t, double* new_weight = nullptr);
 
+  /// Like ApplyActivation, but tolerates timestamps behind the engine's
+  /// clock (ActivenessStore::ActivateAnchored): the replica-import path of
+  /// live shard migration replays one component's history into an engine
+  /// whose other components already advanced the clock. Exact in anchored
+  /// space — sigma and reinforcement are state functions of the anchored
+  /// activeness, so a late replay converges byte-identically.
+  Status ApplyActivationAnchored(EdgeId e, double t,
+                                 double* new_weight = nullptr);
+
   /// Like ApplyActivation but skips the reinforcement step: only the
   /// activeness and sigma caches advance. Used by the offline ANCF variant,
   /// whose S is snapshot-derived (RecomputeFromActiveness).

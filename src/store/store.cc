@@ -195,8 +195,13 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
   store->generation_ = max_generation;
 
   // The fresh checkpoint is the recovery base: a store directory is always
-  // self-contained from the moment Open returns.
+  // self-contained from the moment Open returns. Prior-session segments
+  // are trimmed even under retain_wal_history — their ticket numbering
+  // restarted, so they would alias this session's tickets.
+  const bool retain = store->options_.retain_wal_history;
+  store->options_.retain_wal_history = false;
   ANC_RETURN_NOT_OK(store->WriteCheckpoint(index, start));
+  store->options_.retain_wal_history = retain;
 
   if (options.flush_interval_s > 0.0) {
     store->flusher_ = std::thread([s = store.get()] {
@@ -465,7 +470,12 @@ Status DurableStore::WriteCheckpoint(const AncIndex& index, Mark at) {
         if (ParseCheckpointName(name, &file_generation, &seq)) {
           if (file_generation != generation_) fs::remove(entry.path(), ec);
         } else if (ParseSegmentName(name, &base_seq)) {
-          if (wal_ == nullptr || entry.path() != fs::path(wal_->path())) {
+          // Sealed segments are garbage for durability (the checkpoint
+          // covers them) but under retain_wal_history they stay: they are
+          // the session's delivery history, which a live shard migration
+          // out of this store replays.
+          if (!options_.retain_wal_history &&
+              (wal_ == nullptr || entry.path() != fs::path(wal_->path()))) {
             fs::remove(entry.path(), ec);
           }
         } else if (name.size() > 4 &&
@@ -612,7 +622,7 @@ Result<RecoveredStore> Recover(const std::string& dir,
       ++recovered.skipped_segments;
       continue;
     }
-    const auto replay = [index, rec](const WalRecord& record) {
+    const auto replay = [index, rec, &options](const WalRecord& record) {
       // Replay must start strictly after the checkpoint: a record whose
       // whole ticket run is covered is counted and dropped, never applied.
       const uint64_t last_seq =
@@ -624,6 +634,14 @@ Result<RecoveredStore> Recover(const std::string& dir,
       for (size_t i = 0; i < record.activations.size(); ++i) {
         const uint64_t seq = record.first_seq + i;
         if (seq <= rec->checkpoint_seq) continue;  // covered by the snapshot
+        if (options.defer && options.defer(record.activations[i], seq)) {
+          // Held back for the caller to re-apply after migration sidecars;
+          // the ticket itself is accounted for (the live writer applied it).
+          rec->deferred.push_back(record.activations[i]);
+          ++rec->replayed_activations;
+          rec->watermark.seq = std::max(rec->watermark.seq, seq);
+          continue;
+        }
         const Status applied = index->Apply(record.activations[i]);
         if (applied.ok()) {
           ++rec->replayed_activations;

@@ -37,6 +37,13 @@ struct StoreOptions {
   /// `path` without fsync; the store owns temp-file/fsync/rename.
   std::function<Status(const AncIndex&, const std::string& path)>
       checkpoint_writer;
+  /// Keep sealed WAL segments across serving-time checkpoints instead of
+  /// garbage-collecting them. Live shard migration reads the session's
+  /// full delivery history back to ticket 1 (the WAL-tail sidecar), so
+  /// sharded serving forces this on its shard stores. The Open-time
+  /// checkpoint still clears prior-session segments — their ticket
+  /// numbering restarted — so retention is bounded by one serving session.
+  bool retain_wal_history = false;
 };
 
 /// Point-in-time store health for store-stats / bench reporting.
@@ -187,6 +194,9 @@ struct RecoveredStore {
                                      ///< checkpoint, not replayed
   uint64_t skipped_segments = 0;     ///< whole segments skipped unread
   bool truncated_tail = false;       ///< a torn segment tail was truncated
+  /// Activations the RecoverOptions::defer gate held back, in replay
+  /// (ticket) order. Empty unless a gate was installed.
+  std::vector<Activation> deferred;
 };
 
 /// Recovery hooks. The default-constructed value reproduces Recover(dir)
@@ -198,6 +208,17 @@ struct RecoverOptions {
   /// candidate checkpoint, same as the default.
   std::function<Result<LoadedIndex>(const std::string& path)>
       checkpoint_loader;
+
+  /// Deferral gate for live-migration roll-forward (src/rebalance/): when
+  /// set, a replayed activation for which defer(activation, seq) returns
+  /// true is *not* applied — it is collected, in replay order, into
+  /// RecoveredStore::deferred (and counted in replayed_activations; its
+  /// ticket still advances the watermark seq, since the live writer did
+  /// apply it before the crash). The caller re-applies the deferred run
+  /// after splicing in migration sidecar state, restoring the live apply
+  /// order. Timestamps of deferred activations do not advance the
+  /// recovered watermark time until the caller applies them.
+  std::function<bool(const Activation& activation, uint64_t seq)> defer;
 };
 
 /// Crash recovery (docs/durability.md "Recovery"): loads the newest valid

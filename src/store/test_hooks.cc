@@ -25,6 +25,12 @@ const char* CrashPointName(CrashPoint point) {
       return "pre-tier-manifest-swap";
     case CrashPoint::kMidCompaction:
       return "mid-compaction";
+    case CrashPoint::kMidMigrationImport:
+      return "mid-migration-import";
+    case CrashPoint::kPreMigrationCommit:
+      return "pre-migration-commit";
+    case CrashPoint::kPostMigrationCommitPreMeta:
+      return "post-migration-commit-pre-meta";
     case CrashPoint::kNumCrashPoints:
       break;
   }

@@ -34,6 +34,18 @@ enum class CrashPoint : int {
   /// Background compaction dies mid-merge: the merged segment temp file is
   /// left behind; the input segments remain live and referenced.
   kMidCompaction,
+  /// Live migration dies while writing the WAL-tail sidecar: a truncated
+  /// sidecar temp file may be left behind; no journal commit was written,
+  /// so recovery rolls the migration back (src/rebalance/migrator.cc).
+  kMidMigrationImport,
+  /// Live migration dies after the target shard applied the imports but
+  /// before the journal's committed marker is renamed into place: the old
+  /// owner is still authoritative and recovery rolls back.
+  kPreMigrationCommit,
+  /// Live migration dies after the committed marker is durable but before
+  /// the new partition reaches shards.meta: recovery rolls the move
+  /// forward from the journal + sidecars.
+  kPostMigrationCommitPreMeta,
   kNumCrashPoints,
 };
 

@@ -71,6 +71,37 @@ TEST(ActivenessTest, RescaleIsObservationallyInvisible) {
   }
 }
 
+TEST(ActivenessTest, AnchoredApplyIsExactAndLeavesTheClockAlone) {
+  // The migration-import path (docs/sharding.md): ActivateAnchored must
+  // add exactly the mass an in-order replay would have, for timestamps on
+  // either side of the clock, WITHOUT advancing the clock — an import
+  // running ahead of the owner's stream must not make the owner's queued
+  // in-order records look time-reversed.
+  const double lambda = 0.15;
+  ActivenessStore store(3, lambda, 0.0);
+  ASSERT_TRUE(store.Activate(0, 1.0).ok());
+  ASSERT_TRUE(store.Activate(1, 2.0).ok());
+  // Import behind the clock (t=0.5) and ahead of it (t=10).
+  ASSERT_TRUE(store.ActivateAnchored(2, 0.5).ok());
+  ASSERT_TRUE(store.ActivateAnchored(2, 10.0).ok());
+  EXPECT_DOUBLE_EQ(store.last_time(), 2.0);
+  // The strict stream continues from its own position, unaffected.
+  ASSERT_TRUE(store.Activate(0, 3.0).ok());
+  EXPECT_DOUBLE_EQ(store.last_time(), 3.0);
+  // Mass matches an in-order oracle of the merged stream.
+  ActivenessStore oracle(3, lambda, 0.0);
+  ASSERT_TRUE(oracle.Activate(2, 0.5).ok());
+  ASSERT_TRUE(oracle.Activate(0, 1.0).ok());
+  ASSERT_TRUE(oracle.Activate(1, 2.0).ok());
+  ASSERT_TRUE(oracle.Activate(0, 3.0).ok());
+  ASSERT_TRUE(oracle.Activate(2, 10.0).ok());
+  for (EdgeId e = 0; e < 3; ++e) {
+    EXPECT_NEAR(store.ActivenessAt(e, 12.0), oracle.ActivenessAt(e, 12.0),
+                1e-12)
+        << "edge " << e;
+  }
+}
+
 TEST(ActivenessTest, AutomaticRescaleGuardsExponent) {
   ActivenessStore store(2, 1.0, 1.0);  // aggressive lambda
   // t = 100 with anchor 0 would need e^{100}; the store must re-anchor.

@@ -438,7 +438,7 @@ TEST(ShardStressTest, RoutedProducersVsScatterGatherReaders) {
   auto created = shard::ShardedServer::Create(data.graph, config, options);
   ASSERT_TRUE(created.ok()) << created.status().ToString();
   shard::ShardedServer& server = *created.value();
-  ASSERT_GT(server.router().cut_edges(), 0u);
+  ASSERT_GT(server.router()->cut_edges(), 0u);
   ASSERT_TRUE(server.Start().ok());
 
   constexpr int kProducers = 3;

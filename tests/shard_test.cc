@@ -439,7 +439,7 @@ TEST(ShardedServerTest, StatsExposePerShardGauges) {
   EXPECT_GT(stats.counter("anc.shard.halo_deliveries"), 0u);
   EXPECT_EQ(stats.gauge("anc.shard.num_shards"), 4);
   EXPECT_EQ(stats.gauge("anc.shard.cut_edges"),
-            static_cast<int64_t>(server.router().cut_edges()));
+            static_cast<int64_t>(server.router()->cut_edges()));
   EXPECT_GT(stats.gauge("anc.shard.balance_x1000"), 0);
   uint64_t per_shard_accepted = 0;
   for (uint32_t s = 0; s < 4; ++s) {
@@ -556,7 +556,7 @@ TEST(ShardRecoveryTest, RecoverAllAfterCleanShutdownMatchesFreshReplay) {
     ASSERT_TRUE(created.ok());
     ShardedServer& server = *created.value();
     ASSERT_TRUE(server.Start().ok());
-    routed = RouteStream(server.router(), stream);
+    routed = RouteStream(*server.router(), stream);
     ASSERT_TRUE(server.SubmitStream(stream).ok());
     const Status durable = server.FlushDurable(kAwait);
     ASSERT_TRUE(durable.ok())
@@ -600,7 +600,7 @@ TEST(ShardRecoveryTest, ShardsFailIndependentlyAndRecoverTheirOwnPrefix) {
     ASSERT_TRUE(created.ok());
     ShardedServer& server = *created.value();
     ASSERT_TRUE(server.Start().ok());
-    routed = RouteStream(server.router(), stream);
+    routed = RouteStream(*server.router(), stream);
     ASSERT_TRUE(server.SubmitStream(stream).ok());
     ASSERT_TRUE(server.FlushDurable(kAwait).ok());
     server.Stop();
@@ -660,7 +660,7 @@ TEST(ShardRecoveryTest, LiveCrashSeamFreezesOneShardAndRecoverAllSurvives) {
     ASSERT_TRUE(created.ok());
     ShardedServer& server = *created.value();
     ASSERT_TRUE(server.Start().ok());
-    routed = RouteStream(server.router(), stream);
+    routed = RouteStream(*server.router(), stream);
     // Arm a one-shot WAL crash: whichever shard appends first loses its
     // store (the error is sticky) while the other keeps committing. Group
     // commit batches aggressively, so only skip=0 is guaranteed to trip.
