@@ -24,9 +24,20 @@ Status ActivenessStore::ActivateAnchored(EdgeId e, double t, double* delta) {
   // The clock is owned by the strict path: an import must not advance it,
   // or the owner's still-queued in-order records (behind the import's
   // timestamps) would start failing Activate's monotonicity check. The
-  // overflow guard keys on the farthest time this increment touches, but
-  // the anchor itself only ever advances to the strict clock, preserving
-  // anchor_time() <= last_time().
+  // anchor in turn only ever advances to the strict clock, preserving the
+  // serialized invariant anchor_time() <= last_time() — which bounds how
+  // far ahead of last_time() an anchored apply can run: past the exponent
+  // budget no rescale can keep e^{lambda (t - t*)} representable, so the
+  // activation is rejected instead of poisoning the anchored values.
+  if (lambda_ * (t - last_time_) > kMaxExponent) {
+    return Status::InvalidArgument(
+        "anchored activation at t=" + std::to_string(t) +
+        " runs too far ahead of the stream clock " +
+        std::to_string(last_time_) +
+        " (exponent budget exceeded; the anchor cannot pass the strict "
+        "clock)");
+  }
+  // The overflow guard keys on the farthest time this increment touches.
   if (lambda_ * (std::max(t, last_time_) - anchor_time_) > kMaxExponent ||
       ++since_rescale_ >= rescale_interval_) {
     Rescale(last_time_);

@@ -91,6 +91,13 @@ class ActivenessStore {
   /// have. The clock is deliberately NOT advanced: it belongs to the
   /// strict stream, and an import running ahead of it must not make the
   /// owner's still-queued in-order records look time-reversed.
+  ///
+  /// Tolerance bound: because the anchor can never pass the strict clock
+  /// (anchor_time() <= last_time() is a serialized invariant), a t more
+  /// than kMaxExponent / lambda *ahead* of last_time() has no
+  /// representable increment and is rejected (InvalidArgument).
+  /// Arbitrarily-old timestamps are fine — their increments merely
+  /// underflow toward the (genuinely negligible) decayed mass.
   Status ActivateAnchored(EdgeId e, double t, double* delta = nullptr);
 
   /// Applies a whole stream (convenience wrapper over Activate).

@@ -197,10 +197,16 @@ Status Migrator::Migrate(const std::vector<NodeId>& moving, uint32_t to) {
     return Status::InvalidArgument("vertices already live on shard " +
                                    std::to_string(to));
   }
+  if (server_->shard_import_dirty(to)) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(to) +
+        " holds live imports from a rolled-back migration; importing into "
+        "it again would double-count that history. Rebuild the server from "
+        "durable state (RecoverAll) before migrating into this shard");
+  }
 
   const std::string dir = server_->store_dir();
-  next_id_ = std::max(next_id_ + 1, server_->assignment_epoch());
-  const uint64_t id = next_id_;
+  const uint64_t id = server_->NextMigrationId();
 
   // Phase 0: start side-buffering, snapshot A's frontier, journal intent.
   Result<uint64_t> s_a = server_->BeginHandoff(moving, from, to);
@@ -228,9 +234,15 @@ Status Migrator::Migrate(const std::vector<NodeId>& moving, uint32_t to) {
 
   // Everything up to the commit point rolls back on failure: abort the
   // handoff, and (unless a simulated crash must freeze the directory)
-  // remove whatever artifacts were already written.
+  // remove whatever artifacts were already written. Once phase 2 has
+  // touched B's live index the rollback cannot undo those imports (they
+  // never reach B's WAL, so its durable state is clean, but the live
+  // state is not): B is marked import-dirty and refuses further
+  // migrations into it until the process is rebuilt from durable state.
+  bool target_imported = false;
   const auto rollback = [&](const Status& status) {
     server_->AbortHandoff();
+    if (target_imported) server_->MarkShardImportDirty(to);
     if (!IsSimulatedCrash(status)) {
       std::error_code ec;
       fs::remove(JournalPath(dir), ec);
@@ -262,6 +274,9 @@ Status Migrator::Migrate(const std::vector<NodeId>& moving, uint32_t to) {
   Result<store::WalSegmentInfo> sidecar0 = store::ReadWalSegment(
       SidecarPath(dir, id, 0), collect, /*truncate_torn_tail=*/false);
   if (!sidecar0.ok()) return rollback(sidecar0.status());
+  // Conservatively dirty-on-attempt: a failed apply may still have
+  // imported a prefix of the batch.
+  target_imported = true;
   status = ApplyQuiesced(to, snapshot);
   if (!status.ok()) return rollback(status);
 
@@ -330,9 +345,14 @@ Status Migrator::Migrate(const std::vector<NodeId>& moving, uint32_t to) {
               }
               const uint64_t g_now = server_->shard_store(to)->generation();
               if (g_now != g_begin) {
+                // The checkpoint captured half-imported state, so the
+                // target's durable state is polluted too — a retry would
+                // double-count. The rollback marks the target
+                // import-dirty; do NOT advertise retrying into it.
                 inner = Status::FailedPrecondition(
-                    "target shard checkpointed mid-migration; pause "
-                    "checkpointing across the migration and retry");
+                    "target shard checkpointed mid-migration, persisting "
+                    "half-imported state; the migration is rolled back and "
+                    "the target refuses further imports");
                 return;
               }
               // THE COMMIT POINT: the journal's atomic prepare->committed
@@ -379,8 +399,13 @@ Status Migrator::Migrate(const std::vector<NodeId>& moving, uint32_t to) {
   const std::string to_dir =
       (fs::path(dir) / ("shard-" + std::to_string(to))).string();
   for (const int stage : {0, 1}) {
-    fs::rename(SidecarPath(dir, id, stage),
-               ImportArchivePath(to_dir, id, stage), ec);
+    const std::string archive = ImportArchivePath(to_dir, id, stage);
+    // Never clobber an existing archive: it is the only copy of some
+    // earlier migration's pre-import history. Unreachable with
+    // server-issued ids; the orphaned sidecar is retired at next Start().
+    if (!fs::exists(archive, ec)) {
+      fs::rename(SidecarPath(dir, id, stage), archive, ec);
+    }
   }
   return Status::OK();
 }

@@ -71,8 +71,11 @@ class Migrator {
   ///
   /// FailedPrecondition: server not running / not durable / another
   /// handoff active / A's WAL doesn't reach back to ticket 1 (a retention
-  /// policy trimmed history the import needs). InvalidArgument: bad
-  /// shards, empty set, or vertices with mixed owners.
+  /// policy trimmed history the import needs) / B still holds imports
+  /// from a previously rolled-back migration (an abort cannot undo live
+  /// imports, so re-importing would double-count; rebuild from durable
+  /// state first). InvalidArgument: bad shards, empty set, or vertices
+  /// with mixed owners.
   Status Migrate(const std::vector<NodeId>& moving, uint32_t to);
 
   uint64_t migrations() const { return migrations_; }
@@ -91,7 +94,6 @@ class Migrator {
 
   shard::ShardedServer* server_;
   MigratorOptions options_;
-  uint64_t next_id_ = 0;
   uint64_t migrations_ = 0;
 };
 

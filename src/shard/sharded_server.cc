@@ -178,17 +178,26 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::RecoverAll(
         }
         return Status::OK();
       };
+      // The deferred records were applied live in seq order and succeeded;
+      // by the time they re-apply here the replay of later non-deferred
+      // records has advanced the strict clock past them, so they must go
+      // through the same anchored out-of-order path as the sidecar splice
+      // (exact for any t) — a strict Apply would reject them as
+      // time-reversed and silently lose their mass.
+      const auto apply_deferred =
+          [index, &max_time](const std::vector<Activation>& deferred) {
+            for (const Activation& a : deferred) {
+              ANC_RETURN_NOT_OK(index->ApplyOutOfOrder(a));
+              max_time = std::max(max_time, a.time);
+            }
+            return Status::OK();
+          };
       if (r.generation > journal.g0) {
         // A post-commit checkpoint (the cleanup phase) already folded the
         // imports into the recovered state: the sidecars must not be
         // re-applied. The gated records were ordinary post-checkpoint
         // traffic — apply them now.
-        for (const Activation& a : r.deferred) {
-          // Mirror the serve writer: a failed apply is skipped, so the
-          // replay converges to the state the live index reached.
-          (void)index->Apply(a);
-          max_time = std::max(max_time, a.time);
-        }
+        ANC_RETURN_NOT_OK(apply_deferred(r.deferred));
       } else {
         // Splice: sidecar-0 (the owner's WAL tail), sidecar-1 (catch-up +
         // residual), then the target's own deferred post-commit records.
@@ -203,11 +212,7 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::RecoverAll(
                               applied.status().message());
           }
         }
-        for (const Activation& a : r.deferred) {
-          // Same skip-on-failure convention as the store replay above.
-          (void)index->Apply(a);
-          max_time = std::max(max_time, a.time);
-        }
+        ANC_RETURN_NOT_OK(apply_deferred(r.deferred));
       }
       r.watermark.time = max_time;
     }
@@ -248,6 +253,7 @@ ShardedServer::ShardedServer(const Graph* graph, std::vector<Shard> shards,
                              Partition partition, ShardedOptions options)
     : graph_(graph), options_(std::move(options)), shards_(std::move(shards)) {
   num_shards_ = partition.num_shards;
+  import_dirty_ = std::make_unique<std::atomic<bool>[]>(num_shards_);
   {
     util::MutexLock lock(router_mutex_);
     router_ = std::make_shared<const Router>(*graph_, std::move(partition));

@@ -322,6 +322,38 @@ class ShardedServer {
   /// none is active.
   void AbortHandoff();
 
+  /// Issues a migration id unique across every Migrator driving this
+  /// server. Ids name the sidecar and import-archive files, which share
+  /// the store directory — two coordinators (the Rebalancer's internal
+  /// Migrator plus a directly constructed one) reusing an id would
+  /// overwrite an archive holding the only copy of moved edges'
+  /// pre-import history. Stale archives from previous sessions are
+  /// retired by Start(), so per-instance monotonicity is sufficient.
+  uint64_t NextMigrationId() {
+    return next_migration_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records that shard `s` received migration imports that were then
+  /// rolled back. Imports write the live index only (never the WAL), so
+  /// an abort cannot undo them: the shard keeps serving correctly (the
+  /// old owner stays authoritative for the imported edges under the
+  /// vote-ownership merge), but it must not accept another import — a
+  /// retried migration would splice the same history again and
+  /// double-count. Cleared only by rebuilding the process from durable
+  /// state (RecoverAll).
+  void MarkShardImportDirty(uint32_t s) {
+    if (s < num_shards_) {
+      import_dirty_[s].store(true, std::memory_order_release);
+    }
+  }
+
+  /// True when a rolled-back migration left imports in shard `s`'s live
+  /// index (see MarkShardImportDirty).
+  bool shard_import_dirty(uint32_t s) const {
+    return s < num_shards_ &&
+           import_dirty_[s].load(std::memory_order_acquire);
+  }
+
  private:
   struct Shard {
     std::unique_ptr<Graph> owned_graph;  ///< recovery path only
@@ -373,6 +405,10 @@ class ShardedServer {
   std::shared_ptr<const Router> router_ ANC_GUARDED_BY(router_mutex_);
   PartitionStats partition_stats_ ANC_GUARDED_BY(router_mutex_);
   std::atomic<uint64_t> assignment_epoch_{1};
+  std::atomic<uint64_t> next_migration_id_{1};
+  /// Per-shard flag: a rolled-back migration left imports in the live
+  /// index (MarkShardImportDirty). Sized num_shards_ at construction.
+  std::unique_ptr<std::atomic<bool>[]> import_dirty_;
 
   /// Live-migration handoff state (docs/sharding.md "Rebalancing & live
   /// migration"): while active, deliveries on handoff edges are *copied*

@@ -111,6 +111,25 @@ TEST(ActivenessTest, AutomaticRescaleGuardsExponent) {
               1.0 * std::exp(-100.0) + 1.0, 1e-9);
 }
 
+TEST(ActivenessTest, AnchoredApplyRejectsFarFutureTimestamps) {
+  // The anchor can never pass the strict clock (anchor_time <= last_time
+  // is a serialized invariant), so an anchored apply running more than
+  // kMaxExponent / lambda ahead of last_time() has no representable
+  // increment: it must be rejected rather than poison the anchored values
+  // with +inf.
+  ActivenessStore store(2, 1.0, 1.0);  // aggressive lambda
+  ASSERT_TRUE(store.Activate(0, 1.0).ok());
+  // Within the exponent budget: exact, as usual.
+  ASSERT_TRUE(store.ActivateAnchored(1, 50.0).ok());
+  EXPECT_TRUE(std::isfinite(store.Anchored(1)));
+  // Beyond it: rejected, and the store stays finite and usable.
+  EXPECT_EQ(store.ActivateAnchored(1, 1000.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(std::isfinite(store.Anchored(1)));
+  ASSERT_TRUE(store.Activate(0, 2.0).ok());
+  EXPECT_TRUE(std::isfinite(store.ActivenessAt(0, 2.0)));
+}
+
 TEST(ActivenessTest, IntervalRescale) {
   ActivenessStore store(1, 0.1, 0.0);
   store.set_rescale_interval(10);

@@ -799,6 +799,205 @@ TEST(MigrationCrashTest, PostCommitPreMetaCrashRollsForward) {
                /*expect_committed=*/true);
 }
 
+TEST(MigrationCrashTest, PostCommitTrafficOnMovedEdgesRecoversExact) {
+  // Crash between the commit and the phase-5 cleanup, but keep serving
+  // first: post-commit deliveries on the moved edges land in the target's
+  // WAL *after* S_B yet *before* the splice point, so recovery defers and
+  // re-applies them after the sidecars. By then the replay of later
+  // non-deferred records has advanced the strict clock past their
+  // timestamps — they must go through the anchored out-of-order path, or
+  // their mass is silently lost.
+  Rng rng(89);
+  GroundTruthGraph data = DisjointCommunities(rng);
+  const Graph& g = data.graph;
+  const AncConfig config = TestConfig();
+  const ActivationStream stream =
+      CommunityBiasedStream(g, data.truth.labels, 25, 0.05, 4.0, rng);
+  const std::string dir = TempDir("anc_rebalance_post_commit_traffic");
+
+  ShardedOptions options;
+  options.partition.num_shards = 4;
+  options.partition.explicit_assignment = data.truth.labels;
+  options.serve.durability = serve::DurabilityPolicy::kGroupCommit;
+  options.store_dir = dir;
+  const std::vector<NodeId> moving = CommunityMembers(data, 1);
+
+  // Post-commit traffic interleaving moved-community edges with the
+  // target's own community: each moved-edge record is followed by a
+  // later-timestamped community-3 record in shard 3's WAL.
+  std::vector<EdgeId> moved_edges;
+  std::vector<EdgeId> target_edges;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const auto [u, v] = g.Endpoints(e);
+    if (data.truth.labels[u] == 1 && data.truth.labels[v] == 1) {
+      moved_edges.push_back(e);
+    }
+    if (data.truth.labels[u] == 3 && data.truth.labels[v] == 3) {
+      target_edges.push_back(e);
+    }
+  }
+  ASSERT_FALSE(moved_edges.empty());
+  ASSERT_FALSE(target_edges.empty());
+  ActivationStream post;
+  double time = 26.0;  // past the base stream's clock
+  for (int i = 0; i < 40; ++i) {
+    post.push_back({moved_edges[i % moved_edges.size()], time});
+    time += 0.01;
+    post.push_back({target_edges[i % target_edges.size()], time});
+    time += 0.01;
+  }
+
+  {
+    auto created = ShardedServer::Create(g, config, options);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    ShardedServer& server = *created.value();
+    ASSERT_TRUE(server.Start().ok());
+    ASSERT_TRUE(server.SubmitStream(stream).ok());
+    ASSERT_TRUE(server.FlushDurable(kAwait).ok());
+
+    // Commit the migration but die before shards.meta / cleanup: the
+    // committed journal and the sidecars stay behind.
+    store::TestHooks::ArmCrash(
+        store::CrashPoint::kPostMigrationCommitPreMeta, /*skip=*/0);
+    Migrator migrator(&server);
+    const Status status = migrator.Migrate(moving, 3);
+    store::TestHooks::Disarm();
+    ASSERT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+    ASSERT_GT(server.assignment_epoch(), 1u);
+
+    // The swap is live: post-commit traffic on the moved edges routes to
+    // the new owner while the journal still owns the move on disk.
+    ASSERT_TRUE(server.SubmitStream(post).ok());
+    ASSERT_TRUE(server.FlushDurable(kAwait).ok());
+    server.Stop();
+  }
+  EXPECT_TRUE(std::filesystem::exists(rebalance::JournalPath(dir)));
+
+  auto recovered = ShardedServer::RecoverAll(dir, options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ShardedServer& server = *recovered.value();
+  EXPECT_EQ(server.router()->NodeOwner(moving[0]), 3u);
+  ASSERT_TRUE(server.Start().ok());
+
+  AncIndex oracle(g, config);
+  ASSERT_TRUE(oracle.ApplyStream(stream).ok());
+  ASSERT_TRUE(oracle.ApplyStream(post).ok());
+  ExpectMatchesOracle(server, oracle, "post-commit traffic recovery");
+  server.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LiveMigrationTest, RolledBackImportMarksTargetDirtyAndRefusesRetry) {
+  // An abort cannot undo imports already applied to the target's live
+  // index (they never touch its WAL): retrying the migration would splice
+  // the same history again and double-count. The rollback must poison the
+  // target for further imports — from any Migrator instance — while other
+  // targets keep working.
+  Rng rng(97);
+  GroundTruthGraph data = DisjointCommunities(rng);
+  const Graph& g = data.graph;
+  const AncConfig config = TestConfig();
+  const ActivationStream stream =
+      CommunityBiasedStream(g, data.truth.labels, 25, 0.05, 4.0, rng);
+  const std::string dir = TempDir("anc_rebalance_dirty_target");
+
+  ShardedOptions options;
+  options.partition.num_shards = 4;
+  options.partition.explicit_assignment = data.truth.labels;
+  options.serve.durability = serve::DurabilityPolicy::kGroupCommit;
+  options.store_dir = dir;
+  auto created = ShardedServer::Create(g, config, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ShardedServer& server = *created.value();
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.SubmitStream(stream).ok());
+  ASSERT_TRUE(server.FlushDurable(kAwait).ok());
+
+  // Fail after the sidecar-0 import reached shard 3's live index.
+  const std::vector<NodeId> moving = CommunityMembers(data, 1);
+  store::TestHooks::ArmCrash(store::CrashPoint::kPreMigrationCommit,
+                             /*skip=*/0);
+  Migrator migrator(&server);
+  const Status status = migrator.Migrate(moving, 3);
+  store::TestHooks::Disarm();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(server.assignment_epoch(), 1u);  // rolled back
+  EXPECT_TRUE(server.shard_import_dirty(3));
+  EXPECT_FALSE(server.shard_import_dirty(0));
+
+  // Retrying into the polluted target is refused — by the same Migrator
+  // and by a freshly constructed one.
+  EXPECT_EQ(migrator.Migrate(moving, 3).code(),
+            StatusCode::kFailedPrecondition);
+  Migrator other(&server);
+  EXPECT_EQ(other.Migrate(moving, 3).code(),
+            StatusCode::kFailedPrecondition);
+
+  // A clean target still accepts the move, and the merged answers stay
+  // exact: shard 3's polluted copies are never authoritative (the
+  // vote-ownership merge ignores non-owner votes).
+  ASSERT_TRUE(migrator.Migrate(moving, 2).ok());
+  EXPECT_EQ(server.router()->NodeOwner(moving[0]), 2u);
+  ASSERT_TRUE(server.Flush(kAwait).ok());
+  AncIndex oracle(g, config);
+  ASSERT_TRUE(oracle.ApplyStream(stream).ok());
+  ExpectMatchesOracle(server, oracle, "after dirty-target rollback");
+  server.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LiveMigrationTest, ServerIssuedIdsKeepArchivesDistinctAcrossMigrators) {
+  // Migration ids name the import archives in the target's shard
+  // directory — the only copy of the moved edges' pre-import history. Two
+  // Migrator instances on one server (the Rebalancer's internal one plus
+  // a directly constructed one) must never reuse an id, even when a
+  // failed attempt has consumed one without bumping the assignment epoch.
+  Rng rng(101);
+  GroundTruthGraph data = DisjointCommunities(rng);
+  const Graph& g = data.graph;
+  const AncConfig config = TestConfig();
+  const ActivationStream stream =
+      CommunityBiasedStream(g, data.truth.labels, 25, 0.05, 4.0, rng);
+  const std::string dir = TempDir("anc_rebalance_distinct_ids");
+
+  ShardedOptions options;
+  options.partition.num_shards = 4;
+  options.partition.explicit_assignment = data.truth.labels;
+  options.serve.durability = serve::DurabilityPolicy::kGroupCommit;
+  options.store_dir = dir;
+  auto created = ShardedServer::Create(g, config, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ShardedServer& server = *created.value();
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.SubmitStream(stream).ok());
+  ASSERT_TRUE(server.FlushDurable(kAwait).ok());
+
+  // One attempt dies before any import (and before the epoch could bump),
+  // consuming a migration id with no archive to show for it.
+  Migrator first(&server);
+  store::TestHooks::ArmCrash(store::CrashPoint::kMidMigrationImport,
+                             /*skip=*/0);
+  ASSERT_FALSE(first.Migrate(CommunityMembers(data, 1), 0).ok());
+  store::TestHooks::Disarm();
+  EXPECT_FALSE(server.shard_import_dirty(0));  // died before any import
+
+  // Two successful migrations into the same target, via different
+  // Migrator instances: each must archive its own sidecar pair.
+  ASSERT_TRUE(first.Migrate(CommunityMembers(data, 1), 0).ok());
+  Migrator second(&server);
+  ASSERT_TRUE(second.Migrate(CommunityMembers(data, 2), 0).ok());
+  const std::string shard0_dir =
+      (std::filesystem::path(dir) / "shard-0").string();
+  EXPECT_EQ(rebalance::ListImportArchives(shard0_dir).size(), 4u);
+
+  ASSERT_TRUE(server.Flush(kAwait).ok());
+  AncIndex oracle(g, config);
+  ASSERT_TRUE(oracle.ApplyStream(stream).ok());
+  ExpectMatchesOracle(server, oracle, "after two-coordinator migrations");
+  server.Stop();
+  std::filesystem::remove_all(dir);
+}
+
 // --- Rebalancer loop ------------------------------------------------------
 
 TEST(RebalancerTest, DriftTriggersMigrationsThatReduceTheCut) {
